@@ -1,0 +1,83 @@
+// Package blobseer is the public API of the BlobSeer reproduction: a
+// versioning-based distributed storage service for huge binary objects
+// (Nicolae, Antoniu, Bougé — IPDPS 2010).
+//
+// A blob is a long sequence of bytes striped into fixed-size chunks over
+// data providers. Every Write or Append produces a new immutable snapshot
+// version (only the difference is stored); readers address any published
+// version and never synchronize with writers. Metadata is a distributed
+// segment tree spread over a DHT of metadata providers; a lightweight
+// version manager totally orders snapshot publication, which makes all
+// operations linearizable.
+//
+// Quick start (in-process deployment):
+//
+//	c, _ := blobseer.Deploy(blobseer.DeployOptions{DataProviders: 4})
+//	defer c.Close()
+//	client, _ := c.NewClient(blobseer.ClientOptions{})
+//	blob, _ := client.CreateBlob(64<<10, 1)
+//	v, _ := blob.Write([]byte("hello"), 0)
+//	buf := make([]byte, 5)
+//	blob.Read(v, buf, 0)
+//
+// For multi-process deployments run cmd/blobseerd for each role over TCP
+// and connect with NewClient.
+package blobseer
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/rpc"
+)
+
+// Core client API, re-exported.
+type (
+	// Client talks to one BlobSeer deployment.
+	Client = core.Client
+	// Blob is a handle on one blob.
+	Blob = core.Blob
+	// Config wires a Client to a deployment (see core.Config).
+	Config = core.Config
+	// ChunkLocation reports where a chunk lives (locality scheduling).
+	ChunkLocation = core.ChunkLocation
+	// Observer sees every chunk transfer (QoS monitoring).
+	Observer = core.Observer
+)
+
+// Deployment helpers, re-exported from the cluster harness.
+type (
+	// Cluster is a running deployment (in-process or TCP loopback).
+	Cluster = cluster.Cluster
+	// DeployOptions size a deployment.
+	DeployOptions = cluster.Config
+	// ClientOptions tune clients created from a Cluster.
+	ClientOptions = cluster.ClientOptions
+	// FabricConfig shapes the simulated network of a deployment.
+	FabricConfig = netsim.Config
+)
+
+// Errors re-exported from the client library.
+var (
+	// ErrNotPublished marks reads of versions that are not yet readable.
+	ErrNotPublished = core.ErrNotPublished
+	// ErrFailedVersion marks explicit reads of aborted versions.
+	ErrFailedVersion = core.ErrFailedVersion
+)
+
+// NewClient connects to an existing deployment (for example one started
+// with cmd/blobseerd over TCP).
+func NewClient(cfg Config) (*Client, error) { return core.NewClient(cfg) }
+
+// Deploy starts a complete deployment in this process: a version manager,
+// a provider manager, data providers and metadata providers, over the
+// simulated fabric (default) or TCP loopback (opts.UseTCP).
+func Deploy(opts DeployOptions) (*Cluster, error) { return cluster.Start(opts) }
+
+// NewFabric builds a simulated network fabric for Deploy, modeling
+// per-NIC bandwidth, latency and per-message service cost.
+func NewFabric(cfg FabricConfig) *netsim.Fabric { return netsim.NewFabric(cfg) }
+
+// NewTCPNetwork returns the TCP transport for NewClient configs that
+// connect to daemon deployments.
+func NewTCPNetwork() rpc.Network { return rpc.NewTCPNetwork() }

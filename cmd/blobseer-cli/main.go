@@ -1,0 +1,142 @@
+// Command blobseer-cli performs blob operations against a live TCP
+// deployment (see cmd/blobseerd):
+//
+//	blobseer-cli -vm H:P -pm H:P -meta H:P[,H:P...] create -chunk 65536 -repl 2
+//	blobseer-cli ... write  -blob 1 -offset 0 -file data.bin
+//	blobseer-cli ... append -blob 1 -file more.bin
+//	blobseer-cli ... read   -blob 1 -version 0 -offset 0 -size 1048576 -out out.bin
+//	blobseer-cli ... stat   -blob 1
+//	blobseer-cli ... list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/rpc"
+)
+
+func main() {
+	vm := flag.String("vm", "127.0.0.1:4400", "version manager address")
+	pm := flag.String("pm", "127.0.0.1:4401", "provider manager address")
+	metaList := flag.String("meta", "127.0.0.1:4410", "comma-separated metadata provider addresses")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		log.Fatal("blobseer-cli: missing subcommand (create|write|append|read|stat|list)")
+	}
+
+	client, err := core.NewClient(core.Config{
+		Network:       rpc.NewTCPNetwork(),
+		VMAddr:        *vm,
+		PMAddr:        *pm,
+		MetaProviders: strings.Split(*metaList, ","),
+	})
+	if err != nil {
+		log.Fatalf("blobseer-cli: %v", err)
+	}
+	defer client.Close()
+
+	cmd, args := flag.Arg(0), flag.Args()[1:]
+	switch cmd {
+	case "create":
+		fs := flag.NewFlagSet("create", flag.ExitOnError)
+		chunkSize := fs.Uint64("chunk", 64<<10, "chunk size in bytes")
+		repl := fs.Uint("repl", 1, "replication degree")
+		fs.Parse(args)
+		blob, err := client.CreateBlob(*chunkSize, uint32(*repl))
+		must(err)
+		fmt.Printf("blob %d created (chunk=%dB repl=%d)\n", blob.ID(), *chunkSize, *repl)
+	case "write", "append":
+		fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+		id := fs.Uint64("blob", 0, "blob ID")
+		offset := fs.Uint64("offset", 0, "byte offset (write only)")
+		file := fs.String("file", "-", "input file (- for stdin)")
+		fs.Parse(args)
+		data := readInput(*file)
+		blob, err := client.OpenBlob(*id)
+		must(err)
+		if cmd == "write" {
+			v, err := blob.Write(data, *offset)
+			must(err)
+			fmt.Printf("wrote %d bytes at %d: version %d\n", len(data), *offset, v)
+		} else {
+			v, off, err := blob.Append(data)
+			must(err)
+			fmt.Printf("appended %d bytes at %d: version %d\n", len(data), off, v)
+		}
+	case "read":
+		fs := flag.NewFlagSet("read", flag.ExitOnError)
+		id := fs.Uint64("blob", 0, "blob ID")
+		version := fs.Uint64("version", 0, "version (0 = latest)")
+		offset := fs.Uint64("offset", 0, "byte offset")
+		size := fs.Uint64("size", 0, "bytes to read (0 = to EOF)")
+		out := fs.String("out", "-", "output file (- for stdout)")
+		fs.Parse(args)
+		blob, err := client.OpenBlob(*id)
+		must(err)
+		n := *size
+		if n == 0 {
+			total, err := blob.Size(*version)
+			must(err)
+			if total > *offset {
+				n = total - *offset
+			}
+		}
+		buf := make([]byte, n)
+		read, err := blob.Read(*version, buf, *offset)
+		if err != nil && err != io.EOF {
+			must(err)
+		}
+		writeOutput(*out, buf[:read])
+		fmt.Fprintf(os.Stderr, "read %d bytes\n", read)
+	case "stat":
+		fs := flag.NewFlagSet("stat", flag.ExitOnError)
+		id := fs.Uint64("blob", 0, "blob ID")
+		fs.Parse(args)
+		blob, err := client.OpenBlob(*id)
+		must(err)
+		v, size, err := blob.Latest()
+		must(err)
+		fmt.Printf("blob %d: chunk=%dB repl=%d latest-version=%d size=%dB\n",
+			blob.ID(), blob.ChunkSize(), blob.Replication(), v, size)
+	case "list":
+		ids, err := client.ListBlobs()
+		must(err)
+		for _, id := range ids {
+			fmt.Println(id)
+		}
+	default:
+		log.Fatalf("blobseer-cli: unknown subcommand %q", cmd)
+	}
+}
+
+func readInput(path string) []byte {
+	if path == "-" {
+		data, err := io.ReadAll(os.Stdin)
+		must(err)
+		return data
+	}
+	data, err := os.ReadFile(path)
+	must(err)
+	return data
+}
+
+func writeOutput(path string, data []byte) {
+	if path == "-" {
+		_, err := os.Stdout.Write(data)
+		must(err)
+		return
+	}
+	must(os.WriteFile(path, data, 0o644))
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatalf("blobseer-cli: %v", err)
+	}
+}

@@ -1,0 +1,112 @@
+// Command blobseerd runs one BlobSeer service over TCP, so a real
+// multi-process deployment can be assembled on one or many machines:
+//
+//	blobseerd -role vmanager  -listen :4400
+//	blobseerd -role pmanager  -listen :4401 -strategy roundrobin
+//	blobseerd -role metadata  -listen :4410
+//	blobseerd -role provider  -listen :4420 -pm host:4401 -store disk -dir /var/blobseer
+//	blobseerd -role namespace -listen :4430                      # BSFS names
+//
+// Clients connect with the library's NewClient given the version manager,
+// provider manager and metadata provider addresses.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/bsfs"
+	"repro/internal/chunk"
+	"repro/internal/meta"
+	"repro/internal/pmanager"
+	"repro/internal/provider"
+	"repro/internal/rpc"
+	"repro/internal/vmanager"
+)
+
+func main() {
+	role := flag.String("role", "", "vmanager | pmanager | metadata | provider | namespace")
+	listen := flag.String("listen", ":0", "TCP listen address")
+	pmAddr := flag.String("pm", "", "provider manager address (role=provider)")
+	strategy := flag.String("strategy", "roundrobin", "placement strategy (role=pmanager)")
+	storeKind := flag.String("store", "mem", "chunk store: mem | disk | cached (role=provider)")
+	dir := flag.String("dir", "blobseer-chunks", "chunk directory (store=disk|cached)")
+	cacheMB := flag.Int64("cache-mb", 256, "RAM cache size (store=cached)")
+	hbInterval := flag.Duration("heartbeat", time.Second, "heartbeat interval (role=provider)")
+	hbTimeout := flag.Duration("heartbeat-timeout", 5*time.Second, "provider liveness timeout (role=pmanager)")
+	flag.Parse()
+
+	network := rpc.NewTCPNetwork()
+	var addr string
+	var closer func()
+
+	switch *role {
+	case "vmanager":
+		s := vmanager.NewServer(network, *listen)
+		must(s.Start())
+		addr, closer = s.Addr(), s.Close
+	case "pmanager":
+		s, err := pmanager.NewServer(network, *listen, *strategy, *hbTimeout)
+		must(err)
+		must(s.Start())
+		addr, closer = s.Addr(), s.Close
+	case "metadata":
+		s := meta.NewServer(network, *listen)
+		must(s.Start())
+		addr, closer = s.Addr(), s.Close
+	case "namespace":
+		s := bsfs.NewNameServer(network, *listen)
+		must(s.Start())
+		addr, closer = s.Addr(), s.Close
+	case "provider":
+		if *pmAddr == "" {
+			log.Fatal("blobseerd: -pm is required for role=provider")
+		}
+		store, err := makeStore(*storeKind, *dir, *cacheMB)
+		must(err)
+		s := provider.NewServer(network, *listen, store)
+		must(s.Start())
+		cli := rpc.NewClient(network, 10*time.Second)
+		must(cli.Call(*pmAddr, pmanager.MethodRegister, &pmanager.RegisterReq{Addr: s.Addr()}, &pmanager.Ack{}))
+		s.StartHeartbeats(cli, *pmAddr, *hbInterval)
+		addr, closer = s.Addr(), func() { s.Close(); cli.Close(); store.Close() }
+	default:
+		fmt.Fprintln(os.Stderr, "blobseerd: unknown -role; see -help")
+		os.Exit(2)
+	}
+
+	log.Printf("blobseerd: role=%s serving at %s", *role, addr)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("blobseerd: shutting down")
+	closer()
+}
+
+func makeStore(kind, dir string, cacheMB int64) (chunk.Store, error) {
+	switch kind {
+	case "mem":
+		return chunk.NewMemStore(), nil
+	case "disk":
+		return chunk.NewDiskStore(dir, false)
+	case "cached":
+		backing, err := chunk.NewDiskStore(dir, false)
+		if err != nil {
+			return nil, err
+		}
+		return chunk.NewCachedStore(backing, cacheMB<<20), nil
+	default:
+		return nil, fmt.Errorf("unknown store kind %q", kind)
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatalf("blobseerd: %v", err)
+	}
+}

@@ -1,0 +1,121 @@
+package main_test
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/rpc"
+)
+
+// Spawns a real multi-process deployment — version manager, provider
+// manager, two metadata providers, two disk-backed data providers, each a
+// separate OS process talking TCP — and runs a client against it. This is
+// the end-to-end proof that the system is not an in-process artifact.
+func TestMultiProcessDeployment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process test is not -short")
+	}
+	bin := filepath.Join(t.TempDir(), "blobseerd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("building blobseerd: %v", err)
+	}
+
+	var procs []*exec.Cmd
+	t.Cleanup(func() {
+		for _, p := range procs {
+			if p.Process != nil {
+				p.Process.Kill()
+			}
+		}
+		for _, p := range procs {
+			p.Wait()
+		}
+	})
+	addrRe := regexp.MustCompile(`serving at (\S+)`)
+	spawn := func(args ...string) string {
+		cmd := exec.Command(bin, args...)
+		stderr, err := cmd.StderrPipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("starting %v: %v", args, err)
+		}
+		procs = append(procs, cmd)
+		sc := bufio.NewScanner(stderr)
+		deadline := time.After(10 * time.Second)
+		addrCh := make(chan string, 1)
+		go func() {
+			for sc.Scan() {
+				if m := addrRe.FindStringSubmatch(sc.Text()); m != nil {
+					addrCh <- m[1]
+				}
+			}
+		}()
+		select {
+		case addr := <-addrCh:
+			return addr
+		case <-deadline:
+			t.Fatalf("daemon %v did not report its address", args)
+			return ""
+		}
+	}
+
+	vm := spawn("-role", "vmanager", "-listen", "127.0.0.1:0")
+	pm := spawn("-role", "pmanager", "-listen", "127.0.0.1:0",
+		"-heartbeat-timeout", "5s")
+	mp1 := spawn("-role", "metadata", "-listen", "127.0.0.1:0")
+	mp2 := spawn("-role", "metadata", "-listen", "127.0.0.1:0")
+	for i := 0; i < 2; i++ {
+		spawn("-role", "provider", "-listen", "127.0.0.1:0",
+			"-pm", pm, "-store", "disk",
+			"-dir", filepath.Join(t.TempDir(), fmt.Sprintf("chunks%d", i)),
+			"-heartbeat", "200ms")
+	}
+
+	client, err := core.NewClient(core.Config{
+		Network:       rpc.NewTCPNetwork(),
+		VMAddr:        vm,
+		PMAddr:        pm,
+		MetaProviders: []string{mp1, mp2},
+		CallTimeout:   10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	blob, err := client.CreateBlob(4096, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte("multi-process!"), 2048)
+	v, err := blob.Write(data, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := blob.Append(data[:4096]); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if _, err := blob.Read(v, got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("cross-process round trip mismatch")
+	}
+	size, err := blob.Size(0)
+	if err != nil || size != uint64(len(data)+4096) {
+		t.Fatalf("size = %d, %v", size, err)
+	}
+}

@@ -1,0 +1,150 @@
+// Supernovae detection (§IV-A of the paper): a huge string representing
+// the view of the sky is shared by concurrent fine-grain readers scanning
+// windows for transients while telescope writers keep updating regions —
+// with no locking anywhere, because readers work on immutable snapshots.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	blobseer "repro"
+)
+
+const (
+	skySize   = 8 << 20 // 8 MiB sky image
+	window    = 64 << 10
+	chunkSize = 64 << 10
+	scanners  = 8
+	updaters  = 2
+	runFor    = 2 * time.Second
+)
+
+func main() {
+	cluster, err := blobseer.Deploy(blobseer.DeployOptions{DataProviders: 8, MetaProviders: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	setup, err := cluster.NewClient(blobseer.ClientOptions{MetaCacheNodes: 1 << 16})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sky, err := setup.CreateBlob(chunkSize, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base := make([]byte, skySize)
+	if _, err := sky.Write(base, 0); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sky blob %d initialized: %d MiB\n", sky.ID(), skySize>>20)
+
+	var (
+		wg          sync.WaitGroup
+		stop        = make(chan struct{})
+		scans       atomic.Int64
+		detections  atomic.Int64
+		updates     atomic.Int64
+		bytesViewed atomic.Int64
+	)
+
+	// Telescope updaters: write bright "supernova" pixels into random
+	// windows. Every update is a new snapshot version.
+	for u := 0; u < updaters; u++ {
+		cli, err := cluster.NewClient(blobseer.ClientOptions{MetaCacheNodes: 1 << 16})
+		if err != nil {
+			log.Fatal(err)
+		}
+		blob, err := cli.OpenBlob(sky.ID())
+		if err != nil {
+			log.Fatal(err)
+		}
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(u)))
+			patch := make([]byte, window)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// A burst of bright pixels somewhere in the patch.
+				for i := range patch {
+					patch[i] = 0
+				}
+				burst := rng.Intn(window - 16)
+				for i := 0; i < 16; i++ {
+					patch[burst+i] = 255
+				}
+				off := uint64(rng.Intn(skySize/chunkSize-1)) * chunkSize
+				if _, err := blob.Write(patch, off); err != nil {
+					log.Printf("updater %d: %v", u, err)
+					return
+				}
+				updates.Add(1)
+			}
+		}(u)
+	}
+
+	// Scanners: each repeatedly picks the latest published snapshot and
+	// scans random windows for bright pixels. No locks, no interference.
+	for s := 0; s < scanners; s++ {
+		cli, err := cluster.NewClient(blobseer.ClientOptions{MetaCacheNodes: 1 << 16})
+		if err != nil {
+			log.Fatal(err)
+		}
+		blob, err := cli.OpenBlob(sky.ID())
+		if err != nil {
+			log.Fatal(err)
+		}
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + s)))
+			buf := make([]byte, window)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				version, size, err := blob.Latest()
+				if err != nil || version == 0 {
+					continue
+				}
+				off := uint64(rng.Intn(int(size-window)/chunkSize)) * chunkSize
+				if _, err := blob.Read(version, buf, off); err != nil {
+					continue
+				}
+				scans.Add(1)
+				bytesViewed.Add(window)
+				for _, px := range buf {
+					if px == 255 {
+						detections.Add(1)
+						break
+					}
+				}
+			}
+		}(s)
+	}
+
+	time.Sleep(runFor)
+	close(stop)
+	wg.Wait()
+
+	v, _, err := sky.Latest()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ran %v: %d sky updates (latest version %d), %d window scans (%.1f MB viewed), %d windows with supernova candidates\n",
+		runFor, updates.Load(), v, scans.Load(), float64(bytesViewed.Load())/1e6, detections.Load())
+	fmt.Println("readers never blocked on writers: every scan used an immutable snapshot")
+}

@@ -1,0 +1,102 @@
+// Versioning deep-dive: demonstrates that BlobSeer stores only the
+// difference per snapshot, that historical versions remain readable
+// forever, and that sparse writes produce zero-filled gaps — while
+// concurrent writers never see each other.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"sync"
+
+	blobseer "repro"
+)
+
+func main() {
+	cluster, err := blobseer.Deploy(blobseer.DeployOptions{DataProviders: 4, MetaProviders: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	client, err := cluster.NewClient(blobseer.ClientOptions{MetaCacheNodes: 4096})
+	if err != nil {
+		log.Fatal(err)
+	}
+	blob, err := client.CreateBlob(8, 1) // tiny chunks to show the tree at work
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A sequence of writes building distinct snapshots.
+	steps := []struct {
+		data   string
+		offset uint64
+		label  string
+	}{
+		{"AAAAAAAAAAAAAAAA", 0, "v1: initial 16 bytes"},
+		{"BBBB", 4, "v2: overwrite 4 bytes in the middle"},
+		{"CCCCCCCC", 16, "v3: append via write at the end"},
+		{"DD", 30, "v4: sparse write past EOF (gap reads as zeros)"},
+	}
+	for _, s := range steps {
+		v, err := blob.Write([]byte(s.data), s.offset)
+		if err != nil {
+			log.Fatal(err)
+		}
+		size, _ := blob.Size(v)
+		buf := make([]byte, size)
+		blob.Read(v, buf, 0)
+		fmt.Printf("%-48s -> %q\n", s.label, printable(buf))
+	}
+
+	// History is immutable: v1 still reads exactly as written.
+	buf := make([]byte, 16)
+	if _, err := blob.Read(1, buf, 0); err != nil {
+		log.Fatal(err)
+	}
+	if !bytes.Equal(buf, bytes.Repeat([]byte("A"), 16)) {
+		log.Fatal("v1 changed?!")
+	}
+	fmt.Printf("%-48s -> %q\n", "v1 re-read after three later versions", printable(buf))
+
+	// Concurrent writers to one blob: each gets its own version; the
+	// version manager orders publication; no writer waits for another.
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		cli, err := cluster.NewClient(blobseer.ClientOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		b, err := cli.OpenBlob(blob.ID())
+		if err != nil {
+			log.Fatal(err)
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			payload := bytes.Repeat([]byte{byte('a' + i)}, 8)
+			if _, err := b.Write(payload, uint64(i*8)); err != nil {
+				log.Printf("writer %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	latest, size, _ := blob.Latest()
+	final := make([]byte, size)
+	blob.Read(0, final, 0)
+	fmt.Printf("after 4 concurrent writers (version %d)      -> %q\n", latest, printable(final))
+}
+
+func printable(b []byte) string {
+	out := make([]byte, len(b))
+	for i, c := range b {
+		if c == 0 {
+			out[i] = '.'
+		} else {
+			out[i] = c
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,526 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/bsfs"
+	"repro/internal/chunk"
+	"repro/internal/cluster"
+	"repro/internal/hdfs"
+	"repro/internal/mapreduce"
+	"repro/internal/provider"
+	"repro/internal/rpc"
+	"repro/internal/workload"
+)
+
+// bsfsDeployment is a BlobSeer cluster with a BSFS namespace mounted.
+type bsfsDeployment struct {
+	c  *cluster.Cluster
+	ns *bsfs.NameServer
+}
+
+func startBSFS(dataProviders, metaProviders int) (*bsfsDeployment, error) {
+	c, err := startCluster(dataProviders, metaProviders)
+	if err != nil {
+		return nil, err
+	}
+	ns := bsfs.NewNameServer(c.Network, "ns")
+	if err := ns.Start(); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return &bsfsDeployment{c: c, ns: ns}, nil
+}
+
+func (d *bsfsDeployment) mount(name string) (*bsfs.FS, error) {
+	cli, err := d.c.NewClient(cluster.ClientOptions{Name: name, MetaCacheNodes: 1 << 16})
+	if err != nil {
+		return nil, err
+	}
+	return bsfs.NewFS(cli, "ns"), nil
+}
+
+func (d *bsfsDeployment) close() {
+	d.ns.Close()
+	d.c.Close()
+}
+
+// hdfsDeployment is a namenode plus datanodes on the shaped fabric.
+type hdfsDeployment struct {
+	network *rpc.SimNetwork
+	nn      *hdfs.NameNode
+	dns     []*provider.Server
+	addrs   []string
+	clients []*hdfs.Client
+}
+
+func startHDFS(datanodes int) (*hdfsDeployment, error) {
+	network := rpc.NewSimNetwork(testbedFabric())
+	nn := hdfs.NewNameNode(network, "nn")
+	if err := nn.Start(); err != nil {
+		return nil, err
+	}
+	d := &hdfsDeployment{network: network, nn: nn}
+	reg := rpc.NewClient(network, 120*time.Second)
+	defer reg.Close()
+	for i := 0; i < datanodes; i++ {
+		dn := provider.NewServer(network, fmt.Sprintf("dn%d", i), chunk.NewMemStore())
+		if err := dn.Start(); err != nil {
+			d.close()
+			return nil, err
+		}
+		d.dns = append(d.dns, dn)
+		d.addrs = append(d.addrs, dn.Addr())
+		if err := reg.Call("nn", hdfs.MethodRegisterDN, &hdfs.RegisterDNReq{Addr: dn.Addr()}, &hdfs.Ack{}); err != nil {
+			d.close()
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+func (d *hdfsDeployment) client(name string) *hdfs.Client {
+	c := hdfs.NewClient(d.network, name, "nn", 120*time.Second)
+	d.clients = append(d.clients, c)
+	return c
+}
+
+func (d *hdfsDeployment) close() {
+	for _, c := range d.clients {
+		c.Close()
+	}
+	for _, dn := range d.dns {
+		dn.Close()
+	}
+	d.nn.Close()
+}
+
+// E9BSFSvsHDFS — §IV-D [16] micro-operation table: single-stream and
+// concurrent file operations, BSFS (on BlobSeer) vs the HDFS baseline.
+func E9BSFSvsHDFS(o Options) (*Result, error) {
+	res := &Result{
+		ID:    "E9",
+		Title: "BSFS vs HDFS micro-operations (MB/s; higher is better)",
+		Notes: "expected: parity on single streams and shared reads; BSFS wins concurrent appends; HDFS cannot do concurrent random writes at all",
+	}
+	fileSize := o.scaleU64(8<<20, 1<<20)
+	const blockSize = 1 << 20 // HDFS block and BSFS chunk size
+	clients := o.scaleInt(8)
+	appendEach := o.scaleU64(1<<20, 256<<10)
+
+	// --- BSFS ---------------------------------------------------------
+	{
+		d, err := startBSFS(16, 8)
+		if err != nil {
+			return nil, err
+		}
+		if err := benchBSFS(res, d, fileSize, blockSize, clients, appendEach); err != nil {
+			d.close()
+			return nil, err
+		}
+		d.close()
+	}
+	// --- HDFS ---------------------------------------------------------
+	{
+		d, err := startHDFS(16)
+		if err != nil {
+			return nil, err
+		}
+		if err := benchHDFS(res, d, fileSize, blockSize, clients, appendEach); err != nil {
+			d.close()
+			return nil, err
+		}
+		d.close()
+	}
+	return res, nil
+}
+
+func benchBSFS(res *Result, d *bsfsDeployment, fileSize, blockSize uint64, clients int, appendEach uint64) error {
+	fs, err := d.mount("bsfs-c0")
+	if err != nil {
+		return err
+	}
+	if err := fs.MkdirAll("/bench"); err != nil {
+		return err
+	}
+	data := make([]byte, fileSize)
+	workload.Fill(data, 1)
+	opts := bsfs.FileOptions{ChunkSize: blockSize, FlushChunks: 1}
+
+	// 1. single-stream write
+	start := time.Now()
+	f, err := fs.Create("/bench/file", opts)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	res.Add("bsfs", 1, "stream-write", mbps(fileSize, time.Since(start)), "MB/s")
+
+	// 2. single-stream read
+	r, err := fs.Open("/bench/file")
+	if err != nil {
+		return err
+	}
+	start = time.Now()
+	buf := make([]byte, 256<<10)
+	for {
+		_, err := r.Read(buf)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+	}
+	res.Add("bsfs", 2, "stream-read", mbps(fileSize, time.Since(start)), "MB/s")
+
+	// 3. concurrent reads of the same file
+	mounts := make([]*bsfs.FS, clients)
+	for i := range mounts {
+		m, err := d.mount(fmt.Sprintf("bsfs-c%d", i+1))
+		if err != nil {
+			return err
+		}
+		mounts[i] = m
+	}
+	parts := workload.Partition(fileSize, clients, blockSize)
+	start = time.Now()
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			h, err := mounts[i].Open("/bench/file")
+			if err != nil {
+				errCh <- err
+				return
+			}
+			p := make([]byte, parts[i].Len)
+			if _, err := h.ReadAt(p, parts[i].Off); err != nil && err != io.EOF {
+				errCh <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return err
+	default:
+	}
+	res.Add("bsfs", 3, "concurrent-read", mbps(fileSize, time.Since(start)), "MB/s")
+
+	// 4. concurrent appends to the same file
+	appendData := make([]byte, appendEach)
+	start = time.Now()
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			h, err := mounts[i].OpenForAppend("/bench/file", bsfs.FileOptions{FlushChunks: 1})
+			if err != nil {
+				errCh <- err
+				return
+			}
+			if _, err := h.Write(appendData); err != nil {
+				errCh <- err
+				return
+			}
+			if err := h.Close(); err != nil {
+				errCh <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return err
+	default:
+	}
+	res.Add("bsfs", 4, "concurrent-append", mbps(appendEach*uint64(clients), time.Since(start)), "MB/s")
+
+	// 5. concurrent random writes inside the same file (BlobSeer only)
+	start = time.Now()
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			h, err := mounts[i].Open("/bench/file")
+			if err != nil {
+				errCh <- err
+				return
+			}
+			if _, err := h.Blob().Write(appendData, parts[i].Off); err != nil {
+				errCh <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return err
+	default:
+	}
+	res.Add("bsfs", 5, "concurrent-random-write", mbps(appendEach*uint64(clients), time.Since(start)), "MB/s")
+	return nil
+}
+
+func benchHDFS(res *Result, d *hdfsDeployment, fileSize, blockSize uint64, clients int, appendEach uint64) error {
+	cli := d.client("hdfs-c0")
+	data := make([]byte, fileSize)
+	workload.Fill(data, 1)
+
+	// 1. single-stream write
+	start := time.Now()
+	f, err := cli.Create("/bench/file", blockSize, 1)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	res.Add("hdfs", 1, "stream-write", mbps(fileSize, time.Since(start)), "MB/s")
+
+	// 2. single-stream read
+	r, err := cli.Open("/bench/file")
+	if err != nil {
+		return err
+	}
+	start = time.Now()
+	buf := make([]byte, 256<<10)
+	for {
+		_, err := r.Read(buf)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+	}
+	res.Add("hdfs", 2, "stream-read", mbps(fileSize, time.Since(start)), "MB/s")
+
+	// 3. concurrent reads of the same file
+	parts := workload.Partition(fileSize, clients, blockSize)
+	hclients := make([]*hdfs.Client, clients)
+	for i := range hclients {
+		hclients[i] = d.client(fmt.Sprintf("hdfs-c%d", i+1))
+	}
+	start = time.Now()
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			h, err := hclients[i].Open("/bench/file")
+			if err != nil {
+				errCh <- err
+				return
+			}
+			p := make([]byte, parts[i].Len)
+			if _, err := h.ReadAt(p, parts[i].Off); err != nil && err != io.EOF {
+				errCh <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return err
+	default:
+	}
+	res.Add("hdfs", 3, "concurrent-read", mbps(fileSize, time.Since(start)), "MB/s")
+
+	// 4. concurrent appends: serialized by the lease.
+	appendData := make([]byte, appendEach)
+	start = time.Now()
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			h, err := hclients[i].OpenForAppend("/bench/file")
+			if err != nil {
+				errCh <- err
+				return
+			}
+			if _, err := h.Write(appendData); err != nil {
+				errCh <- err
+				return
+			}
+			if err := h.Close(); err != nil {
+				errCh <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return err
+	default:
+	}
+	res.Add("hdfs", 4, "concurrent-append", mbps(appendEach*uint64(clients), time.Since(start)), "MB/s")
+
+	// 5. concurrent random writes: unsupported by the HDFS model.
+	res.Add("hdfs", 5, "concurrent-random-write", 0, "MB/s (unsupported)")
+	return nil
+}
+
+// E10MapReduce — §IV-D [16]: completion time of MapReduce applications
+// (grep, wordcount, sort) with the storage layer switched between BSFS and
+// HDFS; same engine, same workers, same fabric.
+func E10MapReduce(o Options) (*Result, error) {
+	res := &Result{
+		ID:    "E10",
+		Title: "MapReduce job completion time: BSFS vs HDFS backend (lower is better)",
+		Notes: "same engine and workers; only the storage layer differs",
+	}
+	lines := o.scaleInt(20000)
+	workers := 8
+
+	apps := []struct {
+		name    string
+		x       float64
+		mapper  mapreduce.MapFunc
+		reducer mapreduce.ReduceFunc
+		corpus  []byte
+	}{
+		{"grep", 1, mapreduce.GrepMap("ERROR"), mapreduce.GrepReduce, workload.LogCorpus(lines, 20, 1)},
+		{"wordcount", 2, mapreduce.WordCountMap, mapreduce.WordCountReduce, workload.TextCorpus(lines, 10, 2)},
+		{"sort", 3, mapreduce.SortMap, mapreduce.SortReduce, workload.KeyCorpus(lines/2, 3)},
+	}
+
+	for _, app := range apps {
+		// BSFS backend.
+		{
+			d, err := startBSFS(8, 8)
+			if err != nil {
+				return nil, err
+			}
+			dur, err := runMRJobBSFS(d, app.name, app.corpus, app.mapper, app.reducer, workers)
+			d.close()
+			if err != nil {
+				return nil, err
+			}
+			res.Add("bsfs", app.x, app.name, dur.Seconds(), "s")
+		}
+		// HDFS backend.
+		{
+			d, err := startHDFS(8)
+			if err != nil {
+				return nil, err
+			}
+			dur, err := runMRJobHDFS(d, app.name, app.corpus, app.mapper, app.reducer, workers)
+			d.close()
+			if err != nil {
+				return nil, err
+			}
+			res.Add("hdfs", app.x, app.name, dur.Seconds(), "s")
+		}
+	}
+	return res, nil
+}
+
+func runMRJobBSFS(d *bsfsDeployment, name string, corpus []byte, m mapreduce.MapFunc, r mapreduce.ReduceFunc, workers int) (time.Duration, error) {
+	fs, err := d.mount("mr-setup")
+	if err != nil {
+		return 0, err
+	}
+	if err := fs.MkdirAll("/in"); err != nil {
+		return 0, err
+	}
+	// Split the corpus into 4 input files.
+	for i, part := range splitCorpus(corpus, 4) {
+		f, err := fs.Create(fmt.Sprintf("/in/part-%d", i), bsfs.FileOptions{ChunkSize: 256 << 10, FlushChunks: 1})
+		if err != nil {
+			return 0, err
+		}
+		if _, err := f.Write(part); err != nil {
+			return 0, err
+		}
+		if err := f.Close(); err != nil {
+			return 0, err
+		}
+	}
+	provAddrs := d.c.ProviderAddrs()
+	var ws []mapreduce.Worker
+	for i := 0; i < workers; i++ {
+		home := provAddrs[i%len(provAddrs)]
+		wfs, err := d.mount(home) // worker co-located with a provider
+		if err != nil {
+			return 0, err
+		}
+		ws = append(ws, mapreduce.Worker{
+			Home: home,
+			FS:   &mapreduce.BSFSAdapter{FS: wfs, FileOptions: bsfs.FileOptions{ChunkSize: 256 << 10}},
+		})
+	}
+	start := time.Now()
+	_, err = mapreduce.Run(mapreduce.Config{
+		Name: name, InputDir: "/in", OutputDir: "/out",
+		Mapper: m, Reducer: r, NumReducers: 4, SplitSize: 256 << 10,
+		Workers: ws,
+	})
+	return time.Since(start), err
+}
+
+func runMRJobHDFS(d *hdfsDeployment, name string, corpus []byte, m mapreduce.MapFunc, r mapreduce.ReduceFunc, workers int) (time.Duration, error) {
+	setup := d.client("mr-setup")
+	for i, part := range splitCorpus(corpus, 4) {
+		f, err := setup.Create(fmt.Sprintf("/in/part-%d", i), 256<<10, 1)
+		if err != nil {
+			return 0, err
+		}
+		if _, err := f.Write(part); err != nil {
+			return 0, err
+		}
+		if err := f.Close(); err != nil {
+			return 0, err
+		}
+	}
+	var ws []mapreduce.Worker
+	for i := 0; i < workers; i++ {
+		home := d.addrs[i%len(d.addrs)]
+		ws = append(ws, mapreduce.Worker{
+			Home: home,
+			FS:   &mapreduce.HDFSAdapter{Client: d.client(home), BlockSize: 256 << 10, Replication: 1},
+		})
+	}
+	start := time.Now()
+	_, err := mapreduce.Run(mapreduce.Config{
+		Name: name, InputDir: "/in", OutputDir: "/out",
+		Mapper: m, Reducer: r, NumReducers: 4, SplitSize: 256 << 10,
+		Workers: ws,
+	})
+	return time.Since(start), err
+}
+
+// splitCorpus cuts a corpus into n pieces at line boundaries.
+func splitCorpus(corpus []byte, n int) [][]byte {
+	var parts [][]byte
+	per := len(corpus) / n
+	start := 0
+	for i := 0; i < n && start < len(corpus); i++ {
+		end := start + per
+		if i == n-1 || end >= len(corpus) {
+			end = len(corpus)
+		} else {
+			for end < len(corpus) && corpus[end-1] != '\n' {
+				end++
+			}
+		}
+		parts = append(parts, corpus[start:end])
+		start = end
+	}
+	return parts
+}

@@ -1,0 +1,275 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// ioScalingConfig parameterizes the shared reader/writer/appender scaling
+// runner behind E1, E2 and E3.
+type ioScalingConfig struct {
+	op            string // "read", "write", "append"
+	clientCounts  []int
+	bytesPer      uint64 // bytes moved per client per point
+	chunkSize     uint64
+	dataProviders int
+	metaProviders int
+}
+
+// ioReps is how many times each sweep point runs; the best run is
+// reported (steady-state estimate, filtering scheduler noise).
+const ioReps = 2
+
+// runIOScaling measures aggregate throughput as the number of concurrent
+// clients grows.
+func runIOScaling(res *Result, cfg ioScalingConfig) error {
+	for _, n := range cfg.clientCounts {
+		agg, err := ioPoint(cfg, n)
+		if err != nil {
+			return err
+		}
+		res.Add("blobseer", float64(n), fmt.Sprintf("clients=%d", n), agg, "MB/s")
+	}
+	return nil
+}
+
+// ioPoint runs one sweep point ioReps times on fresh clusters and returns
+// the best observed aggregate throughput.
+func ioPoint(cfg ioScalingConfig, n int) (float64, error) {
+	dp, mp := cfg.dataProviders, cfg.metaProviders
+	if dp == 0 {
+		dp = 16
+	}
+	if mp == 0 {
+		mp = 8
+	}
+	var best float64
+	for rep := 0; rep < ioReps; rep++ {
+		c, err := startCluster(dp, mp)
+		if err != nil {
+			return 0, err
+		}
+		agg, err := oneIOPoint(c, cfg, n)
+		c.Close()
+		if err != nil {
+			return 0, err
+		}
+		if agg > best {
+			best = agg
+		}
+	}
+	return best, nil
+}
+
+func oneIOPoint(c *cluster.Cluster, cfg ioScalingConfig, n int) (float64, error) {
+	setup, err := c.NewClient(cluster.ClientOptions{MetaCacheNodes: 1 << 16})
+	if err != nil {
+		return 0, err
+	}
+	blob, err := setup.CreateBlob(cfg.chunkSize, 1)
+	if err != nil {
+		return 0, err
+	}
+
+	// For reads: preload the blob with every client's partition.
+	total := cfg.bytesPer * uint64(n)
+	parts := workload.Partition(total, n, cfg.chunkSize)
+	if cfg.op == "read" {
+		buf := make([]byte, cfg.bytesPer)
+		for i, p := range parts {
+			workload.Fill(buf[:p.Len], uint64(i))
+			if _, err := blob.Write(buf[:p.Len], p.Off); err != nil {
+				return 0, err
+			}
+		}
+	}
+
+	clients := make([]*core.Blob, n)
+	for i := range clients {
+		cli, err := c.NewClient(cluster.ClientOptions{MetaCacheNodes: 1 << 16})
+		if err != nil {
+			return 0, err
+		}
+		b, err := cli.OpenBlob(blob.ID())
+		if err != nil {
+			return 0, err
+		}
+		clients[i] = b
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, n)
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			b := clients[i]
+			p := parts[i]
+			data := make([]byte, p.Len)
+			switch cfg.op {
+			case "read":
+				if _, err := b.Read(0, data, p.Off); err != nil && err != io.EOF {
+					errCh <- err
+				}
+			case "write":
+				workload.Fill(data, uint64(i))
+				if _, err := b.Write(data, p.Off); err != nil {
+					errCh <- err
+				}
+			case "append":
+				workload.Fill(data, uint64(i))
+				if _, _, err := b.Append(data); err != nil {
+					errCh <- err
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errCh:
+		return 0, err
+	default:
+	}
+	return mbps(total, elapsed), nil
+}
+
+// E1ConcurrentReaders — §IV-A [14]: aggregate read throughput vs number of
+// concurrent readers of disjoint parts of one blob.
+func E1ConcurrentReaders(o Options) (*Result, error) {
+	res := &Result{
+		ID:    "E1",
+		Title: "aggregate read throughput vs concurrent readers (disjoint ranges, one blob)",
+		Notes: "expected shape: near-linear scaling until aggregate provider NICs saturate",
+	}
+	err := runIOScaling(res, ioScalingConfig{
+		op:            "read",
+		clientCounts:  []int{1, 2, 4, 8, 16},
+		bytesPer:      o.scaleU64(2<<20, 256<<10),
+		chunkSize:     64 << 10,
+		dataProviders: 16,
+		metaProviders: 8,
+	})
+	return res, err
+}
+
+// E2ConcurrentWriters — §IV-C [2]: aggregate write throughput vs number of
+// concurrent writers to disjoint ranges of one blob.
+func E2ConcurrentWriters(o Options) (*Result, error) {
+	res := &Result{
+		ID:    "E2",
+		Title: "aggregate write throughput vs concurrent writers (disjoint ranges, one blob)",
+		Notes: "expected shape: near-linear scaling; writers never wait for each other",
+	}
+	err := runIOScaling(res, ioScalingConfig{
+		op:            "write",
+		clientCounts:  []int{1, 2, 4, 8, 16},
+		bytesPer:      o.scaleU64(2<<20, 256<<10),
+		chunkSize:     64 << 10,
+		dataProviders: 16,
+		metaProviders: 8,
+	})
+	return res, err
+}
+
+// E3ConcurrentAppenders — §IV-B [3]: aggregate append throughput vs number
+// of concurrent appenders to one blob.
+func E3ConcurrentAppenders(o Options) (*Result, error) {
+	res := &Result{
+		ID:    "E3",
+		Title: "aggregate append throughput vs concurrent appenders (one blob)",
+		Notes: "expected shape: like E2 — version assignment is the only serial step",
+	}
+	err := runIOScaling(res, ioScalingConfig{
+		op:            "append",
+		clientCounts:  []int{1, 2, 4, 8, 16},
+		bytesPer:      o.scaleU64(2<<20, 256<<10),
+		chunkSize:     64 << 10,
+		dataProviders: 16,
+		metaProviders: 8,
+	})
+	return res, err
+}
+
+// E5DataStriping — §IV-C [2]: write throughput vs number of data
+// providers at a fixed writer count (the data-decentralization axis).
+func E5DataStriping(o Options) (*Result, error) {
+	res := &Result{
+		ID:    "E5",
+		Title: "aggregate write throughput vs number of data providers (16 writers)",
+		Notes: "expected shape: throughput grows with providers until writer NICs dominate",
+	}
+	writers := o.scaleInt(16)
+	for _, dp := range []int{1, 2, 4, 8, 16, 32} {
+		agg, err := ioPoint(ioScalingConfig{
+			op:            "write",
+			bytesPer:      o.scaleU64(1<<20, 128<<10),
+			chunkSize:     64 << 10,
+			dataProviders: dp,
+			metaProviders: 8,
+		}, writers)
+		if err != nil {
+			return nil, err
+		}
+		res.Add("blobseer", float64(dp), fmt.Sprintf("providers=%d", dp), agg, "MB/s")
+	}
+	return res, nil
+}
+
+// E6MetadataDecentralization — §IV-C [2] headline: aggregate write
+// throughput under heavy concurrency vs the number of metadata providers;
+// one metadata provider is the centralized baseline of traditional
+// designs.
+func E6MetadataDecentralization(o Options) (*Result, error) {
+	res := &Result{
+		ID:    "E6",
+		Title: "write throughput under heavy concurrency vs metadata providers (1 = centralized)",
+		Notes: "small chunks make metadata the bottleneck; decentralizing it restores scaling",
+	}
+	writers := o.scaleInt(24)
+	for _, mp := range []int{1, 2, 4, 8, 16} {
+		agg, err := ioPoint(ioScalingConfig{
+			op:            "write",
+			bytesPer:      o.scaleU64(512<<10, 64<<10),
+			chunkSize:     8 << 10, // many tree nodes per write
+			dataProviders: 16,
+			metaProviders: mp,
+		}, writers)
+		if err != nil {
+			return nil, err
+		}
+		res.Add("blobseer", float64(mp), fmt.Sprintf("meta-providers=%d", mp), agg, "MB/s")
+	}
+	return res, nil
+}
+
+// E7ChunkSize — §I-B3: throughput vs chunk size at a fixed access grain,
+// the striping-policy ablation. Small chunks pay per-chunk overhead; huge
+// chunks lose intra-write parallelism.
+func E7ChunkSize(o Options) (*Result, error) {
+	res := &Result{
+		ID:    "E7",
+		Title: "write throughput vs chunk size (8 writers, fixed write size)",
+		Notes: "expected shape: rises then flattens/falls — overhead vs parallelism trade-off",
+	}
+	writers := o.scaleInt(8)
+	for _, cs := range []uint64{4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20} {
+		agg, err := ioPoint(ioScalingConfig{
+			op:        "write",
+			bytesPer:  o.scaleU64(2<<20, 1<<20),
+			chunkSize: cs,
+		}, writers)
+		if err != nil {
+			return nil, err
+		}
+		res.Add("blobseer", float64(cs)/1024, fmt.Sprintf("chunk=%dKiB", cs/1024), agg, "MB/s")
+	}
+	return res, nil
+}

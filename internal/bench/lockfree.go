@@ -1,0 +1,230 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/lockstore"
+	"repro/internal/workload"
+)
+
+// writeWindow is the span each E8 writer updates per operation. Writers
+// touch small windows so the experiment isolates concurrency-control
+// interference rather than NIC bandwidth contention.
+const writeWindow = 64 << 10
+
+// E8ReadersUnderWriters — §IV-A [15], the supernovae experiment: aggregate
+// read throughput of a fixed reader pool while 0..N writers concurrently
+// update the same huge string. BlobSeer readers work on immutable
+// snapshots and never synchronize with writers; the lock-based baseline's
+// readers are excluded for the duration of every write.
+func E8ReadersUnderWriters(o Options) (*Result, error) {
+	res := &Result{
+		ID:    "E8",
+		Title: "read throughput with concurrent writers: versioning vs whole-object locking",
+		Notes: "expected shape: blobseer flat; lockstore collapses as writers are added",
+	}
+	readers := o.scaleInt(8)
+	window := uint64(256 << 10)
+	blobSize := o.scaleU64(8<<20, 2<<20)
+	duration := 400 * time.Millisecond
+	for _, writers := range []int{0, 1, 2, 4, 8} {
+		bs, err := blobseerReadersUnderWriters(readers, writers, blobSize, window, duration)
+		if err != nil {
+			return nil, err
+		}
+		res.Add("blobseer", float64(writers), fmt.Sprintf("writers=%d", writers), bs, "MB/s")
+		ls, err := lockstoreReadersUnderWriters(readers, writers, blobSize, window, duration)
+		if err != nil {
+			return nil, err
+		}
+		res.Add("lockstore", float64(writers), fmt.Sprintf("writers=%d", writers), ls, "MB/s")
+	}
+	return res, nil
+}
+
+func blobseerReadersUnderWriters(readers, writers int, blobSize, window uint64, duration time.Duration) (float64, error) {
+	c, err := startCluster(16, 8)
+	if err != nil {
+		return 0, err
+	}
+	defer c.Close()
+	setup, err := c.NewClient(cluster.ClientOptions{MetaCacheNodes: 1 << 16})
+	if err != nil {
+		return 0, err
+	}
+	blob, err := setup.CreateBlob(64<<10, 1)
+	if err != nil {
+		return 0, err
+	}
+	data := make([]byte, blobSize)
+	workload.Fill(data, 3)
+	if _, err := blob.Write(data, 0); err != nil {
+		return 0, err
+	}
+
+	stop := make(chan struct{})
+	var readBytes atomic.Int64
+	var wg sync.WaitGroup
+	errCh := make(chan error, readers+writers)
+
+	for w := 0; w < writers; w++ {
+		cli, err := c.NewClient(cluster.ClientOptions{MetaCacheNodes: 1 << 16})
+		if err != nil {
+			return 0, err
+		}
+		b, err := cli.OpenBlob(blob.ID())
+		if err != nil {
+			return 0, err
+		}
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := newRng(int64(100 + w))
+			buf := make([]byte, writeWindow)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				off := workload.RandomWindows(rng, blobSize, writeWindow, 64<<10, 1)[0].Off
+				if _, err := b.Write(buf, off); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		cli, err := c.NewClient(cluster.ClientOptions{MetaCacheNodes: 1 << 16})
+		if err != nil {
+			return 0, err
+		}
+		b, err := cli.OpenBlob(blob.ID())
+		if err != nil {
+			return 0, err
+		}
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := newRng(int64(200 + r))
+			buf := make([]byte, window)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				off := workload.RandomWindows(rng, blobSize, window, 64<<10, 1)[0].Off
+				n, err := b.Read(0, buf, off)
+				if err != nil && err != io.EOF {
+					errCh <- err
+					return
+				}
+				readBytes.Add(int64(n))
+			}
+		}(r)
+	}
+	time.Sleep(duration)
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return 0, err
+	default:
+	}
+	return mbps(uint64(readBytes.Load()), duration), nil
+}
+
+func lockstoreReadersUnderWriters(readers, writers int, blobSize, window uint64, duration time.Duration) (float64, error) {
+	c, err := startCluster(16, 1)
+	if err != nil {
+		return 0, err
+	}
+	defer c.Close()
+	ls := lockstore.NewServer(c.Network, "ls")
+	if err := ls.Start(); err != nil {
+		return 0, err
+	}
+	defer ls.Close()
+
+	setup := lockstore.NewClient(c.Network, "ls-setup", "ls", c.PMAddr(), 120*time.Second)
+	defer setup.Close()
+	obj, err := setup.Create(64 << 10)
+	if err != nil {
+		return 0, err
+	}
+	data := make([]byte, blobSize)
+	workload.Fill(data, 3)
+	if err := obj.Write(data, 0); err != nil {
+		return 0, err
+	}
+
+	stop := make(chan struct{})
+	var readBytes atomic.Int64
+	var wg sync.WaitGroup
+	errCh := make(chan error, readers+writers)
+
+	for w := 0; w < writers; w++ {
+		cli := lockstore.NewClient(c.Network, fmt.Sprintf("ls-w%d", w), "ls", c.PMAddr(), 120*time.Second)
+		defer cli.Close()
+		o := cli.Open(obj.ID(), 64<<10)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := newRng(int64(100 + w))
+			buf := make([]byte, writeWindow)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				off := workload.RandomWindows(rng, blobSize, writeWindow, 64<<10, 1)[0].Off
+				if err := o.Write(buf, off); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		cli := lockstore.NewClient(c.Network, fmt.Sprintf("ls-r%d", r), "ls", c.PMAddr(), 120*time.Second)
+		defer cli.Close()
+		o := cli.Open(obj.ID(), 64<<10)
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := newRng(int64(200 + r))
+			buf := make([]byte, window)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				off := workload.RandomWindows(rng, blobSize, window, 64<<10, 1)[0].Off
+				n, err := o.Read(buf, off)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				readBytes.Add(int64(n))
+			}
+		}(r)
+	}
+	time.Sleep(duration)
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return 0, err
+	default:
+	}
+	return mbps(uint64(readBytes.Load()), duration), nil
+}

@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/workload"
+)
+
+// E4MetadataOverhead — §IV-A [15]: latency of a small fine-grain read as
+// the blob (and therefore the segment tree) grows, with and without the
+// client-side metadata cache. Tree depth is log2(#chunks), so latency
+// without the cache grows logarithmically; the immutable-node cache
+// flattens it.
+func E4MetadataOverhead(o Options) (*Result, error) {
+	res := &Result{
+		ID:    "E4",
+		Title: "small-read latency vs blob size (segment-tree depth), metadata cache on/off",
+		Notes: "expected shape: no-cache latency grows ~log(size); cache flattens it",
+	}
+	const chunkSize = 4 << 10
+	grain := uint64(chunkSize) // one-chunk reads: pure metadata cost
+	sizes := []uint64{64 << 10, 512 << 10, 4 << 20, 16 << 20}
+	for _, size := range sizes {
+		size := o.scaleU64(size, 64<<10)
+		for _, cache := range []bool{false, true} {
+			lat, err := smallReadLatency(size, chunkSize, grain, cache)
+			if err != nil {
+				return nil, err
+			}
+			series := "no-cache"
+			if cache {
+				series = "client-cache"
+			}
+			res.Add(series, float64(size)/1024, fmt.Sprintf("blob=%dKiB", size/1024),
+				float64(lat.Microseconds())/1000, "ms")
+		}
+	}
+	return res, nil
+}
+
+func smallReadLatency(blobSize, chunkSize, grain uint64, cache bool) (time.Duration, error) {
+	c, err := startCluster(8, 8)
+	if err != nil {
+		return 0, err
+	}
+	defer c.Close()
+	w, err := c.NewClient(cluster.ClientOptions{MetaCacheNodes: 1 << 16})
+	if err != nil {
+		return 0, err
+	}
+	blob, err := w.CreateBlob(chunkSize, 1)
+	if err != nil {
+		return 0, err
+	}
+	data := make([]byte, blobSize)
+	workload.Fill(data, 1)
+	if _, err := blob.Write(data, 0); err != nil {
+		return 0, err
+	}
+
+	cacheNodes := 0
+	if cache {
+		cacheNodes = 1 << 16
+	}
+	rcli, err := c.NewClient(cluster.ClientOptions{MetaCacheNodes: cacheNodes})
+	if err != nil {
+		return 0, err
+	}
+	rb, err := rcli.OpenBlob(blob.ID())
+	if err != nil {
+		return 0, err
+	}
+	// Fine-grain random reads over the blob; report the mean latency.
+	wins := workload.RandomWindows(newRng(7), blobSize, grain, grain, 40)
+	buf := make([]byte, grain)
+	// Warm the cache with one pass when enabled (the supernovae clients
+	// scan repeatedly over the same sky string).
+	if cache {
+		for _, win := range wins {
+			if _, err := rb.Read(0, buf, win.Off); err != nil && err != io.EOF {
+				return 0, err
+			}
+		}
+	}
+	start := time.Now()
+	for _, win := range wins {
+		if _, err := rb.Read(0, buf, win.Off); err != nil && err != io.EOF {
+			return 0, err
+		}
+	}
+	return time.Since(start) / time.Duration(len(wins)), nil
+}

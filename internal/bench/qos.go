@@ -1,0 +1,254 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/globem"
+	"repro/internal/metrics"
+	"repro/internal/rpc"
+	"repro/internal/workload"
+)
+
+// E11QoSFailures — §IV-E: sustained mixed read/append workload while
+// storage providers degrade and crash. Three configurations reproduce the
+// paper's progression: no replication; per-blob replication; replication
+// plus the GloBeM behaviour-modeling feedback loop steering placement away
+// from degrading providers. Reported per configuration: mean throughput,
+// throughput stability (standard deviation across time buckets), and the
+// number of failed operations.
+func E11QoSFailures(o Options) (*Result, error) {
+	res := &Result{
+		ID:    "E11",
+		Title: "QoS under provider degradation+crashes: replication and GloBeM feedback",
+		Notes: "expected: repl=1 fails hard; repl=3 survives with a dip; +globem raises the mean and cuts the variance",
+	}
+	duration := 3200 * time.Millisecond
+	if o.scale() < 1 {
+		duration = time.Duration(float64(duration) * o.scale())
+		if duration < 800*time.Millisecond {
+			duration = 800 * time.Millisecond
+		}
+	}
+	configs := []struct {
+		name   string
+		repl   uint32
+		globem bool
+		x      float64
+	}{
+		{"repl=1", 1, false, 1},
+		{"repl=3", 3, false, 2},
+		{"repl=3+globem", 3, true, 3},
+	}
+	for _, cfg := range configs {
+		mean, sd, errs, err := qosRun(cfg.repl, cfg.globem, duration)
+		if err != nil {
+			return nil, err
+		}
+		res.Add(cfg.name, 1, "mean-throughput", mean, "MB/s")
+		res.Add(cfg.name, 2, "throughput-stddev", sd, "MB/s")
+		res.Add(cfg.name, 3, "failed-ops", float64(errs), "ops")
+	}
+	return res, nil
+}
+
+func qosRun(repl uint32, useGlobem bool, duration time.Duration) (mean, sd float64, errCount int64, err error) {
+	c, err := cluster.Start(cluster.Config{
+		DataProviders: 8,
+		MetaProviders: 4,
+		Fabric:        testbedFabric(),
+		// QoS clients give up quickly on a stuck provider; that is the
+		// client-side feedback signal GloBeM consumes.
+		CallTimeout:       3 * time.Second,
+		HeartbeatInterval: 100 * time.Millisecond,
+		HeartbeatTimeout:  500 * time.Millisecond,
+	})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer c.Close()
+
+	monitor := globem.NewMonitor()
+	var observer core.Observer
+	if useGlobem {
+		observer = monitor
+	}
+
+	setup, err := c.NewClient(cluster.ClientOptions{MetaCacheNodes: 1 << 16})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	blob, err := setup.CreateBlob(64<<10, repl)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	base := make([]byte, 4<<20)
+	workload.Fill(base, 1)
+	if _, err := blob.Write(base, 0); err != nil {
+		return 0, 0, 0, err
+	}
+
+	// GloBeM controller loop.
+	stopCtl := make(chan struct{})
+	if useGlobem {
+		ctl := &globem.Controller{
+			Monitor: monitor,
+			RPC:     rpc.NewClient(c.Network, 10*time.Second),
+			PMAddr:  c.PMAddr(),
+			States:  3,
+		}
+		go ctl.Run(100*time.Millisecond, stopCtl)
+	}
+
+	// Failure schedule: two providers degrade early and crash late, so
+	// most of the run happens in the degraded-but-alive window where
+	// placement feedback is the only remedy (crashed providers age out of
+	// placement by themselves via heartbeats).
+	schedule := fault.DegradeThenCrash([]int{0, 1},
+		duration/5, duration/10, duration/2, 0, 2e5, nicBandwidth)
+	runner := fault.Start(c, schedule)
+	defer runner.Stop()
+
+	// Workload: 6 clients, 60% appends / 40% reads of random windows.
+	const clients = 6
+	const window = 128 << 10
+	bucketWidth := 100 * time.Millisecond
+	nBuckets := int(duration/bucketWidth) + 1
+	buckets := make([]metrics.Counter, nBuckets)
+	var errTotal metrics.Counter
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	start := time.Now()
+	record := func(n int) {
+		i := int(time.Since(start) / bucketWidth)
+		if i >= nBuckets {
+			i = nBuckets - 1
+		}
+		buckets[i].Add(int64(n))
+	}
+	for i := 0; i < clients; i++ {
+		cli, err := c.NewClient(cluster.ClientOptions{MetaCacheNodes: 1 << 16, Observer: observer})
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		b, err := cli.OpenBlob(blob.ID())
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rng := newRng(int64(i) + 77)
+			buf := make([]byte, window)
+			for step := 0; ; step++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if step%5 < 3 { // append-heavy mix
+					if _, _, err := b.Append(buf); err != nil {
+						errTotal.Add(1)
+						continue
+					}
+					record(len(buf))
+				} else {
+					_, size, err := b.Latest()
+					if err != nil || size < window {
+						continue
+					}
+					off := workload.RandomWindows(rng, size, window, 64<<10, 1)[0].Off
+					n, err := b.Read(0, buf, off)
+					if err != nil && err != io.EOF {
+						errTotal.Add(1)
+						continue
+					}
+					record(n)
+				}
+			}
+		}(i)
+	}
+	time.Sleep(duration)
+	close(stop)
+	wg.Wait()
+	close(stopCtl)
+
+	var series metrics.Series
+	// Skip the first and last partial buckets.
+	for i := 1; i < nBuckets-1; i++ {
+		series.Add(float64(buckets[i].Load()) / 1e6 / bucketWidth.Seconds())
+	}
+	return series.Mean(), series.StdDev(), errTotal.Load(), nil
+}
+
+// E12SnapshotReads — §I-B1: read throughput of historical snapshots.
+// Because versions are immutable and fully indexed, reading an old
+// snapshot costs the same as reading the newest one.
+func E12SnapshotReads(o Options) (*Result, error) {
+	res := &Result{
+		ID:    "E12",
+		Title: "full-snapshot read throughput vs version age",
+		Notes: "expected shape: flat — old snapshots are first-class citizens",
+	}
+	c, err := startCluster(8, 4)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	cli, err := c.NewClient(cluster.ClientOptions{MetaCacheNodes: 1 << 16})
+	if err != nil {
+		return nil, err
+	}
+	blob, err := cli.CreateBlob(64<<10, 1)
+	if err != nil {
+		return nil, err
+	}
+	blobSize := o.scaleU64(4<<20, 1<<20)
+	base := make([]byte, blobSize)
+	workload.Fill(base, 1)
+	if _, err := blob.Write(base, 0); err != nil {
+		return nil, err
+	}
+	// Build 11 more versions, each overwriting a random 512 KiB window.
+	rng := newRng(5)
+	patch := make([]byte, 512<<10)
+	versions := uint64(12)
+	for v := uint64(2); v <= versions; v++ {
+		workload.Fill(patch, v)
+		win := workload.RandomWindows(rng, blobSize, uint64(len(patch)), 64<<10, 1)[0]
+		if _, err := blob.Write(patch, win.Off); err != nil {
+			return nil, err
+		}
+	}
+	reader, err := c.NewClient(cluster.ClientOptions{MetaCacheNodes: 1 << 16})
+	if err != nil {
+		return nil, err
+	}
+	rb, err := reader.OpenBlob(blob.ID())
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, blobSize)
+	_ = versions
+	for _, v := range []uint64{1, 3, 6, 9, 12} {
+		// First read warms connections and the (per-version) metadata
+		// paths; the second read is the steady-state measurement, so
+		// every version is compared at equal cache warmth.
+		if _, err := rb.Read(v, buf, 0); err != nil && err != io.EOF {
+			return nil, err
+		}
+		start := time.Now()
+		if _, err := rb.Read(v, buf, 0); err != nil && err != io.EOF {
+			return nil, err
+		}
+		res.Add("blobseer", float64(v), fmt.Sprintf("version=%d", v),
+			mbps(blobSize, time.Since(start)), "MB/s")
+	}
+	return res, nil
+}

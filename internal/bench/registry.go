@@ -1,0 +1,44 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Experiment is one reproducible figure/table.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Options) (*Result, error)
+}
+
+// Registry lists every experiment in the reconstructed evaluation.
+var Registry = []Experiment{
+	{"E1", "concurrent readers scaling", E1ConcurrentReaders},
+	{"E2", "concurrent writers scaling", E2ConcurrentWriters},
+	{"E3", "concurrent appenders scaling", E3ConcurrentAppenders},
+	{"E4", "metadata overhead and client cache", E4MetadataOverhead},
+	{"E5", "data striping (provider count)", E5DataStriping},
+	{"E6", "metadata decentralization", E6MetadataDecentralization},
+	{"E7", "chunk size policy", E7ChunkSize},
+	{"E8", "readers under writers: versioning vs locking", E8ReadersUnderWriters},
+	{"E9", "BSFS vs HDFS micro-operations", E9BSFSvsHDFS},
+	{"E10", "MapReduce applications: BSFS vs HDFS", E10MapReduce},
+	{"E11", "QoS under failures with GloBeM", E11QoSFailures},
+	{"E12", "snapshot read throughput", E12SnapshotReads},
+}
+
+// Lookup finds an experiment by ID.
+func Lookup(id string) (Experiment, error) {
+	for _, e := range Registry {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	ids := make([]string, len(Registry))
+	for i, e := range Registry {
+		ids[i] = e.ID
+	}
+	sort.Strings(ids)
+	return Experiment{}, fmt.Errorf("bench: unknown experiment %q (have %v)", id, ids)
+}

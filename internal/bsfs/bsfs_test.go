@@ -1,0 +1,266 @@
+package bsfs_test
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"repro/internal/bsfs"
+	"repro/internal/cluster"
+)
+
+func mount(t *testing.T) (*cluster.Cluster, *bsfs.FS) {
+	t.Helper()
+	c, err := cluster.Start(cluster.Config{DataProviders: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	ns := bsfs.NewNameServer(c.Network, "ns")
+	if err := ns.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ns.Close)
+	cli, err := c.NewClient(cluster.ClientOptions{MetaCacheNodes: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, bsfs.NewFS(cli, "ns")
+}
+
+func TestCleanPaths(t *testing.T) {
+	cases := map[string]string{
+		"/a/b":   "/a/b",
+		"a/b":    "/a/b",
+		"/a//b/": "/a/b",
+		"/":      "/",
+		"/a/..":  "/",
+	}
+	for in, want := range cases {
+		got, err := bsfs.Clean(in)
+		if err != nil || got != want {
+			t.Errorf("Clean(%q) = %q, %v; want %q", in, got, err, want)
+		}
+	}
+	if _, err := bsfs.Clean(""); err == nil {
+		t.Error("empty path accepted")
+	}
+}
+
+func TestFileWriteReadStream(t *testing.T) {
+	_, fs := mount(t)
+	f, err := fs.Create("/data.bin", bsfs.FileOptions{ChunkSize: 1024, FlushChunks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []byte
+	for i := 0; i < 10; i++ {
+		part := bytes.Repeat([]byte{byte(i + 1)}, 700) // not chunk aligned
+		if _, err := f.Write(part); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, part...)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := fs.Open("/data.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(readerOf(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("stream mismatch: %d vs %d bytes", len(got), len(want))
+	}
+	if r.Size() != uint64(len(want)) {
+		t.Errorf("Size = %d, want %d", r.Size(), len(want))
+	}
+}
+
+// readerOf adapts *bsfs.File to io.Reader.
+func readerOf(f *bsfs.File) io.Reader { return readerFunc(f.Read) }
+
+type readerFunc func([]byte) (int, error)
+
+func (r readerFunc) Read(p []byte) (int, error) { return r(p) }
+
+func TestReaderPinsSnapshot(t *testing.T) {
+	_, fs := mount(t)
+	f, err := fs.Create("/pin.bin", bsfs.FileOptions{ChunkSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := bytes.Repeat([]byte{7}, 2048)
+	if _, err := f.Write(base); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := fs.Open("/pin.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Another writer appends afterwards.
+	w2, err := fs.OpenForAppend("/pin.bin", bsfs.FileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w2.Write(bytes.Repeat([]byte{9}, 1024)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The pinned reader still sees exactly the old snapshot.
+	got, err := io.ReadAll(readerOf(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, base) {
+		t.Fatal("pinned reader saw concurrent append")
+	}
+	// A fresh open sees the appended data.
+	r2, _ := fs.Open("/pin.bin")
+	if r2.Size() != 3072 {
+		t.Errorf("new reader size = %d, want 3072", r2.Size())
+	}
+}
+
+func TestNamespaceOperations(t *testing.T) {
+	_, fs := mount(t)
+	if err := fs.MkdirAll("/a/b/c"); err != nil {
+		t.Fatal(err)
+	}
+	f, err := fs.Create("/a/b/c/file.txt", bsfs.FileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ents, err := fs.List("/a/b/c")
+	if err != nil || len(ents) != 1 || ents[0].Name != "file.txt" || ents[0].IsDir {
+		t.Fatalf("List = %+v, %v", ents, err)
+	}
+	fi, err := fs.Stat("/a/b/c/file.txt")
+	if err != nil || fi.SizeBytes != 5 || fi.IsDir {
+		t.Fatalf("Stat = %+v, %v", fi, err)
+	}
+	// Rename a subtree.
+	if err := fs.Rename("/a/b", "/moved"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Stat("/moved/c/file.txt"); err != nil {
+		t.Fatalf("stat after rename: %v", err)
+	}
+	if _, err := fs.Stat("/a/b/c/file.txt"); err == nil {
+		t.Fatal("old path still resolves after rename")
+	}
+	// Delete constraints.
+	if err := fs.Delete("/moved"); err == nil {
+		t.Fatal("deleted non-empty directory")
+	}
+	if err := fs.Delete("/moved/c/file.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Delete("/moved/c"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNamespaceErrors(t *testing.T) {
+	_, fs := mount(t)
+	if _, err := fs.Open("/ghost"); err == nil {
+		t.Error("open of missing file succeeded")
+	}
+	if _, err := fs.Create("/nodir/file", bsfs.FileOptions{}); err == nil {
+		t.Error("create under missing parent succeeded")
+	}
+	if err := fs.Mkdir("/d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Mkdir("/d"); err != nil {
+		t.Errorf("mkdir not idempotent: %v", err)
+	}
+	if _, err := fs.Create("/d", bsfs.FileOptions{}); err == nil {
+		t.Error("create over directory succeeded")
+	}
+	f, _ := fs.Create("/d/x", bsfs.FileOptions{})
+	f.Close()
+	if _, err := fs.Create("/d/x", bsfs.FileOptions{}); err == nil {
+		t.Error("duplicate create succeeded")
+	}
+	if _, err := fs.Open("/d"); !errors.Is(err, bsfs.ErrIsDir) {
+		t.Errorf("open of directory = %v, want ErrIsDir", err)
+	}
+}
+
+func TestReadAtAndLocations(t *testing.T) {
+	_, fs := mount(t)
+	f, _ := fs.Create("/loc.bin", bsfs.FileOptions{ChunkSize: 1024, Replication: 2})
+	data := make([]byte, 8192)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	if _, err := f.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := fs.Open("/loc.bin")
+	buf := make([]byte, 100)
+	if _, err := r.ReadAt(buf, 4000); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, data[4000:4100]) {
+		t.Fatal("ReadAt mismatch")
+	}
+	locs, err := r.Locations(0, 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(locs) != 8 {
+		t.Fatalf("locations = %d, want 8", len(locs))
+	}
+	for _, l := range locs {
+		if len(l.Providers) != 2 {
+			t.Errorf("chunk at %d has %d replicas", l.Offset, len(l.Providers))
+		}
+	}
+}
+
+func TestSeekAndShortReads(t *testing.T) {
+	_, fs := mount(t)
+	f, _ := fs.Create("/seek.bin", bsfs.FileOptions{ChunkSize: 512})
+	data := make([]byte, 3000)
+	for i := range data {
+		data[i] = byte(i % 256)
+	}
+	f.Write(data)
+	f.Close()
+
+	r, _ := fs.Open("/seek.bin")
+	r.Seek(2990)
+	buf := make([]byte, 100)
+	n, err := r.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 10 || !bytes.Equal(buf[:n], data[2990:]) {
+		t.Fatalf("tail read = %d bytes", n)
+	}
+	if _, err := r.Read(buf); err != io.EOF {
+		t.Fatalf("read at EOF = %v", err)
+	}
+}

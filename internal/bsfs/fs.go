@@ -1,0 +1,361 @@
+package bsfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// FileOptions configure file creation.
+type FileOptions struct {
+	// ChunkSize is the backing blob's chunk size (default 64 KiB).
+	ChunkSize uint64
+	// Replication is the data replication degree (default 1).
+	Replication uint32
+	// FlushChunks is how many chunks the writer buffers before each
+	// append (default 4) — the client-side buffering of §IV-D.
+	FlushChunks int
+	// PrefetchChunks is the read-ahead window (default 4).
+	PrefetchChunks int
+}
+
+func (o *FileOptions) defaults() {
+	if o.ChunkSize == 0 {
+		o.ChunkSize = 64 << 10
+	}
+	if o.Replication == 0 {
+		o.Replication = 1
+	}
+	if o.FlushChunks <= 0 {
+		o.FlushChunks = 4
+	}
+	if o.PrefetchChunks <= 0 {
+		o.PrefetchChunks = 4
+	}
+}
+
+// FS is a BSFS mount: a BlobSeer client plus a namespace address.
+type FS struct {
+	client *core.Client
+	nsAddr string
+}
+
+// NewFS mounts BSFS using an existing BlobSeer client and the namespace
+// server at nsAddr.
+func NewFS(client *core.Client, nsAddr string) *FS {
+	return &FS{client: client, nsAddr: nsAddr}
+}
+
+// Mkdir creates a directory (parents must exist; idempotent).
+func (fs *FS) Mkdir(path string) error {
+	return fs.client.RPC().Call(fs.nsAddr, MethodMkdir, &PathReq{Path: path}, &Ack{})
+}
+
+// MkdirAll creates a directory and any missing parents.
+func (fs *FS) MkdirAll(rawPath string) error {
+	p, err := Clean(rawPath)
+	if err != nil {
+		return err
+	}
+	if p == "/" {
+		return nil
+	}
+	// Walk down from the root creating each component.
+	for i := 1; i <= len(p); i++ {
+		if i == len(p) || p[i] == '/' {
+			if err := fs.Mkdir(p[:i]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// List returns a directory's entries.
+func (fs *FS) List(dir string) ([]DirEntry, error) {
+	var resp ListResp
+	if err := fs.client.RPC().Call(fs.nsAddr, MethodList, &PathReq{Path: dir}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Entries, nil
+}
+
+// Rename moves a file or directory subtree.
+func (fs *FS) Rename(from, to string) error {
+	return fs.client.RPC().Call(fs.nsAddr, MethodRename, &RenameReq{From: from, To: to}, &Ack{})
+}
+
+// Delete removes a file or empty directory. The backing blob is left to
+// garbage collection (BlobSeer never destroys versions).
+func (fs *FS) Delete(path string) error {
+	return fs.client.RPC().Call(fs.nsAddr, MethodDelete, &PathReq{Path: path}, &Ack{})
+}
+
+// FileInfo describes a file.
+type FileInfo struct {
+	Path      string
+	IsDir     bool
+	SizeBytes uint64
+	BlobID    uint64
+	ChunkSize uint64
+}
+
+// Stat describes a path.
+func (fs *FS) Stat(path string) (*FileInfo, error) {
+	var resp LookupResp
+	if err := fs.client.RPC().Call(fs.nsAddr, MethodLookup, &PathReq{Path: path}, &resp); err != nil {
+		return nil, err
+	}
+	if !resp.Found {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	fi := &FileInfo{Path: path, IsDir: resp.IsDir, BlobID: resp.BlobID, ChunkSize: resp.ChunkSize}
+	if !resp.IsDir {
+		blob, err := fs.client.OpenBlob(resp.BlobID)
+		if err != nil {
+			return nil, err
+		}
+		size, err := blob.Size(0)
+		if err != nil {
+			return nil, err
+		}
+		fi.SizeBytes = size
+	}
+	return fi, nil
+}
+
+// File is an open BSFS file. A file opened for writing is a streaming
+// appender (the Hadoop access pattern); a file opened for reading pins the
+// latest published version at open time, so a long sequential scan is a
+// consistent snapshot no matter what writers do meanwhile.
+type File struct {
+	fs      *FS
+	path    string
+	blob    *core.Blob
+	opts    FileOptions
+	writing bool
+
+	mu sync.Mutex
+	// writer state
+	buf    []byte
+	size   uint64 // bytes appended through this handle
+	closed bool
+	// reader state
+	version  uint64
+	rsize    uint64
+	pos      uint64
+	rbuf     []byte
+	rbufOff  uint64
+	prefetch uint64
+}
+
+// Create makes a new file for streaming writes. The parent directory must
+// exist.
+func (fs *FS) Create(path string, opts FileOptions) (*File, error) {
+	opts.defaults()
+	p, err := Clean(path)
+	if err != nil {
+		return nil, err
+	}
+	blob, err := fs.client.CreateBlob(opts.ChunkSize, opts.Replication)
+	if err != nil {
+		return nil, err
+	}
+	req := &RegisterReq{Path: p, BlobID: blob.ID(), ChunkSize: opts.ChunkSize, Replication: opts.Replication}
+	if err := fs.client.RPC().Call(fs.nsAddr, MethodRegister, req, &Ack{}); err != nil {
+		return nil, err
+	}
+	return &File{fs: fs, path: p, blob: blob, opts: opts, writing: true}, nil
+}
+
+// OpenForAppend opens an existing file to append more data.
+func (fs *FS) OpenForAppend(path string, opts FileOptions) (*File, error) {
+	opts.defaults()
+	f, err := fs.open(path, opts)
+	if err != nil {
+		return nil, err
+	}
+	f.writing = true
+	return f, nil
+}
+
+// Open opens a file for reading, pinning the latest published version.
+func (fs *FS) Open(path string) (*File, error) {
+	return fs.open(path, FileOptions{})
+}
+
+func (fs *FS) open(path string, opts FileOptions) (*File, error) {
+	opts.defaults()
+	var resp LookupResp
+	if err := fs.client.RPC().Call(fs.nsAddr, MethodLookup, &PathReq{Path: path}, &resp); err != nil {
+		return nil, err
+	}
+	if !resp.Found {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	if resp.IsDir {
+		return nil, fmt.Errorf("%w: %s", ErrIsDir, path)
+	}
+	blob, err := fs.client.OpenBlob(resp.BlobID)
+	if err != nil {
+		return nil, err
+	}
+	version, size, err := blob.Latest()
+	if err != nil {
+		return nil, err
+	}
+	opts.ChunkSize = blob.ChunkSize()
+	return &File{
+		fs: fs, path: path, blob: blob, opts: opts,
+		version: version, rsize: size,
+		prefetch: uint64(opts.PrefetchChunks) * blob.ChunkSize(),
+	}, nil
+}
+
+// Path returns the file's path.
+func (f *File) Path() string { return f.path }
+
+// Blob exposes the backing blob (for locality queries and version access).
+func (f *File) Blob() *core.Blob { return f.blob }
+
+// Version returns the snapshot version a reading handle is pinned to.
+func (f *File) Version() uint64 { return f.version }
+
+// Write buffers p and appends full buffers to the backing blob. It is the
+// streaming write path Hadoop uses; data becomes visible to readers in
+// buffer-sized versions, and Close flushes the tail.
+func (f *File) Write(p []byte) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.writing || f.closed {
+		return 0, errors.New("bsfs: file not open for writing")
+	}
+	f.buf = append(f.buf, p...)
+	flushSize := uint64(f.opts.FlushChunks) * f.opts.ChunkSize
+	for uint64(len(f.buf)) >= flushSize {
+		if err := f.appendLocked(f.buf[:flushSize]); err != nil {
+			return 0, err
+		}
+		f.buf = append(f.buf[:0], f.buf[flushSize:]...)
+	}
+	return len(p), nil
+}
+
+// Flush appends any buffered bytes immediately.
+func (f *File) Flush() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.flushLocked()
+}
+
+func (f *File) flushLocked() error {
+	if len(f.buf) == 0 {
+		return nil
+	}
+	if err := f.appendLocked(f.buf); err != nil {
+		return err
+	}
+	f.buf = f.buf[:0]
+	return nil
+}
+
+func (f *File) appendLocked(p []byte) error {
+	_, _, err := f.blob.Append(p)
+	if err != nil {
+		return fmt.Errorf("bsfs: appending to %s: %w", f.path, err)
+	}
+	f.size += uint64(len(p))
+	return nil
+}
+
+// Close flushes buffered writes and invalidates the handle.
+func (f *File) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return nil
+	}
+	f.closed = true
+	if f.writing {
+		return f.flushLocked()
+	}
+	return nil
+}
+
+// Size returns the file size: for readers, the pinned snapshot's size.
+func (f *File) Size() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.writing {
+		return f.size + uint64(len(f.buf))
+	}
+	return f.rsize
+}
+
+// Read implements sequential reads with read-ahead: each miss fetches
+// max(len(p), prefetch window) bytes in one ranged BlobSeer read, so a
+// scan of a huge file issues large parallel chunk fetches instead of one
+// RPC per small Read call (the prefetching of §IV-D).
+func (f *File) Read(p []byte) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.writing {
+		return 0, errors.New("bsfs: file open for writing")
+	}
+	if f.pos >= f.rsize {
+		return 0, io.EOF
+	}
+	// Serve from the read-ahead buffer when possible.
+	if f.pos >= f.rbufOff && f.pos < f.rbufOff+uint64(len(f.rbuf)) {
+		n := copy(p, f.rbuf[f.pos-f.rbufOff:])
+		f.pos += uint64(n)
+		return n, nil
+	}
+	want := uint64(len(p))
+	if want < f.prefetch {
+		want = f.prefetch
+	}
+	if f.pos+want > f.rsize {
+		want = f.rsize - f.pos
+	}
+	buf := make([]byte, want)
+	n, err := f.blob.Read(f.version, buf, f.pos)
+	if err != nil && err != io.EOF {
+		return 0, err
+	}
+	f.rbuf = buf[:n]
+	f.rbufOff = f.pos
+	m := copy(p, f.rbuf)
+	f.pos += uint64(m)
+	return m, nil
+}
+
+// ReadAt reads from an absolute offset of the pinned snapshot without
+// disturbing the sequential position.
+func (f *File) ReadAt(p []byte, off uint64) (int, error) {
+	if f.writing {
+		return 0, errors.New("bsfs: file open for writing")
+	}
+	return f.blob.Read(f.version, p, off)
+}
+
+// Seek repositions the sequential reader (whence semantics of io.SeekStart
+// only; BSFS readers are forward scanners in practice).
+func (f *File) Seek(off uint64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.pos = off
+}
+
+// Locations exposes which providers hold each chunk of [off, off+length),
+// the Hadoop-specific locality API of §IV-D.
+func (f *File) Locations(off, length uint64) ([]core.ChunkLocation, error) {
+	version := f.version
+	if f.writing {
+		version = 0
+	}
+	return f.blob.Locations(version, off, length)
+}

@@ -1,0 +1,408 @@
+// Package bsfs implements BSFS, the "fully-fledged distributed file
+// system on top of BlobSeer" of §IV-D: a hierarchical directory structure
+// mapping files to blobs (addressed in BlobSeer by a flat ID scheme), the
+// streaming access API Hadoop expects — with client-side buffering and
+// prefetching — and exposure of chunk locations so computation can be
+// scheduled close to the data.
+package bsfs
+
+import (
+	"errors"
+	"fmt"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/provider"
+	"repro/internal/rpc"
+	"repro/internal/wire"
+)
+
+// Method names served by the namespace server.
+const (
+	MethodRegister = "ns.register"
+	MethodMkdir    = "ns.mkdir"
+	MethodLookup   = "ns.lookup"
+	MethodList     = "ns.list"
+	MethodDelete   = "ns.delete"
+	MethodRename   = "ns.rename"
+)
+
+// Namespace errors.
+var (
+	ErrNotFound   = errors.New("bsfs: no such file or directory")
+	ErrExists     = errors.New("bsfs: path already exists")
+	ErrNotDir     = errors.New("bsfs: not a directory")
+	ErrIsDir      = errors.New("bsfs: is a directory")
+	ErrNotEmpty   = errors.New("bsfs: directory not empty")
+	ErrBadPath    = errors.New("bsfs: invalid path")
+	ErrRootDelete = errors.New("bsfs: cannot delete root")
+)
+
+// Clean normalizes a path to the canonical "/a/b" form.
+func Clean(p string) (string, error) {
+	if p == "" {
+		return "", ErrBadPath
+	}
+	if !strings.HasPrefix(p, "/") {
+		p = "/" + p
+	}
+	c := path.Clean(p)
+	if strings.Contains(c, "\x00") {
+		return "", ErrBadPath
+	}
+	return c, nil
+}
+
+// PathReq names one path.
+type PathReq struct {
+	Path string
+}
+
+// Encode implements wire.Message.
+func (r *PathReq) Encode(e *wire.Encoder) { e.PutString(r.Path) }
+
+// Decode implements wire.Message.
+func (r *PathReq) Decode(d *wire.Decoder) { r.Path = d.String() }
+
+// RegisterReq binds a path to a blob.
+type RegisterReq struct {
+	Path        string
+	BlobID      uint64
+	ChunkSize   uint64
+	Replication uint32
+}
+
+// Encode implements wire.Message.
+func (r *RegisterReq) Encode(e *wire.Encoder) {
+	e.PutString(r.Path)
+	e.PutU64(r.BlobID)
+	e.PutU64(r.ChunkSize)
+	e.PutU32(r.Replication)
+}
+
+// Decode implements wire.Message.
+func (r *RegisterReq) Decode(d *wire.Decoder) {
+	r.Path = d.String()
+	r.BlobID = d.U64()
+	r.ChunkSize = d.U64()
+	r.Replication = d.U32()
+}
+
+// LookupResp describes a path.
+type LookupResp struct {
+	Found       bool
+	IsDir       bool
+	BlobID      uint64
+	ChunkSize   uint64
+	Replication uint32
+}
+
+// Encode implements wire.Message.
+func (r *LookupResp) Encode(e *wire.Encoder) {
+	e.PutBool(r.Found)
+	e.PutBool(r.IsDir)
+	e.PutU64(r.BlobID)
+	e.PutU64(r.ChunkSize)
+	e.PutU32(r.Replication)
+}
+
+// Decode implements wire.Message.
+func (r *LookupResp) Decode(d *wire.Decoder) {
+	r.Found = d.Bool()
+	r.IsDir = d.Bool()
+	r.BlobID = d.U64()
+	r.ChunkSize = d.U64()
+	r.Replication = d.U32()
+}
+
+// DirEntry is one directory listing row.
+type DirEntry struct {
+	Name  string
+	IsDir bool
+}
+
+// ListResp returns a directory's children, sorted by name.
+type ListResp struct {
+	Entries []DirEntry
+}
+
+// Encode implements wire.Message.
+func (r *ListResp) Encode(e *wire.Encoder) {
+	e.PutU32(uint32(len(r.Entries)))
+	for _, ent := range r.Entries {
+		e.PutString(ent.Name)
+		e.PutBool(ent.IsDir)
+	}
+}
+
+// Decode implements wire.Message.
+func (r *ListResp) Decode(d *wire.Decoder) {
+	n := d.U32()
+	r.Entries = nil
+	for i := uint32(0); i < n && d.Err() == nil; i++ {
+		var ent DirEntry
+		ent.Name = d.String()
+		ent.IsDir = d.Bool()
+		r.Entries = append(r.Entries, ent)
+	}
+}
+
+// RenameReq moves a file or directory subtree.
+type RenameReq struct {
+	From string
+	To   string
+}
+
+// Encode implements wire.Message.
+func (r *RenameReq) Encode(e *wire.Encoder) {
+	e.PutString(r.From)
+	e.PutString(r.To)
+}
+
+// Decode implements wire.Message.
+func (r *RenameReq) Decode(d *wire.Decoder) {
+	r.From = d.String()
+	r.To = d.String()
+}
+
+// Ack is the empty acknowledgment.
+type Ack = provider.Ack
+
+type nsEntry struct {
+	isDir       bool
+	blobID      uint64
+	chunkSize   uint64
+	replication uint32
+	children    map[string]bool
+}
+
+// NameServer manages the BSFS hierarchical namespace. It is deliberately a
+// single service: BSFS pushes all heavy traffic (data and block metadata)
+// to BlobSeer's decentralized components, and the namespace holds only the
+// directory tree, exactly like the paper's BSFS prototype.
+type NameServer struct {
+	srv *rpc.Server
+
+	mu      sync.Mutex
+	entries map[string]*nsEntry
+}
+
+// NewNameServer creates a namespace server at addr with an empty root.
+func NewNameServer(network rpc.Network, addr string) *NameServer {
+	s := &NameServer{
+		srv:     rpc.NewServer(network, addr),
+		entries: map[string]*nsEntry{"/": {isDir: true, children: map[string]bool{}}},
+	}
+	rpc.HandleMsg(s.srv, MethodRegister, func() *RegisterReq { return &RegisterReq{} },
+		func(req *RegisterReq) (*Ack, error) {
+			return &Ack{}, s.register(req)
+		})
+	rpc.HandleMsg(s.srv, MethodMkdir, func() *PathReq { return &PathReq{} },
+		func(req *PathReq) (*Ack, error) {
+			return &Ack{}, s.mkdir(req.Path)
+		})
+	rpc.HandleMsg(s.srv, MethodLookup, func() *PathReq { return &PathReq{} },
+		func(req *PathReq) (*LookupResp, error) {
+			return s.lookup(req.Path)
+		})
+	rpc.HandleMsg(s.srv, MethodList, func() *PathReq { return &PathReq{} },
+		func(req *PathReq) (*ListResp, error) {
+			return s.list(req.Path)
+		})
+	rpc.HandleMsg(s.srv, MethodDelete, func() *PathReq { return &PathReq{} },
+		func(req *PathReq) (*Ack, error) {
+			return &Ack{}, s.delete(req.Path)
+		})
+	rpc.HandleMsg(s.srv, MethodRename, func() *RenameReq { return &RenameReq{} },
+		func(req *RenameReq) (*Ack, error) {
+			return &Ack{}, s.rename(req.From, req.To)
+		})
+	return s
+}
+
+// Start begins serving.
+func (s *NameServer) Start() error { return s.srv.Start() }
+
+// Close stops serving.
+func (s *NameServer) Close() { s.srv.Close() }
+
+// Addr returns the namespace server's address.
+func (s *NameServer) Addr() string { return s.srv.Addr() }
+
+func (s *NameServer) parentOf(p string) (*nsEntry, string, error) {
+	dir, name := path.Split(p)
+	dir = path.Clean(dir)
+	parent, ok := s.entries[dir]
+	if !ok {
+		return nil, "", fmt.Errorf("%w: %s", ErrNotFound, dir)
+	}
+	if !parent.isDir {
+		return nil, "", fmt.Errorf("%w: %s", ErrNotDir, dir)
+	}
+	return parent, name, nil
+}
+
+func (s *NameServer) register(req *RegisterReq) error {
+	p, err := Clean(req.Path)
+	if err != nil {
+		return err
+	}
+	if p == "/" {
+		return ErrExists
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.entries[p]; dup {
+		return fmt.Errorf("%w: %s", ErrExists, p)
+	}
+	parent, name, err := s.parentOf(p)
+	if err != nil {
+		return err
+	}
+	s.entries[p] = &nsEntry{blobID: req.BlobID, chunkSize: req.ChunkSize, replication: req.Replication}
+	parent.children[name] = true
+	return nil
+}
+
+func (s *NameServer) mkdir(rawPath string) error {
+	p, err := Clean(rawPath)
+	if err != nil {
+		return err
+	}
+	if p == "/" {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, dup := s.entries[p]; dup {
+		if e.isDir {
+			return nil // mkdir is idempotent for directories
+		}
+		return fmt.Errorf("%w: %s", ErrExists, p)
+	}
+	parent, name, err := s.parentOf(p)
+	if err != nil {
+		return err
+	}
+	s.entries[p] = &nsEntry{isDir: true, children: map[string]bool{}}
+	parent.children[name] = true
+	return nil
+}
+
+func (s *NameServer) lookup(rawPath string) (*LookupResp, error) {
+	p, err := Clean(rawPath)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[p]
+	if !ok {
+		return &LookupResp{Found: false}, nil
+	}
+	return &LookupResp{
+		Found: true, IsDir: e.isDir,
+		BlobID: e.blobID, ChunkSize: e.chunkSize, Replication: e.replication,
+	}, nil
+}
+
+func (s *NameServer) list(rawPath string) (*ListResp, error) {
+	p, err := Clean(rawPath)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[p]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, p)
+	}
+	if !e.isDir {
+		return nil, fmt.Errorf("%w: %s", ErrNotDir, p)
+	}
+	resp := &ListResp{}
+	for name := range e.children {
+		child := s.entries[path.Join(p, name)]
+		resp.Entries = append(resp.Entries, DirEntry{Name: name, IsDir: child != nil && child.isDir})
+	}
+	sort.Slice(resp.Entries, func(i, j int) bool { return resp.Entries[i].Name < resp.Entries[j].Name })
+	return resp, nil
+}
+
+func (s *NameServer) delete(rawPath string) error {
+	p, err := Clean(rawPath)
+	if err != nil {
+		return err
+	}
+	if p == "/" {
+		return ErrRootDelete
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[p]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, p)
+	}
+	if e.isDir && len(e.children) > 0 {
+		return fmt.Errorf("%w: %s", ErrNotEmpty, p)
+	}
+	parent, name, err := s.parentOf(p)
+	if err != nil {
+		return err
+	}
+	delete(s.entries, p)
+	delete(parent.children, name)
+	return nil
+}
+
+func (s *NameServer) rename(rawFrom, rawTo string) error {
+	from, err := Clean(rawFrom)
+	if err != nil {
+		return err
+	}
+	to, err := Clean(rawTo)
+	if err != nil {
+		return err
+	}
+	if from == "/" || to == "/" {
+		return ErrBadPath
+	}
+	if to == from {
+		return nil
+	}
+	if strings.HasPrefix(to+"/", from+"/") {
+		return fmt.Errorf("%w: cannot move %s inside itself", ErrBadPath, from)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.entries[from]; !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, from)
+	}
+	if _, dup := s.entries[to]; dup {
+		return fmt.Errorf("%w: %s", ErrExists, to)
+	}
+	newParent, newName, err := s.parentOf(to)
+	if err != nil {
+		return err
+	}
+	oldParent, oldName, err := s.parentOf(from)
+	if err != nil {
+		return err
+	}
+	// Move the whole subtree: every key with prefix from/ re-keys to to/.
+	moved := map[string]*nsEntry{}
+	for key, ent := range s.entries {
+		if key == from || strings.HasPrefix(key, from+"/") {
+			moved[to+key[len(from):]] = ent
+			delete(s.entries, key)
+		}
+	}
+	for key, ent := range moved {
+		s.entries[key] = ent
+	}
+	delete(oldParent.children, oldName)
+	newParent.children[newName] = true
+	return nil
+}

@@ -1,0 +1,142 @@
+package chunk
+
+import (
+	"container/list"
+	"sync"
+)
+
+// CachedStore layers a RAM LRU cache over a backing Store. This reproduces
+// §IV-B: "persistent data and metadata storage while keeping our initial
+// RAM-based storage scheme as an underlying caching mechanism". Writes go
+// through to the backing store and populate the cache; reads are served
+// from RAM when possible.
+type CachedStore struct {
+	backing Store
+
+	mu       sync.Mutex
+	capacity int64
+	used     int64
+	order    *list.List // front = most recently used; values are *cacheEntry
+	entries  map[Key]*list.Element
+
+	hits   int64
+	misses int64
+}
+
+type cacheEntry struct {
+	key  Key
+	data []byte
+}
+
+// NewCachedStore wraps backing with an LRU cache of capacityBytes. A
+// non-positive capacity disables caching (all calls pass through).
+func NewCachedStore(backing Store, capacityBytes int64) *CachedStore {
+	return &CachedStore{
+		backing:  backing,
+		capacity: capacityBytes,
+		order:    list.New(),
+		entries:  make(map[Key]*list.Element),
+	}
+}
+
+func (s *CachedStore) cachePut(k Key, data []byte) {
+	if s.capacity <= 0 || int64(len(data)) > s.capacity {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.entries[k]; ok {
+		s.order.MoveToFront(el)
+		return
+	}
+	el := s.order.PushFront(&cacheEntry{key: k, data: data})
+	s.entries[k] = el
+	s.used += int64(len(data))
+	for s.used > s.capacity {
+		back := s.order.Back()
+		if back == nil {
+			break
+		}
+		ent := back.Value.(*cacheEntry)
+		s.order.Remove(back)
+		delete(s.entries, ent.key)
+		s.used -= int64(len(ent.data))
+	}
+}
+
+func (s *CachedStore) cacheGet(k Key) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.entries[k]
+	if !ok {
+		s.misses++
+		return nil, false
+	}
+	s.hits++
+	s.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).data, true
+}
+
+func (s *CachedStore) cacheDelete(k Key) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.entries[k]; ok {
+		ent := el.Value.(*cacheEntry)
+		s.order.Remove(el)
+		delete(s.entries, k)
+		s.used -= int64(len(ent.data))
+	}
+}
+
+// Put writes through to the backing store and, on success, caches a copy.
+func (s *CachedStore) Put(k Key, data []byte) error {
+	if err := s.backing.Put(k, data); err != nil {
+		return err
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	s.cachePut(k, cp)
+	return nil
+}
+
+// Get serves from cache when possible, falling back to the backing store
+// and populating the cache on a miss.
+func (s *CachedStore) Get(k Key) ([]byte, error) {
+	if data, ok := s.cacheGet(k); ok {
+		return data, nil
+	}
+	data, err := s.backing.Get(k)
+	if err != nil {
+		return nil, err
+	}
+	s.cachePut(k, data)
+	return data, nil
+}
+
+// Has consults the backing store (authoritative).
+func (s *CachedStore) Has(k Key) bool { return s.backing.Has(k) }
+
+// Delete removes from both layers.
+func (s *CachedStore) Delete(k Key) error {
+	s.cacheDelete(k)
+	return s.backing.Delete(k)
+}
+
+// Len reports the backing store's chunk count.
+func (s *CachedStore) Len() int { return s.backing.Len() }
+
+// Bytes reports the backing store's payload bytes.
+func (s *CachedStore) Bytes() int64 { return s.backing.Bytes() }
+
+// Keys reports the backing store's keys.
+func (s *CachedStore) Keys() []Key { return s.backing.Keys() }
+
+// Close closes the backing store.
+func (s *CachedStore) Close() error { return s.backing.Close() }
+
+// CacheStats reports hits, misses and resident bytes.
+func (s *CachedStore) CacheStats() (hits, misses, residentBytes int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hits, s.misses, s.used
+}

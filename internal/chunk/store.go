@@ -1,0 +1,155 @@
+// Package chunk defines chunk identity and the storage engines data
+// providers run on. The paper's storage evolution is reproduced exactly:
+// the initial prototype was RAM-only (MemStore), later extended with
+// persistent storage keeping RAM as a cache (DiskStore wrapped by
+// CachedStore, §IV-B).
+//
+// Chunks are immutable: a (blob, version, index) triple is written at most
+// once, by the single writer that was assigned that version. Stores may
+// therefore return internal buffers from Get; callers must not modify them.
+package chunk
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ErrNotFound is returned when a chunk is not present in a store.
+var ErrNotFound = errors.New("chunk: not found")
+
+// Key identifies one chunk of one version of one blob.
+type Key struct {
+	Blob    uint64
+	Version uint64
+	Index   uint64
+}
+
+// String renders the key as blob/version/index.
+func (k Key) String() string {
+	return fmt.Sprintf("%d/%d/%d", k.Blob, k.Version, k.Index)
+}
+
+// Less orders keys lexicographically (blob, version, index).
+func (k Key) Less(o Key) bool {
+	if k.Blob != o.Blob {
+		return k.Blob < o.Blob
+	}
+	if k.Version != o.Version {
+		return k.Version < o.Version
+	}
+	return k.Index < o.Index
+}
+
+// Store is the chunk storage engine contract.
+type Store interface {
+	// Put stores data under k. Storing the same key twice is an error:
+	// chunks are immutable and a duplicate Put indicates a protocol bug.
+	Put(k Key, data []byte) error
+	// Get returns the chunk bytes. The returned slice must not be
+	// modified by the caller.
+	Get(k Key) ([]byte, error)
+	// Has reports whether k is stored.
+	Has(k Key) bool
+	// Delete removes k (no-op if absent). Used only by garbage collection.
+	Delete(k Key) error
+	// Len reports the number of stored chunks.
+	Len() int
+	// Bytes reports the total payload bytes stored.
+	Bytes() int64
+	// Keys returns a sorted snapshot of all stored keys (for
+	// re-replication after failures).
+	Keys() []Key
+	// Close releases resources.
+	Close() error
+}
+
+// ErrDuplicate is returned by Put for a key that is already stored.
+var ErrDuplicate = errors.New("chunk: duplicate put for immutable chunk")
+
+// MemStore keeps chunks in RAM. The original BlobSeer prototype's storage
+// engine (§IV-A).
+type MemStore struct {
+	mu    sync.RWMutex
+	data  map[Key][]byte
+	bytes int64
+}
+
+// NewMemStore creates an empty RAM store.
+func NewMemStore() *MemStore {
+	return &MemStore{data: make(map[Key][]byte)}
+}
+
+// Put stores a private copy of data under k.
+func (s *MemStore) Put(k Key, data []byte) error {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.data[k]; dup {
+		return fmt.Errorf("%w: %s", ErrDuplicate, k)
+	}
+	s.data[k] = cp
+	s.bytes += int64(len(cp))
+	return nil
+}
+
+// Get returns the stored bytes for k.
+func (s *MemStore) Get(k Key) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	d, ok := s.data[k]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, k)
+	}
+	return d, nil
+}
+
+// Has reports whether k is stored.
+func (s *MemStore) Has(k Key) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.data[k]
+	return ok
+}
+
+// Delete removes k if present.
+func (s *MemStore) Delete(k Key) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if d, ok := s.data[k]; ok {
+		s.bytes -= int64(len(d))
+		delete(s.data, k)
+	}
+	return nil
+}
+
+// Len reports the number of chunks.
+func (s *MemStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.data)
+}
+
+// Bytes reports total stored payload bytes.
+func (s *MemStore) Bytes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.bytes
+}
+
+// Keys returns all keys in sorted order.
+func (s *MemStore) Keys() []Key {
+	s.mu.RLock()
+	out := make([]Key, 0, len(s.data))
+	for k := range s.data {
+		out = append(out, k)
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// Close is a no-op for RAM storage.
+func (s *MemStore) Close() error { return nil }

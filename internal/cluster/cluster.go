@@ -1,0 +1,261 @@
+// Package cluster assembles a complete BlobSeer deployment — version
+// manager, provider manager, N data providers, M metadata providers — in
+// one process, over either the simulated fabric (experiments; the
+// Grid'5000 stand-in) or real TCP loopback (integration tests and the
+// daemon tooling). It is the "testbed in a box" every experiment runs on.
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/chunk"
+	"repro/internal/core"
+	"repro/internal/meta"
+	"repro/internal/netsim"
+	"repro/internal/pmanager"
+	"repro/internal/provider"
+	"repro/internal/rpc"
+	"repro/internal/vmanager"
+)
+
+// Config sizes and shapes a deployment.
+type Config struct {
+	// DataProviders and MetaProviders set the service counts (defaults 4
+	// and 2).
+	DataProviders int
+	MetaProviders int
+	// Strategy selects the chunk placement strategy (default roundrobin).
+	Strategy string
+	// Fabric, when set, shapes the simulated network. Ignored for TCP.
+	Fabric *netsim.Fabric
+	// UseTCP runs everything over real loopback sockets instead of the
+	// in-process simulated transport.
+	UseTCP bool
+	// HeartbeatInterval / HeartbeatTimeout tune provider liveness
+	// (defaults 100ms / 1s).
+	HeartbeatInterval time.Duration
+	HeartbeatTimeout  time.Duration
+	// StoreFactory builds each data provider's chunk engine (default RAM).
+	StoreFactory func(i int) (chunk.Store, error)
+	// MetaReplication is the metadata replica degree (default 1).
+	MetaReplication int
+	// CallTimeout bounds client RPCs (default 30s).
+	CallTimeout time.Duration
+}
+
+// Cluster is a running deployment.
+type Cluster struct {
+	cfg     Config
+	Network rpc.Network
+	Fabric  *netsim.Fabric
+
+	VM          *vmanager.Server
+	PM          *pmanager.Server
+	Providers   []*provider.Server
+	MetaServers []*meta.Server
+
+	vmAddr    string
+	pmAddr    string
+	provAddrs []string
+	metaAddrs []string
+
+	hbClients  []*rpc.Client
+	clients    []*core.Client
+	nextClient int
+}
+
+// Start launches a deployment per cfg.
+func Start(cfg Config) (*Cluster, error) {
+	if cfg.DataProviders <= 0 {
+		cfg.DataProviders = 4
+	}
+	if cfg.MetaProviders <= 0 {
+		cfg.MetaProviders = 2
+	}
+	if cfg.HeartbeatInterval == 0 {
+		cfg.HeartbeatInterval = 100 * time.Millisecond
+	}
+	if cfg.HeartbeatTimeout == 0 {
+		cfg.HeartbeatTimeout = time.Second
+	}
+	if cfg.StoreFactory == nil {
+		cfg.StoreFactory = func(int) (chunk.Store, error) { return chunk.NewMemStore(), nil }
+	}
+	if cfg.MetaReplication < 1 {
+		cfg.MetaReplication = 1
+	}
+
+	if cfg.Fabric == nil && !cfg.UseTCP {
+		// A default, unshaped fabric so fault injection (KillProvider /
+		// ReviveProvider) works even when no shaping was requested.
+		cfg.Fabric = netsim.NewFabric(netsim.Config{})
+	}
+	c := &Cluster{cfg: cfg, Fabric: cfg.Fabric}
+	if cfg.UseTCP {
+		c.Network = rpc.NewTCPNetwork()
+	} else {
+		c.Network = rpc.NewSimNetwork(cfg.Fabric)
+	}
+	addr := func(name string) string {
+		if cfg.UseTCP {
+			return "127.0.0.1:0"
+		}
+		return name
+	}
+
+	// Version manager.
+	c.VM = vmanager.NewServer(c.Network, addr("vm"))
+	if err := c.VM.Start(); err != nil {
+		return nil, fmt.Errorf("cluster: starting version manager: %w", err)
+	}
+	c.vmAddr = c.VM.Addr()
+
+	// Provider manager.
+	pm, err := pmanager.NewServer(c.Network, addr("pm"), cfg.Strategy, cfg.HeartbeatTimeout)
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	c.PM = pm
+	if err := c.PM.Start(); err != nil {
+		c.Close()
+		return nil, fmt.Errorf("cluster: starting provider manager: %w", err)
+	}
+	c.pmAddr = c.PM.Addr()
+
+	// Metadata providers.
+	for i := 0; i < cfg.MetaProviders; i++ {
+		ms := meta.NewServer(c.Network, addr(fmt.Sprintf("mp%d", i)))
+		if err := ms.Start(); err != nil {
+			c.Close()
+			return nil, fmt.Errorf("cluster: starting metadata provider %d: %w", i, err)
+		}
+		c.MetaServers = append(c.MetaServers, ms)
+		c.metaAddrs = append(c.metaAddrs, ms.Addr())
+	}
+
+	// Data providers. Each provider heartbeats through its own RPC client
+	// sourced at its own address, so a provider the fabric marks down
+	// really goes silent and ages out of the provider manager.
+	for i := 0; i < cfg.DataProviders; i++ {
+		store, err := cfg.StoreFactory(i)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("cluster: store for provider %d: %w", i, err)
+		}
+		dp := provider.NewServer(c.Network, addr(fmt.Sprintf("dp%d", i)), store)
+		if err := dp.Start(); err != nil {
+			c.Close()
+			return nil, fmt.Errorf("cluster: starting data provider %d: %w", i, err)
+		}
+		c.Providers = append(c.Providers, dp)
+		c.provAddrs = append(c.provAddrs, dp.Addr())
+		c.PM.Manager().Register(dp.Addr())
+		hb := rpc.NewClientFrom(c.Network, cfg.CallTimeout, dp.Addr())
+		c.hbClients = append(c.hbClients, hb)
+		dp.StartHeartbeats(hb, c.pmAddr, cfg.HeartbeatInterval)
+	}
+	return c, nil
+}
+
+// VMAddr returns the version manager's address.
+func (c *Cluster) VMAddr() string { return c.vmAddr }
+
+// PMAddr returns the provider manager's address.
+func (c *Cluster) PMAddr() string { return c.pmAddr }
+
+// ProviderAddrs returns the data provider addresses, in start order.
+func (c *Cluster) ProviderAddrs() []string { return append([]string(nil), c.provAddrs...) }
+
+// MetaAddrs returns the metadata provider addresses.
+func (c *Cluster) MetaAddrs() []string { return append([]string(nil), c.metaAddrs...) }
+
+// ClientOptions tune clients created by NewClient.
+type ClientOptions struct {
+	// Name identifies the client's simulated machine (auto-assigned when
+	// empty).
+	Name string
+	// MetaCacheNodes enables the client-side metadata cache when > 0.
+	MetaCacheNodes int
+	// ParallelIO bounds concurrent chunk transfers (default 16).
+	ParallelIO int
+	// Observer sees every chunk transfer (GloBeM monitoring).
+	Observer core.Observer
+}
+
+// NewClient builds a client wired to this deployment. Each client is
+// attributed its own simulated machine ("clientN") so the fabric models
+// one NIC per client. Clients are closed automatically by Cluster.Close.
+func (c *Cluster) NewClient(opts ClientOptions) (*core.Client, error) {
+	name := opts.Name
+	if name == "" {
+		name = fmt.Sprintf("client%d", c.nextClient)
+		c.nextClient++
+	}
+	cli, err := core.NewClient(core.Config{
+		Network:         c.Network,
+		ClientName:      name,
+		VMAddr:          c.vmAddr,
+		PMAddr:          c.pmAddr,
+		MetaProviders:   c.metaAddrs,
+		MetaReplication: c.cfg.MetaReplication,
+		MetaCacheNodes:  opts.MetaCacheNodes,
+		CallTimeout:     c.cfg.CallTimeout,
+		ParallelIO:      opts.ParallelIO,
+		Observer:        opts.Observer,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.clients = append(c.clients, cli)
+	return cli, nil
+}
+
+// KillProvider simulates a crash of data provider i. On the simulated
+// fabric the node drops off the network (in-flight and future requests
+// fail); over TCP the server is closed outright.
+func (c *Cluster) KillProvider(i int) {
+	if i < 0 || i >= len(c.Providers) {
+		return
+	}
+	if c.Fabric != nil && !c.cfg.UseTCP {
+		c.Fabric.SetDown(c.provAddrs[i], true)
+		return
+	}
+	c.Providers[i].Close()
+}
+
+// ReviveProvider undoes KillProvider on the simulated fabric (TCP
+// providers cannot be revived in place).
+func (c *Cluster) ReviveProvider(i int) {
+	if i < 0 || i >= len(c.Providers) {
+		return
+	}
+	if c.Fabric != nil && !c.cfg.UseTCP {
+		c.Fabric.SetDown(c.provAddrs[i], false)
+	}
+}
+
+// Close tears the whole deployment down.
+func (c *Cluster) Close() {
+	for _, cli := range c.clients {
+		cli.Close()
+	}
+	c.clients = nil
+	for _, p := range c.Providers {
+		p.Close()
+	}
+	for _, hb := range c.hbClients {
+		hb.Close()
+	}
+	for _, m := range c.MetaServers {
+		m.Close()
+	}
+	if c.PM != nil {
+		c.PM.Close()
+	}
+	if c.VM != nil {
+		c.VM.Close()
+	}
+}

@@ -1,0 +1,264 @@
+// Package core implements the BlobSeer client library: the versioning
+// access interface of §I-B1. A client manipulates a blob through CreateBlob
+// / OpenBlob and then Read / Write / Append. Every Write or Append
+// generates a new snapshot version — only the difference is physically
+// stored — and Read can address any published version.
+//
+// Protocol (matching the paper's ordering):
+//
+//	Write:  upload chunks to data providers (placement from the provider
+//	        manager) → Assign at the version manager → weave + store
+//	        metadata tree nodes → Commit.
+//	Append: Assign first (the offset is only known then), then as Write.
+//	Read:   resolve version at the version manager → descend the metadata
+//	        tree → fetch chunks from data providers in parallel.
+//
+// Writers never read other writers' unpublished state; readers never
+// block on writers. The version manager is the only serialization point.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/meta"
+	"repro/internal/pmanager"
+	"repro/internal/rpc"
+	"repro/internal/vmanager"
+)
+
+// Errors reported by the client library.
+var (
+	ErrNotPublished  = errors.New("core: version not yet published")
+	ErrFailedVersion = errors.New("core: version was aborted by its writer")
+	ErrDegradedWrite = errors.New("core: chunk stored with fewer replicas than requested")
+)
+
+// Observer receives a callback for every chunk transfer the client
+// performs. The GloBeM monitoring pipeline (§IV-E) plugs in here.
+type Observer interface {
+	// ObserveChunkOp reports one chunk PUT/GET against one provider.
+	ObserveChunkOp(provider, op string, bytes int, dur time.Duration, err error)
+}
+
+// Config wires a client to a deployment.
+type Config struct {
+	// Network is the transport everything runs over.
+	Network rpc.Network
+	// ClientName, when set, attributes this client's traffic to a named
+	// simulated machine (one NIC per client on the fabric).
+	ClientName string
+	// VMAddr and PMAddr locate the version manager and provider manager.
+	VMAddr string
+	PMAddr string
+	// MetaProviders lists the metadata DHT members.
+	MetaProviders []string
+	// MetaReplication is the metadata replica count (default 1).
+	MetaReplication int
+	// MetaCacheNodes enables the client-side metadata cache when > 0.
+	MetaCacheNodes int
+	// CallTimeout bounds each RPC (default 30s).
+	CallTimeout time.Duration
+	// ParallelIO bounds concurrent chunk transfers per operation
+	// (default 16).
+	ParallelIO int
+	// Observer, when set, sees every chunk transfer.
+	Observer Observer
+}
+
+// Client talks to one BlobSeer deployment. It is safe for concurrent use;
+// typical experiments run many goroutines over one Client or many Clients
+// over one network.
+type Client struct {
+	cfg    Config
+	rpc    *rpc.Client
+	meta   *meta.Client
+	sem    chan struct{}
+	health *providerHealth
+}
+
+// NewClient validates cfg and builds a client.
+func NewClient(cfg Config) (*Client, error) {
+	if cfg.Network == nil {
+		return nil, errors.New("core: Config.Network is required")
+	}
+	if cfg.VMAddr == "" || cfg.PMAddr == "" {
+		return nil, errors.New("core: version manager and provider manager addresses are required")
+	}
+	if len(cfg.MetaProviders) == 0 {
+		return nil, errors.New("core: at least one metadata provider is required")
+	}
+	if cfg.MetaReplication < 1 {
+		cfg.MetaReplication = 1
+	}
+	if cfg.ParallelIO <= 0 {
+		cfg.ParallelIO = 16
+	}
+	rpcCli := rpc.NewClientFrom(cfg.Network, cfg.CallTimeout, cfg.ClientName)
+	return &Client{
+		cfg:    cfg,
+		rpc:    rpcCli,
+		meta:   meta.NewClient(rpcCli, cfg.MetaProviders, cfg.MetaReplication, cfg.MetaCacheNodes),
+		sem:    make(chan struct{}, cfg.ParallelIO),
+		health: newProviderHealth(),
+	}, nil
+}
+
+// Close releases the client's connections.
+func (c *Client) Close() { c.rpc.Close() }
+
+// RPC exposes the client's connection cache so services layered on
+// BlobSeer (e.g. the BSFS namespace) can share it.
+func (c *Client) RPC() *rpc.Client { return c.rpc }
+
+// MetaCacheStats reports client-side metadata cache hits/misses.
+func (c *Client) MetaCacheStats() (hits, misses int64) { return c.meta.CacheStats() }
+
+// Blob is a handle on one blob.
+type Blob struct {
+	c           *Client
+	id          uint64
+	chunkSize   uint64
+	replication uint32
+}
+
+// CreateBlob registers a new blob with the given chunk size (bytes) and
+// data replication degree.
+func (c *Client) CreateBlob(chunkSize uint64, replication uint32) (*Blob, error) {
+	var resp vmanager.CreateResp
+	err := c.rpc.Call(c.cfg.VMAddr, vmanager.MethodCreate,
+		&vmanager.CreateReq{ChunkSize: chunkSize, Replication: replication}, &resp)
+	if err != nil {
+		return nil, fmt.Errorf("core: create blob: %w", err)
+	}
+	if replication == 0 {
+		replication = 1
+	}
+	return &Blob{c: c, id: resp.BlobID, chunkSize: chunkSize, replication: replication}, nil
+}
+
+// OpenBlob opens an existing blob by ID.
+func (c *Client) OpenBlob(id uint64) (*Blob, error) {
+	var info vmanager.InfoResp
+	err := c.rpc.Call(c.cfg.VMAddr, vmanager.MethodInfo, &vmanager.BlobRef{BlobID: id}, &info)
+	if err != nil {
+		return nil, fmt.Errorf("core: open blob %d: %w", id, err)
+	}
+	return &Blob{c: c, id: id, chunkSize: info.ChunkSize, replication: info.Replication}, nil
+}
+
+// ListBlobs enumerates all blob IDs known to the version manager.
+func (c *Client) ListBlobs() ([]uint64, error) {
+	var resp vmanager.ListResp
+	if err := c.rpc.Call(c.cfg.VMAddr, vmanager.MethodList, &vmanager.Ack{}, &resp); err != nil {
+		return nil, fmt.Errorf("core: list blobs: %w", err)
+	}
+	return resp.IDs, nil
+}
+
+// ID returns the blob's identifier.
+func (b *Blob) ID() uint64 { return b.id }
+
+// ChunkSize returns the blob's chunk size in bytes.
+func (b *Blob) ChunkSize() uint64 { return b.chunkSize }
+
+// Replication returns the blob's data replication degree.
+func (b *Blob) Replication() uint32 { return b.replication }
+
+// Latest returns the newest published version and its size in bytes.
+// A blob that was never written reports version 0, size 0.
+func (b *Blob) Latest() (version, sizeBytes uint64, err error) {
+	var resp vmanager.LatestResp
+	err = b.c.rpc.Call(b.c.cfg.VMAddr, vmanager.MethodLatest, &vmanager.BlobRef{BlobID: b.id}, &resp)
+	if err != nil {
+		return 0, 0, fmt.Errorf("core: latest of blob %d: %w", b.id, err)
+	}
+	return resp.Version, resp.SizeBytes, nil
+}
+
+// Size returns the byte size of the given version (0 = latest published).
+func (b *Blob) Size(version uint64) (uint64, error) {
+	if version == 0 {
+		_, size, err := b.Latest()
+		return size, err
+	}
+	vi, err := b.versionInfo(version)
+	if err != nil {
+		return 0, err
+	}
+	return vi.SizeBytes, nil
+}
+
+func (b *Blob) versionInfo(version uint64) (*vmanager.VersionInfoResp, error) {
+	var resp vmanager.VersionInfoResp
+	err := b.c.rpc.Call(b.c.cfg.VMAddr, vmanager.MethodVersionInfo,
+		&vmanager.VersionRef{BlobID: b.id, Version: version}, &resp)
+	if err != nil {
+		return nil, fmt.Errorf("core: version %d of blob %d: %w", version, b.id, err)
+	}
+	return &resp, nil
+}
+
+// WaitPublished blocks until version is published.
+func (b *Blob) WaitPublished(version uint64) error {
+	return b.c.rpc.Call(b.c.cfg.VMAddr, vmanager.MethodWaitPublished,
+		&vmanager.VersionRef{BlobID: b.id, Version: version}, &vmanager.Ack{})
+}
+
+// allocate asks the provider manager for replica sets for n chunks.
+func (c *Client) allocate(n int, replication uint32) ([][]string, error) {
+	var resp pmanager.AllocateResp
+	err := c.rpc.Call(c.cfg.PMAddr, pmanager.MethodAllocate,
+		&pmanager.AllocateReq{NumChunks: uint32(n), Replication: replication}, &resp)
+	if err != nil {
+		return nil, fmt.Errorf("core: allocate %d chunks: %w", n, err)
+	}
+	if len(resp.Sets) != n {
+		return nil, fmt.Errorf("core: allocator returned %d sets for %d chunks", len(resp.Sets), n)
+	}
+	return resp.Sets, nil
+}
+
+// parallel runs fn(0..n-1) with bounded concurrency and returns the first
+// error.
+func (c *Client) parallel(n int, fn func(i int) error) error {
+	if n == 0 {
+		return nil
+	}
+	if n == 1 {
+		return fn(0)
+	}
+	var wg sync.WaitGroup
+	var firstErr atomic.Pointer[error]
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		c.sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-c.sem }()
+			if firstErr.Load() != nil {
+				return
+			}
+			if err := fn(i); err != nil {
+				firstErr.CompareAndSwap(nil, &err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if e := firstErr.Load(); e != nil {
+		return *e
+	}
+	return nil
+}
+
+// writeIDs generates process-unique identifiers for chunk keys: data is
+// uploaded before a version number exists, so chunk identity cannot use
+// the version (the paper uploads data first too).
+var writeIDBase = rand.Uint64() | 1<<63 // high bit set: never collides with version numbers
+var writeIDCounter atomic.Uint64
+
+func nextWriteID() uint64 { return writeIDBase ^ writeIDCounter.Add(1) }

@@ -1,0 +1,159 @@
+package core_test
+
+import (
+	"bytes"
+	"io"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+// The paper claims all operations are linearizable [1]. Observable
+// consequences we can check from the outside:
+//
+//  1. the published version number and the blob size are monotone
+//     non-decreasing for every observer;
+//  2. a version's content never changes once observed;
+//  3. an append acknowledged to the writer is visible to every reader
+//     that subsequently observes a version >= the append's version.
+func TestLinearizabilityObservables(t *testing.T) {
+	c, err := cluster.Start(cluster.Config{DataProviders: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	setup, err := c.NewClient(cluster.ClientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := setup.CreateBlob(1024, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const writers = 6
+	const appendsPerWriter = 10
+	const part = 2048
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+
+	// Writers: concurrent appends, each recording its acknowledged
+	// version.
+	type ack struct {
+		version uint64
+		offset  uint64
+		seed    byte
+	}
+	acks := make(chan ack, writers*appendsPerWriter)
+	for w := 0; w < writers; w++ {
+		cli, err := c.NewClient(cluster.ClientOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := cli.OpenBlob(blob.ID())
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < appendsPerWriter; i++ {
+				seed := byte(w*appendsPerWriter + i + 1)
+				v, off, err := b.Append(bytes.Repeat([]byte{seed}, part))
+				if err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+				acks <- ack{version: v, offset: off, seed: seed}
+			}
+		}(w)
+	}
+
+	// Observers: poll Latest; versions and sizes must be monotone.
+	for r := 0; r < 4; r++ {
+		cli, err := c.NewClient(cluster.ClientOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := cli.OpenBlob(blob.ID())
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			var lastV, lastSize uint64
+			for !stop.Load() {
+				v, size, err := b.Latest()
+				if err != nil {
+					t.Errorf("observer %d: %v", r, err)
+					return
+				}
+				if v < lastV || size < lastSize {
+					t.Errorf("observer %d: non-monotone (v %d->%d, size %d->%d)",
+						r, lastV, v, lastSize, size)
+					return
+				}
+				lastV, lastSize = v, size
+			}
+		}(r)
+	}
+
+	// Collect every acknowledgment, then stop the observers.
+	wgWriters := writers * appendsPerWriter
+	collected := make([]ack, 0, wgWriters)
+	for i := 0; i < wgWriters; i++ {
+		collected = append(collected, <-acks)
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	// Every acknowledged append is visible at its acknowledged version and
+	// at the final version, with exactly the bytes written.
+	reader, err := c.NewClient(cluster.ClientOptions{MetaCacheNodes: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := reader.OpenBlob(blob.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	finalV, finalSize, err := rb.Latest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if finalSize != uint64(wgWriters*part) {
+		t.Fatalf("final size = %d, want %d", finalSize, wgWriters*part)
+	}
+	if finalV != uint64(wgWriters) {
+		t.Fatalf("final version = %d, want %d", finalV, wgWriters)
+	}
+	buf := make([]byte, part)
+	for _, a := range collected {
+		for _, v := range []uint64{a.version, finalV} {
+			if _, err := rb.Read(v, buf, a.offset); err != nil && err != io.EOF {
+				t.Fatalf("read v%d off %d: %v", v, a.offset, err)
+			}
+			if !bytes.Equal(buf, bytes.Repeat([]byte{a.seed}, part)) {
+				t.Fatalf("append (seed %d) corrupted at v%d", a.seed, v)
+			}
+		}
+	}
+	// Content immutability: re-read a mid-history version twice.
+	mid := finalV / 2
+	first := make([]byte, 4096)
+	second := make([]byte, 4096)
+	if _, err := rb.Read(mid, first, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if _, err := rb.Read(mid, second, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatal("same version read twice returned different content")
+	}
+}

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/meta"
+	"repro/internal/provider"
+)
+
+// Read fills p with the blob's content starting at byte offset off, taken
+// from the given published version (0 = latest published). It returns the
+// number of bytes read; like io.ReaderAt it returns io.EOF when fewer than
+// len(p) bytes were available.
+//
+// Reads never synchronize with writers: the snapshot named by version is
+// immutable, so the descent and the chunk fetches need no locks anywhere
+// in the system (§I-B3 read/write concurrency).
+func (b *Blob) Read(version uint64, p []byte, off uint64) (int, error) {
+	version, sizeBytes, sizeChunks, err := b.resolveVersion(version)
+	if err != nil {
+		return 0, err
+	}
+	if len(p) == 0 {
+		return 0, nil
+	}
+	if off >= sizeBytes {
+		return 0, io.EOF
+	}
+	end := off + uint64(len(p))
+	if end > sizeBytes {
+		end = sizeBytes
+	}
+	if err := b.readRange(version, sizeChunks, p[:end-off], off); err != nil {
+		return 0, err
+	}
+	n := int(end - off)
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// readInto is Read without clamping diagnostics, used internally by the
+// read-modify-write merge; the caller guarantees the range is in bounds.
+// Unlike Read it accepts aborted versions: abort repair gives them valid
+// identity metadata, and the merge needs "content as of v-1" regardless of
+// whether v-1's own write succeeded.
+func (b *Blob) readInto(version uint64, p []byte, off uint64) error {
+	vi, err := b.versionInfo(version)
+	if err != nil {
+		return err
+	}
+	if !vi.Published {
+		return fmt.Errorf("%w: blob %d version %d", ErrNotPublished, b.id, version)
+	}
+	return b.readRange(version, vi.SizeChunks, p, off)
+}
+
+// resolveVersion maps version 0 to the latest published version and
+// validates that an explicit version is published and not aborted.
+func (b *Blob) resolveVersion(version uint64) (v, sizeBytes, sizeChunks uint64, err error) {
+	if version == 0 {
+		var lv, size uint64
+		lv, size, err = b.Latest()
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		if lv == 0 {
+			return 0, 0, 0, nil // empty blob: reads see size 0
+		}
+		cs := b.chunkSize
+		return lv, size, (size + cs - 1) / cs, nil
+	}
+	vi, err := b.versionInfo(version)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if !vi.Published {
+		return 0, 0, 0, fmt.Errorf("%w: blob %d version %d", ErrNotPublished, b.id, version)
+	}
+	if vi.Failed {
+		return 0, 0, 0, fmt.Errorf("%w: blob %d version %d", ErrFailedVersion, b.id, version)
+	}
+	return version, vi.SizeBytes, vi.SizeChunks, nil
+}
+
+// readRange fetches [off, off+len(p)) of a published version into p.
+func (b *Blob) readRange(version, sizeChunks uint64, p []byte, off uint64) error {
+	cs := b.chunkSize
+	end := off + uint64(len(p))
+	a, z := off/cs, (end+cs-1)/cs
+	refs, err := meta.CollectLeaves(b.c.meta, b.id, version, sizeChunks, a, z)
+	if err != nil {
+		return fmt.Errorf("core: metadata for read of blob %d v%d: %w", b.id, version, err)
+	}
+	return b.c.parallel(len(refs), func(i int) error {
+		idx := a + uint64(i)
+		chunkLo := idx * cs
+		lo, hi := maxU64(chunkLo, off), minU64(chunkLo+cs, end)
+		dst := p[lo-off : hi-off]
+		ref := refs[i]
+		if ref.IsZero() {
+			zero(dst)
+			return nil
+		}
+		data, err := b.fetchChunk(ref)
+		if err != nil {
+			return err
+		}
+		// Copy the in-chunk byte range, zero-padding past the chunk's
+		// valid length (sparse regions within a partially written chunk).
+		inLo := lo - chunkLo
+		for j := range dst {
+			pos := inLo + uint64(j)
+			if pos < uint64(len(data)) && pos < uint64(ref.Length) {
+				dst[j] = data[pos]
+			} else {
+				dst[j] = 0
+			}
+		}
+		return nil
+	})
+}
+
+// fetchChunk retrieves one chunk, trying replicas healthiest-first (the
+// client-side QoS feedback of §IV-E: a degraded provider stops being the
+// first choice after a few slow operations) and failing over on error.
+func (b *Blob) fetchChunk(ref meta.ChunkRef) ([]byte, error) {
+	ordered := b.c.health.order(ref.Providers)
+	var lastErr error
+	for _, addr := range ordered {
+		start := time.Now()
+		data, err := provider.GetChunk(b.c.rpc, addr, ref.Key)
+		elapsed := time.Since(start)
+		b.c.health.observe(addr, float64(elapsed.Microseconds())/1000, err != nil)
+		if obs := b.c.cfg.Observer; obs != nil {
+			obs.ObserveChunkOp(addr, "get", len(data), elapsed, err)
+		}
+		if err == nil {
+			return data, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("core: chunk %s unavailable on all %d replicas: %w",
+		ref.Key, len(ref.Providers), lastErr)
+}
+
+func zero(p []byte) {
+	for i := range p {
+		p[i] = 0
+	}
+}
+
+// ChunkLocation reports where one chunk-aligned slice of a version lives;
+// the locality information BSFS exposes to MapReduce schedulers (§IV-D).
+type ChunkLocation struct {
+	Offset    uint64 // byte offset within the blob
+	Length    uint64 // valid bytes in this chunk
+	Providers []string
+}
+
+// Locations returns the chunk locations overlapping [off, off+length) of
+// the given version (0 = latest).
+func (b *Blob) Locations(version, off, length uint64) ([]ChunkLocation, error) {
+	version, sizeBytes, sizeChunks, err := b.resolveVersion(version)
+	if err != nil {
+		return nil, err
+	}
+	if version == 0 || off >= sizeBytes || length == 0 {
+		return nil, nil
+	}
+	end := off + length
+	if end > sizeBytes {
+		end = sizeBytes
+	}
+	cs := b.chunkSize
+	a, z := off/cs, (end+cs-1)/cs
+	refs, err := meta.CollectLeaves(b.c.meta, b.id, version, sizeChunks, a, z)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ChunkLocation, len(refs))
+	for i, ref := range refs {
+		out[i] = ChunkLocation{
+			Offset:    (a + uint64(i)) * cs,
+			Length:    uint64(ref.Length),
+			Providers: ref.Providers,
+		}
+	}
+	return out, nil
+}

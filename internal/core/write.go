@@ -1,0 +1,370 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/chunk"
+	"repro/internal/meta"
+	"repro/internal/provider"
+	"repro/internal/vmanager"
+)
+
+// writeJob is one chunk to upload: its index and fully merged content.
+type writeJob struct {
+	idx  uint64
+	data []byte
+}
+
+// Write stores p at byte offset off, producing and returning a new version.
+// The write may extend the blob; ranges between the old end and off (for
+// sparse writes) read back as zeros. Unaligned boundaries are supported
+// via read-modify-write of the boundary chunks, which serializes against
+// the immediately preceding version; chunk-aligned writes never wait for
+// any other writer.
+func (b *Blob) Write(p []byte, off uint64) (uint64, error) {
+	if len(p) == 0 {
+		return 0, errors.New("core: empty write")
+	}
+	cs := b.chunkSize
+	end := off + uint64(len(p))
+	startChunk, endChunk := off/cs, (end+cs-1)/cs
+	writeID := nextWriteID()
+
+	// Phase 1 (pre-assign, fully parallel with all other writers): upload
+	// every chunk whose content is entirely determined by p.
+	var full []writeJob
+	for i := startChunk; i < endChunk; i++ {
+		lo, hi := i*cs, (i+1)*cs
+		if lo >= off && hi <= end {
+			full = append(full, writeJob{idx: i, data: p[lo-off : hi-off]})
+		}
+	}
+	sets, err := b.c.allocate(len(full), b.replication)
+	if err != nil {
+		return 0, err
+	}
+	stored := make(map[uint64][]string, endChunk-startChunk)
+	var mu chunkSetMu
+	err = b.c.parallel(len(full), func(i int) error {
+		got, err := b.putReplicas(chunk.Key{Blob: b.id, Version: writeID, Index: full[i].idx}, full[i].data, sets[i])
+		if err != nil {
+			return err
+		}
+		mu.set(stored, full[i].idx, got)
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+
+	// Phase 2: obtain the version and the concurrency context.
+	var assign vmanager.AssignResp
+	err = b.c.rpc.Call(b.c.cfg.VMAddr, vmanager.MethodAssign,
+		&vmanager.AssignReq{BlobID: b.id, Offset: off, Size: uint64(len(p))}, &assign)
+	if err != nil {
+		return 0, fmt.Errorf("core: assign: %w", err)
+	}
+	return b.finishWrite(p, off, writeID, &assign, stored)
+}
+
+// Append adds p at the end of the blob, returning the new version and the
+// byte offset the data landed at. Concurrent appenders receive disjoint
+// contiguous ranges from the version manager and proceed in parallel.
+func (b *Blob) Append(p []byte) (version, off uint64, err error) {
+	if len(p) == 0 {
+		return 0, 0, errors.New("core: empty append")
+	}
+	var assign vmanager.AssignResp
+	err = b.c.rpc.Call(b.c.cfg.VMAddr, vmanager.MethodAssign,
+		&vmanager.AssignReq{BlobID: b.id, Size: uint64(len(p)), Append: true}, &assign)
+	if err != nil {
+		return 0, 0, fmt.Errorf("core: assign append: %w", err)
+	}
+	writeID := nextWriteID()
+	v, err := b.finishWrite(p, assign.Offset, writeID, &assign, map[uint64][]string{})
+	if err != nil {
+		return 0, 0, err
+	}
+	return v, assign.Offset, nil
+}
+
+// finishWrite completes a write after version assignment: upload any
+// not-yet-stored chunks (including boundary chunks needing merge), weave
+// the metadata tree, and commit. stored maps chunk index -> replica set
+// for chunks already uploaded in phase 1. On unrecoverable failure the
+// version is abort-repaired so publication never wedges and the version
+// chain stays fully readable.
+func (b *Blob) finishWrite(p []byte, off, writeID uint64, assign *vmanager.AssignResp, stored map[uint64][]string) (uint64, error) {
+	v, err := b.finishWriteInner(p, off, writeID, assign, stored)
+	if err != nil {
+		b.abortRepair(assign)
+		return 0, err
+	}
+	return v, nil
+}
+
+// abortRepair handles a failed write: it weaves an *identity* metadata
+// tree for the assigned version — every leaf in the write range points at
+// the previous snapshot's chunk (or zeros where the failed write grew the
+// blob) — then marks the version aborted at the version manager. Later
+// writers hold this version's in-flight descriptor and will reference its
+// nodes, so the full intersecting node set must exist; reusing the weave
+// with copied leaves produces exactly that set without moving any data.
+func (b *Blob) abortRepair(assign *vmanager.AssignResp) {
+	defer func() {
+		// Publication must advance even if the repair itself failed.
+		_ = b.c.rpc.Call(b.c.cfg.VMAddr, vmanager.MethodAbort,
+			&vmanager.VersionRef{BlobID: b.id, Version: assign.Version}, &vmanager.Ack{})
+	}()
+	prev := assign.Version - 1
+	// Repair reads the previous snapshot, so it serializes behind it; this
+	// is a failure path, not the fast path.
+	if prev > 0 {
+		if err := b.WaitPublished(prev); err != nil {
+			return
+		}
+	}
+	leaves := make([]meta.ChunkRef, assign.EndChunk-assign.StartChunk)
+	if prev > 0 {
+		vi, err := b.versionInfo(prev)
+		if err != nil {
+			return
+		}
+		prevChunks := vi.SizeChunks
+		lo := assign.StartChunk
+		hi := minU64(assign.EndChunk, prevChunks)
+		if hi > lo {
+			prior, err := meta.CollectLeaves(b.c.meta, b.id, prev, prevChunks, lo, hi)
+			if err != nil {
+				return
+			}
+			copy(leaves, prior)
+		}
+	}
+	nodes, _, err := meta.Weave(b.c.meta, meta.WeaveInput{
+		Blob:          b.id,
+		Version:       assign.Version,
+		StartChunk:    assign.StartChunk,
+		EndChunk:      assign.EndChunk,
+		SizeChunks:    assign.SizeChunks,
+		Leaves:        leaves,
+		InFlight:      assign.InFlight,
+		PubVersion:    assign.PubVersion,
+		PubSizeChunks: assign.PubSizeChunks,
+	})
+	if err != nil {
+		return
+	}
+	_ = b.c.meta.PutNodes(nodes)
+}
+
+func (b *Blob) finishWriteInner(p []byte, off, writeID uint64, assign *vmanager.AssignResp, stored map[uint64][]string) (uint64, error) {
+	cs := b.chunkSize
+	end := off + uint64(len(p))
+	var mu chunkSetMu
+
+	// Upload every chunk not handled in phase 1. Boundary chunks whose
+	// prior bytes live inside the previous version's extent need a
+	// read-modify-write against version assign.Version-1.
+	var jobs []writeJob
+	var rmwNeeded bool
+	for i := assign.StartChunk; i < assign.EndChunk; i++ {
+		if _, ok := stored[i]; ok {
+			continue
+		}
+		chunkLo := i * cs
+		length := assign.SizeBytes - chunkLo
+		if length > cs {
+			length = cs
+		}
+		data := make([]byte, length)
+		// Bytes from p.
+		srcLo, srcHi := maxU64(chunkLo, off), minU64(chunkLo+cs, end)
+		copy(data[srcLo-chunkLo:], p[srcLo-off:srcHi-off])
+		// Prior bytes (before and/or after the written range) that fall
+		// inside the previous version's extent must be merged.
+		if chunkLo < assign.PrevSizeBytes && (srcLo > chunkLo || (srcHi < chunkLo+length && srcHi < assign.PrevSizeBytes)) {
+			rmwNeeded = true
+		}
+		jobs = append(jobs, writeJob{idx: i, data: data})
+	}
+
+	if rmwNeeded {
+		if err := b.mergePrior(jobs, off, end, assign); err != nil {
+			return 0, err
+		}
+	}
+
+	if len(jobs) > 0 {
+		sets, err := b.c.allocate(len(jobs), b.replication)
+		if err != nil {
+			return 0, err
+		}
+		err = b.c.parallel(len(jobs), func(i int) error {
+			got, err := b.putReplicas(chunk.Key{Blob: b.id, Version: writeID, Index: jobs[i].idx}, jobs[i].data, sets[i])
+			if err != nil {
+				return err
+			}
+			mu.set(stored, jobs[i].idx, got)
+			return nil
+		})
+		if err != nil {
+			return 0, err
+		}
+	}
+
+	// Weave and store the metadata tree.
+	leaves := make([]meta.ChunkRef, assign.EndChunk-assign.StartChunk)
+	for i := assign.StartChunk; i < assign.EndChunk; i++ {
+		length := assign.SizeBytes - i*cs
+		if length > cs {
+			length = cs
+		}
+		leaves[i-assign.StartChunk] = meta.ChunkRef{
+			Providers: stored[i],
+			Key:       chunk.Key{Blob: b.id, Version: writeID, Index: i},
+			Length:    uint32(length),
+		}
+	}
+	nodes, _, err := meta.Weave(b.c.meta, meta.WeaveInput{
+		Blob:          b.id,
+		Version:       assign.Version,
+		StartChunk:    assign.StartChunk,
+		EndChunk:      assign.EndChunk,
+		SizeChunks:    assign.SizeChunks,
+		Leaves:        leaves,
+		InFlight:      assign.InFlight,
+		PubVersion:    assign.PubVersion,
+		PubSizeChunks: assign.PubSizeChunks,
+	})
+	if err != nil {
+		return 0, fmt.Errorf("core: weaving metadata for v%d: %w", assign.Version, err)
+	}
+	if err := b.c.meta.PutNodes(nodes); err != nil {
+		return 0, fmt.Errorf("core: storing metadata for v%d: %w", assign.Version, err)
+	}
+
+	// Commit: the version manager publishes in order.
+	err = b.c.rpc.Call(b.c.cfg.VMAddr, vmanager.MethodCommit,
+		&vmanager.VersionRef{BlobID: b.id, Version: assign.Version}, &vmanager.Ack{})
+	if err != nil {
+		return 0, fmt.Errorf("core: commit v%d: %w", assign.Version, err)
+	}
+	return assign.Version, nil
+}
+
+// mergePrior overlays the previous version's bytes into the boundary
+// chunks of an unaligned write. It waits for version-1 to publish — the
+// one case where a writer serializes behind its predecessor — and reads
+// the prior content of every affected chunk.
+func (b *Blob) mergePrior(jobs []writeJob, off, end uint64, assign *vmanager.AssignResp) error {
+	prev := assign.Version - 1
+	if prev == 0 {
+		return nil // nothing real to merge with; zeros are already in place
+	}
+	// Aborted predecessors are fine: abort repair guarantees every
+	// published version (failed or not) has complete, readable metadata.
+	if err := b.WaitPublished(prev); err != nil {
+		return fmt.Errorf("core: waiting for v%d before merge: %w", prev, err)
+	}
+	cs := b.chunkSize
+	for j := range jobs {
+		idx, data := jobs[j].idx, jobs[j].data
+		chunkLo := idx * cs
+		if chunkLo >= assign.PrevSizeBytes {
+			continue
+		}
+		srcLo, srcHi := maxU64(chunkLo, off), minU64(chunkLo+cs, end)
+		// Merge the head [chunkLo, srcLo).
+		if srcLo > chunkLo {
+			if err := b.readInto(prev, data[:srcLo-chunkLo], chunkLo); err != nil {
+				return fmt.Errorf("core: merge head of chunk %d: %w", idx, err)
+			}
+		}
+		// Merge the tail [srcHi, chunkLo+len(data)) where it overlaps the
+		// prior extent.
+		tailEnd := minU64(chunkLo+uint64(len(data)), assign.PrevSizeBytes)
+		if srcHi < tailEnd {
+			if err := b.readInto(prev, data[srcHi-chunkLo:tailEnd-chunkLo], srcHi); err != nil {
+				return fmt.Errorf("core: merge tail of chunk %d: %w", idx, err)
+			}
+		}
+	}
+	return nil
+}
+
+// putReplicas stores one chunk at every address in set, returning the
+// providers that accepted it. When all replicas fail, placement is retried
+// once with a fresh allocation before giving up.
+func (b *Blob) putReplicas(key chunk.Key, data []byte, set []string) ([]string, error) {
+	put := func(addrs []string) []string {
+		okCh := make(chan string, len(addrs))
+		var n int
+		for _, addr := range addrs {
+			n++
+			go func(addr string) {
+				start := time.Now()
+				err := provider.PutChunk(b.c.rpc, addr, key, data)
+				elapsed := time.Since(start)
+				b.c.health.observe(addr, float64(elapsed.Microseconds())/1000, err != nil)
+				if obs := b.c.cfg.Observer; obs != nil {
+					obs.ObserveChunkOp(addr, "put", len(data), elapsed, err)
+				}
+				if err != nil {
+					okCh <- ""
+					return
+				}
+				okCh <- addr
+			}(addr)
+		}
+		var ok []string
+		for i := 0; i < n; i++ {
+			if a := <-okCh; a != "" {
+				ok = append(ok, a)
+			}
+		}
+		return ok
+	}
+	ok := put(set)
+	if len(ok) > 0 {
+		return ok, nil
+	}
+	// Every replica failed (e.g. the whole set crashed): one fresh try.
+	fresh, err := b.c.allocate(1, b.replication)
+	if err != nil {
+		return nil, fmt.Errorf("core: chunk %s: all replicas failed and reallocation failed: %w", key, err)
+	}
+	ok = put(fresh[0])
+	if len(ok) == 0 {
+		return nil, fmt.Errorf("core: chunk %s: no provider accepted the chunk", key)
+	}
+	return ok, nil
+}
+
+// chunkSetMu guards the stored map shared by parallel uploads.
+type chunkSetMu struct {
+	mu sync.Mutex
+}
+
+func (m *chunkSetMu) set(dst map[uint64][]string, k uint64, v []string) {
+	m.mu.Lock()
+	dst[k] = v
+	m.mu.Unlock()
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minU64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,153 @@
+// Package dht implements the consistent-hashing ring BlobSeer uses to
+// spread metadata tree nodes over the metadata providers (§I-B2 of the
+// paper: "a decentralized, DHT-based infrastructure").
+//
+// Each physical node is mapped to a configurable number of virtual points
+// on a 64-bit ring; a key is served by the first point at or after its
+// hash. Replica sets are the next R *distinct* physical nodes along the
+// ring. Because BlobSeer metadata is immutable (versioning: nodes are
+// written once and never modified), the ring needs no anti-entropy — the
+// membership is fixed per deployment and replicas are written at Put time.
+package dht
+
+import (
+	"hash/fnv"
+	"sort"
+	"sync"
+)
+
+// DefaultVnodes is the virtual-node count used when NewRing gets zero.
+const DefaultVnodes = 64
+
+// Ring is a consistent-hash ring over named nodes. It is safe for
+// concurrent use.
+type Ring struct {
+	mu     sync.RWMutex
+	vnodes int
+	points []point
+	nodes  map[string]struct{}
+}
+
+type point struct {
+	hash uint64
+	node string
+}
+
+// NewRing creates a ring with the given number of virtual nodes per
+// physical node (0 = DefaultVnodes).
+func NewRing(vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	return &Ring{vnodes: vnodes, nodes: make(map[string]struct{})}
+}
+
+// HashString hashes an arbitrary string to a ring position.
+func HashString(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// HashKey mixes a sequence of integers into a well-distributed 64-bit ring
+// position (splitmix64 finalizer applied per word).
+func HashKey(parts ...uint64) uint64 {
+	var x uint64 = 0x9E3779B97F4A7C15
+	for _, p := range parts {
+		x ^= mix64(p + x)
+	}
+	return mix64(x)
+}
+
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Add inserts a node (idempotent).
+func (r *Ring) Add(node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.nodes[node]; ok {
+		return
+	}
+	r.nodes[node] = struct{}{}
+	base := HashString(node)
+	for i := 0; i < r.vnodes; i++ {
+		// Mix the node hash with the vnode index through the splitmix
+		// finalizer; raw FNV over "name#i" strings clusters badly.
+		h := HashKey(base, uint64(i))
+		r.points = append(r.points, point{hash: h, node: node})
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+}
+
+// Remove deletes a node and all its virtual points (idempotent).
+func (r *Ring) Remove(node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.nodes[node]; !ok {
+		return
+	}
+	delete(r.nodes, node)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.node != node {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Len reports the number of physical nodes.
+func (r *Ring) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.nodes)
+}
+
+// Nodes returns a snapshot of the member node names (unordered).
+func (r *Ring) Nodes() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.nodes))
+	for n := range r.nodes {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Lookup returns the node owning key, or "" if the ring is empty.
+func (r *Ring) Lookup(key uint64) string {
+	owners := r.LookupN(key, 1)
+	if len(owners) == 0 {
+		return ""
+	}
+	return owners[0]
+}
+
+// LookupN returns up to n distinct nodes responsible for key, in replica
+// order (owner first, then successors).
+func (r *Ring) LookupN(key uint64, n int) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= key })
+	out := make([]string, 0, n)
+	seen := make(map[string]struct{}, n)
+	for i := 0; len(out) < n && i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if _, dup := seen[p.node]; dup {
+			continue
+		}
+		seen[p.node] = struct{}{}
+		out = append(out, p.node)
+	}
+	return out
+}

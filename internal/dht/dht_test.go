@@ -1,0 +1,209 @@
+package dht
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyRing(t *testing.T) {
+	r := NewRing(8)
+	if got := r.Lookup(123); got != "" {
+		t.Errorf("Lookup on empty ring = %q", got)
+	}
+	if got := r.LookupN(123, 3); got != nil {
+		t.Errorf("LookupN on empty ring = %v", got)
+	}
+	if r.Len() != 0 {
+		t.Errorf("Len = %d", r.Len())
+	}
+}
+
+func TestAddRemoveIdempotent(t *testing.T) {
+	r := NewRing(8)
+	r.Add("a")
+	r.Add("a")
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d after double add", r.Len())
+	}
+	r.Remove("a")
+	r.Remove("a")
+	if r.Len() != 0 {
+		t.Fatalf("Len = %d after double remove", r.Len())
+	}
+	r.Remove("ghost") // must not panic
+}
+
+func TestLookupDeterministic(t *testing.T) {
+	r := NewRing(16)
+	for i := 0; i < 5; i++ {
+		r.Add(fmt.Sprintf("node%d", i))
+	}
+	for k := uint64(0); k < 1000; k++ {
+		key := HashKey(k)
+		if a, b := r.Lookup(key), r.Lookup(key); a != b {
+			t.Fatalf("non-deterministic lookup for %d: %q vs %q", k, a, b)
+		}
+	}
+}
+
+func TestLookupNDistinctAndOrdered(t *testing.T) {
+	r := NewRing(16)
+	for i := 0; i < 6; i++ {
+		r.Add(fmt.Sprintf("node%d", i))
+	}
+	for k := uint64(0); k < 200; k++ {
+		key := HashKey(k, 7)
+		owners := r.LookupN(key, 3)
+		if len(owners) != 3 {
+			t.Fatalf("LookupN returned %d owners", len(owners))
+		}
+		seen := map[string]bool{}
+		for _, o := range owners {
+			if seen[o] {
+				t.Fatalf("duplicate owner %q in %v", o, owners)
+			}
+			seen[o] = true
+		}
+		if owners[0] != r.Lookup(key) {
+			t.Fatalf("first replica %q != Lookup %q", owners[0], r.Lookup(key))
+		}
+	}
+}
+
+func TestLookupNClampedToMembership(t *testing.T) {
+	r := NewRing(8)
+	r.Add("a")
+	r.Add("b")
+	owners := r.LookupN(42, 5)
+	if len(owners) != 2 {
+		t.Fatalf("LookupN(_, 5) with 2 nodes = %v", owners)
+	}
+}
+
+// Balance: with enough vnodes, key ownership should be roughly uniform.
+func TestBalance(t *testing.T) {
+	const nodes = 10
+	const keys = 20000
+	r := NewRing(128)
+	for i := 0; i < nodes; i++ {
+		r.Add(fmt.Sprintf("node%d", i))
+	}
+	counts := map[string]int{}
+	for k := 0; k < keys; k++ {
+		counts[r.Lookup(HashKey(uint64(k), 99))]++
+	}
+	want := float64(keys) / nodes
+	for n, c := range counts {
+		if math.Abs(float64(c)-want) > want*0.5 {
+			t.Errorf("node %s owns %d keys, want within 50%% of %.0f", n, c, want)
+		}
+	}
+}
+
+// Stability: removing one node must only move keys that it owned.
+func TestRemovalStability(t *testing.T) {
+	r := NewRing(64)
+	for i := 0; i < 8; i++ {
+		r.Add(fmt.Sprintf("node%d", i))
+	}
+	before := make(map[uint64]string)
+	for k := uint64(0); k < 5000; k++ {
+		key := HashKey(k)
+		before[key] = r.Lookup(key)
+	}
+	r.Remove("node3")
+	moved, owned := 0, 0
+	for key, owner := range before {
+		now := r.Lookup(key)
+		if owner == "node3" {
+			owned++
+			if now == "node3" {
+				t.Fatalf("key %d still maps to removed node", key)
+			}
+			continue
+		}
+		if now != owner {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Errorf("%d keys not owned by the removed node moved", moved)
+	}
+	if owned == 0 {
+		t.Error("test vacuous: removed node owned no keys")
+	}
+}
+
+// property: HashKey is deterministic and sensitive to each argument.
+func TestQuickHashKey(t *testing.T) {
+	f := func(a, b uint64) bool {
+		if HashKey(a, b) != HashKey(a, b) {
+			return false
+		}
+		// different order should (overwhelmingly) hash differently
+		if a != b && HashKey(a, b) == HashKey(b, a) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// property: LookupN always returns distinct nodes, first == Lookup.
+func TestQuickLookupNInvariants(t *testing.T) {
+	r := NewRing(32)
+	for i := 0; i < 7; i++ {
+		r.Add(fmt.Sprintf("n%d", i))
+	}
+	f := func(key uint64, n uint8) bool {
+		want := int(n % 10)
+		owners := r.LookupN(key, want)
+		if want == 0 {
+			return owners == nil
+		}
+		limit := want
+		if limit > 7 {
+			limit = 7
+		}
+		if len(owners) != limit {
+			return false
+		}
+		seen := map[string]bool{}
+		for _, o := range owners {
+			if seen[o] {
+				return false
+			}
+			seen[o] = true
+		}
+		return owners[0] == r.Lookup(key)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	r := NewRing(128)
+	for i := 0; i < 50; i++ {
+		r.Add(fmt.Sprintf("node%d", i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.Lookup(HashKey(uint64(i)))
+	}
+}
+
+func BenchmarkLookupN3(b *testing.B) {
+	r := NewRing(128)
+	for i := 0; i < 50; i++ {
+		r.Add(fmt.Sprintf("node%d", i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.LookupN(HashKey(uint64(i)), 3)
+	}
+}

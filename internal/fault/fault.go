@@ -1,0 +1,124 @@
+// Package fault injects provider failures into a running cluster,
+// reproducing the §IV-E experimental conditions: "highly-concurrent data
+// access patterns for long periods of service up-time while supporting
+// failures of the physical storage components". Failures follow the
+// pattern GloBeM is designed to catch: a provider first degrades (its NIC
+// bandwidth collapses, latencies rise) and then crashes outright.
+package fault
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// Kind enumerates failure-schedule actions.
+type Kind int
+
+// Schedule actions.
+const (
+	// Kill crashes a provider (it drops off the network).
+	Kill Kind = iota
+	// Revive brings a crashed provider back.
+	Revive
+	// Degrade throttles a provider's NIC to BandwidthBps.
+	Degrade
+	// Restore resets a degraded provider's NIC to RestoreBps.
+	Restore
+)
+
+// Event is one scheduled action.
+type Event struct {
+	At       time.Duration
+	Kind     Kind
+	Provider int
+	// BandwidthBps applies to Degrade; RestoreBps to Restore.
+	BandwidthBps float64
+	RestoreBps   float64
+}
+
+// Schedule is a time-ordered list of events.
+type Schedule []Event
+
+// Runner applies a schedule to a cluster.
+type Runner struct {
+	c    *cluster.Cluster
+	stop chan struct{}
+	done chan struct{}
+}
+
+// Start launches schedule application; events fire relative to now.
+func Start(c *cluster.Cluster, schedule Schedule) *Runner {
+	r := &Runner{c: c, stop: make(chan struct{}), done: make(chan struct{})}
+	events := append(Schedule(nil), schedule...)
+	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
+	go func() {
+		defer close(r.done)
+		start := time.Now()
+		for _, ev := range events {
+			wait := ev.At - time.Since(start)
+			if wait > 0 {
+				select {
+				case <-r.stop:
+					return
+				case <-time.After(wait):
+				}
+			}
+			r.apply(ev)
+		}
+	}()
+	return r
+}
+
+func (r *Runner) apply(ev Event) {
+	addrs := r.c.ProviderAddrs()
+	if ev.Provider < 0 || ev.Provider >= len(addrs) {
+		return
+	}
+	switch ev.Kind {
+	case Kill:
+		r.c.KillProvider(ev.Provider)
+	case Revive:
+		r.c.ReviveProvider(ev.Provider)
+	case Degrade:
+		if r.c.Fabric != nil {
+			r.c.Fabric.SetBandwidth(addrs[ev.Provider], ev.BandwidthBps)
+		}
+	case Restore:
+		if r.c.Fabric != nil {
+			r.c.Fabric.SetBandwidth(addrs[ev.Provider], ev.RestoreBps)
+		}
+	}
+}
+
+// Stop cancels pending events and waits for the runner to exit.
+func (r *Runner) Stop() {
+	close(r.stop)
+	<-r.done
+}
+
+// Wait blocks until every event has fired.
+func (r *Runner) Wait() { <-r.done }
+
+// DegradeThenCrash builds the §IV-E failure pattern for a set of victims:
+// victim i degrades at start + i*spacing (bandwidth drops to degradedBps),
+// crashes lead later, and — when downFor > 0 — revives after downFor with
+// its bandwidth restored to healthyBps.
+func DegradeThenCrash(victims []int, start, spacing, lead, downFor time.Duration, degradedBps, healthyBps float64) Schedule {
+	var s Schedule
+	for i, v := range victims {
+		t := start + time.Duration(i)*spacing
+		s = append(s,
+			Event{At: t, Kind: Degrade, Provider: v, BandwidthBps: degradedBps},
+			Event{At: t + lead, Kind: Kill, Provider: v},
+		)
+		if downFor > 0 {
+			s = append(s,
+				Event{At: t + lead + downFor, Kind: Revive, Provider: v},
+				Event{At: t + lead + downFor, Kind: Restore, Provider: v, RestoreBps: healthyBps},
+			)
+		}
+	}
+	return s
+}

@@ -1,0 +1,105 @@
+package fault_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/fault"
+)
+
+func TestScheduleAppliesKillAndRevive(t *testing.T) {
+	c, err := cluster.Start(cluster.Config{DataProviders: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	addrs := c.ProviderAddrs()
+	r := fault.Start(c, fault.Schedule{
+		{At: 10 * time.Millisecond, Kind: fault.Kill, Provider: 0},
+		{At: 60 * time.Millisecond, Kind: fault.Revive, Provider: 0},
+	})
+	time.Sleep(35 * time.Millisecond)
+	if !c.Fabric.IsDown(addrs[0]) {
+		t.Error("provider 0 not killed")
+	}
+	r.Wait()
+	if c.Fabric.IsDown(addrs[0]) {
+		t.Error("provider 0 not revived")
+	}
+}
+
+func TestStopCancelsPending(t *testing.T) {
+	c, err := cluster.Start(cluster.Config{DataProviders: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	r := fault.Start(c, fault.Schedule{
+		{At: 5 * time.Second, Kind: fault.Kill, Provider: 0},
+	})
+	r.Stop()
+	if c.Fabric.IsDown(c.ProviderAddrs()[0]) {
+		t.Error("cancelled kill still fired")
+	}
+}
+
+func TestOutOfRangeProviderIgnored(t *testing.T) {
+	c, err := cluster.Start(cluster.Config{DataProviders: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	r := fault.Start(c, fault.Schedule{
+		{At: 0, Kind: fault.Kill, Provider: 99},
+		{At: 0, Kind: fault.Kill, Provider: -1},
+	})
+	r.Wait() // must not panic
+}
+
+func TestDegradeThenCrashShape(t *testing.T) {
+	s := fault.DegradeThenCrash([]int{2, 5}, time.Second, 10*time.Second, 2*time.Second, 3*time.Second, 1e5, 1e8)
+	if len(s) != 8 {
+		t.Fatalf("events = %d, want 8", len(s))
+	}
+	// First victim: degrade at 1s, kill at 3s, revive+restore at 6s.
+	if s[0].Kind != fault.Degrade || s[0].At != time.Second || s[0].Provider != 2 {
+		t.Errorf("s[0] = %+v", s[0])
+	}
+	if s[1].Kind != fault.Kill || s[1].At != 3*time.Second {
+		t.Errorf("s[1] = %+v", s[1])
+	}
+	if s[2].Kind != fault.Revive || s[2].At != 6*time.Second {
+		t.Errorf("s[2] = %+v", s[2])
+	}
+	// Second victim shifted by spacing.
+	if s[4].At != 11*time.Second || s[4].Provider != 5 {
+		t.Errorf("s[4] = %+v", s[4])
+	}
+	// No-revive variant.
+	s2 := fault.DegradeThenCrash([]int{0}, 0, 0, time.Second, 0, 1e5, 1e8)
+	if len(s2) != 2 {
+		t.Errorf("no-revive events = %d, want 2", len(s2))
+	}
+}
+
+func TestDegradeAppliesToFabric(t *testing.T) {
+	c, err := cluster.Start(cluster.Config{DataProviders: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	r := fault.Start(c, fault.Schedule{
+		{At: 0, Kind: fault.Degrade, Provider: 0, BandwidthBps: 1000},
+	})
+	r.Wait()
+	// A 10 KB transfer at 1 KB/s should now be slow on the fabric clock.
+	d, err := c.Fabric.Delay("x", c.ProviderAddrs()[0], 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d < 5*time.Second {
+		t.Errorf("degraded delay = %v, want ~10s", d)
+	}
+}

@@ -1,0 +1,119 @@
+package globem
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/pmanager"
+	"repro/internal/rpc"
+)
+
+// Controller closes the QoS feedback loop: it periodically snapshots the
+// monitor, refits the behaviour model over a sliding history, classifies
+// each provider's current behaviour, and pushes the dangerous providers to
+// the provider manager's avoid-list.
+type Controller struct {
+	Monitor *Monitor
+	// RPC and PMAddr connect the controller to the provider manager.
+	RPC    *rpc.Client
+	PMAddr string
+	// States is the number of behaviour states to model (default 3).
+	States int
+	// HistoryWindow bounds the sample history (default 256 samples).
+	HistoryWindow int
+	// MinHistory defers modeling until enough evidence exists
+	// (default 8 samples).
+	MinHistory int
+
+	mu      sync.Mutex
+	history []Sample
+	model   *Model
+	avoided map[string]bool
+}
+
+func (c *Controller) defaults() {
+	if c.States <= 0 {
+		c.States = 3
+	}
+	if c.HistoryWindow <= 0 {
+		c.HistoryWindow = 256
+	}
+	if c.MinHistory <= 0 {
+		c.MinHistory = 8
+	}
+}
+
+// Step runs one modeling round and returns the avoid-list it installed.
+//
+// Avoidance is *sticky*: a provider flagged dangerous stays avoided until
+// it produces healthy samples again. Once avoided, a provider stops
+// receiving placements and therefore stops producing samples — clearing it
+// on absence of evidence would oscillate placement straight back onto the
+// degraded node. (Reads of already-placed chunks keep probing avoided
+// providers, so recovery evidence does eventually arrive.)
+func (c *Controller) Step() []string {
+	c.defaults()
+	samples := c.Monitor.Snapshot()
+	c.mu.Lock()
+	if c.avoided == nil {
+		c.avoided = make(map[string]bool)
+	}
+	c.history = append(c.history, samples...)
+	if len(c.history) > c.HistoryWindow {
+		c.history = c.history[len(c.history)-c.HistoryWindow:]
+	}
+	if len(c.history) >= c.MinHistory {
+		c.model = Fit(c.history, c.States)
+	}
+	model := c.model
+	if model != nil {
+		for _, s := range samples {
+			if s.Ops == 0 {
+				continue
+			}
+			if model.IsDangerous(s) {
+				c.avoided[s.Provider] = true
+			} else {
+				delete(c.avoided, s.Provider)
+			}
+		}
+	}
+	avoid := make([]string, 0, len(c.avoided))
+	for p := range c.avoided {
+		avoid = append(avoid, p)
+	}
+	sort.Strings(avoid)
+	c.mu.Unlock()
+
+	if c.RPC != nil && c.PMAddr != "" {
+		_ = c.RPC.Call(c.PMAddr, pmanager.MethodAvoid, &pmanager.AvoidReq{Addrs: avoid, Clear: true}, &pmanager.Ack{})
+	}
+	return avoid
+}
+
+// Avoided returns the currently avoided providers (sorted).
+func (c *Controller) Avoided() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	avoid := make([]string, 0, len(c.avoided))
+	for p := range c.avoided {
+		avoid = append(avoid, p)
+	}
+	sort.Strings(avoid)
+	return avoid
+}
+
+// Run executes Step every interval until stop is closed.
+func (c *Controller) Run(interval time.Duration, stop <-chan struct{}) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			c.Step()
+		}
+	}
+}

@@ -1,0 +1,267 @@
+// Package globem reproduces the GloBeM-style offline behaviour-modeling
+// pipeline of §IV-E: client-side quality-of-service feedback (per-provider
+// latency/error observations) is aggregated into interval samples, sample
+// history is clustered into global behaviour states, the states whose
+// centroids exhibit degraded service are flagged dangerous, and providers
+// currently classified into dangerous states are fed back to the provider
+// manager's avoid-list — closing the loop that in the paper "sustains a
+// higher and more stable data access throughput".
+package globem
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Sample is one provider's aggregated behaviour over one interval.
+type Sample struct {
+	Provider      string
+	Ops           int64
+	Errs          int64
+	Bytes         int64
+	MeanLatencyMs float64
+	ErrorRate     float64
+}
+
+// Monitor aggregates chunk-transfer observations per provider. It
+// implements core.Observer so it can be plugged directly into a client.
+type Monitor struct {
+	mu     sync.Mutex
+	window map[string]*provWindow
+}
+
+type provWindow struct {
+	latSum time.Duration
+	ops    int64
+	errs   int64
+	bytes  int64
+}
+
+// NewMonitor creates an empty monitor.
+func NewMonitor() *Monitor {
+	return &Monitor{window: make(map[string]*provWindow)}
+}
+
+// ObserveChunkOp records one chunk transfer (core.Observer).
+func (m *Monitor) ObserveChunkOp(provider, op string, bytes int, dur time.Duration, err error) {
+	if provider == "" {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	w, ok := m.window[provider]
+	if !ok {
+		w = &provWindow{}
+		m.window[provider] = w
+	}
+	w.ops++
+	w.latSum += dur
+	w.bytes += int64(bytes)
+	if err != nil {
+		w.errs++
+	}
+}
+
+// Snapshot drains the current window into per-provider samples.
+func (m *Monitor) Snapshot() []Sample {
+	m.mu.Lock()
+	window := m.window
+	m.window = make(map[string]*provWindow)
+	m.mu.Unlock()
+
+	samples := make([]Sample, 0, len(window))
+	for p, w := range window {
+		s := Sample{Provider: p, Ops: w.ops, Errs: w.errs, Bytes: w.bytes}
+		if w.ops > 0 {
+			s.MeanLatencyMs = float64(w.latSum.Microseconds()) / float64(w.ops) / 1000
+			s.ErrorRate = float64(w.errs) / float64(w.ops)
+		}
+		samples = append(samples, s)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i].Provider < samples[j].Provider })
+	return samples
+}
+
+// KMeans clusters points into k groups with Lloyd's algorithm and
+// deterministic seeding. It returns the centroids and each point's cluster
+// index. k is clamped to len(points).
+func KMeans(points [][]float64, k, iters int, seed int64) ([][]float64, []int) {
+	if len(points) == 0 || k <= 0 {
+		return nil, nil
+	}
+	if k > len(points) {
+		k = len(points)
+	}
+	dim := len(points[0])
+	rng := rand.New(rand.NewSource(seed))
+	centroids := make([][]float64, k)
+	for i, idx := range rng.Perm(len(points))[:k] {
+		centroids[i] = append([]float64(nil), points[idx]...)
+	}
+	assign := make([]int, len(points))
+	for it := 0; it < iters; it++ {
+		changed := false
+		for i, p := range points {
+			best, bestD := 0, math.Inf(1)
+			for c, cent := range centroids {
+				d := sqDist(p, cent)
+				if d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		counts := make([]int, k)
+		sums := make([][]float64, k)
+		for i := range sums {
+			sums[i] = make([]float64, dim)
+		}
+		for i, p := range points {
+			c := assign[i]
+			counts[c]++
+			for d := 0; d < dim; d++ {
+				sums[c][d] += p[d]
+			}
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				continue // keep the old centroid for an empty cluster
+			}
+			for d := 0; d < dim; d++ {
+				centroids[c][d] = sums[c][d] / float64(counts[c])
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return centroids, assign
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Model is a fitted behaviour model: cluster centroids over normalized
+// (latency, error-rate) features plus the set of dangerous states.
+type Model struct {
+	centroids [][]float64
+	dangerous []bool
+	// normalization parameters (min/max per feature)
+	lo, hi []float64
+}
+
+// features maps a sample to its raw feature vector.
+func features(s Sample) []float64 {
+	return []float64{s.MeanLatencyMs, s.ErrorRate * 100}
+}
+
+// Fit clusters the sample history into k behaviour states and flags as
+// dangerous every state whose centroid is markedly worse than the global
+// mean (beyond half a standard deviation on the combined degradation
+// score). With fewer than 2 samples no model is produced.
+func Fit(history []Sample, k int) *Model {
+	if len(history) < 2 {
+		return nil
+	}
+	raw := make([][]float64, len(history))
+	for i, s := range history {
+		raw[i] = features(s)
+	}
+	dim := len(raw[0])
+	m := &Model{lo: make([]float64, dim), hi: make([]float64, dim)}
+	for d := 0; d < dim; d++ {
+		m.lo[d], m.hi[d] = math.Inf(1), math.Inf(-1)
+		for _, p := range raw {
+			m.lo[d] = math.Min(m.lo[d], p[d])
+			m.hi[d] = math.Max(m.hi[d], p[d])
+		}
+	}
+	norm := make([][]float64, len(raw))
+	for i, p := range raw {
+		norm[i] = m.normalize(p)
+	}
+	centroids, assign := KMeans(norm, k, 50, 1)
+	m.centroids = centroids
+	_ = assign
+
+	// Degradation score per state: normalized latency + error rate.
+	scores := make([]float64, len(centroids))
+	var mean float64
+	for i, c := range centroids {
+		for d := 0; d < dim; d++ {
+			scores[i] += c[d]
+		}
+		mean += scores[i]
+	}
+	mean /= float64(len(scores))
+	var sd float64
+	for _, s := range scores {
+		sd += (s - mean) * (s - mean)
+	}
+	sd = math.Sqrt(sd / float64(len(scores)))
+	m.dangerous = make([]bool, len(centroids))
+	for i, s := range scores {
+		m.dangerous[i] = s > mean+0.5*sd && sd > 1e-9
+	}
+	return m
+}
+
+func (m *Model) normalize(p []float64) []float64 {
+	out := make([]float64, len(p))
+	for d := range p {
+		span := m.hi[d] - m.lo[d]
+		if span <= 0 {
+			out[d] = 0
+			continue
+		}
+		out[d] = (p[d] - m.lo[d]) / span
+	}
+	return out
+}
+
+// Classify returns the behaviour state of a sample.
+func (m *Model) Classify(s Sample) int {
+	p := m.normalize(features(s))
+	best, bestD := 0, math.Inf(1)
+	for c, cent := range m.centroids {
+		d := sqDist(p, cent)
+		if d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best
+}
+
+// IsDangerous reports whether the sample falls into a dangerous state.
+func (m *Model) IsDangerous(s Sample) bool {
+	if m == nil || len(m.centroids) == 0 {
+		return false
+	}
+	return m.dangerous[m.Classify(s)]
+}
+
+// States reports the number of behaviour states and how many are
+// dangerous.
+func (m *Model) States() (total, dangerous int) {
+	if m == nil {
+		return 0, 0
+	}
+	for _, d := range m.dangerous {
+		if d {
+			dangerous++
+		}
+	}
+	return len(m.centroids), dangerous
+}

@@ -1,0 +1,179 @@
+package globem
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestMonitorAggregation(t *testing.T) {
+	m := NewMonitor()
+	m.ObserveChunkOp("p1", "get", 1000, 2*time.Millisecond, nil)
+	m.ObserveChunkOp("p1", "get", 1000, 4*time.Millisecond, nil)
+	m.ObserveChunkOp("p1", "put", 500, 3*time.Millisecond, errors.New("boom"))
+	m.ObserveChunkOp("p2", "get", 100, time.Millisecond, nil)
+	m.ObserveChunkOp("", "get", 1, time.Millisecond, nil) // ignored
+
+	samples := m.Snapshot()
+	if len(samples) != 2 {
+		t.Fatalf("samples = %+v", samples)
+	}
+	p1 := samples[0]
+	if p1.Provider != "p1" || p1.Ops != 3 || p1.Errs != 1 || p1.Bytes != 2500 {
+		t.Errorf("p1 = %+v", p1)
+	}
+	if p1.MeanLatencyMs < 2.9 || p1.MeanLatencyMs > 3.1 {
+		t.Errorf("p1 latency = %v, want ~3ms", p1.MeanLatencyMs)
+	}
+	if p1.ErrorRate < 0.33 || p1.ErrorRate > 0.34 {
+		t.Errorf("p1 error rate = %v", p1.ErrorRate)
+	}
+	// Snapshot drains.
+	if got := m.Snapshot(); len(got) != 0 {
+		t.Errorf("second snapshot = %+v", got)
+	}
+}
+
+func TestKMeansSeparatesObviousClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var points [][]float64
+	// Two well-separated blobs.
+	for i := 0; i < 50; i++ {
+		points = append(points, []float64{rng.Float64() * 0.1, rng.Float64() * 0.1})
+	}
+	for i := 0; i < 50; i++ {
+		points = append(points, []float64{10 + rng.Float64()*0.1, 10 + rng.Float64()*0.1})
+	}
+	_, assign := KMeans(points, 2, 50, 1)
+	first := assign[0]
+	for i := 1; i < 50; i++ {
+		if assign[i] != first {
+			t.Fatalf("blob 1 split across clusters at %d", i)
+		}
+	}
+	second := assign[50]
+	if second == first {
+		t.Fatal("blobs merged into one cluster")
+	}
+	for i := 51; i < 100; i++ {
+		if assign[i] != second {
+			t.Fatalf("blob 2 split across clusters at %d", i)
+		}
+	}
+}
+
+func TestKMeansEdgeCases(t *testing.T) {
+	if c, a := KMeans(nil, 3, 10, 1); c != nil || a != nil {
+		t.Error("empty input should produce nil")
+	}
+	// k greater than points: clamped.
+	points := [][]float64{{1}, {2}}
+	c, a := KMeans(points, 10, 10, 1)
+	if len(c) != 2 || len(a) != 2 {
+		t.Errorf("clamp failed: %d centroids", len(c))
+	}
+}
+
+func mkSample(p string, lat, errRate float64) Sample {
+	return Sample{Provider: p, Ops: 100, MeanLatencyMs: lat, ErrorRate: errRate}
+}
+
+func TestModelFlagsDegradedState(t *testing.T) {
+	var history []Sample
+	// Healthy providers: ~1ms, no errors. Degraded: ~50ms, 20% errors.
+	for i := 0; i < 40; i++ {
+		history = append(history, mkSample(fmt.Sprintf("ok%d", i%4), 1+float64(i%3)*0.1, 0))
+	}
+	for i := 0; i < 10; i++ {
+		history = append(history, mkSample("bad", 50+float64(i), 0.2))
+	}
+	m := Fit(history, 3)
+	if m == nil {
+		t.Fatal("no model")
+	}
+	total, dangerous := m.States()
+	if total != 3 || dangerous == 0 {
+		t.Fatalf("states = %d, dangerous = %d", total, dangerous)
+	}
+	if !m.IsDangerous(mkSample("bad", 55, 0.25)) {
+		t.Error("degraded sample not flagged")
+	}
+	if m.IsDangerous(mkSample("ok1", 1.1, 0)) {
+		t.Error("healthy sample flagged")
+	}
+}
+
+func TestModelUniformHistoryFlagsNothing(t *testing.T) {
+	var history []Sample
+	for i := 0; i < 30; i++ {
+		history = append(history, mkSample("p", 2.0, 0))
+	}
+	m := Fit(history, 3)
+	if m == nil {
+		t.Fatal("no model")
+	}
+	if m.IsDangerous(mkSample("p", 2.0, 0)) {
+		t.Error("uniform behaviour flagged as dangerous")
+	}
+}
+
+func TestFitRequiresHistory(t *testing.T) {
+	if Fit(nil, 3) != nil {
+		t.Error("model from no samples")
+	}
+	if Fit([]Sample{mkSample("p", 1, 0)}, 3) != nil {
+		t.Error("model from a single sample")
+	}
+	var m *Model
+	if m.IsDangerous(mkSample("p", 1, 0)) {
+		t.Error("nil model flagged a sample")
+	}
+}
+
+func TestControllerLoop(t *testing.T) {
+	mon := NewMonitor()
+	ctl := &Controller{Monitor: mon, MinHistory: 8}
+
+	// Feed several healthy rounds to build history.
+	for round := 0; round < 5; round++ {
+		for i := 0; i < 3; i++ {
+			mon.ObserveChunkOp(fmt.Sprintf("p%d", i), "get", 1000, time.Millisecond, nil)
+		}
+		if avoid := ctl.Step(); len(avoid) != 0 {
+			t.Fatalf("round %d: healthy cluster produced avoid list %v", round, avoid)
+		}
+	}
+	// One provider degrades hard.
+	for round := 0; round < 3; round++ {
+		mon.ObserveChunkOp("p0", "get", 1000, time.Millisecond, nil)
+		mon.ObserveChunkOp("p1", "get", 1000, time.Millisecond, nil)
+		mon.ObserveChunkOp("p2", "get", 1000, 80*time.Millisecond, errors.New("timeout"))
+		ctl.Step()
+	}
+	avoid := ctl.Avoided()
+	if len(avoid) != 1 || avoid[0] != "p2" {
+		t.Fatalf("avoid = %v, want [p2]", avoid)
+	}
+
+	// Stickiness: once avoided, p2 produces no placement samples; absence
+	// of evidence must NOT clear it.
+	mon.ObserveChunkOp("p0", "get", 1000, time.Millisecond, nil)
+	mon.ObserveChunkOp("p1", "get", 1000, time.Millisecond, nil)
+	ctl.Step()
+	if got := ctl.Avoided(); len(got) != 1 || got[0] != "p2" {
+		t.Fatalf("avoid after silent round = %v, want [p2] (sticky)", got)
+	}
+
+	// Recovery: healthy samples from p2 clear the flag.
+	for round := 0; round < 2; round++ {
+		mon.ObserveChunkOp("p0", "get", 1000, time.Millisecond, nil)
+		mon.ObserveChunkOp("p1", "get", 1000, time.Millisecond, nil)
+		mon.ObserveChunkOp("p2", "get", 1000, time.Millisecond, nil)
+		ctl.Step()
+	}
+	if got := ctl.Avoided(); len(got) != 0 {
+		t.Fatalf("avoid after recovery = %v, want empty", got)
+	}
+}

@@ -1,0 +1,293 @@
+package hdfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/chunk"
+	"repro/internal/provider"
+	"repro/internal/rpc"
+)
+
+// Client talks to one HDFS deployment: a namenode plus datanodes that run
+// the ordinary provider chunk service (a block is one chunk with key
+// {blockID, 0, 0}).
+type Client struct {
+	rpc    *rpc.Client
+	nnAddr string
+}
+
+// NewClient creates an HDFS client named name (its simulated machine)
+// against the namenode at nnAddr.
+func NewClient(network rpc.Network, name, nnAddr string, timeout time.Duration) *Client {
+	return &Client{rpc: rpc.NewClientFrom(network, timeout, name), nnAddr: nnAddr}
+}
+
+// Close releases connections.
+func (c *Client) Close() { c.rpc.Close() }
+
+func blockKey(id uint64) chunk.Key { return chunk.Key{Blob: id} }
+
+// File is an open HDFS file handle: either a single-writer appender or a
+// reader.
+type File struct {
+	c    *Client
+	path string
+
+	mu      sync.Mutex
+	writing bool
+	closed  bool
+	// writer state
+	lease     uint64
+	blockSize uint64
+	buf       []byte
+	written   uint64
+	// reader state
+	size   uint64
+	blocks []Block
+	pos    uint64
+	// single-block read cache: sequential scans fetch each block once
+	// (HDFS clients stream a block at a time).
+	cachedBlock uint64
+	cachedData  []byte
+}
+
+// Create makes a new file and acquires its write lease; if another client
+// holds the lease the call blocks until it is released.
+func (c *Client) Create(path string, blockSize uint64, replication uint32) (*File, error) {
+	var lease LeaseResp
+	err := c.rpc.Call(c.nnAddr, MethodCreate,
+		&CreateReq{Path: path, BlockSize: blockSize, Replication: replication}, &lease)
+	if err != nil {
+		return nil, fmt.Errorf("hdfs: create %s: %w", path, err)
+	}
+	return &File{c: c, path: path, writing: true, lease: lease.Lease, blockSize: lease.BlockSize, written: lease.SizeBytes}, nil
+}
+
+// OpenForAppend reopens an existing file for appending, blocking for the
+// lease like Create.
+func (c *Client) OpenForAppend(path string) (*File, error) {
+	var lease LeaseResp
+	err := c.rpc.Call(c.nnAddr, MethodOpenAppend, &CreateReq{Path: path}, &lease)
+	if err != nil {
+		return nil, fmt.Errorf("hdfs: append %s: %w", path, err)
+	}
+	return &File{c: c, path: path, writing: true, lease: lease.Lease, blockSize: lease.BlockSize, written: lease.SizeBytes}, nil
+}
+
+// Open opens a file for reading.
+func (c *Client) Open(path string) (*File, error) {
+	var resp GetBlocksResp
+	if err := c.rpc.Call(c.nnAddr, MethodGetBlocks, &PathReq{Path: path}, &resp); err != nil {
+		return nil, err
+	}
+	if !resp.Found {
+		return nil, fmt.Errorf("%w: %s", ErrFileNotFound, path)
+	}
+	return &File{c: c, path: path, size: resp.SizeBytes, blocks: resp.Blocks}, nil
+}
+
+// List enumerates file paths under a directory prefix.
+func (c *Client) List(dir string) ([]string, error) {
+	var resp ListResp
+	if err := c.rpc.Call(c.nnAddr, MethodList, &PathReq{Path: dir}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Paths, nil
+}
+
+// Delete removes a file from the namespace.
+func (c *Client) Delete(path string) error {
+	return c.rpc.Call(c.nnAddr, MethodDelete, &PathReq{Path: path}, &Ack{})
+}
+
+// Size returns a file's length in bytes.
+func (c *Client) Size(path string) (uint64, error) {
+	var resp GetBlocksResp
+	if err := c.rpc.Call(c.nnAddr, MethodGetBlocks, &PathReq{Path: path}, &resp); err != nil {
+		return 0, err
+	}
+	if !resp.Found {
+		return 0, fmt.Errorf("%w: %s", ErrFileNotFound, path)
+	}
+	return resp.SizeBytes, nil
+}
+
+// Path returns the file's path.
+func (f *File) Path() string { return f.path }
+
+// Write appends p (write-once, append-only semantics). Full blocks are
+// pushed to every target datanode.
+func (f *File) Write(p []byte) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.writing || f.closed {
+		return 0, errors.New("hdfs: file not open for writing")
+	}
+	f.buf = append(f.buf, p...)
+	for uint64(len(f.buf)) >= f.blockSize {
+		if err := f.flushBlock(f.buf[:f.blockSize]); err != nil {
+			return 0, err
+		}
+		f.buf = append(f.buf[:0], f.buf[f.blockSize:]...)
+	}
+	return len(p), nil
+}
+
+func (f *File) flushBlock(data []byte) error {
+	var alloc AddBlockResp
+	err := f.c.rpc.Call(f.c.nnAddr, MethodAddBlock, &AddBlockReq{Path: f.path, Lease: f.lease}, &alloc)
+	if err != nil {
+		return err
+	}
+	// Replication pipeline: store at every target.
+	for _, t := range alloc.Targets {
+		if err := provider.PutChunk(f.c.rpc, t, blockKey(alloc.BlockID), data); err != nil {
+			return fmt.Errorf("hdfs: storing block %d at %s: %w", alloc.BlockID, t, err)
+		}
+	}
+	err = f.c.rpc.Call(f.c.nnAddr, MethodCompleteBlock,
+		&CompleteBlockReq{Path: f.path, Lease: f.lease, BlockID: alloc.BlockID, Size: uint64(len(data))}, &Ack{})
+	if err != nil {
+		return err
+	}
+	f.written += uint64(len(data))
+	return nil
+}
+
+// Close flushes the partial tail block and releases the lease.
+func (f *File) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return nil
+	}
+	f.closed = true
+	if !f.writing {
+		return nil
+	}
+	if len(f.buf) > 0 {
+		if err := f.flushBlock(f.buf); err != nil {
+			return err
+		}
+		f.buf = nil
+	}
+	return f.c.rpc.Call(f.c.nnAddr, MethodCompleteFile, &AddBlockReq{Path: f.path, Lease: f.lease}, &Ack{})
+}
+
+// Size returns the reader's file size (0 for writers until Close).
+func (f *File) Size() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.writing {
+		return f.written + uint64(len(f.buf))
+	}
+	return f.size
+}
+
+// Read reads sequentially.
+func (f *File) Read(p []byte) (int, error) {
+	f.mu.Lock()
+	pos := f.pos
+	f.mu.Unlock()
+	n, err := f.ReadAt(p, pos)
+	f.mu.Lock()
+	f.pos += uint64(n)
+	f.mu.Unlock()
+	return n, err
+}
+
+// ReadAt reads from an absolute offset, fetching whole blocks from their
+// datanodes (failover across replicas).
+func (f *File) ReadAt(p []byte, off uint64) (int, error) {
+	if f.writing {
+		return 0, errors.New("hdfs: file open for writing")
+	}
+	if off >= f.size {
+		return 0, io.EOF
+	}
+	end := off + uint64(len(p))
+	if end > f.size {
+		end = f.size
+	}
+	n := 0
+	var blockStart uint64
+	for _, b := range f.blocks {
+		blockEnd := blockStart + b.Size
+		if blockEnd <= off {
+			blockStart = blockEnd
+			continue
+		}
+		if blockStart >= end {
+			break
+		}
+		data, err := f.blockData(b)
+		if err != nil {
+			return n, err
+		}
+		lo, hi := off, end
+		if lo < blockStart {
+			lo = blockStart
+		}
+		if hi > blockEnd {
+			hi = blockEnd
+		}
+		copy(p[lo-off:hi-off], data[lo-blockStart:hi-blockStart])
+		n += int(hi - lo)
+		blockStart = blockEnd
+	}
+	if uint64(n) < uint64(len(p)) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// blockData fetches a block's bytes, serving repeat accesses to the same
+// block (the common sequential-scan pattern) from a one-block cache.
+func (f *File) blockData(b Block) ([]byte, error) {
+	f.mu.Lock()
+	if f.cachedData != nil && f.cachedBlock == b.ID {
+		data := f.cachedData
+		f.mu.Unlock()
+		return data, nil
+	}
+	f.mu.Unlock()
+	data, _, err := provider.GetChunkReplicas(f.c.rpc, b.Locations, blockKey(b.ID))
+	if err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	f.cachedBlock = b.ID
+	f.cachedData = data
+	f.mu.Unlock()
+	return data, nil
+}
+
+// Seek repositions the sequential reader.
+func (f *File) Seek(off uint64) {
+	f.mu.Lock()
+	f.pos = off
+	f.mu.Unlock()
+}
+
+// BlockLocations exposes the datanodes holding each block overlapping
+// [off, off+length), for locality-aware scheduling.
+func (f *File) BlockLocations(off, length uint64) ([]Block, error) {
+	if f.writing {
+		return nil, errors.New("hdfs: file open for writing")
+	}
+	var out []Block
+	var blockStart uint64
+	end := off + length
+	for _, b := range f.blocks {
+		blockEnd := blockStart + b.Size
+		if blockEnd > off && blockStart < end {
+			out = append(out, b)
+		}
+		blockStart = blockEnd
+	}
+	return out, nil
+}

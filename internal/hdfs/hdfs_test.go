@@ -1,0 +1,274 @@
+package hdfs_test
+
+import (
+	"bytes"
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/chunk"
+	"repro/internal/hdfs"
+	"repro/internal/provider"
+	"repro/internal/rpc"
+)
+
+type deployment struct {
+	network *rpc.SimNetwork
+	nn      *hdfs.NameNode
+	dns     []*provider.Server
+}
+
+func deploy(t *testing.T, datanodes int) *deployment {
+	t.Helper()
+	network := rpc.NewSimNetwork(nil)
+	nn := hdfs.NewNameNode(network, "nn")
+	if err := nn.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(nn.Close)
+	cli := rpc.NewClient(network, 5*time.Second)
+	t.Cleanup(cli.Close)
+	d := &deployment{network: network, nn: nn}
+	for i := 0; i < datanodes; i++ {
+		dn := provider.NewServer(network, "dn"+string(rune('0'+i)), chunk.NewMemStore())
+		if err := dn.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(dn.Close)
+		if err := cli.Call("nn", hdfs.MethodRegisterDN, &hdfs.RegisterDNReq{Addr: dn.Addr()}, &hdfs.Ack{}); err != nil {
+			t.Fatal(err)
+		}
+		d.dns = append(d.dns, dn)
+	}
+	return d
+}
+
+func TestCreateWriteReadRoundTrip(t *testing.T) {
+	d := deploy(t, 3)
+	cli := hdfs.NewClient(d.network, "h1", "nn", 10*time.Second)
+	defer cli.Close()
+
+	f, err := cli.Create("/out/part-0", 4096, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []byte
+	for i := 0; i < 5; i++ {
+		part := bytes.Repeat([]byte{byte(i + 1)}, 3000)
+		if _, err := f.Write(part); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, part...)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := cli.Open("/out/part-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Size() != uint64(len(want)) {
+		t.Fatalf("size = %d, want %d", r.Size(), len(want))
+	}
+	got := make([]byte, len(want))
+	if _, err := r.ReadAt(got, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("round trip mismatch")
+	}
+
+	// Sequential read API.
+	r2, _ := cli.Open("/out/part-0")
+	var acc []byte
+	buf := make([]byte, 1234)
+	for {
+		n, err := r2.Read(buf)
+		acc = append(acc, buf[:n]...)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(acc, want) {
+		t.Fatal("sequential read mismatch")
+	}
+}
+
+func TestLeaseSerializesAppenders(t *testing.T) {
+	d := deploy(t, 2)
+	c1 := hdfs.NewClient(d.network, "h1", "nn", 30*time.Second)
+	defer c1.Close()
+	c2 := hdfs.NewClient(d.network, "h2", "nn", 30*time.Second)
+	defer c2.Close()
+
+	f1, err := c1.Create("/log", 1024, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f1.Write(bytes.Repeat([]byte{1}, 1024)); err != nil {
+		t.Fatal(err)
+	}
+
+	// A second writer must block until the first closes.
+	acquired := make(chan *hdfs.File, 1)
+	go func() {
+		f2, err := c2.OpenForAppend("/log")
+		if err != nil {
+			t.Error(err)
+			acquired <- nil
+			return
+		}
+		acquired <- f2
+	}()
+	select {
+	case <-acquired:
+		t.Fatal("second writer acquired lease while held")
+	case <-time.After(100 * time.Millisecond):
+	}
+	if err := f1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case f2 := <-acquired:
+		if f2 == nil {
+			t.Fatal("second writer failed")
+		}
+		if _, err := f2.Write(bytes.Repeat([]byte{2}, 512)); err != nil {
+			t.Fatal(err)
+		}
+		if err := f2.Close(); err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("lease never handed over")
+	}
+	size, err := c1.Size("/log")
+	if err != nil || size != 1536 {
+		t.Fatalf("size = %d, %v", size, err)
+	}
+}
+
+func TestConcurrentAppendersAllSucceedSerially(t *testing.T) {
+	d := deploy(t, 2)
+	base := hdfs.NewClient(d.network, "h0", "nn", 60*time.Second)
+	defer base.Close()
+	f, err := base.Create("/serial", 512, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	const writers = 8
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cli := hdfs.NewClient(d.network, "hw"+string(rune('0'+i)), "nn", 60*time.Second)
+			defer cli.Close()
+			fw, err := cli.OpenForAppend("/serial")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := fw.Write(bytes.Repeat([]byte{byte(i + 1)}, 512)); err != nil {
+				t.Error(err)
+			}
+			if err := fw.Close(); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	size, err := base.Size("/serial")
+	if err != nil || size != writers*512 {
+		t.Fatalf("size = %d, %v; want %d", size, err, writers*512)
+	}
+}
+
+func TestListAndDelete(t *testing.T) {
+	d := deploy(t, 1)
+	cli := hdfs.NewClient(d.network, "h1", "nn", 10*time.Second)
+	defer cli.Close()
+	for _, p := range []string{"/in/a", "/in/b", "/out/c"} {
+		f, err := cli.Create(p, 1024, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Write([]byte("x"))
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	paths, err := cli.List("/in")
+	if err != nil || len(paths) != 2 {
+		t.Fatalf("List = %v, %v", paths, err)
+	}
+	if err := cli.Delete("/in/a"); err != nil {
+		t.Fatal(err)
+	}
+	paths, _ = cli.List("/in")
+	if len(paths) != 1 || paths[0] != "/in/b" {
+		t.Fatalf("List after delete = %v", paths)
+	}
+	if _, err := cli.Open("/in/a"); err == nil {
+		t.Fatal("open of deleted file succeeded")
+	}
+}
+
+func TestBlockLocations(t *testing.T) {
+	d := deploy(t, 3)
+	cli := hdfs.NewClient(d.network, "h1", "nn", 10*time.Second)
+	defer cli.Close()
+	f, _ := cli.Create("/blocks", 1000, 2)
+	f.Write(make([]byte, 3500))
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := cli.Open("/blocks")
+	blocks, err := r.BlockLocations(0, 3500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 4 {
+		t.Fatalf("blocks = %d, want 4 (3 full + tail)", len(blocks))
+	}
+	for _, b := range blocks {
+		if len(b.Locations) != 2 {
+			t.Errorf("block %d has %d replicas", b.ID, len(b.Locations))
+		}
+	}
+	mid, _ := r.BlockLocations(1500, 100)
+	if len(mid) != 1 || mid[0].ID != blocks[1].ID {
+		t.Errorf("mid-range locations = %+v", mid)
+	}
+}
+
+func TestReadFailoverAcrossReplicas(t *testing.T) {
+	d := deploy(t, 2)
+	cli := hdfs.NewClient(d.network, "h1", "nn", 10*time.Second)
+	defer cli.Close()
+	f, _ := cli.Create("/repl", 1024, 2)
+	want := bytes.Repeat([]byte{0xAB}, 2048)
+	f.Write(want)
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Stop one datanode; reads must fail over to the replica.
+	d.dns[0].Close()
+	r, _ := cli.Open("/repl")
+	got := make([]byte, 2048)
+	if _, err := r.ReadAt(got, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("failover read mismatch")
+	}
+}

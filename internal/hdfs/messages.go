@@ -1,0 +1,230 @@
+// Package hdfs implements the baseline BSFS is compared against in §IV-D:
+// a faithful-in-spirit reproduction of the Hadoop Distributed File System
+// architecture. One centralized namenode owns the entire namespace and
+// block map and serializes all metadata operations; datanodes store whole
+// blocks; a per-file lease enforces the single-writer discipline; files
+// are write-once/append-only, and concurrent writes at arbitrary offsets —
+// BlobSeer's headline feature — are simply not supported.
+package hdfs
+
+import (
+	"repro/internal/provider"
+	"repro/internal/wire"
+)
+
+// Method names served by the namenode.
+const (
+	MethodRegisterDN    = "nn.registerdn"
+	MethodCreate        = "nn.create"
+	MethodOpenAppend    = "nn.openappend"
+	MethodAddBlock      = "nn.addblock"
+	MethodCompleteBlock = "nn.completeblock"
+	MethodCompleteFile  = "nn.completefile"
+	MethodGetBlocks     = "nn.getblocks"
+	MethodList          = "nn.list"
+	MethodDelete        = "nn.delete"
+)
+
+// Ack is the empty acknowledgment.
+type Ack = provider.Ack
+
+// RegisterDNReq announces a datanode.
+type RegisterDNReq struct {
+	Addr string
+}
+
+// Encode implements wire.Message.
+func (r *RegisterDNReq) Encode(e *wire.Encoder) { e.PutString(r.Addr) }
+
+// Decode implements wire.Message.
+func (r *RegisterDNReq) Decode(d *wire.Decoder) { r.Addr = d.String() }
+
+// CreateReq creates a file (or reopens one for append) and acquires its
+// lease; the call blocks while another writer holds the lease.
+type CreateReq struct {
+	Path        string
+	BlockSize   uint64
+	Replication uint32
+}
+
+// Encode implements wire.Message.
+func (r *CreateReq) Encode(e *wire.Encoder) {
+	e.PutString(r.Path)
+	e.PutU64(r.BlockSize)
+	e.PutU32(r.Replication)
+}
+
+// Decode implements wire.Message.
+func (r *CreateReq) Decode(d *wire.Decoder) {
+	r.Path = d.String()
+	r.BlockSize = d.U64()
+	r.Replication = d.U32()
+}
+
+// LeaseResp returns the granted lease.
+type LeaseResp struct {
+	Lease     uint64
+	BlockSize uint64
+	SizeBytes uint64
+}
+
+// Encode implements wire.Message.
+func (r *LeaseResp) Encode(e *wire.Encoder) {
+	e.PutU64(r.Lease)
+	e.PutU64(r.BlockSize)
+	e.PutU64(r.SizeBytes)
+}
+
+// Decode implements wire.Message.
+func (r *LeaseResp) Decode(d *wire.Decoder) {
+	r.Lease = d.U64()
+	r.BlockSize = d.U64()
+	r.SizeBytes = d.U64()
+}
+
+// AddBlockReq allocates the next block of a file under a lease.
+type AddBlockReq struct {
+	Path  string
+	Lease uint64
+}
+
+// Encode implements wire.Message.
+func (r *AddBlockReq) Encode(e *wire.Encoder) {
+	e.PutString(r.Path)
+	e.PutU64(r.Lease)
+}
+
+// Decode implements wire.Message.
+func (r *AddBlockReq) Decode(d *wire.Decoder) {
+	r.Path = d.String()
+	r.Lease = d.U64()
+}
+
+// AddBlockResp names the new block and its target datanodes.
+type AddBlockResp struct {
+	BlockID uint64
+	Targets []string
+}
+
+// Encode implements wire.Message.
+func (r *AddBlockResp) Encode(e *wire.Encoder) {
+	e.PutU64(r.BlockID)
+	e.PutU32(uint32(len(r.Targets)))
+	for _, t := range r.Targets {
+		e.PutString(t)
+	}
+}
+
+// Decode implements wire.Message.
+func (r *AddBlockResp) Decode(d *wire.Decoder) {
+	r.BlockID = d.U64()
+	n := d.U32()
+	r.Targets = nil
+	for i := uint32(0); i < n && d.Err() == nil; i++ {
+		r.Targets = append(r.Targets, d.String())
+	}
+}
+
+// CompleteBlockReq finalizes a block's size under a lease.
+type CompleteBlockReq struct {
+	Path    string
+	Lease   uint64
+	BlockID uint64
+	Size    uint64
+}
+
+// Encode implements wire.Message.
+func (r *CompleteBlockReq) Encode(e *wire.Encoder) {
+	e.PutString(r.Path)
+	e.PutU64(r.Lease)
+	e.PutU64(r.BlockID)
+	e.PutU64(r.Size)
+}
+
+// Decode implements wire.Message.
+func (r *CompleteBlockReq) Decode(d *wire.Decoder) {
+	r.Path = d.String()
+	r.Lease = d.U64()
+	r.BlockID = d.U64()
+	r.Size = d.U64()
+}
+
+// Block describes one stored block.
+type Block struct {
+	ID        uint64
+	Size      uint64
+	Locations []string
+}
+
+// GetBlocksResp returns a file's block list.
+type GetBlocksResp struct {
+	Found     bool
+	SizeBytes uint64
+	Blocks    []Block
+}
+
+// Encode implements wire.Message.
+func (r *GetBlocksResp) Encode(e *wire.Encoder) {
+	e.PutBool(r.Found)
+	e.PutU64(r.SizeBytes)
+	e.PutU32(uint32(len(r.Blocks)))
+	for _, b := range r.Blocks {
+		e.PutU64(b.ID)
+		e.PutU64(b.Size)
+		e.PutU32(uint32(len(b.Locations)))
+		for _, l := range b.Locations {
+			e.PutString(l)
+		}
+	}
+}
+
+// Decode implements wire.Message.
+func (r *GetBlocksResp) Decode(d *wire.Decoder) {
+	r.Found = d.Bool()
+	r.SizeBytes = d.U64()
+	n := d.U32()
+	r.Blocks = nil
+	for i := uint32(0); i < n && d.Err() == nil; i++ {
+		var b Block
+		b.ID = d.U64()
+		b.Size = d.U64()
+		m := d.U32()
+		for j := uint32(0); j < m && d.Err() == nil; j++ {
+			b.Locations = append(b.Locations, d.String())
+		}
+		r.Blocks = append(r.Blocks, b)
+	}
+}
+
+// PathReq names one path.
+type PathReq struct {
+	Path string
+}
+
+// Encode implements wire.Message.
+func (r *PathReq) Encode(e *wire.Encoder) { e.PutString(r.Path) }
+
+// Decode implements wire.Message.
+func (r *PathReq) Decode(d *wire.Decoder) { r.Path = d.String() }
+
+// ListResp enumerates file paths under a prefix.
+type ListResp struct {
+	Paths []string
+}
+
+// Encode implements wire.Message.
+func (r *ListResp) Encode(e *wire.Encoder) {
+	e.PutU32(uint32(len(r.Paths)))
+	for _, p := range r.Paths {
+		e.PutString(p)
+	}
+}
+
+// Decode implements wire.Message.
+func (r *ListResp) Decode(d *wire.Decoder) {
+	n := d.U32()
+	r.Paths = nil
+	for i := uint32(0); i < n && d.Err() == nil; i++ {
+		r.Paths = append(r.Paths, d.String())
+	}
+}

@@ -1,0 +1,243 @@
+package hdfs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/rpc"
+)
+
+// NameNode errors.
+var (
+	ErrFileNotFound = errors.New("hdfs: file not found")
+	ErrBadLease     = errors.New("hdfs: lease not held")
+	ErrNoDatanodes  = errors.New("hdfs: no datanodes registered")
+)
+
+type fileState struct {
+	blockSize   uint64
+	replication uint32
+	blocks      []Block
+	size        uint64
+
+	// The single-writer lease. Waiters queue FIFO; this is the
+	// serialization of concurrent appenders that BlobSeer does not have.
+	leaseHeld bool
+	leaseID   uint64
+	waiters   []chan uint64
+}
+
+// NameNode is the centralized metadata server.
+type NameNode struct {
+	srv *rpc.Server
+
+	mu        sync.Mutex
+	files     map[string]*fileState
+	datanodes []string
+	nextBlock uint64
+	nextLease uint64
+	rr        int
+}
+
+// NewNameNode creates a namenode at addr.
+func NewNameNode(network rpc.Network, addr string) *NameNode {
+	nn := &NameNode{
+		srv:       rpc.NewServer(network, addr),
+		files:     make(map[string]*fileState),
+		nextBlock: 1,
+		nextLease: 1,
+	}
+	rpc.HandleMsg(nn.srv, MethodRegisterDN, func() *RegisterDNReq { return &RegisterDNReq{} },
+		func(req *RegisterDNReq) (*Ack, error) {
+			nn.mu.Lock()
+			defer nn.mu.Unlock()
+			for _, d := range nn.datanodes {
+				if d == req.Addr {
+					return &Ack{}, nil
+				}
+			}
+			nn.datanodes = append(nn.datanodes, req.Addr)
+			return &Ack{}, nil
+		})
+	rpc.HandleMsg(nn.srv, MethodCreate, func() *CreateReq { return &CreateReq{} },
+		func(req *CreateReq) (*LeaseResp, error) { return nn.create(req, false) })
+	rpc.HandleMsg(nn.srv, MethodOpenAppend, func() *CreateReq { return &CreateReq{} },
+		func(req *CreateReq) (*LeaseResp, error) { return nn.create(req, true) })
+	rpc.HandleMsg(nn.srv, MethodAddBlock, func() *AddBlockReq { return &AddBlockReq{} },
+		func(req *AddBlockReq) (*AddBlockResp, error) { return nn.addBlock(req) })
+	rpc.HandleMsg(nn.srv, MethodCompleteBlock, func() *CompleteBlockReq { return &CompleteBlockReq{} },
+		func(req *CompleteBlockReq) (*Ack, error) { return &Ack{}, nn.completeBlock(req) })
+	rpc.HandleMsg(nn.srv, MethodCompleteFile, func() *AddBlockReq { return &AddBlockReq{} },
+		func(req *AddBlockReq) (*Ack, error) { return &Ack{}, nn.completeFile(req) })
+	rpc.HandleMsg(nn.srv, MethodGetBlocks, func() *PathReq { return &PathReq{} },
+		func(req *PathReq) (*GetBlocksResp, error) { return nn.getBlocks(req.Path), nil })
+	rpc.HandleMsg(nn.srv, MethodList, func() *PathReq { return &PathReq{} },
+		func(req *PathReq) (*ListResp, error) { return nn.list(req.Path), nil })
+	rpc.HandleMsg(nn.srv, MethodDelete, func() *PathReq { return &PathReq{} },
+		func(req *PathReq) (*Ack, error) { return &Ack{}, nn.delete(req.Path) })
+	return nn
+}
+
+// Start begins serving.
+func (nn *NameNode) Start() error { return nn.srv.Start() }
+
+// Close stops serving.
+func (nn *NameNode) Close() { nn.srv.Close() }
+
+// Addr returns the namenode's address.
+func (nn *NameNode) Addr() string { return nn.srv.Addr() }
+
+// create acquires the file lease, creating the file if needed (append =
+// false requires the file to be absent unless it already exists from a
+// crashed writer; append = true requires presence). The handler goroutine
+// blocks until the lease is free — concurrent writers to one file are
+// strictly serialized, which is the whole point of the baseline.
+func (nn *NameNode) create(req *CreateReq, forAppend bool) (*LeaseResp, error) {
+	nn.mu.Lock()
+	f, ok := nn.files[req.Path]
+	if forAppend && !ok {
+		nn.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrFileNotFound, req.Path)
+	}
+	if !ok {
+		if req.BlockSize == 0 {
+			req.BlockSize = 1 << 20
+		}
+		if req.Replication == 0 {
+			req.Replication = 1
+		}
+		f = &fileState{blockSize: req.BlockSize, replication: req.Replication}
+		nn.files[req.Path] = f
+	}
+	if !f.leaseHeld {
+		f.leaseHeld = true
+		nn.nextLease++
+		f.leaseID = nn.nextLease
+		resp := &LeaseResp{Lease: f.leaseID, BlockSize: f.blockSize, SizeBytes: f.size}
+		nn.mu.Unlock()
+		return resp, nil
+	}
+	ch := make(chan uint64, 1)
+	f.waiters = append(f.waiters, ch)
+	nn.mu.Unlock()
+	lease := <-ch
+	nn.mu.Lock()
+	resp := &LeaseResp{Lease: lease, BlockSize: f.blockSize, SizeBytes: f.size}
+	nn.mu.Unlock()
+	return resp, nil
+}
+
+func (nn *NameNode) checkLease(path string, lease uint64) (*fileState, error) {
+	f, ok := nn.files[path]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrFileNotFound, path)
+	}
+	if !f.leaseHeld || f.leaseID != lease {
+		return nil, fmt.Errorf("%w: %s", ErrBadLease, path)
+	}
+	return f, nil
+}
+
+func (nn *NameNode) addBlock(req *AddBlockReq) (*AddBlockResp, error) {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	f, err := nn.checkLease(req.Path, req.Lease)
+	if err != nil {
+		return nil, err
+	}
+	if len(nn.datanodes) == 0 {
+		return nil, ErrNoDatanodes
+	}
+	repl := int(f.replication)
+	if repl > len(nn.datanodes) {
+		repl = len(nn.datanodes)
+	}
+	targets := make([]string, repl)
+	for i := 0; i < repl; i++ {
+		targets[i] = nn.datanodes[(nn.rr+i)%len(nn.datanodes)]
+	}
+	nn.rr++
+	id := nn.nextBlock
+	nn.nextBlock++
+	f.blocks = append(f.blocks, Block{ID: id, Locations: targets})
+	return &AddBlockResp{BlockID: id, Targets: targets}, nil
+}
+
+func (nn *NameNode) completeBlock(req *CompleteBlockReq) error {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	f, err := nn.checkLease(req.Path, req.Lease)
+	if err != nil {
+		return err
+	}
+	for i := range f.blocks {
+		if f.blocks[i].ID == req.BlockID {
+			f.size += req.Size - f.blocks[i].Size
+			f.blocks[i].Size = req.Size
+			return nil
+		}
+	}
+	return fmt.Errorf("hdfs: block %d not in %s", req.BlockID, req.Path)
+}
+
+func (nn *NameNode) completeFile(req *AddBlockReq) error {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	f, err := nn.checkLease(req.Path, req.Lease)
+	if err != nil {
+		return err
+	}
+	// Hand the lease to the next waiter, if any.
+	if len(f.waiters) > 0 {
+		ch := f.waiters[0]
+		f.waiters = f.waiters[1:]
+		nn.nextLease++
+		f.leaseID = nn.nextLease
+		ch <- f.leaseID
+		return nil
+	}
+	f.leaseHeld = false
+	f.leaseID = 0
+	return nil
+}
+
+func (nn *NameNode) getBlocks(path string) *GetBlocksResp {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	f, ok := nn.files[path]
+	if !ok {
+		return &GetBlocksResp{Found: false}
+	}
+	resp := &GetBlocksResp{Found: true, SizeBytes: f.size}
+	resp.Blocks = append(resp.Blocks, f.blocks...)
+	return resp
+}
+
+func (nn *NameNode) list(prefix string) *ListResp {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	if !strings.HasSuffix(prefix, "/") {
+		prefix += "/"
+	}
+	resp := &ListResp{}
+	for p := range nn.files {
+		if strings.HasPrefix(p, prefix) {
+			resp.Paths = append(resp.Paths, p)
+		}
+	}
+	sort.Strings(resp.Paths)
+	return resp
+}
+
+func (nn *NameNode) delete(path string) error {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	if _, ok := nn.files[path]; !ok {
+		return fmt.Errorf("%w: %s", ErrFileNotFound, path)
+	}
+	delete(nn.files, path)
+	return nil
+}

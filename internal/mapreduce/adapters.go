@@ -1,0 +1,148 @@
+package mapreduce
+
+import (
+	"io"
+	"path"
+
+	"repro/internal/bsfs"
+	"repro/internal/hdfs"
+)
+
+// BSFSAdapter makes a BSFS mount usable as the engine's FileSystem.
+type BSFSAdapter struct {
+	FS *bsfs.FS
+	// FileOptions configure files created by reducers.
+	FileOptions bsfs.FileOptions
+}
+
+var _ FileSystem = (*BSFSAdapter)(nil)
+
+// CreateFile creates an output file (parent directories made on demand).
+func (a *BSFSAdapter) CreateFile(p string) (io.WriteCloser, error) {
+	if err := a.FS.MkdirAll(path.Dir(p)); err != nil {
+		return nil, err
+	}
+	return a.FS.Create(p, a.FileOptions)
+}
+
+// OpenFile opens an input file.
+func (a *BSFSAdapter) OpenFile(p string) (FileHandle, error) {
+	f, err := a.FS.Open(p)
+	if err != nil {
+		return nil, err
+	}
+	return &bsfsHandle{f: f}, nil
+}
+
+// ListFiles enumerates the (non-directory) entries of dir.
+func (a *BSFSAdapter) ListFiles(dir string) ([]string, error) {
+	ents, err := a.FS.List(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range ents {
+		if !e.IsDir {
+			out = append(out, path.Join(dir, e.Name))
+		}
+	}
+	return out, nil
+}
+
+type bsfsHandle struct {
+	f *bsfs.File
+}
+
+func (h *bsfsHandle) ReadAt(p []byte, off uint64) (int, error) { return h.f.ReadAt(p, off) }
+func (h *bsfsHandle) Size() uint64                             { return h.f.Size() }
+func (h *bsfsHandle) Close() error                             { return h.f.Close() }
+
+// Locations flattens BlobSeer's per-chunk replica sets into a candidate
+// worker-home list, most frequent provider first.
+func (h *bsfsHandle) Locations(off, length uint64) ([]string, error) {
+	locs, err := h.f.Locations(off, length)
+	if err != nil {
+		return nil, err
+	}
+	return rankProviders(func(yield func(string)) {
+		for _, l := range locs {
+			for _, p := range l.Providers {
+				yield(p)
+			}
+		}
+	}), nil
+}
+
+// HDFSAdapter makes an HDFS client usable as the engine's FileSystem.
+type HDFSAdapter struct {
+	Client      *hdfs.Client
+	BlockSize   uint64
+	Replication uint32
+}
+
+var _ FileSystem = (*HDFSAdapter)(nil)
+
+// CreateFile creates an output file.
+func (a *HDFSAdapter) CreateFile(p string) (io.WriteCloser, error) {
+	return a.Client.Create(p, a.BlockSize, a.Replication)
+}
+
+// OpenFile opens an input file.
+func (a *HDFSAdapter) OpenFile(p string) (FileHandle, error) {
+	f, err := a.Client.Open(p)
+	if err != nil {
+		return nil, err
+	}
+	return &hdfsHandle{f: f}, nil
+}
+
+// ListFiles enumerates files under dir.
+func (a *HDFSAdapter) ListFiles(dir string) ([]string, error) {
+	return a.Client.List(dir)
+}
+
+type hdfsHandle struct {
+	f *hdfs.File
+}
+
+func (h *hdfsHandle) ReadAt(p []byte, off uint64) (int, error) { return h.f.ReadAt(p, off) }
+func (h *hdfsHandle) Size() uint64                             { return h.f.Size() }
+func (h *hdfsHandle) Close() error                             { return h.f.Close() }
+
+func (h *hdfsHandle) Locations(off, length uint64) ([]string, error) {
+	blocks, err := h.f.BlockLocations(off, length)
+	if err != nil {
+		return nil, err
+	}
+	return rankProviders(func(yield func(string)) {
+		for _, b := range blocks {
+			for _, l := range b.Locations {
+				yield(l)
+			}
+		}
+	}), nil
+}
+
+// rankProviders counts provider occurrences over the yielded sequence and
+// returns them most-frequent first.
+func rankProviders(each func(yield func(string))) []string {
+	counts := map[string]int{}
+	var order []string
+	each(func(p string) {
+		if counts[p] == 0 {
+			order = append(order, p)
+		}
+		counts[p]++
+	})
+	// Stable selection sort by count (provider lists are tiny).
+	for i := 0; i < len(order); i++ {
+		best := i
+		for j := i + 1; j < len(order); j++ {
+			if counts[order[j]] > counts[order[best]] {
+				best = j
+			}
+		}
+		order[i], order[best] = order[best], order[i]
+	}
+	return order
+}

@@ -1,0 +1,57 @@
+package mapreduce
+
+import (
+	"strconv"
+	"strings"
+)
+
+// The "real MapReduce applications" of §IV-D, expressed against the
+// engine: word count, distributed grep, and sort.
+
+// WordCountMap tokenizes a record and emits (word, 1).
+func WordCountMap(_, record string, emit func(k, v string)) {
+	for _, w := range strings.Fields(record) {
+		emit(w, "1")
+	}
+}
+
+// WordCountReduce sums the counts of one word.
+func WordCountReduce(key string, values []string, emit func(k, v string)) {
+	total := 0
+	for _, v := range values {
+		n, err := strconv.Atoi(v)
+		if err == nil {
+			total += n
+		}
+	}
+	emit(key, strconv.Itoa(total))
+}
+
+// GrepMap emits matching records keyed by the pattern.
+func GrepMap(pattern string) MapFunc {
+	return func(_, record string, emit func(k, v string)) {
+		if strings.Contains(record, pattern) {
+			emit(pattern, record)
+		}
+	}
+}
+
+// GrepReduce counts (and forwards a sample of) the matches.
+func GrepReduce(key string, values []string, emit func(k, v string)) {
+	emit(key, strconv.Itoa(len(values)))
+}
+
+// SortMap emits each record keyed by itself; combined with the engine's
+// per-reducer key ordering this yields a distributed sort.
+func SortMap(_, record string, emit func(k, v string)) {
+	if record != "" {
+		emit(record, "")
+	}
+}
+
+// SortReduce writes each key once per occurrence.
+func SortReduce(key string, values []string, emit func(k, v string)) {
+	for range values {
+		emit(key, "")
+	}
+}

@@ -1,0 +1,219 @@
+package mapreduce_test
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/bsfs"
+	"repro/internal/chunk"
+	"repro/internal/cluster"
+	"repro/internal/hdfs"
+	"repro/internal/mapreduce"
+	"repro/internal/provider"
+	"repro/internal/rpc"
+	"repro/internal/workload"
+)
+
+// End-to-end §IV-D: word count over BSFS on a live BlobSeer cluster, with
+// workers co-located with data providers and exact output verification
+// against an in-memory reference count.
+func TestWordCountOverBSFSCluster(t *testing.T) {
+	c, err := cluster.Start(cluster.Config{DataProviders: 4, MetaProviders: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ns := bsfs.NewNameServer(c.Network, "ns")
+	if err := ns.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer ns.Close()
+
+	mount := func(name string) *bsfs.FS {
+		cli, err := c.NewClient(cluster.ClientOptions{Name: name, MetaCacheNodes: 4096})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return bsfs.NewFS(cli, "ns")
+	}
+
+	// Load the corpus as two files and build the reference counts.
+	corpus := workload.TextCorpus(2000, 6, 99)
+	want := map[string]int{}
+	for _, line := range strings.Split(strings.TrimSpace(string(corpus)), "\n") {
+		for _, w := range strings.Fields(line) {
+			want[w]++
+		}
+	}
+	fs := mount("loader")
+	if err := fs.MkdirAll("/in"); err != nil {
+		t.Fatal(err)
+	}
+	half := len(corpus) / 2
+	for half < len(corpus) && corpus[half-1] != '\n' {
+		half++
+	}
+	for i, part := range [][]byte{corpus[:half], corpus[half:]} {
+		f, err := fs.Create(fmt.Sprintf("/in/f%d", i), bsfs.FileOptions{ChunkSize: 8 << 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write(part); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Workers co-located with every data provider.
+	var workers []mapreduce.Worker
+	for _, home := range c.ProviderAddrs() {
+		workers = append(workers, mapreduce.Worker{
+			Home: home,
+			FS:   &mapreduce.BSFSAdapter{FS: mount(home), FileOptions: bsfs.FileOptions{ChunkSize: 8 << 10}},
+		})
+	}
+	stats, err := mapreduce.Run(mapreduce.Config{
+		Name: "wc", InputDir: "/in", OutputDir: "/out",
+		Mapper: mapreduce.WordCountMap, Reducer: mapreduce.WordCountReduce,
+		NumReducers: 3, SplitSize: 16 << 10,
+		Workers: workers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.MapTasks == 0 || stats.InputBytes != uint64(len(corpus)) {
+		t.Errorf("stats = %+v", stats)
+	}
+
+	// Collect and verify the output exactly.
+	got := map[string]int{}
+	ents, err := fs.List("/out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 3 {
+		t.Fatalf("output files = %d, want 3 reducers", len(ents))
+	}
+	for _, e := range ents {
+		f, err := fs.Open("/out/" + e.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := make([]byte, f.Size())
+		if _, err := f.ReadAt(data, 0); err != nil && err != io.EOF {
+			t.Fatal(err)
+		}
+		for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+			if line == "" {
+				continue
+			}
+			kv := strings.SplitN(line, "\t", 2)
+			n, err := strconv.Atoi(kv[1])
+			if err != nil {
+				t.Fatalf("bad count line %q", line)
+			}
+			if _, dup := got[kv[0]]; dup {
+				t.Fatalf("word %q emitted by two reducers", kv[0])
+			}
+			got[kv[0]] = n
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("distinct words = %d, want %d", len(got), len(want))
+	}
+	for w, n := range want {
+		if got[w] != n {
+			t.Errorf("count[%q] = %d, want %d", w, got[w], n)
+		}
+	}
+}
+
+// The same job through the HDFS baseline must produce identical counts:
+// the engine is storage-agnostic.
+func TestWordCountParityOverHDFS(t *testing.T) {
+	corpus := workload.TextCorpus(500, 5, 7)
+	ref := map[string]int{}
+	for _, line := range strings.Split(strings.TrimSpace(string(corpus)), "\n") {
+		for _, w := range strings.Fields(line) {
+			ref[w]++
+		}
+	}
+
+	network := rpc.NewSimNetwork(nil)
+	nn := hdfs.NewNameNode(network, "nn")
+	if err := nn.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer nn.Close()
+	reg := rpc.NewClient(network, 0)
+	defer reg.Close()
+	for i := 0; i < 2; i++ {
+		dn := provider.NewServer(network, fmt.Sprintf("dn%d", i), chunk.NewMemStore())
+		if err := dn.Start(); err != nil {
+			t.Fatal(err)
+		}
+		defer dn.Close()
+		if err := reg.Call("nn", hdfs.MethodRegisterDN, &hdfs.RegisterDNReq{Addr: dn.Addr()}, &hdfs.Ack{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cli := hdfs.NewClient(network, "h", "nn", 0)
+	defer cli.Close()
+	f, err := cli.Create("/in/all", 8<<10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(corpus); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	adapter := &mapreduce.HDFSAdapter{Client: cli, BlockSize: 8 << 10, Replication: 1}
+	if _, err := mapreduce.Run(mapreduce.Config{
+		Name: "wc", InputDir: "/in", OutputDir: "/out",
+		Mapper: mapreduce.WordCountMap, Reducer: mapreduce.WordCountReduce,
+		NumReducers: 2, SplitSize: 8 << 10,
+		Workers: []mapreduce.Worker{{Home: "dn0", FS: adapter}, {Home: "dn1", FS: adapter}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	got := map[string]int{}
+	paths, err := cli.List("/out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range paths {
+		h, err := cli.Open(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := make([]byte, h.Size())
+		if _, err := h.ReadAt(data, 0); err != nil && err != io.EOF {
+			t.Fatal(err)
+		}
+		for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+			if line == "" {
+				continue
+			}
+			kv := strings.SplitN(line, "\t", 2)
+			n, _ := strconv.Atoi(kv[1])
+			got[kv[0]] = n
+		}
+	}
+	if len(got) != len(ref) {
+		t.Fatalf("words = %d, want %d", len(got), len(ref))
+	}
+	for w, n := range ref {
+		if got[w] != n {
+			t.Errorf("count[%q] = %d, want %d", w, got[w], n)
+		}
+	}
+}

@@ -1,0 +1,379 @@
+// Package mapreduce implements the data-parallel execution engine used to
+// reproduce §IV-D: a Hadoop-style MapReduce over a pluggable storage layer
+// (BSFS on BlobSeer, or the HDFS baseline). Input files are carved into
+// splits, map tasks are scheduled preferentially on workers co-located
+// with the split's data (the locality API BSFS exposes exists exactly for
+// this), intermediate pairs are hash-partitioned to reducers, and each
+// reducer writes one output file back to the storage layer.
+package mapreduce
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// FileHandle is an open input file.
+type FileHandle interface {
+	ReadAt(p []byte, off uint64) (int, error)
+	Size() uint64
+	// Locations returns candidate worker homes (provider addresses) for
+	// the byte range, best first.
+	Locations(off, length uint64) ([]string, error)
+	Close() error
+}
+
+// FileSystem is the storage abstraction the engine runs over.
+type FileSystem interface {
+	CreateFile(path string) (io.WriteCloser, error)
+	OpenFile(path string) (FileHandle, error)
+	// ListFiles returns the full paths of the files under dir.
+	ListFiles(dir string) ([]string, error)
+}
+
+// MapFunc processes one line-oriented record, emitting key/value pairs.
+type MapFunc func(filename, record string, emit func(k, v string))
+
+// ReduceFunc folds all values of one key, emitting output pairs.
+type ReduceFunc func(key string, values []string, emit func(k, v string))
+
+// Worker describes one execution slot: its home node (a data provider
+// address, for locality matching) and the storage client it reads/writes
+// through.
+type Worker struct {
+	Home string
+	FS   FileSystem
+}
+
+// Config describes a job.
+type Config struct {
+	Name        string
+	InputDir    string
+	OutputDir   string
+	Mapper      MapFunc
+	Reducer     ReduceFunc
+	NumReducers int
+	// SplitSize carves inputs into map tasks (default 256 KiB).
+	SplitSize uint64
+	// Workers run map and reduce tasks (at least one required).
+	Workers []Worker
+}
+
+// Stats summarizes one job execution.
+type Stats struct {
+	MapTasks    int
+	LocalMaps   int // map tasks that ran on a worker holding the data
+	ReduceTasks int
+	InputBytes  uint64
+	OutputPairs int
+	MapTime     time.Duration
+	ReduceTime  time.Duration
+	Total       time.Duration
+}
+
+type split struct {
+	file      string
+	off, end  uint64
+	preferred map[string]bool
+}
+
+// Run executes the job and returns its statistics.
+func Run(cfg Config) (*Stats, error) {
+	if cfg.Mapper == nil || cfg.Reducer == nil {
+		return nil, fmt.Errorf("mapreduce: job %q needs a mapper and a reducer", cfg.Name)
+	}
+	if len(cfg.Workers) == 0 {
+		return nil, fmt.Errorf("mapreduce: job %q has no workers", cfg.Name)
+	}
+	if cfg.NumReducers <= 0 {
+		cfg.NumReducers = 1
+	}
+	if cfg.SplitSize == 0 {
+		cfg.SplitSize = 256 << 10
+	}
+	start := time.Now()
+	stats := &Stats{ReduceTasks: cfg.NumReducers}
+
+	splits, err := computeSplits(cfg, stats)
+	if err != nil {
+		return nil, err
+	}
+	stats.MapTasks = len(splits)
+
+	// --- map phase ---------------------------------------------------
+	mapStart := time.Now()
+	partitions := make([]map[string][]string, cfg.NumReducers)
+	for i := range partitions {
+		partitions[i] = make(map[string][]string)
+	}
+	var partMu sync.Mutex
+
+	queue := &splitQueue{splits: splits}
+	var wg sync.WaitGroup
+	var firstErr error
+	var errMu sync.Mutex
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+	var localMaps int64
+	var localMu sync.Mutex
+	for _, w := range cfg.Workers {
+		wg.Add(1)
+		go func(w Worker) {
+			defer wg.Done()
+			for {
+				sp, local, ok := queue.next(w.Home)
+				if !ok {
+					return
+				}
+				if local {
+					localMu.Lock()
+					localMaps++
+					localMu.Unlock()
+				}
+				out, err := runMap(cfg, w, sp)
+				if err != nil {
+					fail(err)
+					return
+				}
+				partMu.Lock()
+				for part, kvs := range out {
+					dst := partitions[part]
+					for _, kv := range kvs {
+						dst[kv.k] = append(dst[kv.k], kv.v)
+					}
+				}
+				partMu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	stats.LocalMaps = int(localMaps)
+	stats.MapTime = time.Since(mapStart)
+
+	// --- reduce phase ------------------------------------------------
+	reduceStart := time.Now()
+	var rwg sync.WaitGroup
+	var outPairs int64
+	var outMu sync.Mutex
+	for r := 0; r < cfg.NumReducers; r++ {
+		rwg.Add(1)
+		go func(r int) {
+			defer rwg.Done()
+			w := cfg.Workers[r%len(cfg.Workers)]
+			pairs, err := runReduce(cfg, w, r, partitions[r])
+			if err != nil {
+				fail(err)
+				return
+			}
+			outMu.Lock()
+			outPairs += int64(pairs)
+			outMu.Unlock()
+		}(r)
+	}
+	rwg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	stats.OutputPairs = int(outPairs)
+	stats.ReduceTime = time.Since(reduceStart)
+	stats.Total = time.Since(start)
+	return stats, nil
+}
+
+func computeSplits(cfg Config, stats *Stats) ([]*split, error) {
+	fs := cfg.Workers[0].FS
+	files, err := fs.ListFiles(cfg.InputDir)
+	if err != nil {
+		return nil, fmt.Errorf("mapreduce: listing %s: %w", cfg.InputDir, err)
+	}
+	var splits []*split
+	for _, f := range files {
+		h, err := fs.OpenFile(f)
+		if err != nil {
+			return nil, err
+		}
+		size := h.Size()
+		stats.InputBytes += size
+		for off := uint64(0); off < size; off += cfg.SplitSize {
+			end := off + cfg.SplitSize
+			if end > size {
+				end = size
+			}
+			sp := &split{file: f, off: off, end: end, preferred: map[string]bool{}}
+			if locs, err := h.Locations(off, end-off); err == nil {
+				for _, l := range locs {
+					sp.preferred[l] = true
+				}
+			}
+			splits = append(splits, sp)
+		}
+		h.Close()
+	}
+	return splits, nil
+}
+
+type splitQueue struct {
+	mu     sync.Mutex
+	splits []*split
+}
+
+// next pops a split, preferring one whose data lives on the worker's home
+// node (the locality-aware scheduling of §IV-D).
+func (q *splitQueue) next(home string) (*split, bool, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.splits) == 0 {
+		return nil, false, false
+	}
+	for i, sp := range q.splits {
+		if sp.preferred[home] {
+			q.splits = append(q.splits[:i], q.splits[i+1:]...)
+			return sp, true, true
+		}
+	}
+	sp := q.splits[0]
+	q.splits = q.splits[1:]
+	return sp, false, true
+}
+
+type kvPair struct{ k, v string }
+
+// runMap executes one map task: read the split (record-aligned), apply
+// the mapper, hash-partition the output.
+func runMap(cfg Config, w Worker, sp *split) (map[int][]kvPair, error) {
+	h, err := w.FS.OpenFile(sp.file)
+	if err != nil {
+		return nil, err
+	}
+	defer h.Close()
+	records, err := readRecords(h, sp.off, sp.end)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[int][]kvPair)
+	emit := func(k, v string) {
+		p := partitionOf(k, cfg.NumReducers)
+		out[p] = append(out[p], kvPair{k, v})
+	}
+	for _, rec := range records {
+		cfg.Mapper(sp.file, rec, emit)
+	}
+	return out, nil
+}
+
+func partitionOf(key string, n int) int {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % uint32(n))
+}
+
+// readRecords returns the newline-delimited records owned by the split
+// [off, end). Ownership rule (the standard Hadoop input-split contract):
+// a split owns every record whose first byte lies in [off, end). To decide
+// whether a record starts exactly at off, the reader peeks one byte before
+// the split (a record starts at off iff off == 0 or byte off-1 is '\n');
+// otherwise it skips to the first newline. The split reads past its end as
+// needed to finish its last record.
+func readRecords(h FileHandle, off, end uint64) ([]string, error) {
+	size := h.Size()
+	const overshoot = 64 << 10
+	readStart := off
+	if off > 0 {
+		readStart = off - 1
+	}
+	readEnd := end + overshoot
+	if readEnd > size {
+		readEnd = size
+	}
+	if readEnd <= readStart {
+		return nil, nil
+	}
+	buf := make([]byte, readEnd-readStart)
+	if _, err := h.ReadAt(buf, readStart); err != nil && err != io.EOF {
+		return nil, err
+	}
+	pos := 0
+	if off > 0 {
+		if buf[0] == '\n' {
+			pos = 1 // a record starts exactly at off: it is ours
+		} else {
+			nl := strings.IndexByte(string(buf), '\n')
+			if nl < 0 {
+				return nil, nil // no record starts in this split
+			}
+			pos = nl + 1
+		}
+	}
+	var records []string
+	for pos < len(buf) {
+		// Only records that start strictly before the split end are ours.
+		if readStart+uint64(pos) >= end {
+			break
+		}
+		nl := strings.IndexByte(string(buf[pos:]), '\n')
+		if nl < 0 {
+			if readEnd == size {
+				records = append(records, string(buf[pos:]))
+			}
+			// Otherwise the record exceeds the overshoot window; real
+			// Hadoop would keep reading — our workloads never produce
+			// 64 KiB records, so treat it as data corruption.
+			break
+		}
+		records = append(records, string(buf[pos:pos+nl]))
+		pos += nl + 1
+	}
+	return records, nil
+}
+
+// runReduce executes one reduce task and writes part-<r> to the output
+// directory.
+func runReduce(cfg Config, w Worker, r int, part map[string][]string) (int, error) {
+	keys := make([]string, 0, len(part))
+	for k := range part {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out, err := w.FS.CreateFile(fmt.Sprintf("%s/part-%05d", cfg.OutputDir, r))
+	if err != nil {
+		return 0, err
+	}
+	pairs := 0
+	var sb strings.Builder
+	emit := func(k, v string) {
+		sb.WriteString(k)
+		sb.WriteByte('\t')
+		sb.WriteString(v)
+		sb.WriteByte('\n')
+		pairs++
+	}
+	for _, k := range keys {
+		cfg.Reducer(k, part[k], emit)
+		if sb.Len() > 1<<20 {
+			if _, err := out.Write([]byte(sb.String())); err != nil {
+				out.Close()
+				return 0, err
+			}
+			sb.Reset()
+		}
+	}
+	if sb.Len() > 0 {
+		if _, err := out.Write([]byte(sb.String())); err != nil {
+			out.Close()
+			return 0, err
+		}
+	}
+	return pairs, out.Close()
+}

@@ -1,0 +1,284 @@
+package mapreduce
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// memFS is an in-memory FileSystem for engine unit tests, with fake
+// locality: file f's data "lives" on the node named by locs[f].
+type memFS struct {
+	mu    sync.Mutex
+	files map[string][]byte
+	locs  map[string][]string
+}
+
+func newMemFS() *memFS {
+	return &memFS{files: map[string][]byte{}, locs: map[string][]string{}}
+}
+
+type memWriter struct {
+	fs   *memFS
+	path string
+	buf  bytes.Buffer
+}
+
+func (w *memWriter) Write(p []byte) (int, error) { return w.buf.Write(p) }
+func (w *memWriter) Close() error {
+	w.fs.mu.Lock()
+	defer w.fs.mu.Unlock()
+	w.fs.files[w.path] = w.buf.Bytes()
+	return nil
+}
+
+func (fs *memFS) CreateFile(path string) (io.WriteCloser, error) {
+	return &memWriter{fs: fs, path: path}, nil
+}
+
+type memHandle struct {
+	data []byte
+	locs []string
+}
+
+func (h *memHandle) ReadAt(p []byte, off uint64) (int, error) {
+	if off >= uint64(len(h.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, h.data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+func (h *memHandle) Size() uint64                            { return uint64(len(h.data)) }
+func (h *memHandle) Close() error                            { return nil }
+func (h *memHandle) Locations(_, _ uint64) ([]string, error) { return h.locs, nil }
+
+func (fs *memFS) OpenFile(path string) (FileHandle, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	data, ok := fs.files[path]
+	if !ok {
+		return nil, errors.New("memfs: not found: " + path)
+	}
+	return &memHandle{data: data, locs: fs.locs[path]}, nil
+}
+
+func (fs *memFS) ListFiles(dir string) ([]string, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	var out []string
+	for p := range fs.files {
+		if strings.HasPrefix(p, dir+"/") {
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func TestWordCountEndToEnd(t *testing.T) {
+	fs := newMemFS()
+	fs.files["/in/a.txt"] = []byte("the quick brown fox\nthe lazy dog\n")
+	fs.files["/in/b.txt"] = []byte("the end\n")
+
+	stats, err := Run(Config{
+		Name: "wc", InputDir: "/in", OutputDir: "/out",
+		Mapper: WordCountMap, Reducer: WordCountReduce,
+		NumReducers: 3,
+		Workers:     []Worker{{Home: "n1", FS: fs}, {Home: "n2", FS: fs}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.MapTasks != 2 || stats.ReduceTasks != 3 {
+		t.Errorf("stats = %+v", stats)
+	}
+	counts := collectOutput(t, fs, "/out")
+	want := map[string]string{
+		"the": "3", "quick": "1", "brown": "1", "fox": "1",
+		"lazy": "1", "dog": "1", "end": "1",
+	}
+	if len(counts) != len(want) {
+		t.Fatalf("got %v", counts)
+	}
+	for k, v := range want {
+		if counts[k] != v {
+			t.Errorf("%q = %q, want %q", k, counts[k], v)
+		}
+	}
+}
+
+func collectOutput(t *testing.T, fs *memFS, dir string) map[string]string {
+	t.Helper()
+	out := map[string]string{}
+	files, err := fs.ListFiles(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range files {
+		fs.mu.Lock()
+		data := fs.files[f]
+		fs.mu.Unlock()
+		for _, line := range strings.Split(string(data), "\n") {
+			if line == "" {
+				continue
+			}
+			parts := strings.SplitN(line, "\t", 2)
+			out[parts[0]] = parts[1]
+		}
+	}
+	return out
+}
+
+// Record ownership across split boundaries: every line must be processed
+// exactly once no matter how splits carve the file.
+func TestSplitRecordOwnership(t *testing.T) {
+	var sb strings.Builder
+	const lines = 500
+	for i := 0; i < lines; i++ {
+		fmt.Fprintf(&sb, "line-%04d x\n", i)
+	}
+	fs := newMemFS()
+	fs.files["/in/data"] = []byte(sb.String())
+
+	for _, splitSize := range []uint64{64, 100, 1000, 1 << 20} {
+		var mu sync.Mutex
+		seen := map[string]int{}
+		_, err := Run(Config{
+			Name: "own", InputDir: "/in", OutputDir: "/out",
+			Mapper: func(_, rec string, emit func(k, v string)) {
+				mu.Lock()
+				seen[rec]++
+				mu.Unlock()
+			},
+			Reducer:   func(k string, vs []string, emit func(k, v string)) {},
+			SplitSize: splitSize,
+			Workers:   []Worker{{Home: "a", FS: fs}, {Home: "b", FS: fs}, {Home: "c", FS: fs}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(seen) != lines {
+			t.Fatalf("splitSize %d: saw %d distinct lines, want %d", splitSize, len(seen), lines)
+		}
+		for rec, n := range seen {
+			if n != 1 {
+				t.Fatalf("splitSize %d: record %q processed %d times", splitSize, rec, n)
+			}
+		}
+	}
+}
+
+func TestLocalitySchedulingPreference(t *testing.T) {
+	// Deterministic check on the scheduler itself: a worker is always
+	// handed a data-local split when one exists.
+	q := &splitQueue{splits: []*split{
+		{file: "/in/a", preferred: map[string]bool{"node-a": true}},
+		{file: "/in/b", preferred: map[string]bool{"node-b": true}},
+	}}
+	sp, local, ok := q.next("node-b")
+	if !ok || !local || sp.file != "/in/b" {
+		t.Fatalf("next(node-b) = %v local=%v", sp, local)
+	}
+	sp, local, ok = q.next("node-a")
+	if !ok || !local || sp.file != "/in/a" {
+		t.Fatalf("next(node-a) = %v local=%v", sp, local)
+	}
+	if _, _, ok := q.next("node-a"); ok {
+		t.Fatal("empty queue returned a split")
+	}
+	// Work stealing: with no local split left, any split is handed out
+	// rather than idling the worker.
+	q2 := &splitQueue{splits: []*split{
+		{file: "/in/c", preferred: map[string]bool{"node-z": true}},
+	}}
+	sp, local, ok = q2.next("node-a")
+	if !ok || local || sp.file != "/in/c" {
+		t.Fatalf("steal = %v local=%v ok=%v", sp, local, ok)
+	}
+
+	// End-to-end: the engine reports locality stats; with matching
+	// workers at least one split must be scheduled local even under
+	// work-stealing races.
+	fs := newMemFS()
+	fs.files["/in/a"] = []byte(strings.Repeat("a\n", 100))
+	fs.files["/in/b"] = []byte(strings.Repeat("b\n", 100))
+	fs.locs["/in/a"] = []string{"node-a"}
+	fs.locs["/in/b"] = []string{"node-b"}
+	stats, err := Run(Config{
+		Name: "loc", InputDir: "/in", OutputDir: "/out",
+		Mapper:  func(_, rec string, emit func(k, v string)) { emit(rec, "1") },
+		Reducer: WordCountReduce,
+		Workers: []Worker{{Home: "node-a", FS: fs}, {Home: "node-b", FS: fs}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.LocalMaps < 1 {
+		t.Errorf("LocalMaps = %d, want >= 1", stats.LocalMaps)
+	}
+}
+
+func TestGrepAndSortApps(t *testing.T) {
+	fs := newMemFS()
+	fs.files["/in/log"] = []byte("ok line\nERROR one\nok\nERROR two\n")
+
+	if _, err := Run(Config{
+		Name: "grep", InputDir: "/in", OutputDir: "/grep-out",
+		Mapper: GrepMap("ERROR"), Reducer: GrepReduce,
+		Workers: []Worker{{Home: "x", FS: fs}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got := collectOutput(t, fs, "/grep-out")
+	if got["ERROR"] != "2" {
+		t.Errorf("grep output = %v", got)
+	}
+
+	fs.files["/sortin/data"] = []byte("pear\napple\nzebra\napple\n")
+	if _, err := Run(Config{
+		Name: "sort", InputDir: "/sortin", OutputDir: "/sort-out",
+		Mapper: SortMap, Reducer: SortReduce,
+		NumReducers: 1,
+		Workers:     []Worker{{Home: "x", FS: fs}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	files, _ := fs.ListFiles("/sort-out")
+	data := fs.files[files[0]]
+	var keys []string
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		keys = append(keys, strings.TrimSuffix(line, "\t"))
+	}
+	want := []string{"apple", "apple", "pear", "zebra"}
+	if strings.Join(keys, ",") != strings.Join(want, ",") {
+		t.Errorf("sorted keys = %v, want %v", keys, want)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	fs := newMemFS()
+	if _, err := Run(Config{Name: "x", Workers: []Worker{{Home: "a", FS: fs}}}); err == nil {
+		t.Error("missing mapper/reducer accepted")
+	}
+	if _, err := Run(Config{Name: "x", Mapper: WordCountMap, Reducer: WordCountReduce}); err == nil {
+		t.Error("no workers accepted")
+	}
+}
+
+func TestPartitionOfStable(t *testing.T) {
+	for _, k := range []string{"a", "b", "hello", ""} {
+		p1 := partitionOf(k, 7)
+		p2 := partitionOf(k, 7)
+		if p1 != p2 || p1 < 0 || p1 >= 7 {
+			t.Errorf("partitionOf(%q) unstable or out of range: %d, %d", k, p1, p2)
+		}
+	}
+}

@@ -1,0 +1,218 @@
+package meta
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/dht"
+	"repro/internal/rpc"
+)
+
+// Compile-time check: the DHT client satisfies the weave/descent Store.
+var _ Store = (*Client)(nil)
+
+// Client is the writer/reader-side view of the metadata DHT. It implements
+// Store: puts fan out to the replica set of each node's key, gets try
+// replicas in order. Because nodes are immutable, the optional client-side
+// cache (§IV-A: "the benefits of metadata caching on the client side")
+// never needs invalidation.
+type Client struct {
+	rpc         *rpc.Client
+	ring        *dht.Ring
+	replication int
+	cache       *nodeCache
+}
+
+// NewClient builds a metadata client over the given metadata provider
+// addresses. replication is the number of replicas per node (clamped to
+// the provider count, minimum 1). cacheNodes > 0 enables a client-side
+// LRU cache of that many nodes.
+func NewClient(rpcClient *rpc.Client, providers []string, replication, cacheNodes int) *Client {
+	ring := dht.NewRing(0)
+	for _, p := range providers {
+		ring.Add(p)
+	}
+	if replication < 1 {
+		replication = 1
+	}
+	var cache *nodeCache
+	if cacheNodes > 0 {
+		cache = newNodeCache(cacheNodes)
+	}
+	return &Client{rpc: rpcClient, ring: ring, replication: replication, cache: cache}
+}
+
+// Replicas returns the replica set for a node key.
+func (c *Client) Replicas(key NodeKey) []string {
+	return c.ring.LookupN(key.Hash(), c.replication)
+}
+
+// putParallelism bounds concurrent node PUTs per PutNodes call.
+const putParallelism = 32
+
+// PutNodes stores every node of the batch in the DHT. Each node is one
+// PUT to each of its replicas — exactly the fine-grain distribution the
+// paper relies on ("the tree nodes are distributed in a fine-grain manner
+// among the metadata providers"): a write's node set scatters over the
+// whole DHT rather than funneling into one server, which is what makes
+// metadata decentralization pay off under concurrency (experiment E6).
+// PUTs are issued in parallel with bounded fan-out. A node is durable when
+// at least one replica accepted it; an error is returned only if some node
+// could not be stored anywhere.
+func (c *Client) PutNodes(nodes []*Node) error {
+	if len(nodes) == 0 {
+		return nil
+	}
+	if c.ring.Len() == 0 {
+		return errors.New("meta: no metadata providers in ring")
+	}
+	type unit struct {
+		node *Node
+		addr string
+	}
+	var units []unit
+	for _, n := range nodes {
+		for _, o := range c.Replicas(n.Key) {
+			units = append(units, unit{node: n, addr: o})
+		}
+	}
+	failures := make([]error, len(units))
+	sem := make(chan struct{}, putParallelism)
+	var wg sync.WaitGroup
+	for i, u := range units {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, u unit) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			failures[i] = c.rpc.Call(u.addr, MethodPutNodes, &PutNodesReq{Nodes: []*Node{u.node}}, &Ack{})
+		}(i, u)
+	}
+	wg.Wait()
+
+	// Verify every node landed on at least one replica.
+	landed := make(map[NodeKey]bool, len(nodes))
+	var firstErr error
+	for i, u := range units {
+		if failures[i] == nil {
+			landed[u.node.Key] = true
+		} else if firstErr == nil {
+			firstErr = failures[i]
+		}
+	}
+	for _, n := range nodes {
+		if !landed[n.Key] {
+			return fmt.Errorf("meta: node %s lost all replicas: %w", n.Key, firstErr)
+		}
+	}
+	c.cacheNodes(nodes)
+	return nil
+}
+
+func (c *Client) cacheNodes(nodes []*Node) {
+	if c.cache == nil {
+		return
+	}
+	for _, n := range nodes {
+		c.cache.put(n)
+	}
+}
+
+// GetNode fetches a node, trying the cache first and then each replica.
+func (c *Client) GetNode(key NodeKey) (*Node, error) {
+	if c.cache != nil {
+		if n, ok := c.cache.get(key); ok {
+			return n, nil
+		}
+	}
+	owners := c.Replicas(key)
+	if len(owners) == 0 {
+		return nil, errors.New("meta: no metadata providers in ring")
+	}
+	var lastErr error
+	for _, o := range owners {
+		var resp GetNodeResp
+		err := c.rpc.Call(o, MethodGetNode, &GetNodeReq{Key: key}, &resp)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if !resp.Found {
+			lastErr = fmt.Errorf("%w: %s at %s", ErrNodeNotFound, key, o)
+			continue
+		}
+		n := resp.Node
+		if c.cache != nil {
+			c.cache.put(&n)
+		}
+		return &n, nil
+	}
+	return nil, fmt.Errorf("meta: get %s failed on all replicas: %w", key, lastErr)
+}
+
+// CacheStats reports cache hits and misses (zeros when caching is off).
+func (c *Client) CacheStats() (hits, misses int64) {
+	if c.cache == nil {
+		return 0, 0
+	}
+	return c.cache.stats()
+}
+
+// nodeCache is an LRU keyed by NodeKey. Nodes are immutable so entries
+// never go stale.
+type nodeCache struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List
+	entries map[NodeKey]*list.Element
+	hits    int64
+	misses  int64
+}
+
+type cacheEnt struct {
+	key  NodeKey
+	node Node
+}
+
+func newNodeCache(capacity int) *nodeCache {
+	return &nodeCache{cap: capacity, order: list.New(), entries: make(map[NodeKey]*list.Element)}
+}
+
+func (c *nodeCache) put(n *Node) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[n.Key]; ok {
+		c.order.MoveToFront(el)
+		return
+	}
+	el := c.order.PushFront(&cacheEnt{key: n.Key, node: *n})
+	c.entries[n.Key] = el
+	for len(c.entries) > c.cap {
+		back := c.order.Back()
+		ent := back.Value.(*cacheEnt)
+		c.order.Remove(back)
+		delete(c.entries, ent.key)
+	}
+}
+
+func (c *nodeCache) get(key NodeKey) (*Node, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	n := el.Value.(*cacheEnt).node
+	return &n, true
+}
+
+func (c *nodeCache) stats() (int64, int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

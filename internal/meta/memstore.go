@@ -1,0 +1,75 @@
+package meta
+
+import (
+	"fmt"
+	"sync"
+)
+
+// MemStore is a process-local Store used by tests and by single-process
+// deployments that do not need a metadata DHT.
+type MemStore struct {
+	mu    sync.RWMutex
+	nodes map[NodeKey]*Node
+}
+
+// NewMemStore returns an empty in-memory node store.
+func NewMemStore() *MemStore {
+	return &MemStore{nodes: make(map[NodeKey]*Node)}
+}
+
+// PutNodes stores the batch. Re-storing an existing key with identical
+// content is tolerated (idempotent retries); a conflicting rewrite is a
+// protocol violation and returns an error.
+func (s *MemStore) PutNodes(nodes []*Node) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, n := range nodes {
+		if old, ok := s.nodes[n.Key]; ok {
+			if !nodesEqual(old, n) {
+				return fmt.Errorf("meta: conflicting rewrite of immutable node %s", n.Key)
+			}
+			continue
+		}
+		cp := *n
+		s.nodes[n.Key] = &cp
+	}
+	return nil
+}
+
+// GetNode fetches one node.
+func (s *MemStore) GetNode(key NodeKey) (*Node, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n, ok := s.nodes[key]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNodeNotFound, key)
+	}
+	cp := *n
+	return &cp, nil
+}
+
+// Len reports the number of stored nodes.
+func (s *MemStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.nodes)
+}
+
+func nodesEqual(a, b *Node) bool {
+	if a.Key != b.Key || a.Leaf != b.Leaf {
+		return false
+	}
+	if a.Leaf {
+		if a.Chunk.Key != b.Chunk.Key || a.Chunk.Length != b.Chunk.Length ||
+			len(a.Chunk.Providers) != len(b.Chunk.Providers) {
+			return false
+		}
+		for i := range a.Chunk.Providers {
+			if a.Chunk.Providers[i] != b.Chunk.Providers[i] {
+				return false
+			}
+		}
+		return true
+	}
+	return a.LeftVer == b.LeftVer && a.RightVer == b.RightVer
+}

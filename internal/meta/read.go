@@ -1,0 +1,109 @@
+package meta
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// parallelThreshold is the subtree width (in chunks) above which the two
+// children of an inner node are descended concurrently. Descents are
+// network-bound (one GetNode per level per subtree), so parallelism across
+// subtrees hides metadata-provider latency.
+const parallelThreshold = 32
+
+// CollectLeaves resolves the chunk references for chunk range [a, b) of
+// the given published version by descending its segment tree. sizeChunks
+// is the blob size (in chunks) at that version, as reported by the version
+// manager. Never-written ranges come back as zero ChunkRefs.
+func CollectLeaves(store Store, blob, version, sizeChunks, a, b uint64) ([]ChunkRef, error) {
+	if b < a {
+		return nil, fmt.Errorf("meta: invalid chunk range [%d,%d)", a, b)
+	}
+	if a == b {
+		return nil, nil
+	}
+	if b > sizeChunks {
+		return nil, fmt.Errorf("meta: chunk range [%d,%d) beyond blob size %d", a, b, sizeChunks)
+	}
+	out := make([]ChunkRef, b-a)
+	c := &collector{store: store, blob: blob, a: a, b: b, out: out}
+	root := NextPow2(sizeChunks)
+	c.wg.Add(1)
+	c.walk(version, 0, root)
+	c.wg.Wait()
+	if err := c.err.Load(); err != nil {
+		return nil, *err
+	}
+	return out, nil
+}
+
+type collector struct {
+	store Store
+	blob  uint64
+	a, b  uint64
+	out   []ChunkRef
+	wg    sync.WaitGroup
+	err   atomic.Pointer[error]
+}
+
+func (c *collector) fail(err error) {
+	c.err.CompareAndSwap(nil, &err)
+}
+
+// walk visits the node (version, off, size); the caller must have
+// c.wg.Add(1)-ed for it. Ranges are pre-clipped: walk is only called for
+// subtrees overlapping [a, b).
+func (c *collector) walk(version, off, size uint64) {
+	defer c.wg.Done()
+	if c.err.Load() != nil {
+		return
+	}
+	if version == ZeroVersion {
+		lo, hi := off, off+size
+		if lo < c.a {
+			lo = c.a
+		}
+		if hi > c.b {
+			hi = c.b
+		}
+		for i := lo; i < hi; i++ {
+			c.out[i-c.a] = ChunkRef{} // zero chunk
+		}
+		return
+	}
+	node, err := c.store.GetNode(NodeKey{Blob: c.blob, Version: version, Off: off, Size: size})
+	if err != nil {
+		c.fail(err)
+		return
+	}
+	if node.Leaf {
+		if size != 1 {
+			c.fail(fmt.Errorf("meta: leaf %s with span %d", node.Key, size))
+			return
+		}
+		c.out[off-c.a] = node.Chunk
+		return
+	}
+	if size == 1 {
+		c.fail(fmt.Errorf("meta: inner node %s at leaf granularity", node.Key))
+		return
+	}
+	half := size / 2
+	goLeft := overlaps(off, off+half, c.a, c.b)
+	goRight := overlaps(off+half, off+size, c.a, c.b)
+	if goLeft && goRight && size > parallelThreshold {
+		c.wg.Add(2)
+		go c.walk(node.LeftVer, off, half)
+		c.walk(node.RightVer, off+half, half)
+		return
+	}
+	if goLeft {
+		c.wg.Add(1)
+		c.walk(node.LeftVer, off, half)
+	}
+	if goRight {
+		c.wg.Add(1)
+		c.walk(node.RightVer, off+half, half)
+	}
+}

@@ -1,0 +1,144 @@
+package meta
+
+import (
+	"repro/internal/rpc"
+	"repro/internal/wire"
+)
+
+// Method names served by a metadata provider.
+const (
+	MethodPutNodes = "meta.put"
+	MethodGetNode  = "meta.get"
+	MethodStats    = "meta.stats"
+)
+
+// PutNodesReq carries a batch of tree nodes to store.
+type PutNodesReq struct {
+	Nodes []*Node
+}
+
+// Encode implements wire.Message.
+func (r *PutNodesReq) Encode(e *wire.Encoder) {
+	e.PutU32(uint32(len(r.Nodes)))
+	for _, n := range r.Nodes {
+		n.Encode(e)
+	}
+}
+
+// Decode implements wire.Message.
+func (r *PutNodesReq) Decode(d *wire.Decoder) {
+	cnt := d.U32()
+	r.Nodes = nil
+	for i := uint32(0); i < cnt && d.Err() == nil; i++ {
+		n := &Node{}
+		n.Decode(d)
+		r.Nodes = append(r.Nodes, n)
+	}
+}
+
+// GetNodeReq asks for one node by key.
+type GetNodeReq struct {
+	Key NodeKey
+}
+
+// Encode implements wire.Message.
+func (r *GetNodeReq) Encode(e *wire.Encoder) {
+	e.PutU64(r.Key.Blob)
+	e.PutU64(r.Key.Version)
+	e.PutU64(r.Key.Off)
+	e.PutU64(r.Key.Size)
+}
+
+// Decode implements wire.Message.
+func (r *GetNodeReq) Decode(d *wire.Decoder) {
+	r.Key.Blob = d.U64()
+	r.Key.Version = d.U64()
+	r.Key.Off = d.U64()
+	r.Key.Size = d.U64()
+}
+
+// GetNodeResp returns the node when found.
+type GetNodeResp struct {
+	Found bool
+	Node  Node
+}
+
+// Encode implements wire.Message.
+func (r *GetNodeResp) Encode(e *wire.Encoder) {
+	e.PutBool(r.Found)
+	if r.Found {
+		r.Node.Encode(e)
+	}
+}
+
+// Decode implements wire.Message.
+func (r *GetNodeResp) Decode(d *wire.Decoder) {
+	r.Found = d.Bool()
+	if r.Found {
+		r.Node.Decode(d)
+	}
+}
+
+// Ack is the empty acknowledgment payload.
+type Ack struct{}
+
+// Encode implements wire.Message.
+func (a *Ack) Encode(e *wire.Encoder) {}
+
+// Decode implements wire.Message.
+func (a *Ack) Decode(d *wire.Decoder) {}
+
+// StatsResp reports a metadata provider's node inventory.
+type StatsResp struct {
+	Nodes uint64
+}
+
+// Encode implements wire.Message.
+func (r *StatsResp) Encode(e *wire.Encoder) { e.PutU64(r.Nodes) }
+
+// Decode implements wire.Message.
+func (r *StatsResp) Decode(d *wire.Decoder) { r.Nodes = d.U64() }
+
+// Server is one metadata provider: a DHT member storing tree nodes.
+type Server struct {
+	addr  string
+	store *MemStore
+	srv   *rpc.Server
+}
+
+// NewServer creates a metadata provider listening at addr on network.
+func NewServer(network rpc.Network, addr string) *Server {
+	s := &Server{addr: addr, store: NewMemStore(), srv: rpc.NewServer(network, addr)}
+	rpc.HandleMsg(s.srv, MethodPutNodes, func() *PutNodesReq { return &PutNodesReq{} },
+		func(req *PutNodesReq) (*Ack, error) {
+			if err := s.store.PutNodes(req.Nodes); err != nil {
+				return nil, err
+			}
+			return &Ack{}, nil
+		})
+	rpc.HandleMsg(s.srv, MethodGetNode, func() *GetNodeReq { return &GetNodeReq{} },
+		func(req *GetNodeReq) (*GetNodeResp, error) {
+			n, err := s.store.GetNode(req.Key)
+			if err != nil {
+				return &GetNodeResp{Found: false}, nil
+			}
+			return &GetNodeResp{Found: true, Node: *n}, nil
+		})
+	rpc.HandleMsg(s.srv, MethodStats, func() *Ack { return &Ack{} },
+		func(*Ack) (*StatsResp, error) {
+			return &StatsResp{Nodes: uint64(s.store.Len())}, nil
+		})
+	return s
+}
+
+// Start begins serving.
+func (s *Server) Start() error { return s.srv.Start() }
+
+// Close stops serving.
+func (s *Server) Close() { s.srv.Close() }
+
+// Addr returns the provider's address.
+func (s *Server) Addr() string { return s.srv.Addr() }
+
+// NodeCount reports the number of nodes stored locally.
+func (s *Server) NodeCount() int { return s.store.Len() }

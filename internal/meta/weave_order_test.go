@@ -1,0 +1,52 @@
+package meta
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Writers must be able to weave in ANY order relative to one another: a
+// writer of version v never reads the nodes of unpublished versions, so
+// its weave can complete before older writers have even stored theirs.
+// This test weaves a fully concurrent history in random permutation order
+// and stores all nodes only afterwards.
+func TestWeaveOutOfOrderCompletion(t *testing.T) {
+	history := historyFromSpec([][2]uint64{
+		{0, 4}, {2, 6}, {6, 12}, {0, 1}, {12, 13}, {20, 24}, {5, 21},
+	})
+	descs := make([]WriteDesc, len(history))
+	for i, w := range history {
+		descs[i] = WriteDesc{
+			Version:    w.version,
+			StartChunk: w.start,
+			EndChunk:   w.end,
+			SizeChunks: sizeChunksAt(history, w.version),
+		}
+	}
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		order := rng.Perm(len(history))
+		store := NewMemStore()
+		var all []*Node
+		for _, i := range order {
+			w := history[i]
+			in := WeaveInput{
+				Blob: 42, Version: w.version,
+				StartChunk: w.start, EndChunk: w.end,
+				SizeChunks: sizeChunksAt(history, w.version),
+				Leaves:     mkLeaves(42, w, 10),
+				InFlight:   descs[:i], // everything older is in flight
+				PubVersion: 0, PubSizeChunks: 0,
+			}
+			nodes, _, err := Weave(store, in)
+			if err != nil {
+				t.Fatalf("trial %d: weave v%d (order pos): %v", trial, w.version, err)
+			}
+			all = append(all, nodes...)
+		}
+		if err := store.PutNodes(all); err != nil {
+			t.Fatalf("trial %d: store: %v", trial, err)
+		}
+		verifyHistory(t, store, 42, history)
+	}
+}

@@ -1,0 +1,143 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != 16000 {
+		t.Errorf("Counter = %d, want 16000", got)
+	}
+}
+
+func TestRateDrain(t *testing.T) {
+	var r Rate
+	r.Add(100)
+	r.Add(50)
+	if got := r.Drain(); got != 150 {
+		t.Errorf("Drain = %d, want 150", got)
+	}
+	if got := r.Drain(); got != 0 {
+		t.Errorf("second Drain = %d, want 0", got)
+	}
+}
+
+func TestSeriesStats(t *testing.T) {
+	var s Series
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if got := s.Mean(); got != 5 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	if got := s.StdDev(); got != 2 {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+	if got := s.Min(); got != 2 {
+		t.Errorf("Min = %v", got)
+	}
+	if got := s.Max(); got != 9 {
+		t.Errorf("Max = %v", got)
+	}
+	if got := s.Percentile(50); got != 4 {
+		t.Errorf("P50 = %v, want 4", got)
+	}
+	if got := s.Percentile(100); got != 9 {
+		t.Errorf("P100 = %v, want 9", got)
+	}
+	if s.Len() != 8 {
+		t.Errorf("Len = %d", s.Len())
+	}
+}
+
+func TestEmptySeries(t *testing.T) {
+	var s Series
+	if s.Mean() != 0 || s.StdDev() != 0 || s.Min() != 0 || s.Max() != 0 || s.Percentile(50) != 0 {
+		t.Error("empty series stats should all be zero")
+	}
+}
+
+func TestPercentileClamping(t *testing.T) {
+	vals := []float64{1, 2, 3}
+	if got := Percentile(vals, -5); got != 1 {
+		t.Errorf("P(-5) = %v, want 1", got)
+	}
+	if got := Percentile(vals, 200); got != 3 {
+		t.Errorf("P(200) = %v, want 3", got)
+	}
+}
+
+func TestValuesIsACopy(t *testing.T) {
+	var s Series
+	s.Add(1)
+	v := s.Values()
+	v[0] = 99
+	if s.Values()[0] != 1 {
+		t.Error("Values aliased internal storage")
+	}
+}
+
+func TestConcurrentSeries(t *testing.T) {
+	var s Series
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				s.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Len() != 4000 {
+		t.Errorf("Len = %d, want 4000", s.Len())
+	}
+}
+
+// property: mean lies within [min, max]; stddev is non-negative; percentile
+// is monotone in p.
+func TestQuickStatsInvariants(t *testing.T) {
+	f := func(raw []float64) bool {
+		vals := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			// Bound magnitudes so summation cannot overflow; the
+			// invariants under test are order-based, not about IEEE
+			// extremes.
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e12 {
+				vals = append(vals, v)
+			}
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		m := Mean(vals)
+		lo := Percentile(vals, 0)
+		hi := Percentile(vals, 100)
+		if m < lo-1e-6 || m > hi+1e-6 {
+			return false
+		}
+		if StdDev(vals) < 0 {
+			return false
+		}
+		return Percentile(vals, 25) <= Percentile(vals, 75)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,53 @@
+package netsim
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestBacklogRejectsWhenQueueFull(t *testing.T) {
+	f := NewFabric(Config{
+		BandwidthBps: 1e3, // 1 KB/s: trivially saturated
+		MaxBacklog:   50 * time.Millisecond,
+	})
+	// First transfer queues 1s of transmit time (1000B at 1KB/s).
+	if _, err := f.Delay("a", "b", 1000); err != nil {
+		t.Fatalf("first transfer: %v", err)
+	}
+	// The next transfer sees a backlog way beyond 50ms and must fail.
+	if _, err := f.Delay("a", "b", 10); !errors.Is(err, ErrBacklogFull) {
+		t.Fatalf("second transfer: %v, want ErrBacklogFull", err)
+	}
+	// An unrelated NIC pair is unaffected.
+	if _, err := f.Delay("c", "d", 10); err != nil {
+		t.Fatalf("independent transfer: %v", err)
+	}
+}
+
+func TestBacklogUnboundedByDefault(t *testing.T) {
+	f := NewFabric(Config{BandwidthBps: 1e3})
+	for i := 0; i < 5; i++ {
+		if _, err := f.Delay("a", "b", 1000); err != nil {
+			t.Fatalf("transfer %d: %v", i, err)
+		}
+	}
+}
+
+func TestBacklogDrains(t *testing.T) {
+	f := NewFabric(Config{
+		BandwidthBps: 1e6, // 1 MB/s
+		MaxBacklog:   20 * time.Millisecond,
+	})
+	// 30 KB = 30ms of queue: next transfer rejected.
+	if _, err := f.Delay("a", "b", 30000); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Delay("a", "b", 10); !errors.Is(err, ErrBacklogFull) {
+		t.Fatalf("expected backlog rejection, got %v", err)
+	}
+	time.Sleep(35 * time.Millisecond)
+	if _, err := f.Delay("a", "b", 10); err != nil {
+		t.Fatalf("after drain: %v", err)
+	}
+}

@@ -1,0 +1,399 @@
+// Package pmanager implements BlobSeer's provider manager: the component
+// that "decides which chunks are stored on which data providers when
+// writes or appends are issued" (§I-B2). The chunk distribution strategy
+// is configurable (§I-B3 "data striping") — round-robin for load
+// balancing, random scatter, or least-loaded placement — and the manager
+// additionally honors an avoid-list fed back by the GloBeM quality-of-
+// service pipeline (§IV-E).
+package pmanager
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/provider"
+	"repro/internal/rpc"
+	"repro/internal/wire"
+)
+
+// Method names served by the provider manager. Heartbeat is declared in
+// package provider to keep the dependency one-way.
+const (
+	MethodRegister  = "pm.register"
+	MethodAllocate  = "pm.allocate"
+	MethodProviders = "pm.providers"
+	MethodAvoid     = "pm.avoid"
+)
+
+// Strategy names accepted by NewManager.
+const (
+	StrategyRoundRobin  = "roundrobin"
+	StrategyRandom      = "random"
+	StrategyLeastLoaded = "leastloaded"
+)
+
+// ErrNoProviders is returned when no live provider can host a chunk.
+var ErrNoProviders = errors.New("pmanager: no live data providers")
+
+// RegisterReq announces a new provider.
+type RegisterReq struct {
+	Addr string
+}
+
+// Encode implements wire.Message.
+func (r *RegisterReq) Encode(e *wire.Encoder) { e.PutString(r.Addr) }
+
+// Decode implements wire.Message.
+func (r *RegisterReq) Decode(d *wire.Decoder) { r.Addr = d.String() }
+
+// AllocateReq asks for placements for NumChunks chunks, each replicated
+// Replication times.
+type AllocateReq struct {
+	NumChunks   uint32
+	Replication uint32
+}
+
+// Encode implements wire.Message.
+func (r *AllocateReq) Encode(e *wire.Encoder) {
+	e.PutU32(r.NumChunks)
+	e.PutU32(r.Replication)
+}
+
+// Decode implements wire.Message.
+func (r *AllocateReq) Decode(d *wire.Decoder) {
+	r.NumChunks = d.U32()
+	r.Replication = d.U32()
+}
+
+// AllocateResp returns one replica set per chunk.
+type AllocateResp struct {
+	Sets [][]string
+}
+
+// Encode implements wire.Message.
+func (r *AllocateResp) Encode(e *wire.Encoder) {
+	e.PutU32(uint32(len(r.Sets)))
+	for _, set := range r.Sets {
+		e.PutU32(uint32(len(set)))
+		for _, a := range set {
+			e.PutString(a)
+		}
+	}
+}
+
+// Decode implements wire.Message.
+func (r *AllocateResp) Decode(d *wire.Decoder) {
+	n := d.U32()
+	r.Sets = nil
+	for i := uint32(0); i < n && d.Err() == nil; i++ {
+		m := d.U32()
+		set := make([]string, 0, m)
+		for j := uint32(0); j < m && d.Err() == nil; j++ {
+			set = append(set, d.String())
+		}
+		r.Sets = append(r.Sets, set)
+	}
+}
+
+// ProvidersResp lists live provider addresses.
+type ProvidersResp struct {
+	Addrs []string
+}
+
+// Encode implements wire.Message.
+func (r *ProvidersResp) Encode(e *wire.Encoder) {
+	e.PutU32(uint32(len(r.Addrs)))
+	for _, a := range r.Addrs {
+		e.PutString(a)
+	}
+}
+
+// Decode implements wire.Message.
+func (r *ProvidersResp) Decode(d *wire.Decoder) {
+	n := d.U32()
+	r.Addrs = nil
+	for i := uint32(0); i < n && d.Err() == nil; i++ {
+		r.Addrs = append(r.Addrs, d.String())
+	}
+}
+
+// AvoidReq replaces (or clears) the set of providers placement must skip.
+// This is the feedback channel of the GloBeM QoS loop.
+type AvoidReq struct {
+	Addrs []string
+	Clear bool
+}
+
+// Encode implements wire.Message.
+func (r *AvoidReq) Encode(e *wire.Encoder) {
+	e.PutBool(r.Clear)
+	e.PutU32(uint32(len(r.Addrs)))
+	for _, a := range r.Addrs {
+		e.PutString(a)
+	}
+}
+
+// Decode implements wire.Message.
+func (r *AvoidReq) Decode(d *wire.Decoder) {
+	r.Clear = d.Bool()
+	n := d.U32()
+	r.Addrs = nil
+	for i := uint32(0); i < n && d.Err() == nil; i++ {
+		r.Addrs = append(r.Addrs, d.String())
+	}
+}
+
+// Ack is the empty acknowledgment.
+type Ack = provider.Ack
+
+type provInfo struct {
+	addr     string
+	chunks   uint64
+	bytes    uint64
+	lastSeen time.Time
+}
+
+// Manager tracks providers and computes placements.
+type Manager struct {
+	strategy  string
+	hbTimeout time.Duration
+
+	mu        sync.Mutex
+	providers map[string]*provInfo
+	avoid     map[string]bool
+	rrCounter uint64
+	rng       *rand.Rand
+	now       func() time.Time
+}
+
+// NewManager creates a manager using the named strategy ("roundrobin",
+// "random", "leastloaded"). hbTimeout is how long a provider may stay
+// silent before being considered dead (0 = 2s).
+func NewManager(strategy string, hbTimeout time.Duration) (*Manager, error) {
+	switch strategy {
+	case StrategyRoundRobin, StrategyRandom, StrategyLeastLoaded:
+	case "":
+		strategy = StrategyRoundRobin
+	default:
+		return nil, fmt.Errorf("pmanager: unknown strategy %q", strategy)
+	}
+	if hbTimeout == 0 {
+		hbTimeout = 2 * time.Second
+	}
+	return &Manager{
+		strategy:  strategy,
+		hbTimeout: hbTimeout,
+		providers: make(map[string]*provInfo),
+		avoid:     make(map[string]bool),
+		rng:       rand.New(rand.NewSource(1)),
+		now:       time.Now,
+	}, nil
+}
+
+// Register adds a provider (idempotent); registration counts as a beat.
+func (m *Manager) Register(addr string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p, ok := m.providers[addr]
+	if !ok {
+		p = &provInfo{addr: addr}
+		m.providers[addr] = p
+	}
+	p.lastSeen = m.now()
+}
+
+// Heartbeat refreshes a provider's liveness and load. Unknown providers
+// are auto-registered (a restarted provider re-appears transparently).
+func (m *Manager) Heartbeat(addr string, chunks, bytes uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p, ok := m.providers[addr]
+	if !ok {
+		p = &provInfo{addr: addr}
+		m.providers[addr] = p
+	}
+	p.chunks = chunks
+	p.bytes = bytes
+	p.lastSeen = m.now()
+}
+
+// SetAvoid replaces or clears the avoid set.
+func (m *Manager) SetAvoid(addrs []string, clear bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if clear {
+		m.avoid = make(map[string]bool)
+	}
+	for _, a := range addrs {
+		m.avoid[a] = true
+	}
+}
+
+// Avoided returns the current avoid set (sorted, for stable output).
+func (m *Manager) Avoided() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.avoid))
+	for a := range m.avoid {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// live returns the usable providers: fresh heartbeat and not avoided.
+// If avoiding would leave nothing, the avoid set is ignored (placement
+// must make progress even when GloBeM distrusts everyone).
+func (m *Manager) live() []*provInfo {
+	cutoff := m.now().Add(-m.hbTimeout)
+	var ok, all []*provInfo
+	for _, p := range m.providers {
+		if p.lastSeen.Before(cutoff) {
+			continue
+		}
+		all = append(all, p)
+		if !m.avoid[p.addr] {
+			ok = append(ok, p)
+		}
+	}
+	if len(ok) == 0 {
+		ok = all
+	}
+	sort.Slice(ok, func(i, j int) bool { return ok[i].addr < ok[j].addr })
+	return ok
+}
+
+// Providers lists the live provider addresses.
+func (m *Manager) Providers() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	live := m.live()
+	out := make([]string, len(live))
+	for i, p := range live {
+		out[i] = p.addr
+	}
+	return out
+}
+
+// Allocate computes replica sets for numChunks chunks. Replication is
+// clamped to the live provider count; replicas within one set are
+// distinct.
+func (m *Manager) Allocate(numChunks, replication int) ([][]string, error) {
+	if numChunks <= 0 {
+		return nil, nil
+	}
+	if replication < 1 {
+		replication = 1
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	live := m.live()
+	if len(live) == 0 {
+		return nil, ErrNoProviders
+	}
+	if replication > len(live) {
+		replication = len(live)
+	}
+	sets := make([][]string, numChunks)
+	switch m.strategy {
+	case StrategyRoundRobin:
+		for i := range sets {
+			set := make([]string, replication)
+			for r := 0; r < replication; r++ {
+				set[r] = live[(m.rrCounter+uint64(r))%uint64(len(live))].addr
+			}
+			m.rrCounter++
+			sets[i] = set
+		}
+	case StrategyRandom:
+		for i := range sets {
+			perm := m.rng.Perm(len(live))
+			set := make([]string, replication)
+			for r := 0; r < replication; r++ {
+				set[r] = live[perm[r]].addr
+			}
+			sets[i] = set
+		}
+	case StrategyLeastLoaded:
+		// Greedy: always pick the providers with the fewest bytes,
+		// tracking bytes we are about to add so one Allocate spreads.
+		load := make(map[string]uint64, len(live))
+		for _, p := range live {
+			load[p.addr] = p.bytes
+		}
+		for i := range sets {
+			sort.Slice(live, func(a, b int) bool {
+				if load[live[a].addr] != load[live[b].addr] {
+					return load[live[a].addr] < load[live[b].addr]
+				}
+				return live[a].addr < live[b].addr
+			})
+			set := make([]string, replication)
+			for r := 0; r < replication; r++ {
+				set[r] = live[r].addr
+				load[live[r].addr]++ // unit cost per chunk replica
+			}
+			sets[i] = set
+		}
+	}
+	return sets, nil
+}
+
+// Server exposes a Manager over RPC.
+type Server struct {
+	m   *Manager
+	srv *rpc.Server
+}
+
+// NewServer wires a Manager to an RPC server at addr.
+func NewServer(network rpc.Network, addr, strategy string, hbTimeout time.Duration) (*Server, error) {
+	m, err := NewManager(strategy, hbTimeout)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{m: m, srv: rpc.NewServer(network, addr)}
+	rpc.HandleMsg(s.srv, MethodRegister, func() *RegisterReq { return &RegisterReq{} },
+		func(req *RegisterReq) (*Ack, error) {
+			s.m.Register(req.Addr)
+			return &Ack{}, nil
+		})
+	rpc.HandleMsg(s.srv, provider.MethodHeartbeat, func() *provider.HeartbeatReq { return &provider.HeartbeatReq{} },
+		func(req *provider.HeartbeatReq) (*Ack, error) {
+			s.m.Heartbeat(req.Addr, req.Chunks, req.Bytes)
+			return &Ack{}, nil
+		})
+	rpc.HandleMsg(s.srv, MethodAllocate, func() *AllocateReq { return &AllocateReq{} },
+		func(req *AllocateReq) (*AllocateResp, error) {
+			sets, err := s.m.Allocate(int(req.NumChunks), int(req.Replication))
+			if err != nil {
+				return nil, err
+			}
+			return &AllocateResp{Sets: sets}, nil
+		})
+	rpc.HandleMsg(s.srv, MethodProviders, func() *Ack { return &Ack{} },
+		func(*Ack) (*ProvidersResp, error) {
+			return &ProvidersResp{Addrs: s.m.Providers()}, nil
+		})
+	rpc.HandleMsg(s.srv, MethodAvoid, func() *AvoidReq { return &AvoidReq{} },
+		func(req *AvoidReq) (*Ack, error) {
+			s.m.SetAvoid(req.Addrs, req.Clear)
+			return &Ack{}, nil
+		})
+	return s, nil
+}
+
+// Start begins serving.
+func (s *Server) Start() error { return s.srv.Start() }
+
+// Close stops serving.
+func (s *Server) Close() { s.srv.Close() }
+
+// Addr returns the service address.
+func (s *Server) Addr() string { return s.srv.Addr() }
+
+// Manager exposes the underlying state.
+func (s *Server) Manager() *Manager { return s.m }

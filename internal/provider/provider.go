@@ -1,0 +1,296 @@
+// Package provider implements BlobSeer's data providers: the services that
+// "physically store the chunks" (§I-B2). A provider is a thin RPC shim
+// over a chunk.Store engine (RAM, disk, or disk+RAM cache) plus a
+// heartbeat loop that reports capacity to the provider manager.
+package provider
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/chunk"
+	"repro/internal/metrics"
+	"repro/internal/rpc"
+	"repro/internal/wire"
+)
+
+// Method names served by a data provider.
+const (
+	MethodPut   = "provider.put"
+	MethodGet   = "provider.get"
+	MethodHas   = "provider.has"
+	MethodStats = "provider.stats"
+)
+
+// PutReq stores one chunk.
+type PutReq struct {
+	Key  chunk.Key
+	Data []byte
+}
+
+// Encode implements wire.Message.
+func (r *PutReq) Encode(e *wire.Encoder) {
+	e.PutU64(r.Key.Blob)
+	e.PutU64(r.Key.Version)
+	e.PutU64(r.Key.Index)
+	e.PutBytes(r.Data)
+}
+
+// Decode implements wire.Message.
+func (r *PutReq) Decode(d *wire.Decoder) {
+	r.Key.Blob = d.U64()
+	r.Key.Version = d.U64()
+	r.Key.Index = d.U64()
+	r.Data = d.BytesCopy()
+}
+
+// GetReq fetches one chunk.
+type GetReq struct {
+	Key chunk.Key
+}
+
+// Encode implements wire.Message.
+func (r *GetReq) Encode(e *wire.Encoder) {
+	e.PutU64(r.Key.Blob)
+	e.PutU64(r.Key.Version)
+	e.PutU64(r.Key.Index)
+}
+
+// Decode implements wire.Message.
+func (r *GetReq) Decode(d *wire.Decoder) {
+	r.Key.Blob = d.U64()
+	r.Key.Version = d.U64()
+	r.Key.Index = d.U64()
+}
+
+// GetResp returns chunk bytes when found.
+type GetResp struct {
+	Found bool
+	Data  []byte
+}
+
+// Encode implements wire.Message.
+func (r *GetResp) Encode(e *wire.Encoder) {
+	e.PutBool(r.Found)
+	e.PutBytes(r.Data)
+}
+
+// Decode implements wire.Message.
+func (r *GetResp) Decode(d *wire.Decoder) {
+	r.Found = d.Bool()
+	r.Data = d.BytesCopy()
+}
+
+// HasResp reports chunk presence.
+type HasResp struct {
+	Present bool
+}
+
+// Encode implements wire.Message.
+func (r *HasResp) Encode(e *wire.Encoder) { e.PutBool(r.Present) }
+
+// Decode implements wire.Message.
+func (r *HasResp) Decode(d *wire.Decoder) { r.Present = d.Bool() }
+
+// StatsResp reports a provider's inventory.
+type StatsResp struct {
+	Chunks uint64
+	Bytes  uint64
+	Puts   uint64
+	Gets   uint64
+}
+
+// Encode implements wire.Message.
+func (r *StatsResp) Encode(e *wire.Encoder) {
+	e.PutU64(r.Chunks)
+	e.PutU64(r.Bytes)
+	e.PutU64(r.Puts)
+	e.PutU64(r.Gets)
+}
+
+// Decode implements wire.Message.
+func (r *StatsResp) Decode(d *wire.Decoder) {
+	r.Chunks = d.U64()
+	r.Bytes = d.U64()
+	r.Puts = d.U64()
+	r.Gets = d.U64()
+}
+
+// Ack is the empty acknowledgment.
+type Ack = wireAck
+
+type wireAck struct{}
+
+func (a *wireAck) Encode(e *wire.Encoder) {}
+func (a *wireAck) Decode(d *wire.Decoder) {}
+
+// Server is one data provider process.
+type Server struct {
+	addr  string
+	store chunk.Store
+	srv   *rpc.Server
+
+	puts metrics.Counter
+	gets metrics.Counter
+
+	mu      sync.Mutex
+	hbStop  chan struct{}
+	hbDone  chan struct{}
+	stopped bool
+}
+
+// NewServer creates a data provider at addr backed by store.
+func NewServer(network rpc.Network, addr string, store chunk.Store) *Server {
+	s := &Server{addr: addr, store: store, srv: rpc.NewServer(network, addr)}
+	rpc.HandleMsg(s.srv, MethodPut, func() *PutReq { return &PutReq{} },
+		func(req *PutReq) (*Ack, error) {
+			s.puts.Add(1)
+			if err := s.store.Put(req.Key, req.Data); err != nil {
+				return nil, err
+			}
+			return &Ack{}, nil
+		})
+	rpc.HandleMsg(s.srv, MethodGet, func() *GetReq { return &GetReq{} },
+		func(req *GetReq) (*GetResp, error) {
+			s.gets.Add(1)
+			data, err := s.store.Get(req.Key)
+			if err != nil {
+				return &GetResp{Found: false}, nil
+			}
+			return &GetResp{Found: true, Data: data}, nil
+		})
+	rpc.HandleMsg(s.srv, MethodHas, func() *GetReq { return &GetReq{} },
+		func(req *GetReq) (*HasResp, error) {
+			return &HasResp{Present: s.store.Has(req.Key)}, nil
+		})
+	rpc.HandleMsg(s.srv, MethodStats, func() *Ack { return &Ack{} },
+		func(*Ack) (*StatsResp, error) {
+			return &StatsResp{
+				Chunks: uint64(s.store.Len()),
+				Bytes:  uint64(s.store.Bytes()),
+				Puts:   uint64(s.puts.Load()),
+				Gets:   uint64(s.gets.Load()),
+			}, nil
+		})
+	return s
+}
+
+// Start begins serving chunk requests.
+func (s *Server) Start() error { return s.srv.Start() }
+
+// Addr returns the provider's address.
+func (s *Server) Addr() string { return s.srv.Addr() }
+
+// Store exposes the underlying engine (tests, repair tooling).
+func (s *Server) Store() chunk.Store { return s.store }
+
+// StartHeartbeats begins reporting to the provider manager at pmAddr every
+// interval until Close. Heartbeat failures are ignored: if the fabric says
+// this node is down, the manager notices through the missing beats.
+func (s *Server) StartHeartbeats(cli *rpc.Client, pmAddr string, interval time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.hbStop != nil || s.stopped {
+		return
+	}
+	s.hbStop = make(chan struct{})
+	s.hbDone = make(chan struct{})
+	go func(stop, done chan struct{}) {
+		defer close(done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				hb := &HeartbeatReq{
+					Addr:   s.addr,
+					Chunks: uint64(s.store.Len()),
+					Bytes:  uint64(s.store.Bytes()),
+				}
+				_ = cli.Call(pmAddr, MethodHeartbeat, hb, &Ack{})
+			}
+		}
+	}(s.hbStop, s.hbDone)
+}
+
+// Close stops heartbeats and the RPC server.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.stopped = true
+	stop, done := s.hbStop, s.hbDone
+	s.hbStop = nil
+	s.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+	s.srv.Close()
+}
+
+// MethodHeartbeat is defined here (rather than in pmanager) so the
+// provider package has no dependency on the manager's implementation.
+const MethodHeartbeat = "pm.heartbeat"
+
+// HeartbeatReq reports a provider's liveness and load.
+type HeartbeatReq struct {
+	Addr   string
+	Chunks uint64
+	Bytes  uint64
+}
+
+// Encode implements wire.Message.
+func (r *HeartbeatReq) Encode(e *wire.Encoder) {
+	e.PutString(r.Addr)
+	e.PutU64(r.Chunks)
+	e.PutU64(r.Bytes)
+}
+
+// Decode implements wire.Message.
+func (r *HeartbeatReq) Decode(d *wire.Decoder) {
+	r.Addr = d.String()
+	r.Chunks = d.U64()
+	r.Bytes = d.U64()
+}
+
+// PutChunk is the client-side helper to store one chunk at one provider.
+func PutChunk(cli *rpc.Client, addr string, key chunk.Key, data []byte) error {
+	return cli.Call(addr, MethodPut, &PutReq{Key: key, Data: data}, &Ack{})
+}
+
+// GetChunk fetches one chunk from one provider.
+func GetChunk(cli *rpc.Client, addr string, key chunk.Key) ([]byte, error) {
+	var resp GetResp
+	if err := cli.Call(addr, MethodGet, &GetReq{Key: key}, &resp); err != nil {
+		return nil, err
+	}
+	if !resp.Found {
+		return nil, fmt.Errorf("%w: %s at %s", chunk.ErrNotFound, key, addr)
+	}
+	return resp.Data, nil
+}
+
+// GetChunkReplicas fetches a chunk trying each replica in order.
+func GetChunkReplicas(cli *rpc.Client, addrs []string, key chunk.Key) ([]byte, string, error) {
+	var lastErr error
+	for _, a := range addrs {
+		data, err := GetChunk(cli, a, key)
+		if err == nil {
+			return data, a, nil
+		}
+		lastErr = err
+	}
+	return nil, "", fmt.Errorf("provider: chunk %s unavailable on all %d replicas: %w",
+		key, len(addrs), lastErr)
+}
+
+// Stats queries a provider's inventory counters.
+func Stats(cli *rpc.Client, addr string) (*StatsResp, error) {
+	var resp StatsResp
+	if err := cli.Call(addr, MethodStats, &Ack{}, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}

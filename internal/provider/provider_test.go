@@ -1,0 +1,131 @@
+package provider_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/chunk"
+	"repro/internal/provider"
+	"repro/internal/rpc"
+	"repro/internal/wire"
+)
+
+func startProvider(t *testing.T, store chunk.Store) (*rpc.SimNetwork, *provider.Server, *rpc.Client) {
+	t.Helper()
+	network := rpc.NewSimNetwork(nil)
+	srv := provider.NewServer(network, "dp", store)
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	cli := rpc.NewClient(network, 5*time.Second)
+	t.Cleanup(cli.Close)
+	return network, srv, cli
+}
+
+func TestPutGetHasStats(t *testing.T) {
+	_, _, cli := startProvider(t, chunk.NewMemStore())
+	key := chunk.Key{Blob: 1, Version: 7, Index: 3}
+	data := []byte("chunk-payload")
+
+	if err := provider.PutChunk(cli, "dp", key, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := provider.GetChunk(cli, "dp", key)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("get = %q, %v", got, err)
+	}
+	var has provider.HasResp
+	if err := cli.Call("dp", provider.MethodHas, &provider.GetReq{Key: key}, &has); err != nil {
+		t.Fatal(err)
+	}
+	if !has.Present {
+		t.Error("Has = false for stored chunk")
+	}
+	stats, err := provider.Stats(cli, "dp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Chunks != 1 || stats.Bytes != uint64(len(data)) || stats.Puts != 1 || stats.Gets != 1 {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+func TestGetMissingChunk(t *testing.T) {
+	_, _, cli := startProvider(t, chunk.NewMemStore())
+	_, err := provider.GetChunk(cli, "dp", chunk.Key{Blob: 9})
+	if !errors.Is(err, chunk.ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestDuplicatePutRejected(t *testing.T) {
+	_, _, cli := startProvider(t, chunk.NewMemStore())
+	key := chunk.Key{Blob: 2}
+	if err := provider.PutChunk(cli, "dp", key, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	err := provider.PutChunk(cli, "dp", key, []byte("b"))
+	var re *rpc.RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("duplicate put: %v, want remote error", err)
+	}
+}
+
+func TestGetChunkReplicasFailover(t *testing.T) {
+	network := rpc.NewSimNetwork(nil)
+	good := provider.NewServer(network, "good", chunk.NewMemStore())
+	if err := good.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer good.Close()
+	cli := rpc.NewClient(network, time.Second)
+	defer cli.Close()
+
+	key := chunk.Key{Blob: 3}
+	if err := provider.PutChunk(cli, "good", key, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	// First replica does not exist at all; second has the chunk.
+	data, from, err := provider.GetChunkReplicas(cli, []string{"dead", "good"}, key)
+	if err != nil || from != "good" || string(data) != "x" {
+		t.Fatalf("failover = %q from %q, %v", data, from, err)
+	}
+	// All replicas dead.
+	if _, _, err := provider.GetChunkReplicas(cli, []string{"dead1", "dead2"}, key); err == nil {
+		t.Fatal("all-dead replicas succeeded")
+	}
+	// Empty replica set.
+	if _, _, err := provider.GetChunkReplicas(cli, nil, key); err == nil {
+		t.Fatal("empty replica set succeeded")
+	}
+}
+
+func TestHeartbeatMessageRoundTrip(t *testing.T) {
+	hb := &provider.HeartbeatReq{Addr: "dp7", Chunks: 42, Bytes: 1 << 20}
+	var got provider.HeartbeatReq
+	if err := wire.Unmarshal(wire.Marshal(hb), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != *hb {
+		t.Errorf("roundtrip = %+v", got)
+	}
+}
+
+func TestServerSurvivesLargeChunk(t *testing.T) {
+	_, _, cli := startProvider(t, chunk.NewMemStore())
+	big := make([]byte, 4<<20)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	key := chunk.Key{Blob: 5}
+	if err := provider.PutChunk(cli, "dp", key, big); err != nil {
+		t.Fatal(err)
+	}
+	got, err := provider.GetChunk(cli, "dp", key)
+	if err != nil || !bytes.Equal(got, big) {
+		t.Fatalf("large chunk mismatch (%d bytes), %v", len(got), err)
+	}
+}

@@ -1,0 +1,260 @@
+package rpc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// ErrTimeout is returned when a call outlives the client's call timeout.
+var ErrTimeout = errors.New("rpc: call timed out")
+
+// RemoteError wraps an error string returned by a remote handler, so call
+// sites can distinguish transport failures from application errors.
+type RemoteError struct {
+	Method string
+	Msg    string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("rpc: remote %s: %s", e.Method, e.Msg)
+}
+
+// Client issues unary calls over cached connections, one per remote
+// address. It is safe for concurrent use; concurrent calls to one address
+// multiplex over a single connection.
+type Client struct {
+	network Network
+	timeout time.Duration
+	source  string
+
+	mu    sync.Mutex
+	conns map[string]*clientConn
+}
+
+// SourceDialer is implemented by transports that can attribute a
+// connection's local endpoint to a named node (the simulated fabric).
+type SourceDialer interface {
+	DialFrom(local, addr string) (Conn, error)
+}
+
+// NewClient creates a client over the given network. timeout bounds each
+// call end-to-end; zero means 30 seconds.
+func NewClient(network Network, timeout time.Duration) *Client {
+	return NewClientFrom(network, timeout, "")
+}
+
+// NewClientFrom is NewClient with the local endpoint attributed to the
+// named source node on transports that support it (each simulated client
+// machine gets its own NIC).
+func NewClientFrom(network Network, timeout time.Duration, source string) *Client {
+	if timeout == 0 {
+		timeout = 30 * time.Second
+	}
+	return &Client{network: network, timeout: timeout, source: source, conns: make(map[string]*clientConn)}
+}
+
+type pendingCall struct {
+	done chan struct{}
+	resp []byte
+	err  error
+}
+
+type clientConn struct {
+	conn Conn
+	addr string
+
+	nextID  atomic.Uint64
+	mu      sync.Mutex
+	pending map[uint64]*pendingCall
+	dead    bool
+	deadErr error
+}
+
+// Call invokes method at addr, encoding req and decoding the reply into
+// resp (which may be nil for calls with no interesting reply body).
+func (c *Client) Call(addr, method string, req wire.Message, resp wire.Message) error {
+	payload := wire.Marshal(req)
+	raw, err := c.callRaw(addr, method, payload)
+	if err != nil {
+		return err
+	}
+	if resp == nil {
+		return nil
+	}
+	return wire.Unmarshal(raw, resp)
+}
+
+func (c *Client) callRaw(addr, method string, payload []byte) ([]byte, error) {
+	cc, err := c.getConn(addr)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := cc.roundTrip(method, payload, c.timeout)
+	if err != nil && !isRemote(err) {
+		// Transport-level failure: drop the cached connection so the next
+		// call re-dials (the peer may have restarted).
+		c.dropConn(addr, cc)
+	}
+	return raw, err
+}
+
+func isRemote(err error) bool {
+	var re *RemoteError
+	return errors.As(err, &re)
+}
+
+func (c *Client) getConn(addr string) (*clientConn, error) {
+	c.mu.Lock()
+	if cc, ok := c.conns[addr]; ok {
+		c.mu.Unlock()
+		return cc, nil
+	}
+	c.mu.Unlock()
+
+	var conn Conn
+	var err error
+	if sd, ok := c.network.(SourceDialer); ok && c.source != "" {
+		conn, err = sd.DialFrom(c.source, addr)
+	} else {
+		conn, err = c.network.Dial(addr)
+	}
+	if err != nil {
+		return nil, err
+	}
+	cc := &clientConn{conn: conn, addr: addr, pending: make(map[uint64]*pendingCall)}
+
+	c.mu.Lock()
+	if existing, ok := c.conns[addr]; ok {
+		c.mu.Unlock()
+		conn.Close()
+		return existing, nil
+	}
+	c.conns[addr] = cc
+	c.mu.Unlock()
+
+	go cc.readLoop()
+	return cc, nil
+}
+
+func (c *Client) dropConn(addr string, cc *clientConn) {
+	c.mu.Lock()
+	if c.conns[addr] == cc {
+		delete(c.conns, addr)
+	}
+	c.mu.Unlock()
+	cc.conn.Close()
+}
+
+// Close tears down all cached connections.
+func (c *Client) Close() {
+	c.mu.Lock()
+	conns := c.conns
+	c.conns = make(map[string]*clientConn)
+	c.mu.Unlock()
+	for _, cc := range conns {
+		cc.conn.Close()
+	}
+}
+
+func (cc *clientConn) roundTrip(method string, payload []byte, timeout time.Duration) ([]byte, error) {
+	cc.mu.Lock()
+	if cc.dead {
+		err := cc.deadErr
+		cc.mu.Unlock()
+		return nil, err
+	}
+	id := cc.nextID.Add(1)
+	call := &pendingCall{done: make(chan struct{})}
+	cc.pending[id] = call
+	cc.mu.Unlock()
+
+	enc := wire.NewEncoder(len(payload) + len(method) + 16)
+	enc.PutU8(kindRequest)
+	enc.PutU64(id)
+	enc.PutString(method)
+	enc.PutBytes(payload)
+
+	if err := cc.conn.Send(enc.Bytes()); err != nil {
+		cc.mu.Lock()
+		delete(cc.pending, id)
+		cc.mu.Unlock()
+		return nil, err
+	}
+
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case <-call.done:
+		if call.err != nil {
+			if call.err == errRemoteSentinel {
+				return nil, &RemoteError{Method: method, Msg: string(call.resp)}
+			}
+			return nil, call.err
+		}
+		return call.resp, nil
+	case <-timer.C:
+		cc.mu.Lock()
+		delete(cc.pending, id)
+		cc.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s at %s after %v", ErrTimeout, method, cc.addr, timeout)
+	}
+}
+
+// errRemoteSentinel marks a completed call whose resp holds the remote
+// error text rather than a payload.
+var errRemoteSentinel = errors.New("rpc: remote error sentinel")
+
+func (cc *clientConn) readLoop() {
+	for {
+		msg, err := cc.conn.Recv()
+		if err != nil {
+			cc.failAll(err)
+			return
+		}
+		dec := wire.NewDecoder(msg)
+		kind := dec.U8()
+		id := dec.U64()
+		status := dec.U8()
+		body := dec.Bytes()
+		if dec.Err() != nil || kind != kindResponse {
+			continue
+		}
+		cc.mu.Lock()
+		call, ok := cc.pending[id]
+		if ok {
+			delete(cc.pending, id)
+		}
+		cc.mu.Unlock()
+		if !ok {
+			continue // timed out already
+		}
+		// Copy out of the transport buffer before handing to the caller.
+		b := make([]byte, len(body))
+		copy(b, body)
+		if status == statusOK {
+			call.resp = b
+		} else {
+			call.resp = b
+			call.err = errRemoteSentinel
+		}
+		close(call.done)
+	}
+}
+
+func (cc *clientConn) failAll(err error) {
+	cc.mu.Lock()
+	cc.dead = true
+	cc.deadErr = err
+	pending := cc.pending
+	cc.pending = make(map[uint64]*pendingCall)
+	cc.mu.Unlock()
+	for _, call := range pending {
+		call.err = err
+		close(call.done)
+	}
+}

@@ -1,0 +1,213 @@
+package rpc
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"repro/internal/wire"
+)
+
+// Frame kinds inside a transport message.
+const (
+	kindRequest  = 0
+	kindResponse = 1
+)
+
+// Response status codes.
+const (
+	statusOK    = 0
+	statusError = 1
+)
+
+// Handler processes one request payload and returns the response payload.
+// Returning an error sends a status-error frame; the error text crosses the
+// wire verbatim.
+type Handler func(payload []byte) ([]byte, error)
+
+// Server dispatches inbound requests to registered handlers. Each accepted
+// connection gets a reader goroutine; each request runs in its own
+// goroutine so a slow handler never blocks the connection.
+type Server struct {
+	network Network
+	addr    string
+
+	mu       sync.Mutex
+	handlers map[string]Handler
+	listener Listener
+	conns    map[Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewServer creates a server that will listen on addr when Start is called.
+func NewServer(network Network, addr string) *Server {
+	return &Server{
+		network:  network,
+		addr:     addr,
+		handlers: make(map[string]Handler),
+		conns:    make(map[Conn]struct{}),
+	}
+}
+
+// Handle registers h for the given method name. It must be called before
+// Start; registering twice for one method panics (a programming error).
+func (s *Server) Handle(method string, h Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.handlers[method]; dup {
+		panic(fmt.Sprintf("rpc: duplicate handler for %q", method))
+	}
+	s.handlers[method] = h
+}
+
+// HandleMsg registers a typed handler: req is decoded into a fresh value
+// produced by newReq, and the returned message is encoded as the response.
+func HandleMsg[Req wire.Message, Resp wire.Message](s *Server, method string, newReq func() Req, h func(Req) (Resp, error)) {
+	s.Handle(method, func(payload []byte) ([]byte, error) {
+		req := newReq()
+		if err := wire.Unmarshal(payload, req); err != nil {
+			return nil, err
+		}
+		resp, err := h(req)
+		if err != nil {
+			return nil, err
+		}
+		return wire.Marshal(resp), nil
+	})
+}
+
+// Start begins listening and serving. It returns once the listener is
+// established; serving continues in background goroutines until Close.
+func (s *Server) Start() error {
+	l, err := s.network.Listen(s.addr)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		l.Close()
+		return ErrClosed
+	}
+	s.listener = l
+	s.mu.Unlock()
+
+	s.wg.Add(1)
+	go s.acceptLoop(l)
+	return nil
+}
+
+// Addr returns the listener's address (useful with TCP ":0").
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.listener != nil {
+		return s.listener.Addr()
+	}
+	return s.addr
+}
+
+func (s *Server) acceptLoop(l Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	for {
+		msg, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		dec := wire.NewDecoder(msg)
+		kind := dec.U8()
+		id := dec.U64()
+		method := dec.String()
+		payload := dec.Bytes()
+		if dec.Err() != nil || kind != kindRequest {
+			log.Printf("rpc: dropping malformed frame on %s", s.addr)
+			continue
+		}
+		// Copy the payload: it aliases msg, which we stop referencing, but
+		// the handler may retain it past this loop iteration.
+		p := make([]byte, len(payload))
+		copy(p, payload)
+		go s.dispatch(conn, id, method, p)
+	}
+}
+
+func (s *Server) dispatch(conn Conn, id uint64, method string, payload []byte) {
+	s.mu.Lock()
+	h, ok := s.handlers[method]
+	s.mu.Unlock()
+
+	var result []byte
+	var err error
+	if !ok {
+		err = fmt.Errorf("rpc: no handler for method %q", method)
+	} else {
+		result, err = h(payload)
+	}
+
+	enc := wire.NewEncoder(len(result) + 64)
+	enc.PutU8(kindResponse)
+	enc.PutU64(id)
+	if err != nil {
+		enc.PutU8(statusError)
+		enc.PutString(err.Error())
+	} else {
+		enc.PutU8(statusOK)
+		enc.PutBytes(result)
+	}
+	if err := conn.Send(enc.Bytes()); err != nil {
+		// The connection died; the client will observe it directly.
+		return
+	}
+}
+
+// Close stops the listener and tears down every open connection, then waits
+// for serving goroutines to drain.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	l := s.listener
+	conns := make([]Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+
+	if l != nil {
+		l.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+}

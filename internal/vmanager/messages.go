@@ -1,0 +1,250 @@
+package vmanager
+
+import (
+	"repro/internal/meta"
+	"repro/internal/wire"
+)
+
+// Method names served by the version manager.
+const (
+	MethodCreate        = "vm.create"
+	MethodInfo          = "vm.info"
+	MethodAssign        = "vm.assign"
+	MethodCommit        = "vm.commit"
+	MethodAbort         = "vm.abort"
+	MethodLatest        = "vm.latest"
+	MethodVersionInfo   = "vm.version"
+	MethodWaitPublished = "vm.wait"
+	MethodList          = "vm.list"
+)
+
+// CreateReq registers a new blob.
+type CreateReq struct {
+	ChunkSize   uint64
+	Replication uint32
+}
+
+// Encode implements wire.Message.
+func (r *CreateReq) Encode(e *wire.Encoder) {
+	e.PutU64(r.ChunkSize)
+	e.PutU32(r.Replication)
+}
+
+// Decode implements wire.Message.
+func (r *CreateReq) Decode(d *wire.Decoder) {
+	r.ChunkSize = d.U64()
+	r.Replication = d.U32()
+}
+
+// CreateResp returns the new blob's identifier.
+type CreateResp struct {
+	BlobID uint64
+}
+
+// Encode implements wire.Message.
+func (r *CreateResp) Encode(e *wire.Encoder) { e.PutU64(r.BlobID) }
+
+// Decode implements wire.Message.
+func (r *CreateResp) Decode(d *wire.Decoder) { r.BlobID = d.U64() }
+
+// BlobRef names a blob.
+type BlobRef struct {
+	BlobID uint64
+}
+
+// Encode implements wire.Message.
+func (r *BlobRef) Encode(e *wire.Encoder) { e.PutU64(r.BlobID) }
+
+// Decode implements wire.Message.
+func (r *BlobRef) Decode(d *wire.Decoder) { r.BlobID = d.U64() }
+
+// InfoResp describes a blob's static parameters and published state.
+type InfoResp struct {
+	ChunkSize   uint64
+	Replication uint32
+	Published   uint64
+	SizeBytes   uint64
+	SizeChunks  uint64
+}
+
+// Encode implements wire.Message.
+func (r *InfoResp) Encode(e *wire.Encoder) {
+	e.PutU64(r.ChunkSize)
+	e.PutU32(r.Replication)
+	e.PutU64(r.Published)
+	e.PutU64(r.SizeBytes)
+	e.PutU64(r.SizeChunks)
+}
+
+// Decode implements wire.Message.
+func (r *InfoResp) Decode(d *wire.Decoder) {
+	r.ChunkSize = d.U64()
+	r.Replication = d.U32()
+	r.Published = d.U64()
+	r.SizeBytes = d.U64()
+	r.SizeChunks = d.U64()
+}
+
+// AssignReq asks for a version number for a write or append.
+type AssignReq struct {
+	BlobID uint64
+	Offset uint64 // byte offset; ignored when Append
+	Size   uint64 // byte length; must be > 0
+	Append bool
+}
+
+// Encode implements wire.Message.
+func (r *AssignReq) Encode(e *wire.Encoder) {
+	e.PutU64(r.BlobID)
+	e.PutU64(r.Offset)
+	e.PutU64(r.Size)
+	e.PutBool(r.Append)
+}
+
+// Decode implements wire.Message.
+func (r *AssignReq) Decode(d *wire.Decoder) {
+	r.BlobID = d.U64()
+	r.Offset = d.U64()
+	r.Size = d.U64()
+	r.Append = d.Bool()
+}
+
+// AssignResp carries everything the writer needs to upload chunks and
+// weave metadata without further coordination.
+type AssignResp struct {
+	Version       uint64
+	Offset        uint64 // actual byte offset (appends get the blob end)
+	PrevSizeBytes uint64 // assigned blob size before this write
+	SizeBytes     uint64 // assigned blob size after this write
+	SizeChunks    uint64
+	StartChunk    uint64
+	EndChunk      uint64
+	PubVersion    uint64
+	PubSizeChunks uint64
+	InFlight      []meta.WriteDesc
+}
+
+// Encode implements wire.Message.
+func (r *AssignResp) Encode(e *wire.Encoder) {
+	e.PutU64(r.Version)
+	e.PutU64(r.Offset)
+	e.PutU64(r.PrevSizeBytes)
+	e.PutU64(r.SizeBytes)
+	e.PutU64(r.SizeChunks)
+	e.PutU64(r.StartChunk)
+	e.PutU64(r.EndChunk)
+	e.PutU64(r.PubVersion)
+	e.PutU64(r.PubSizeChunks)
+	e.PutU32(uint32(len(r.InFlight)))
+	for i := range r.InFlight {
+		r.InFlight[i].Encode(e)
+	}
+}
+
+// Decode implements wire.Message.
+func (r *AssignResp) Decode(d *wire.Decoder) {
+	r.Version = d.U64()
+	r.Offset = d.U64()
+	r.PrevSizeBytes = d.U64()
+	r.SizeBytes = d.U64()
+	r.SizeChunks = d.U64()
+	r.StartChunk = d.U64()
+	r.EndChunk = d.U64()
+	r.PubVersion = d.U64()
+	r.PubSizeChunks = d.U64()
+	cnt := d.U32()
+	r.InFlight = nil
+	for i := uint32(0); i < cnt && d.Err() == nil; i++ {
+		var w meta.WriteDesc
+		w.Decode(d)
+		r.InFlight = append(r.InFlight, w)
+	}
+}
+
+// VersionRef names one version of one blob.
+type VersionRef struct {
+	BlobID  uint64
+	Version uint64
+}
+
+// Encode implements wire.Message.
+func (r *VersionRef) Encode(e *wire.Encoder) {
+	e.PutU64(r.BlobID)
+	e.PutU64(r.Version)
+}
+
+// Decode implements wire.Message.
+func (r *VersionRef) Decode(d *wire.Decoder) {
+	r.BlobID = d.U64()
+	r.Version = d.U64()
+}
+
+// VersionInfoResp describes one version's extent.
+type VersionInfoResp struct {
+	SizeBytes  uint64
+	SizeChunks uint64
+	Published  bool
+	Failed     bool
+}
+
+// Encode implements wire.Message.
+func (r *VersionInfoResp) Encode(e *wire.Encoder) {
+	e.PutU64(r.SizeBytes)
+	e.PutU64(r.SizeChunks)
+	e.PutBool(r.Published)
+	e.PutBool(r.Failed)
+}
+
+// Decode implements wire.Message.
+func (r *VersionInfoResp) Decode(d *wire.Decoder) {
+	r.SizeBytes = d.U64()
+	r.SizeChunks = d.U64()
+	r.Published = d.Bool()
+	r.Failed = d.Bool()
+}
+
+// LatestResp identifies the latest published snapshot.
+type LatestResp struct {
+	Version    uint64
+	SizeBytes  uint64
+	SizeChunks uint64
+}
+
+// Encode implements wire.Message.
+func (r *LatestResp) Encode(e *wire.Encoder) {
+	e.PutU64(r.Version)
+	e.PutU64(r.SizeBytes)
+	e.PutU64(r.SizeChunks)
+}
+
+// Decode implements wire.Message.
+func (r *LatestResp) Decode(d *wire.Decoder) {
+	r.Version = d.U64()
+	r.SizeBytes = d.U64()
+	r.SizeChunks = d.U64()
+}
+
+// ListResp enumerates existing blob IDs.
+type ListResp struct {
+	IDs []uint64
+}
+
+// Encode implements wire.Message.
+func (r *ListResp) Encode(e *wire.Encoder) {
+	e.PutU32(uint32(len(r.IDs)))
+	for _, id := range r.IDs {
+		e.PutU64(id)
+	}
+}
+
+// Decode implements wire.Message.
+func (r *ListResp) Decode(d *wire.Decoder) {
+	cnt := d.U32()
+	r.IDs = nil
+	for i := uint32(0); i < cnt && d.Err() == nil; i++ {
+		r.IDs = append(r.IDs, d.U64())
+	}
+}
+
+// Ack is the empty acknowledgment.
+type Ack = meta.Ack

@@ -1,0 +1,352 @@
+// Package vmanager implements BlobSeer's version manager: the component
+// that "assigns versions to writes and appends and exposes these versions
+// to the reads in such way as to ensure consistency" (§I-B2).
+//
+// It is the system's only serialization point, and deliberately does very
+// little per request — assign a version number, record the write's chunk
+// extent, and later publish versions in order once their writers commit.
+// All heavy lifting (chunk upload, metadata weaving) happens at the
+// clients, fully in parallel; this is the versioning-based concurrency
+// control of §I-B3.
+//
+// Consistency: a version becomes readable ("published") only when it and
+// every earlier version have committed. Reads always name a published
+// version, so the total order of publishes is a linearization of all
+// operations — the linearizability guarantee the paper cites [1].
+package vmanager
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/meta"
+	"repro/internal/rpc"
+)
+
+// ErrNoSuchBlob is returned for operations on unknown blob IDs.
+var ErrNoSuchBlob = errors.New("vmanager: no such blob")
+
+// ErrNoSuchVersion is returned for queries beyond the assigned history.
+var ErrNoSuchVersion = errors.New("vmanager: no such version")
+
+type verInfo struct {
+	startChunk uint64
+	endChunk   uint64
+	sizeBytes  uint64
+	sizeChunks uint64
+	committed  bool
+	failed     bool
+}
+
+type blobState struct {
+	id          uint64
+	chunkSize   uint64
+	replication uint32
+
+	mu        sync.Mutex
+	versions  []verInfo // versions[i] describes version i+1
+	published uint64
+	// assignedSizeBytes is the blob size after the newest assigned write;
+	// appends are placed at this offset.
+	assignedSizeBytes uint64
+	waiters           map[uint64][]chan struct{}
+}
+
+func (b *blobState) version(v uint64) (*verInfo, error) {
+	if v == 0 || v > uint64(len(b.versions)) {
+		return nil, fmt.Errorf("%w: blob %d version %d", ErrNoSuchVersion, b.id, v)
+	}
+	return &b.versions[v-1], nil
+}
+
+// Manager is the version manager service state.
+type Manager struct {
+	mu     sync.Mutex
+	blobs  map[uint64]*blobState
+	nextID uint64
+}
+
+// NewManager creates an empty version manager.
+func NewManager() *Manager {
+	return &Manager{blobs: make(map[uint64]*blobState), nextID: 1}
+}
+
+// Create registers a new blob with the given chunk size and replication
+// degree and returns its ID.
+func (m *Manager) Create(chunkSize uint64, replication uint32) (uint64, error) {
+	if chunkSize == 0 {
+		return 0, errors.New("vmanager: chunk size must be positive")
+	}
+	if replication == 0 {
+		replication = 1
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	id := m.nextID
+	m.nextID++
+	m.blobs[id] = &blobState{
+		id:          id,
+		chunkSize:   chunkSize,
+		replication: replication,
+		waiters:     make(map[uint64][]chan struct{}),
+	}
+	return id, nil
+}
+
+func (m *Manager) blob(id uint64) (*blobState, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b, ok := m.blobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNoSuchBlob, id)
+	}
+	return b, nil
+}
+
+// Info reports a blob's parameters and its published extent.
+func (m *Manager) Info(id uint64) (*InfoResp, error) {
+	b, err := m.blob(id)
+	if err != nil {
+		return nil, err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	resp := &InfoResp{ChunkSize: b.chunkSize, Replication: b.replication, Published: b.published}
+	if b.published > 0 {
+		vi := &b.versions[b.published-1]
+		resp.SizeBytes = vi.sizeBytes
+		resp.SizeChunks = vi.sizeChunks
+	}
+	return resp, nil
+}
+
+// List returns all blob IDs.
+func (m *Manager) List() []uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ids := make([]uint64, 0, len(m.blobs))
+	for id := range m.blobs {
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// Assign reserves the next version for a write ([Offset, Offset+Size)) or
+// append (Size bytes at the current end) and returns the full weave
+// context: the write's chunk extent, the published snapshot at this
+// instant, and descriptors for every assigned-but-unpublished version.
+func (m *Manager) Assign(req *AssignReq) (*AssignResp, error) {
+	if req.Size == 0 {
+		return nil, errors.New("vmanager: zero-length write")
+	}
+	b, err := m.blob(req.BlobID)
+	if err != nil {
+		return nil, err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+
+	offset := req.Offset
+	if req.Append {
+		offset = b.assignedSizeBytes
+	}
+	end := offset + req.Size
+	newSize := b.assignedSizeBytes
+	if end > newSize {
+		newSize = end
+	}
+	cs := b.chunkSize
+	vi := verInfo{
+		startChunk: offset / cs,
+		endChunk:   (end + cs - 1) / cs,
+		sizeBytes:  newSize,
+		sizeChunks: (newSize + cs - 1) / cs,
+	}
+	resp := &AssignResp{
+		Version:       uint64(len(b.versions)) + 1,
+		Offset:        offset,
+		PrevSizeBytes: b.assignedSizeBytes,
+		SizeBytes:     newSize,
+		SizeChunks:    vi.sizeChunks,
+		StartChunk:    vi.startChunk,
+		EndChunk:      vi.endChunk,
+		PubVersion:    b.published,
+	}
+	if b.published > 0 {
+		resp.PubSizeChunks = b.versions[b.published-1].sizeChunks
+	}
+	for v := b.published + 1; v < resp.Version; v++ {
+		w := &b.versions[v-1]
+		resp.InFlight = append(resp.InFlight, meta.WriteDesc{
+			Version:    v,
+			StartChunk: w.startChunk,
+			EndChunk:   w.endChunk,
+			SizeChunks: w.sizeChunks,
+			SizeBytes:  w.sizeBytes,
+		})
+	}
+	b.versions = append(b.versions, vi)
+	b.assignedSizeBytes = newSize
+	return resp, nil
+}
+
+// Commit marks a version's data and metadata as fully stored, then
+// publishes every version whose predecessors have all committed, waking
+// any waiters.
+func (m *Manager) Commit(blobID, version uint64) error {
+	return m.finish(blobID, version, false)
+}
+
+// Abort marks a version as failed. Publication still advances past it —
+// otherwise one crashed writer would wedge the blob forever — but reads
+// naming the failed version are rejected. Later versions that referenced
+// its in-flight descriptor keep working for ranges outside the aborted
+// write; ranges inside it dangle, exactly as in the original system before
+// its garbage-collection pass.
+func (m *Manager) Abort(blobID, version uint64) error {
+	return m.finish(blobID, version, true)
+}
+
+func (m *Manager) finish(blobID, version uint64, failed bool) error {
+	b, err := m.blob(blobID)
+	if err != nil {
+		return err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	vi, err := b.version(version)
+	if err != nil {
+		return err
+	}
+	if vi.committed {
+		return fmt.Errorf("vmanager: version %d of blob %d committed twice", version, blobID)
+	}
+	vi.committed = true
+	vi.failed = failed
+	// Advance the publish frontier.
+	for b.published < uint64(len(b.versions)) && b.versions[b.published].committed {
+		b.published++
+		for _, ch := range b.waiters[b.published] {
+			close(ch)
+		}
+		delete(b.waiters, b.published)
+	}
+	return nil
+}
+
+// Latest reports the newest published version (version 0 with zero sizes
+// for a blob that has never been written).
+func (m *Manager) Latest(blobID uint64) (*LatestResp, error) {
+	b, err := m.blob(blobID)
+	if err != nil {
+		return nil, err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	resp := &LatestResp{Version: b.published}
+	if b.published > 0 {
+		vi := &b.versions[b.published-1]
+		resp.SizeBytes = vi.sizeBytes
+		resp.SizeChunks = vi.sizeChunks
+	}
+	return resp, nil
+}
+
+// VersionInfo describes one assigned version.
+func (m *Manager) VersionInfo(blobID, version uint64) (*VersionInfoResp, error) {
+	b, err := m.blob(blobID)
+	if err != nil {
+		return nil, err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	vi, err := b.version(version)
+	if err != nil {
+		return nil, err
+	}
+	return &VersionInfoResp{
+		SizeBytes:  vi.sizeBytes,
+		SizeChunks: vi.sizeChunks,
+		Published:  version <= b.published,
+		Failed:     vi.failed,
+	}, nil
+}
+
+// WaitPublished blocks until the given version is published (or returns
+// immediately if it already is). Versions are dense and monotone, so
+// waiting on a version that has not even been assigned yet is meaningful:
+// the call returns once enough writes have been published. The caller's
+// RPC timeout bounds the wait.
+func (m *Manager) WaitPublished(blobID, version uint64) error {
+	b, err := m.blob(blobID)
+	if err != nil {
+		return err
+	}
+	b.mu.Lock()
+	if version == 0 || version <= b.published {
+		b.mu.Unlock()
+		return nil
+	}
+	ch := make(chan struct{})
+	b.waiters[version] = append(b.waiters[version], ch)
+	b.mu.Unlock()
+	<-ch
+	return nil
+}
+
+// Server exposes a Manager over RPC.
+type Server struct {
+	m   *Manager
+	srv *rpc.Server
+}
+
+// NewServer wires a fresh Manager to an RPC server at addr.
+func NewServer(network rpc.Network, addr string) *Server {
+	s := &Server{m: NewManager(), srv: rpc.NewServer(network, addr)}
+	rpc.HandleMsg(s.srv, MethodCreate, func() *CreateReq { return &CreateReq{} },
+		func(req *CreateReq) (*CreateResp, error) {
+			id, err := s.m.Create(req.ChunkSize, req.Replication)
+			if err != nil {
+				return nil, err
+			}
+			return &CreateResp{BlobID: id}, nil
+		})
+	rpc.HandleMsg(s.srv, MethodInfo, func() *BlobRef { return &BlobRef{} },
+		func(req *BlobRef) (*InfoResp, error) { return s.m.Info(req.BlobID) })
+	rpc.HandleMsg(s.srv, MethodAssign, func() *AssignReq { return &AssignReq{} },
+		func(req *AssignReq) (*AssignResp, error) { return s.m.Assign(req) })
+	rpc.HandleMsg(s.srv, MethodCommit, func() *VersionRef { return &VersionRef{} },
+		func(req *VersionRef) (*Ack, error) {
+			return &Ack{}, s.m.Commit(req.BlobID, req.Version)
+		})
+	rpc.HandleMsg(s.srv, MethodAbort, func() *VersionRef { return &VersionRef{} },
+		func(req *VersionRef) (*Ack, error) {
+			return &Ack{}, s.m.Abort(req.BlobID, req.Version)
+		})
+	rpc.HandleMsg(s.srv, MethodLatest, func() *BlobRef { return &BlobRef{} },
+		func(req *BlobRef) (*LatestResp, error) { return s.m.Latest(req.BlobID) })
+	rpc.HandleMsg(s.srv, MethodVersionInfo, func() *VersionRef { return &VersionRef{} },
+		func(req *VersionRef) (*VersionInfoResp, error) {
+			return s.m.VersionInfo(req.BlobID, req.Version)
+		})
+	rpc.HandleMsg(s.srv, MethodWaitPublished, func() *VersionRef { return &VersionRef{} },
+		func(req *VersionRef) (*Ack, error) {
+			return &Ack{}, s.m.WaitPublished(req.BlobID, req.Version)
+		})
+	rpc.HandleMsg(s.srv, MethodList, func() *Ack { return &Ack{} },
+		func(*Ack) (*ListResp, error) { return &ListResp{IDs: s.m.List()}, nil })
+	return s
+}
+
+// Start begins serving.
+func (s *Server) Start() error { return s.srv.Start() }
+
+// Close stops serving.
+func (s *Server) Close() { s.srv.Close() }
+
+// Addr returns the service address.
+func (s *Server) Addr() string { return s.srv.Addr() }
+
+// Manager exposes the underlying state (used by tests and tools).
+func (s *Server) Manager() *Manager { return s.m }
