@@ -22,6 +22,30 @@
 //
 // For multi-process deployments run cmd/blobseerd for each role over TCP
 // and connect with NewClient.
+//
+// # Version retention and garbage collection
+//
+// Snapshots are immutable but not eternal. Each blob carries a retention
+// policy — keep-all (the default) or keep-last-N (Blob.SetRetention) — and
+// an explicit Blob.Prune(upTo) makes versions 1..upTo reclaimable at once.
+// Both raise the blob's retention floor at the version manager: reads of
+// versions below the floor fail immediately with ErrVersionReclaimed (the
+// newest published version can never be pruned). Client.DeleteBlob removes
+// a blob outright; subsequent operations fail with ErrBlobDeleted.
+//
+// Raising the floor reclaims no space by itself. A garbage-collection
+// sweep (the cluster harness's background loop when DeployOptions.
+// GCInterval is set, Cluster.RunGC on demand, or `blobseer-cli gc` against
+// a daemon deployment) walks the metadata trees to compute liveness —
+// persistent trees share untouched subtrees across versions, so a pruned
+// version's node or chunk is dead only when no retained snapshot still
+// references it — then deletes dead tree nodes from the metadata providers
+// and dead chunks from the data providers. The same sweep reclaims orphan
+// chunks left by aborted writes once they outlive a grace period.
+// Reclamation totals are reported through Client.GCStats.
+//
+// Readers racing a prune are safe: a read either returns the version's
+// exact bytes or fails whole with ErrVersionReclaimed — never torn data.
 package blobseer
 
 import (
@@ -57,12 +81,20 @@ type (
 	FabricConfig = netsim.Config
 )
 
+// GCStats reports deployment-wide reclamation totals (Client.GCStats).
+type GCStats = core.GCStats
+
 // Errors re-exported from the client library.
 var (
 	// ErrNotPublished marks reads of versions that are not yet readable.
 	ErrNotPublished = core.ErrNotPublished
 	// ErrFailedVersion marks explicit reads of aborted versions.
 	ErrFailedVersion = core.ErrFailedVersion
+	// ErrVersionReclaimed marks reads of versions below the retention
+	// floor: the snapshot has been (or is being) garbage collected.
+	ErrVersionReclaimed = core.ErrVersionReclaimed
+	// ErrBlobDeleted marks operations on deleted blobs.
+	ErrBlobDeleted = core.ErrBlobDeleted
 )
 
 // NewClient connects to an existing deployment (for example one started

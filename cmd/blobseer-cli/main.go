@@ -7,6 +7,14 @@
 //	blobseer-cli ... read   -blob 1 -version 0 -offset 0 -size 1048576 -out out.bin
 //	blobseer-cli ... stat   -blob 1
 //	blobseer-cli ... list
+//
+// Retention and garbage collection:
+//
+//	blobseer-cli ... retention -blob 1 -keep 5     # keep the newest 5 versions
+//	blobseer-cli ... prune     -blob 1 -upto 40    # reclaim versions 1..40
+//	blobseer-cli ... delete    -blob 1             # delete the whole blob
+//	blobseer-cli ... gc                            # run one reclamation sweep
+//	blobseer-cli ... gc-stats                      # cumulative reclamation totals
 package main
 
 import (
@@ -16,8 +24,12 @@ import (
 	"log"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/gc"
+	"repro/internal/meta"
+	"repro/internal/pmanager"
 	"repro/internal/rpc"
 )
 
@@ -110,6 +122,63 @@ func main() {
 		for _, id := range ids {
 			fmt.Println(id)
 		}
+	case "retention":
+		fs := flag.NewFlagSet("retention", flag.ExitOnError)
+		id := fs.Uint64("blob", 0, "blob ID")
+		keep := fs.Uint64("keep", 0, "keep the newest N versions (0 = keep all)")
+		fs.Parse(args)
+		blob, err := client.OpenBlob(*id)
+		must(err)
+		must(blob.SetRetention(*keep))
+		keepLast, floor, err := blob.Retention()
+		must(err)
+		fmt.Printf("blob %d: keep-last=%d retain-from=v%d\n", *id, keepLast, floor)
+	case "prune":
+		fs := flag.NewFlagSet("prune", flag.ExitOnError)
+		id := fs.Uint64("blob", 0, "blob ID")
+		upTo := fs.Uint64("upto", 0, "reclaim versions 1..upto")
+		fs.Parse(args)
+		blob, err := client.OpenBlob(*id)
+		must(err)
+		floor, err := blob.Prune(*upTo)
+		must(err)
+		fmt.Printf("blob %d: versions below v%d reclaimable (swept by the next gc run)\n", *id, floor)
+	case "delete":
+		fs := flag.NewFlagSet("delete", flag.ExitOnError)
+		id := fs.Uint64("blob", 0, "blob ID")
+		fs.Parse(args)
+		must(client.DeleteBlob(*id))
+		fmt.Printf("blob %d deleted (space returns on the next gc run)\n", *id)
+	case "gc":
+		fs := flag.NewFlagSet("gc", flag.ExitOnError)
+		grace := fs.Duration("orphan-grace", 5*time.Minute, "minimum chunk age before orphan reclaim")
+		metaRepl := fs.Int("meta-repl", 1, "deployment's metadata replication degree (walk resilience; deletes always reach every member)")
+		fs.Parse(args)
+		rpcCli := rpc.NewClient(rpc.NewTCPNetwork(), 0)
+		defer rpcCli.Close()
+		sweeper, err := gc.New(gc.Config{
+			RPC:    rpcCli,
+			Meta:   meta.NewClient(rpcCli, strings.Split(*metaList, ","), *metaRepl, 0),
+			VMAddr: *vm,
+			Providers: func() []string {
+				var resp pmanager.ProvidersResp
+				if err := rpcCli.Call(*pm, pmanager.MethodProviders, &pmanager.Ack{}, &resp); err != nil {
+					log.Printf("blobseer-cli: listing providers: %v", err)
+					return nil
+				}
+				return resp.Addrs
+			},
+			OrphanGrace: *grace,
+		})
+		must(err)
+		stats, err := sweeper.Run()
+		must(err)
+		fmt.Printf("gc: reclaimed %s\n", stats)
+	case "gc-stats":
+		stats, err := client.GCStats()
+		must(err)
+		fmt.Printf("reclaimed: chunks=%d bytes=%d nodes=%d orphans=%d pruned-versions=%d pending-blobs=%d\n",
+			stats.Chunks, stats.Bytes, stats.Nodes, stats.Orphans, stats.PrunedVersions, stats.PendingBlobs)
 	default:
 		log.Fatalf("blobseer-cli: unknown subcommand %q", cmd)
 	}

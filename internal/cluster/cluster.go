@@ -7,10 +7,12 @@ package cluster
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/chunk"
 	"repro/internal/core"
+	"repro/internal/gc"
 	"repro/internal/meta"
 	"repro/internal/netsim"
 	"repro/internal/pmanager"
@@ -42,6 +44,14 @@ type Config struct {
 	MetaReplication int
 	// CallTimeout bounds client RPCs (default 30s).
 	CallTimeout time.Duration
+	// GCInterval enables the background garbage-collection loop: every
+	// interval a sweep reclaims pruned versions, deleted blobs and
+	// aborted-write orphans. Zero disables the loop (sweeps can still be
+	// run on demand with RunGC).
+	GCInterval time.Duration
+	// GCOrphanGrace is the minimum chunk age before an unreferenced chunk
+	// counts as an aborted-write orphan (default 5m; see gc.Config).
+	GCOrphanGrace time.Duration
 }
 
 // Cluster is a running deployment.
@@ -60,9 +70,20 @@ type Cluster struct {
 	provAddrs []string
 	metaAddrs []string
 
-	hbClients  []*rpc.Client
+	hbClients []*rpc.Client
+
+	// clientMu guards clients/nextClient: tests spin up clients from
+	// concurrent goroutines.
+	clientMu   sync.Mutex
 	clients    []*core.Client
 	nextClient int
+
+	// GC is the deployment's garbage-collection sweeper (always built;
+	// the background loop only runs when Config.GCInterval > 0).
+	GC       *gc.Sweeper
+	gcClient *rpc.Client
+	gcStop   chan struct{}
+	gcDone   chan struct{}
 }
 
 // Start launches a deployment per cfg.
@@ -156,8 +177,47 @@ func Start(cfg Config) (*Cluster, error) {
 		c.hbClients = append(c.hbClients, hb)
 		dp.StartHeartbeats(hb, c.pmAddr, cfg.HeartbeatInterval)
 	}
+
+	// Garbage collector: the sweeper is always available; the background
+	// loop runs only when an interval was configured.
+	c.gcClient = rpc.NewClientFrom(c.Network, cfg.CallTimeout, "gc")
+	sweeper, err := gc.New(gc.Config{
+		RPC:         c.gcClient,
+		Meta:        meta.NewClient(c.gcClient, c.metaAddrs, cfg.MetaReplication, 0),
+		VMAddr:      c.vmAddr,
+		Providers:   c.ProviderAddrs,
+		OrphanGrace: cfg.GCOrphanGrace,
+	})
+	if err != nil {
+		c.Close()
+		return nil, fmt.Errorf("cluster: building gc sweeper: %w", err)
+	}
+	c.GC = sweeper
+	if cfg.GCInterval > 0 {
+		c.gcStop = make(chan struct{})
+		c.gcDone = make(chan struct{})
+		go func(stop, done chan struct{}) {
+			defer close(done)
+			t := time.NewTicker(cfg.GCInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-t.C:
+					_, _ = c.GC.Run() // per-blob errors retry next pass
+				}
+			}
+		}(c.gcStop, c.gcDone)
+	}
 	return c, nil
 }
+
+// RunGC executes one garbage-collection pass synchronously and returns
+// what it reclaimed. Safe to call whether or not the background loop is
+// running (sweeps are idempotent; bookkeeping lives at the version
+// manager).
+func (c *Cluster) RunGC() (gc.Stats, error) { return c.GC.Run() }
 
 // VMAddr returns the version manager's address.
 func (c *Cluster) VMAddr() string { return c.vmAddr }
@@ -190,8 +250,10 @@ type ClientOptions struct {
 func (c *Cluster) NewClient(opts ClientOptions) (*core.Client, error) {
 	name := opts.Name
 	if name == "" {
+		c.clientMu.Lock()
 		name = fmt.Sprintf("client%d", c.nextClient)
 		c.nextClient++
+		c.clientMu.Unlock()
 	}
 	cli, err := core.NewClient(core.Config{
 		Network:         c.Network,
@@ -208,7 +270,9 @@ func (c *Cluster) NewClient(opts ClientOptions) (*core.Client, error) {
 	if err != nil {
 		return nil, err
 	}
+	c.clientMu.Lock()
 	c.clients = append(c.clients, cli)
+	c.clientMu.Unlock()
 	return cli, nil
 }
 
@@ -239,10 +303,21 @@ func (c *Cluster) ReviveProvider(i int) {
 
 // Close tears the whole deployment down.
 func (c *Cluster) Close() {
-	for _, cli := range c.clients {
+	if c.gcStop != nil {
+		close(c.gcStop)
+		<-c.gcDone
+		c.gcStop = nil
+	}
+	if c.gcClient != nil {
+		c.gcClient.Close()
+	}
+	c.clientMu.Lock()
+	clients := c.clients
+	c.clients = nil
+	c.clientMu.Unlock()
+	for _, cli := range clients {
 		cli.Close()
 	}
-	c.clients = nil
 	for _, p := range c.Providers {
 		p.Close()
 	}

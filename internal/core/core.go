@@ -146,7 +146,7 @@ func (c *Client) OpenBlob(id uint64) (*Blob, error) {
 	var info vmanager.InfoResp
 	err := c.rpc.Call(c.cfg.VMAddr, vmanager.MethodInfo, &vmanager.BlobRef{BlobID: id}, &info)
 	if err != nil {
-		return nil, fmt.Errorf("core: open blob %d: %w", id, err)
+		return nil, fmt.Errorf("core: open blob %d: %w", id, mapVMError(err))
 	}
 	return &Blob{c: c, id: id, chunkSize: info.ChunkSize, replication: info.Replication}, nil
 }
@@ -175,7 +175,7 @@ func (b *Blob) Latest() (version, sizeBytes uint64, err error) {
 	var resp vmanager.LatestResp
 	err = b.c.rpc.Call(b.c.cfg.VMAddr, vmanager.MethodLatest, &vmanager.BlobRef{BlobID: b.id}, &resp)
 	if err != nil {
-		return 0, 0, fmt.Errorf("core: latest of blob %d: %w", b.id, err)
+		return 0, 0, fmt.Errorf("core: latest of blob %d: %w", b.id, mapVMError(err))
 	}
 	return resp.Version, resp.SizeBytes, nil
 }
@@ -198,15 +198,17 @@ func (b *Blob) versionInfo(version uint64) (*vmanager.VersionInfoResp, error) {
 	err := b.c.rpc.Call(b.c.cfg.VMAddr, vmanager.MethodVersionInfo,
 		&vmanager.VersionRef{BlobID: b.id, Version: version}, &resp)
 	if err != nil {
-		return nil, fmt.Errorf("core: version %d of blob %d: %w", version, b.id, err)
+		return nil, fmt.Errorf("core: version %d of blob %d: %w", version, b.id, mapVMError(err))
 	}
 	return &resp, nil
 }
 
-// WaitPublished blocks until version is published.
+// WaitPublished blocks until version is published. Waiters on a blob that
+// gets deleted are woken with ErrBlobDeleted.
 func (b *Blob) WaitPublished(version uint64) error {
-	return b.c.rpc.Call(b.c.cfg.VMAddr, vmanager.MethodWaitPublished,
+	err := b.c.rpc.Call(b.c.cfg.VMAddr, vmanager.MethodWaitPublished,
 		&vmanager.VersionRef{BlobID: b.id, Version: version}, &vmanager.Ack{})
+	return mapVMError(err)
 }
 
 // allocate asks the provider manager for replica sets for n chunks.

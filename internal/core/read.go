@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"time"
@@ -33,6 +34,15 @@ func (b *Blob) Read(version uint64, p []byte, off uint64) (int, error) {
 		end = sizeBytes
 	}
 	if err := b.readRange(version, sizeChunks, p[:end-off], off); err != nil {
+		// The version was readable when resolved, but a concurrent prune
+		// may have reclaimed its tree or chunks mid-descent. Re-check so
+		// racing readers get the clean typed error, never a confusing
+		// not-found, and never silently torn data (the read fails whole).
+		if vi, infoErr := b.versionInfo(version); infoErr == nil && vi.Reclaimed {
+			return 0, fmt.Errorf("%w: blob %d version %d", ErrVersionReclaimed, b.id, version)
+		} else if infoErr != nil && errors.Is(infoErr, ErrBlobDeleted) {
+			return 0, infoErr
+		}
 		return 0, err
 	}
 	n := int(end - off)
@@ -76,6 +86,9 @@ func (b *Blob) resolveVersion(version uint64) (v, sizeBytes, sizeChunks uint64, 
 	vi, err := b.versionInfo(version)
 	if err != nil {
 		return 0, 0, 0, err
+	}
+	if vi.Reclaimed {
+		return 0, 0, 0, fmt.Errorf("%w: blob %d version %d", ErrVersionReclaimed, b.id, version)
 	}
 	if !vi.Published {
 		return 0, 0, 0, fmt.Errorf("%w: blob %d version %d", ErrNotPublished, b.id, version)

@@ -65,7 +65,7 @@ func (b *Blob) Write(p []byte, off uint64) (uint64, error) {
 	err = b.c.rpc.Call(b.c.cfg.VMAddr, vmanager.MethodAssign,
 		&vmanager.AssignReq{BlobID: b.id, Offset: off, Size: uint64(len(p))}, &assign)
 	if err != nil {
-		return 0, fmt.Errorf("core: assign: %w", err)
+		return 0, fmt.Errorf("core: assign: %w", mapVMError(err))
 	}
 	return b.finishWrite(p, off, writeID, &assign, stored)
 }
@@ -81,7 +81,7 @@ func (b *Blob) Append(p []byte) (version, off uint64, err error) {
 	err = b.c.rpc.Call(b.c.cfg.VMAddr, vmanager.MethodAssign,
 		&vmanager.AssignReq{BlobID: b.id, Size: uint64(len(p)), Append: true}, &assign)
 	if err != nil {
-		return 0, 0, fmt.Errorf("core: assign append: %w", err)
+		return 0, 0, fmt.Errorf("core: assign append: %w", mapVMError(err))
 	}
 	writeID := nextWriteID()
 	v, err := b.finishWrite(p, assign.Offset, writeID, &assign, map[uint64][]string{})
@@ -251,7 +251,7 @@ func (b *Blob) finishWriteInner(p []byte, off, writeID uint64, assign *vmanager.
 	err = b.c.rpc.Call(b.c.cfg.VMAddr, vmanager.MethodCommit,
 		&vmanager.VersionRef{BlobID: b.id, Version: assign.Version}, &vmanager.Ack{})
 	if err != nil {
-		return 0, fmt.Errorf("core: commit v%d: %w", assign.Version, err)
+		return 0, fmt.Errorf("core: commit v%d: %w", assign.Version, mapVMError(err))
 	}
 	return assign.Version, nil
 }

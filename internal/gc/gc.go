@@ -1,0 +1,469 @@
+// Package gc implements BlobSeer's distributed garbage collector: the
+// reclamation flip side of lock-free versioning. Every write stores only a
+// diff, so without GC a long-running deployment grows without bound. The
+// version manager owns the *policy* (per-blob retention floors, blob
+// tombstones); this package owns the *mechanism*: walking the metadata
+// segment trees to compute liveness and issuing delete RPCs to metadata
+// and data providers.
+//
+// Liveness is structural. Trees are persistent, so a pruned version's
+// nodes and chunks may still be referenced by retained snapshots; a node
+// or chunk of a pruned version is dead iff it is not reachable from ANY
+// retained version's tree. The live set is a union walk over every
+// retained snapshot (cheap: shared subtrees short-circuit on the visited
+// check, so cost tracks distinct live nodes, not versions × tree size),
+// which stays correct even when the retention floor lands on an aborted
+// version whose tree was never fully woven. The candidate set — what a
+// floor advance might free — is the old floor's reachable set plus the
+// owned subgraphs of the newly pruned versions; dead = candidates \ live.
+//
+// The orphan sweep handles the other leak: chunks uploaded ahead of
+// version assignment (phase 1 of the write protocol) whose writer aborted
+// cleanly or crashed before its write was assigned. Providers report
+// per-chunk ages; a chunk older than the grace period referenced by no
+// retained snapshot is an orphan. The grace protects phase-1 uploads of
+// writes still in flight, which the version manager cannot know about
+// yet. A writer that crashes BETWEEN Assign and Commit/Abort leaves its
+// version in flight forever, which wedges publication and parks the
+// orphan sweep for that blob until write leases exist (see ROADMAP).
+package gc
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/chunk"
+	"repro/internal/meta"
+	"repro/internal/metrics"
+	"repro/internal/provider"
+	"repro/internal/rpc"
+	"repro/internal/vmanager"
+)
+
+// Config wires a Sweeper to a deployment.
+type Config struct {
+	// RPC is the connection cache to run delete/list calls over.
+	RPC *rpc.Client
+	// Meta is the metadata DHT view (same ring as the clients').
+	Meta *meta.Client
+	// VMAddr locates the version manager.
+	VMAddr string
+	// Providers returns the data-provider addresses to sweep for orphans
+	// and blob deletions. May return different sets over time (membership
+	// changes between passes).
+	Providers func() []string
+	// OrphanGrace is the minimum age before an unreferenced chunk is
+	// considered an aborted-write orphan (default 5m). Must comfortably
+	// exceed the longest plausible write: phase-1 uploads happen before
+	// the version manager knows the write exists.
+	OrphanGrace time.Duration
+}
+
+// Stats counts what one sweep (or a Sweeper's lifetime) reclaimed.
+type Stats struct {
+	Chunks  uint64
+	Bytes   uint64
+	Nodes   uint64
+	Orphans uint64
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("chunks=%d bytes=%d nodes=%d orphans=%d", s.Chunks, s.Bytes, s.Nodes, s.Orphans)
+}
+
+func (s *Stats) add(o Stats) {
+	s.Chunks += o.Chunks
+	s.Bytes += o.Bytes
+	s.Nodes += o.Nodes
+	s.Orphans += o.Orphans
+}
+
+// Sweeper executes garbage-collection passes against one deployment. It is
+// stateless between passes (all progress bookkeeping lives at the version
+// manager), so any node may run one and crashed sweeps simply rerun.
+type Sweeper struct {
+	cfg Config
+
+	// confirmed memoizes chunk keys the orphan sweep has proven are
+	// referenced by a metadata tree. References are immutable, so a
+	// confirmed chunk can never become an orphan (it can only die via the
+	// prune path, which finds it through its leaf), and the steady-state
+	// orphan sweep skips the liveness walk entirely.
+	confirmedMu sync.Mutex
+	confirmed   map[chunk.Key]struct{}
+
+	// Lifetime reclamation counters (also reported to the version
+	// manager, which aggregates across sweepers).
+	ReclaimedChunks metrics.Counter
+	ReclaimedBytes  metrics.Counter
+	ReclaimedNodes  metrics.Counter
+	Orphans         metrics.Counter
+}
+
+// New validates cfg and builds a Sweeper.
+func New(cfg Config) (*Sweeper, error) {
+	if cfg.RPC == nil || cfg.Meta == nil {
+		return nil, fmt.Errorf("gc: RPC client and metadata client are required")
+	}
+	if cfg.VMAddr == "" {
+		return nil, fmt.Errorf("gc: version manager address is required")
+	}
+	if cfg.Providers == nil {
+		cfg.Providers = func() []string { return nil }
+	}
+	if cfg.OrphanGrace <= 0 {
+		cfg.OrphanGrace = 5 * time.Minute
+	}
+	return &Sweeper{cfg: cfg, confirmed: make(map[chunk.Key]struct{})}, nil
+}
+
+// Run executes one full pass: every blob with pending prune or deletion
+// work is swept, then every live blob gets an orphan sweep. Errors on one
+// blob don't stop the pass; the first error is returned at the end.
+func (s *Sweeper) Run() (Stats, error) {
+	var total Stats
+	var firstErr error
+	var work vmanager.ListResp
+	if err := s.cfg.RPC.Call(s.cfg.VMAddr, vmanager.MethodGCWork, &vmanager.Ack{}, &work); err != nil {
+		return total, fmt.Errorf("gc: listing work: %w", err)
+	}
+	for _, id := range work.IDs {
+		st, err := s.SweepBlob(id)
+		total.add(st)
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	var live vmanager.ListResp
+	if err := s.cfg.RPC.Call(s.cfg.VMAddr, vmanager.MethodList, &vmanager.Ack{}, &live); err != nil {
+		if firstErr == nil {
+			firstErr = err
+		}
+		return total, firstErr
+	}
+	st, err := s.sweepOrphans(live.IDs)
+	total.add(st)
+	if err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return total, firstErr
+}
+
+// SweepBlob reclaims one blob's pending work: all pruned versions below
+// the retention floor, or everything if the blob was deleted.
+func (s *Sweeper) SweepBlob(id uint64) (Stats, error) {
+	var st Stats
+	var status vmanager.GCStatusResp
+	err := s.cfg.RPC.Call(s.cfg.VMAddr, vmanager.MethodGCStatus, &vmanager.BlobRef{BlobID: id}, &status)
+	if err != nil {
+		return st, fmt.Errorf("gc: status of blob %d: %w", id, err)
+	}
+	if status.Deleted {
+		return s.sweepDeleted(id, &status)
+	}
+	return s.sweepPruned(id, &status)
+}
+
+// sweepPruned reclaims a floor advance F1 -> F2 by diffing the adjacent
+// floor trees: dead = (reachable(F1) ∪ owned(v) for v in (F1, F2)) \
+// reachable(F2). reachable(F1) carries everything below the old floor that
+// earlier sweeps deliberately kept alive (shared subtrees); the owned
+// subgraphs carry the versions pruned by this advance.
+func (s *Sweeper) sweepPruned(id uint64, status *vmanager.GCStatusResp) (Stats, error) {
+	var st Stats
+	oldFloor, newFloor := status.ReclaimedTo, status.RetainFrom
+	if oldFloor >= newFloor {
+		return st, nil // nothing pending
+	}
+	byVersion := make(map[uint64]meta.WriteDesc, len(status.Versions))
+	for _, d := range status.Versions {
+		byVersion[d.Version] = d
+	}
+	live, err := s.collectRetainedLive(id, status)
+	if err != nil {
+		return st, err
+	}
+	candidates, err := meta.CollectLive(s.cfg.Meta, id, oldFloor, byVersion[oldFloor].SizeChunks)
+	if err != nil {
+		return st, fmt.Errorf("gc: candidate walk of blob %d v%d: %w", id, oldFloor, err)
+	}
+	for v := oldFloor + 1; v < newFloor; v++ {
+		if err := candidates.AddOwned(s.cfg.Meta, id, v, byVersion[v].SizeChunks); err != nil {
+			return st, fmt.Errorf("gc: owned walk of blob %d v%d: %w", id, v, err)
+		}
+	}
+	deadNodes, deadChunks := meta.DiffDead(candidates, live)
+	st.add(s.deleteChunks(deadChunks))
+	// Delete bottom-up (leaves first, root last): a retry after a partial
+	// failure re-walks the old floor tree, and that walk can only reach a
+	// surviving node through its ancestors. Deleting ancestors before
+	// descendants would turn a transient replica outage into permanently
+	// undiscoverable (leaked) subtrees.
+	sort.Slice(deadNodes, func(i, j int) bool { return deadNodes[i].Size < deadNodes[j].Size })
+	for lo := 0; lo < len(deadNodes); {
+		hi := lo
+		for hi < len(deadNodes) && deadNodes[hi].Size == deadNodes[lo].Size {
+			hi++
+		}
+		dropped, err := s.cfg.Meta.DeleteNodes(deadNodes[lo:hi])
+		st.Nodes += dropped
+		if err != nil {
+			return st, s.report(id, oldFloor, false, 0, st, err)
+		}
+		lo = hi
+	}
+	return st, s.report(id, newFloor, false, 0, st, nil)
+}
+
+// sweepDeleted drops every trace of a deleted blob: all metadata nodes on
+// every DHT member, and all chunks on every data provider. The tombstone
+// is only marked swept when every provider was actually visited: an empty
+// or failing membership view must leave the blob in GCWork so a later
+// pass retries (chunks on an unlisted provider would otherwise leak
+// forever).
+func (s *Sweeper) sweepDeleted(id uint64, status *vmanager.GCStatusResp) (Stats, error) {
+	var st Stats
+	dropped, err := s.cfg.Meta.DeleteBlob(id)
+	st.Nodes += dropped
+	if err != nil {
+		return st, s.report(id, 0, false, 0, st, err)
+	}
+	providers := s.cfg.Providers()
+	if len(providers) == 0 {
+		return st, s.report(id, 0, false, 0, st,
+			fmt.Errorf("gc: blob %d: no provider membership view; deletion sweep deferred", id))
+	}
+	s.forgetConfirmed(id)
+	for _, addr := range providers {
+		inv, err := provider.ListChunks(s.cfg.RPC, addr, id)
+		if err != nil {
+			return st, s.report(id, 0, false, 0, st, err)
+		}
+		if len(inv.Keys) == 0 {
+			continue
+		}
+		resp, err := provider.DeleteChunks(s.cfg.RPC, addr, inv.Keys)
+		if err != nil {
+			return st, s.report(id, 0, false, 0, st, err)
+		}
+		st.Chunks += resp.Deleted
+		st.Bytes += resp.Bytes
+	}
+	// Echo the pre-sweep finish generation: if any write finished while
+	// this sweep ran, its uploads may postdate our listings and the
+	// version manager will refuse the latch, queueing one more sweep.
+	return st, s.report(id, 0, true, status.FinishGen, st, nil)
+}
+
+// SweepOrphans reclaims aborted-write leftovers on one live blob: chunks
+// stored on providers, older than the grace period, and referenced by no
+// retained snapshot.
+func (s *Sweeper) SweepOrphans(id uint64) (Stats, error) {
+	return s.sweepOrphans([]uint64{id})
+}
+
+// sweepOrphans runs the orphan sweep over a set of blobs with ONE full
+// inventory listing per provider (not one per blob): candidates are
+// chunks past the grace period and not already proven referenced. In
+// steady state every settled chunk is memoized as confirmed, so an idle
+// pass costs one ListChunks per provider — no tree walks, regardless of
+// blob count.
+func (s *Sweeper) sweepOrphans(ids []uint64) (Stats, error) {
+	var st Stats
+	if len(ids) == 0 {
+		return st, nil
+	}
+	idSet := make(map[uint64]bool, len(ids))
+	for _, id := range ids {
+		idSet[id] = true
+	}
+	graceMs := uint64(s.cfg.OrphanGrace / time.Millisecond)
+	// aged[blob][provider] = orphan candidates found there.
+	aged := make(map[uint64]map[string][]chunk.Key)
+	for _, addr := range s.cfg.Providers() {
+		inv, err := provider.ListChunks(s.cfg.RPC, addr, 0)
+		if err != nil {
+			continue // provider down; next pass retries
+		}
+		s.confirmedMu.Lock()
+		for i, k := range inv.Keys {
+			if !idSet[k.Blob] || inv.AgeMs[i] < graceMs {
+				continue
+			}
+			if _, ok := s.confirmed[k]; ok {
+				continue
+			}
+			byAddr := aged[k.Blob]
+			if byAddr == nil {
+				byAddr = make(map[string][]chunk.Key)
+				aged[k.Blob] = byAddr
+			}
+			byAddr[addr] = append(byAddr[addr], k)
+		}
+		s.confirmedMu.Unlock()
+	}
+	var firstErr error
+	for id, byAddr := range aged {
+		bst, err := s.reclaimOrphans(id, byAddr)
+		st.add(bst)
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return st, firstErr
+}
+
+// reclaimOrphans resolves one blob's orphan candidates against its
+// retained snapshots and deletes the unreferenced ones. It refuses to run
+// while the blob has writes in flight: an assigned-but-unpublished
+// version may legitimately reference chunks that no readable tree
+// mentions yet. (A writer that crashes between Assign and Commit leaves
+// the version in flight forever and parks this sweep — see the write-
+// lease follow-up in ROADMAP.) A never-written blob (assigned == 0) is
+// sweepable: nothing can be referenced, so every aged candidate is a
+// crashed pre-assign upload.
+func (s *Sweeper) reclaimOrphans(id uint64, byAddr map[string][]chunk.Key) (Stats, error) {
+	var st Stats
+	var status vmanager.GCStatusResp
+	err := s.cfg.RPC.Call(s.cfg.VMAddr, vmanager.MethodGCStatus, &vmanager.BlobRef{BlobID: id}, &status)
+	if err != nil {
+		return st, fmt.Errorf("gc: status of blob %d: %w", id, err)
+	}
+	if status.Deleted || status.Assigned != status.Published {
+		return st, nil
+	}
+	live, err := s.collectRetainedLive(id, &status)
+	if err != nil {
+		return st, err
+	}
+	for addr, keys := range byAddr {
+		var dead []chunk.Key
+		for _, k := range keys {
+			if live.HasChunk(k) {
+				s.confirmedMu.Lock()
+				s.confirmed[k] = struct{}{}
+				s.confirmedMu.Unlock()
+				continue
+			}
+			dead = append(dead, k)
+		}
+		if len(dead) == 0 {
+			continue
+		}
+		resp, err := provider.DeleteChunks(s.cfg.RPC, addr, dead)
+		if err != nil {
+			continue
+		}
+		st.Chunks += resp.Deleted
+		st.Bytes += resp.Bytes
+		st.Orphans += resp.Deleted
+	}
+	if st.Orphans > 0 {
+		return st, s.report(id, 0, false, 0, st, nil)
+	}
+	return st, nil
+}
+
+// collectRetainedLive walks EVERY retained version's full tree
+// [RetainFrom, Published] into one live set. Shared subtrees make the
+// union walk cost proportional to distinct live nodes, and anchoring on
+// all retained versions (not just the floor) keeps the sweep correct even
+// when the floor is an aborted version with a missing or partial tree.
+func (s *Sweeper) collectRetainedLive(id uint64, status *vmanager.GCStatusResp) (*meta.LiveSet, error) {
+	live := meta.NewLiveSet()
+	for v := status.RetainFrom; v <= status.Published; v++ {
+		size, err := s.versionSize(id, v, status)
+		if err != nil {
+			return nil, err
+		}
+		if err := meta.CollectLiveInto(live, s.cfg.Meta, id, v, size); err != nil {
+			return nil, fmt.Errorf("gc: live walk of blob %d v%d: %w", id, v, err)
+		}
+	}
+	return live, nil
+}
+
+// versionSize resolves a version's tree shape, preferring the descriptors
+// the GC status already carries over an extra RPC.
+func (s *Sweeper) versionSize(id, v uint64, status *vmanager.GCStatusResp) (uint64, error) {
+	for _, d := range status.Versions {
+		if d.Version == v {
+			return d.SizeChunks, nil
+		}
+	}
+	var vi vmanager.VersionInfoResp
+	err := s.cfg.RPC.Call(s.cfg.VMAddr, vmanager.MethodVersionInfo,
+		&vmanager.VersionRef{BlobID: id, Version: v}, &vi)
+	if err != nil {
+		return 0, fmt.Errorf("gc: version %d of blob %d: %w", v, id, err)
+	}
+	return vi.SizeChunks, nil
+}
+
+// forgetConfirmed evicts one blob's keys from the confirmed-live memo
+// (full blob deletion kills them all).
+func (s *Sweeper) forgetConfirmed(blob uint64) {
+	s.confirmedMu.Lock()
+	for k := range s.confirmed {
+		if k.Blob == blob {
+			delete(s.confirmed, k)
+		}
+	}
+	s.confirmedMu.Unlock()
+}
+
+// deleteChunks removes dead chunks from every replica that holds them,
+// grouping keys per provider address.
+func (s *Sweeper) deleteChunks(dead []meta.ChunkRef) Stats {
+	var st Stats
+	batches := make(map[string][]chunk.Key)
+	s.confirmedMu.Lock()
+	for _, c := range dead {
+		// The chunk is being reclaimed; keeping its memo entry would leak
+		// a map entry per chunk ever written.
+		delete(s.confirmed, c.Key)
+		for _, addr := range c.Providers {
+			batches[addr] = append(batches[addr], c.Key)
+		}
+	}
+	s.confirmedMu.Unlock()
+	for addr, keys := range batches {
+		resp, err := provider.DeleteChunks(s.cfg.RPC, addr, keys)
+		if err != nil {
+			// A down provider keeps its (unreachable-anyway) copies;
+			// the prune frontier still advances — re-replication tooling,
+			// not GC, owns post-failure inventory repair.
+			continue
+		}
+		st.Chunks += resp.Deleted
+		st.Bytes += resp.Bytes
+	}
+	return st
+}
+
+// report posts sweep results to the version manager (advancing the sweep
+// frontier and the global stats) and folds them into the local counters.
+// When called with a sweep error, the frontier still advances only to what
+// was actually completed by the caller's bookkeeping; the error wins.
+func (s *Sweeper) report(id, reclaimedTo uint64, deletedSwept bool, finishGen uint64, st Stats, sweepErr error) error {
+	s.ReclaimedChunks.Add(int64(st.Chunks))
+	s.ReclaimedBytes.Add(int64(st.Bytes))
+	s.ReclaimedNodes.Add(int64(st.Nodes))
+	s.Orphans.Add(int64(st.Orphans))
+	req := &vmanager.GCReportReq{
+		BlobID:       id,
+		ReclaimedTo:  reclaimedTo,
+		DeletedSwept: deletedSwept && sweepErr == nil,
+		FinishGen:    finishGen,
+		Chunks:       st.Chunks,
+		Bytes:        st.Bytes,
+		Nodes:        st.Nodes,
+		Orphans:      st.Orphans,
+	}
+	if err := s.cfg.RPC.Call(s.cfg.VMAddr, vmanager.MethodGCReport, req, &vmanager.Ack{}); err != nil && sweepErr == nil {
+		sweepErr = fmt.Errorf("gc: reporting sweep of blob %d: %w", id, err)
+	}
+	return sweepErr
+}

@@ -120,7 +120,18 @@ func (c *Client) cacheNodes(nodes []*Node) {
 	}
 }
 
-// GetNode fetches a node, trying the cache first and then each replica.
+// GetNode fetches a node, trying the cache first, then each replica, and
+// finally — on a full miss — every remaining ring member. The error is
+// wrapped ErrNodeNotFound ONLY when every member of the ring responded
+// and none had the node — a definitive absence. If anyone was
+// unreachable, the transport error wins: callers like the GC liveness
+// walk must be able to tell "the node does not exist" (a prunable hole)
+// from "I could not check" (retry later), because confusing the two
+// deletes live data. Consulting the whole ring before declaring absence
+// also makes the destructive walk immune to a client configured with a
+// smaller replication degree than the deployment's. Full misses are rare
+// (a genuine hole means a crashed abort-repair), so the extra RPCs don't
+// touch the hot path.
 func (c *Client) GetNode(key NodeKey) (*Node, error) {
 	if c.cache != nil {
 		if n, ok := c.cache.get(key); ok {
@@ -131,25 +142,117 @@ func (c *Client) GetNode(key NodeKey) (*Node, error) {
 	if len(owners) == 0 {
 		return nil, errors.New("meta: no metadata providers in ring")
 	}
-	var lastErr error
-	for _, o := range owners {
+	tried := make(map[string]bool, len(owners))
+	var transportErr error
+	ask := func(addr string) *Node {
+		tried[addr] = true
 		var resp GetNodeResp
-		err := c.rpc.Call(o, MethodGetNode, &GetNodeReq{Key: key}, &resp)
+		err := c.rpc.Call(addr, MethodGetNode, &GetNodeReq{Key: key}, &resp)
 		if err != nil {
-			lastErr = err
-			continue
+			transportErr = err
+			return nil
 		}
 		if !resp.Found {
-			lastErr = fmt.Errorf("%w: %s at %s", ErrNodeNotFound, key, o)
-			continue
+			return nil
 		}
 		n := resp.Node
 		if c.cache != nil {
 			c.cache.put(&n)
 		}
-		return &n, nil
+		return &n
 	}
-	return nil, fmt.Errorf("meta: get %s failed on all replicas: %w", key, lastErr)
+	for _, o := range owners {
+		if n := ask(o); n != nil {
+			return n, nil
+		}
+	}
+	for _, o := range c.ring.Nodes() {
+		if tried[o] {
+			continue
+		}
+		if n := ask(o); n != nil {
+			return n, nil
+		}
+	}
+	if transportErr != nil {
+		return nil, fmt.Errorf("meta: get %s: replica unreachable: %w", key, transportErr)
+	}
+	return nil, fmt.Errorf("%w: %s on all ring members", ErrNodeNotFound, key)
+}
+
+// DeleteNodes drops the given nodes from every metadata provider in the
+// ring and returns the number of node copies actually dropped. The batch
+// is broadcast to all members rather than routed by replica set: deletes
+// must not depend on the sweeper knowing the deployment's exact
+// replication degree (a sweeper configured with a lower degree would
+// silently leave replicas behind), and servers drop only what they hold,
+// so over-sending is just idempotent no-ops. Any unreachable member is
+// reported as an error: dead nodes are by definition unreachable from
+// every retained tree, so a sweep that advanced its frontier past a
+// partial delete could never find them again — the caller must not
+// record the sweep as complete until every member acknowledged.
+func (c *Client) DeleteNodes(keys []NodeKey) (uint64, error) {
+	if len(keys) == 0 {
+		return 0, nil
+	}
+	members := c.ring.Nodes()
+	if len(members) == 0 {
+		return 0, errors.New("meta: no metadata providers in ring")
+	}
+	type result struct {
+		deleted uint64
+		err     error
+	}
+	results := make(chan result, len(members))
+	sem := make(chan struct{}, putParallelism)
+	for _, addr := range members {
+		sem <- struct{}{}
+		go func(addr string) {
+			defer func() { <-sem }()
+			var resp DeleteResp
+			err := c.rpc.Call(addr, MethodDeleteNodes, &DeleteNodesReq{Keys: keys}, &resp)
+			results <- result{deleted: resp.Deleted, err: err}
+		}(addr)
+	}
+	var deleted uint64
+	var firstErr error
+	for range members {
+		r := <-results
+		deleted += r.deleted
+		if r.err != nil && firstErr == nil {
+			firstErr = r.err
+		}
+	}
+	if firstErr != nil {
+		return deleted, fmt.Errorf("meta: delete incomplete (retried next sweep): %w", firstErr)
+	}
+	return deleted, nil
+}
+
+// DeleteBlob drops every node of the blob from every metadata provider in
+// the ring (full blob deletion). Any unreachable member is an error so the
+// blob's tombstone stays pending and the next sweep retries.
+func (c *Client) DeleteBlob(blob uint64) (uint64, error) {
+	nodes := c.ring.Nodes()
+	if len(nodes) == 0 {
+		return 0, errors.New("meta: no metadata providers in ring")
+	}
+	var deleted uint64
+	var firstErr error
+	for _, addr := range nodes {
+		var resp DeleteResp
+		if err := c.rpc.Call(addr, MethodDeleteBlob, &DeleteBlobReq{Blob: blob}, &resp); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		deleted += resp.Deleted
+	}
+	if firstErr != nil {
+		return deleted, fmt.Errorf("meta: blob delete incomplete (retried next sweep): %w", firstErr)
+	}
+	return deleted, nil
 }
 
 // CacheStats reports cache hits and misses (zeros when caching is off).

@@ -1,0 +1,97 @@
+package meta
+
+import (
+	"testing"
+
+	"repro/internal/chunk"
+	"repro/internal/wire"
+)
+
+// FuzzNodeDecode throws corrupt bytes at Node.Decode. Decoding must never
+// panic or allocate absurdly (the replica-count clamp), and any node that
+// decodes cleanly must survive an encode→decode round trip unchanged.
+func FuzzNodeDecode(f *testing.F) {
+	leaf := &Node{
+		Key:  NodeKey{Blob: 1, Version: 7, Off: 3, Size: 1},
+		Leaf: true,
+		Chunk: ChunkRef{
+			Providers: []string{"dp0", "dp1"},
+			Key:       chunk.Key{Blob: 1, Version: 1 << 63, Index: 3},
+			Length:    4096,
+		},
+	}
+	inner := &Node{
+		Key:      NodeKey{Blob: 1, Version: 7, Off: 0, Size: 8},
+		LeftVer:  6,
+		RightVer: ZeroVersion,
+	}
+	f.Add(wire.Marshal(leaf))
+	f.Add(wire.Marshal(inner))
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var n Node
+		d := wire.NewDecoder(data)
+		n.Decode(d)
+		if d.Err() != nil {
+			return
+		}
+		if len(n.Chunk.Providers) > 64 {
+			t.Fatalf("decoded %d providers, clamp failed", len(n.Chunk.Providers))
+		}
+		var rt Node
+		if err := wire.Unmarshal(wire.Marshal(&n), &rt); err != nil {
+			t.Fatalf("re-decoding a cleanly decoded node: %v", err)
+		}
+		if !nodesEqual(&n, &rt) {
+			t.Fatalf("round trip changed node: %+v -> %+v", n, rt)
+		}
+	})
+}
+
+// FuzzWriteDescDecode does the same for write descriptors.
+func FuzzWriteDescDecode(f *testing.F) {
+	d := &WriteDesc{Version: 5, StartChunk: 2, EndChunk: 9, SizeChunks: 16, SizeBytes: 65536}
+	f.Add(wire.Marshal(d))
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var w WriteDesc
+		dec := wire.NewDecoder(data)
+		w.Decode(dec)
+		if dec.Err() != nil {
+			return
+		}
+		var rt WriteDesc
+		if err := wire.Unmarshal(wire.Marshal(&w), &rt); err != nil {
+			t.Fatalf("re-decoding a cleanly decoded descriptor: %v", err)
+		}
+		if w != rt {
+			t.Fatalf("round trip changed descriptor: %+v -> %+v", w, rt)
+		}
+	})
+}
+
+// FuzzPutNodesReqDecode covers the batch framing: a hostile count prefix
+// must not drive unbounded allocation, and decoding must stop at the first
+// error.
+func FuzzPutNodesReqDecode(f *testing.F) {
+	req := &PutNodesReq{Nodes: []*Node{
+		{Key: NodeKey{Blob: 2, Version: 3, Off: 0, Size: 2}, LeftVer: 1, RightVer: 2},
+	}}
+	f.Add(wire.Marshal(req))
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF}) // count = 4B, empty body
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var r PutNodesReq
+		d := wire.NewDecoder(data)
+		r.Decode(d)
+		// Each decoded node consumed at least one byte of input, so the
+		// batch can never exceed the input length.
+		if len(r.Nodes) > len(data) {
+			t.Fatalf("decoded %d nodes from %d bytes", len(r.Nodes), len(data))
+		}
+	})
+}

@@ -1,0 +1,211 @@
+package meta
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/chunk"
+)
+
+// Garbage-collection liveness analysis over the versioned segment trees.
+//
+// Trees are persistent: version v's tree references untouched subtrees of
+// older versions by their version label, so a node or chunk of a pruned
+// version may still be live. The key structural fact this file relies on:
+// if a node (or leaf chunk) labeled u is reachable from ANY retained
+// version w >= floor >= u, it is also reachable from the floor version's
+// tree — the range it covers was untouched in (u, w], hence untouched in
+// (u, floor], so descending the floor tree at that position resolves to
+// the same label.
+//
+// Consequently, when the retention floor advances from F1 to F2, the
+// complete dead set is a diff of the two adjacent floor trees:
+//
+//	dead = (reachable(F1)  ∪  owned(v) for v in (F1, F2))  \  reachable(F2)
+//
+// reachable(F1) covers everything with labels <= F1 that survived earlier
+// sweeps (exactly because it was reachable from the old floor); the owned
+// subgraphs cover the versions pruned by this advance; and anything still
+// referenced by any retained snapshot is inside reachable(F2).
+
+// LiveSet is a set of tree nodes plus the chunk references their leaves
+// carry (the reference keeps the replica addresses a delete must visit).
+type LiveSet struct {
+	Nodes  map[NodeKey]struct{}
+	Chunks map[chunk.Key]ChunkRef
+}
+
+// NewLiveSet returns an empty set.
+func NewLiveSet() *LiveSet {
+	return &LiveSet{
+		Nodes:  make(map[NodeKey]struct{}),
+		Chunks: make(map[chunk.Key]ChunkRef),
+	}
+}
+
+// Has reports whether the node key is in the set.
+func (l *LiveSet) Has(k NodeKey) bool {
+	_, ok := l.Nodes[k]
+	return ok
+}
+
+// HasChunk reports whether the chunk key is in the set.
+func (l *LiveSet) HasChunk(k chunk.Key) bool {
+	_, ok := l.Chunks[k]
+	return ok
+}
+
+// CollectLive walks the full tree of one version (a retention floor) and
+// returns every reachable node key and leaf chunk reference. Definitively
+// missing nodes (ErrNodeNotFound from every replica) are tolerated by
+// skipping their subtree: an abort-repair that crashed half-way leaves
+// holes, and a hole references nothing. Any OTHER failure — a replica
+// unreachable, an RPC timeout — aborts the walk with an error: an
+// incomplete live set would make the sweep delete data that retained
+// snapshots still reference. sizeChunks is the blob size in chunks at
+// that version.
+func CollectLive(store Store, blob, version, sizeChunks uint64) (*LiveSet, error) {
+	live := NewLiveSet()
+	if err := CollectLiveInto(live, store, blob, version, sizeChunks); err != nil {
+		return nil, err
+	}
+	return live, nil
+}
+
+// CollectLiveInto folds one version's reachable set into an existing
+// LiveSet. Unioning several versions' walks this way is cheap: subtrees
+// shared between versions short-circuit on the already-visited check, so
+// the total cost is proportional to the number of distinct live nodes,
+// not versions times tree size. Walking every retained version (rather
+// than trusting the floor tree alone) is what makes the sweep safe when
+// the floor lands on an aborted version whose abort-repair never wove a
+// tree — an empty or partial floor tree then under-counts liveness, and
+// the union walk of the newer retained versions still protects everything
+// they reference.
+func CollectLiveInto(live *LiveSet, store Store, blob, version, sizeChunks uint64) error {
+	if version == 0 || sizeChunks == 0 {
+		return nil
+	}
+	w := liveWalker{store: store, blob: blob, set: live}
+	return w.walk(version, 0, NextPow2(sizeChunks))
+}
+
+type liveWalker struct {
+	store Store
+	blob  uint64
+	set   *LiveSet
+}
+
+func (w *liveWalker) walk(version, off, size uint64) error {
+	if version == ZeroVersion {
+		return nil
+	}
+	key := NodeKey{Blob: w.blob, Version: version, Off: off, Size: size}
+	if w.set.Has(key) {
+		return nil // shared subtree already visited
+	}
+	node, err := w.store.GetNode(key)
+	if errors.Is(err, ErrNodeNotFound) {
+		return nil // definitive hole (crashed writer); references nothing
+	}
+	if err != nil {
+		return fmt.Errorf("meta: liveness walk at %s: %w", key, err)
+	}
+	w.set.Nodes[key] = struct{}{}
+	if node.Leaf {
+		if !node.Chunk.IsZero() {
+			w.set.Chunks[node.Chunk.Key] = node.Chunk
+		}
+		return nil
+	}
+	half := size / 2
+	if err := w.walk(node.LeftVer, off, half); err != nil {
+		return err
+	}
+	return w.walk(node.RightVer, off+half, half)
+}
+
+// AddOwned folds version v's owned subgraph into the set: exactly the
+// nodes its writer wove, i.e. those labeled with the version. Within a
+// version's tree every owned node's parent is also owned (Weave builds
+// parents of everything it builds), so the enumeration descends from the
+// root and only follows children carrying the same version label.
+// Definitively missing nodes are skipped; transport failures abort, as in
+// CollectLive.
+func (l *LiveSet) AddOwned(store Store, blob, version, sizeChunks uint64) error {
+	if version == 0 || sizeChunks == 0 {
+		return nil
+	}
+	w := ownedWalker{store: store, blob: blob, version: version, set: l}
+	return w.walk(0, NextPow2(sizeChunks))
+}
+
+// VersionNodes enumerates one version's owned subgraph standalone.
+func VersionNodes(store Store, blob, version, sizeChunks uint64) ([]NodeKey, []ChunkRef, error) {
+	set := NewLiveSet()
+	if err := set.AddOwned(store, blob, version, sizeChunks); err != nil {
+		return nil, nil, err
+	}
+	nodes := make([]NodeKey, 0, len(set.Nodes))
+	for k := range set.Nodes {
+		nodes = append(nodes, k)
+	}
+	chunks := make([]ChunkRef, 0, len(set.Chunks))
+	for _, c := range set.Chunks {
+		chunks = append(chunks, c)
+	}
+	return nodes, chunks, nil
+}
+
+type ownedWalker struct {
+	store   Store
+	blob    uint64
+	version uint64
+	set     *LiveSet
+}
+
+func (w *ownedWalker) walk(off, size uint64) error {
+	key := NodeKey{Blob: w.blob, Version: w.version, Off: off, Size: size}
+	node, err := w.store.GetNode(key)
+	if errors.Is(err, ErrNodeNotFound) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("meta: owned walk at %s: %w", key, err)
+	}
+	w.set.Nodes[key] = struct{}{}
+	if node.Leaf {
+		if !node.Chunk.IsZero() {
+			w.set.Chunks[node.Chunk.Key] = node.Chunk
+		}
+		return nil
+	}
+	half := size / 2
+	if node.LeftVer == w.version {
+		if err := w.walk(off, half); err != nil {
+			return err
+		}
+	}
+	if node.RightVer == w.version {
+		return w.walk(off+half, half)
+	}
+	return nil
+}
+
+// DiffDead returns the members of candidates absent from live: the nodes
+// and chunks that die when the retention floor advances. Chunk references
+// are deduplicated by key (abort-repair copies leaves, so one chunk can
+// appear under several versions' leaves).
+func DiffDead(candidates, live *LiveSet) (deadNodes []NodeKey, deadChunks []ChunkRef) {
+	for k := range candidates.Nodes {
+		if !live.Has(k) {
+			deadNodes = append(deadNodes, k)
+		}
+	}
+	for k, c := range candidates.Chunks {
+		if !live.HasChunk(k) {
+			deadChunks = append(deadChunks, c)
+		}
+	}
+	return deadNodes, deadChunks
+}

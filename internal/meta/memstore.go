@@ -55,6 +55,37 @@ func (s *MemStore) Len() int {
 	return len(s.nodes)
 }
 
+// DeleteNodes removes the given keys (absent keys are ignored: deletes are
+// idempotent and replicas may hold different subsets). It returns how many
+// nodes were actually dropped.
+func (s *MemStore) DeleteNodes(keys []NodeKey) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, k := range keys {
+		if _, ok := s.nodes[k]; ok {
+			delete(s.nodes, k)
+			n++
+		}
+	}
+	return n
+}
+
+// DeleteBlob removes every node of one blob (full blob deletion), returning
+// the number dropped.
+func (s *MemStore) DeleteBlob(blob uint64) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for k := range s.nodes {
+		if k.Blob == blob {
+			delete(s.nodes, k)
+			n++
+		}
+	}
+	return n
+}
+
 func nodesEqual(a, b *Node) bool {
 	if a.Key != b.Key || a.Leaf != b.Leaf {
 		return false

@@ -7,9 +7,11 @@ import (
 
 // Method names served by a metadata provider.
 const (
-	MethodPutNodes = "meta.put"
-	MethodGetNode  = "meta.get"
-	MethodStats    = "meta.stats"
+	MethodPutNodes    = "meta.put"
+	MethodGetNode     = "meta.get"
+	MethodStats       = "meta.stats"
+	MethodDeleteNodes = "meta.delete"
+	MethodDeleteBlob  = "meta.deleteblob"
 )
 
 // PutNodesReq carries a batch of tree nodes to store.
@@ -79,6 +81,59 @@ func (r *GetNodeResp) Decode(d *wire.Decoder) {
 	}
 }
 
+// DeleteNodesReq names tree nodes to drop (garbage collection of pruned
+// versions). Deletes are idempotent; unknown keys are ignored.
+type DeleteNodesReq struct {
+	Keys []NodeKey
+}
+
+// Encode implements wire.Message.
+func (r *DeleteNodesReq) Encode(e *wire.Encoder) {
+	e.PutU32(uint32(len(r.Keys)))
+	for _, k := range r.Keys {
+		e.PutU64(k.Blob)
+		e.PutU64(k.Version)
+		e.PutU64(k.Off)
+		e.PutU64(k.Size)
+	}
+}
+
+// Decode implements wire.Message.
+func (r *DeleteNodesReq) Decode(d *wire.Decoder) {
+	cnt := d.U32()
+	r.Keys = nil
+	for i := uint32(0); i < cnt && d.Err() == nil; i++ {
+		var k NodeKey
+		k.Blob = d.U64()
+		k.Version = d.U64()
+		k.Off = d.U64()
+		k.Size = d.U64()
+		r.Keys = append(r.Keys, k)
+	}
+}
+
+// DeleteBlobReq drops every node of one blob (full blob deletion).
+type DeleteBlobReq struct {
+	Blob uint64
+}
+
+// Encode implements wire.Message.
+func (r *DeleteBlobReq) Encode(e *wire.Encoder) { e.PutU64(r.Blob) }
+
+// Decode implements wire.Message.
+func (r *DeleteBlobReq) Decode(d *wire.Decoder) { r.Blob = d.U64() }
+
+// DeleteResp reports how many nodes a delete dropped on this provider.
+type DeleteResp struct {
+	Deleted uint64
+}
+
+// Encode implements wire.Message.
+func (r *DeleteResp) Encode(e *wire.Encoder) { e.PutU64(r.Deleted) }
+
+// Decode implements wire.Message.
+func (r *DeleteResp) Decode(d *wire.Decoder) { r.Deleted = d.U64() }
+
 // Ack is the empty acknowledgment payload.
 type Ack struct{}
 
@@ -127,6 +182,14 @@ func NewServer(network rpc.Network, addr string) *Server {
 	rpc.HandleMsg(s.srv, MethodStats, func() *Ack { return &Ack{} },
 		func(*Ack) (*StatsResp, error) {
 			return &StatsResp{Nodes: uint64(s.store.Len())}, nil
+		})
+	rpc.HandleMsg(s.srv, MethodDeleteNodes, func() *DeleteNodesReq { return &DeleteNodesReq{} },
+		func(req *DeleteNodesReq) (*DeleteResp, error) {
+			return &DeleteResp{Deleted: uint64(s.store.DeleteNodes(req.Keys))}, nil
+		})
+	rpc.HandleMsg(s.srv, MethodDeleteBlob, func() *DeleteBlobReq { return &DeleteBlobReq{} },
+		func(req *DeleteBlobReq) (*DeleteResp, error) {
+			return &DeleteResp{Deleted: uint64(s.store.DeleteBlob(req.Blob))}, nil
 		})
 	return s
 }

@@ -17,10 +17,12 @@ import (
 
 // Method names served by a data provider.
 const (
-	MethodPut   = "provider.put"
-	MethodGet   = "provider.get"
-	MethodHas   = "provider.has"
-	MethodStats = "provider.stats"
+	MethodPut          = "provider.put"
+	MethodGet          = "provider.get"
+	MethodHas          = "provider.has"
+	MethodStats        = "provider.stats"
+	MethodListChunks   = "provider.list"
+	MethodDeleteChunks = "provider.delete"
 )
 
 // PutReq stores one chunk.
@@ -95,10 +97,11 @@ func (r *HasResp) Decode(d *wire.Decoder) { r.Present = d.Bool() }
 
 // StatsResp reports a provider's inventory.
 type StatsResp struct {
-	Chunks uint64
-	Bytes  uint64
-	Puts   uint64
-	Gets   uint64
+	Chunks  uint64
+	Bytes   uint64
+	Puts    uint64
+	Gets    uint64
+	Deletes uint64
 }
 
 // Encode implements wire.Message.
@@ -107,6 +110,7 @@ func (r *StatsResp) Encode(e *wire.Encoder) {
 	e.PutU64(r.Bytes)
 	e.PutU64(r.Puts)
 	e.PutU64(r.Gets)
+	e.PutU64(r.Deletes)
 }
 
 // Decode implements wire.Message.
@@ -115,6 +119,101 @@ func (r *StatsResp) Decode(d *wire.Decoder) {
 	r.Bytes = d.U64()
 	r.Puts = d.U64()
 	r.Gets = d.U64()
+	r.Deletes = d.U64()
+}
+
+// ListChunksReq asks for the provider's inventory of one blob, or the
+// whole inventory when Blob is 0 (blob IDs start at 1). Used by garbage
+// collection: orphan detection and blob deletion.
+type ListChunksReq struct {
+	Blob uint64
+}
+
+// Encode implements wire.Message.
+func (r *ListChunksReq) Encode(e *wire.Encoder) { e.PutU64(r.Blob) }
+
+// Decode implements wire.Message.
+func (r *ListChunksReq) Decode(d *wire.Decoder) { r.Blob = d.U64() }
+
+// ListChunksResp returns the stored keys of one blob plus each chunk's age
+// since it was put (milliseconds). Chunks whose put time is unknown (for
+// example after a disk-store restart) are aged from when the provider
+// first listed them, so they always get a full grace period before orphan
+// collection.
+type ListChunksResp struct {
+	Keys  []chunk.Key
+	AgeMs []uint64
+}
+
+// Encode implements wire.Message.
+func (r *ListChunksResp) Encode(e *wire.Encoder) {
+	e.PutU32(uint32(len(r.Keys)))
+	for i, k := range r.Keys {
+		e.PutU64(k.Blob)
+		e.PutU64(k.Version)
+		e.PutU64(k.Index)
+		e.PutU64(r.AgeMs[i])
+	}
+}
+
+// Decode implements wire.Message.
+func (r *ListChunksResp) Decode(d *wire.Decoder) {
+	cnt := d.U32()
+	r.Keys, r.AgeMs = nil, nil
+	for i := uint32(0); i < cnt && d.Err() == nil; i++ {
+		var k chunk.Key
+		k.Blob = d.U64()
+		k.Version = d.U64()
+		k.Index = d.U64()
+		r.Keys = append(r.Keys, k)
+		r.AgeMs = append(r.AgeMs, d.U64())
+	}
+}
+
+// DeleteChunksReq removes chunks (idempotent; absent keys are ignored).
+type DeleteChunksReq struct {
+	Keys []chunk.Key
+}
+
+// Encode implements wire.Message.
+func (r *DeleteChunksReq) Encode(e *wire.Encoder) {
+	e.PutU32(uint32(len(r.Keys)))
+	for _, k := range r.Keys {
+		e.PutU64(k.Blob)
+		e.PutU64(k.Version)
+		e.PutU64(k.Index)
+	}
+}
+
+// Decode implements wire.Message.
+func (r *DeleteChunksReq) Decode(d *wire.Decoder) {
+	cnt := d.U32()
+	r.Keys = nil
+	for i := uint32(0); i < cnt && d.Err() == nil; i++ {
+		var k chunk.Key
+		k.Blob = d.U64()
+		k.Version = d.U64()
+		k.Index = d.U64()
+		r.Keys = append(r.Keys, k)
+	}
+}
+
+// DeleteChunksResp reports what a delete reclaimed on this provider.
+type DeleteChunksResp struct {
+	Deleted uint64
+	Bytes   uint64
+}
+
+// Encode implements wire.Message.
+func (r *DeleteChunksResp) Encode(e *wire.Encoder) {
+	e.PutU64(r.Deleted)
+	e.PutU64(r.Bytes)
+}
+
+// Decode implements wire.Message.
+func (r *DeleteChunksResp) Decode(d *wire.Decoder) {
+	r.Deleted = d.U64()
+	r.Bytes = d.U64()
 }
 
 // Ack is the empty acknowledgment.
@@ -131,8 +230,16 @@ type Server struct {
 	store chunk.Store
 	srv   *rpc.Server
 
-	puts metrics.Counter
-	gets metrics.Counter
+	puts    metrics.Counter
+	gets    metrics.Counter
+	deletes metrics.Counter
+
+	// putTimes records when each chunk arrived, so the GC orphan sweep can
+	// apply an age grace that protects phase-1 uploads of writes still in
+	// flight. Chunks without an entry (disk store restart) are stamped
+	// when first listed, restarting their grace clock.
+	putMu    sync.Mutex
+	putTimes map[chunk.Key]time.Time
 
 	mu      sync.Mutex
 	hbStop  chan struct{}
@@ -142,13 +249,21 @@ type Server struct {
 
 // NewServer creates a data provider at addr backed by store.
 func NewServer(network rpc.Network, addr string, store chunk.Store) *Server {
-	s := &Server{addr: addr, store: store, srv: rpc.NewServer(network, addr)}
+	s := &Server{
+		addr:     addr,
+		store:    store,
+		srv:      rpc.NewServer(network, addr),
+		putTimes: make(map[chunk.Key]time.Time),
+	}
 	rpc.HandleMsg(s.srv, MethodPut, func() *PutReq { return &PutReq{} },
 		func(req *PutReq) (*Ack, error) {
 			s.puts.Add(1)
 			if err := s.store.Put(req.Key, req.Data); err != nil {
 				return nil, err
 			}
+			s.putMu.Lock()
+			s.putTimes[req.Key] = time.Now()
+			s.putMu.Unlock()
 			return &Ack{}, nil
 		})
 	rpc.HandleMsg(s.srv, MethodGet, func() *GetReq { return &GetReq{} },
@@ -167,11 +282,68 @@ func NewServer(network rpc.Network, addr string, store chunk.Store) *Server {
 	rpc.HandleMsg(s.srv, MethodStats, func() *Ack { return &Ack{} },
 		func(*Ack) (*StatsResp, error) {
 			return &StatsResp{
-				Chunks: uint64(s.store.Len()),
-				Bytes:  uint64(s.store.Bytes()),
-				Puts:   uint64(s.puts.Load()),
-				Gets:   uint64(s.gets.Load()),
+				Chunks:  uint64(s.store.Len()),
+				Bytes:   uint64(s.store.Bytes()),
+				Puts:    uint64(s.puts.Load()),
+				Gets:    uint64(s.gets.Load()),
+				Deletes: uint64(s.deletes.Load()),
 			}, nil
+		})
+	rpc.HandleMsg(s.srv, MethodListChunks, func() *ListChunksReq { return &ListChunksReq{} },
+		func(req *ListChunksReq) (*ListChunksResp, error) {
+			// Snapshot the inventory before taking putMu: Keys() may be
+			// slow on a disk store and Put handlers need putMu.
+			keys := s.store.Keys()
+			now := time.Now()
+			resp := &ListChunksResp{}
+			s.putMu.Lock()
+			for _, k := range keys {
+				if req.Blob != 0 && k.Blob != req.Blob {
+					continue
+				}
+				// A chunk with no recorded put time was persisted before
+				// this process started (disk store restart). It could be
+				// phase-1 state of a write still in flight, so it must
+				// get the full grace period: stamp it first-seen now and
+				// age it from there, rather than reporting maximal age
+				// and risking deletion of a chunk a commit is about to
+				// reference.
+				t, ok := s.putTimes[k]
+				if !ok {
+					t = now
+					s.putTimes[k] = t
+				}
+				resp.Keys = append(resp.Keys, k)
+				resp.AgeMs = append(resp.AgeMs, uint64(now.Sub(t)/time.Millisecond))
+			}
+			s.putMu.Unlock()
+			return resp, nil
+		})
+	rpc.HandleMsg(s.srv, MethodDeleteChunks, func() *DeleteChunksReq { return &DeleteChunksReq{} },
+		func(req *DeleteChunksReq) (*DeleteChunksResp, error) {
+			resp := &DeleteChunksResp{}
+			// Account freed bytes via the store's byte gauge instead of
+			// reading every payload back before deleting it; a concurrent
+			// Put can skew the delta slightly, but this is metrics, and
+			// doubling GC disk I/O to make it exact is a bad trade.
+			before := s.store.Bytes()
+			for _, k := range req.Keys {
+				if !s.store.Has(k) {
+					continue // already gone; deletes are idempotent
+				}
+				if err := s.store.Delete(k); err != nil {
+					return nil, err
+				}
+				s.putMu.Lock()
+				delete(s.putTimes, k)
+				s.putMu.Unlock()
+				s.deletes.Add(1)
+				resp.Deleted++
+			}
+			if after := s.store.Bytes(); before > after {
+				resp.Bytes = uint64(before - after)
+			}
+			return resp, nil
 		})
 	return s
 }
@@ -290,6 +462,25 @@ func GetChunkReplicas(cli *rpc.Client, addrs []string, key chunk.Key) ([]byte, s
 func Stats(cli *rpc.Client, addr string) (*StatsResp, error) {
 	var resp StatsResp
 	if err := cli.Call(addr, MethodStats, &Ack{}, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// ListChunks fetches one provider's inventory of one blob.
+func ListChunks(cli *rpc.Client, addr string, blob uint64) (*ListChunksResp, error) {
+	var resp ListChunksResp
+	if err := cli.Call(addr, MethodListChunks, &ListChunksReq{Blob: blob}, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// DeleteChunks removes chunks from one provider, reporting what was
+// reclaimed there.
+func DeleteChunks(cli *rpc.Client, addr string, keys []chunk.Key) (*DeleteChunksResp, error) {
+	var resp DeleteChunksResp
+	if err := cli.Call(addr, MethodDeleteChunks, &DeleteChunksReq{Keys: keys}, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil

@@ -16,6 +16,13 @@ const (
 	MethodVersionInfo   = "vm.version"
 	MethodWaitPublished = "vm.wait"
 	MethodList          = "vm.list"
+	MethodSetRetention  = "vm.retention"
+	MethodPrune         = "vm.prune"
+	MethodDelete        = "vm.delete"
+	MethodGCWork        = "vm.gcwork"
+	MethodGCStatus      = "vm.gcstatus"
+	MethodGCReport      = "vm.gcreport"
+	MethodGCStats       = "vm.gcstats"
 )
 
 // CreateReq registers a new blob.
@@ -58,13 +65,18 @@ func (r *BlobRef) Encode(e *wire.Encoder) { e.PutU64(r.BlobID) }
 // Decode implements wire.Message.
 func (r *BlobRef) Decode(d *wire.Decoder) { r.BlobID = d.U64() }
 
-// InfoResp describes a blob's static parameters and published state.
+// InfoResp describes a blob's static parameters, published state, and
+// retention state.
 type InfoResp struct {
 	ChunkSize   uint64
 	Replication uint32
 	Published   uint64
 	SizeBytes   uint64
 	SizeChunks  uint64
+	// KeepLast is the retention policy (0 = keep all versions).
+	KeepLast uint64
+	// RetainFrom is the retention floor: the oldest readable version.
+	RetainFrom uint64
 }
 
 // Encode implements wire.Message.
@@ -74,6 +86,8 @@ func (r *InfoResp) Encode(e *wire.Encoder) {
 	e.PutU64(r.Published)
 	e.PutU64(r.SizeBytes)
 	e.PutU64(r.SizeChunks)
+	e.PutU64(r.KeepLast)
+	e.PutU64(r.RetainFrom)
 }
 
 // Decode implements wire.Message.
@@ -83,6 +97,8 @@ func (r *InfoResp) Decode(d *wire.Decoder) {
 	r.Published = d.U64()
 	r.SizeBytes = d.U64()
 	r.SizeChunks = d.U64()
+	r.KeepLast = d.U64()
+	r.RetainFrom = d.U64()
 }
 
 // AssignReq asks for a version number for a write or append.
@@ -185,6 +201,9 @@ type VersionInfoResp struct {
 	SizeChunks uint64
 	Published  bool
 	Failed     bool
+	// Reclaimed marks a version below the retention floor: its data and
+	// metadata may be gone and reads must be refused.
+	Reclaimed bool
 }
 
 // Encode implements wire.Message.
@@ -193,6 +212,7 @@ func (r *VersionInfoResp) Encode(e *wire.Encoder) {
 	e.PutU64(r.SizeChunks)
 	e.PutBool(r.Published)
 	e.PutBool(r.Failed)
+	e.PutBool(r.Reclaimed)
 }
 
 // Decode implements wire.Message.
@@ -201,6 +221,7 @@ func (r *VersionInfoResp) Decode(d *wire.Decoder) {
 	r.SizeChunks = d.U64()
 	r.Published = d.Bool()
 	r.Failed = d.Bool()
+	r.Reclaimed = d.Bool()
 }
 
 // LatestResp identifies the latest published snapshot.
@@ -244,6 +265,174 @@ func (r *ListResp) Decode(d *wire.Decoder) {
 	for i := uint32(0); i < cnt && d.Err() == nil; i++ {
 		r.IDs = append(r.IDs, d.U64())
 	}
+}
+
+// RetentionReq installs a keep-last-N retention policy on a blob.
+type RetentionReq struct {
+	BlobID   uint64
+	KeepLast uint64 // 0 = keep all versions
+}
+
+// Encode implements wire.Message.
+func (r *RetentionReq) Encode(e *wire.Encoder) {
+	e.PutU64(r.BlobID)
+	e.PutU64(r.KeepLast)
+}
+
+// Decode implements wire.Message.
+func (r *RetentionReq) Decode(d *wire.Decoder) {
+	r.BlobID = d.U64()
+	r.KeepLast = d.U64()
+}
+
+// PruneReq makes versions 1..UpTo of a blob reclaimable.
+type PruneReq struct {
+	BlobID uint64
+	UpTo   uint64
+}
+
+// Encode implements wire.Message.
+func (r *PruneReq) Encode(e *wire.Encoder) {
+	e.PutU64(r.BlobID)
+	e.PutU64(r.UpTo)
+}
+
+// Decode implements wire.Message.
+func (r *PruneReq) Decode(d *wire.Decoder) {
+	r.BlobID = d.U64()
+	r.UpTo = d.U64()
+}
+
+// PruneResp returns the blob's retention floor after a prune.
+type PruneResp struct {
+	RetainFrom uint64
+}
+
+// Encode implements wire.Message.
+func (r *PruneResp) Encode(e *wire.Encoder) { e.PutU64(r.RetainFrom) }
+
+// Decode implements wire.Message.
+func (r *PruneResp) Decode(d *wire.Decoder) { r.RetainFrom = d.U64() }
+
+// GCStatusResp describes one blob's reclamation state for a GC sweeper.
+type GCStatusResp struct {
+	Deleted     bool
+	RetainFrom  uint64
+	ReclaimedTo uint64
+	Published   uint64
+	Assigned    uint64
+	ChunkSize   uint64
+	// FinishGen is the blob's commit/abort counter at status time; echo
+	// it in GCReport when marking a deleted blob swept.
+	FinishGen uint64
+	// Versions describes every version in [ReclaimedTo, Published]: the
+	// pruned range plus every retained version anchoring the liveness
+	// union walk.
+	Versions []meta.WriteDesc
+}
+
+// Encode implements wire.Message.
+func (r *GCStatusResp) Encode(e *wire.Encoder) {
+	e.PutBool(r.Deleted)
+	e.PutU64(r.RetainFrom)
+	e.PutU64(r.ReclaimedTo)
+	e.PutU64(r.Published)
+	e.PutU64(r.Assigned)
+	e.PutU64(r.ChunkSize)
+	e.PutU64(r.FinishGen)
+	e.PutU32(uint32(len(r.Versions)))
+	for i := range r.Versions {
+		r.Versions[i].Encode(e)
+	}
+}
+
+// Decode implements wire.Message.
+func (r *GCStatusResp) Decode(d *wire.Decoder) {
+	r.Deleted = d.Bool()
+	r.RetainFrom = d.U64()
+	r.ReclaimedTo = d.U64()
+	r.Published = d.U64()
+	r.Assigned = d.U64()
+	r.ChunkSize = d.U64()
+	r.FinishGen = d.U64()
+	cnt := d.U32()
+	r.Versions = nil
+	for i := uint32(0); i < cnt && d.Err() == nil; i++ {
+		var w meta.WriteDesc
+		w.Decode(d)
+		r.Versions = append(r.Versions, w)
+	}
+}
+
+// GCReportReq records a completed sweep for one blob.
+type GCReportReq struct {
+	BlobID uint64
+	// ReclaimedTo is the new sweep frontier (versions below it are gone).
+	ReclaimedTo uint64
+	// DeletedSwept marks a deleted blob as fully dropped; FinishGen must
+	// echo the GCStatus snapshot the sweep was based on, or the latch is
+	// refused and the blob re-sweeps.
+	DeletedSwept bool
+	FinishGen    uint64
+	// Chunks/Bytes/Nodes/Orphans count what this sweep reclaimed.
+	Chunks  uint64
+	Bytes   uint64
+	Nodes   uint64
+	Orphans uint64
+}
+
+// Encode implements wire.Message.
+func (r *GCReportReq) Encode(e *wire.Encoder) {
+	e.PutU64(r.BlobID)
+	e.PutU64(r.ReclaimedTo)
+	e.PutBool(r.DeletedSwept)
+	e.PutU64(r.FinishGen)
+	e.PutU64(r.Chunks)
+	e.PutU64(r.Bytes)
+	e.PutU64(r.Nodes)
+	e.PutU64(r.Orphans)
+}
+
+// Decode implements wire.Message.
+func (r *GCReportReq) Decode(d *wire.Decoder) {
+	r.BlobID = d.U64()
+	r.ReclaimedTo = d.U64()
+	r.DeletedSwept = d.Bool()
+	r.FinishGen = d.U64()
+	r.Chunks = d.U64()
+	r.Bytes = d.U64()
+	r.Nodes = d.U64()
+	r.Orphans = d.U64()
+}
+
+// GCStatsResp reports cumulative reclamation totals.
+type GCStatsResp struct {
+	Chunks         uint64
+	Bytes          uint64
+	Nodes          uint64
+	Orphans        uint64
+	PrunedVersions uint64
+	PendingBlobs   uint64
+}
+
+// Encode implements wire.Message.
+func (r *GCStatsResp) Encode(e *wire.Encoder) {
+	e.PutU64(r.Chunks)
+	e.PutU64(r.Bytes)
+	e.PutU64(r.Nodes)
+	e.PutU64(r.Orphans)
+	e.PutU64(r.PrunedVersions)
+	e.PutU64(r.PendingBlobs)
+}
+
+// Decode implements wire.Message.
+func (r *GCStatsResp) Decode(d *wire.Decoder) {
+	r.Chunks = d.U64()
+	r.Bytes = d.U64()
+	r.Nodes = d.U64()
+	r.Orphans = d.U64()
+	r.PrunedVersions = d.U64()
+	r.PendingBlobs = d.U64()
 }
 
 // Ack is the empty acknowledgment.

@@ -30,6 +30,15 @@ var ErrNoSuchBlob = errors.New("vmanager: no such blob")
 // ErrNoSuchVersion is returned for queries beyond the assigned history.
 var ErrNoSuchVersion = errors.New("vmanager: no such version")
 
+// ErrBlobDeleted is returned for operations on deleted blobs. The text is
+// matched client-side (errors cross the RPC boundary as strings), so it
+// must stay in sync with core's detection.
+var ErrBlobDeleted = errors.New("vmanager: blob deleted")
+
+// ErrRetainLatest is returned when a prune would reclaim the newest
+// published version; at least one snapshot always stays readable.
+var ErrRetainLatest = errors.New("vmanager: cannot prune the latest published version")
+
 type verInfo struct {
 	startChunk uint64
 	endChunk   uint64
@@ -37,6 +46,10 @@ type verInfo struct {
 	sizeChunks uint64
 	committed  bool
 	failed     bool
+	// assignPub is the published version at assign time. While this write
+	// is in flight its weave may reference any node reachable from that
+	// snapshot, so the retention floor must not pass it (see floorCap).
+	assignPub uint64
 }
 
 type blobState struct {
@@ -51,6 +64,30 @@ type blobState struct {
 	// appends are placed at this offset.
 	assignedSizeBytes uint64
 	waiters           map[uint64][]chan struct{}
+
+	// Retention and garbage-collection state (versioning companion paper:
+	// old-snapshot reclamation is the flip side of lock-free versioning).
+	//
+	// keepLast is the retention policy: keep the newest N published
+	// versions (0 = keep all). retainFrom is the retention floor: the
+	// smallest version readers may still address; everything below it is
+	// reclaimable. wantFloor remembers the highest floor an explicit
+	// Prune has requested, so a prune deferred by in-flight writes (see
+	// floorCap) completes once they drain. reclaimedTo tracks GC
+	// progress: versions below it have been fully swept from the metadata
+	// DHT and the data providers.
+	// Invariants: 1 <= reclaimedTo <= retainFrom <= max(published, 1).
+	keepLast     uint64
+	retainFrom   uint64
+	wantFloor    uint64
+	reclaimedTo  uint64
+	deleted      bool
+	deletedSwept bool
+	// finishGen counts Commit/Abort events. A delete sweep snapshots it
+	// via GCStatus and echoes it in GCReport; the tombstone latches only
+	// if no write finished in between, so late uploads from a write that
+	// completed mid-sweep always get one more sweep.
+	finishGen uint64
 }
 
 func (b *blobState) version(v uint64) (*verInfo, error) {
@@ -65,6 +102,14 @@ type Manager struct {
 	mu     sync.Mutex
 	blobs  map[uint64]*blobState
 	nextID uint64
+
+	// Cumulative GC accounting, reported by sweepers via GCReport.
+	gcMu             sync.Mutex
+	reclaimedChunks  uint64
+	reclaimedBytes   uint64
+	reclaimedNodes   uint64
+	reclaimedOrphans uint64
+	prunedVersions   uint64
 }
 
 // NewManager creates an empty version manager.
@@ -90,6 +135,8 @@ func (m *Manager) Create(chunkSize uint64, replication uint32) (uint64, error) {
 		chunkSize:   chunkSize,
 		replication: replication,
 		waiters:     make(map[uint64][]chan struct{}),
+		retainFrom:  1,
+		reclaimedTo: 1,
 	}
 	return id, nil
 }
@@ -104,15 +151,37 @@ func (m *Manager) blob(id uint64) (*blobState, error) {
 	return b, nil
 }
 
-// Info reports a blob's parameters and its published extent.
-func (m *Manager) Info(id uint64) (*InfoResp, error) {
+// liveBlob resolves a blob and rejects deleted ones.
+func (m *Manager) liveBlob(id uint64) (*blobState, error) {
 	b, err := m.blob(id)
 	if err != nil {
 		return nil, err
 	}
 	b.mu.Lock()
+	deleted := b.deleted
+	b.mu.Unlock()
+	if deleted {
+		return nil, fmt.Errorf("%w: %d", ErrBlobDeleted, id)
+	}
+	return b, nil
+}
+
+// Info reports a blob's parameters, its published extent, and its
+// retention state.
+func (m *Manager) Info(id uint64) (*InfoResp, error) {
+	b, err := m.liveBlob(id)
+	if err != nil {
+		return nil, err
+	}
+	b.mu.Lock()
 	defer b.mu.Unlock()
-	resp := &InfoResp{ChunkSize: b.chunkSize, Replication: b.replication, Published: b.published}
+	resp := &InfoResp{
+		ChunkSize:   b.chunkSize,
+		Replication: b.replication,
+		Published:   b.published,
+		KeepLast:    b.keepLast,
+		RetainFrom:  b.retainFrom,
+	}
 	if b.published > 0 {
 		vi := &b.versions[b.published-1]
 		resp.SizeBytes = vi.sizeBytes
@@ -121,13 +190,18 @@ func (m *Manager) Info(id uint64) (*InfoResp, error) {
 	return resp, nil
 }
 
-// List returns all blob IDs.
+// List returns all non-deleted blob IDs.
 func (m *Manager) List() []uint64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	ids := make([]uint64, 0, len(m.blobs))
-	for id := range m.blobs {
-		ids = append(ids, id)
+	for id, b := range m.blobs {
+		b.mu.Lock()
+		deleted := b.deleted
+		b.mu.Unlock()
+		if !deleted {
+			ids = append(ids, id)
+		}
 	}
 	return ids
 }
@@ -140,7 +214,7 @@ func (m *Manager) Assign(req *AssignReq) (*AssignResp, error) {
 	if req.Size == 0 {
 		return nil, errors.New("vmanager: zero-length write")
 	}
-	b, err := m.blob(req.BlobID)
+	b, err := m.liveBlob(req.BlobID)
 	if err != nil {
 		return nil, err
 	}
@@ -162,6 +236,7 @@ func (m *Manager) Assign(req *AssignReq) (*AssignResp, error) {
 		endChunk:   (end + cs - 1) / cs,
 		sizeBytes:  newSize,
 		sizeChunks: (newSize + cs - 1) / cs,
+		assignPub:  b.published,
 	}
 	resp := &AssignResp{
 		Version:       uint64(len(b.versions)) + 1,
@@ -222,8 +297,18 @@ func (m *Manager) finish(blobID, version uint64, failed bool) error {
 	if vi.committed {
 		return fmt.Errorf("vmanager: version %d of blob %d committed twice", version, blobID)
 	}
+	// A deleted blob still RECORDS the finish (then reports the
+	// deletion): the delete sweep must not be marked complete while
+	// writes are in flight — their late metadata/chunk uploads land
+	// after the sweep — so the tombstone latches only once every
+	// assigned version has finished and one more sweep has run (the
+	// finishGen echo in GCReport enforces the "one more").
 	vi.committed = true
 	vi.failed = failed
+	b.finishGen++
+	if b.deleted {
+		return fmt.Errorf("%w: %d", ErrBlobDeleted, blobID)
+	}
 	// Advance the publish frontier.
 	for b.published < uint64(len(b.versions)) && b.versions[b.published].committed {
 		b.published++
@@ -232,13 +317,117 @@ func (m *Manager) finish(blobID, version uint64, failed bool) error {
 		}
 		delete(b.waiters, b.published)
 	}
+	b.applyPolicyLocked()
+	return nil
+}
+
+// floorCapLocked bounds how far the retention floor may advance right
+// now. Two limits apply (caller holds b.mu):
+//
+//  1. the newest published version is never pruned;
+//  2. an in-flight (assigned, unpublished) write wove its metadata
+//     against the snapshot published at its assign time and may reference
+//     anything reachable from it, so the floor must not pass that
+//     snapshot — otherwise a sweep could delete nodes the write's tree
+//     references the moment it commits.
+func (b *blobState) floorCapLocked() uint64 {
+	limit := b.published
+	for i := b.published; i < uint64(len(b.versions)); i++ {
+		ap := b.versions[i].assignPub // versions[i] is version i+1: unpublished
+		if ap == 0 {
+			return 1 // writer assigned against an empty blob; no pruning yet
+		}
+		if ap < limit {
+			limit = ap
+		}
+	}
+	return limit
+}
+
+// applyPolicyLocked advances the retention floor toward the keep-last-N
+// policy target and any deferred explicit prune, within floorCapLocked.
+// Caller holds b.mu. Re-run after every publish, so a floor deferred by
+// in-flight writes catches up as they drain.
+func (b *blobState) applyPolicyLocked() {
+	want := b.wantFloor
+	if b.keepLast > 0 && b.published > b.keepLast {
+		if f := b.published - b.keepLast + 1; f > want {
+			want = f
+		}
+	}
+	if cap := b.floorCapLocked(); want > cap {
+		want = cap
+	}
+	if want > b.retainFrom {
+		b.retainFrom = want
+	}
+}
+
+// SetRetention installs a keep-last-N policy (0 = keep every version) and
+// applies it immediately to the published history.
+func (m *Manager) SetRetention(blobID, keepLast uint64) error {
+	b, err := m.liveBlob(blobID)
+	if err != nil {
+		return err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.keepLast = keepLast
+	b.applyPolicyLocked()
+	return nil
+}
+
+// Prune raises the retention floor so that versions 1..upTo become
+// reclaimable, and returns the new floor. The newest published version
+// can never be pruned, and the floor is monotone: pruning less than an
+// earlier prune is a no-op, not an error. The returned floor may lag the
+// request while writes are in flight (their woven trees may reference
+// older snapshots); the remainder applies automatically as they publish.
+func (m *Manager) Prune(blobID, upTo uint64) (uint64, error) {
+	b, err := m.liveBlob(blobID)
+	if err != nil {
+		return 0, err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if upTo >= b.published {
+		return 0, fmt.Errorf("%w: blob %d has published %d, prune up to %d",
+			ErrRetainLatest, blobID, b.published, upTo)
+	}
+	if upTo+1 > b.wantFloor {
+		b.wantFloor = upTo + 1
+	}
+	b.applyPolicyLocked()
+	return b.retainFrom, nil
+}
+
+// Delete marks a blob deleted. Every subsequent operation on it fails;
+// the GC sweep reclaims all its metadata and chunks. Waiters blocked in
+// WaitPublished are woken and observe the deletion.
+func (m *Manager) Delete(blobID uint64) error {
+	b, err := m.blob(blobID)
+	if err != nil {
+		return err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.deleted {
+		return nil // idempotent
+	}
+	b.deleted = true
+	for v, chans := range b.waiters {
+		for _, ch := range chans {
+			close(ch)
+		}
+		delete(b.waiters, v)
+	}
 	return nil
 }
 
 // Latest reports the newest published version (version 0 with zero sizes
 // for a blob that has never been written).
 func (m *Manager) Latest(blobID uint64) (*LatestResp, error) {
-	b, err := m.blob(blobID)
+	b, err := m.liveBlob(blobID)
 	if err != nil {
 		return nil, err
 	}
@@ -253,9 +442,11 @@ func (m *Manager) Latest(blobID uint64) (*LatestResp, error) {
 	return resp, nil
 }
 
-// VersionInfo describes one assigned version.
+// VersionInfo describes one assigned version. Versions below the
+// retention floor come back with Reclaimed set (not an error): the client
+// library maps the flag onto its typed ErrVersionReclaimed.
 func (m *Manager) VersionInfo(blobID, version uint64) (*VersionInfoResp, error) {
-	b, err := m.blob(blobID)
+	b, err := m.liveBlob(blobID)
 	if err != nil {
 		return nil, err
 	}
@@ -270,6 +461,7 @@ func (m *Manager) VersionInfo(blobID, version uint64) (*VersionInfoResp, error) 
 		SizeChunks: vi.sizeChunks,
 		Published:  version <= b.published,
 		Failed:     vi.failed,
+		Reclaimed:  version < b.retainFrom,
 	}, nil
 }
 
@@ -284,6 +476,13 @@ func (m *Manager) WaitPublished(blobID, version uint64) error {
 		return err
 	}
 	b.mu.Lock()
+	// The deleted check must share the critical section with waiter
+	// registration: Delete drains the waiter map exactly once, so a
+	// waiter registered after that drain would block forever.
+	if b.deleted {
+		b.mu.Unlock()
+		return fmt.Errorf("%w: %d", ErrBlobDeleted, blobID)
+	}
 	if version == 0 || version <= b.published {
 		b.mu.Unlock()
 		return nil
@@ -292,7 +491,132 @@ func (m *Manager) WaitPublished(blobID, version uint64) error {
 	b.waiters[version] = append(b.waiters[version], ch)
 	b.mu.Unlock()
 	<-ch
+	b.mu.Lock()
+	deleted := b.deleted
+	b.mu.Unlock()
+	if deleted {
+		return fmt.Errorf("%w: %d", ErrBlobDeleted, blobID)
+	}
 	return nil
+}
+
+// GCWork lists every blob with outstanding reclamation work: a retention
+// floor ahead of the sweep frontier, or a deletion not yet swept.
+func (m *Manager) GCWork() []uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var ids []uint64
+	for id, b := range m.blobs {
+		b.mu.Lock()
+		pending := (b.deleted && !b.deletedSwept) || b.reclaimedTo < b.retainFrom
+		b.mu.Unlock()
+		if pending {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// GCStatus describes one blob's reclamation state for a sweeper. Versions
+// carries a descriptor (version number and tree shape) for every version
+// in [ReclaimedTo, RetainFrom]: the pruned range plus the floor version,
+// whose tree anchors the liveness walk. For deleted blobs the sweep drops
+// everything wholesale and Versions is empty.
+func (m *Manager) GCStatus(blobID uint64) (*GCStatusResp, error) {
+	b, err := m.blob(blobID)
+	if err != nil {
+		return nil, err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	resp := &GCStatusResp{
+		Deleted:     b.deleted,
+		RetainFrom:  b.retainFrom,
+		ReclaimedTo: b.reclaimedTo,
+		Published:   b.published,
+		Assigned:    uint64(len(b.versions)),
+		ChunkSize:   b.chunkSize,
+		FinishGen:   b.finishGen,
+	}
+	if !b.deleted {
+		for v := b.reclaimedTo; v <= b.published; v++ {
+			vi := &b.versions[v-1]
+			resp.Versions = append(resp.Versions, meta.WriteDesc{
+				Version:    v,
+				StartChunk: vi.startChunk,
+				EndChunk:   vi.endChunk,
+				SizeChunks: vi.sizeChunks,
+				SizeBytes:  vi.sizeBytes,
+			})
+		}
+	}
+	return resp, nil
+}
+
+// GCReport records a completed sweep: the new sweep frontier, whether a
+// deleted blob was fully dropped, and the amount reclaimed (accumulated
+// into the manager's cumulative GC statistics).
+func (m *Manager) GCReport(req *GCReportReq) error {
+	b, err := m.blob(req.BlobID)
+	if err != nil {
+		return err
+	}
+	b.mu.Lock()
+	var pruned uint64
+	target := req.ReclaimedTo
+	if target > b.retainFrom {
+		target = b.retainFrom
+	}
+	if target > b.reclaimedTo {
+		pruned = target - b.reclaimedTo
+		b.reclaimedTo = target
+	}
+	if req.DeletedSwept && b.deleted {
+		// Latch only when no write is in flight AND no write finished
+		// since the sweep snapshotted the blob (FinishGen echo): an
+		// assigned-but-unfinished version may still upload metadata or
+		// chunks after this sweep ran, and a write that finished mid-
+		// sweep may have uploaded after the sweep listed the providers.
+		// Either way the blob stays in GCWork for one more sweep. (A
+		// writer that crashed without finishing keeps the blob in
+		// GCWork — bounded cleanup needs the write-lease follow-up.)
+		allFinished := req.FinishGen == b.finishGen
+		for i := range b.versions {
+			if !b.versions[i].committed {
+				allFinished = false
+				break
+			}
+		}
+		if allFinished {
+			b.deletedSwept = true
+		}
+	}
+	b.mu.Unlock()
+
+	m.gcMu.Lock()
+	m.reclaimedChunks += req.Chunks
+	m.reclaimedBytes += req.Bytes
+	m.reclaimedNodes += req.Nodes
+	m.reclaimedOrphans += req.Orphans
+	m.prunedVersions += pruned
+	m.gcMu.Unlock()
+	return nil
+}
+
+// GCStats reports cumulative reclamation totals and the number of blobs
+// with outstanding GC work.
+func (m *Manager) GCStats() *GCStatsResp {
+	pending := uint64(len(m.GCWork()))
+	m.gcMu.Lock()
+	defer m.gcMu.Unlock()
+	return &GCStatsResp{
+		Chunks:         m.reclaimedChunks,
+		Bytes:          m.reclaimedBytes,
+		Nodes:          m.reclaimedNodes,
+		Orphans:        m.reclaimedOrphans,
+		PrunedVersions: m.prunedVersions,
+		PendingBlobs:   pending,
+	}
 }
 
 // Server exposes a Manager over RPC.
@@ -336,6 +660,28 @@ func NewServer(network rpc.Network, addr string) *Server {
 		})
 	rpc.HandleMsg(s.srv, MethodList, func() *Ack { return &Ack{} },
 		func(*Ack) (*ListResp, error) { return &ListResp{IDs: s.m.List()}, nil })
+	rpc.HandleMsg(s.srv, MethodSetRetention, func() *RetentionReq { return &RetentionReq{} },
+		func(req *RetentionReq) (*Ack, error) {
+			return &Ack{}, s.m.SetRetention(req.BlobID, req.KeepLast)
+		})
+	rpc.HandleMsg(s.srv, MethodPrune, func() *PruneReq { return &PruneReq{} },
+		func(req *PruneReq) (*PruneResp, error) {
+			floor, err := s.m.Prune(req.BlobID, req.UpTo)
+			if err != nil {
+				return nil, err
+			}
+			return &PruneResp{RetainFrom: floor}, nil
+		})
+	rpc.HandleMsg(s.srv, MethodDelete, func() *BlobRef { return &BlobRef{} },
+		func(req *BlobRef) (*Ack, error) { return &Ack{}, s.m.Delete(req.BlobID) })
+	rpc.HandleMsg(s.srv, MethodGCWork, func() *Ack { return &Ack{} },
+		func(*Ack) (*ListResp, error) { return &ListResp{IDs: s.m.GCWork()}, nil })
+	rpc.HandleMsg(s.srv, MethodGCStatus, func() *BlobRef { return &BlobRef{} },
+		func(req *BlobRef) (*GCStatusResp, error) { return s.m.GCStatus(req.BlobID) })
+	rpc.HandleMsg(s.srv, MethodGCReport, func() *GCReportReq { return &GCReportReq{} },
+		func(req *GCReportReq) (*Ack, error) { return &Ack{}, s.m.GCReport(req) })
+	rpc.HandleMsg(s.srv, MethodGCStats, func() *Ack { return &Ack{} },
+		func(*Ack) (*GCStatsResp, error) { return s.m.GCStats(), nil })
 	return s
 }
 

@@ -1,0 +1,91 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecoder feeds arbitrary bytes through every decode primitive. The
+// invariants: no panic, no allocation explosion (length prefixes are
+// bounded by MaxChunk), and once the first error latches every subsequent
+// read returns a zero value.
+func FuzzDecoder(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x01})
+	f.Add(bytes.Repeat([]byte{0xFF}, 64)) // huge length prefixes
+	e := NewEncoder(64)
+	e.PutU64(42)
+	e.PutString("hello")
+	e.PutBytes([]byte{1, 2, 3})
+	e.PutBool(true)
+	e.PutF64(3.14)
+	f.Add(append([]byte(nil), e.Bytes()...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := NewDecoder(data)
+		_ = d.U8()
+		_ = d.Bool()
+		_ = d.U16()
+		_ = d.U32()
+		_ = d.U64()
+		_ = d.I64()
+		_ = d.F64()
+		_ = d.Bytes()
+		_ = d.BytesCopy()
+		_ = d.String()
+		if d.Err() != nil {
+			// Latched error: everything after must be zero.
+			if v := d.U64(); v != 0 {
+				t.Fatalf("read after latched error returned %d", v)
+			}
+			if b := d.Bytes(); b != nil {
+				t.Fatalf("read after latched error returned %d bytes", len(b))
+			}
+		}
+		if d.Remaining() < 0 {
+			t.Fatalf("negative remaining %d", d.Remaining())
+		}
+	})
+}
+
+// FuzzRoundTrip checks encode→decode identity for every primitive.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(uint64(0), uint32(0), "", []byte(nil), false, 0.0)
+	f.Add(^uint64(0), ^uint32(0), "metadata", []byte{0xDE, 0xAD}, true, -1.5)
+
+	f.Fuzz(func(t *testing.T, u64 uint64, u32 uint32, s string, b []byte, flag bool, fv float64) {
+		e := NewEncoder(0)
+		e.PutU64(u64)
+		e.PutU32(u32)
+		e.PutString(s)
+		e.PutBytes(b)
+		e.PutBool(flag)
+		e.PutF64(fv)
+
+		d := NewDecoder(e.Bytes())
+		if got := d.U64(); got != u64 {
+			t.Fatalf("u64 %d != %d", got, u64)
+		}
+		if got := d.U32(); got != u32 {
+			t.Fatalf("u32 %d != %d", got, u32)
+		}
+		if got := d.String(); got != s {
+			t.Fatalf("string %q != %q", got, s)
+		}
+		if got := d.BytesCopy(); !bytes.Equal(got, b) {
+			t.Fatalf("bytes %v != %v", got, b)
+		}
+		if got := d.Bool(); got != flag {
+			t.Fatalf("bool %v != %v", got, flag)
+		}
+		if got := d.F64(); got != fv && !(fv != fv && got != got) { // NaN-tolerant
+			t.Fatalf("f64 %v != %v", got, fv)
+		}
+		if err := d.Err(); err != nil {
+			t.Fatalf("round trip latched error: %v", err)
+		}
+		if d.Remaining() != 0 {
+			t.Fatalf("%d bytes left after full decode", d.Remaining())
+		}
+	})
+}
