@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race fuzz ci clean
+.PHONY: all build vet test race fuzz e2e-restart ci clean
 
 all: ci
 
@@ -25,8 +25,17 @@ fuzz:
 	$(GO) test -fuzz=FuzzNodeDecode -fuzztime=$(FUZZTIME) ./internal/meta/
 	$(GO) test -fuzz=FuzzWriteDescDecode -fuzztime=$(FUZZTIME) ./internal/meta/
 	$(GO) test -fuzz=FuzzPutNodesReqDecode -fuzztime=$(FUZZTIME) ./internal/meta/
+	$(GO) test -fuzz=FuzzWALReplay -fuzztime=$(FUZZTIME) ./internal/durable/
+	$(GO) test -fuzz=FuzzWALFrame -fuzztime=$(FUZZTIME) ./internal/durable/
 
-ci: vet build race fuzz
+# Crash-recovery end-to-end suite: kill -9 + restart of the version
+# manager and metadata providers, in-harness (mid-write-storm) and as real
+# OS processes, under the race detector.
+e2e-restart:
+	$(GO) test -race -count=1 -run 'TestCrashRecoveryMidWriteStorm|TestRestartVolatileVMComesBackEmpty' ./internal/fault/
+	$(GO) test -race -count=1 -run 'TestDaemonCrashRecovery' ./cmd/blobseerd/
+
+ci: vet build race fuzz e2e-restart
 
 clean:
 	$(GO) clean -testcache

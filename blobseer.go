@@ -46,6 +46,18 @@
 //
 // Readers racing a prune are safe: a read either returns the version's
 // exact bytes or fails whole with ErrVersionReclaimed — never torn data.
+//
+// # Durability and crash recovery
+//
+// With DeployOptions.DataDir set (or blobseerd's -dir per role), the
+// version manager journals every state transition and metadata providers
+// persist their node stores through a write-ahead log (internal/durable):
+// a kill -9 loses nothing acknowledged, and a restart — in place via
+// Cluster.RestartVM / Cluster.RestartMeta, or by respawning the daemon on
+// the same directory — replays the full state. Writes that were in flight
+// at crash time are conservatively aborted during recovery, so the
+// publish frontier never wedges; their writers observe a commit failure
+// and simply retry.
 package blobseer
 
 import (

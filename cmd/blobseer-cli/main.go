@@ -15,6 +15,7 @@
 //	blobseer-cli ... delete    -blob 1             # delete the whole blob
 //	blobseer-cli ... gc                            # run one reclamation sweep
 //	blobseer-cli ... gc-stats                      # cumulative reclamation totals
+//	blobseer-cli ... compact                       # snapshot + truncate the vmanager journal
 package main
 
 import (
@@ -31,6 +32,7 @@ import (
 	"repro/internal/meta"
 	"repro/internal/pmanager"
 	"repro/internal/rpc"
+	"repro/internal/vmanager"
 )
 
 func main() {
@@ -179,6 +181,16 @@ func main() {
 		must(err)
 		fmt.Printf("reclaimed: chunks=%d bytes=%d nodes=%d orphans=%d pruned-versions=%d pending-blobs=%d\n",
 			stats.Chunks, stats.Bytes, stats.Nodes, stats.Orphans, stats.PrunedVersions, stats.PendingBlobs)
+	case "compact":
+		rpcCli := rpc.NewClient(rpc.NewTCPNetwork(), 0)
+		defer rpcCli.Close()
+		var resp vmanager.CompactResp
+		must(rpcCli.Call(*vm, vmanager.MethodCompact, &vmanager.Ack{}, &resp))
+		if !resp.Persistent {
+			fmt.Println("version manager is volatile (no journal); nothing to compact")
+			break
+		}
+		fmt.Printf("journal compacted; %d reclaimed version entries folded away\n", resp.CompactedVersions)
 	default:
 		log.Fatalf("blobseer-cli: unknown subcommand %q", cmd)
 	}

@@ -1,11 +1,23 @@
 // Command blobseerd runs one BlobSeer service over TCP, so a real
 // multi-process deployment can be assembled on one or many machines:
 //
-//	blobseerd -role vmanager  -listen :4400
+//	blobseerd -role vmanager  -listen :4400 -dir /var/blobseer/vm
 //	blobseerd -role pmanager  -listen :4401 -strategy roundrobin
-//	blobseerd -role metadata  -listen :4410
-//	blobseerd -role provider  -listen :4420 -pm host:4401 -store disk -dir /var/blobseer
+//	blobseerd -role metadata  -listen :4410 -dir /var/blobseer/meta0
+//	blobseerd -role provider  -listen :4420 -pm host:4401 -store disk -dir /var/blobseer/chunks
 //	blobseerd -role namespace -listen :4430                      # BSFS names
+//
+// Durability: for the vmanager and metadata roles, -dir selects the
+// journal/node-log directory; the daemon replays it on start, so a crashed
+// process restarted on the same directory recovers its full state. Omit
+// -dir to run those roles volatile (state dies with the process). -fsync
+// makes every journal append survive whole-machine crashes at a latency
+// cost; without it, appends survive process crashes only.
+//
+// Garbage collection: the vmanager role runs a background reclamation
+// sweep every -gc-interval when also given the deployment view
+// (-pm and -meta), so TCP deployments reclaim space without a cron'd
+// `blobseer-cli gc`.
 //
 // Clients connect with the library's NewClient given the version manager,
 // provider manager and metadata provider addresses.
@@ -17,11 +29,13 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/bsfs"
 	"repro/internal/chunk"
+	"repro/internal/gc"
 	"repro/internal/meta"
 	"repro/internal/pmanager"
 	"repro/internal/provider"
@@ -32,13 +46,18 @@ import (
 func main() {
 	role := flag.String("role", "", "vmanager | pmanager | metadata | provider | namespace")
 	listen := flag.String("listen", ":0", "TCP listen address")
-	pmAddr := flag.String("pm", "", "provider manager address (role=provider)")
+	pmAddr := flag.String("pm", "", "provider manager address (role=provider; role=vmanager with -gc-interval)")
 	strategy := flag.String("strategy", "roundrobin", "placement strategy (role=pmanager)")
 	storeKind := flag.String("store", "mem", "chunk store: mem | disk | cached (role=provider)")
-	dir := flag.String("dir", "blobseer-chunks", "chunk directory (store=disk|cached)")
+	dir := flag.String("dir", "", "data directory: chunks (role=provider, store=disk|cached), journal (role=vmanager), node log (role=metadata)")
+	fsync := flag.Bool("fsync", false, "fsync every journal append (role=vmanager|metadata with -dir)")
 	cacheMB := flag.Int64("cache-mb", 256, "RAM cache size (store=cached)")
 	hbInterval := flag.Duration("heartbeat", time.Second, "heartbeat interval (role=provider)")
 	hbTimeout := flag.Duration("heartbeat-timeout", 5*time.Second, "provider liveness timeout (role=pmanager)")
+	gcInterval := flag.Duration("gc-interval", 0, "background GC sweep interval, 0 = off (role=vmanager; needs -pm and -meta)")
+	gcGrace := flag.Duration("gc-orphan-grace", 5*time.Minute, "minimum chunk age before orphan reclaim (role=vmanager)")
+	metaList := flag.String("meta", "", "comma-separated metadata provider addresses (role=vmanager with -gc-interval)")
+	metaRepl := flag.Int("meta-repl", 1, "metadata replication degree of the deployment (role=vmanager with -gc-interval)")
 	flag.Parse()
 
 	network := rpc.NewTCPNetwork()
@@ -47,18 +66,42 @@ func main() {
 
 	switch *role {
 	case "vmanager":
-		s := vmanager.NewServer(network, *listen)
+		mgr := vmanager.NewManager()
+		if *dir != "" {
+			var err error
+			mgr, err = vmanager.OpenManager(*dir, vmanager.Options{Fsync: *fsync})
+			must(err)
+			log.Printf("blobseerd: vmanager journal recovered from %s", *dir)
+		} else {
+			log.Printf("blobseerd: vmanager running VOLATILE (no -dir); state dies with the process")
+		}
+		s := vmanager.NewServerWithManager(network, *listen, mgr)
 		must(s.Start())
-		addr, closer = s.Addr(), s.Close
+		stopGC := startGCLoop(network, s.Addr(), *pmAddr, *metaList, *metaRepl, *gcInterval, *gcGrace)
+		addr, closer = s.Addr(), func() { stopGC(); s.Close(); mgr.Close() }
 	case "pmanager":
 		s, err := pmanager.NewServer(network, *listen, *strategy, *hbTimeout)
 		must(err)
 		must(s.Start())
 		addr, closer = s.Addr(), s.Close
 	case "metadata":
-		s := meta.NewServer(network, *listen)
+		var store meta.ServerStore = meta.NewMemStore()
+		if *dir != "" {
+			ps, err := meta.NewPersistentStore(*dir, *fsync)
+			must(err)
+			store = ps
+			log.Printf("blobseerd: metadata node log recovered from %s (%d nodes)", *dir, ps.Len())
+		} else {
+			log.Printf("blobseerd: metadata provider running VOLATILE (no -dir); nodes die with the process")
+		}
+		s := meta.NewServerWithStore(network, *listen, store)
 		must(s.Start())
-		addr, closer = s.Addr(), s.Close
+		addr, closer = s.Addr(), func() {
+			s.Close()
+			if c, ok := store.(interface{ Close() error }); ok {
+				c.Close()
+			}
+		}
 	case "namespace":
 		s := bsfs.NewNameServer(network, *listen)
 		must(s.Start())
@@ -67,7 +110,11 @@ func main() {
 		if *pmAddr == "" {
 			log.Fatal("blobseerd: -pm is required for role=provider")
 		}
-		store, err := makeStore(*storeKind, *dir, *cacheMB)
+		chunkDir := *dir
+		if chunkDir == "" {
+			chunkDir = "blobseer-chunks"
+		}
+		store, err := makeStore(*storeKind, chunkDir, *cacheMB)
 		must(err)
 		s := provider.NewServer(network, *listen, store)
 		must(s.Start())
@@ -86,6 +133,57 @@ func main() {
 	<-sig
 	log.Printf("blobseerd: shutting down")
 	closer()
+}
+
+// startGCLoop runs the background reclamation sweep inside the vmanager
+// daemon when an interval is configured. It returns a stop function (a
+// no-op when the loop is off).
+func startGCLoop(network rpc.Network, vmAddr, pmAddr, metaList string, metaRepl int, interval, grace time.Duration) func() {
+	if interval <= 0 {
+		return func() {}
+	}
+	if pmAddr == "" || metaList == "" {
+		log.Fatal("blobseerd: -gc-interval requires -pm and -meta so sweeps can reach the deployment")
+	}
+	cli := rpc.NewClient(network, 0)
+	sweeper, err := gc.New(gc.Config{
+		RPC:    cli,
+		Meta:   meta.NewClient(cli, strings.Split(metaList, ","), metaRepl, 0),
+		VMAddr: vmAddr,
+		Providers: func() []string {
+			var resp pmanager.ProvidersResp
+			if err := cli.Call(pmAddr, pmanager.MethodProviders, &pmanager.Ack{}, &resp); err != nil {
+				log.Printf("blobseerd: gc: listing providers: %v", err)
+				return nil
+			}
+			return resp.Addrs
+		},
+		OrphanGrace: grace,
+	})
+	must(err)
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				if stats, err := sweeper.Run(); err != nil {
+					log.Printf("blobseerd: gc sweep: %v (reclaimed %s)", err, stats)
+				}
+			}
+		}
+	}()
+	log.Printf("blobseerd: background gc sweeping every %v", interval)
+	return func() {
+		close(stop)
+		<-done
+		cli.Close()
+	}
 }
 
 func makeStore(kind, dir string, cacheMB int64) (chunk.Store, error) {

@@ -7,6 +7,7 @@ package cluster
 
 import (
 	"fmt"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -52,6 +53,14 @@ type Config struct {
 	// GCOrphanGrace is the minimum chunk age before an unreferenced chunk
 	// counts as an aborted-write orphan (default 5m; see gc.Config).
 	GCOrphanGrace time.Duration
+	// DataDir, when set, makes the control plane durable: the version
+	// manager journals to DataDir/vmanager and metadata provider i
+	// persists to DataDir/meta<i>, so KillVM/KillMeta + Restart* recover
+	// the full state (crash/recovery fault tests). Empty keeps the seed's
+	// all-RAM behavior.
+	DataDir string
+	// FsyncWAL fsyncs every journal append (see durable.Options.Fsync).
+	FsyncWAL bool
 }
 
 // Cluster is a running deployment.
@@ -69,6 +78,13 @@ type Cluster struct {
 	pmAddr    string
 	provAddrs []string
 	metaAddrs []string
+
+	// srvMu guards the restartable server slots (VM, MetaServers,
+	// Providers) against concurrent Kill/Restart/Close.
+	srvMu      sync.Mutex
+	vmDir      string
+	metaDirs   []string
+	provStores []chunk.Store
 
 	hbClients []*rpc.Client
 
@@ -125,9 +141,15 @@ func Start(cfg Config) (*Cluster, error) {
 		return name
 	}
 
-	// Version manager.
-	c.VM = vmanager.NewServer(c.Network, addr("vm"))
+	// Version manager: durable (journaled) when a data dir is configured.
+	mgr, vmDir, err := buildVMManager(cfg)
+	if err != nil {
+		return nil, err
+	}
+	c.vmDir = vmDir
+	c.VM = vmanager.NewServerWithManager(c.Network, addr("vm"), mgr)
 	if err := c.VM.Start(); err != nil {
+		mgr.Close()
 		return nil, fmt.Errorf("cluster: starting version manager: %w", err)
 	}
 	c.vmAddr = c.VM.Addr()
@@ -145,9 +167,15 @@ func Start(cfg Config) (*Cluster, error) {
 	}
 	c.pmAddr = c.PM.Addr()
 
-	// Metadata providers.
+	// Metadata providers: persistent node stores under a data dir.
 	for i := 0; i < cfg.MetaProviders; i++ {
-		ms := meta.NewServer(c.Network, addr(fmt.Sprintf("mp%d", i)))
+		store, dir, err := buildMetaStore(cfg, i)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.metaDirs = append(c.metaDirs, dir)
+		ms := meta.NewServerWithStore(c.Network, addr(fmt.Sprintf("mp%d", i)), store)
 		if err := ms.Start(); err != nil {
 			c.Close()
 			return nil, fmt.Errorf("cluster: starting metadata provider %d: %w", i, err)
@@ -170,6 +198,7 @@ func Start(cfg Config) (*Cluster, error) {
 			c.Close()
 			return nil, fmt.Errorf("cluster: starting data provider %d: %w", i, err)
 		}
+		c.provStores = append(c.provStores, store)
 		c.Providers = append(c.Providers, dp)
 		c.provAddrs = append(c.provAddrs, dp.Addr())
 		c.PM.Manager().Register(dp.Addr())
@@ -278,7 +307,8 @@ func (c *Cluster) NewClient(opts ClientOptions) (*core.Client, error) {
 
 // KillProvider simulates a crash of data provider i. On the simulated
 // fabric the node drops off the network (in-flight and future requests
-// fail); over TCP the server is closed outright.
+// fail); over TCP the server is closed outright. Either way
+// ReviveProvider brings it back.
 func (c *Cluster) KillProvider(i int) {
 	if i < 0 || i >= len(c.Providers) {
 		return
@@ -287,21 +317,134 @@ func (c *Cluster) KillProvider(i int) {
 		c.Fabric.SetDown(c.provAddrs[i], true)
 		return
 	}
+	c.srvMu.Lock()
 	c.Providers[i].Close()
+	c.srvMu.Unlock()
 }
 
-// ReviveProvider undoes KillProvider on the simulated fabric (TCP
-// providers cannot be revived in place).
-func (c *Cluster) ReviveProvider(i int) {
+// ReviveProvider undoes KillProvider: on the simulated fabric the node
+// rejoins the network; over TCP a new server is started in place on the
+// same address and chunk store (the "disk" that survived the crash), and
+// it re-registers with the provider manager.
+func (c *Cluster) ReviveProvider(i int) error {
 	if i < 0 || i >= len(c.Providers) {
-		return
+		return fmt.Errorf("cluster: no provider %d", i)
 	}
 	if c.Fabric != nil && !c.cfg.UseTCP {
 		c.Fabric.SetDown(c.provAddrs[i], false)
+		return nil
 	}
+	c.srvMu.Lock()
+	defer c.srvMu.Unlock()
+	dp := provider.NewServer(c.Network, c.provAddrs[i], c.provStores[i])
+	if err := dp.Start(); err != nil {
+		return fmt.Errorf("cluster: restarting data provider %d: %w", i, err)
+	}
+	c.Providers[i] = dp
+	c.PM.Manager().Register(dp.Addr())
+	dp.StartHeartbeats(c.hbClients[i], c.pmAddr, c.cfg.HeartbeatInterval)
+	return nil
 }
 
-// Close tears the whole deployment down.
+// KillVM crashes the version manager: its RPC server goes dark
+// immediately and nothing is flushed — exactly the state a kill -9 leaves
+// behind. The journal (when Config.DataDir is set) already holds every
+// acknowledged mutation.
+func (c *Cluster) KillVM() {
+	c.srvMu.Lock()
+	c.VM.Close()
+	c.srvMu.Unlock()
+}
+
+// RestartVM brings the version manager back on its original address,
+// recovering all state from the journal when the deployment is durable
+// (with a fresh empty manager otherwise, which is what a RAM-only
+// restart really loses).
+func (c *Cluster) RestartVM() error {
+	c.srvMu.Lock()
+	defer c.srvMu.Unlock()
+	mgr, _, err := buildVMManager(c.cfg)
+	if err != nil {
+		return fmt.Errorf("cluster: recovering version manager: %w", err)
+	}
+	vm := vmanager.NewServerWithManager(c.Network, c.vmAddr, mgr)
+	if err := vm.Start(); err != nil {
+		mgr.Close()
+		return fmt.Errorf("cluster: restarting version manager: %w", err)
+	}
+	old := c.VM
+	c.VM = vm
+	// Release the crashed instance's journal fd; its state is already on
+	// disk and the new manager has taken over the directory.
+	old.Manager().Close()
+	return nil
+}
+
+// KillMeta crashes metadata provider i (RPC dark, nothing flushed).
+func (c *Cluster) KillMeta(i int) {
+	if i < 0 || i >= len(c.MetaServers) {
+		return
+	}
+	c.srvMu.Lock()
+	c.MetaServers[i].Close()
+	c.srvMu.Unlock()
+}
+
+// RestartMeta brings metadata provider i back on its original address,
+// replaying its node log when the deployment is durable.
+func (c *Cluster) RestartMeta(i int) error {
+	if i < 0 || i >= len(c.MetaServers) {
+		return fmt.Errorf("cluster: no metadata provider %d", i)
+	}
+	c.srvMu.Lock()
+	defer c.srvMu.Unlock()
+	store, _, err := buildMetaStore(c.cfg, i)
+	if err != nil {
+		return fmt.Errorf("cluster: recovering metadata provider %d: %w", i, err)
+	}
+	ms := meta.NewServerWithStore(c.Network, c.metaAddrs[i], store)
+	if err := ms.Start(); err != nil {
+		return fmt.Errorf("cluster: restarting metadata provider %d: %w", i, err)
+	}
+	old := c.MetaServers[i]
+	c.MetaServers[i] = ms
+	// Release the crashed instance's node-log fd (no-op for MemStore).
+	if closer, ok := old.Store().(interface{ Close() error }); ok {
+		closer.Close()
+	}
+	return nil
+}
+
+// buildVMManager opens the durable version-manager state when cfg names a
+// data dir (a fresh volatile manager otherwise).
+func buildVMManager(cfg Config) (*vmanager.Manager, string, error) {
+	if cfg.DataDir == "" {
+		return vmanager.NewManager(), "", nil
+	}
+	dir := filepath.Join(cfg.DataDir, "vmanager")
+	m, err := vmanager.OpenManager(dir, vmanager.Options{Fsync: cfg.FsyncWAL})
+	if err != nil {
+		return nil, "", fmt.Errorf("cluster: opening version manager journal: %w", err)
+	}
+	return m, dir, nil
+}
+
+// buildMetaStore opens metadata provider i's node store: persistent under
+// a data dir, in-RAM otherwise.
+func buildMetaStore(cfg Config, i int) (meta.ServerStore, string, error) {
+	if cfg.DataDir == "" {
+		return meta.NewMemStore(), "", nil
+	}
+	dir := filepath.Join(cfg.DataDir, fmt.Sprintf("meta%d", i))
+	st, err := meta.NewPersistentStore(dir, cfg.FsyncWAL)
+	if err != nil {
+		return nil, "", fmt.Errorf("cluster: opening metadata node log %d: %w", i, err)
+	}
+	return st, dir, nil
+}
+
+// Close tears the whole deployment down (gracefully: durable state is
+// flushed, unlike the Kill* crash simulations).
 func (c *Cluster) Close() {
 	if c.gcStop != nil {
 		close(c.gcStop)
@@ -318,6 +461,8 @@ func (c *Cluster) Close() {
 	for _, cli := range clients {
 		cli.Close()
 	}
+	c.srvMu.Lock()
+	defer c.srvMu.Unlock()
 	for _, p := range c.Providers {
 		p.Close()
 	}
@@ -326,11 +471,15 @@ func (c *Cluster) Close() {
 	}
 	for _, m := range c.MetaServers {
 		m.Close()
+		if closer, ok := m.Store().(interface{ Close() error }); ok {
+			closer.Close()
+		}
 	}
 	if c.PM != nil {
 		c.PM.Close()
 	}
 	if c.VM != nil {
 		c.VM.Close()
+		c.VM.Manager().Close()
 	}
 }

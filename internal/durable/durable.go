@@ -1,0 +1,412 @@
+// Package durable implements the append-only record log underpinning
+// BlobSeer's crash recovery: a write-ahead log (WAL) with CRC-framed
+// records, an fsync policy, and snapshot-based log compaction. The version
+// manager journals every state transition through it and the metadata
+// providers persist their node stores with it, which is what turns a
+// restart from total state loss into a replay (§IV-B: "we also introduced
+// persistent data and metadata storage while keeping our initial RAM-based
+// storage scheme as an underlying caching mechanism").
+//
+// # On-disk layout
+//
+// A log lives in one directory and consists of at most one snapshot file
+// and one WAL file per generation:
+//
+//	snap-<gen>.bin   one CRC-framed record: the state snapshot
+//	wal-<gen>.log    CRC-framed records appended since that snapshot
+//
+// Compaction writes snap-<gen+1> (tmp file, fsync, atomic rename), starts
+// an empty wal-<gen+1>, and deletes the older generation. Open picks the
+// newest generation with a valid snapshot (or the newest bare WAL when no
+// snapshot exists yet), so a crash at any point during compaction leaves
+// either the old or the new generation fully intact.
+//
+// # Record framing and torn tails
+//
+// Every record is framed as [u32 length][u32 CRC-32C of payload][payload].
+// A crash mid-append leaves a torn tail: a partial header, a partial
+// payload, or a payload that fails its CRC. Replay stops at the first
+// invalid frame and Open physically truncates the file there, so recovery
+// always yields an exact prefix of the records that were appended and new
+// appends continue from a clean boundary. Mid-file corruption (a flipped
+// bit) is indistinguishable from a torn tail and is handled the same way:
+// everything before the damage survives, nothing after it is trusted.
+package durable
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// frameHeaderSize is the per-record overhead: u32 length + u32 CRC.
+const frameHeaderSize = 8
+
+// MaxRecord bounds a single record so a corrupt length prefix can never
+// make replay allocate unbounded memory. 64 MiB comfortably fits the
+// largest metadata node batch or version-manager snapshot.
+const MaxRecord = 64 << 20
+
+// castagnoli is the CRC-32C table (the polynomial used by storage systems
+// for its hardware support and better error detection than IEEE).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrClosed is returned by operations on a closed log.
+var ErrClosed = errors.New("durable: log closed")
+
+// ErrRecordTooLarge is returned when appending a record above MaxRecord.
+var ErrRecordTooLarge = errors.New("durable: record exceeds MaxRecord")
+
+// Options tune a log's durability/throughput trade-off.
+type Options struct {
+	// Fsync forces an fsync after every append (and batch). Without it,
+	// appends reach the OS page cache immediately (surviving process
+	// crashes) but can be lost to a whole-machine crash. Snapshots are
+	// always fsynced regardless.
+	Fsync bool
+}
+
+// Recovery is what Open found on disk: the newest valid snapshot (nil if
+// none was ever taken) and every complete WAL record appended after it, in
+// order.
+type Recovery struct {
+	Snapshot []byte
+	Records  [][]byte
+}
+
+// Log is an open write-ahead log. Append and Compact are safe for
+// concurrent use.
+type Log struct {
+	dir  string
+	opts Options
+
+	mu      sync.Mutex
+	f       *os.File // current wal-<gen>.log
+	gen     uint64
+	records uint64 // appended to the current generation since open/compact
+	closed  bool
+}
+
+// Open scans dir (creating it if needed), recovers the newest intact
+// generation, truncates any torn WAL tail, and returns the log ready for
+// appends plus what was recovered.
+func Open(dir string, opts Options) (*Log, *Recovery, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("durable: creating log dir: %w", err)
+	}
+	snaps, wals, err := scanDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	rec := &Recovery{}
+	gen := uint64(0)
+	// Recover from the newest snapshot. Compact fsyncs every snapshot
+	// before renaming it into place, so a published snapshot that fails
+	// validation means real damage; silently falling back would present
+	// the loss of everything it held as a clean, healthy open. Refuse
+	// instead and make the operator decide.
+	if len(snaps) > 0 {
+		newest := snaps[len(snaps)-1]
+		payload, err := readSnapshot(filepath.Join(dir, snapName(newest)))
+		if err != nil {
+			return nil, nil, fmt.Errorf("durable: snapshot %s is damaged; refusing to open and silently lose its state: %w",
+				snapName(newest), err)
+		}
+		rec.Snapshot = payload
+		gen = newest
+	} else if len(wals) > 0 {
+		// No snapshot ever taken: recover from the oldest WAL, which
+		// holds the full history since genesis. (A newer bare WAL can
+		// only be the empty leftover of a compaction that crashed before
+		// publishing its snapshot.)
+		gen = wals[0]
+	}
+
+	walPath := filepath.Join(dir, walName(gen))
+	records, validLen, err := replayWAL(walPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	rec.Records = records
+
+	f, err := os.OpenFile(walPath, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("durable: opening wal: %w", err)
+	}
+	// Physically drop the torn tail so appends continue from the last
+	// complete record.
+	if err := f.Truncate(validLen); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("durable: truncating torn wal tail: %w", err)
+	}
+	if _, err := f.Seek(validLen, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("durable: seeking wal: %w", err)
+	}
+
+	l := &Log{dir: dir, opts: opts, f: f, gen: gen, records: uint64(len(records))}
+	l.removeOtherGenerations(snaps, wals)
+	return l, rec, nil
+}
+
+// Append durably adds one record to the log.
+func (l *Log) Append(record []byte) error {
+	return l.AppendBatch([][]byte{record})
+}
+
+// AppendBatch adds records as one write (and, under Fsync, one fsync), so
+// batched mutations pay the durability cost once.
+func (l *Log) AppendBatch(records [][]byte) error {
+	total := 0
+	for _, r := range records {
+		if len(r) > MaxRecord {
+			return ErrRecordTooLarge
+		}
+		total += frameHeaderSize + len(r)
+	}
+	buf := make([]byte, 0, total)
+	for _, r := range records {
+		buf = appendFrame(buf, r)
+	}
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if _, err := l.f.Write(buf); err != nil {
+		return fmt.Errorf("durable: appending wal record: %w", err)
+	}
+	if l.opts.Fsync {
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("durable: syncing wal: %w", err)
+		}
+	}
+	l.records += uint64(len(records))
+	return nil
+}
+
+// Records reports how many records the current generation holds (recovered
+// plus appended); callers use it to decide when to Compact.
+func (l *Log) Records() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.records
+}
+
+// Compact atomically replaces the log's contents with one snapshot: the
+// next replay will see snapshot plus only records appended after this
+// call. The caller must ensure snapshot reflects every record appended so
+// far (typically by excluding concurrent mutators around the call).
+func (l *Log) Compact(snapshot []byte) error {
+	if len(snapshot) > MaxRecord {
+		return ErrRecordTooLarge
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	next := l.gen + 1
+
+	// 1. Write the snapshot to a temp file and fsync it, so the rename
+	// below never publishes a partially written snapshot.
+	tmp := filepath.Join(l.dir, snapName(next)+".tmp")
+	tf, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("durable: creating snapshot: %w", err)
+	}
+	if _, err := tf.Write(appendFrame(nil, snapshot)); err != nil {
+		tf.Close()
+		return fmt.Errorf("durable: writing snapshot: %w", err)
+	}
+	if err := tf.Sync(); err != nil {
+		tf.Close()
+		return fmt.Errorf("durable: syncing snapshot: %w", err)
+	}
+	if err := tf.Close(); err != nil {
+		return fmt.Errorf("durable: closing snapshot: %w", err)
+	}
+
+	// 2. Create the new generation's WAL BEFORE publishing the snapshot:
+	// once the rename lands, recovery prefers the new generation, so from
+	// that instant every future append must go to the new WAL. Creating
+	// it first means a failure here leaves the old generation fully
+	// authoritative (the unpublished .tmp and empty WAL are cleaned up by
+	// the next Open).
+	nf, err := os.OpenFile(filepath.Join(l.dir, walName(next)), os.O_CREATE|os.O_TRUNC|os.O_RDWR, 0o644)
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("durable: creating new wal: %w", err)
+	}
+
+	// 3. Atomically publish the snapshot and switch generations.
+	if err := os.Rename(tmp, filepath.Join(l.dir, snapName(next))); err != nil {
+		nf.Close()
+		os.Remove(filepath.Join(l.dir, walName(next)))
+		return fmt.Errorf("durable: publishing snapshot: %w", err)
+	}
+	syncDir(l.dir)
+	old, oldGen := l.f, l.gen
+	l.f, l.gen, l.records = nf, next, 0
+	old.Close()
+	os.Remove(filepath.Join(l.dir, walName(oldGen)))
+	os.Remove(filepath.Join(l.dir, snapName(oldGen)))
+	return nil
+}
+
+// Close flushes (fsyncs) and closes the log. Further operations fail with
+// ErrClosed.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if err := l.f.Sync(); err != nil {
+		l.f.Close()
+		return err
+	}
+	return l.f.Close()
+}
+
+// Dir returns the log's directory.
+func (l *Log) Dir() string { return l.dir }
+
+// appendFrame appends one framed record to buf.
+func appendFrame(buf, payload []byte) []byte {
+	var hdr [frameHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...)
+}
+
+// replayWAL reads every complete, CRC-valid record from path, stopping at
+// the first torn or corrupt frame. It returns the records and the byte
+// offset of the valid prefix (where appends should resume). A missing file
+// is an empty log.
+func replayWAL(path string) ([][]byte, int64, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, 0, nil
+	}
+	if err != nil {
+		return nil, 0, fmt.Errorf("durable: reading wal: %w", err)
+	}
+	records, valid := ReplayBuffer(data)
+	return records, valid, nil
+}
+
+// ReplayBuffer decodes framed records from data, stopping at the first
+// incomplete or corrupt frame. It returns the decoded records and the
+// length of the valid prefix. The returned records alias data.
+func ReplayBuffer(data []byte) ([][]byte, int64) {
+	var records [][]byte
+	off := int64(0)
+	for {
+		rec, n, ok := decodeFrame(data[off:])
+		if !ok {
+			return records, off
+		}
+		records = append(records, rec)
+		off += n
+	}
+}
+
+// decodeFrame decodes one frame from the front of data, reporting its
+// total encoded length. ok is false for a torn or corrupt frame.
+func decodeFrame(data []byte) (payload []byte, n int64, ok bool) {
+	if len(data) < frameHeaderSize {
+		return nil, 0, false
+	}
+	size := binary.LittleEndian.Uint32(data[0:4])
+	sum := binary.LittleEndian.Uint32(data[4:8])
+	if size > MaxRecord || int64(size) > int64(len(data)-frameHeaderSize) {
+		return nil, 0, false
+	}
+	payload = data[frameHeaderSize : frameHeaderSize+int64(size)]
+	if crc32.Checksum(payload, castagnoli) != sum {
+		return nil, 0, false
+	}
+	return payload, frameHeaderSize + int64(size), true
+}
+
+// readSnapshot loads and validates one snapshot file: exactly one framed
+// record with nothing after it.
+func readSnapshot(path string) ([]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	payload, n, ok := decodeFrame(data)
+	if !ok || n != int64(len(data)) {
+		return nil, fmt.Errorf("durable: invalid snapshot %s", path)
+	}
+	return payload, nil
+}
+
+// scanDir lists the snapshot and WAL generations present in dir, sorted
+// ascending. Leftover .tmp files from interrupted compactions are removed.
+func scanDir(dir string) (snaps, wals []uint64, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("durable: scanning log dir: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		switch {
+		case strings.HasSuffix(name, ".tmp"):
+			os.Remove(filepath.Join(dir, name))
+		case strings.HasPrefix(name, "snap-") && strings.HasSuffix(name, ".bin"):
+			if g, err := strconv.ParseUint(name[5:len(name)-4], 10, 64); err == nil {
+				snaps = append(snaps, g)
+			}
+		case strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, ".log"):
+			if g, err := strconv.ParseUint(name[4:len(name)-4], 10, 64); err == nil {
+				wals = append(wals, g)
+			}
+		}
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i] < snaps[j] })
+	sort.Slice(wals, func(i, j int) bool { return wals[i] < wals[j] })
+	return snaps, wals, nil
+}
+
+// removeOtherGenerations deletes every snapshot/WAL file not belonging to
+// the recovered generation (leftovers of interrupted compactions).
+func (l *Log) removeOtherGenerations(snaps, wals []uint64) {
+	for _, g := range snaps {
+		if g != l.gen {
+			os.Remove(filepath.Join(l.dir, snapName(g)))
+		}
+	}
+	for _, g := range wals {
+		if g != l.gen {
+			os.Remove(filepath.Join(l.dir, walName(g)))
+		}
+	}
+}
+
+func snapName(gen uint64) string { return fmt.Sprintf("snap-%d.bin", gen) }
+func walName(gen uint64) string  { return fmt.Sprintf("wal-%d.log", gen) }
+
+// syncDir fsyncs a directory so a rename within it is durable. Errors are
+// ignored: some filesystems refuse directory fsync, and the rename itself
+// is still atomic.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}

@@ -1,0 +1,98 @@
+package durable
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzWALReplay feeds arbitrary bytes to the replay path as if they were a
+// WAL left behind by a crash. Replay must never panic, must never return a
+// record extending past the valid prefix, and Open over the same bytes
+// must truncate to exactly that prefix and accept new appends.
+func FuzzWALReplay(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add(appendFrame(nil, []byte("hello")))
+	f.Add(appendFrame(appendFrame(nil, []byte("a")), []byte("bb"))[:11])
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 1, 2, 3, 4, 5})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		records, valid := ReplayBuffer(data)
+		if valid < 0 || valid > int64(len(data)) {
+			t.Fatalf("valid prefix %d outside [0,%d]", valid, len(data))
+		}
+		// Re-encoding the recovered records must reproduce the valid
+		// prefix byte-for-byte: replay is lossless on intact frames.
+		var re []byte
+		for _, r := range records {
+			re = appendFrame(re, r)
+		}
+		if !bytes.Equal(re, data[:valid]) {
+			t.Fatalf("re-encoded prefix differs: %x vs %x", re, data[:valid])
+		}
+
+		// The full Open path over the same bytes: same records, and the
+		// log stays usable.
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, "wal-0.log"), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l, rec, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatalf("Open on fuzzed wal: %v", err)
+		}
+		if len(rec.Records) != len(records) {
+			t.Fatalf("Open recovered %d records, ReplayBuffer %d", len(rec.Records), len(records))
+		}
+		if err := l.Append([]byte("post-recovery")); err != nil {
+			t.Fatal(err)
+		}
+		l.Close()
+		_, rec2, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rec2.Records) != len(records)+1 {
+			t.Fatalf("after truncate+append: %d records, want %d", len(rec2.Records), len(records)+1)
+		}
+	})
+}
+
+// FuzzWALFrame round-trips one record through framing and checks that any
+// single mutation of the encoding is either rejected outright or decodes
+// to the identical payload (the CRC makes silent corruption a
+// 2^-32 event; a mutation that happens to keep the frame valid must not
+// change what the caller sees for the bytes it protects).
+func FuzzWALFrame(f *testing.F) {
+	f.Add([]byte("payload"), uint32(0), byte(1))
+	f.Add([]byte{}, uint32(3), byte(0x80))
+	f.Fuzz(func(t *testing.T, payload []byte, pos uint32, mask byte) {
+		if len(payload) > 1<<16 {
+			payload = payload[:1<<16]
+		}
+		frame := appendFrame(nil, payload)
+		got, n, ok := decodeFrame(frame)
+		if !ok || n != int64(len(frame)) || !bytes.Equal(got, payload) {
+			t.Fatalf("clean round trip failed: ok=%v n=%d", ok, n)
+		}
+		if mask == 0 || len(frame) == 0 {
+			return
+		}
+		mut := append([]byte(nil), frame...)
+		mut[int(pos)%len(mut)] ^= mask
+		got, _, ok = decodeFrame(mut)
+		// A mutation in the length field can shorten the frame to a valid
+		// prefix-free encoding only if the CRC still matches the shorter
+		// payload; in every accepted case the payload handed back must be
+		// internally consistent (CRC-verified), never silently corrupted
+		// relative to its own header.
+		if ok && int(binary4(mut[0:4])) != len(got) {
+			t.Fatalf("accepted frame with inconsistent length")
+		}
+	})
+}
+
+func binary4(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}

@@ -18,20 +18,33 @@ type Kind int
 
 // Schedule actions.
 const (
-	// Kill crashes a provider (it drops off the network).
+	// Kill crashes a data provider (it drops off the network).
 	Kill Kind = iota
-	// Revive brings a crashed provider back.
+	// Revive brings a crashed data provider back.
 	Revive
 	// Degrade throttles a provider's NIC to BandwidthBps.
 	Degrade
 	// Restore resets a degraded provider's NIC to RestoreBps.
 	Restore
+	// KillVManager crashes the version manager (kill -9: nothing flushed).
+	KillVManager
+	// ReviveVManager restarts the version manager in place, recovering
+	// from its journal on durable deployments.
+	ReviveVManager
+	// KillMetadata crashes metadata provider Provider.
+	KillMetadata
+	// ReviveMetadata restarts metadata provider Provider in place,
+	// replaying its node log on durable deployments.
+	ReviveMetadata
 )
 
 // Event is one scheduled action.
 type Event struct {
-	At       time.Duration
-	Kind     Kind
+	At   time.Duration
+	Kind Kind
+	// Provider indexes the target service of its kind (data provider for
+	// Kill/Revive/Degrade/Restore, metadata provider for the *Metadata
+	// kinds; ignored by the version-manager kinds).
 	Provider int
 	// BandwidthBps applies to Degrade; RestoreBps to Restore.
 	BandwidthBps float64
@@ -72,6 +85,21 @@ func Start(c *cluster.Cluster, schedule Schedule) *Runner {
 }
 
 func (r *Runner) apply(ev Event) {
+	// Control-plane events first: they do not name a data provider.
+	switch ev.Kind {
+	case KillVManager:
+		r.c.KillVM()
+		return
+	case ReviveVManager:
+		_ = r.c.RestartVM() // next event or the workload observes failures
+		return
+	case KillMetadata:
+		r.c.KillMeta(ev.Provider)
+		return
+	case ReviveMetadata:
+		_ = r.c.RestartMeta(ev.Provider)
+		return
+	}
 	addrs := r.c.ProviderAddrs()
 	if ev.Provider < 0 || ev.Provider >= len(addrs) {
 		return

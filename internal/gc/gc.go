@@ -237,6 +237,13 @@ func (s *Sweeper) sweepDeleted(id uint64, status *vmanager.GCStatusResp) (Stats,
 	}
 	s.forgetConfirmed(id)
 	for _, addr := range providers {
+		// Tombstone BEFORE listing: any phase-1 upload racing this sweep
+		// either lands before the listing (and is deleted below) or is
+		// rejected by the tombstone — it can no longer slip in after the
+		// listing and leak until the next sweep.
+		if err := provider.Tombstone(s.cfg.RPC, addr, []uint64{id}); err != nil {
+			return st, s.report(id, 0, false, 0, st, err)
+		}
 		inv, err := provider.ListChunks(s.cfg.RPC, addr, id)
 		if err != nil {
 			return st, s.report(id, 0, false, 0, st, err)

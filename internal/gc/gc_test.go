@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/chunk"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/provider"
@@ -324,4 +325,48 @@ func quietProviderTotals(c *cluster.Cluster) (chunks, bytes uint64) {
 		bytes += uint64(p.Store().Bytes())
 	}
 	return chunks, bytes
+}
+
+// The delete sweep installs tombstones on every provider before listing
+// inventory, so a phase-1 chunk upload racing the sweep is rejected
+// instead of leaking until the blob's next sweep.
+func TestDeleteSweepInstallsProviderTombstones(t *testing.T) {
+	c, err := cluster.Start(cluster.Config{DataProviders: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	cli, err := c.NewClient(cluster.ClientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doomed, err := cli.CreateBlob(256, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := doomed.Write(bytes.Repeat([]byte{3}, 1024), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.DeleteBlob(doomed.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RunGC(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A late phase-1 upload (chunk put ahead of any version assignment)
+	// for the deleted blob must be rejected by every provider.
+	raw := rpc.NewClientFrom(c.Network, 0, "late-writer")
+	defer raw.Close()
+	for _, addr := range c.ProviderAddrs() {
+		err := provider.PutChunk(raw, addr, chunk.Key{Blob: doomed.ID(), Version: 99, Index: 0}, []byte("late"))
+		if err == nil {
+			t.Fatalf("late put for deleted blob accepted by %s", addr)
+		}
+	}
+	// And providers hold nothing for it.
+	chunks, _ := providerTotals(t, c)
+	if chunks != 0 {
+		t.Fatalf("provider chunks after delete sweep = %d, want 0", chunks)
+	}
 }

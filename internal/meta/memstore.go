@@ -71,6 +71,18 @@ func (s *MemStore) DeleteNodes(keys []NodeKey) int {
 	return n
 }
 
+// Snapshot returns a copy of every stored node (persistence snapshots).
+func (s *MemStore) Snapshot() []*Node {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*Node, 0, len(s.nodes))
+	for _, n := range s.nodes {
+		cp := *n
+		out = append(out, &cp)
+	}
+	return out
+}
+
 // DeleteBlob removes every node of one blob (full blob deletion), returning
 // the number dropped.
 func (s *MemStore) DeleteBlob(blob uint64) int {

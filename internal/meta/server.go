@@ -154,16 +154,34 @@ func (r *StatsResp) Encode(e *wire.Encoder) { e.PutU64(r.Nodes) }
 // Decode implements wire.Message.
 func (r *StatsResp) Decode(d *wire.Decoder) { r.Nodes = d.U64() }
 
+// ServerStore is the storage engine behind one metadata provider: node
+// CRUD plus inventory. MemStore (volatile) and PersistentStore (durable,
+// restart-surviving) both implement it.
+type ServerStore interface {
+	Store
+	Len() int
+	DeleteNodes(keys []NodeKey) int
+	DeleteBlob(blob uint64) int
+}
+
 // Server is one metadata provider: a DHT member storing tree nodes.
 type Server struct {
 	addr  string
-	store *MemStore
+	store ServerStore
 	srv   *rpc.Server
 }
 
-// NewServer creates a metadata provider listening at addr on network.
+// NewServer creates a volatile metadata provider listening at addr on
+// network.
 func NewServer(network rpc.Network, addr string) *Server {
-	s := &Server{addr: addr, store: NewMemStore(), srv: rpc.NewServer(network, addr)}
+	return NewServerWithStore(network, addr, NewMemStore())
+}
+
+// NewServerWithStore creates a metadata provider over an existing storage
+// engine — a PersistentStore for deployments that must survive restarts,
+// or a recovered engine when restarting a provider in place.
+func NewServerWithStore(network rpc.Network, addr string, store ServerStore) *Server {
+	s := &Server{addr: addr, store: store, srv: rpc.NewServer(network, addr)}
 	rpc.HandleMsg(s.srv, MethodPutNodes, func() *PutNodesReq { return &PutNodesReq{} },
 		func(req *PutNodesReq) (*Ack, error) {
 			if err := s.store.PutNodes(req.Nodes); err != nil {
@@ -205,3 +223,6 @@ func (s *Server) Addr() string { return s.srv.Addr() }
 
 // NodeCount reports the number of nodes stored locally.
 func (s *Server) NodeCount() int { return s.store.Len() }
+
+// Store exposes the underlying engine (graceful shutdown, tests).
+func (s *Server) Store() ServerStore { return s.store }

@@ -23,7 +23,13 @@ const (
 	MethodStats        = "provider.stats"
 	MethodListChunks   = "provider.list"
 	MethodDeleteChunks = "provider.delete"
+	MethodTombstones   = "provider.tombstone"
 )
+
+// ErrBlobDeleted rejects chunk puts for tombstoned (deleted) blobs. The
+// text crosses the RPC boundary as a string; clients match it to abort
+// rather than retry.
+var ErrBlobDeleted = fmt.Errorf("provider: blob deleted")
 
 // PutReq stores one chunk.
 type PutReq struct {
@@ -198,6 +204,32 @@ func (r *DeleteChunksReq) Decode(d *wire.Decoder) {
 	}
 }
 
+// TombstonesReq marks blobs as deleted on this provider: any later chunk
+// put for them is rejected. Sent by the GC's delete sweep BEFORE it lists
+// and deletes the blob's chunks, which closes the delete race — a phase-1
+// upload landing after the sweep's listing would otherwise leak until the
+// blob's next sweep.
+type TombstonesReq struct {
+	Blobs []uint64
+}
+
+// Encode implements wire.Message.
+func (r *TombstonesReq) Encode(e *wire.Encoder) {
+	e.PutU32(uint32(len(r.Blobs)))
+	for _, b := range r.Blobs {
+		e.PutU64(b)
+	}
+}
+
+// Decode implements wire.Message.
+func (r *TombstonesReq) Decode(d *wire.Decoder) {
+	cnt := d.U32()
+	r.Blobs = nil
+	for i := uint32(0); i < cnt && d.Err() == nil; i++ {
+		r.Blobs = append(r.Blobs, d.U64())
+	}
+}
+
 // DeleteChunksResp reports what a delete reclaimed on this provider.
 type DeleteChunksResp struct {
 	Deleted uint64
@@ -241,6 +273,14 @@ type Server struct {
 	putMu    sync.Mutex
 	putTimes map[chunk.Key]time.Time
 
+	// tombstones remembers deleted blob IDs (fed by the GC delete sweep)
+	// so late phase-1 puts for them are rejected instead of leaking.
+	// In-memory only: after a provider restart the set refills on the
+	// deleted blob's next sweep (it stays in GCWork until every provider
+	// was visited again).
+	tombMu     sync.Mutex
+	tombstones map[uint64]struct{}
+
 	mu      sync.Mutex
 	hbStop  chan struct{}
 	hbDone  chan struct{}
@@ -250,14 +290,21 @@ type Server struct {
 // NewServer creates a data provider at addr backed by store.
 func NewServer(network rpc.Network, addr string, store chunk.Store) *Server {
 	s := &Server{
-		addr:     addr,
-		store:    store,
-		srv:      rpc.NewServer(network, addr),
-		putTimes: make(map[chunk.Key]time.Time),
+		addr:       addr,
+		store:      store,
+		srv:        rpc.NewServer(network, addr),
+		putTimes:   make(map[chunk.Key]time.Time),
+		tombstones: make(map[uint64]struct{}),
 	}
 	rpc.HandleMsg(s.srv, MethodPut, func() *PutReq { return &PutReq{} },
 		func(req *PutReq) (*Ack, error) {
 			s.puts.Add(1)
+			s.tombMu.Lock()
+			_, dead := s.tombstones[req.Key.Blob]
+			s.tombMu.Unlock()
+			if dead {
+				return nil, fmt.Errorf("%w: %d", ErrBlobDeleted, req.Key.Blob)
+			}
 			if err := s.store.Put(req.Key, req.Data); err != nil {
 				return nil, err
 			}
@@ -318,6 +365,15 @@ func NewServer(network rpc.Network, addr string, store chunk.Store) *Server {
 			}
 			s.putMu.Unlock()
 			return resp, nil
+		})
+	rpc.HandleMsg(s.srv, MethodTombstones, func() *TombstonesReq { return &TombstonesReq{} },
+		func(req *TombstonesReq) (*Ack, error) {
+			s.tombMu.Lock()
+			for _, b := range req.Blobs {
+				s.tombstones[b] = struct{}{}
+			}
+			s.tombMu.Unlock()
+			return &Ack{}, nil
 		})
 	rpc.HandleMsg(s.srv, MethodDeleteChunks, func() *DeleteChunksReq { return &DeleteChunksReq{} },
 		func(req *DeleteChunksReq) (*DeleteChunksResp, error) {
@@ -484,4 +540,10 @@ func DeleteChunks(cli *rpc.Client, addr string, keys []chunk.Key) (*DeleteChunks
 		return nil, err
 	}
 	return &resp, nil
+}
+
+// Tombstone marks blobs deleted on one provider: subsequent puts for them
+// are rejected.
+func Tombstone(cli *rpc.Client, addr string, blobs []uint64) error {
+	return cli.Call(addr, MethodTombstones, &TombstonesReq{Blobs: blobs}, &Ack{})
 }

@@ -129,3 +129,46 @@ func TestServerSurvivesLargeChunk(t *testing.T) {
 		t.Fatalf("large chunk mismatch (%d bytes), %v", len(got), err)
 	}
 }
+
+func TestTombstoneRejectsLatePuts(t *testing.T) {
+	_, _, cli := startProvider(t, chunk.NewMemStore())
+	// A chunk stored before the tombstone stays readable (the delete
+	// sweep, not the tombstone, removes inventory).
+	old := chunk.Key{Blob: 4, Version: 1, Index: 0}
+	if err := provider.PutChunk(cli, "dp", old, []byte("pre")); err != nil {
+		t.Fatal(err)
+	}
+	if err := provider.Tombstone(cli, "dp", []uint64{4, 9}); err != nil {
+		t.Fatal(err)
+	}
+	// Late phase-1 put for the deleted blob: rejected, nothing stored.
+	err := provider.PutChunk(cli, "dp", chunk.Key{Blob: 4, Version: 2, Index: 0}, []byte("late"))
+	if err == nil {
+		t.Fatal("put for tombstoned blob succeeded")
+	}
+	var has provider.HasResp
+	if err := cli.Call("dp", provider.MethodHas, &provider.GetReq{Key: chunk.Key{Blob: 4, Version: 2, Index: 0}}, &has); err != nil {
+		t.Fatal(err)
+	}
+	if has.Present {
+		t.Error("rejected chunk was stored anyway")
+	}
+	// Other blobs are unaffected.
+	if err := provider.PutChunk(cli, "dp", chunk.Key{Blob: 5, Version: 1, Index: 0}, []byte("ok")); err != nil {
+		t.Fatalf("put for live blob: %v", err)
+	}
+	if _, err := provider.GetChunk(cli, "dp", old); err != nil {
+		t.Errorf("pre-tombstone chunk unreadable: %v", err)
+	}
+}
+
+func TestTombstoneMessageRoundTrip(t *testing.T) {
+	req := &provider.TombstonesReq{Blobs: []uint64{1, 2, 99}}
+	var got provider.TombstonesReq
+	if err := wire.Unmarshal(wire.Marshal(req), &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Blobs) != 3 || got.Blobs[2] != 99 {
+		t.Fatalf("round trip = %+v", got)
+	}
+}

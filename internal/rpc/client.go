@@ -90,17 +90,26 @@ func (c *Client) Call(addr, method string, req wire.Message, resp wire.Message) 
 }
 
 func (c *Client) callRaw(addr, method string, payload []byte) ([]byte, error) {
-	cc, err := c.getConn(addr)
-	if err != nil {
-		return nil, err
+	for attempt := 0; ; attempt++ {
+		cc, err := c.getConn(addr)
+		if err != nil {
+			return nil, err
+		}
+		raw, err := cc.roundTrip(method, payload, c.timeout)
+		if err != nil && !isRemote(err) {
+			// Transport-level failure: drop the cached connection so the
+			// next call re-dials (the peer may have restarted).
+			c.dropConn(addr, cc)
+			// When the cached connection was already known dead BEFORE the
+			// request was sent, nothing reached the peer; redialing once is
+			// always safe and makes a restarted server reachable on the
+			// first call instead of the second.
+			if errors.Is(err, errConnDead) && attempt == 0 {
+				continue
+			}
+		}
+		return raw, err
 	}
-	raw, err := cc.roundTrip(method, payload, c.timeout)
-	if err != nil && !isRemote(err) {
-		// Transport-level failure: drop the cached connection so the next
-		// call re-dials (the peer may have restarted).
-		c.dropConn(addr, cc)
-	}
-	return raw, err
 }
 
 func isRemote(err error) bool {
@@ -161,12 +170,17 @@ func (c *Client) Close() {
 	}
 }
 
+// errConnDead marks a round trip refused because the connection had
+// already failed before anything was sent — retrying on a fresh dial is
+// side-effect free.
+var errConnDead = errors.New("rpc: cached connection is dead")
+
 func (cc *clientConn) roundTrip(method string, payload []byte, timeout time.Duration) ([]byte, error) {
 	cc.mu.Lock()
 	if cc.dead {
 		err := cc.deadErr
 		cc.mu.Unlock()
-		return nil, err
+		return nil, fmt.Errorf("%w: %v", errConnDead, err)
 	}
 	id := cc.nextID.Add(1)
 	call := &pendingCall{done: make(chan struct{})}

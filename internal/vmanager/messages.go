@@ -23,6 +23,7 @@ const (
 	MethodGCStatus      = "vm.gcstatus"
 	MethodGCReport      = "vm.gcreport"
 	MethodGCStats       = "vm.gcstats"
+	MethodCompact       = "vm.compact"
 )
 
 // CreateReq registers a new blob.
@@ -433,6 +434,28 @@ func (r *GCStatsResp) Decode(d *wire.Decoder) {
 	r.Orphans = d.U64()
 	r.PrunedVersions = d.U64()
 	r.PendingBlobs = d.U64()
+}
+
+// CompactResp reports the outcome of a journal snapshot + compaction.
+type CompactResp struct {
+	// CompactedVersions counts verInfo history entries folded into base
+	// offsets (and released from RAM) by this compaction.
+	CompactedVersions uint64
+	// Persistent is false when the version manager runs volatile (no
+	// journal directory configured), making compaction a no-op.
+	Persistent bool
+}
+
+// Encode implements wire.Message.
+func (r *CompactResp) Encode(e *wire.Encoder) {
+	e.PutU64(r.CompactedVersions)
+	e.PutBool(r.Persistent)
+}
+
+// Decode implements wire.Message.
+func (r *CompactResp) Decode(d *wire.Decoder) {
+	r.CompactedVersions = d.U64()
+	r.Persistent = d.Bool()
 }
 
 // Ack is the empty acknowledgment.

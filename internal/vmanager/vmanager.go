@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/durable"
 	"repro/internal/meta"
 	"repro/internal/rpc"
 )
@@ -57,8 +58,12 @@ type blobState struct {
 	chunkSize   uint64
 	replication uint32
 
-	mu        sync.Mutex
-	versions  []verInfo // versions[i] describes version i+1
+	mu sync.Mutex
+	// base counts leading versions whose verInfo was compacted away after
+	// full reclamation (journal snapshotting folds them into this offset);
+	// versions[i] describes version base+i+1.
+	base      uint64
+	versions  []verInfo
 	published uint64
 	// assignedSizeBytes is the blob size after the newest assigned write;
 	// appends are placed at this offset.
@@ -90,11 +95,57 @@ type blobState struct {
 	finishGen uint64
 }
 
+// lastAssigned is the highest assigned version number.
+func (b *blobState) lastAssigned() uint64 { return b.base + uint64(len(b.versions)) }
+
+// vi returns the descriptor of version v, which the caller has checked is
+// in (base, lastAssigned].
+func (b *blobState) vi(v uint64) *verInfo { return &b.versions[v-b.base-1] }
+
 func (b *blobState) version(v uint64) (*verInfo, error) {
-	if v == 0 || v > uint64(len(b.versions)) {
+	if v == 0 || v > b.lastAssigned() {
 		return nil, fmt.Errorf("%w: blob %d version %d", ErrNoSuchVersion, b.id, v)
 	}
-	return &b.versions[v-1], nil
+	if v <= b.base {
+		return nil, fmt.Errorf("%w: blob %d version %d (history compacted)", ErrNoSuchVersion, b.id, v)
+	}
+	return b.vi(v), nil
+}
+
+// finishLocked marks one version finished (committed or failed), advances
+// the publish frontier over every fully finished prefix, wakes waiters,
+// and re-applies the retention policy. Caller holds b.mu. Shared by the
+// live Commit/Abort path and journal replay so both produce identical
+// state. On a deleted blob the finish is recorded but publication does not
+// advance (the delete-sweep latch needs the finish count; readers are gone).
+func (b *blobState) finishLocked(vi *verInfo, failed bool) {
+	vi.committed = true
+	vi.failed = failed
+	b.finishGen++
+	if b.deleted {
+		return
+	}
+	for b.published < b.lastAssigned() && b.vi(b.published+1).committed {
+		b.published++
+		for _, ch := range b.waiters[b.published] {
+			close(ch)
+		}
+		delete(b.waiters, b.published)
+	}
+	b.applyPolicyLocked()
+}
+
+// newBlobState builds the initial state shared by Create and journal
+// replay.
+func newBlobState(id, chunkSize uint64, replication uint32) *blobState {
+	return &blobState{
+		id:          id,
+		chunkSize:   chunkSize,
+		replication: replication,
+		waiters:     make(map[uint64][]chan struct{}),
+		retainFrom:  1,
+		reclaimedTo: 1,
+	}
 }
 
 // Manager is the version manager service state.
@@ -102,6 +153,13 @@ type Manager struct {
 	mu     sync.Mutex
 	blobs  map[uint64]*blobState
 	nextID uint64
+
+	// j, when set, journals every mutation for crash recovery (see
+	// journal.go). jmu excludes mutators during snapshotting; mutators
+	// hold it shared around their state change + journal append.
+	j            *durable.Log
+	jmu          sync.RWMutex
+	compactEvery uint64
 
 	// Cumulative GC accounting, reported by sweepers via GCReport.
 	gcMu             sync.Mutex
@@ -112,9 +170,10 @@ type Manager struct {
 	prunedVersions   uint64
 }
 
-// NewManager creates an empty version manager.
+// NewManager creates an empty, volatile version manager (state dies with
+// the process; see OpenManager for the durable variant).
 func NewManager() *Manager {
-	return &Manager{blobs: make(map[uint64]*blobState), nextID: 1}
+	return &Manager{blobs: make(map[uint64]*blobState), nextID: 1, compactEvery: defaultCompactEvery}
 }
 
 // Create registers a new blob with the given chunk size and replication
@@ -126,18 +185,21 @@ func (m *Manager) Create(chunkSize uint64, replication uint32) (uint64, error) {
 	if replication == 0 {
 		replication = 1
 	}
+	m.journalBegin()
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	id := m.nextID
-	m.nextID++
-	m.blobs[id] = &blobState{
-		id:          id,
-		chunkSize:   chunkSize,
-		replication: replication,
-		waiters:     make(map[uint64][]chan struct{}),
-		retainFrom:  1,
-		reclaimedTo: 1,
+	// Write-ahead: the record is durable before RAM changes, so a failed
+	// append leaves no divergence and a crash after it replays cleanly.
+	if err := m.logRecord(encCreate(id, chunkSize, replication)); err != nil {
+		m.mu.Unlock()
+		m.journalEnd()
+		return 0, err
 	}
+	m.nextID++
+	m.blobs[id] = newBlobState(id, chunkSize, replication)
+	m.mu.Unlock()
+	m.journalEnd()
+	m.maybeCompact()
 	return id, nil
 }
 
@@ -183,7 +245,7 @@ func (m *Manager) Info(id uint64) (*InfoResp, error) {
 		RetainFrom:  b.retainFrom,
 	}
 	if b.published > 0 {
-		vi := &b.versions[b.published-1]
+		vi := b.vi(b.published)
 		resp.SizeBytes = vi.sizeBytes
 		resp.SizeChunks = vi.sizeChunks
 	}
@@ -218,6 +280,8 @@ func (m *Manager) Assign(req *AssignReq) (*AssignResp, error) {
 	if err != nil {
 		return nil, err
 	}
+	m.journalBegin()
+	defer m.journalEnd()
 	b.mu.Lock()
 	defer b.mu.Unlock()
 
@@ -239,7 +303,7 @@ func (m *Manager) Assign(req *AssignReq) (*AssignResp, error) {
 		assignPub:  b.published,
 	}
 	resp := &AssignResp{
-		Version:       uint64(len(b.versions)) + 1,
+		Version:       b.lastAssigned() + 1,
 		Offset:        offset,
 		PrevSizeBytes: b.assignedSizeBytes,
 		SizeBytes:     newSize,
@@ -249,10 +313,10 @@ func (m *Manager) Assign(req *AssignReq) (*AssignResp, error) {
 		PubVersion:    b.published,
 	}
 	if b.published > 0 {
-		resp.PubSizeChunks = b.versions[b.published-1].sizeChunks
+		resp.PubSizeChunks = b.vi(b.published).sizeChunks
 	}
 	for v := b.published + 1; v < resp.Version; v++ {
-		w := &b.versions[v-1]
+		w := b.vi(v)
 		resp.InFlight = append(resp.InFlight, meta.WriteDesc{
 			Version:    v,
 			StartChunk: w.startChunk,
@@ -260,6 +324,11 @@ func (m *Manager) Assign(req *AssignReq) (*AssignResp, error) {
 			SizeChunks: w.sizeChunks,
 			SizeBytes:  w.sizeBytes,
 		})
+	}
+	// Write-ahead: journal before mutating, so RAM never runs ahead of
+	// the WAL (a divergent journal would fail replay validation on boot).
+	if err := m.logRecord(encAssign(b.id, resp.Version, &vi, newSize)); err != nil {
+		return nil, err
 	}
 	b.versions = append(b.versions, vi)
 	b.assignedSizeBytes = newSize
@@ -270,7 +339,9 @@ func (m *Manager) Assign(req *AssignReq) (*AssignResp, error) {
 // publishes every version whose predecessors have all committed, waking
 // any waiters.
 func (m *Manager) Commit(blobID, version uint64) error {
-	return m.finish(blobID, version, false)
+	err := m.finish(blobID, version, false)
+	m.maybeCompact()
+	return err
 }
 
 // Abort marks a version as failed. Publication still advances past it —
@@ -280,7 +351,9 @@ func (m *Manager) Commit(blobID, version uint64) error {
 // write; ranges inside it dangle, exactly as in the original system before
 // its garbage-collection pass.
 func (m *Manager) Abort(blobID, version uint64) error {
-	return m.finish(blobID, version, true)
+	err := m.finish(blobID, version, true)
+	m.maybeCompact()
+	return err
 }
 
 func (m *Manager) finish(blobID, version uint64, failed bool) error {
@@ -288,6 +361,8 @@ func (m *Manager) finish(blobID, version uint64, failed bool) error {
 	if err != nil {
 		return err
 	}
+	m.journalBegin()
+	defer m.journalEnd()
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	vi, err := b.version(version)
@@ -303,21 +378,17 @@ func (m *Manager) finish(blobID, version uint64, failed bool) error {
 	// after the sweep — so the tombstone latches only once every
 	// assigned version has finished and one more sweep has run (the
 	// finishGen echo in GCReport enforces the "one more").
-	vi.committed = true
-	vi.failed = failed
-	b.finishGen++
+	kind := recCommit
+	if failed {
+		kind = recAbort
+	}
+	if err := m.logRecord(encVersionRec(kind, blobID, version)); err != nil {
+		return err
+	}
+	b.finishLocked(vi, failed)
 	if b.deleted {
 		return fmt.Errorf("%w: %d", ErrBlobDeleted, blobID)
 	}
-	// Advance the publish frontier.
-	for b.published < uint64(len(b.versions)) && b.versions[b.published].committed {
-		b.published++
-		for _, ch := range b.waiters[b.published] {
-			close(ch)
-		}
-		delete(b.waiters, b.published)
-	}
-	b.applyPolicyLocked()
 	return nil
 }
 
@@ -332,8 +403,8 @@ func (m *Manager) finish(blobID, version uint64, failed bool) error {
 //     references the moment it commits.
 func (b *blobState) floorCapLocked() uint64 {
 	limit := b.published
-	for i := b.published; i < uint64(len(b.versions)); i++ {
-		ap := b.versions[i].assignPub // versions[i] is version i+1: unpublished
+	for v := b.published + 1; v <= b.lastAssigned(); v++ {
+		ap := b.vi(v).assignPub // v > published: unpublished
 		if ap == 0 {
 			return 1 // writer assigned against an empty blob; no pruning yet
 		}
@@ -370,8 +441,13 @@ func (m *Manager) SetRetention(blobID, keepLast uint64) error {
 	if err != nil {
 		return err
 	}
+	m.journalBegin()
+	defer m.journalEnd()
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	if err := m.logRecord(encRetention(blobID, keepLast)); err != nil {
+		return err
+	}
 	b.keepLast = keepLast
 	b.applyPolicyLocked()
 	return nil
@@ -388,15 +464,22 @@ func (m *Manager) Prune(blobID, upTo uint64) (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
+	m.journalBegin()
+	defer m.journalEnd()
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if upTo >= b.published {
 		return 0, fmt.Errorf("%w: blob %d has published %d, prune up to %d",
 			ErrRetainLatest, blobID, b.published, upTo)
 	}
-	if upTo+1 > b.wantFloor {
-		b.wantFloor = upTo + 1
+	want := b.wantFloor
+	if upTo+1 > want {
+		want = upTo + 1
 	}
+	if err := m.logRecord(encPrune(blobID, want)); err != nil {
+		return 0, err
+	}
+	b.wantFloor = want
 	b.applyPolicyLocked()
 	return b.retainFrom, nil
 }
@@ -409,10 +492,15 @@ func (m *Manager) Delete(blobID uint64) error {
 	if err != nil {
 		return err
 	}
+	m.journalBegin()
+	defer m.journalEnd()
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.deleted {
 		return nil // idempotent
+	}
+	if err := m.logRecord(encDelete(blobID)); err != nil {
+		return err
 	}
 	b.deleted = true
 	for v, chans := range b.waiters {
@@ -435,7 +523,7 @@ func (m *Manager) Latest(blobID uint64) (*LatestResp, error) {
 	defer b.mu.Unlock()
 	resp := &LatestResp{Version: b.published}
 	if b.published > 0 {
-		vi := &b.versions[b.published-1]
+		vi := b.vi(b.published)
 		resp.SizeBytes = vi.sizeBytes
 		resp.SizeChunks = vi.sizeChunks
 	}
@@ -452,6 +540,12 @@ func (m *Manager) VersionInfo(blobID, version uint64) (*VersionInfoResp, error) 
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	if version > 0 && version <= b.base {
+		// History below the sweep frontier was compacted away; the version
+		// existed, was published, and is long reclaimed. Its sizes are
+		// gone, but Reclaimed is the only field a client may act on.
+		return &VersionInfoResp{Published: true, Reclaimed: true}, nil
+	}
 	vi, err := b.version(version)
 	if err != nil {
 		return nil, err
@@ -534,13 +628,13 @@ func (m *Manager) GCStatus(blobID uint64) (*GCStatusResp, error) {
 		RetainFrom:  b.retainFrom,
 		ReclaimedTo: b.reclaimedTo,
 		Published:   b.published,
-		Assigned:    uint64(len(b.versions)),
+		Assigned:    b.lastAssigned(),
 		ChunkSize:   b.chunkSize,
 		FinishGen:   b.finishGen,
 	}
 	if !b.deleted {
 		for v := b.reclaimedTo; v <= b.published; v++ {
-			vi := &b.versions[v-1]
+			vi := b.vi(v)
 			resp.Versions = append(resp.Versions, meta.WriteDesc{
 				Version:    v,
 				StartChunk: vi.startChunk,
@@ -561,16 +655,21 @@ func (m *Manager) GCReport(req *GCReportReq) error {
 	if err != nil {
 		return err
 	}
+	m.journalBegin()
 	b.mu.Lock()
+	// Resolve the applied outcome first, then journal it, then apply: the
+	// WAL record always matches what RAM will hold.
 	var pruned uint64
 	target := req.ReclaimedTo
 	if target > b.retainFrom {
 		target = b.retainFrom
 	}
+	newReclaimedTo := b.reclaimedTo
 	if target > b.reclaimedTo {
 		pruned = target - b.reclaimedTo
-		b.reclaimedTo = target
+		newReclaimedTo = target
 	}
+	swept := b.deletedSwept
 	if req.DeletedSwept && b.deleted {
 		// Latch only when no write is in flight AND no write finished
 		// since the sweep snapshotted the blob (FinishGen echo): an
@@ -588,11 +687,21 @@ func (m *Manager) GCReport(req *GCReportReq) error {
 			}
 		}
 		if allFinished {
-			b.deletedSwept = true
+			swept = true
 		}
 	}
+	if err := m.logRecord(encGCReport(req.BlobID, newReclaimedTo, swept, pruned, req)); err != nil {
+		b.mu.Unlock()
+		m.journalEnd()
+		return err
+	}
+	b.reclaimedTo = newReclaimedTo
+	b.deletedSwept = swept
 	b.mu.Unlock()
 
+	// Stats must update before journalEnd: a concurrent Compact excludes
+	// mutators, so its snapshot either contains this delta or the WAL it
+	// keeps contains the record — never neither.
 	m.gcMu.Lock()
 	m.reclaimedChunks += req.Chunks
 	m.reclaimedBytes += req.Bytes
@@ -600,6 +709,8 @@ func (m *Manager) GCReport(req *GCReportReq) error {
 	m.reclaimedOrphans += req.Orphans
 	m.prunedVersions += pruned
 	m.gcMu.Unlock()
+	m.journalEnd()
+	m.maybeCompact()
 	return nil
 }
 
@@ -625,9 +736,16 @@ type Server struct {
 	srv *rpc.Server
 }
 
-// NewServer wires a fresh Manager to an RPC server at addr.
+// NewServer wires a fresh volatile Manager to an RPC server at addr.
 func NewServer(network rpc.Network, addr string) *Server {
-	s := &Server{m: NewManager(), srv: rpc.NewServer(network, addr)}
+	return NewServerWithManager(network, addr, NewManager())
+}
+
+// NewServerWithManager exposes an existing Manager (typically one
+// recovered with OpenManager) over RPC — the hook that makes a version
+// manager restartable in place.
+func NewServerWithManager(network rpc.Network, addr string, m *Manager) *Server {
+	s := &Server{m: m, srv: rpc.NewServer(network, addr)}
 	rpc.HandleMsg(s.srv, MethodCreate, func() *CreateReq { return &CreateReq{} },
 		func(req *CreateReq) (*CreateResp, error) {
 			id, err := s.m.Create(req.ChunkSize, req.Replication)
@@ -682,6 +800,14 @@ func NewServer(network rpc.Network, addr string) *Server {
 		func(req *GCReportReq) (*Ack, error) { return &Ack{}, s.m.GCReport(req) })
 	rpc.HandleMsg(s.srv, MethodGCStats, func() *Ack { return &Ack{} },
 		func(*Ack) (*GCStatsResp, error) { return s.m.GCStats(), nil })
+	rpc.HandleMsg(s.srv, MethodCompact, func() *Ack { return &Ack{} },
+		func(*Ack) (*CompactResp, error) {
+			dropped, err := s.m.Compact()
+			if err != nil {
+				return nil, err
+			}
+			return &CompactResp{CompactedVersions: dropped, Persistent: s.m.Persistent()}, nil
+		})
 	return s
 }
 
