@@ -1,7 +1,8 @@
 GO ?= go
 FUZZTIME ?= 10s
+BENCHTIME ?= 1x
 
-.PHONY: all build vet test race fuzz e2e-restart ci clean
+.PHONY: all build vet test race fuzz bench e2e-restart ci clean
 
 all: ci
 
@@ -28,6 +29,14 @@ fuzz:
 	$(GO) test -fuzz=FuzzWALReplay -fuzztime=$(FUZZTIME) ./internal/durable/
 	$(GO) test -fuzz=FuzzWALFrame -fuzztime=$(FUZZTIME) ./internal/durable/
 
+# Macro-benchmark smoke test: one iteration of every reconstructed
+# experiment (E1-E12) keeps the bench harness from rotting; raise
+# BENCHTIME (and add -count) when measuring for real. BENCH_baseline.json
+# and BENCH_after.json at the repo root record the E1/E4 before/after of
+# the metadata-batching refactor.
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime $(BENCHTIME) .
+
 # Crash-recovery end-to-end suite: kill -9 + restart of the version
 # manager and metadata providers, in-harness (mid-write-storm) and as real
 # OS processes, under the race detector.
@@ -35,7 +44,7 @@ e2e-restart:
 	$(GO) test -race -count=1 -run 'TestCrashRecoveryMidWriteStorm|TestRestartVolatileVMComesBackEmpty' ./internal/fault/
 	$(GO) test -race -count=1 -run 'TestDaemonCrashRecovery' ./cmd/blobseerd/
 
-ci: vet build race fuzz e2e-restart
+ci: vet build race fuzz bench e2e-restart
 
 clean:
 	$(GO) clean -testcache

@@ -113,6 +113,19 @@ func (s *CachedStore) Get(k Key) ([]byte, error) {
 	return data, nil
 }
 
+// GetRange serves the sub-range from a cached copy when present and
+// otherwise reads only the requested bytes from the backing store. A
+// ranged miss deliberately does not populate the cache: caching a
+// partial chunk under the full chunk's key would poison later reads,
+// and materializing the whole chunk to cache it would defeat the point
+// of a ranged read. Whole-chunk reads keep warming the cache via Get.
+func (s *CachedStore) GetRange(k Key, off, length uint64) ([]byte, error) {
+	if data, ok := s.cacheGet(k); ok {
+		return clipRange(data, off, length), nil
+	}
+	return s.backing.GetRange(k, off, length)
+}
+
 // Has consults the backing store (authoritative).
 func (s *CachedStore) Has(k Key) bool { return s.backing.Has(k) }
 

@@ -2,6 +2,7 @@ package chunk
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -133,6 +134,31 @@ func (s *DiskStore) Get(k Key) ([]byte, error) {
 		return nil, fmt.Errorf("chunk: reading %s: %w", k, err)
 	}
 	return data, nil
+}
+
+// GetRange reads only the requested bytes from the chunk file — a
+// boundary read of a few bytes does not drag the whole chunk off disk.
+func (s *DiskStore) GetRange(k Key, off, length uint64) ([]byte, error) {
+	s.mu.RLock()
+	size, ok := s.sizes[k]
+	s.mu.RUnlock()
+	if !ok || size < 0 {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, k)
+	}
+	off, end := clipBounds(uint64(size), off, length)
+	if off >= end {
+		return nil, nil
+	}
+	f, err := os.Open(s.path(k))
+	if err != nil {
+		return nil, fmt.Errorf("chunk: opening %s: %w", k, err)
+	}
+	defer f.Close()
+	buf := make([]byte, end-off)
+	if _, err := io.ReadFull(io.NewSectionReader(f, int64(off), int64(end-off)), buf); err != nil {
+		return nil, fmt.Errorf("chunk: reading %s [%d,%d): %w", k, off, end, err)
+	}
+	return buf, nil
 }
 
 // Has reports whether k is stored.

@@ -1,0 +1,88 @@
+package chunk
+
+import (
+	"bytes"
+	"testing"
+)
+
+// rangeEngines builds one of each store engine over a fresh temp dir.
+func rangeEngines(t *testing.T) map[string]Store {
+	t.Helper()
+	disk, err := NewDiskStore(t.TempDir(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disk2, err := NewDiskStore(t.TempDir(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Store{
+		"mem":          NewMemStore(),
+		"disk":         disk,
+		"cached(warm)": NewCachedStore(disk2, 1<<20),
+	}
+}
+
+func TestGetRangeSemantics(t *testing.T) {
+	data := make([]byte, 1000)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	k := Key{Blob: 1, Version: 2, Index: 3}
+	cases := []struct {
+		name        string
+		off, length uint64
+		want        []byte
+	}{
+		{"whole", 0, 0, data},
+		{"prefix", 0, 10, data[:10]},
+		{"interior", 100, 50, data[100:150]},
+		{"to-end", 990, 0, data[990:]},
+		{"clipped-tail", 990, 100, data[990:]},
+		{"past-end", 1000, 10, nil},
+		{"far-past-end", 5000, 1, nil},
+		// off+length overflows uint64: must clamp to the end, not wrap
+		// below off (a malformed wire request would otherwise panic the
+		// provider).
+		{"overflow", 1, ^uint64(0), data[1:]},
+		{"overflow-max-off", ^uint64(0), ^uint64(0), nil},
+	}
+	for name, s := range rangeEngines(t) {
+		if err := s.Put(k, data); err != nil {
+			t.Fatalf("%s: put: %v", name, err)
+		}
+		for _, c := range cases {
+			got, err := s.GetRange(k, c.off, c.length)
+			if err != nil {
+				t.Errorf("%s/%s: %v", name, c.name, err)
+				continue
+			}
+			if !bytes.Equal(got, c.want) {
+				t.Errorf("%s/%s: got %d bytes, want %d", name, c.name, len(got), len(c.want))
+			}
+		}
+		if _, err := s.GetRange(Key{Blob: 9}, 0, 1); err == nil {
+			t.Errorf("%s: ranged read of absent chunk succeeded", name)
+		}
+	}
+	// A cold cache must serve ranged reads from the backing store without
+	// admitting partial chunks.
+	disk, err := NewDiskStore(t.TempDir(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := disk.Put(k, data); err != nil {
+		t.Fatal(err)
+	}
+	cold := NewCachedStore(disk, 1<<20)
+	got, err := cold.GetRange(k, 100, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data[100:150]) {
+		t.Fatal("cold cached ranged read mismatch")
+	}
+	if hits, _, resident := cold.CacheStats(); hits != 0 || resident != 0 {
+		t.Fatalf("ranged miss polluted the cache: hits=%d resident=%d", hits, resident)
+	}
+}

@@ -50,6 +50,15 @@ type Store interface {
 	// Get returns the chunk bytes. The returned slice must not be
 	// modified by the caller.
 	Get(k Key) ([]byte, error)
+	// GetRange returns the chunk's bytes in [off, off+length), clipped
+	// to the stored size; length == 0 means "to the end of the chunk".
+	// Reading past the stored size yields a short (possibly empty)
+	// slice, not an error — only a missing key is ErrNotFound. Like
+	// Get, the result may alias internal buffers and must not be
+	// modified. Engines serve this without materializing the whole
+	// chunk where they can (DiskStore reads only the requested bytes),
+	// which is what lets boundary reads move only the bytes they need.
+	GetRange(k Key, off, length uint64) ([]byte, error)
 	// Has reports whether k is stored.
 	Has(k Key) bool
 	// Delete removes k (no-op if absent). Used only by garbage collection.
@@ -104,6 +113,42 @@ func (s *MemStore) Get(k Key) ([]byte, error) {
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, k)
 	}
 	return d, nil
+}
+
+// GetRange returns a sub-slice of the stored bytes (chunks are immutable,
+// so slicing is safe).
+func (s *MemStore) GetRange(k Key, off, length uint64) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	d, ok := s.data[k]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, k)
+	}
+	return clipRange(d, off, length), nil
+}
+
+// clipRange slices data to the clipBounds of [off, off+length).
+func clipRange(data []byte, off, length uint64) []byte {
+	lo, hi := clipBounds(uint64(len(data)), off, length)
+	if lo >= hi {
+		return nil
+	}
+	return data[lo:hi]
+}
+
+// clipBounds resolves a requested range [off, off+length) against a chunk
+// of size bytes: length == 0 means "to the end", and both bounds clip to
+// size. Offset and length arrive raw off the wire, so off+length
+// overflowing uint64 must clamp to the end, not wrap below off.
+func clipBounds(size, off, length uint64) (lo, hi uint64) {
+	if off >= size {
+		return size, size
+	}
+	hi = size
+	if e := off + length; length > 0 && e >= off && e < hi {
+		hi = e
+	}
+	return off, hi
 }
 
 // Has reports whether k is stored.

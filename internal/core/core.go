@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"repro/internal/meta"
+	"repro/internal/metrics"
 	"repro/internal/pmanager"
 	"repro/internal/rpc"
 	"repro/internal/vmanager"
@@ -79,7 +80,37 @@ type Client struct {
 	meta   *meta.Client
 	sem    chan struct{}
 	health *providerHealth
+
+	// Data-plane accounting: chunk RPCs issued and payload bytes moved.
+	// Together with meta.Client.RPCStats these make the cost model of a
+	// read/write observable (and testable) instead of inferred.
+	chunkGets     metrics.Counter
+	chunkPuts     metrics.Counter
+	chunkBytesIn  metrics.Counter
+	chunkBytesOut metrics.Counter
 }
+
+// IOStats is a snapshot of the client's data-plane traffic.
+type IOStats struct {
+	ChunkGetRPCs  int64 // provider.get calls (including failed replicas)
+	ChunkPutRPCs  int64 // provider.put calls (including failed replicas)
+	ChunkBytesIn  int64 // payload bytes received from providers
+	ChunkBytesOut int64 // payload bytes sent to providers
+}
+
+// IOStats reports cumulative chunk-transfer counts for this client.
+func (c *Client) IOStats() IOStats {
+	return IOStats{
+		ChunkGetRPCs:  c.chunkGets.Load(),
+		ChunkPutRPCs:  c.chunkPuts.Load(),
+		ChunkBytesIn:  c.chunkBytesIn.Load(),
+		ChunkBytesOut: c.chunkBytesOut.Load(),
+	}
+}
+
+// MetaRPCStats reports cumulative metadata-plane RPC counts for this
+// client.
+func (c *Client) MetaRPCStats() meta.RPCStats { return c.meta.RPCStats() }
 
 // NewClient validates cfg and builds a client.
 func NewClient(cfg Config) (*Client, error) {

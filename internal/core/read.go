@@ -118,40 +118,50 @@ func (b *Blob) readRange(version, sizeChunks uint64, p []byte, off uint64) error
 			zero(dst)
 			return nil
 		}
-		data, err := b.fetchChunk(ref)
+		// Only [inLo, validHi) of the chunk holds stored bytes for this
+		// read; everything past the chunk's valid length reads as zeros
+		// (sparse regions within a partially written chunk). Fetch only
+		// the valid sub-range — a boundary read moves just the bytes it
+		// needs — then copy it and zero-fill the tail.
+		inLo := lo - chunkLo
+		validHi := minU64(hi-chunkLo, uint64(ref.Length))
+		if validHi <= inLo {
+			zero(dst)
+			return nil
+		}
+		data, err := b.fetchChunkRange(ref, inLo, validHi-inLo)
 		if err != nil {
 			return err
 		}
-		// Copy the in-chunk byte range, zero-padding past the chunk's
-		// valid length (sparse regions within a partially written chunk).
-		inLo := lo - chunkLo
-		for j := range dst {
-			pos := inLo + uint64(j)
-			if pos < uint64(len(data)) && pos < uint64(ref.Length) {
-				dst[j] = data[pos]
-			} else {
-				dst[j] = 0
-			}
-		}
+		n := copy(dst, data)
+		zero(dst[n:])
 		return nil
 	})
 }
 
-// fetchChunk retrieves one chunk, trying replicas healthiest-first (the
-// client-side QoS feedback of §IV-E: a degraded provider stops being the
-// first choice after a few slow operations) and failing over on error.
-func (b *Blob) fetchChunk(ref meta.ChunkRef) ([]byte, error) {
+// fetchChunkRange retrieves bytes [off, off+length) of one chunk, trying
+// replicas healthiest-first (the client-side QoS feedback of §IV-E: a
+// degraded provider stops being the first choice after a few slow
+// operations) and failing over on error. A full-chunk read is requested
+// as the whole chunk (zero range) so providers keep serving it from — and
+// admitting it into — their RAM cache.
+func (b *Blob) fetchChunkRange(ref meta.ChunkRef, off, length uint64) ([]byte, error) {
+	if off == 0 && length >= uint64(ref.Length) {
+		off, length = 0, 0 // whole chunk
+	}
 	ordered := b.c.health.order(ref.Providers)
 	var lastErr error
 	for _, addr := range ordered {
 		start := time.Now()
-		data, err := provider.GetChunk(b.c.rpc, addr, ref.Key)
+		data, err := provider.GetChunkRange(b.c.rpc, addr, ref.Key, off, length)
 		elapsed := time.Since(start)
 		b.c.health.observe(addr, float64(elapsed.Microseconds())/1000, err != nil)
+		b.c.chunkGets.Add(1)
 		if obs := b.c.cfg.Observer; obs != nil {
 			obs.ObserveChunkOp(addr, "get", len(data), elapsed, err)
 		}
 		if err == nil {
+			b.c.chunkBytesIn.Add(int64(len(data)))
 			return data, nil
 		}
 		lastErr = err

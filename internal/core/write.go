@@ -310,6 +310,10 @@ func (b *Blob) putReplicas(key chunk.Key, data []byte, set []string) ([]string, 
 				err := provider.PutChunk(b.c.rpc, addr, key, data)
 				elapsed := time.Since(start)
 				b.c.health.observe(addr, float64(elapsed.Microseconds())/1000, err != nil)
+				b.c.chunkPuts.Add(1)
+				if err == nil {
+					b.c.chunkBytesOut.Add(int64(len(data)))
+				}
 				if obs := b.c.cfg.Observer; obs != nil {
 					obs.ObserveChunkOp(addr, "put", len(data), elapsed, err)
 				}

@@ -4,9 +4,11 @@ import (
 	"container/list"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/dht"
+	"repro/internal/metrics"
 	"repro/internal/rpc"
 )
 
@@ -23,6 +25,39 @@ type Client struct {
 	ring        *dht.Ring
 	replication int
 	cache       *nodeCache
+
+	// RPC accounting (monotonic): the batching refactor is a performance
+	// claim, and these counters are what the tests and benchmarks assert
+	// it on.
+	statGets      metrics.Counter // singleton meta.get calls
+	statBatchGets metrics.Counter // batched meta.getnodes calls
+	statPuts      metrics.Counter // meta.put calls (one per provider batch)
+	statNodesIn   metrics.Counter // nodes received over the network
+	statNodesOut  metrics.Counter // node replicas sent over the network
+}
+
+// RPCStats is a snapshot of the metadata-plane RPCs a client has issued.
+type RPCStats struct {
+	GetRPCs      int64 // singleton meta.get calls
+	GetNodesRPCs int64 // batched meta.getnodes calls
+	PutRPCs      int64 // meta.put calls (one per provider batch)
+	NodesFetched int64 // nodes received over the network
+	NodesStored  int64 // node replicas sent over the network
+	CacheHits    int64
+	CacheMisses  int64
+}
+
+// RPCStats reports the client's cumulative metadata RPC counts.
+func (c *Client) RPCStats() RPCStats {
+	s := RPCStats{
+		GetRPCs:      c.statGets.Load(),
+		GetNodesRPCs: c.statBatchGets.Load(),
+		PutRPCs:      c.statPuts.Load(),
+		NodesFetched: c.statNodesIn.Load(),
+		NodesStored:  c.statNodesOut.Load(),
+	}
+	s.CacheHits, s.CacheMisses = c.CacheStats()
+	return s
 }
 
 // NewClient builds a metadata client over the given metadata provider
@@ -49,18 +84,25 @@ func (c *Client) Replicas(key NodeKey) []string {
 	return c.ring.LookupN(key.Hash(), c.replication)
 }
 
-// putParallelism bounds concurrent node PUTs per PutNodes call.
+// putParallelism bounds concurrent per-provider RPCs within one batched
+// metadata operation.
 const putParallelism = 32
 
-// PutNodes stores every node of the batch in the DHT. Each node is one
-// PUT to each of its replicas — exactly the fine-grain distribution the
-// paper relies on ("the tree nodes are distributed in a fine-grain manner
-// among the metadata providers"): a write's node set scatters over the
-// whole DHT rather than funneling into one server, which is what makes
-// metadata decentralization pay off under concurrency (experiment E6).
-// PUTs are issued in parallel with bounded fan-out. A node is durable when
-// at least one replica accepted it; an error is returned only if some node
-// could not be stored anywhere.
+// PutNodes stores every node of the batch in the DHT. Placement is still
+// fine-grain — each node hashes independently onto the ring, exactly the
+// distribution the paper relies on ("the tree nodes are distributed in a
+// fine-grain manner among the metadata providers") — but the RPCs are
+// not: nodes are grouped by replica address and each provider receives
+// its whole share in one meta.put, so a weave of W nodes at replication R
+// costs at most min(W, providers) × R round trips instead of W × R.
+// Provider batches are issued in parallel with bounded fan-out.
+//
+// The durability contract is per node, unchanged: a node is durable when
+// at least one replica accepted it; an error is returned only if some
+// node could not be stored anywhere. A provider that rejects a batch
+// application-side (e.g. one poisoned node in it) is retried node by
+// node there, so one bad node cannot take its batch-mates' replicas down
+// with it.
 func (c *Client) PutNodes(nodes []*Node) error {
 	if len(nodes) == 0 {
 		return nil
@@ -68,40 +110,62 @@ func (c *Client) PutNodes(nodes []*Node) error {
 	if c.ring.Len() == 0 {
 		return errors.New("meta: no metadata providers in ring")
 	}
-	type unit struct {
-		node *Node
-		addr string
-	}
-	var units []unit
+	batches := make(map[string][]*Node)
 	for _, n := range nodes {
 		for _, o := range c.Replicas(n.Key) {
-			units = append(units, unit{node: n, addr: o})
+			batches[o] = append(batches[o], n)
 		}
 	}
-	failures := make([]error, len(units))
+	// Deterministic order keeps retries and tests reproducible.
+	addrs := make([]string, 0, len(batches))
+	for a := range batches {
+		addrs = append(addrs, a)
+	}
+	sort.Strings(addrs)
+
+	var mu sync.Mutex
+	landed := make(map[NodeKey]bool, len(nodes))
+	var firstErr error
 	sem := make(chan struct{}, putParallelism)
 	var wg sync.WaitGroup
-	for i, u := range units {
+	for _, addr := range addrs {
+		batch := batches[addr]
 		wg.Add(1)
 		sem <- struct{}{}
-		go func(i int, u unit) {
+		go func(addr string, batch []*Node) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			failures[i] = c.rpc.Call(u.addr, MethodPutNodes, &PutNodesReq{Nodes: []*Node{u.node}}, &Ack{})
-		}(i, u)
+			c.statPuts.Add(1)
+			c.statNodesOut.Add(int64(len(batch)))
+			err := c.rpc.Call(addr, MethodPutNodes, &PutNodesReq{Nodes: batch}, &Ack{})
+			if err != nil && isRemoteErr(err) && len(batch) > 1 {
+				// The provider is up but rejected the batch: isolate the
+				// poisoned node(s) with singleton retries so the healthy
+				// ones keep this replica.
+				for _, n := range batch {
+					c.statPuts.Add(1)
+					c.statNodesOut.Add(1)
+					if e := c.rpc.Call(addr, MethodPutNodes, &PutNodesReq{Nodes: []*Node{n}}, &Ack{}); e == nil {
+						mu.Lock()
+						landed[n.Key] = true
+						mu.Unlock()
+					}
+				}
+			}
+			mu.Lock()
+			if err == nil {
+				for _, n := range batch {
+					landed[n.Key] = true
+				}
+			} else if firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+		}(addr, batch)
 	}
 	wg.Wait()
 
 	// Verify every node landed on at least one replica.
-	landed := make(map[NodeKey]bool, len(nodes))
-	var firstErr error
-	for i, u := range units {
-		if failures[i] == nil {
-			landed[u.node.Key] = true
-		} else if firstErr == nil {
-			firstErr = failures[i]
-		}
-	}
 	for _, n := range nodes {
 		if !landed[n.Key] {
 			return fmt.Errorf("meta: node %s lost all replicas: %w", n.Key, firstErr)
@@ -109,6 +173,13 @@ func (c *Client) PutNodes(nodes []*Node) error {
 	}
 	c.cacheNodes(nodes)
 	return nil
+}
+
+// isRemoteErr reports whether err came back from a responding server's
+// handler (as opposed to a transport failure).
+func isRemoteErr(err error) bool {
+	var re *rpc.RemoteError
+	return errors.As(err, &re)
 }
 
 func (c *Client) cacheNodes(nodes []*Node) {
@@ -146,6 +217,7 @@ func (c *Client) GetNode(key NodeKey) (*Node, error) {
 	var transportErr error
 	ask := func(addr string) *Node {
 		tried[addr] = true
+		c.statGets.Add(1)
 		var resp GetNodeResp
 		err := c.rpc.Call(addr, MethodGetNode, &GetNodeReq{Key: key}, &resp)
 		if err != nil {
@@ -155,6 +227,7 @@ func (c *Client) GetNode(key NodeKey) (*Node, error) {
 		if !resp.Found {
 			return nil
 		}
+		c.statNodesIn.Add(1)
 		n := resp.Node
 		if c.cache != nil {
 			c.cache.put(&n)
@@ -178,6 +251,113 @@ func (c *Client) GetNode(key NodeKey) (*Node, error) {
 		return nil, fmt.Errorf("meta: get %s: replica unreachable: %w", key, transportErr)
 	}
 	return nil, fmt.Errorf("%w: %s on all ring members", ErrNodeNotFound, key)
+}
+
+// PeekNodes implements Peeker over the client-side LRU cache: the
+// batched descent drains everything the cache knows before paying for a
+// network round, so a warm cache costs zero RPCs. Peek hits count as
+// cache hits; misses are not counted here because the follow-up GetNodes
+// re-consults the cache and records them once.
+func (c *Client) PeekNodes(keys []NodeKey) []*Node {
+	out := make([]*Node, len(keys))
+	if c.cache == nil {
+		return out
+	}
+	for i, k := range keys {
+		if n, ok := c.cache.peek(k); ok {
+			out[i] = n
+		}
+	}
+	return out
+}
+
+// GetNodes fetches a batch of nodes (Store interface). The batch is
+// served cache-first; the remainder is grouped by each key's primary
+// owner and fetched with one meta.getnodes RPC per owner, issued in
+// parallel — the frontier of a whole descent level costs O(providers)
+// round trips, not O(keys). When a provider is unreachable, its share of
+// the batch fails over to the next replica rank as a group, so a down
+// provider costs one extra round, not one RPC per key.
+//
+// The result is aligned with keys; nil entries mark keys that were not
+// retrieved (absent from every replica that responded, or all replicas
+// unreachable). GetNodes never fails the call because keys are missing:
+// the batched descent probes keys speculatively and absences are
+// ordinary there. Callers that must distinguish a definitive hole from
+// an unreachable replica follow up with GetNode on the specific key.
+func (c *Client) GetNodes(keys []NodeKey) ([]*Node, error) {
+	out := make([]*Node, len(keys))
+	if len(keys) == 0 {
+		return out, nil
+	}
+	if c.ring.Len() == 0 {
+		return nil, errors.New("meta: no metadata providers in ring")
+	}
+	pending := make([]int, 0, len(keys))
+	for i, k := range keys {
+		if c.cache != nil {
+			if n, ok := c.cache.get(k); ok {
+				out[i] = n
+				continue
+			}
+		}
+		pending = append(pending, i)
+	}
+	// Rank 0 asks each key's primary owner; keys whose RPC failed at the
+	// transport level retry at the next replica rank. A key whose owner
+	// RESPONDED without the node stays nil: replicas hold the same data,
+	// and the rare genuinely-misplaced node is the caller's GetNode
+	// follow-up, not a broadcast on the hot path.
+	for rank := 0; len(pending) > 0 && rank < c.ring.Len(); rank++ {
+		groups := make(map[string][]int)
+		for _, i := range pending {
+			owners := c.ring.LookupN(keys[i].Hash(), rank+1)
+			if rank >= len(owners) {
+				continue // fewer ring members than ranks: key stays nil
+			}
+			groups[owners[rank]] = append(groups[owners[rank]], i)
+		}
+		if len(groups) == 0 {
+			break
+		}
+		var mu sync.Mutex
+		var retry []int
+		sem := make(chan struct{}, putParallelism)
+		var wg sync.WaitGroup
+		for addr, idxs := range groups {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(addr string, idxs []int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				req := &GetNodesReq{Keys: make([]NodeKey, len(idxs))}
+				for j, i := range idxs {
+					req.Keys[j] = keys[i]
+				}
+				c.statBatchGets.Add(1)
+				var resp GetNodesResp
+				err := c.rpc.Call(addr, MethodGetNodes, req, &resp)
+				mu.Lock()
+				defer mu.Unlock()
+				if err != nil || len(resp.Nodes) != len(idxs) {
+					retry = append(retry, idxs...)
+					return
+				}
+				for j, i := range idxs {
+					if n := resp.Nodes[j]; n != nil {
+						c.statNodesIn.Add(1)
+						out[i] = n
+						if c.cache != nil {
+							c.cache.put(n)
+						}
+					}
+				}
+			}(addr, idxs)
+		}
+		wg.Wait()
+		pending = retry
+	}
+	return out, nil
 }
 
 // DeleteNodes drops the given nodes from every metadata provider in the
@@ -306,6 +486,21 @@ func (c *nodeCache) get(key NodeKey) (*Node, bool) {
 	el, ok := c.entries[key]
 	if !ok {
 		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	n := el.Value.(*cacheEnt).node
+	return &n, true
+}
+
+// peek is get without miss accounting: the batched descent probes the
+// cache opportunistically and records the miss when it actually fetches.
+func (c *nodeCache) peek(key NodeKey) (*Node, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
 		return nil, false
 	}
 	c.hits++

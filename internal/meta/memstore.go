@@ -48,6 +48,28 @@ func (s *MemStore) GetNode(key NodeKey) (*Node, error) {
 	return &cp, nil
 }
 
+// GetNodes fetches a batch under one lock acquisition. Entries for absent
+// keys are nil.
+func (s *MemStore) GetNodes(keys []NodeKey) ([]*Node, error) {
+	out := make([]*Node, len(keys))
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for i, k := range keys {
+		if n, ok := s.nodes[k]; ok {
+			cp := *n
+			out[i] = &cp
+		}
+	}
+	return out, nil
+}
+
+// PeekNodes implements Peeker: the whole store is local, so peeking is
+// just GetNodes — descents over a MemStore never leave process memory.
+func (s *MemStore) PeekNodes(keys []NodeKey) []*Node {
+	out, _ := s.GetNodes(keys)
+	return out
+}
+
 // Len reports the number of stored nodes.
 func (s *MemStore) Len() int {
 	s.mu.RLock()

@@ -183,6 +183,16 @@ type Store interface {
 	PutNodes(nodes []*Node) error
 	// GetNode fetches one node by key.
 	GetNode(key NodeKey) (*Node, error)
+	// GetNodes fetches a batch of nodes in one operation. The result is
+	// aligned with keys; a nil entry means the key was not retrieved —
+	// absent from every replica that responded, or temporarily
+	// unreachable. GetNodes is the hot-path bulk read: it must not fail
+	// the whole batch because individual keys are missing (the batched
+	// descent probes keys speculatively), so callers that need the
+	// definitive absent-vs-unreachable distinction for a specific key
+	// follow up with GetNode, which consults the full ring before
+	// declaring absence.
+	GetNodes(keys []NodeKey) ([]*Node, error)
 }
 
 // ErrNodeNotFound is returned when a tree node is missing from the store.

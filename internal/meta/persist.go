@@ -208,6 +208,12 @@ func (s *PersistentStore) compactLocked() error {
 // GetNode serves from RAM.
 func (s *PersistentStore) GetNode(key NodeKey) (*Node, error) { return s.mem.GetNode(key) }
 
+// GetNodes serves the batch from RAM (nil entries for absent keys).
+func (s *PersistentStore) GetNodes(keys []NodeKey) ([]*Node, error) { return s.mem.GetNodes(keys) }
+
+// PeekNodes implements Peeker: nodes live in RAM, so peeking is free.
+func (s *PersistentStore) PeekNodes(keys []NodeKey) []*Node { return s.mem.PeekNodes(keys) }
+
 // Len reports the number of nodes.
 func (s *PersistentStore) Len() int { return s.mem.Len() }
 

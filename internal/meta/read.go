@@ -2,20 +2,58 @@ package meta
 
 import (
 	"fmt"
-	"sync"
-	"sync/atomic"
 )
 
-// parallelThreshold is the subtree width (in chunks) above which the two
-// children of an inner node are descended concurrently. Descents are
-// network-bound (one GetNode per level per subtree), so parallelism across
-// subtrees hides metadata-provider latency.
-const parallelThreshold = 32
+// specBudget bounds the number of node keys fetched per descent round.
+// Beyond the budget the enumeration truncates breadth-first, so a huge
+// read degrades gracefully into plain level-order rounds instead of
+// building unbounded requests.
+const specBudget = 1 << 14
+
+// Peeker is an optional Store refinement: PeekNodes resolves keys from
+// local, network-free state — the DHT client's LRU cache, or the whole
+// map for an in-process store. The result is aligned with keys; nil
+// entries are merely "not known locally", never an authoritative
+// absence. The batched descent drains the peek before every round so a
+// warm cache costs zero RPCs and the network fetch covers only the
+// genuine miss boundary.
+type Peeker interface {
+	PeekNodes(keys []NodeKey) []*Node
+}
+
+// span is a subtree whose version label is known (from its parent, or
+// from the version manager for the root) and which overlaps the
+// collected chunk range.
+type span struct {
+	ver  uint64
+	off  uint64
+	size uint64
+}
 
 // CollectLeaves resolves the chunk references for chunk range [a, b) of
 // the given published version by descending its segment tree. sizeChunks
 // is the blob size (in chunks) at that version, as reported by the version
 // manager. Never-written ranges come back as zero ChunkRefs.
+//
+// The descent is level-order and batched: each round's frontier of node
+// keys goes to the store in one GetNodes call (the DHT client groups the
+// keys by owner, one RPC per metadata provider per round), so a cold read
+// of C chunks costs O(providers × tree depth) round trips instead of the
+// O(C) a node-at-a-time walk pays. Before each round the frontier is
+// pushed as deep as it will go through the store's local Peeker state, so
+// cached subtrees never touch the network at all.
+//
+// Each network round additionally expands every frontier subtree under
+// the guess that its descendants carry the same version label. The guess
+// exploits the structure versioning gives the tree: a writer labels every
+// node it weaves with its own version, so any subtree last touched by one
+// write — the common case for freshly written data and for all untouched
+// regions — is uniformly labeled, and one round resolves it completely. A
+// wrong guess is harmless: a speculative key simply comes back absent, is
+// never consulted (the parent's actual child label routes the walk), and
+// the differently-labeled subtree forms the next round's frontier. Rounds
+// are therefore bounded by the tree depth, reached only by pathologically
+// fragmented histories.
 func CollectLeaves(store Store, blob, version, sizeChunks, a, b uint64) ([]ChunkRef, error) {
 	if b < a {
 		return nil, fmt.Errorf("meta: invalid chunk range [%d,%d)", a, b)
@@ -26,84 +64,199 @@ func CollectLeaves(store Store, blob, version, sizeChunks, a, b uint64) ([]Chunk
 	if b > sizeChunks {
 		return nil, fmt.Errorf("meta: chunk range [%d,%d) beyond blob size %d", a, b, sizeChunks)
 	}
-	out := make([]ChunkRef, b-a)
+	out := make([]ChunkRef, b-a) // zero ChunkRefs: never-written ranges stay as made
+	if version == ZeroVersion {
+		return out, nil
+	}
 	c := &collector{store: store, blob: blob, a: a, b: b, out: out}
-	root := NextPow2(sizeChunks)
-	c.wg.Add(1)
-	c.walk(version, 0, root)
-	c.wg.Wait()
-	if err := c.err.Load(); err != nil {
-		return nil, *err
+	if p, ok := store.(Peeker); ok {
+		c.peeker = p
+	}
+	frontier := []span{{ver: version, off: 0, size: NextPow2(sizeChunks)}}
+	for len(frontier) > 0 {
+		var err error
+		if frontier, err = c.peekRound(frontier); err != nil {
+			return nil, err
+		}
+		if len(frontier) == 0 {
+			break
+		}
+		if frontier, err = c.fetchRound(frontier); err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }
 
 type collector struct {
-	store Store
-	blob  uint64
-	a, b  uint64
-	out   []ChunkRef
-	wg    sync.WaitGroup
-	err   atomic.Pointer[error]
+	store  Store
+	peeker Peeker
+	blob   uint64
+	a, b   uint64
+	out    []ChunkRef
+
+	// Per-round fetch state: keys requested this round and their results.
+	keys  []NodeKey
+	index map[NodeKey]int
+	nodes []*Node
+	next  []span
 }
 
-func (c *collector) fail(err error) {
-	c.err.CompareAndSwap(nil, &err)
+func (c *collector) key(s span) NodeKey {
+	return NodeKey{Blob: c.blob, Version: s.ver, Off: s.off, Size: s.size}
 }
 
-// walk visits the node (version, off, size); the caller must have
-// c.wg.Add(1)-ed for it. Ranges are pre-clipped: walk is only called for
-// subtrees overlapping [a, b).
-func (c *collector) walk(version, off, size uint64) {
-	defer c.wg.Done()
-	if c.err.Load() != nil {
-		return
+// peekRound walks the frontier as deep as the store's local state allows
+// without touching the network, returning the miss boundary: the spans
+// whose nodes must be fetched. Stores without a Peeker pass the frontier
+// through untouched.
+func (c *collector) peekRound(frontier []span) ([]span, error) {
+	if c.peeker == nil {
+		return frontier, nil
 	}
-	if version == ZeroVersion {
-		lo, hi := off, off+size
-		if lo < c.a {
-			lo = c.a
+	var misses []span
+	for len(frontier) > 0 {
+		keys := make([]NodeKey, len(frontier))
+		for i, s := range frontier {
+			keys[i] = c.key(s)
 		}
-		if hi > c.b {
-			hi = c.b
+		nodes := c.peeker.PeekNodes(keys)
+		if len(nodes) != len(keys) {
+			return nil, fmt.Errorf("meta: peek returned %d nodes for %d keys", len(nodes), len(keys))
 		}
-		for i := lo; i < hi; i++ {
-			c.out[i-c.a] = ChunkRef{} // zero chunk
+		var deeper []span
+		for i, s := range frontier {
+			if nodes[i] == nil {
+				misses = append(misses, s)
+				continue
+			}
+			children, err := c.resolve(s, nodes[i])
+			if err != nil {
+				return nil, err
+			}
+			deeper = append(deeper, children...)
 		}
-		return
+		frontier = deeper
 	}
-	node, err := c.store.GetNode(NodeKey{Blob: c.blob, Version: version, Off: off, Size: size})
+	return misses, nil
+}
+
+// fetchRound fetches one frontier (plus same-label speculative
+// descendants) in a single batched store operation and walks the
+// results, returning the next frontier: the roots of every subtree whose
+// label differs from its parent's, plus any subtree the fetch budget cut
+// off.
+func (c *collector) fetchRound(frontier []span) ([]span, error) {
+	c.keys = c.keys[:0]
+	c.nodes = nil
+	c.next = nil
+	if c.index == nil {
+		c.index = make(map[NodeKey]int)
+	} else {
+		clear(c.index)
+	}
+
+	// Enumerate breadth-first so a budget cut drops the deepest
+	// speculative keys first, never a frontier root.
+	queue := append([]span(nil), frontier...)
+	for qi := 0; qi < len(queue) && len(c.keys) < specBudget; qi++ {
+		s := queue[qi]
+		k := c.key(s)
+		if _, dup := c.index[k]; dup {
+			continue
+		}
+		c.index[k] = len(c.keys)
+		c.keys = append(c.keys, k)
+		if s.size > 1 {
+			half := s.size / 2
+			if overlaps(s.off, s.off+half, c.a, c.b) {
+				queue = append(queue, span{ver: s.ver, off: s.off, size: half})
+			}
+			if overlaps(s.off+half, s.off+s.size, c.a, c.b) {
+				queue = append(queue, span{ver: s.ver, off: s.off + half, size: half})
+			}
+		}
+	}
+	var err error
+	c.nodes, err = c.store.GetNodes(c.keys)
 	if err != nil {
-		c.fail(err)
-		return
+		return nil, err
 	}
-	if node.Leaf {
-		if size != 1 {
-			c.fail(fmt.Errorf("meta: leaf %s with span %d", node.Key, size))
-			return
+	if len(c.nodes) != len(c.keys) {
+		return nil, fmt.Errorf("meta: store returned %d nodes for %d keys", len(c.nodes), len(c.keys))
+	}
+	for _, s := range frontier {
+		if err := c.walk(s); err != nil {
+			return nil, err
 		}
-		c.out[off-c.a] = node.Chunk
-		return
 	}
-	if size == 1 {
-		c.fail(fmt.Errorf("meta: inner node %s at leaf granularity", node.Key))
-		return
+	return c.next, nil
+}
+
+// walk resolves the subtree rooted at s against this round's fetched
+// nodes. s's label is authoritative (named by its parent), so a missing
+// root here is a real failure, retried once through the single-get path
+// to distinguish "absent everywhere" from "replica unreachable".
+func (c *collector) walk(s span) error {
+	k := c.key(s)
+	i, fetched := c.index[k]
+	if !fetched {
+		// Cut off by the round budget; its label is known, so it simply
+		// heads the next round's frontier.
+		c.next = append(c.next, s)
+		return nil
 	}
-	half := size / 2
-	goLeft := overlaps(off, off+half, c.a, c.b)
-	goRight := overlaps(off+half, off+size, c.a, c.b)
-	if goLeft && goRight && size > parallelThreshold {
-		c.wg.Add(2)
-		go c.walk(node.LeftVer, off, half)
-		c.walk(node.RightVer, off+half, half)
-		return
+	node := c.nodes[i]
+	if node == nil {
+		n, err := c.store.GetNode(k)
+		if err != nil {
+			return fmt.Errorf("meta: descent at %s: %w", k, err)
+		}
+		node = n
 	}
-	if goLeft {
-		c.wg.Add(1)
-		c.walk(node.LeftVer, off, half)
+	children, err := c.resolve(s, node)
+	if err != nil {
+		return err
 	}
-	if goRight {
-		c.wg.Add(1)
-		c.walk(node.RightVer, off+half, half)
+	for _, ch := range children {
+		if ch.ver == s.ver {
+			// Same label: the speculative fetch covered it; keep walking
+			// within this round.
+			if err := c.walk(ch); err != nil {
+				return err
+			}
+			continue
+		}
+		// Label boundary: this child's subtree belongs to the next round.
+		c.next = append(c.next, ch)
 	}
+	return nil
+}
+
+// resolve consumes one fetched node: leaves land in the output, inner
+// nodes yield their in-range, non-zero children.
+func (c *collector) resolve(s span, node *Node) ([]span, error) {
+	if node.Leaf {
+		if s.size != 1 {
+			return nil, fmt.Errorf("meta: leaf %s with span %d", c.key(s), s.size)
+		}
+		c.out[s.off-c.a] = node.Chunk
+		return nil, nil
+	}
+	if s.size == 1 {
+		return nil, fmt.Errorf("meta: inner node %s at leaf granularity", c.key(s))
+	}
+	half := s.size / 2
+	candidates := [2]span{
+		{ver: node.LeftVer, off: s.off, size: half},
+		{ver: node.RightVer, off: s.off + half, size: half},
+	}
+	children := make([]span, 0, 2)
+	for _, ch := range candidates {
+		if ch.ver == ZeroVersion || !overlaps(ch.off, ch.off+ch.size, c.a, c.b) {
+			continue // zero subtree (out is pre-zeroed) or outside the range
+		}
+		children = append(children, ch)
+	}
+	return children, nil
 }

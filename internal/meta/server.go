@@ -9,6 +9,7 @@ import (
 const (
 	MethodPutNodes    = "meta.put"
 	MethodGetNode     = "meta.get"
+	MethodGetNodes    = "meta.getnodes"
 	MethodStats       = "meta.stats"
 	MethodDeleteNodes = "meta.delete"
 	MethodDeleteBlob  = "meta.deleteblob"
@@ -78,6 +79,72 @@ func (r *GetNodeResp) Decode(d *wire.Decoder) {
 	r.Found = d.Bool()
 	if r.Found {
 		r.Node.Decode(d)
+	}
+}
+
+// GetNodesReq asks for a batch of nodes in one round trip. This is the
+// hot-path read RPC: the level-order descent groups a whole frontier of
+// tree-node keys per provider and fetches them together, so a read costs
+// O(providers × tree depth) round trips instead of one per node.
+type GetNodesReq struct {
+	Keys []NodeKey
+}
+
+// Encode implements wire.Message.
+func (r *GetNodesReq) Encode(e *wire.Encoder) {
+	e.PutU32(uint32(len(r.Keys)))
+	for _, k := range r.Keys {
+		e.PutU64(k.Blob)
+		e.PutU64(k.Version)
+		e.PutU64(k.Off)
+		e.PutU64(k.Size)
+	}
+}
+
+// Decode implements wire.Message.
+func (r *GetNodesReq) Decode(d *wire.Decoder) {
+	cnt := d.U32()
+	r.Keys = nil
+	for i := uint32(0); i < cnt && d.Err() == nil; i++ {
+		var k NodeKey
+		k.Blob = d.U64()
+		k.Version = d.U64()
+		k.Off = d.U64()
+		k.Size = d.U64()
+		r.Keys = append(r.Keys, k)
+	}
+}
+
+// GetNodesResp returns the nodes aligned with the request keys; a nil
+// entry marks a key this provider does not hold (the descent probes keys
+// speculatively, so absences are ordinary, not errors).
+type GetNodesResp struct {
+	Nodes []*Node
+}
+
+// Encode implements wire.Message.
+func (r *GetNodesResp) Encode(e *wire.Encoder) {
+	e.PutU32(uint32(len(r.Nodes)))
+	for _, n := range r.Nodes {
+		e.PutBool(n != nil)
+		if n != nil {
+			n.Encode(e)
+		}
+	}
+}
+
+// Decode implements wire.Message.
+func (r *GetNodesResp) Decode(d *wire.Decoder) {
+	cnt := d.U32()
+	r.Nodes = nil
+	for i := uint32(0); i < cnt && d.Err() == nil; i++ {
+		if !d.Bool() {
+			r.Nodes = append(r.Nodes, nil)
+			continue
+		}
+		n := &Node{}
+		n.Decode(d)
+		r.Nodes = append(r.Nodes, n)
 	}
 }
 
@@ -196,6 +263,14 @@ func NewServerWithStore(network rpc.Network, addr string, store ServerStore) *Se
 				return &GetNodeResp{Found: false}, nil
 			}
 			return &GetNodeResp{Found: true, Node: *n}, nil
+		})
+	rpc.HandleMsg(s.srv, MethodGetNodes, func() *GetNodesReq { return &GetNodesReq{} },
+		func(req *GetNodesReq) (*GetNodesResp, error) {
+			nodes, err := s.store.GetNodes(req.Keys)
+			if err != nil {
+				return nil, err
+			}
+			return &GetNodesResp{Nodes: nodes}, nil
 		})
 	rpc.HandleMsg(s.srv, MethodStats, func() *Ack { return &Ack{} },
 		func(*Ack) (*StatsResp, error) {

@@ -53,9 +53,16 @@ func (r *PutReq) Decode(d *wire.Decoder) {
 	r.Data = d.BytesCopy()
 }
 
-// GetReq fetches one chunk.
+// GetReq fetches one chunk, or — when Offset/Length name a sub-range —
+// only the bytes [Offset, Offset+Length) of it, clipped to the stored
+// size. The zero range (Offset == 0, Length == 0) means the whole chunk;
+// Length == 0 with a nonzero Offset means "from Offset to the end".
+// Ranged gets are what keep unaligned boundary reads (and the
+// read-modify-write merge) from dragging whole chunks across the wire.
 type GetReq struct {
-	Key chunk.Key
+	Key    chunk.Key
+	Offset uint64
+	Length uint64
 }
 
 // Encode implements wire.Message.
@@ -63,6 +70,8 @@ func (r *GetReq) Encode(e *wire.Encoder) {
 	e.PutU64(r.Key.Blob)
 	e.PutU64(r.Key.Version)
 	e.PutU64(r.Key.Index)
+	e.PutU64(r.Offset)
+	e.PutU64(r.Length)
 }
 
 // Decode implements wire.Message.
@@ -70,6 +79,8 @@ func (r *GetReq) Decode(d *wire.Decoder) {
 	r.Key.Blob = d.U64()
 	r.Key.Version = d.U64()
 	r.Key.Index = d.U64()
+	r.Offset = d.U64()
+	r.Length = d.U64()
 }
 
 // GetResp returns chunk bytes when found.
@@ -108,6 +119,9 @@ type StatsResp struct {
 	Puts    uint64
 	Gets    uint64
 	Deletes uint64
+	// BytesOut counts payload bytes served by gets. With ranged reads it
+	// is what shows boundary reads moving only the bytes they need.
+	BytesOut uint64
 }
 
 // Encode implements wire.Message.
@@ -117,6 +131,7 @@ func (r *StatsResp) Encode(e *wire.Encoder) {
 	e.PutU64(r.Puts)
 	e.PutU64(r.Gets)
 	e.PutU64(r.Deletes)
+	e.PutU64(r.BytesOut)
 }
 
 // Decode implements wire.Message.
@@ -126,6 +141,7 @@ func (r *StatsResp) Decode(d *wire.Decoder) {
 	r.Puts = d.U64()
 	r.Gets = d.U64()
 	r.Deletes = d.U64()
+	r.BytesOut = d.U64()
 }
 
 // ListChunksReq asks for the provider's inventory of one blob, or the
@@ -262,9 +278,10 @@ type Server struct {
 	store chunk.Store
 	srv   *rpc.Server
 
-	puts    metrics.Counter
-	gets    metrics.Counter
-	deletes metrics.Counter
+	puts     metrics.Counter
+	gets     metrics.Counter
+	deletes  metrics.Counter
+	bytesOut metrics.Counter // payload bytes served by Get (ranged or full)
 
 	// putTimes records when each chunk arrived, so the GC orphan sweep can
 	// apply an age grace that protects phase-1 uploads of writes still in
@@ -316,10 +333,17 @@ func NewServer(network rpc.Network, addr string, store chunk.Store) *Server {
 	rpc.HandleMsg(s.srv, MethodGet, func() *GetReq { return &GetReq{} },
 		func(req *GetReq) (*GetResp, error) {
 			s.gets.Add(1)
-			data, err := s.store.Get(req.Key)
+			var data []byte
+			var err error
+			if req.Offset == 0 && req.Length == 0 {
+				data, err = s.store.Get(req.Key)
+			} else {
+				data, err = s.store.GetRange(req.Key, req.Offset, req.Length)
+			}
 			if err != nil {
 				return &GetResp{Found: false}, nil
 			}
+			s.bytesOut.Add(int64(len(data)))
 			return &GetResp{Found: true, Data: data}, nil
 		})
 	rpc.HandleMsg(s.srv, MethodHas, func() *GetReq { return &GetReq{} },
@@ -329,11 +353,12 @@ func NewServer(network rpc.Network, addr string, store chunk.Store) *Server {
 	rpc.HandleMsg(s.srv, MethodStats, func() *Ack { return &Ack{} },
 		func(*Ack) (*StatsResp, error) {
 			return &StatsResp{
-				Chunks:  uint64(s.store.Len()),
-				Bytes:   uint64(s.store.Bytes()),
-				Puts:    uint64(s.puts.Load()),
-				Gets:    uint64(s.gets.Load()),
-				Deletes: uint64(s.deletes.Load()),
+				Chunks:   uint64(s.store.Len()),
+				Bytes:    uint64(s.store.Bytes()),
+				Puts:     uint64(s.puts.Load()),
+				Gets:     uint64(s.gets.Load()),
+				Deletes:  uint64(s.deletes.Load()),
+				BytesOut: uint64(s.bytesOut.Load()),
 			}, nil
 		})
 	rpc.HandleMsg(s.srv, MethodListChunks, func() *ListChunksReq { return &ListChunksReq{} },
@@ -488,10 +513,18 @@ func PutChunk(cli *rpc.Client, addr string, key chunk.Key, data []byte) error {
 	return cli.Call(addr, MethodPut, &PutReq{Key: key, Data: data}, &Ack{})
 }
 
-// GetChunk fetches one chunk from one provider.
+// GetChunk fetches one whole chunk from one provider.
 func GetChunk(cli *rpc.Client, addr string, key chunk.Key) ([]byte, error) {
+	return GetChunkRange(cli, addr, key, 0, 0)
+}
+
+// GetChunkRange fetches bytes [off, off+length) of one chunk from one
+// provider (off == 0, length == 0 fetches the whole chunk; length == 0
+// with off > 0 reads to the end). The range is clipped to the chunk's
+// stored size, so the reply may be shorter than requested.
+func GetChunkRange(cli *rpc.Client, addr string, key chunk.Key, off, length uint64) ([]byte, error) {
 	var resp GetResp
-	if err := cli.Call(addr, MethodGet, &GetReq{Key: key}, &resp); err != nil {
+	if err := cli.Call(addr, MethodGet, &GetReq{Key: key, Offset: off, Length: length}, &resp); err != nil {
 		return nil, err
 	}
 	if !resp.Found {

@@ -187,13 +187,15 @@ func (cc *clientConn) roundTrip(method string, payload []byte, timeout time.Dura
 	cc.pending[id] = call
 	cc.mu.Unlock()
 
-	enc := wire.NewEncoder(len(payload) + len(method) + 16)
+	enc := getEncoder()
 	enc.PutU8(kindRequest)
 	enc.PutU64(id)
 	enc.PutString(method)
 	enc.PutBytes(payload)
 
-	if err := cc.conn.Send(enc.Bytes()); err != nil {
+	err := cc.conn.Send(enc.Bytes())
+	putEncoder(enc)
+	if err != nil {
 		cc.mu.Lock()
 		delete(cc.pending, id)
 		cc.mu.Unlock()

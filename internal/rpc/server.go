@@ -171,7 +171,7 @@ func (s *Server) dispatch(conn Conn, id uint64, method string, payload []byte) {
 		result, err = h(payload)
 	}
 
-	enc := wire.NewEncoder(len(result) + 64)
+	enc := getEncoder()
 	enc.PutU8(kindResponse)
 	enc.PutU64(id)
 	if err != nil {
@@ -181,10 +181,10 @@ func (s *Server) dispatch(conn Conn, id uint64, method string, payload []byte) {
 		enc.PutU8(statusOK)
 		enc.PutBytes(result)
 	}
-	if err := conn.Send(enc.Bytes()); err != nil {
-		// The connection died; the client will observe it directly.
-		return
-	}
+	// A send failure means the connection died; the client observes it
+	// directly. Either way the frame buffer is recyclable afterwards.
+	_ = conn.Send(enc.Bytes())
+	putEncoder(enc)
 }
 
 // Close stops the listener and tears down every open connection, then waits
