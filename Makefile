@@ -28,12 +28,15 @@ fuzz:
 	$(GO) test -fuzz=FuzzPutNodesReqDecode -fuzztime=$(FUZZTIME) ./internal/meta/
 	$(GO) test -fuzz=FuzzWALReplay -fuzztime=$(FUZZTIME) ./internal/durable/
 	$(GO) test -fuzz=FuzzWALFrame -fuzztime=$(FUZZTIME) ./internal/durable/
+	$(GO) test -fuzz=FuzzCoalescedBatchTear -fuzztime=$(FUZZTIME) ./internal/durable/
 
 # Macro-benchmark smoke test: one iteration of every reconstructed
-# experiment (E1-E12) keeps the bench harness from rotting; raise
-# BENCHTIME (and add -count) when measuring for real. BENCH_baseline.json
-# and BENCH_after.json at the repo root record the E1/E4 before/after of
-# the metadata-batching refactor.
+# experiment (E1-E13, including the E13 durable concurrent-writer bench)
+# keeps the bench harness from rotting; raise BENCHTIME (and add -count)
+# when measuring for real. BENCH_baseline.json / BENCH_after.json record
+# the E1/E4 before/after of the metadata-batching refactor (PR 3);
+# BENCH_baseline_pr4.json / BENCH_after_pr4.json record the E13
+# before/after of the write-plane batching + WAL group commit (PR 4).
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime $(BENCHTIME) .
 

@@ -121,3 +121,7 @@ func BenchmarkE11QoSFailures(b *testing.B) {
 func BenchmarkE12SnapshotReads(b *testing.B) {
 	runExperiment(b, "E12", lastOf("blobseer"))
 }
+
+func BenchmarkE13DurableWriters(b *testing.B) {
+	runExperiment(b, "E13", lastOf("blobseer"))
+}

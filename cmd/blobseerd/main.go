@@ -10,9 +10,11 @@
 // Durability: for the vmanager and metadata roles, -dir selects the
 // journal/node-log directory; the daemon replays it on start, so a crashed
 // process restarted on the same directory recovers its full state. Omit
-// -dir to run those roles volatile (state dies with the process). -fsync
-// makes every journal append survive whole-machine crashes at a latency
-// cost; without it, appends survive process crashes only.
+// -dir to run those roles volatile (state dies with the process).
+// Journal appends are fsynced by default — WAL group commit coalesces
+// concurrent appends into one fsync, so machine-crash durability is cheap
+// enough to always be on; -fsync=false trades it away for latency
+// (appends then survive process crashes only).
 //
 // Garbage collection: the vmanager role runs a background reclamation
 // sweep every -gc-interval when also given the deployment view
@@ -50,7 +52,7 @@ func main() {
 	strategy := flag.String("strategy", "roundrobin", "placement strategy (role=pmanager)")
 	storeKind := flag.String("store", "mem", "chunk store: mem | disk | cached (role=provider)")
 	dir := flag.String("dir", "", "data directory: chunks (role=provider, store=disk|cached), journal (role=vmanager), node log (role=metadata)")
-	fsync := flag.Bool("fsync", false, "fsync every journal append (role=vmanager|metadata with -dir)")
+	fsync := flag.Bool("fsync", true, "fsync journal appends, group-committed (role=vmanager|metadata with -dir); -fsync=false survives process crashes only")
 	cacheMB := flag.Int64("cache-mb", 256, "RAM cache size (store=cached)")
 	hbInterval := flag.Duration("heartbeat", time.Second, "heartbeat interval (role=provider)")
 	hbTimeout := flag.Duration("heartbeat-timeout", 5*time.Second, "provider liveness timeout (role=pmanager)")

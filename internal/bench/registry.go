@@ -26,6 +26,7 @@ var Registry = []Experiment{
 	{"E10", "MapReduce applications: BSFS vs HDFS", E10MapReduce},
 	{"E11", "QoS under failures with GloBeM", E11QoSFailures},
 	{"E12", "snapshot read throughput", E12SnapshotReads},
+	{"E13", "durable concurrent writers (fsync'd WAL)", E13DurableWriters},
 }
 
 // Lookup finds an experiment by ID.

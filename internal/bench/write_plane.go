@@ -1,0 +1,135 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// E13DurableWriters — write-plane cost under a durable, fsync'd control
+// plane: aggregate write throughput vs concurrent writers when the version
+// manager journals every Assign/Commit with an fsync. Each writer streams
+// several multi-chunk writes into its own blob, so the version manager
+// sees a steady stream of concurrent journal appends — the workload the
+// WAL group commit amortizes — while the data plane sees multi-chunk
+// uploads per provider — the workload the batched putchunks RPC
+// amortizes.
+func E13DurableWriters(o Options) (*Result, error) {
+	res := &Result{
+		ID:    "E13",
+		Title: "aggregate write throughput vs concurrent writers (fsync'd WAL, one blob per writer)",
+		Notes: "journal appends coalesce across writers (group commit); chunk uploads coalesce per provider (putchunks)",
+	}
+	for _, n := range []int{1, 4, 16} {
+		agg, syncsPerAppend, err := durableWritePoint(o, n)
+		if err != nil {
+			return nil, err
+		}
+		res.Add("blobseer", float64(n), fmt.Sprintf("writers=%d", n), agg, "MB/s")
+		res.Add("wal-syncs-per-append", float64(n), fmt.Sprintf("writers=%d", n), syncsPerAppend, "ratio")
+	}
+	return res, nil
+}
+
+// durableWritePoint runs one sweep point ioReps times on fresh durable
+// clusters and returns the best aggregate throughput plus the WAL
+// fsync-per-append ratio of that run. Small chunks make each write span
+// many chunks per provider (the putchunks coalescing axis) while the
+// per-write Assign/Commit journaling exercises the group-commit axis.
+func durableWritePoint(o Options, n int) (float64, float64, error) {
+	bytesPer := o.scaleU64(4<<20, 512<<10)
+	const chunkSize = 4 << 10
+	const writesPerClient = 2
+	var best, bestRatio float64
+	for rep := 0; rep < ioReps; rep++ {
+		agg, ratio, err := oneDurableWritePoint(n, bytesPer, chunkSize, writesPerClient)
+		if err != nil {
+			return 0, 0, err
+		}
+		if agg > best {
+			best, bestRatio = agg, ratio
+		}
+	}
+	return best, bestRatio, nil
+}
+
+func oneDurableWritePoint(n int, bytesPer, chunkSize uint64, writesPerClient int) (float64, float64, error) {
+	dir, err := os.MkdirTemp("", "blobseer-e13-")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer os.RemoveAll(dir)
+	c, err := cluster.Start(cluster.Config{
+		DataProviders:    8,
+		MetaProviders:    4,
+		Fabric:           testbedFabric(),
+		CallTimeout:      120 * time.Second,
+		HeartbeatTimeout: 30 * time.Second,
+		DataDir:          dir,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	defer c.Close()
+
+	blobs := make([]*core.Blob, n)
+	for i := range blobs {
+		cli, err := c.NewClient(cluster.ClientOptions{MetaCacheNodes: 1 << 16})
+		if err != nil {
+			return 0, 0, err
+		}
+		b, err := cli.CreateBlob(chunkSize, 1)
+		if err != nil {
+			return 0, 0, err
+		}
+		blobs[i] = b
+	}
+
+	per := bytesPer / uint64(writesPerClient)
+	per -= per % chunkSize // chunk-aligned: the fast, fully parallel path
+	if per == 0 {
+		per = chunkSize
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, n)
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			data := make([]byte, per)
+			workload.Fill(data, uint64(i))
+			for w := 0; w < writesPerClient; w++ {
+				if _, err := blobs[i].Write(data, uint64(w)*per); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errCh:
+		return 0, 0, err
+	default:
+	}
+	total := per * uint64(writesPerClient) * uint64(n)
+	return mbps(total, elapsed), walSyncRatio(c), nil
+}
+
+// walSyncRatio reports the version manager's fsyncs-per-append ratio: 1.0
+// means every journaled state transition paid its own fsync; group commit
+// pushes it toward 1/N under N-way write concurrency.
+func walSyncRatio(c *cluster.Cluster) float64 {
+	st := c.VM.Manager().JournalStats()
+	if st.Appends == 0 {
+		return 0
+	}
+	return float64(st.Syncs) / float64(st.Appends)
+}

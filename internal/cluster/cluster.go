@@ -59,8 +59,13 @@ type Config struct {
 	// the full state (crash/recovery fault tests). Empty keeps the seed's
 	// all-RAM behavior.
 	DataDir string
-	// FsyncWAL fsyncs every journal append (see durable.Options.Fsync).
-	FsyncWAL bool
+	// NoFsyncWAL opts a durable deployment out of per-append journal
+	// fsyncs. Fsync is the DEFAULT whenever DataDir is set: WAL group
+	// commit coalesces concurrent appends into one fsync, which makes
+	// machine-crash durability cheap enough to always be on. Without
+	// fsync, appends still survive process crashes (they reach the OS
+	// immediately) but not whole-machine crashes.
+	NoFsyncWAL bool
 }
 
 // Cluster is a running deployment.
@@ -363,6 +368,14 @@ func (c *Cluster) KillVM() {
 func (c *Cluster) RestartVM() error {
 	c.srvMu.Lock()
 	defer c.srvMu.Unlock()
+	// Release the crashed instance's journal fd BEFORE the new manager
+	// opens the directory: the crashed server's in-flight handler
+	// goroutines may still be appending (group commit can hold their
+	// batches in flight), and an old-instance write landing after the new
+	// instance's Open would interleave two writers on one WAL. Closing
+	// first fails those stragglers with ErrClosed — exactly what a real
+	// kill -9 does to them.
+	c.VM.Manager().Close()
 	mgr, _, err := buildVMManager(c.cfg)
 	if err != nil {
 		return fmt.Errorf("cluster: recovering version manager: %w", err)
@@ -372,11 +385,7 @@ func (c *Cluster) RestartVM() error {
 		mgr.Close()
 		return fmt.Errorf("cluster: restarting version manager: %w", err)
 	}
-	old := c.VM
 	c.VM = vm
-	// Release the crashed instance's journal fd; its state is already on
-	// disk and the new manager has taken over the directory.
-	old.Manager().Close()
 	return nil
 }
 
@@ -398,6 +407,11 @@ func (c *Cluster) RestartMeta(i int) error {
 	}
 	c.srvMu.Lock()
 	defer c.srvMu.Unlock()
+	// Close the crashed instance's node log first (no-op for MemStore),
+	// for the same reason RestartVM does: no two writers on one WAL.
+	if closer, ok := c.MetaServers[i].Store().(interface{ Close() error }); ok {
+		closer.Close()
+	}
 	store, _, err := buildMetaStore(c.cfg, i)
 	if err != nil {
 		return fmt.Errorf("cluster: recovering metadata provider %d: %w", i, err)
@@ -406,12 +420,7 @@ func (c *Cluster) RestartMeta(i int) error {
 	if err := ms.Start(); err != nil {
 		return fmt.Errorf("cluster: restarting metadata provider %d: %w", i, err)
 	}
-	old := c.MetaServers[i]
 	c.MetaServers[i] = ms
-	// Release the crashed instance's node-log fd (no-op for MemStore).
-	if closer, ok := old.Store().(interface{ Close() error }); ok {
-		closer.Close()
-	}
 	return nil
 }
 
@@ -422,7 +431,7 @@ func buildVMManager(cfg Config) (*vmanager.Manager, string, error) {
 		return vmanager.NewManager(), "", nil
 	}
 	dir := filepath.Join(cfg.DataDir, "vmanager")
-	m, err := vmanager.OpenManager(dir, vmanager.Options{Fsync: cfg.FsyncWAL})
+	m, err := vmanager.OpenManager(dir, vmanager.Options{Fsync: !cfg.NoFsyncWAL})
 	if err != nil {
 		return nil, "", fmt.Errorf("cluster: opening version manager journal: %w", err)
 	}
@@ -436,7 +445,7 @@ func buildMetaStore(cfg Config, i int) (meta.ServerStore, string, error) {
 		return meta.NewMemStore(), "", nil
 	}
 	dir := filepath.Join(cfg.DataDir, fmt.Sprintf("meta%d", i))
-	st, err := meta.NewPersistentStore(dir, cfg.FsyncWAL)
+	st, err := meta.NewPersistentStore(dir, !cfg.NoFsyncWAL)
 	if err != nil {
 		return nil, "", fmt.Errorf("cluster: opening metadata node log %d: %w", i, err)
 	}

@@ -84,16 +84,23 @@ type Client struct {
 	// Data-plane accounting: chunk RPCs issued and payload bytes moved.
 	// Together with meta.Client.RPCStats these make the cost model of a
 	// read/write observable (and testable) instead of inferred.
-	chunkGets     metrics.Counter
-	chunkPuts     metrics.Counter
-	chunkBytesIn  metrics.Counter
-	chunkBytesOut metrics.Counter
+	chunkGets       metrics.Counter
+	chunkPuts       metrics.Counter
+	chunkPutBatches metrics.Counter
+	chunkBytesIn    metrics.Counter
+	chunkBytesOut   metrics.Counter
 }
 
 // IOStats is a snapshot of the client's data-plane traffic.
 type IOStats struct {
-	ChunkGetRPCs  int64 // provider.get calls (including failed replicas)
-	ChunkPutRPCs  int64 // provider.put calls (including failed replicas)
+	ChunkGetRPCs int64 // provider.get calls (including failed replicas)
+	// ChunkPutOps counts per-chunk-per-replica store operations
+	// (including failed ones); ChunkPutRPCs counts the provider.putchunks
+	// round trips that carried them. Ops/RPCs is the write-plane
+	// coalescing factor: a W-chunk write at replication R is W×R ops in
+	// at most ~providers RPCs.
+	ChunkPutOps   int64
+	ChunkPutRPCs  int64
 	ChunkBytesIn  int64 // payload bytes received from providers
 	ChunkBytesOut int64 // payload bytes sent to providers
 }
@@ -102,7 +109,8 @@ type IOStats struct {
 func (c *Client) IOStats() IOStats {
 	return IOStats{
 		ChunkGetRPCs:  c.chunkGets.Load(),
-		ChunkPutRPCs:  c.chunkPuts.Load(),
+		ChunkPutOps:   c.chunkPuts.Load(),
+		ChunkPutRPCs:  c.chunkPutBatches.Load(),
 		ChunkBytesIn:  c.chunkBytesIn.Load(),
 		ChunkBytesOut: c.chunkBytesOut.Load(),
 	}
@@ -242,11 +250,13 @@ func (b *Blob) WaitPublished(version uint64) error {
 	return mapVMError(err)
 }
 
-// allocate asks the provider manager for replica sets for n chunks.
-func (c *Client) allocate(n int, replication uint32) ([][]string, error) {
+// allocate asks the provider manager for replica sets for n chunks,
+// avoiding the excluded providers (retry after a full replica-set
+// failure).
+func (c *Client) allocate(n int, replication uint32, exclude []string) ([][]string, error) {
 	var resp pmanager.AllocateResp
 	err := c.rpc.Call(c.cfg.PMAddr, pmanager.MethodAllocate,
-		&pmanager.AllocateReq{NumChunks: uint32(n), Replication: replication}, &resp)
+		&pmanager.AllocateReq{NumChunks: uint32(n), Replication: replication, Exclude: exclude}, &resp)
 	if err != nil {
 		return nil, fmt.Errorf("core: allocate %d chunks: %w", n, err)
 	}

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/vmanager"
 )
 
 func startCluster(t testing.TB, cfg cluster.Config) *cluster.Cluster {
@@ -647,5 +648,176 @@ func TestManyBlobsIsolated(t *testing.T) {
 		if got := readAll(t, b, 0); !bytes.Equal(got, pattern(4096, byte(i+1))) {
 			t.Errorf("blob %d content bled across blobs", i)
 		}
+	}
+}
+
+// TestWritePutRPCBound asserts the write-plane batching acceptance bound:
+// a cold 64-chunk aligned write at replication 2 against 4 providers is
+// 128 chunk-replica store operations but at most 8 provider.putchunks
+// round trips (it was 128 provider.put RPCs before grouping; the
+// cross-rank per-address grouping typically lands at ~4).
+func TestWritePutRPCBound(t *testing.T) {
+	const chunkSize, chunks, repl, providers = 4096, 64, 2, 4
+	c := startCluster(t, cluster.Config{DataProviders: providers})
+	cli := newClient(t, c, cluster.ClientOptions{})
+	blob, err := cli.CreateBlob(chunkSize, repl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := pattern(chunkSize*chunks, 9)
+	v, err := blob.Write(data, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := cli.IOStats()
+	if st.ChunkPutOps != chunks*repl {
+		t.Errorf("ChunkPutOps = %d, want %d", st.ChunkPutOps, chunks*repl)
+	}
+	if st.ChunkPutRPCs > 2*providers {
+		t.Errorf("64-chunk write at repl 2 issued %d putchunks RPCs, bound %d", st.ChunkPutRPCs, 2*providers)
+	}
+	if st.ChunkBytesOut != int64(len(data))*repl {
+		t.Errorf("ChunkBytesOut = %d, want %d", st.ChunkBytesOut, len(data)*repl)
+	}
+	if got := readAll(t, blob, v); !bytes.Equal(got, data) {
+		t.Fatal("read-back mismatch")
+	}
+	t.Logf("%d chunk-replica ops in %d putchunks RPCs", st.ChunkPutOps, st.ChunkPutRPCs)
+}
+
+// TestWriteRetryExcludesFailedProviders kills half the data plane right
+// before a replicated write, so some replica sets consist entirely of
+// dead providers (the provider manager has not aged them out yet). The
+// per-chunk fallback must re-place those chunks on the survivors — the
+// retry allocation excludes the providers that just failed, so it cannot
+// hand back the dead pair — and the write must come out fully readable.
+func TestWriteRetryExcludesFailedProviders(t *testing.T) {
+	const chunkSize, chunks = 2048, 16
+	c := startCluster(t, cluster.Config{DataProviders: 4})
+	cli := newClient(t, c, cluster.ClientOptions{})
+	blob, err := cli.CreateBlob(chunkSize, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.KillProvider(0)
+	c.KillProvider(1)
+	data := pattern(chunkSize*chunks, 17)
+	v, err := blob.Write(data, 0)
+	if err != nil {
+		t.Fatalf("write with half the data plane dead: %v", err)
+	}
+	if got := readAll(t, blob, v); !bytes.Equal(got, data) {
+		t.Fatal("read-back mismatch")
+	}
+	// Every stored replica must be on a survivor: the fallback may not
+	// have re-selected the providers that just failed.
+	dead := map[string]bool{c.ProviderAddrs()[0]: true, c.ProviderAddrs()[1]: true}
+	locs, err := blob.Locations(v, 0, uint64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, loc := range locs {
+		if len(loc.Providers) == 0 {
+			t.Fatalf("chunk at %d stored nowhere", loc.Offset)
+		}
+		for _, a := range loc.Providers {
+			if dead[a] {
+				t.Fatalf("chunk at %d placed on dead provider %s", loc.Offset, a)
+			}
+		}
+	}
+}
+
+// TestWriteAfterTreelessAbortedVersion regression-tests the abort poison
+// cascade: a version that is aborted WITHOUT its identity tree ever being
+// woven (a crashed writer, or an abort repair that died with the control
+// plane) used to wedge the blob — every later unaligned write's merge
+// read "content as of prev" through the treeless version's missing root
+// and failed, each retry aborting another treeless version behind it.
+// Writers must instead resolve prior content from the newest non-failed
+// version and succeed.
+func TestWriteAfterTreelessAbortedVersion(t *testing.T) {
+	c := startCluster(t, cluster.Config{DataProviders: 2})
+	cli := newClient(t, c, cluster.ClientOptions{})
+	blob, err := cli.CreateBlob(256, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := pattern(600, 5)
+	if _, err := blob.Write(base, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate the crashed writer: assign a version and abort it without
+	// weaving anything — exactly what version-manager recovery (or a
+	// repair that died mid-crash) leaves behind.
+	raw := cli.RPC()
+	var assign vmanager.AssignResp
+	if err := raw.Call(c.VMAddr(), vmanager.MethodAssign,
+		&vmanager.AssignReq{BlobID: blob.ID(), Offset: 100, Size: 300}, &assign); err != nil {
+		t.Fatal(err)
+	}
+	if err := raw.Call(c.VMAddr(), vmanager.MethodAbort,
+		&vmanager.VersionRef{BlobID: blob.ID(), Version: assign.Version}, &vmanager.Ack{}); err != nil {
+		t.Fatal(err)
+	}
+
+	// An unaligned overwrite whose boundary merge needs prior content.
+	upd := pattern(600, 9)
+	v, err := blob.Write(upd, 300)
+	if err != nil {
+		t.Fatalf("write after treeless aborted version: %v", err)
+	}
+	got := readAll(t, blob, v)
+	want := append(append([]byte{}, base[:300]...), upd...)
+	if !bytes.Equal(got, want) {
+		t.Fatal("content after treeless abort diverged")
+	}
+
+	// And appends (whole-tree weave referencing the published snapshot)
+	// must also ride over the hole.
+	tail := pattern(500, 13)
+	v2, _, err := blob.Append(tail)
+	if err != nil {
+		t.Fatalf("append after treeless aborted version: %v", err)
+	}
+	got = readAll(t, blob, v2)
+	if !bytes.Equal(got, append(want, tail...)) {
+		t.Fatal("append content diverged")
+	}
+
+	// Retention + GC over a treeless failed FRONTIER version: the floor
+	// must stop at the newest live version, so a sweep reclaims nothing
+	// a future merge or weave still needs. (The floor passing the live
+	// snapshot would re-open the cascade through the GC.)
+	var assign2 vmanager.AssignResp
+	if err := raw.Call(c.VMAddr(), vmanager.MethodAssign,
+		&vmanager.AssignReq{BlobID: blob.ID(), Offset: 0, Size: 100}, &assign2); err != nil {
+		t.Fatal(err)
+	}
+	if err := raw.Call(c.VMAddr(), vmanager.MethodAbort,
+		&vmanager.VersionRef{BlobID: blob.ID(), Version: assign2.Version}, &vmanager.Ack{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := blob.SetRetention(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RunGC(); err != nil {
+		t.Fatalf("gc with failed frontier version: %v", err)
+	}
+	got = readAll(t, blob, v2)
+	if !bytes.Equal(got, append(append([]byte{}, want...), tail...)) {
+		t.Fatal("newest live version reclaimed or corrupted by GC under a failed frontier")
+	}
+	final := pattern(700, 21)
+	vf, err := blob.Write(final, 450) // unaligned: merges through the swept history
+	if err != nil {
+		t.Fatalf("write after GC with failed frontier: %v", err)
+	}
+	got = readAll(t, blob, vf)
+	wantF := append(append([]byte{}, want...), tail...)
+	copy(wantF[450:], final)
+	if !bytes.Equal(got, wantF) {
+		t.Fatal("post-GC write content diverged")
 	}
 }

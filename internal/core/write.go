@@ -3,12 +3,14 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/chunk"
 	"repro/internal/meta"
 	"repro/internal/provider"
+	"repro/internal/rpc"
 	"repro/internal/vmanager"
 )
 
@@ -34,7 +36,9 @@ func (b *Blob) Write(p []byte, off uint64) (uint64, error) {
 	writeID := nextWriteID()
 
 	// Phase 1 (pre-assign, fully parallel with all other writers): upload
-	// every chunk whose content is entirely determined by p.
+	// every chunk whose content is entirely determined by p. The jobs
+	// slice p directly — aligned uploads are zero-copy all the way into
+	// the batched request encoding.
 	var full []writeJob
 	for i := startChunk; i < endChunk; i++ {
 		lo, hi := i*cs, (i+1)*cs
@@ -42,27 +46,20 @@ func (b *Blob) Write(p []byte, off uint64) (uint64, error) {
 			full = append(full, writeJob{idx: i, data: p[lo-off : hi-off]})
 		}
 	}
-	sets, err := b.c.allocate(len(full), b.replication)
-	if err != nil {
-		return 0, err
-	}
 	stored := make(map[uint64][]string, endChunk-startChunk)
-	var mu chunkSetMu
-	err = b.c.parallel(len(full), func(i int) error {
-		got, err := b.putReplicas(chunk.Key{Blob: b.id, Version: writeID, Index: full[i].idx}, full[i].data, sets[i])
+	if len(full) > 0 {
+		sets, err := b.c.allocate(len(full), b.replication, nil)
 		if err != nil {
-			return err
+			return 0, err
 		}
-		mu.set(stored, full[i].idx, got)
-		return nil
-	})
-	if err != nil {
-		return 0, err
+		if err := b.uploadChunks(writeID, full, sets, stored); err != nil {
+			return 0, err
+		}
 	}
 
 	// Phase 2: obtain the version and the concurrency context.
 	var assign vmanager.AssignResp
-	err = b.c.rpc.Call(b.c.cfg.VMAddr, vmanager.MethodAssign,
+	err := b.c.rpc.Call(b.c.cfg.VMAddr, vmanager.MethodAssign,
 		&vmanager.AssignReq{BlobID: b.id, Offset: off, Size: uint64(len(p))}, &assign)
 	if err != nil {
 		return 0, fmt.Errorf("core: assign: %w", mapVMError(err))
@@ -114,10 +111,58 @@ func (b *Blob) finishWrite(p []byte, off, writeID uint64, assign *vmanager.Assig
 // nodes, so the full intersecting node set must exist; reusing the weave
 // with copied leaves produces exactly that set without moving any data.
 func (b *Blob) abortRepair(assign *vmanager.AssignResp) {
-	defer func() {
-		// Publication must advance even if the repair itself failed.
-		_ = b.c.rpc.Call(b.c.cfg.VMAddr, vmanager.MethodAbort,
+	// Publication must advance even if the repair itself fails, so the
+	// abort is sent regardless (deferred) — and a DROPPED abort wedges
+	// the blob's publish frontier until the version manager next restarts
+	// (recovery aborts in-flight writes; live leases are still a ROADMAP
+	// item), so a first failed attempt hands off to a bounded background
+	// retry loop rather than giving up — or stalling the failing Write
+	// for the retries' duration. How hard the loop tries depends on WHY
+	// the abort failed:
+	//   - call timeout: the manager is alive but drowning (e.g. a retry
+	//     storm) — the abort WILL land once the queue drains, and giving
+	//     up instead is what wedges the blob, so keep retrying up to a
+	//     generous deadline;
+	//   - transport failure: the manager is down — its restart recovery
+	//     aborts every in-flight write anyway, so a few quick retries
+	//     (it may be mid-revival) are enough.
+	abort := func() error {
+		return b.c.rpc.Call(b.c.cfg.VMAddr, vmanager.MethodAbort,
 			&vmanager.VersionRef{BlobID: b.id, Version: assign.Version}, &vmanager.Ack{})
+	}
+	defer func() {
+		err := abort()
+		var remote *rpc.RemoteError
+		if err == nil || errors.As(err, &remote) {
+			return // acked, or definitively refused (e.g. already finished)
+		}
+		go func() {
+			deadline := time.Now().Add(60 * time.Second)
+			backoff := 50 * time.Millisecond
+			fastFails := 0
+			if !errors.Is(err, rpc.ErrTimeout) {
+				fastFails++
+			}
+			for {
+				time.Sleep(backoff)
+				if backoff < 2*time.Second {
+					backoff *= 2
+				}
+				err := abort()
+				var remote *rpc.RemoteError
+				if err == nil || errors.As(err, &remote) {
+					return
+				}
+				if !errors.Is(err, rpc.ErrTimeout) {
+					if fastFails++; fastFails >= 3 {
+						return
+					}
+				}
+				if time.Now().After(deadline) {
+					return
+				}
+			}
+		}()
 	}()
 	prev := assign.Version - 1
 	// Repair reads the previous snapshot, so it serializes behind it; this
@@ -129,19 +174,25 @@ func (b *Blob) abortRepair(assign *vmanager.AssignResp) {
 	}
 	leaves := make([]meta.ChunkRef, assign.EndChunk-assign.StartChunk)
 	if prev > 0 {
-		vi, err := b.versionInfo(prev)
+		// Copy leaves from the newest NON-FAILED predecessor (failed
+		// versions contributed no content and may lack trees; see
+		// mergePrior). src == 0 means every predecessor failed: all-zero
+		// leaves are the true content.
+		src, vi, err := b.newestLiveVersion(prev)
 		if err != nil {
 			return
 		}
-		prevChunks := vi.SizeChunks
-		lo := assign.StartChunk
-		hi := minU64(assign.EndChunk, prevChunks)
-		if hi > lo {
-			prior, err := meta.CollectLeaves(b.c.meta, b.id, prev, prevChunks, lo, hi)
-			if err != nil {
-				return
+		if src > 0 {
+			srcChunks := vi.SizeChunks
+			lo := assign.StartChunk
+			hi := minU64(assign.EndChunk, srcChunks)
+			if hi > lo {
+				prior, err := meta.CollectLeaves(b.c.meta, b.id, src, srcChunks, lo, hi)
+				if err != nil {
+					return
+				}
+				copy(leaves, prior)
 			}
-			copy(leaves, prior)
 		}
 	}
 	nodes, _, err := meta.Weave(b.c.meta, meta.WeaveInput{
@@ -164,11 +215,12 @@ func (b *Blob) abortRepair(assign *vmanager.AssignResp) {
 func (b *Blob) finishWriteInner(p []byte, off, writeID uint64, assign *vmanager.AssignResp, stored map[uint64][]string) (uint64, error) {
 	cs := b.chunkSize
 	end := off + uint64(len(p))
-	var mu chunkSetMu
 
-	// Upload every chunk not handled in phase 1. Boundary chunks whose
-	// prior bytes live inside the previous version's extent need a
-	// read-modify-write against version assign.Version-1.
+	// Upload every chunk not handled in phase 1. Chunks fully covered by p
+	// (the append path lands here with everything still pending) are
+	// zero-copy slices of p; only boundary chunks — whose prior bytes may
+	// need a read-modify-write against version assign.Version-1 —
+	// allocate a merge buffer.
 	var jobs []writeJob
 	var rmwNeeded bool
 	for i := assign.StartChunk; i < assign.EndChunk; i++ {
@@ -180,9 +232,14 @@ func (b *Blob) finishWriteInner(p []byte, off, writeID uint64, assign *vmanager.
 		if length > cs {
 			length = cs
 		}
+		srcLo, srcHi := maxU64(chunkLo, off), minU64(chunkLo+cs, end)
+		if srcLo == chunkLo && srcHi == chunkLo+length {
+			// Entirely determined by p: ship the caller's bytes directly.
+			jobs = append(jobs, writeJob{idx: i, data: p[srcLo-off : srcHi-off]})
+			continue
+		}
 		data := make([]byte, length)
 		// Bytes from p.
-		srcLo, srcHi := maxU64(chunkLo, off), minU64(chunkLo+cs, end)
 		copy(data[srcLo-chunkLo:], p[srcLo-off:srcHi-off])
 		// Prior bytes (before and/or after the written range) that fall
 		// inside the previous version's extent must be merged.
@@ -199,19 +256,11 @@ func (b *Blob) finishWriteInner(p []byte, off, writeID uint64, assign *vmanager.
 	}
 
 	if len(jobs) > 0 {
-		sets, err := b.c.allocate(len(jobs), b.replication)
+		sets, err := b.c.allocate(len(jobs), b.replication, nil)
 		if err != nil {
 			return 0, err
 		}
-		err = b.c.parallel(len(jobs), func(i int) error {
-			got, err := b.putReplicas(chunk.Key{Blob: b.id, Version: writeID, Index: jobs[i].idx}, jobs[i].data, sets[i])
-			if err != nil {
-				return err
-			}
-			mu.set(stored, jobs[i].idx, got)
-			return nil
-		})
-		if err != nil {
+		if err := b.uploadChunks(writeID, jobs, sets, stored); err != nil {
 			return 0, err
 		}
 	}
@@ -265,30 +314,54 @@ func (b *Blob) mergePrior(jobs []writeJob, off, end uint64, assign *vmanager.Ass
 	if prev == 0 {
 		return nil // nothing real to merge with; zeros are already in place
 	}
-	// Aborted predecessors are fine: abort repair guarantees every
-	// published version (failed or not) has complete, readable metadata.
 	if err := b.WaitPublished(prev); err != nil {
 		return fmt.Errorf("core: waiting for v%d before merge: %w", prev, err)
+	}
+	// Failed predecessors contributed no content, so "content as of prev"
+	// is the newest NON-FAILED version at or below prev. Abort repair
+	// usually leaves failed versions with readable identity metadata, but
+	// a repair can itself die with the control plane mid-crash; never
+	// reading THROUGH a failed version keeps one unrepaired abort from
+	// poisoning every later merge of the blob.
+	var src, prior uint64
+	if prev == assign.PubVersion {
+		// Sequential writer: Assign already certified prev as the newest
+		// non-failed published version, and with nothing assigned between
+		// it and us, PrevSizeBytes is exactly its extent — no RPC needed.
+		src, prior = prev, assign.PrevSizeBytes
+	} else {
+		s, srcInfo, err := b.newestLiveVersion(prev)
+		if err != nil {
+			return fmt.Errorf("core: resolving merge source below v%d: %w", prev, err)
+		}
+		if s == 0 {
+			return nil // every predecessor aborted: zeros are the true content
+		}
+		// Bytes beyond the source's extent are zeros (either never
+		// written, or written only by failed versions); the merge buffers
+		// start zeroed.
+		src, prior = s, minU64(assign.PrevSizeBytes, srcInfo.SizeBytes)
 	}
 	cs := b.chunkSize
 	for j := range jobs {
 		idx, data := jobs[j].idx, jobs[j].data
 		chunkLo := idx * cs
-		if chunkLo >= assign.PrevSizeBytes {
+		if chunkLo >= prior {
 			continue
 		}
 		srcLo, srcHi := maxU64(chunkLo, off), minU64(chunkLo+cs, end)
-		// Merge the head [chunkLo, srcLo).
-		if srcLo > chunkLo {
-			if err := b.readInto(prev, data[:srcLo-chunkLo], chunkLo); err != nil {
+		// Merge the head [chunkLo, srcLo) where it overlaps the prior
+		// extent.
+		if headEnd := minU64(srcLo, prior); headEnd > chunkLo {
+			if err := b.readInto(src, data[:headEnd-chunkLo], chunkLo); err != nil {
 				return fmt.Errorf("core: merge head of chunk %d: %w", idx, err)
 			}
 		}
 		// Merge the tail [srcHi, chunkLo+len(data)) where it overlaps the
 		// prior extent.
-		tailEnd := minU64(chunkLo+uint64(len(data)), assign.PrevSizeBytes)
+		tailEnd := minU64(chunkLo+uint64(len(data)), prior)
 		if srcHi < tailEnd {
-			if err := b.readInto(prev, data[srcHi-chunkLo:tailEnd-chunkLo], srcHi); err != nil {
+			if err := b.readInto(src, data[srcHi-chunkLo:tailEnd-chunkLo], srcHi); err != nil {
 				return fmt.Errorf("core: merge tail of chunk %d: %w", idx, err)
 			}
 		}
@@ -296,67 +369,183 @@ func (b *Blob) mergePrior(jobs []writeJob, off, end uint64, assign *vmanager.Ass
 	return nil
 }
 
-// putReplicas stores one chunk at every address in set, returning the
-// providers that accepted it. When all replicas fail, placement is retried
-// once with a fresh allocation before giving up.
-func (b *Blob) putReplicas(key chunk.Key, data []byte, set []string) ([]string, error) {
-	put := func(addrs []string) []string {
-		okCh := make(chan string, len(addrs))
-		var n int
-		for _, addr := range addrs {
-			n++
-			go func(addr string) {
-				start := time.Now()
-				err := provider.PutChunk(b.c.rpc, addr, key, data)
-				elapsed := time.Since(start)
-				b.c.health.observe(addr, float64(elapsed.Microseconds())/1000, err != nil)
-				b.c.chunkPuts.Add(1)
-				if err == nil {
-					b.c.chunkBytesOut.Add(int64(len(data)))
-				}
-				if obs := b.c.cfg.Observer; obs != nil {
-					obs.ObserveChunkOp(addr, "put", len(data), elapsed, err)
-				}
-				if err != nil {
-					okCh <- ""
-					return
-				}
-				okCh <- addr
-			}(addr)
+// newestLiveVersion walks down from v to the newest non-failed version,
+// returning (0, nil, nil) when every version at or below v failed. Used
+// by the merge and repair paths, which need prior CONTENT: failed
+// versions have none, and possibly no readable tree either.
+func (b *Blob) newestLiveVersion(v uint64) (uint64, *vmanager.VersionInfoResp, error) {
+	for ; v > 0; v-- {
+		vi, err := b.versionInfo(v)
+		if err != nil {
+			return 0, nil, err
 		}
-		var ok []string
-		for i := 0; i < n; i++ {
-			if a := <-okCh; a != "" {
-				ok = append(ok, a)
+		if !vi.Failed {
+			return v, vi, nil
+		}
+	}
+	return 0, nil, nil
+}
+
+// uploadChunks stores jobs[i] at replica set sets[i], recording each
+// chunk's accepted providers into stored. RPCs are batched per provider:
+// every chunk destined for the same address — across all jobs and replica
+// ranks — travels in one provider.putchunks, so a W-chunk upload against
+// M providers costs at most min(W×R, M-ish) round trips instead of W×R
+// (the write-plane mirror of PutNodes's per-provider grouping).
+//
+// The durability contract is per chunk, unchanged from the singleton-put
+// days: a chunk succeeds when at least one replica accepted it. Per-chunk
+// errors inside a batch are isolated by the putchunks reply, and chunks
+// that lose EVERY replica (e.g. their whole set crashed) get one fresh
+// placement — excluding the providers that just failed them — before the
+// write gives up.
+func (b *Blob) uploadChunks(writeID uint64, jobs []writeJob, sets [][]string, stored map[uint64][]string) error {
+	if len(jobs) == 0 {
+		return nil
+	}
+	accepted := make([][]string, len(jobs))
+	failedAt := make([][]string, len(jobs))
+	var resMu sync.Mutex
+	b.putGrouped(writeID, jobs, sets, accepted, failedAt, &resMu)
+
+	// Collect chunks that lost every replica and the providers that
+	// failed them (threaded into the retry allocation as an exclusion
+	// set, so the fresh placement cannot re-select them).
+	var retry []int
+	var exclude []string
+	seen := make(map[string]bool)
+	for i := range jobs {
+		if len(accepted[i]) > 0 {
+			continue
+		}
+		retry = append(retry, i)
+		for _, a := range failedAt[i] {
+			if !seen[a] {
+				seen[a] = true
+				exclude = append(exclude, a)
 			}
 		}
-		return ok
 	}
-	ok := put(set)
-	if len(ok) > 0 {
-		return ok, nil
+	if len(retry) > 0 {
+		key0 := chunk.Key{Blob: b.id, Version: writeID, Index: jobs[retry[0]].idx}
+		fresh, err := b.c.allocate(len(retry), b.replication, exclude)
+		if err != nil {
+			return fmt.Errorf("core: chunk %s: all replicas failed and reallocation failed: %w", key0, err)
+		}
+		retryJobs := make([]writeJob, len(retry))
+		for j, i := range retry {
+			retryJobs[j] = jobs[i]
+		}
+		retryAccepted := make([][]string, len(retry))
+		retryFailed := make([][]string, len(retry))
+		b.putGrouped(writeID, retryJobs, fresh, retryAccepted, retryFailed, &resMu)
+		for j, i := range retry {
+			accepted[i] = retryAccepted[j]
+			if len(accepted[i]) == 0 {
+				return fmt.Errorf("core: chunk %s: no provider accepted the chunk",
+					chunk.Key{Blob: b.id, Version: writeID, Index: jobs[i].idx})
+			}
+		}
 	}
-	// Every replica failed (e.g. the whole set crashed): one fresh try.
-	fresh, err := b.c.allocate(1, b.replication)
-	if err != nil {
-		return nil, fmt.Errorf("core: chunk %s: all replicas failed and reallocation failed: %w", key, err)
+	for i := range jobs {
+		stored[jobs[i].idx] = accepted[i]
 	}
-	ok = put(fresh[0])
-	if len(ok) == 0 {
-		return nil, fmt.Errorf("core: chunk %s: no provider accepted the chunk", key)
-	}
-	return ok, nil
+	return nil
 }
 
-// chunkSetMu guards the stored map shared by parallel uploads.
-type chunkSetMu struct {
-	mu sync.Mutex
-}
+// putBatchBytes bounds one putchunks request's payload. It keeps batches
+// comfortably under the transport's frame limit (256 MiB over TCP) while
+// still amortizing per-RPC costs across many chunks; a huge write simply
+// costs a few RPCs per provider instead of one.
+const putBatchBytes = 32 << 20
 
-func (m *chunkSetMu) set(dst map[uint64][]string, k uint64, v []string) {
-	m.mu.Lock()
-	dst[k] = v
-	m.mu.Unlock()
+// putGrouped issues one provider.putchunks per destination address (all
+// batches in parallel, bounded by the client's I/O semaphore; an address
+// whose payload exceeds putBatchBytes gets several) and sorts each
+// chunk's outcome into accepted[i] / failedAt[i]. A transport-level RPC
+// failure fails every chunk of that batch at that address; per-chunk
+// rejections from a responding provider fail only their own chunk.
+func (b *Blob) putGrouped(writeID uint64, jobs []writeJob, sets [][]string, accepted, failedAt [][]string, resMu *sync.Mutex) {
+	groups := make(map[string][]int)
+	for i, set := range sets {
+		for _, addr := range set {
+			groups[addr] = append(groups[addr], i)
+		}
+	}
+	// Deterministic order keeps retries and tests reproducible.
+	addrs := make([]string, 0, len(groups))
+	for a := range groups {
+		addrs = append(addrs, a)
+	}
+	sort.Strings(addrs)
+	type putBatch struct {
+		addr string
+		idxs []int
+	}
+	var batches []putBatch
+	for _, addr := range addrs {
+		cur := putBatch{addr: addr}
+		payload := 0
+		for _, i := range groups[addr] {
+			if len(cur.idxs) > 0 && payload+len(jobs[i].data) > putBatchBytes {
+				batches = append(batches, cur)
+				cur = putBatch{addr: addr}
+				payload = 0
+			}
+			cur.idxs = append(cur.idxs, i)
+			payload += len(jobs[i].data)
+		}
+		batches = append(batches, cur)
+	}
+	// Group failures are per-chunk outcomes, not call failures, so the
+	// parallel runner never sees an error and every batch always runs.
+	_ = b.c.parallel(len(batches), func(gi int) error {
+		addr, idxs := batches[gi].addr, batches[gi].idxs
+		items := make([]provider.PutItem, len(idxs))
+		for j, i := range idxs {
+			items[j] = provider.PutItem{
+				Key:  chunk.Key{Blob: b.id, Version: writeID, Index: jobs[i].idx},
+				Data: jobs[i].data,
+			}
+		}
+		start := time.Now()
+		errs, rpcErr := provider.PutChunks(b.c.rpc, addr, items)
+		elapsed := time.Since(start)
+		b.c.chunkPutBatches.Add(1)
+		b.c.chunkPuts.Add(int64(len(items)))
+		chunkErrs := make([]error, len(idxs))
+		resMu.Lock()
+		for j, i := range idxs {
+			chunkErr := rpcErr
+			if chunkErr == nil {
+				chunkErr = errs[j]
+			}
+			chunkErrs[j] = chunkErr
+			if chunkErr != nil {
+				failedAt[i] = append(failedAt[i], addr)
+				continue
+			}
+			b.c.chunkBytesOut.Add(int64(len(items[j].Data)))
+			accepted[i] = append(accepted[i], addr)
+		}
+		resMu.Unlock()
+		// Health and observer samples stay per CHUNK, with the batch's
+		// duration amortized across its items: a provider that rejects one
+		// chunk of a 64-chunk batch (e.g. a tombstoned blob) is penalized
+		// for one sample and credited for 63, just as 64 singleton puts
+		// scored it, and per-op latency aggregates stay comparable to the
+		// singleton era instead of multiplying the batch time by its size.
+		perChunk := elapsed / time.Duration(len(items))
+		perChunkMs := float64(perChunk.Microseconds()) / 1000
+		obs := b.c.cfg.Observer
+		for j := range items {
+			b.c.health.observe(addr, perChunkMs, chunkErrs[j] != nil)
+			if obs != nil {
+				obs.ObserveChunkOp(addr, "put", len(items[j].Data), perChunk, chunkErrs[j])
+			}
+		}
+		return nil
+	})
 }
 
 func maxU64(a, b uint64) uint64 {

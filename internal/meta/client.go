@@ -29,11 +29,13 @@ type Client struct {
 	// RPC accounting (monotonic): the batching refactor is a performance
 	// claim, and these counters are what the tests and benchmarks assert
 	// it on.
-	statGets      metrics.Counter // singleton meta.get calls
-	statBatchGets metrics.Counter // batched meta.getnodes calls
-	statPuts      metrics.Counter // meta.put calls (one per provider batch)
-	statNodesIn   metrics.Counter // nodes received over the network
-	statNodesOut  metrics.Counter // node replicas sent over the network
+	statGets       metrics.Counter // singleton meta.get calls
+	statBatchGets  metrics.Counter // batched meta.getnodes calls
+	statPuts       metrics.Counter // meta.put calls (one per provider batch)
+	statNodesIn    metrics.Counter // nodes received over the network
+	statNodesOut   metrics.Counter // node replicas sent over the network
+	statSpecHits   metrics.Counter // speculative same-label keys that resolved
+	statSpecMisses metrics.Counter // speculative same-label keys that came back absent
 }
 
 // RPCStats is a snapshot of the metadata-plane RPCs a client has issued.
@@ -43,8 +45,16 @@ type RPCStats struct {
 	PutRPCs      int64 // meta.put calls (one per provider batch)
 	NodesFetched int64 // nodes received over the network
 	NodesStored  int64 // node replicas sent over the network
-	CacheHits    int64
-	CacheMisses  int64
+	// SpecHits / SpecMisses count the batched descent's same-label
+	// subtree expansion outcomes: a hit is a speculative key that
+	// resolved (the subtree really was uniformly labeled), a miss one
+	// that came back absent. A heavily fragmented version history shows
+	// up as a low hit ratio — wasted key lookups, bounded but real — so
+	// the waste is observable instead of inferred.
+	SpecHits    int64
+	SpecMisses  int64
+	CacheHits   int64
+	CacheMisses int64
 }
 
 // RPCStats reports the client's cumulative metadata RPC counts.
@@ -55,9 +65,18 @@ func (c *Client) RPCStats() RPCStats {
 		PutRPCs:      c.statPuts.Load(),
 		NodesFetched: c.statNodesIn.Load(),
 		NodesStored:  c.statNodesOut.Load(),
+		SpecHits:     c.statSpecHits.Load(),
+		SpecMisses:   c.statSpecMisses.Load(),
 	}
 	s.CacheHits, s.CacheMisses = c.CacheStats()
 	return s
+}
+
+// observeSpec implements specObserver: the batched descent reports each
+// round's same-label expansion outcomes here.
+func (c *Client) observeSpec(hits, misses int64) {
+	c.statSpecHits.Add(hits)
+	c.statSpecMisses.Add(misses)
 }
 
 // NewClient builds a metadata client over the given metadata provider

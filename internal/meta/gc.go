@@ -86,43 +86,92 @@ func CollectLiveInto(live *LiveSet, store Store, blob, version, sizeChunks uint6
 	if version == 0 || sizeChunks == 0 {
 		return nil
 	}
-	w := liveWalker{store: store, blob: blob, set: live}
-	return w.walk(version, 0, NextPow2(sizeChunks))
+	w := gcWalker{
+		store:  store,
+		set:    live,
+		desc:   "liveness",
+		follow: func(childVer uint64) bool { return childVer != ZeroVersion },
+	}
+	return w.walk([]NodeKey{{Blob: blob, Version: version, Off: 0, Size: NextPow2(sizeChunks)}})
 }
 
-type liveWalker struct {
-	store Store
-	blob  uint64
-	set   *LiveSet
+// gcBatch bounds the node keys fetched per walk round (the GC twin of the
+// read path's specBudget): a full-floor walk over a huge blob degrades
+// into several bounded rounds instead of one unbounded request.
+const gcBatch = specBudget
+
+// gcWalker descends segment trees for the GC analyses in level-order
+// batched rounds: each round's frontier goes to the store in one GetNodes
+// call (the DHT client turns that into one RPC per metadata provider), so
+// a full-tree walk costs O(providers × tree depth) round trips instead of
+// the O(nodes) a node-at-a-time walk paid. follow filters which child
+// labels are descended (everything non-zero for the liveness walk, only
+// the owner's label for the owned walk).
+//
+// The destructive-use contract is preserved PER KEY: the batched read
+// cannot distinguish "absent from the replica that answered" from "its
+// replica was unreachable", so every nil entry is re-asked through
+// GetNode, which consults the full ring and returns ErrNodeNotFound only
+// on definitive absence (a prunable hole) — any transport failure aborts
+// the walk instead, because an incomplete live set would let the sweep
+// delete data retained snapshots still reference. Genuine holes are rare
+// (a crashed abort-repair), so the follow-ups stay off the hot path.
+type gcWalker struct {
+	store  Store
+	set    *LiveSet
+	desc   string
+	follow func(childVer uint64) bool
 }
 
-func (w *liveWalker) walk(version, off, size uint64) error {
-	if version == ZeroVersion {
-		return nil
-	}
-	key := NodeKey{Blob: w.blob, Version: version, Off: off, Size: size}
-	if w.set.Has(key) {
-		return nil // shared subtree already visited
-	}
-	node, err := w.store.GetNode(key)
-	if errors.Is(err, ErrNodeNotFound) {
-		return nil // definitive hole (crashed writer); references nothing
-	}
-	if err != nil {
-		return fmt.Errorf("meta: liveness walk at %s: %w", key, err)
-	}
-	w.set.Nodes[key] = struct{}{}
-	if node.Leaf {
-		if !node.Chunk.IsZero() {
-			w.set.Chunks[node.Chunk.Key] = node.Chunk
+func (w *gcWalker) walk(frontier []NodeKey) error {
+	pending := frontier
+	for len(pending) > 0 {
+		batch := pending
+		if len(batch) > gcBatch {
+			batch, pending = batch[:gcBatch], pending[gcBatch:]
+		} else {
+			pending = nil
 		}
-		return nil
+		nodes, err := w.store.GetNodes(batch)
+		if err != nil {
+			return fmt.Errorf("meta: %s walk: %w", w.desc, err)
+		}
+		if len(nodes) != len(batch) {
+			return fmt.Errorf("meta: %s walk: store returned %d nodes for %d keys", w.desc, len(nodes), len(batch))
+		}
+		for i, node := range nodes {
+			key := batch[i]
+			if node == nil {
+				n, err := w.store.GetNode(key)
+				if errors.Is(err, ErrNodeNotFound) {
+					continue // definitive hole (crashed writer); references nothing
+				}
+				if err != nil {
+					return fmt.Errorf("meta: %s walk at %s: %w", w.desc, key, err)
+				}
+				node = n
+			}
+			w.set.Nodes[key] = struct{}{}
+			if node.Leaf {
+				if !node.Chunk.IsZero() {
+					w.set.Chunks[node.Chunk.Key] = node.Chunk
+				}
+				continue
+			}
+			half := key.Size / 2
+			children := [2]NodeKey{
+				{Blob: key.Blob, Version: node.LeftVer, Off: key.Off, Size: half},
+				{Blob: key.Blob, Version: node.RightVer, Off: key.Off + half, Size: half},
+			}
+			for _, ck := range children {
+				if !w.follow(ck.Version) || w.set.Has(ck) {
+					continue // zero subtree, filtered label, or shared subtree already visited
+				}
+				pending = append(pending, ck)
+			}
+		}
 	}
-	half := size / 2
-	if err := w.walk(node.LeftVer, off, half); err != nil {
-		return err
-	}
-	return w.walk(node.RightVer, off+half, half)
+	return nil
 }
 
 // AddOwned folds version v's owned subgraph into the set: exactly the
@@ -131,13 +180,18 @@ func (w *liveWalker) walk(version, off, size uint64) error {
 // parents of everything it builds), so the enumeration descends from the
 // root and only follows children carrying the same version label.
 // Definitively missing nodes are skipped; transport failures abort, as in
-// CollectLive.
+// CollectLive. Like CollectLive the walk is level-order and batched.
 func (l *LiveSet) AddOwned(store Store, blob, version, sizeChunks uint64) error {
 	if version == 0 || sizeChunks == 0 {
 		return nil
 	}
-	w := ownedWalker{store: store, blob: blob, version: version, set: l}
-	return w.walk(0, NextPow2(sizeChunks))
+	w := gcWalker{
+		store:  store,
+		set:    l,
+		desc:   "owned",
+		follow: func(childVer uint64) bool { return childVer == version },
+	}
+	return w.walk([]NodeKey{{Blob: blob, Version: version, Off: 0, Size: NextPow2(sizeChunks)}})
 }
 
 // VersionNodes enumerates one version's owned subgraph standalone.
@@ -155,41 +209,6 @@ func VersionNodes(store Store, blob, version, sizeChunks uint64) ([]NodeKey, []C
 		chunks = append(chunks, c)
 	}
 	return nodes, chunks, nil
-}
-
-type ownedWalker struct {
-	store   Store
-	blob    uint64
-	version uint64
-	set     *LiveSet
-}
-
-func (w *ownedWalker) walk(off, size uint64) error {
-	key := NodeKey{Blob: w.blob, Version: w.version, Off: off, Size: size}
-	node, err := w.store.GetNode(key)
-	if errors.Is(err, ErrNodeNotFound) {
-		return nil
-	}
-	if err != nil {
-		return fmt.Errorf("meta: owned walk at %s: %w", key, err)
-	}
-	w.set.Nodes[key] = struct{}{}
-	if node.Leaf {
-		if !node.Chunk.IsZero() {
-			w.set.Chunks[node.Chunk.Key] = node.Chunk
-		}
-		return nil
-	}
-	half := size / 2
-	if node.LeftVer == w.version {
-		if err := w.walk(off, half); err != nil {
-			return err
-		}
-	}
-	if node.RightVer == w.version {
-		return w.walk(off+half, half)
-	}
-	return nil
 }
 
 // DiffDead returns the members of candidates absent from live: the nodes

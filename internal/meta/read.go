@@ -10,6 +10,14 @@ import (
 // building unbounded requests.
 const specBudget = 1 << 14
 
+// specObserver is an optional Store refinement: stores that account for
+// the descent's same-label speculation (the DHT client, which exports the
+// counts through RPCStats) receive each fetch round's expansion hit/miss
+// totals.
+type specObserver interface {
+	observeSpec(hits, misses int64)
+}
+
 // Peeker is an optional Store refinement: PeekNodes resolves keys from
 // local, network-free state — the DHT client's LRU cache, or the whole
 // map for an in-process store. The result is aligned with keys; nil
@@ -157,7 +165,10 @@ func (c *collector) fetchRound(frontier []span) ([]span, error) {
 	}
 
 	// Enumerate breadth-first so a budget cut drops the deepest
-	// speculative keys first, never a frontier root.
+	// speculative keys first, never a frontier root. Keys enumerated past
+	// the frontier roots are the same-label speculation; their count
+	// marks where the hit/miss accounting below starts.
+	frontierKeys := 0
 	queue := append([]span(nil), frontier...)
 	for qi := 0; qi < len(queue) && len(c.keys) < specBudget; qi++ {
 		s := queue[qi]
@@ -167,6 +178,9 @@ func (c *collector) fetchRound(frontier []span) ([]span, error) {
 		}
 		c.index[k] = len(c.keys)
 		c.keys = append(c.keys, k)
+		if qi < len(frontier) {
+			frontierKeys++
+		}
 		if s.size > 1 {
 			half := s.size / 2
 			if overlaps(s.off, s.off+half, c.a, c.b) {
@@ -184,6 +198,17 @@ func (c *collector) fetchRound(frontier []span) ([]span, error) {
 	}
 	if len(c.nodes) != len(c.keys) {
 		return nil, fmt.Errorf("meta: store returned %d nodes for %d keys", len(c.nodes), len(c.keys))
+	}
+	if so, ok := c.store.(specObserver); ok {
+		var hits, misses int64
+		for _, n := range c.nodes[frontierKeys:] {
+			if n != nil {
+				hits++
+			} else {
+				misses++
+			}
+		}
+		so.observeSpec(hits, misses)
 	}
 	for _, s := range frontier {
 		if err := c.walk(s); err != nil {

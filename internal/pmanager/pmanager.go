@@ -51,22 +51,35 @@ func (r *RegisterReq) Encode(e *wire.Encoder) { e.PutString(r.Addr) }
 func (r *RegisterReq) Decode(d *wire.Decoder) { r.Addr = d.String() }
 
 // AllocateReq asks for placements for NumChunks chunks, each replicated
-// Replication times.
+// Replication times. Exclude lists providers placement must avoid — a
+// writer retrying after a replica set failed entirely sends the failed
+// addresses so the fresh allocation cannot hand back the very providers
+// that just refused the chunk.
 type AllocateReq struct {
 	NumChunks   uint32
 	Replication uint32
+	Exclude     []string
 }
 
 // Encode implements wire.Message.
 func (r *AllocateReq) Encode(e *wire.Encoder) {
 	e.PutU32(r.NumChunks)
 	e.PutU32(r.Replication)
+	e.PutU32(uint32(len(r.Exclude)))
+	for _, a := range r.Exclude {
+		e.PutString(a)
+	}
 }
 
 // Decode implements wire.Message.
 func (r *AllocateReq) Decode(d *wire.Decoder) {
 	r.NumChunks = d.U32()
 	r.Replication = d.U32()
+	cnt := d.U32()
+	r.Exclude = nil
+	for i := uint32(0); i < cnt && d.Err() == nil; i++ {
+		r.Exclude = append(r.Exclude, d.String())
+	}
 }
 
 // AllocateResp returns one replica set per chunk.
@@ -280,9 +293,12 @@ func (m *Manager) Providers() []string {
 }
 
 // Allocate computes replica sets for numChunks chunks. Replication is
-// clamped to the live provider count; replicas within one set are
-// distinct.
-func (m *Manager) Allocate(numChunks, replication int) ([][]string, error) {
+// clamped to the usable provider count; replicas within one set are
+// distinct. Providers named in exclude are skipped — unless that would
+// leave nothing, in which case the exclusion is ignored: a retry against
+// a just-failed provider (which may have merely timed out) still beats
+// refusing the write outright.
+func (m *Manager) Allocate(numChunks, replication int, exclude []string) ([][]string, error) {
 	if numChunks <= 0 {
 		return nil, nil
 	}
@@ -292,6 +308,21 @@ func (m *Manager) Allocate(numChunks, replication int) ([][]string, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	live := m.live()
+	if len(exclude) > 0 {
+		skip := make(map[string]bool, len(exclude))
+		for _, a := range exclude {
+			skip[a] = true
+		}
+		kept := make([]*provInfo, 0, len(live))
+		for _, p := range live {
+			if !skip[p.addr] {
+				kept = append(kept, p)
+			}
+		}
+		if len(kept) > 0 {
+			live = kept
+		}
+	}
 	if len(live) == 0 {
 		return nil, ErrNoProviders
 	}
@@ -368,7 +399,7 @@ func NewServer(network rpc.Network, addr, strategy string, hbTimeout time.Durati
 		})
 	rpc.HandleMsg(s.srv, MethodAllocate, func() *AllocateReq { return &AllocateReq{} },
 		func(req *AllocateReq) (*AllocateResp, error) {
-			sets, err := s.m.Allocate(int(req.NumChunks), int(req.Replication))
+			sets, err := s.m.Allocate(int(req.NumChunks), int(req.Replication), req.Exclude)
 			if err != nil {
 				return nil, err
 			}

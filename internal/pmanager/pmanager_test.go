@@ -33,7 +33,7 @@ func TestUnknownStrategyRejected(t *testing.T) {
 func TestAllocateNoProviders(t *testing.T) {
 	now := time.Unix(1000, 0)
 	m := managerAt(t, StrategyRoundRobin, &now)
-	if _, err := m.Allocate(3, 1); !errors.Is(err, ErrNoProviders) {
+	if _, err := m.Allocate(3, 1, nil); !errors.Is(err, ErrNoProviders) {
 		t.Fatalf("err = %v, want ErrNoProviders", err)
 	}
 }
@@ -44,7 +44,7 @@ func TestRoundRobinSpreads(t *testing.T) {
 	for _, a := range []string{"p1", "p2", "p3"} {
 		m.Register(a)
 	}
-	sets, err := m.Allocate(6, 1)
+	sets, err := m.Allocate(6, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +69,7 @@ func TestReplicationDistinctAndClamped(t *testing.T) {
 		for _, a := range []string{"p1", "p2", "p3"} {
 			m.Register(a)
 		}
-		sets, err := m.Allocate(10, 5) // ask for more replicas than providers
+		sets, err := m.Allocate(10, 5, nil) // ask for more replicas than providers
 		if err != nil {
 			t.Fatalf("%s: %v", strat, err)
 		}
@@ -93,7 +93,7 @@ func TestLeastLoadedPrefersEmpty(t *testing.T) {
 	m := managerAt(t, StrategyLeastLoaded, &now)
 	m.Heartbeat("busy", 1000, 1<<30)
 	m.Heartbeat("idle", 0, 0)
-	sets, err := m.Allocate(4, 1)
+	sets, err := m.Allocate(4, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +130,7 @@ func TestAvoidListRespectedButNeverStarves(t *testing.T) {
 		m.Register(a)
 	}
 	m.SetAvoid([]string{"p2"}, false)
-	sets, err := m.Allocate(10, 1)
+	sets, err := m.Allocate(10, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +144,7 @@ func TestAvoidListRespectedButNeverStarves(t *testing.T) {
 	}
 	// Avoiding everyone must not starve placement.
 	m.SetAvoid([]string{"p1", "p3"}, false)
-	if _, err := m.Allocate(2, 1); err != nil {
+	if _, err := m.Allocate(2, 1, nil); err != nil {
 		t.Fatalf("all-avoided allocate: %v", err)
 	}
 	m.SetAvoid(nil, true)
@@ -216,5 +216,31 @@ func TestServerEndToEndWithProviderHeartbeats(t *testing.T) {
 	}
 	if len(provs.Addrs) != 0 {
 		t.Fatalf("providers after provider death = %v", provs.Addrs)
+	}
+}
+
+func TestAllocateExclusion(t *testing.T) {
+	now := time.Unix(1000, 0)
+	m := managerAt(t, StrategyRoundRobin, &now)
+	for _, a := range []string{"dp0", "dp1", "dp2", "dp3"} {
+		m.Register(a)
+	}
+	// Excluding two providers must keep every replica on the other two.
+	sets, err := m.Allocate(8, 2, []string{"dp0", "dp1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, set := range sets {
+		for _, a := range set {
+			if a == "dp0" || a == "dp1" {
+				t.Fatalf("excluded provider %s allocated (set %v)", a, set)
+			}
+		}
+	}
+	// Excluding everyone falls back to the full live set: a retry against
+	// possibly-recovered providers beats refusing the write.
+	sets, err = m.Allocate(2, 1, []string{"dp0", "dp1", "dp2", "dp3"})
+	if err != nil || len(sets) != 2 {
+		t.Fatalf("full exclusion: sets=%v err=%v", sets, err)
 	}
 }

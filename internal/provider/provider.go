@@ -18,6 +18,7 @@ import (
 // Method names served by a data provider.
 const (
 	MethodPut          = "provider.put"
+	MethodPutChunks    = "provider.putchunks"
 	MethodGet          = "provider.get"
 	MethodHas          = "provider.has"
 	MethodStats        = "provider.stats"
@@ -51,6 +52,72 @@ func (r *PutReq) Decode(d *wire.Decoder) {
 	r.Key.Version = d.U64()
 	r.Key.Index = d.U64()
 	r.Data = d.BytesCopy()
+}
+
+// PutItem is one chunk within a batched put.
+type PutItem struct {
+	Key  chunk.Key
+	Data []byte
+}
+
+// PutChunksReq stores a batch of chunks in one round trip. This is the
+// hot-path write RPC: a writer groups every chunk destined for the same
+// provider into one putchunks, so a W-chunk write costs O(providers)
+// round trips instead of one per chunk per replica (the write-plane twin
+// of meta.getnodes).
+type PutChunksReq struct {
+	Items []PutItem
+}
+
+// Encode implements wire.Message.
+func (r *PutChunksReq) Encode(e *wire.Encoder) {
+	e.PutU32(uint32(len(r.Items)))
+	for _, it := range r.Items {
+		e.PutU64(it.Key.Blob)
+		e.PutU64(it.Key.Version)
+		e.PutU64(it.Key.Index)
+		e.PutBytes(it.Data)
+	}
+}
+
+// Decode implements wire.Message.
+func (r *PutChunksReq) Decode(d *wire.Decoder) {
+	cnt := d.U32()
+	r.Items = nil
+	for i := uint32(0); i < cnt && d.Err() == nil; i++ {
+		var it PutItem
+		it.Key.Blob = d.U64()
+		it.Key.Version = d.U64()
+		it.Key.Index = d.U64()
+		it.Data = d.BytesCopy()
+		r.Items = append(r.Items, it)
+	}
+}
+
+// PutChunksResp reports per-chunk outcomes, aligned with the request
+// items: an empty string is success, anything else is that chunk's error.
+// Per-chunk isolation is what lets one rejected chunk (say, a tombstoned
+// blob sharing the batch) fail alone instead of taking its batch-mates'
+// replicas down with it.
+type PutChunksResp struct {
+	Errs []string
+}
+
+// Encode implements wire.Message.
+func (r *PutChunksResp) Encode(e *wire.Encoder) {
+	e.PutU32(uint32(len(r.Errs)))
+	for _, s := range r.Errs {
+		e.PutString(s)
+	}
+}
+
+// Decode implements wire.Message.
+func (r *PutChunksResp) Decode(d *wire.Decoder) {
+	cnt := d.U32()
+	r.Errs = nil
+	for i := uint32(0); i < cnt && d.Err() == nil; i++ {
+		r.Errs = append(r.Errs, d.String())
+	}
 }
 
 // GetReq fetches one chunk, or — when Offset/Length name a sub-range —
@@ -119,8 +186,14 @@ type StatsResp struct {
 	Puts    uint64
 	Gets    uint64
 	Deletes uint64
-	// BytesOut counts payload bytes served by gets. With ranged reads it
-	// is what shows boundary reads moving only the bytes they need.
+	// PutBatches counts putchunks RPCs served; Puts counts individual
+	// chunks stored, so Puts/PutBatches is the server-side view of the
+	// write-plane coalescing factor.
+	PutBatches uint64
+	// BytesIn counts payload bytes accepted by puts (batched or not);
+	// BytesOut counts payload bytes served by gets. With ranged reads the
+	// latter is what shows boundary reads moving only the bytes they need.
+	BytesIn  uint64
 	BytesOut uint64
 }
 
@@ -131,6 +204,8 @@ func (r *StatsResp) Encode(e *wire.Encoder) {
 	e.PutU64(r.Puts)
 	e.PutU64(r.Gets)
 	e.PutU64(r.Deletes)
+	e.PutU64(r.PutBatches)
+	e.PutU64(r.BytesIn)
 	e.PutU64(r.BytesOut)
 }
 
@@ -141,6 +216,8 @@ func (r *StatsResp) Decode(d *wire.Decoder) {
 	r.Puts = d.U64()
 	r.Gets = d.U64()
 	r.Deletes = d.U64()
+	r.PutBatches = d.U64()
+	r.BytesIn = d.U64()
 	r.BytesOut = d.U64()
 }
 
@@ -278,10 +355,12 @@ type Server struct {
 	store chunk.Store
 	srv   *rpc.Server
 
-	puts     metrics.Counter
-	gets     metrics.Counter
-	deletes  metrics.Counter
-	bytesOut metrics.Counter // payload bytes served by Get (ranged or full)
+	puts       metrics.Counter
+	putBatches metrics.Counter // putchunks RPCs served
+	gets       metrics.Counter
+	deletes    metrics.Counter
+	bytesIn    metrics.Counter // payload bytes accepted by puts
+	bytesOut   metrics.Counter // payload bytes served by Get (ranged or full)
 
 	// putTimes records when each chunk arrived, so the GC orphan sweep can
 	// apply an age grace that protects phase-1 uploads of writes still in
@@ -315,20 +394,21 @@ func NewServer(network rpc.Network, addr string, store chunk.Store) *Server {
 	}
 	rpc.HandleMsg(s.srv, MethodPut, func() *PutReq { return &PutReq{} },
 		func(req *PutReq) (*Ack, error) {
-			s.puts.Add(1)
-			s.tombMu.Lock()
-			_, dead := s.tombstones[req.Key.Blob]
-			s.tombMu.Unlock()
-			if dead {
-				return nil, fmt.Errorf("%w: %d", ErrBlobDeleted, req.Key.Blob)
-			}
-			if err := s.store.Put(req.Key, req.Data); err != nil {
+			if err := s.putOne(req.Key, req.Data); err != nil {
 				return nil, err
 			}
-			s.putMu.Lock()
-			s.putTimes[req.Key] = time.Now()
-			s.putMu.Unlock()
 			return &Ack{}, nil
+		})
+	rpc.HandleMsg(s.srv, MethodPutChunks, func() *PutChunksReq { return &PutChunksReq{} },
+		func(req *PutChunksReq) (*PutChunksResp, error) {
+			s.putBatches.Add(1)
+			resp := &PutChunksResp{Errs: make([]string, len(req.Items))}
+			for i, it := range req.Items {
+				if err := s.putOne(it.Key, it.Data); err != nil {
+					resp.Errs[i] = err.Error()
+				}
+			}
+			return resp, nil
 		})
 	rpc.HandleMsg(s.srv, MethodGet, func() *GetReq { return &GetReq{} },
 		func(req *GetReq) (*GetResp, error) {
@@ -353,12 +433,14 @@ func NewServer(network rpc.Network, addr string, store chunk.Store) *Server {
 	rpc.HandleMsg(s.srv, MethodStats, func() *Ack { return &Ack{} },
 		func(*Ack) (*StatsResp, error) {
 			return &StatsResp{
-				Chunks:   uint64(s.store.Len()),
-				Bytes:    uint64(s.store.Bytes()),
-				Puts:     uint64(s.puts.Load()),
-				Gets:     uint64(s.gets.Load()),
-				Deletes:  uint64(s.deletes.Load()),
-				BytesOut: uint64(s.bytesOut.Load()),
+				Chunks:     uint64(s.store.Len()),
+				Bytes:      uint64(s.store.Bytes()),
+				Puts:       uint64(s.puts.Load()),
+				Gets:       uint64(s.gets.Load()),
+				Deletes:    uint64(s.deletes.Load()),
+				PutBatches: uint64(s.putBatches.Load()),
+				BytesIn:    uint64(s.bytesIn.Load()),
+				BytesOut:   uint64(s.bytesOut.Load()),
 			}, nil
 		})
 	rpc.HandleMsg(s.srv, MethodListChunks, func() *ListChunksReq { return &ListChunksReq{} },
@@ -427,6 +509,27 @@ func NewServer(network rpc.Network, addr string, store chunk.Store) *Server {
 			return resp, nil
 		})
 	return s
+}
+
+// putOne stores one chunk: tombstone check, engine put, put-time stamp.
+// Shared by the singleton put handler and the batched putchunks handler so
+// both enforce identical semantics.
+func (s *Server) putOne(key chunk.Key, data []byte) error {
+	s.puts.Add(1)
+	s.tombMu.Lock()
+	_, dead := s.tombstones[key.Blob]
+	s.tombMu.Unlock()
+	if dead {
+		return fmt.Errorf("%w: %d", ErrBlobDeleted, key.Blob)
+	}
+	if err := s.store.Put(key, data); err != nil {
+		return err
+	}
+	s.bytesIn.Add(int64(len(data)))
+	s.putMu.Lock()
+	s.putTimes[key] = time.Now()
+	s.putMu.Unlock()
+	return nil
 }
 
 // Start begins serving chunk requests.
@@ -511,6 +614,29 @@ func (r *HeartbeatReq) Decode(d *wire.Decoder) {
 // PutChunk is the client-side helper to store one chunk at one provider.
 func PutChunk(cli *rpc.Client, addr string, key chunk.Key, data []byte) error {
 	return cli.Call(addr, MethodPut, &PutReq{Key: key, Data: data}, &Ack{})
+}
+
+// PutChunks stores a batch of chunks at one provider in one RPC. The
+// returned slice is aligned with items: a nil entry means that chunk was
+// stored; a non-nil one carries its individual rejection. A non-nil error
+// means the RPC itself failed (transport, malformed reply) and nothing can
+// be assumed stored.
+func PutChunks(cli *rpc.Client, addr string, items []PutItem) ([]error, error) {
+	var resp PutChunksResp
+	if err := cli.Call(addr, MethodPutChunks, &PutChunksReq{Items: items}, &resp); err != nil {
+		return nil, err
+	}
+	if len(resp.Errs) != len(items) {
+		return nil, fmt.Errorf("provider: putchunks at %s returned %d outcomes for %d items",
+			addr, len(resp.Errs), len(items))
+	}
+	out := make([]error, len(items))
+	for i, msg := range resp.Errs {
+		if msg != "" {
+			out[i] = fmt.Errorf("provider: chunk %s at %s: %s", items[i].Key, addr, msg)
+		}
+	}
+	return out, nil
 }
 
 // GetChunk fetches one whole chunk from one provider.

@@ -172,3 +172,71 @@ func TestTombstoneMessageRoundTrip(t *testing.T) {
 		t.Fatalf("round trip = %+v", got)
 	}
 }
+
+// TestPutChunksBatch stores several chunks in one RPC and checks the
+// per-chunk accounting: one batch, N puts, payload bytes counted in.
+func TestPutChunksBatch(t *testing.T) {
+	_, srv, cli := startProvider(t, chunk.NewMemStore())
+	items := []provider.PutItem{
+		{Key: chunk.Key{Blob: 1, Version: 5, Index: 0}, Data: []byte("aaaa")},
+		{Key: chunk.Key{Blob: 1, Version: 5, Index: 1}, Data: []byte("bbbbbb")},
+		{Key: chunk.Key{Blob: 1, Version: 5, Index: 2}, Data: []byte("cc")},
+	}
+	errs, err := provider.PutChunks(cli, "dp", items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range errs {
+		if e != nil {
+			t.Fatalf("chunk %d rejected: %v", i, e)
+		}
+	}
+	for _, it := range items {
+		got, err := provider.GetChunk(cli, "dp", it.Key)
+		if err != nil || !bytes.Equal(got, it.Data) {
+			t.Fatalf("get %s = %q, %v", it.Key, got, err)
+		}
+	}
+	stats, err := provider.Stats(cli, "dp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.PutBatches != 1 || stats.Puts != 3 {
+		t.Errorf("PutBatches=%d Puts=%d, want 1/3", stats.PutBatches, stats.Puts)
+	}
+	if want := uint64(4 + 6 + 2); stats.BytesIn != want {
+		t.Errorf("BytesIn=%d, want %d", stats.BytesIn, want)
+	}
+	_ = srv
+}
+
+// TestPutChunksPerChunkErrorIsolation sends a batch where one chunk
+// belongs to a tombstoned (deleted) blob: that chunk alone must be
+// rejected while its batch-mates are stored.
+func TestPutChunksPerChunkErrorIsolation(t *testing.T) {
+	_, _, cli := startProvider(t, chunk.NewMemStore())
+	if err := provider.Tombstone(cli, "dp", []uint64{7}); err != nil {
+		t.Fatal(err)
+	}
+	items := []provider.PutItem{
+		{Key: chunk.Key{Blob: 1, Version: 2, Index: 0}, Data: []byte("live-a")},
+		{Key: chunk.Key{Blob: 7, Version: 2, Index: 1}, Data: []byte("dead")},
+		{Key: chunk.Key{Blob: 1, Version: 2, Index: 2}, Data: []byte("live-b")},
+	}
+	errs, err := provider.PutChunks(cli, "dp", items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs[0] != nil || errs[2] != nil {
+		t.Fatalf("live chunks rejected: %v / %v", errs[0], errs[2])
+	}
+	if errs[1] == nil {
+		t.Fatal("tombstoned chunk accepted")
+	}
+	if got, err := provider.GetChunk(cli, "dp", items[0].Key); err != nil || !bytes.Equal(got, items[0].Data) {
+		t.Fatalf("live chunk lost: %q, %v", got, err)
+	}
+	if _, err := provider.GetChunk(cli, "dp", items[1].Key); err == nil {
+		t.Fatal("tombstoned chunk stored")
+	}
+}

@@ -109,6 +109,17 @@ func (m *Manager) Close() error {
 // Persistent reports whether the manager journals to disk.
 func (m *Manager) Persistent() bool { return m.j != nil }
 
+// JournalStats reports the journal's cumulative append/write/fsync counts
+// (zeros for a volatile manager). The fsync-per-append ratio is how the
+// group-commit amortization shows up at the version manager: N concurrent
+// Assign/Commit transitions coalesce into far fewer than N fsyncs.
+func (m *Manager) JournalStats() durable.LogStats {
+	if m.j == nil {
+		return durable.LogStats{}
+	}
+	return m.j.Stats()
+}
+
 // journalBegin/journalEnd bracket every mutation: they hold the journal's
 // reader lock so Compact (the writer) observes either none or all of a
 // mutation — state change and WAL record move together.

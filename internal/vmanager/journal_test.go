@@ -376,3 +376,68 @@ func TestRecoveryIsIdempotent(t *testing.T) {
 		t.Errorf("v1 should remain aborted after repeated recovery: %+v", vi)
 	}
 }
+
+// TestConcurrentCommitsGroupCommitJournal drives 16 concurrent writers
+// (each its own blob: create, assign, commit) through an fsync'd journal
+// and checks the durability cost is amortized: the WAL must report at
+// most one fsync per append — strictly fewer whenever any two transitions
+// coalesced — and a restart must recover every acknowledged transition.
+func TestConcurrentCommitsGroupCommitJournal(t *testing.T) {
+	dir := t.TempDir()
+	m, err := OpenManager(dir, Options{Fsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers = 16
+	done := make(chan uint64, writers)
+	for w := 0; w < writers; w++ {
+		go func() {
+			id, err := m.Create(4096, 1)
+			if err != nil {
+				t.Error(err)
+				done <- 0
+				return
+			}
+			resp, err := m.Assign(&AssignReq{BlobID: id, Size: 8192})
+			if err != nil {
+				t.Error(err)
+				done <- 0
+				return
+			}
+			if err := m.Commit(id, resp.Version); err != nil {
+				t.Error(err)
+				done <- 0
+				return
+			}
+			done <- id
+		}()
+	}
+	ids := make([]uint64, 0, writers)
+	for i := 0; i < writers; i++ {
+		if id := <-done; id != 0 {
+			ids = append(ids, id)
+		}
+	}
+	if len(ids) != writers {
+		t.Fatalf("only %d/%d writers completed", len(ids), writers)
+	}
+	st := m.JournalStats()
+	if st.Appends != 3*writers {
+		t.Errorf("Appends = %d, want %d (create+assign+commit per writer)", st.Appends, 3*writers)
+	}
+	if st.Syncs == 0 || st.Syncs > st.Appends {
+		t.Errorf("Syncs = %d outside (0, Appends=%d]", st.Syncs, st.Appends)
+	}
+	t.Logf("%d journaled transitions in %d fsyncs (%.2f syncs/append)",
+		st.Appends, st.Syncs, float64(st.Syncs)/float64(st.Appends))
+	m.Close()
+
+	re := openM(t, dir)
+	defer re.Close()
+	for _, id := range ids {
+		latest, err := re.Latest(id)
+		if err != nil || latest.Version != 1 || latest.SizeBytes != 8192 {
+			t.Fatalf("blob %d after recovery: %+v, %v", id, latest, err)
+		}
+	}
+}

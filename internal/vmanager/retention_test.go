@@ -228,3 +228,49 @@ func TestDeleteDefersSweepLatchUntilWritesDrain(t *testing.T) {
 		t.Fatalf("GC work after drained delete sweep: %v", work)
 	}
 }
+
+// TestFloorNeverPassesNewestLiveVersion: the retention floor must stop at
+// the newest NON-FAILED published version. A failed frontier version has
+// no content (and possibly no tree), so pruning the live snapshot beneath
+// it would reclaim the very tree Assign hands to writers as PubVersion —
+// re-opening the abort poison cascade via the GC.
+func TestFloorNeverPassesNewestLiveVersion(t *testing.T) {
+	m := NewManager()
+	id, err := m.Create(256, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// v1 commits; v2 aborts (published frontier = 2, failed).
+	a1, err := m.Assign(&AssignReq{BlobID: id, Size: 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Commit(id, a1.Version); err != nil {
+		t.Fatal(err)
+	}
+	a2, err := m.Assign(&AssignReq{BlobID: id, Size: 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Abort(id, a2.Version); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetRetention(id, 1); err != nil {
+		t.Fatal(err)
+	}
+	info, err := m.Info(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.RetainFrom != 1 {
+		t.Fatalf("retention floor passed the newest live version: retainFrom = %d, want 1", info.RetainFrom)
+	}
+	// A new Assign must still reference v1 as the published snapshot.
+	a3, err := m.Assign(&AssignReq{BlobID: id, Size: 100, Offset: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a3.PubVersion != 1 {
+		t.Fatalf("PubVersion = %d, want 1 (newest non-failed)", a3.PubVersion)
+	}
+}

@@ -294,13 +294,31 @@ func (m *Manager) Assign(req *AssignReq) (*AssignResp, error) {
 	if end > newSize {
 		newSize = end
 	}
+	// The snapshot handed to the writer is the newest NON-FAILED published
+	// version: weaves and abort repairs resolve untouched ranges by
+	// reading through PubVersion's tree, and a failed version may have no
+	// tree at all (its own abort repair can die with the control plane
+	// mid-crash), so referencing one would poison every later write of
+	// the blob — each retry would abort against the broken snapshot and
+	// leave an equally broken version behind. Failed versions contribute
+	// no content, so the newest live version IS the published snapshot,
+	// content-wise. (History compacted below base has no trees either;
+	// if everything above base failed, fall back to the frontier —
+	// no better reference exists.)
+	pub := b.published
+	for pub > b.base && b.vi(pub).failed {
+		pub--
+	}
+	if pub == b.base && b.base > 0 {
+		pub = b.published
+	}
 	cs := b.chunkSize
 	vi := verInfo{
 		startChunk: offset / cs,
 		endChunk:   (end + cs - 1) / cs,
 		sizeBytes:  newSize,
 		sizeChunks: (newSize + cs - 1) / cs,
-		assignPub:  b.published,
+		assignPub:  pub,
 	}
 	resp := &AssignResp{
 		Version:       b.lastAssigned() + 1,
@@ -310,10 +328,10 @@ func (m *Manager) Assign(req *AssignReq) (*AssignResp, error) {
 		SizeChunks:    vi.sizeChunks,
 		StartChunk:    vi.startChunk,
 		EndChunk:      vi.endChunk,
-		PubVersion:    b.published,
+		PubVersion:    pub,
 	}
-	if b.published > 0 {
-		resp.PubSizeChunks = b.vi(b.published).sizeChunks
+	if pub > b.base && pub > 0 {
+		resp.PubSizeChunks = b.vi(pub).sizeChunks
 	}
 	for v := b.published + 1; v < resp.Version; v++ {
 		w := b.vi(v)
@@ -395,7 +413,12 @@ func (m *Manager) finish(blobID, version uint64, failed bool) error {
 // floorCapLocked bounds how far the retention floor may advance right
 // now. Two limits apply (caller holds b.mu):
 //
-//  1. the newest published version is never pruned;
+//  1. the newest NON-FAILED published version is never pruned: failed
+//     versions have no content (and possibly no tree — an abort repair
+//     can die with the control plane), so the newest live snapshot is
+//     what "latest" means content-wise, and it is also what Assign hands
+//     to writers as PubVersion — pruning it would delete the very tree
+//     every subsequent weave and merge resolves through;
 //  2. an in-flight (assigned, unpublished) write wove its metadata
 //     against the snapshot published at its assign time and may reference
 //     anything reachable from it, so the floor must not pass that
@@ -403,6 +426,9 @@ func (m *Manager) finish(blobID, version uint64, failed bool) error {
 //     references the moment it commits.
 func (b *blobState) floorCapLocked() uint64 {
 	limit := b.published
+	for limit > b.base && b.vi(limit).failed {
+		limit--
+	}
 	for v := b.published + 1; v <= b.lastAssigned(); v++ {
 		ap := b.vi(v).assignPub // v > published: unpublished
 		if ap == 0 {
