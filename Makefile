@@ -2,7 +2,7 @@ GO ?= go
 FUZZTIME ?= 10s
 BENCHTIME ?= 1x
 
-.PHONY: all build vet test race fuzz bench e2e-restart ci clean
+.PHONY: all build vet test race fuzz bench e2e-restart e2e-repair ci clean
 
 all: ci
 
@@ -26,17 +26,20 @@ fuzz:
 	$(GO) test -fuzz=FuzzNodeDecode -fuzztime=$(FUZZTIME) ./internal/meta/
 	$(GO) test -fuzz=FuzzWriteDescDecode -fuzztime=$(FUZZTIME) ./internal/meta/
 	$(GO) test -fuzz=FuzzPutNodesReqDecode -fuzztime=$(FUZZTIME) ./internal/meta/
+	$(GO) test -fuzz=FuzzPatchReplicasReqDecode -fuzztime=$(FUZZTIME) ./internal/meta/
 	$(GO) test -fuzz=FuzzWALReplay -fuzztime=$(FUZZTIME) ./internal/durable/
 	$(GO) test -fuzz=FuzzWALFrame -fuzztime=$(FUZZTIME) ./internal/durable/
 	$(GO) test -fuzz=FuzzCoalescedBatchTear -fuzztime=$(FUZZTIME) ./internal/durable/
 
 # Macro-benchmark smoke test: one iteration of every reconstructed
-# experiment (E1-E13, including the E13 durable concurrent-writer bench)
-# keeps the bench harness from rotting; raise BENCHTIME (and add -count)
-# when measuring for real. BENCH_baseline.json / BENCH_after.json record
-# the E1/E4 before/after of the metadata-batching refactor (PR 3);
+# experiment (E1-E14, including the E14 repair-under-churn bench) keeps
+# the bench harness from rotting; raise BENCHTIME (and add -count) when
+# measuring for real. BENCH_baseline.json / BENCH_after.json record the
+# E1/E4 before/after of the metadata-batching refactor (PR 3);
 # BENCH_baseline_pr4.json / BENCH_after_pr4.json record the E13
-# before/after of the write-plane batching + WAL group commit (PR 4).
+# before/after of the write-plane batching + WAL group commit (PR 4);
+# BENCH_baseline_pr5.json / BENCH_after_pr5.json record the E14
+# degraded-vs-repaired numbers of the self-healing repair engine (PR 5).
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime $(BENCHTIME) .
 
@@ -47,7 +50,15 @@ e2e-restart:
 	$(GO) test -race -count=1 -run 'TestCrashRecoveryMidWriteStorm|TestRestartVolatileVMComesBackEmpty' ./internal/fault/
 	$(GO) test -race -count=1 -run 'TestDaemonCrashRecovery' ./cmd/blobseerd/
 
-ci: vet build race fuzz bench e2e-restart
+# Self-healing end-to-end suite: kill-one-provider re-replication with
+# batched-RPC bounds, watermark rebalance with stale-cache reader
+# recovery, stray-replica GC after a dead provider returns, and durable
+# provider sidecar restarts.
+e2e-repair:
+	$(GO) test -race -count=1 ./internal/repair/
+	$(GO) test -race -count=1 -run 'TestSidecar' ./internal/provider/
+
+ci: vet build race fuzz bench e2e-restart e2e-repair
 
 clean:
 	$(GO) clean -testcache

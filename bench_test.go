@@ -125,3 +125,14 @@ func BenchmarkE12SnapshotReads(b *testing.B) {
 func BenchmarkE13DurableWriters(b *testing.B) {
 	runExperiment(b, "E13", lastOf("blobseer"))
 }
+
+func BenchmarkE14RepairChurn(b *testing.B) {
+	runExperiment(b, "E14", func(r *bench.Result) (float64, string) {
+		for _, row := range r.Rows {
+			if row.Series == "repair-throughput" {
+				return row.Value, "MB/s-repair"
+			}
+		}
+		return 0, ""
+	})
+}

@@ -47,6 +47,21 @@
 // Readers racing a prune are safe: a read either returns the version's
 // exact bytes or fails whole with ErrVersionReclaimed — never torn data.
 //
+// # Self-healing repair and rebalance
+//
+// Replication only survives churn if something restores it. The repair
+// engine (internal/repair; the harness's background loop when
+// DeployOptions.RepairInterval is set, Cluster.RunRepair on demand, or
+// `blobseerd -role repair` / `blobseer-cli repair` against a daemon
+// deployment) scans every retained snapshot's placement, re-replicates
+// chunks whose replicas sit on dead or avoided providers (batched
+// getchunks/putchunks — RPC count tracks providers, not chunks), patches
+// the affected leaf descriptors in place so reads stop probing dead
+// addresses, and migrates replicas off providers above a fullness
+// watermark (capacity declared via heartbeats). Stale client caches
+// self-correct: a read whose every listed replica fails refreshes the
+// leaf and retries against the patched placement.
+//
 // # Durability and crash recovery
 //
 // With DeployOptions.DataDir set (or blobseerd's -dir per role), the

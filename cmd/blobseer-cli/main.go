@@ -16,6 +16,11 @@
 //	blobseer-cli ... gc                            # run one reclamation sweep
 //	blobseer-cli ... gc-stats                      # cumulative reclamation totals
 //	blobseer-cli ... compact                       # snapshot + truncate the vmanager journal
+//
+// Self-healing repair and rebalance:
+//
+//	blobseer-cli ... repair                        # run one repair pass (re-replicate + rebalance)
+//	blobseer-cli ... repair-stats                  # cumulative repair totals (all engines)
 package main
 
 import (
@@ -31,6 +36,7 @@ import (
 	"repro/internal/gc"
 	"repro/internal/meta"
 	"repro/internal/pmanager"
+	"repro/internal/repair"
 	"repro/internal/rpc"
 	"repro/internal/vmanager"
 )
@@ -41,7 +47,7 @@ func main() {
 	metaList := flag.String("meta", "127.0.0.1:4410", "comma-separated metadata provider addresses")
 	flag.Parse()
 	if flag.NArg() < 1 {
-		log.Fatal("blobseer-cli: missing subcommand (create|write|append|read|stat|list)")
+		log.Fatal("blobseer-cli: missing subcommand (create|write|append|read|stat|list|retention|prune|delete|gc|gc-stats|repair|repair-stats|compact)")
 	}
 
 	client, err := core.NewClient(core.Config{
@@ -176,6 +182,38 @@ func main() {
 		stats, err := sweeper.Run()
 		must(err)
 		fmt.Printf("gc: reclaimed %s\n", stats)
+	case "repair":
+		fs := flag.NewFlagSet("repair", flag.ExitOnError)
+		high := fs.Float64("high", 0.85, "rebalance fullness high watermark")
+		low := fs.Float64("low", 0.70, "rebalance fullness low watermark")
+		moveMB := fs.Int64("max-move-mb", 1024, "max payload migrated by this pass")
+		metaRepl := fs.Int("meta-repl", 1, "deployment's metadata replication degree")
+		fs.Parse(args)
+		rpcCli := rpc.NewClient(rpc.NewTCPNetwork(), 0)
+		defer rpcCli.Close()
+		eng, err := repair.New(repair.Config{
+			RPC:          rpcCli,
+			Meta:         meta.NewClient(rpcCli, strings.Split(*metaList, ","), *metaRepl, 0),
+			VMAddr:       *vm,
+			PMAddr:       *pm,
+			HighWater:    *high,
+			LowWater:     *low,
+			MaxMoveBytes: uint64(*moveMB) << 20,
+		})
+		must(err)
+		st, err := eng.Run()
+		fmt.Printf("repair: scanned=%d under-replicated=%d re-replicated=%d migrated=%d bytes-moved=%d leaves-patched=%d lost=%d errors=%d\n",
+			st.ChunksScanned, st.UnderReplicated, st.ReReplicated, st.Migrated,
+			st.BytesMoved, st.LeavesPatched, st.LostChunks, st.Errors)
+		must(err)
+	case "repair-stats":
+		rpcCli := rpc.NewClient(rpc.NewTCPNetwork(), 0)
+		defer rpcCli.Close()
+		var st vmanager.RepairTotals
+		must(rpcCli.Call(*vm, vmanager.MethodRepairStats, &vmanager.Ack{}, &st))
+		fmt.Printf("repair: passes=%d scanned=%d under-replicated=%d re-replicated=%d migrated=%d bytes-moved=%d leaves-patched=%d lost=%d errors=%d\n",
+			st.Passes, st.ChunksScanned, st.UnderReplicated, st.ReReplicated, st.Migrated,
+			st.BytesMoved, st.LeavesPatched, st.LostChunks, st.Errors)
 	case "gc-stats":
 		stats, err := client.GCStats()
 		must(err)

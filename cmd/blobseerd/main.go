@@ -4,8 +4,9 @@
 //	blobseerd -role vmanager  -listen :4400 -dir /var/blobseer/vm
 //	blobseerd -role pmanager  -listen :4401 -strategy roundrobin
 //	blobseerd -role metadata  -listen :4410 -dir /var/blobseer/meta0
-//	blobseerd -role provider  -listen :4420 -pm host:4401 -store disk -dir /var/blobseer/chunks
+//	blobseerd -role provider  -listen :4420 -pm host:4401 -store disk -dir /var/blobseer/chunks -capacity-mb 65536
 //	blobseerd -role namespace -listen :4430                      # BSFS names
+//	blobseerd -role repair    -vm host:4400 -pm host:4401 -meta host:4410 -repair-interval 30s
 //
 // Durability: for the vmanager and metadata roles, -dir selects the
 // journal/node-log directory; the daemon replays it on start, so a crashed
@@ -20,6 +21,13 @@
 // sweep every -gc-interval when also given the deployment view
 // (-pm and -meta), so TCP deployments reclaim space without a cron'd
 // `blobseer-cli gc`.
+//
+// Self-healing: the repair role runs the re-replication + rebalance loop
+// (internal/repair) against a live deployment; the vmanager role can run
+// the same loop in-daemon with -repair-interval (plus -pm and -meta).
+// Providers declare capacity with -capacity-mb so placement and the
+// rebalance watermarks can score fullness, and persist their put-age/
+// tombstone sidecar under -dir automatically.
 //
 // Clients connect with the library's NewClient given the version manager,
 // provider manager and metadata provider addresses.
@@ -41,25 +49,32 @@ import (
 	"repro/internal/meta"
 	"repro/internal/pmanager"
 	"repro/internal/provider"
+	"repro/internal/repair"
 	"repro/internal/rpc"
 	"repro/internal/vmanager"
 )
 
 func main() {
-	role := flag.String("role", "", "vmanager | pmanager | metadata | provider | namespace")
+	role := flag.String("role", "", "vmanager | pmanager | metadata | provider | namespace | repair")
 	listen := flag.String("listen", ":0", "TCP listen address")
-	pmAddr := flag.String("pm", "", "provider manager address (role=provider; role=vmanager with -gc-interval)")
+	vmAddr := flag.String("vm", "", "version manager address (role=repair)")
+	pmAddr := flag.String("pm", "", "provider manager address (role=provider|repair; role=vmanager with -gc-interval or -repair-interval)")
 	strategy := flag.String("strategy", "roundrobin", "placement strategy (role=pmanager)")
 	storeKind := flag.String("store", "mem", "chunk store: mem | disk | cached (role=provider)")
-	dir := flag.String("dir", "", "data directory: chunks (role=provider, store=disk|cached), journal (role=vmanager), node log (role=metadata)")
-	fsync := flag.Bool("fsync", true, "fsync journal appends, group-committed (role=vmanager|metadata with -dir); -fsync=false survives process crashes only")
+	dir := flag.String("dir", "", "data directory: chunks + sidecar (role=provider, store=disk|cached), journal (role=vmanager), node log (role=metadata)")
+	fsync := flag.Bool("fsync", true, "fsync journal appends, group-committed (role=vmanager|metadata|provider with -dir); -fsync=false survives process crashes only")
 	cacheMB := flag.Int64("cache-mb", 256, "RAM cache size (store=cached)")
+	capacityMB := flag.Int64("capacity-mb", 0, "declared storage capacity, 0 = unknown (role=provider; enables fullness-aware placement and rebalance)")
 	hbInterval := flag.Duration("heartbeat", time.Second, "heartbeat interval (role=provider)")
 	hbTimeout := flag.Duration("heartbeat-timeout", 5*time.Second, "provider liveness timeout (role=pmanager)")
 	gcInterval := flag.Duration("gc-interval", 0, "background GC sweep interval, 0 = off (role=vmanager; needs -pm and -meta)")
 	gcGrace := flag.Duration("gc-orphan-grace", 5*time.Minute, "minimum chunk age before orphan reclaim (role=vmanager)")
-	metaList := flag.String("meta", "", "comma-separated metadata provider addresses (role=vmanager with -gc-interval)")
-	metaRepl := flag.Int("meta-repl", 1, "metadata replication degree of the deployment (role=vmanager with -gc-interval)")
+	repairInterval := flag.Duration("repair-interval", 0, "background repair pass interval; role=repair defaults to 30s, 0 = off for role=vmanager")
+	repairHigh := flag.Float64("repair-high", 0.85, "rebalance fullness high watermark (role=repair|vmanager)")
+	repairLow := flag.Float64("repair-low", 0.70, "rebalance fullness low watermark (role=repair|vmanager)")
+	repairMoveMB := flag.Int64("repair-max-move-mb", 1024, "max payload the rebalancer migrates per pass (role=repair|vmanager)")
+	metaList := flag.String("meta", "", "comma-separated metadata provider addresses (role=repair; role=vmanager with -gc-interval or -repair-interval)")
+	metaRepl := flag.Int("meta-repl", 1, "metadata replication degree of the deployment (role=repair; role=vmanager loops)")
 	flag.Parse()
 
 	network := rpc.NewTCPNetwork()
@@ -80,7 +95,9 @@ func main() {
 		s := vmanager.NewServerWithManager(network, *listen, mgr)
 		must(s.Start())
 		stopGC := startGCLoop(network, s.Addr(), *pmAddr, *metaList, *metaRepl, *gcInterval, *gcGrace)
-		addr, closer = s.Addr(), func() { stopGC(); s.Close(); mgr.Close() }
+		stopRepair := startRepairLoop(network, s.Addr(), *pmAddr, *metaList, *metaRepl, *repairInterval,
+			*repairHigh, *repairLow, *repairMoveMB)
+		addr, closer = s.Addr(), func() { stopRepair(); stopGC(); s.Close(); mgr.Close() }
 	case "pmanager":
 		s, err := pmanager.NewServer(network, *listen, *strategy, *hbTimeout)
 		must(err)
@@ -108,6 +125,20 @@ func main() {
 		s := bsfs.NewNameServer(network, *listen)
 		must(s.Start())
 		addr, closer = s.Addr(), s.Close
+	case "repair":
+		if *vmAddr == "" || *pmAddr == "" || *metaList == "" {
+			log.Fatal("blobseerd: role=repair requires -vm, -pm and -meta")
+		}
+		interval := *repairInterval
+		if interval <= 0 {
+			interval = 30 * time.Second
+		}
+		stop := startRepairLoop(network, *vmAddr, *pmAddr, *metaList, *metaRepl, interval,
+			*repairHigh, *repairLow, *repairMoveMB)
+		log.Printf("blobseerd: role=repair healing %s every %v", *vmAddr, interval)
+		waitForSignal()
+		stop()
+		return
 	case "provider":
 		if *pmAddr == "" {
 			log.Fatal("blobseerd: -pm is required for role=provider")
@@ -118,7 +149,16 @@ func main() {
 		}
 		store, err := makeStore(*storeKind, chunkDir, *cacheMB)
 		must(err)
-		s := provider.NewServer(network, *listen, store)
+		opts := provider.Options{CapacityBytes: *capacityMB << 20}
+		if *dir != "" {
+			// The sidecar (durable put ages + tombstones) lives next to the
+			// chunks; a restarted provider replays it, so deleted-blob
+			// rejections persist and the orphan sweep skips the re-grace.
+			opts.SidecarDir = *dir + "/sidecar"
+			opts.FsyncSidecar = *fsync
+		}
+		s, err := provider.NewServerWithOptions(network, *listen, store, opts)
+		must(err)
 		must(s.Start())
 		cli := rpc.NewClient(network, 10*time.Second)
 		must(cli.Call(*pmAddr, pmanager.MethodRegister, &pmanager.RegisterReq{Addr: s.Addr()}, &pmanager.Ack{}))
@@ -130,11 +170,15 @@ func main() {
 	}
 
 	log.Printf("blobseerd: role=%s serving at %s", *role, addr)
+	waitForSignal()
+	closer()
+}
+
+func waitForSignal() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	log.Printf("blobseerd: shutting down")
-	closer()
 }
 
 // startGCLoop runs the background reclamation sweep inside the vmanager
@@ -181,6 +225,54 @@ func startGCLoop(network rpc.Network, vmAddr, pmAddr, metaList string, metaRepl 
 		}
 	}()
 	log.Printf("blobseerd: background gc sweeping every %v", interval)
+	return func() {
+		close(stop)
+		<-done
+		cli.Close()
+	}
+}
+
+// startRepairLoop runs the self-healing repair loop (in-daemon for the
+// vmanager role, standalone for role=repair). It returns a stop function
+// (a no-op when the loop is off).
+func startRepairLoop(network rpc.Network, vmAddr, pmAddr, metaList string, metaRepl int,
+	interval time.Duration, high, low float64, maxMoveMB int64) func() {
+	if interval <= 0 {
+		return func() {}
+	}
+	if pmAddr == "" || metaList == "" {
+		log.Fatal("blobseerd: the repair loop requires -pm and -meta so passes can reach the deployment")
+	}
+	cli := rpc.NewClient(network, 0)
+	eng, err := repair.New(repair.Config{
+		RPC:          cli,
+		Meta:         meta.NewClient(cli, strings.Split(metaList, ","), metaRepl, 0),
+		VMAddr:       vmAddr,
+		PMAddr:       pmAddr,
+		HighWater:    high,
+		LowWater:     low,
+		MaxMoveBytes: uint64(maxMoveMB) << 20,
+	})
+	must(err)
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				if st, err := eng.Run(); err != nil {
+					log.Printf("blobseerd: repair pass: %v (scanned=%d rereplicated=%d migrated=%d)",
+						err, st.ChunksScanned, st.ReReplicated, st.Migrated)
+				}
+			}
+		}
+	}()
+	log.Printf("blobseerd: background repair every %v (watermarks %.2f/%.2f)", interval, high, low)
 	return func() {
 		close(stop)
 		<-done

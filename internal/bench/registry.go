@@ -27,6 +27,7 @@ var Registry = []Experiment{
 	{"E11", "QoS under failures with GloBeM", E11QoSFailures},
 	{"E12", "snapshot read throughput", E12SnapshotReads},
 	{"E13", "durable concurrent writers (fsync'd WAL)", E13DurableWriters},
+	{"E14", "repair under churn (re-replication + rebalance)", E14RepairChurn},
 }
 
 // Lookup finds an experiment by ID.

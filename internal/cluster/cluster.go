@@ -18,6 +18,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/pmanager"
 	"repro/internal/provider"
+	"repro/internal/repair"
 	"repro/internal/rpc"
 	"repro/internal/vmanager"
 )
@@ -53,6 +54,20 @@ type Config struct {
 	// GCOrphanGrace is the minimum chunk age before an unreferenced chunk
 	// counts as an aborted-write orphan (default 5m; see gc.Config).
 	GCOrphanGrace time.Duration
+	// RepairInterval enables the background self-healing loop: every
+	// interval a repair pass re-replicates chunks off dead providers and
+	// rebalances overfull ones. Zero disables the loop (passes can still
+	// be run on demand with RunRepair).
+	RepairInterval time.Duration
+	// RepairHighWater / RepairLowWater are the rebalance fullness
+	// watermarks (defaults 0.85 / 0.70; see repair.Config).
+	RepairHighWater float64
+	RepairLowWater  float64
+	// ProviderCapacity, when set, declares data provider i's nominal
+	// capacity in bytes (reported via heartbeats; fullness = bytes/cap
+	// drives capacity-aware placement and the rebalancer). Nil or a
+	// non-positive return means unknown/unbounded.
+	ProviderCapacity func(i int) int64
 	// DataDir, when set, makes the control plane durable: the version
 	// manager journals to DataDir/vmanager and metadata provider i
 	// persists to DataDir/meta<i>, so KillVM/KillMeta + Restart* recover
@@ -90,6 +105,7 @@ type Cluster struct {
 	vmDir      string
 	metaDirs   []string
 	provStores []chunk.Store
+	provOpts   []provider.Options
 
 	hbClients []*rpc.Client
 
@@ -105,6 +121,13 @@ type Cluster struct {
 	gcClient *rpc.Client
 	gcStop   chan struct{}
 	gcDone   chan struct{}
+
+	// Repair is the deployment's self-healing engine (always built; the
+	// background loop only runs when Config.RepairInterval > 0).
+	Repair       *repair.Engine
+	repairClient *rpc.Client
+	repairStop   chan struct{}
+	repairDone   chan struct{}
 }
 
 // Start launches a deployment per cfg.
@@ -198,12 +221,27 @@ func Start(cfg Config) (*Cluster, error) {
 			c.Close()
 			return nil, fmt.Errorf("cluster: store for provider %d: %w", i, err)
 		}
-		dp := provider.NewServer(c.Network, addr(fmt.Sprintf("dp%d", i)), store)
+		var opts provider.Options
+		if cfg.DataDir != "" {
+			// Durable deployments get durable provider sidecars too: put
+			// ages and tombstones survive Kill/Revive.
+			opts.SidecarDir = filepath.Join(cfg.DataDir, fmt.Sprintf("prov%d-sidecar", i))
+			opts.FsyncSidecar = !cfg.NoFsyncWAL
+		}
+		if cfg.ProviderCapacity != nil {
+			opts.CapacityBytes = cfg.ProviderCapacity(i)
+		}
+		dp, err := provider.NewServerWithOptions(c.Network, addr(fmt.Sprintf("dp%d", i)), store, opts)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("cluster: opening data provider %d: %w", i, err)
+		}
 		if err := dp.Start(); err != nil {
 			c.Close()
 			return nil, fmt.Errorf("cluster: starting data provider %d: %w", i, err)
 		}
 		c.provStores = append(c.provStores, store)
+		c.provOpts = append(c.provOpts, opts)
 		c.Providers = append(c.Providers, dp)
 		c.provAddrs = append(c.provAddrs, dp.Addr())
 		c.PM.Manager().Register(dp.Addr())
@@ -244,8 +282,47 @@ func Start(cfg Config) (*Cluster, error) {
 			}
 		}(c.gcStop, c.gcDone)
 	}
+
+	// Self-healing repair engine: the engine is always available; the
+	// background loop runs only when an interval was configured.
+	c.repairClient = rpc.NewClientFrom(c.Network, cfg.CallTimeout, "repair")
+	eng, err := repair.New(repair.Config{
+		RPC:       c.repairClient,
+		Meta:      meta.NewClient(c.repairClient, c.metaAddrs, cfg.MetaReplication, 0),
+		VMAddr:    c.vmAddr,
+		PMAddr:    c.pmAddr,
+		HighWater: cfg.RepairHighWater,
+		LowWater:  cfg.RepairLowWater,
+	})
+	if err != nil {
+		c.Close()
+		return nil, fmt.Errorf("cluster: building repair engine: %w", err)
+	}
+	c.Repair = eng
+	if cfg.RepairInterval > 0 {
+		c.repairStop = make(chan struct{})
+		c.repairDone = make(chan struct{})
+		go func(stop, done chan struct{}) {
+			defer close(done)
+			t := time.NewTicker(cfg.RepairInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-t.C:
+					_, _ = c.Repair.Run() // per-blob errors retry next pass
+				}
+			}
+		}(c.repairStop, c.repairDone)
+	}
 	return c, nil
 }
+
+// RunRepair executes one self-healing pass synchronously and returns what
+// it repaired. Safe to call whether or not the background loop is running
+// (passes are stateless; anything half-done is re-detected).
+func (c *Cluster) RunRepair() (repair.Stats, error) { return c.Repair.Run() }
 
 // RunGC executes one garbage-collection pass synchronously and returns
 // what it reclaimed. Safe to call whether or not the background loop is
@@ -341,7 +418,13 @@ func (c *Cluster) ReviveProvider(i int) error {
 	}
 	c.srvMu.Lock()
 	defer c.srvMu.Unlock()
-	dp := provider.NewServer(c.Network, c.provAddrs[i], c.provStores[i])
+	// The crashed instance's Close released its sidecar log, so the
+	// replacement may reopen (and replay) it: put ages and tombstones
+	// survive the crash.
+	dp, err := provider.NewServerWithOptions(c.Network, c.provAddrs[i], c.provStores[i], c.provOpts[i])
+	if err != nil {
+		return fmt.Errorf("cluster: reopening data provider %d: %w", i, err)
+	}
 	if err := dp.Start(); err != nil {
 		return fmt.Errorf("cluster: restarting data provider %d: %w", i, err)
 	}
@@ -462,6 +545,14 @@ func (c *Cluster) Close() {
 	}
 	if c.gcClient != nil {
 		c.gcClient.Close()
+	}
+	if c.repairStop != nil {
+		close(c.repairStop)
+		<-c.repairDone
+		c.repairStop = nil
+	}
+	if c.repairClient != nil {
+		c.repairClient.Close()
 	}
 	c.clientMu.Lock()
 	clients := c.clients

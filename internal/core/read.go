@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"slices"
 	"time"
 
 	"repro/internal/meta"
@@ -104,7 +105,7 @@ func (b *Blob) readRange(version, sizeChunks uint64, p []byte, off uint64) error
 	cs := b.chunkSize
 	end := off + uint64(len(p))
 	a, z := off/cs, (end+cs-1)/cs
-	refs, err := meta.CollectLeaves(b.c.meta, b.id, version, sizeChunks, a, z)
+	refs, leafKeys, err := meta.CollectLeavesWithKeys(b.c.meta, b.id, version, sizeChunks, a, z)
 	if err != nil {
 		return fmt.Errorf("core: metadata for read of blob %d v%d: %w", b.id, version, err)
 	}
@@ -131,7 +132,22 @@ func (b *Blob) readRange(version, sizeChunks uint64, p []byte, off uint64) error
 		}
 		data, err := b.fetchChunkRange(ref, inLo, validHi-inLo)
 		if err != nil {
-			return err
+			// Every replica in the descriptor failed. The one way that
+			// happens with data still intact is a stale descriptor: the
+			// repair engine re-homed the chunk (dead provider, rebalance
+			// migration) and patched the leaf, but this client's cache —
+			// immutable-node caching never invalidates — still serves the
+			// pre-patch replica list. Refresh the leaf from the ring and
+			// retry once with the patched provider order.
+			fresh, refErr := b.c.meta.RefreshNode(leafKeys[i])
+			if refErr != nil || !fresh.Leaf || fresh.Chunk.IsZero() ||
+				slices.Equal(fresh.Chunk.Providers, ref.Providers) {
+				return err
+			}
+			data, err = b.fetchChunkRange(fresh.Chunk, inLo, validHi-inLo)
+			if err != nil {
+				return err
+			}
 		}
 		n := copy(dst, data)
 		zero(dst[n:])

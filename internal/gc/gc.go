@@ -30,6 +30,7 @@ package gc
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"sync"
 	"time"
@@ -86,13 +87,31 @@ func (s *Stats) add(o Stats) {
 type Sweeper struct {
 	cfg Config
 
-	// confirmed memoizes chunk keys the orphan sweep has proven are
-	// referenced by a metadata tree. References are immutable, so a
-	// confirmed chunk can never become an orphan (it can only die via the
-	// prune path, which finds it through its leaf), and the steady-state
-	// orphan sweep skips the liveness walk entirely.
+	// confirmed memoizes, per chunk key the orphan sweep has proven
+	// referenced by a metadata tree, the REPLICA SET that reference named
+	// at confirmation time. Chunk references are immutable in identity but
+	// repair-mutable in placement, so the memo must remember where the
+	// copies were supposed to live: a copy on a provider the memo lists is
+	// settled (skip the walk — the steady-state sweep costs one ListChunks
+	// per provider, no tree walks), while a copy on a provider the memo
+	// does NOT list forces a re-walk, which either re-confirms it (the
+	// repair engine re-homed the chunk there) or reclaims it as a STRAY
+	// replica — a copy the repair engine patched out of the metadata (a
+	// drained rebalance source whose delete failed, or a dead provider
+	// that came back still holding re-replicated chunks).
+	// The memo can only go stale in one direction: a patch moves a
+	// replica OFF an address the memo still lists, and the skip check
+	// would then shield that stray copy from the re-walk forever (a
+	// long-lived sweeper that confirmed before the repair never looks
+	// again). Patches are globally counted at the version manager
+	// (RepairTotals.LeavesPatched), so each orphan pass compares that
+	// counter and flushes the whole memo when repair activity happened
+	// since the last pass — the next pass re-walks and re-confirms
+	// against the patched placement. Repair is rare; the flush costs one
+	// extra walk round per repair burst, not per pass.
 	confirmedMu sync.Mutex
-	confirmed   map[chunk.Key]struct{}
+	confirmed   map[chunk.Key][]string
+	lastPatched uint64
 
 	// Lifetime reclamation counters (also reported to the version
 	// manager, which aggregates across sweepers).
@@ -116,7 +135,7 @@ func New(cfg Config) (*Sweeper, error) {
 	if cfg.OrphanGrace <= 0 {
 		cfg.OrphanGrace = 5 * time.Minute
 	}
-	return &Sweeper{cfg: cfg, confirmed: make(map[chunk.Key]struct{})}, nil
+	return &Sweeper{cfg: cfg, confirmed: make(map[chunk.Key][]string)}, nil
 }
 
 // Run executes one full pass: every blob with pending prune or deletion
@@ -264,11 +283,31 @@ func (s *Sweeper) sweepDeleted(id uint64, status *vmanager.GCStatusResp) (Stats,
 	return st, s.report(id, 0, true, status.FinishGen, st, nil)
 }
 
-// SweepOrphans reclaims aborted-write leftovers on one live blob: chunks
+// SweepOrphans reclaims aborted-write leftovers on one live blob — chunks
 // stored on providers, older than the grace period, and referenced by no
-// retained snapshot.
+// retained snapshot — plus stray replicas: copies of live chunks on
+// providers no retained leaf names anymore (see reclaimOrphans).
 func (s *Sweeper) SweepOrphans(id uint64) (Stats, error) {
 	return s.sweepOrphans([]uint64{id})
+}
+
+// flushConfirmedIfRepaired drops the confirmation memo when the version
+// manager's cumulative leaves-patched counter moved since the last
+// orphan pass: some replica set changed, and a memoized pre-patch
+// placement could otherwise shield a stray copy from the re-walk forever
+// (see the confirmed field). Errors leave the memo alone — better one
+// stale pass than flushing on every transient RPC failure.
+func (s *Sweeper) flushConfirmedIfRepaired() {
+	var rt vmanager.RepairTotals
+	if err := s.cfg.RPC.Call(s.cfg.VMAddr, vmanager.MethodRepairStats, &vmanager.Ack{}, &rt); err != nil {
+		return
+	}
+	s.confirmedMu.Lock()
+	if rt.LeavesPatched != s.lastPatched {
+		s.lastPatched = rt.LeavesPatched
+		s.confirmed = make(map[chunk.Key][]string)
+	}
+	s.confirmedMu.Unlock()
 }
 
 // sweepOrphans runs the orphan sweep over a set of blobs with ONE full
@@ -286,6 +325,7 @@ func (s *Sweeper) sweepOrphans(ids []uint64) (Stats, error) {
 	for _, id := range ids {
 		idSet[id] = true
 	}
+	s.flushConfirmedIfRepaired()
 	graceMs := uint64(s.cfg.OrphanGrace / time.Millisecond)
 	// aged[blob][provider] = orphan candidates found there.
 	aged := make(map[uint64]map[string][]chunk.Key)
@@ -299,8 +339,8 @@ func (s *Sweeper) sweepOrphans(ids []uint64) (Stats, error) {
 			if !idSet[k.Blob] || inv.AgeMs[i] < graceMs {
 				continue
 			}
-			if _, ok := s.confirmed[k]; ok {
-				continue
+			if addrs, ok := s.confirmed[k]; ok && slices.Contains(addrs, addr) {
+				continue // settled copy where the memoized reference put it
 			}
 			byAddr := aged[k.Blob]
 			if byAddr == nil {
@@ -348,11 +388,18 @@ func (s *Sweeper) reclaimOrphans(id uint64, byAddr map[string][]chunk.Key) (Stat
 	for addr, keys := range byAddr {
 		var dead []chunk.Key
 		for _, k := range keys {
-			if live.HasChunk(k) {
-				s.confirmedMu.Lock()
-				s.confirmed[k] = struct{}{}
-				s.confirmedMu.Unlock()
-				continue
+			if ref, ok := live.Chunks[k]; ok {
+				if slices.Contains(ref.Providers, addr) {
+					s.confirmedMu.Lock()
+					s.confirmed[k] = ref.Providers
+					s.confirmedMu.Unlock()
+					continue
+				}
+				// Live chunk, but no retained leaf places a replica HERE:
+				// a stray copy the repair engine patched out (failed drain
+				// delete, or a dead provider returned after its chunks
+				// were re-homed). The referenced replicas elsewhere keep
+				// the data safe; this copy is reclaimable.
 			}
 			dead = append(dead, k)
 		}

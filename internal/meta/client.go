@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/dht"
 	"repro/internal/metrics"
@@ -36,7 +37,21 @@ type Client struct {
 	statNodesOut   metrics.Counter // node replicas sent over the network
 	statSpecHits   metrics.Counter // speculative same-label keys that resolved
 	statSpecMisses metrics.Counter // speculative same-label keys that came back absent
+
+	// specDepth is the adaptive same-label expansion depth (AIMD over the
+	// per-round hit ratio; see observeSpec). Starts at specMaxDepth.
+	specDepth atomic.Int64
 }
+
+// Adaptive speculation-depth constants: the expansion halves whenever a
+// sufficiently large round misses more than half its guesses (the history
+// under the read is fragmented, so deep same-label probes are wasted
+// keys), and creeps back one level per near-perfect round. AIMD keeps the
+// steady state near whatever depth the history actually supports.
+const (
+	specMaxDepth      = 62 // deeper than any real tree: effectively unbounded
+	specAdaptMinRound = 16 // rounds with fewer guesses carry too little signal
+)
 
 // RPCStats is a snapshot of the metadata-plane RPCs a client has issued.
 type RPCStats struct {
@@ -73,11 +88,37 @@ func (c *Client) RPCStats() RPCStats {
 }
 
 // observeSpec implements specObserver: the batched descent reports each
-// round's same-label expansion outcomes here.
+// round's same-label expansion outcomes here, and the adaptive depth
+// reacts to them — multiplicative decrease on a majority-miss round,
+// additive increase on a near-perfect one.
 func (c *Client) observeSpec(hits, misses int64) {
 	c.statSpecHits.Add(hits)
 	c.statSpecMisses.Add(misses)
+	n := hits + misses
+	if n < specAdaptMinRound {
+		return
+	}
+	d := c.specDepth.Load()
+	switch {
+	case misses*2 > n:
+		nd := d / 2
+		if nd < 1 {
+			nd = 1 // keep probing one level, or the ratio could never recover
+		}
+		if nd != d {
+			c.specDepth.CompareAndSwap(d, nd)
+		}
+	case misses*8 < n && d < specMaxDepth:
+		c.specDepth.CompareAndSwap(d, d+1)
+	}
 }
+
+// specExpansionDepth implements specDepthAdvisor for the batched descent.
+func (c *Client) specExpansionDepth() int { return int(c.specDepth.Load()) }
+
+// SpecDepth reports the current adaptive expansion depth (observability
+// and tests).
+func (c *Client) SpecDepth() int { return int(c.specDepth.Load()) }
 
 // NewClient builds a metadata client over the given metadata provider
 // addresses. replication is the number of replicas per node (clamped to
@@ -95,7 +136,9 @@ func NewClient(rpcClient *rpc.Client, providers []string, replication, cacheNode
 	if cacheNodes > 0 {
 		cache = newNodeCache(cacheNodes)
 	}
-	return &Client{rpc: rpcClient, ring: ring, replication: replication, cache: cache}
+	c := &Client{rpc: rpcClient, ring: ring, replication: replication, cache: cache}
+	c.specDepth.Store(specMaxDepth)
+	return c
 }
 
 // Replicas returns the replica set for a node key.
@@ -428,6 +471,71 @@ func (c *Client) DeleteNodes(keys []NodeKey) (uint64, error) {
 	return deleted, nil
 }
 
+// PatchReplicas rewrites leaf replica lists on every metadata provider in
+// the ring and returns the number of leaf copies actually rewritten. Like
+// DeleteNodes the batch is broadcast to all members rather than routed by
+// replica set: a patch must not depend on the repair engine knowing the
+// deployment's exact replication degree, and servers skip patches for
+// leaves they do not hold, so over-sending is idempotent no-ops. An
+// unreachable member is an error — its copies still carry the dead
+// placement, so the caller (the repair engine) must re-patch on its next
+// pass rather than record the repair as complete.
+func (c *Client) PatchReplicas(patches []ReplicaPatch) (uint64, error) {
+	if len(patches) == 0 {
+		return 0, nil
+	}
+	members := c.ring.Nodes()
+	if len(members) == 0 {
+		return 0, errors.New("meta: no metadata providers in ring")
+	}
+	// The local cache must not keep serving the pre-patch placement.
+	if c.cache != nil {
+		for i := range patches {
+			c.cache.evict(patches[i].Key)
+		}
+	}
+	type result struct {
+		patched uint64
+		err     error
+	}
+	results := make(chan result, len(members))
+	sem := make(chan struct{}, putParallelism)
+	for _, addr := range members {
+		sem <- struct{}{}
+		go func(addr string) {
+			defer func() { <-sem }()
+			var resp PatchResp
+			err := c.rpc.Call(addr, MethodPatchReplicas, &PatchReplicasReq{Patches: patches}, &resp)
+			results <- result{patched: resp.Patched, err: err}
+		}(addr)
+	}
+	var patched uint64
+	var firstErr error
+	for range members {
+		r := <-results
+		patched += r.patched
+		if r.err != nil && firstErr == nil {
+			firstErr = r.err
+		}
+	}
+	if firstErr != nil {
+		return patched, fmt.Errorf("meta: replica patch incomplete (retried next repair pass): %w", firstErr)
+	}
+	return patched, nil
+}
+
+// RefreshNode re-fetches a node from the ring, bypassing (and then
+// refilling) the local cache. The read path calls this when every replica
+// of a cached leaf failed: nodes are immutable EXCEPT for leaf replica
+// lists, which the repair engine patches in place, so a total fetch
+// failure is the one signal that a cached descriptor may be stale.
+func (c *Client) RefreshNode(key NodeKey) (*Node, error) {
+	if c.cache != nil {
+		c.cache.evict(key)
+	}
+	return c.GetNode(key)
+}
+
 // DeleteBlob drops every node of the blob from every metadata provider in
 // the ring (full blob deletion). Any unreachable member is an error so the
 // blob's tombstone stays pending and the next sweep retries.
@@ -526,6 +634,16 @@ func (c *nodeCache) peek(key NodeKey) (*Node, bool) {
 	c.order.MoveToFront(el)
 	n := el.Value.(*cacheEnt).node
 	return &n, true
+}
+
+// evict drops one entry (replica-list patches invalidate cached leaves).
+func (c *nodeCache) evict(key NodeKey) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.order.Remove(el)
+		delete(c.entries, key)
+	}
 }
 
 func (c *nodeCache) stats() (int64, int64) {

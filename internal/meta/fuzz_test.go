@@ -1,6 +1,7 @@
 package meta
 
 import (
+	"slices"
 	"testing"
 
 	"repro/internal/chunk"
@@ -92,6 +93,51 @@ func FuzzPutNodesReqDecode(f *testing.F) {
 		// batch can never exceed the input length.
 		if len(r.Nodes) > len(data) {
 			t.Fatalf("decoded %d nodes from %d bytes", len(r.Nodes), len(data))
+		}
+	})
+}
+
+// FuzzPatchReplicasReqDecode covers the repair engine's replica-patch
+// framing: hostile counts must not drive unbounded allocation (the
+// provider-list clamp), and any batch that decodes cleanly must survive
+// an encode→decode round trip unchanged.
+func FuzzPatchReplicasReqDecode(f *testing.F) {
+	req := &PatchReplicasReq{Patches: []ReplicaPatch{{
+		Key:       NodeKey{Blob: 1, Version: 4, Off: 2, Size: 1},
+		Chunk:     chunk.Key{Blob: 1, Version: 1<<63 | 5, Index: 2},
+		Providers: []string{"dp1", "dp2"},
+	}}}
+	f.Add(wire.Marshal(req))
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var r PatchReplicasReq
+		d := wire.NewDecoder(data)
+		r.Decode(d)
+		if len(r.Patches) > len(data) {
+			t.Fatalf("decoded %d patches from %d bytes", len(r.Patches), len(data))
+		}
+		if d.Err() != nil {
+			return
+		}
+		for i := range r.Patches {
+			if len(r.Patches[i].Providers) > 64 {
+				t.Fatalf("decoded %d providers, clamp failed", len(r.Patches[i].Providers))
+			}
+		}
+		var rt PatchReplicasReq
+		if err := wire.Unmarshal(wire.Marshal(&r), &rt); err != nil {
+			t.Fatalf("re-decoding a cleanly decoded batch: %v", err)
+		}
+		if len(rt.Patches) != len(r.Patches) {
+			t.Fatalf("round trip changed batch size: %d -> %d", len(r.Patches), len(rt.Patches))
+		}
+		for i := range r.Patches {
+			a, b := &r.Patches[i], &rt.Patches[i]
+			if a.Key != b.Key || a.Chunk != b.Chunk || !slices.Equal(a.Providers, b.Providers) {
+				t.Fatalf("round trip changed patch %d: %+v -> %+v", i, a, b)
+			}
 		}
 	})
 }

@@ -33,6 +33,13 @@ import (
 type LiveSet struct {
 	Nodes  map[NodeKey]struct{}
 	Chunks map[chunk.Key]ChunkRef
+	// Leaves, when enabled with TrackLeaves, maps each live chunk to every
+	// leaf node referencing it (abort repair copies leaves, so one chunk
+	// can appear under several versions). The repair engine piggybacks on
+	// the liveness walk through this: the same batched descent that powers
+	// GC yields the chunk → replica-set placement map AND the exact leaf
+	// set a replica patch must rewrite. Nil (untracked) for plain GC.
+	Leaves map[chunk.Key][]NodeKey
 }
 
 // NewLiveSet returns an empty set.
@@ -41,6 +48,15 @@ func NewLiveSet() *LiveSet {
 		Nodes:  make(map[NodeKey]struct{}),
 		Chunks: make(map[chunk.Key]ChunkRef),
 	}
+}
+
+// TrackLeaves enables per-chunk leaf-key recording on subsequent walks
+// (repair's placement scan) and returns the set for chaining.
+func (l *LiveSet) TrackLeaves() *LiveSet {
+	if l.Leaves == nil {
+		l.Leaves = make(map[chunk.Key][]NodeKey)
+	}
+	return l
 }
 
 // Has reports whether the node key is in the set.
@@ -155,6 +171,11 @@ func (w *gcWalker) walk(frontier []NodeKey) error {
 			if node.Leaf {
 				if !node.Chunk.IsZero() {
 					w.set.Chunks[node.Chunk.Key] = node.Chunk
+					if w.set.Leaves != nil {
+						// Uniqueness holds because the visited check above
+						// admits each node key at most once per walk.
+						w.set.Leaves[node.Chunk.Key] = append(w.set.Leaves[node.Chunk.Key], key)
+					}
 				}
 				continue
 			}

@@ -2,6 +2,7 @@ package meta
 
 import (
 	"fmt"
+	"slices"
 	"sync"
 )
 
@@ -19,13 +20,17 @@ func NewMemStore() *MemStore {
 
 // PutNodes stores the batch. Re-storing an existing key with identical
 // content is tolerated (idempotent retries); a conflicting rewrite is a
-// protocol violation and returns an error.
+// protocol violation and returns an error — EXCEPT when the divergence is
+// only a leaf's replica list: the repair engine patches those in place
+// (see PatchReplicas), so a writer's late idempotent retry carrying the
+// pre-patch placement must not error, and must not clobber the patch
+// either. The stored (patched) leaf wins.
 func (s *MemStore) PutNodes(nodes []*Node) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, n := range nodes {
 		if old, ok := s.nodes[n.Key]; ok {
-			if !nodesEqual(old, n) {
+			if !nodesEquivalent(old, n) {
 				return fmt.Errorf("meta: conflicting rewrite of immutable node %s", n.Key)
 			}
 			continue
@@ -34,6 +39,39 @@ func (s *MemStore) PutNodes(nodes []*Node) error {
 		s.nodes[n.Key] = &cp
 	}
 	return nil
+}
+
+// PatchReplicas rewrites leaf replica lists in place (ServerStore; see
+// ReplicaPatch). A patch applies only to an existing leaf that still
+// references the named chunk; anything else is skipped, not an error.
+func (s *MemStore) PatchReplicas(patches []ReplicaPatch) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for i := range patches {
+		p := &patches[i]
+		if len(p.Providers) == 0 {
+			// An empty replica list would flip the leaf to IsZero — reads
+			// would synthesize zeros and the GC liveness walk would stop
+			// protecting the chunk's bytes. No legitimate patch empties a
+			// placement (repair skips no-survivor chunks), so this can
+			// only be corruption (the decoder clamps hostile provider
+			// counts to zero) or a bug: refuse it.
+			continue
+		}
+		old, ok := s.nodes[p.Key]
+		if !ok || !old.Leaf || old.Chunk.Key != p.Chunk {
+			continue
+		}
+		if slices.Equal(old.Chunk.Providers, p.Providers) {
+			continue // idempotent re-patch
+		}
+		cp := *old
+		cp.Chunk.Providers = append([]string(nil), p.Providers...)
+		s.nodes[p.Key] = &cp
+		n++
+	}
+	return n
 }
 
 // GetNode fetches one node.
@@ -120,21 +158,21 @@ func (s *MemStore) DeleteBlob(blob uint64) int {
 	return n
 }
 
+// nodesEqual is strict content equality (codec round-trip tests).
 func nodesEqual(a, b *Node) bool {
+	return nodesEquivalent(a, b) && (!a.Leaf || slices.Equal(a.Chunk.Providers, b.Chunk.Providers))
+}
+
+// nodesEquivalent reports whether b may be idempotently dropped when a is
+// already stored: identical content, except that leaf PROVIDER LISTS may
+// differ (replica placement is repair-mutable state, not node identity).
+func nodesEquivalent(a, b *Node) bool {
 	if a.Key != b.Key || a.Leaf != b.Leaf {
 		return false
 	}
 	if a.Leaf {
-		if a.Chunk.Key != b.Chunk.Key || a.Chunk.Length != b.Chunk.Length ||
-			len(a.Chunk.Providers) != len(b.Chunk.Providers) {
-			return false
-		}
-		for i := range a.Chunk.Providers {
-			if a.Chunk.Providers[i] != b.Chunk.Providers[i] {
-				return false
-			}
-		}
-		return true
+		return a.Chunk.Key == b.Chunk.Key && a.Chunk.Length == b.Chunk.Length &&
+			a.Chunk.IsZero() == b.Chunk.IsZero()
 	}
 	return a.LeftVer == b.LeftVer && a.RightVer == b.RightVer
 }

@@ -36,6 +36,7 @@ const (
 	nodeRecPut        = uint8(1)
 	nodeRecDelete     = uint8(2)
 	nodeRecDeleteBlob = uint8(3)
+	nodeRecPatch      = uint8(4)
 )
 
 // persistCompactEvery is the default record count triggering snapshot +
@@ -111,6 +112,17 @@ func (s *PersistentStore) applyRecord(rec []byte) error {
 		if blob := d.U64(); d.Err() == nil {
 			s.mem.DeleteBlob(blob)
 		}
+	case nodeRecPatch:
+		cnt := d.U32()
+		patches := make([]ReplicaPatch, 0, cnt)
+		for i := uint32(0); i < cnt && d.Err() == nil; i++ {
+			var p ReplicaPatch
+			p.decode(d)
+			patches = append(patches, p)
+		}
+		if d.Err() == nil {
+			s.mem.PatchReplicas(patches)
+		}
 	default:
 		return fmt.Errorf("meta: unknown node log record type %d", kind)
 	}
@@ -166,6 +178,36 @@ func (s *PersistentStore) DeleteNodes(keys []NodeKey) int {
 	s.mu.Unlock()
 	// A failed append leaves the delete volatile; the GC re-issues deletes
 	// idempotently on its next sweep, so this is tolerated, not fatal.
+	_ = wait()
+	s.maybeCompact()
+	return n
+}
+
+// PatchReplicas rewrites leaf replica lists, durably: the patch is
+// journaled so a restarted metadata provider does not resurrect dead
+// replica addresses into read paths the repair engine already fixed.
+// Replay over a snapshot is idempotent: a patch for an absent or already-
+// matching leaf is a no-op (see compactLocked's record-type contract).
+func (s *PersistentStore) PatchReplicas(patches []ReplicaPatch) int {
+	s.mu.Lock()
+	n := s.mem.PatchReplicas(patches)
+	if n == 0 {
+		// Nothing changed in RAM (stale or duplicate patch): journaling it
+		// would only grow the log.
+		s.mu.Unlock()
+		return 0
+	}
+	e := wire.NewEncoder(64 * len(patches))
+	e.PutU8(nodeRecPatch)
+	e.PutU32(uint32(len(patches)))
+	for i := range patches {
+		patches[i].encode(e)
+	}
+	wait := s.log.AppendAsync(e.Bytes())
+	s.mu.Unlock()
+	// A failed append leaves the patch volatile; the repair engine's next
+	// pass re-detects the stale placement and re-patches, so this is
+	// tolerated, not fatal.
 	_ = wait()
 	s.maybeCompact()
 	return n

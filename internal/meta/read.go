@@ -18,6 +18,17 @@ type specObserver interface {
 	observeSpec(hits, misses int64)
 }
 
+// specDepthAdvisor is an optional Store refinement: the store recommends
+// how many levels below the frontier the same-label expansion may probe
+// this round. The DHT client implements it adaptively — when RPCStats'
+// SpecHits/SpecMisses show the guess keeps missing (a fragmented version
+// history), it shrinks the depth so rounds stop paying for keys that come
+// back absent, and re-deepens once the guesses start landing again.
+// Stores without the refinement get the full budget-bounded expansion.
+type specDepthAdvisor interface {
+	specExpansionDepth() int
+}
+
 // Peeker is an optional Store refinement: PeekNodes resolves keys from
 // local, network-free state — the DHT client's LRU cache, or the whole
 // map for an in-process store. The result is aligned with keys; nil
@@ -63,20 +74,38 @@ type span struct {
 // are therefore bounded by the tree depth, reached only by pathologically
 // fragmented histories.
 func CollectLeaves(store Store, blob, version, sizeChunks, a, b uint64) ([]ChunkRef, error) {
+	refs, _, err := collectLeaves(store, blob, version, sizeChunks, a, b, false)
+	return refs, err
+}
+
+// CollectLeavesWithKeys is CollectLeaves additionally reporting each
+// resolved leaf's node key (zero-valued for never-written chunks). The
+// read path uses the keys to refresh a leaf whose cached replica list
+// went stale — every address failing is the signature of a descriptor the
+// repair engine has since patched.
+func CollectLeavesWithKeys(store Store, blob, version, sizeChunks, a, b uint64) ([]ChunkRef, []NodeKey, error) {
+	return collectLeaves(store, blob, version, sizeChunks, a, b, true)
+}
+
+func collectLeaves(store Store, blob, version, sizeChunks, a, b uint64, withKeys bool) ([]ChunkRef, []NodeKey, error) {
 	if b < a {
-		return nil, fmt.Errorf("meta: invalid chunk range [%d,%d)", a, b)
+		return nil, nil, fmt.Errorf("meta: invalid chunk range [%d,%d)", a, b)
 	}
 	if a == b {
-		return nil, nil
+		return nil, nil, nil
 	}
 	if b > sizeChunks {
-		return nil, fmt.Errorf("meta: chunk range [%d,%d) beyond blob size %d", a, b, sizeChunks)
+		return nil, nil, fmt.Errorf("meta: chunk range [%d,%d) beyond blob size %d", a, b, sizeChunks)
 	}
 	out := make([]ChunkRef, b-a) // zero ChunkRefs: never-written ranges stay as made
-	if version == ZeroVersion {
-		return out, nil
+	var outKeys []NodeKey
+	if withKeys {
+		outKeys = make([]NodeKey, b-a)
 	}
-	c := &collector{store: store, blob: blob, a: a, b: b, out: out}
+	if version == ZeroVersion {
+		return out, outKeys, nil
+	}
+	c := &collector{store: store, blob: blob, a: a, b: b, out: out, outKeys: outKeys}
 	if p, ok := store.(Peeker); ok {
 		c.peeker = p
 	}
@@ -84,24 +113,25 @@ func CollectLeaves(store Store, blob, version, sizeChunks, a, b uint64) ([]Chunk
 	for len(frontier) > 0 {
 		var err error
 		if frontier, err = c.peekRound(frontier); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if len(frontier) == 0 {
 			break
 		}
 		if frontier, err = c.fetchRound(frontier); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
-	return out, nil
+	return out, outKeys, nil
 }
 
 type collector struct {
-	store  Store
-	peeker Peeker
-	blob   uint64
-	a, b   uint64
-	out    []ChunkRef
+	store   Store
+	peeker  Peeker
+	blob    uint64
+	a, b    uint64
+	out     []ChunkRef
+	outKeys []NodeKey // nil unless the caller asked for leaf keys
 
 	// Per-round fetch state: keys requested this round and their results.
 	keys  []NodeKey
@@ -167,11 +197,26 @@ func (c *collector) fetchRound(frontier []span) ([]span, error) {
 	// Enumerate breadth-first so a budget cut drops the deepest
 	// speculative keys first, never a frontier root. Keys enumerated past
 	// the frontier roots are the same-label speculation; their count
-	// marks where the hit/miss accounting below starts.
+	// marks where the hit/miss accounting below starts. The expansion
+	// depth is capped by the store's advice when it gives any: a
+	// fragmented history keeps missing on deep same-label guesses, and the
+	// adaptive depth turns those wasted keys off instead of probing the
+	// full subtree every round.
+	maxDepth := specBudget // effectively unbounded; budget is the real cap
+	if adv, ok := c.store.(specDepthAdvisor); ok {
+		maxDepth = adv.specExpansionDepth()
+	}
 	frontierKeys := 0
-	queue := append([]span(nil), frontier...)
+	type qent struct {
+		s     span
+		depth int
+	}
+	queue := make([]qent, 0, 2*len(frontier))
+	for _, s := range frontier {
+		queue = append(queue, qent{s: s})
+	}
 	for qi := 0; qi < len(queue) && len(c.keys) < specBudget; qi++ {
-		s := queue[qi]
+		s, depth := queue[qi].s, queue[qi].depth
 		k := c.key(s)
 		if _, dup := c.index[k]; dup {
 			continue
@@ -181,13 +226,13 @@ func (c *collector) fetchRound(frontier []span) ([]span, error) {
 		if qi < len(frontier) {
 			frontierKeys++
 		}
-		if s.size > 1 {
+		if s.size > 1 && depth < maxDepth {
 			half := s.size / 2
 			if overlaps(s.off, s.off+half, c.a, c.b) {
-				queue = append(queue, span{ver: s.ver, off: s.off, size: half})
+				queue = append(queue, qent{s: span{ver: s.ver, off: s.off, size: half}, depth: depth + 1})
 			}
 			if overlaps(s.off+half, s.off+s.size, c.a, c.b) {
-				queue = append(queue, span{ver: s.ver, off: s.off + half, size: half})
+				queue = append(queue, qent{s: span{ver: s.ver, off: s.off + half, size: half}, depth: depth + 1})
 			}
 		}
 	}
@@ -266,6 +311,9 @@ func (c *collector) resolve(s span, node *Node) ([]span, error) {
 			return nil, fmt.Errorf("meta: leaf %s with span %d", c.key(s), s.size)
 		}
 		c.out[s.off-c.a] = node.Chunk
+		if c.outKeys != nil {
+			c.outKeys[s.off-c.a] = c.key(s)
+		}
 		return nil, nil
 	}
 	if s.size == 1 {

@@ -1,18 +1,20 @@
 package meta
 
 import (
+	"repro/internal/chunk"
 	"repro/internal/rpc"
 	"repro/internal/wire"
 )
 
 // Method names served by a metadata provider.
 const (
-	MethodPutNodes    = "meta.put"
-	MethodGetNode     = "meta.get"
-	MethodGetNodes    = "meta.getnodes"
-	MethodStats       = "meta.stats"
-	MethodDeleteNodes = "meta.delete"
-	MethodDeleteBlob  = "meta.deleteblob"
+	MethodPutNodes      = "meta.put"
+	MethodGetNode       = "meta.get"
+	MethodGetNodes      = "meta.getnodes"
+	MethodStats         = "meta.stats"
+	MethodDeleteNodes   = "meta.delete"
+	MethodDeleteBlob    = "meta.deleteblob"
+	MethodPatchReplicas = "meta.patchreplicas"
 )
 
 // PutNodesReq carries a batch of tree nodes to store.
@@ -179,6 +181,91 @@ func (r *DeleteNodesReq) Decode(d *wire.Decoder) {
 	}
 }
 
+// ReplicaPatch rewrites the replica list of one leaf's chunk descriptor.
+// This is the ONE deliberate exception to node immutability: a leaf's
+// chunk identity (key, length) is immutable content, but its provider
+// list is placement state, and placement changes when the repair engine
+// re-replicates a chunk off a dead provider or migrates one off an
+// overfull provider. Chunk identifies the chunk the patch is about —
+// a patch applies only when the stored leaf still references that exact
+// chunk, so a stale patch can never clobber an unrelated descriptor.
+type ReplicaPatch struct {
+	Key       NodeKey
+	Chunk     chunk.Key
+	Providers []string
+}
+
+func (p *ReplicaPatch) encode(e *wire.Encoder) {
+	e.PutU64(p.Key.Blob)
+	e.PutU64(p.Key.Version)
+	e.PutU64(p.Key.Off)
+	e.PutU64(p.Key.Size)
+	e.PutU64(p.Chunk.Blob)
+	e.PutU64(p.Chunk.Version)
+	e.PutU64(p.Chunk.Index)
+	e.PutU32(uint32(len(p.Providers)))
+	for _, a := range p.Providers {
+		e.PutString(a)
+	}
+}
+
+func (p *ReplicaPatch) decode(d *wire.Decoder) {
+	p.Key.Blob = d.U64()
+	p.Key.Version = d.U64()
+	p.Key.Off = d.U64()
+	p.Key.Size = d.U64()
+	p.Chunk.Blob = d.U64()
+	p.Chunk.Version = d.U64()
+	p.Chunk.Index = d.U64()
+	cnt := d.U32()
+	if cnt > 64 { // replica counts are single digits; reject garbage
+		cnt = 0
+	}
+	p.Providers = nil
+	for i := uint32(0); i < cnt && d.Err() == nil; i++ {
+		p.Providers = append(p.Providers, d.String())
+	}
+}
+
+// PatchReplicasReq carries a batch of leaf replica-list rewrites (the
+// repair engine patches every affected leaf of a pass in few RPCs).
+// Patches are idempotent and patches for absent keys are ignored:
+// metadata replicas may hold different subsets, and the GC may race the
+// repair pass.
+type PatchReplicasReq struct {
+	Patches []ReplicaPatch
+}
+
+// Encode implements wire.Message.
+func (r *PatchReplicasReq) Encode(e *wire.Encoder) {
+	e.PutU32(uint32(len(r.Patches)))
+	for i := range r.Patches {
+		r.Patches[i].encode(e)
+	}
+}
+
+// Decode implements wire.Message.
+func (r *PatchReplicasReq) Decode(d *wire.Decoder) {
+	cnt := d.U32()
+	r.Patches = nil
+	for i := uint32(0); i < cnt && d.Err() == nil; i++ {
+		var p ReplicaPatch
+		p.decode(d)
+		r.Patches = append(r.Patches, p)
+	}
+}
+
+// PatchResp reports how many leaves a patch rewrote on this provider.
+type PatchResp struct {
+	Patched uint64
+}
+
+// Encode implements wire.Message.
+func (r *PatchResp) Encode(e *wire.Encoder) { e.PutU64(r.Patched) }
+
+// Decode implements wire.Message.
+func (r *PatchResp) Decode(d *wire.Decoder) { r.Patched = d.U64() }
+
 // DeleteBlobReq drops every node of one blob (full blob deletion).
 type DeleteBlobReq struct {
 	Blob uint64
@@ -229,6 +316,11 @@ type ServerStore interface {
 	Len() int
 	DeleteNodes(keys []NodeKey) int
 	DeleteBlob(blob uint64) int
+	// PatchReplicas rewrites leaf replica lists in place (the repair
+	// engine's placement updates; see ReplicaPatch). Returns how many
+	// leaves were actually rewritten; absent keys, non-leaves, and leaves
+	// whose chunk no longer matches are skipped.
+	PatchReplicas(patches []ReplicaPatch) int
 }
 
 // Server is one metadata provider: a DHT member storing tree nodes.
@@ -283,6 +375,10 @@ func NewServerWithStore(network rpc.Network, addr string, store ServerStore) *Se
 	rpc.HandleMsg(s.srv, MethodDeleteBlob, func() *DeleteBlobReq { return &DeleteBlobReq{} },
 		func(req *DeleteBlobReq) (*DeleteResp, error) {
 			return &DeleteResp{Deleted: uint64(s.store.DeleteBlob(req.Blob))}, nil
+		})
+	rpc.HandleMsg(s.srv, MethodPatchReplicas, func() *PatchReplicasReq { return &PatchReplicasReq{} },
+		func(req *PatchReplicasReq) (*PatchResp, error) {
+			return &PatchResp{Patched: uint64(s.store.PatchReplicas(req.Patches))}, nil
 		})
 	return s
 }

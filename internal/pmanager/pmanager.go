@@ -27,6 +27,7 @@ const (
 	MethodAllocate  = "pm.allocate"
 	MethodProviders = "pm.providers"
 	MethodAvoid     = "pm.avoid"
+	MethodReport    = "pm.report"
 )
 
 // Strategy names accepted by NewManager.
@@ -163,11 +164,91 @@ func (r *AvoidReq) Decode(d *wire.Decoder) {
 // Ack is the empty acknowledgment.
 type Ack = provider.Ack
 
+// ProviderStatus is one provider's view in a ReportResp: the repair
+// engine's input for liveness and fullness decisions.
+type ProviderStatus struct {
+	Addr      string
+	Chunks    uint64
+	Bytes     uint64
+	CapBytes  uint64 // 0 = capacity unknown
+	FreeBytes uint64
+	// SinceBeatMs is how long ago the provider last heartbeat (ms).
+	SinceBeatMs uint64
+	// Live reflects the manager's heartbeat timeout; Avoided the GloBeM
+	// avoid set. A registered provider that is neither live nor avoided is
+	// dead: its replicas are repair work.
+	Live    bool
+	Avoided bool
+}
+
+func (p *ProviderStatus) encode(e *wire.Encoder) {
+	e.PutString(p.Addr)
+	e.PutU64(p.Chunks)
+	e.PutU64(p.Bytes)
+	e.PutU64(p.CapBytes)
+	e.PutU64(p.FreeBytes)
+	e.PutU64(p.SinceBeatMs)
+	e.PutBool(p.Live)
+	e.PutBool(p.Avoided)
+}
+
+func (p *ProviderStatus) decode(d *wire.Decoder) {
+	p.Addr = d.String()
+	p.Chunks = d.U64()
+	p.Bytes = d.U64()
+	p.CapBytes = d.U64()
+	p.FreeBytes = d.U64()
+	p.SinceBeatMs = d.U64()
+	p.Live = d.Bool()
+	p.Avoided = d.Bool()
+}
+
+// ReportResp lists every registered provider's status, live or not.
+// Fullness scoring belongs to the consumers (the repair engine projects
+// load as it plans moves; Allocate scores via provInfo.fullness), so the
+// status carries only the raw byte/capacity facts.
+type ReportResp struct {
+	Providers []ProviderStatus
+}
+
+// Encode implements wire.Message.
+func (r *ReportResp) Encode(e *wire.Encoder) {
+	e.PutU32(uint32(len(r.Providers)))
+	for i := range r.Providers {
+		r.Providers[i].encode(e)
+	}
+}
+
+// Decode implements wire.Message.
+func (r *ReportResp) Decode(d *wire.Decoder) {
+	n := d.U32()
+	r.Providers = nil
+	for i := uint32(0); i < n && d.Err() == nil; i++ {
+		var p ProviderStatus
+		p.decode(d)
+		r.Providers = append(r.Providers, p)
+	}
+}
+
 type provInfo struct {
-	addr     string
-	chunks   uint64
-	bytes    uint64
-	lastSeen time.Time
+	addr      string
+	chunks    uint64
+	bytes     uint64
+	capBytes  uint64
+	freeBytes uint64
+	lastSeen  time.Time
+}
+
+// fullness mirrors ProviderStatus.Fullness on the manager's own records.
+func (p *provInfo) fullness() float64 {
+	if p.capBytes == 0 {
+		return 0
+	}
+	f := float64(p.bytes) / float64(p.capBytes)
+	if f > 1 {
+		f = 1
+	}
+	return f
 }
 
 // Manager tracks providers and computes placements.
@@ -219,18 +300,21 @@ func (m *Manager) Register(addr string) {
 	p.lastSeen = m.now()
 }
 
-// Heartbeat refreshes a provider's liveness and load. Unknown providers
-// are auto-registered (a restarted provider re-appears transparently).
-func (m *Manager) Heartbeat(addr string, chunks, bytes uint64) {
+// Heartbeat refreshes a provider's liveness, load, and free space.
+// Unknown providers are auto-registered (a restarted provider re-appears
+// transparently).
+func (m *Manager) Heartbeat(hb *provider.HeartbeatReq) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	p, ok := m.providers[addr]
+	p, ok := m.providers[hb.Addr]
 	if !ok {
-		p = &provInfo{addr: addr}
-		m.providers[addr] = p
+		p = &provInfo{addr: hb.Addr}
+		m.providers[hb.Addr] = p
 	}
-	p.chunks = chunks
-	p.bytes = bytes
+	p.chunks = hb.Chunks
+	p.bytes = hb.Bytes
+	p.capBytes = hb.CapBytes
+	p.freeBytes = hb.FreeBytes
 	p.lastSeen = m.now()
 }
 
@@ -292,6 +376,42 @@ func (m *Manager) Providers() []string {
 	return out
 }
 
+// Report returns the status of every registered provider — live, avoided,
+// or silent — sorted by address. This is the repair engine's membership
+// and fullness view: a registered provider past the heartbeat timeout is
+// dead, and its replicas are repair work.
+func (m *Manager) Report() []ProviderStatus {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	now := m.now()
+	cutoff := now.Add(-m.hbTimeout)
+	out := make([]ProviderStatus, 0, len(m.providers))
+	for _, p := range m.providers {
+		since := now.Sub(p.lastSeen)
+		if since < 0 {
+			since = 0
+		}
+		out = append(out, ProviderStatus{
+			Addr:        p.addr,
+			Chunks:      p.chunks,
+			Bytes:       p.bytes,
+			CapBytes:    p.capBytes,
+			FreeBytes:   p.freeBytes,
+			SinceBeatMs: uint64(since / time.Millisecond),
+			Live:        !p.lastSeen.Before(cutoff),
+			Avoided:     m.avoid[p.addr],
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+// allocWatermark is the fullness above which a capacity-declaring
+// provider stops receiving new placements (unless skipping it would leave
+// nothing): writes should not pile onto a nearly full disk while the
+// rebalancer is draining it.
+const allocWatermark = 0.95
+
 // Allocate computes replica sets for numChunks chunks. Replication is
 // clamped to the usable provider count; replicas within one set are
 // distinct. Providers named in exclude are skipped — unless that would
@@ -326,6 +446,19 @@ func (m *Manager) Allocate(numChunks, replication int, exclude []string) ([][]st
 	if len(live) == 0 {
 		return nil, ErrNoProviders
 	}
+	// Capacity watermark: providers that declared a capacity and are
+	// nearly full stop receiving placements, unless that would leave
+	// nothing (a full cluster must still accept writes; the rebalancer
+	// and GC are what make room).
+	var underWater []*provInfo
+	for _, p := range live {
+		if p.fullness() <= allocWatermark {
+			underWater = append(underWater, p)
+		}
+	}
+	if len(underWater) > 0 {
+		live = underWater
+	}
 	if replication > len(live) {
 		replication = len(live)
 	}
@@ -350,11 +483,26 @@ func (m *Manager) Allocate(numChunks, replication int, exclude []string) ([][]st
 			sets[i] = set
 		}
 	case StrategyLeastLoaded:
-		// Greedy: always pick the providers with the fewest bytes,
-		// tracking bytes we are about to add so one Allocate spreads.
-		load := make(map[string]uint64, len(live))
+		// Greedy: always pick the least-loaded providers, tracking load we
+		// are about to add so one Allocate spreads. When every live
+		// provider declared a capacity the score is FULLNESS (bytes/cap),
+		// so a heterogeneous pool fills proportionally — the small disk is
+		// not crushed by byte-count parity with the big one; otherwise the
+		// score falls back to raw bytes.
+		byFullness := true
 		for _, p := range live {
-			load[p.addr] = p.bytes
+			if p.capBytes == 0 {
+				byFullness = false
+				break
+			}
+		}
+		load := make(map[string]float64, len(live))
+		for _, p := range live {
+			if byFullness {
+				load[p.addr] = p.fullness() * float64(len(live)*numChunks+1)
+			} else {
+				load[p.addr] = float64(p.bytes)
+			}
 		}
 		for i := range sets {
 			sort.Slice(live, func(a, b int) bool {
@@ -394,8 +542,12 @@ func NewServer(network rpc.Network, addr, strategy string, hbTimeout time.Durati
 		})
 	rpc.HandleMsg(s.srv, provider.MethodHeartbeat, func() *provider.HeartbeatReq { return &provider.HeartbeatReq{} },
 		func(req *provider.HeartbeatReq) (*Ack, error) {
-			s.m.Heartbeat(req.Addr, req.Chunks, req.Bytes)
+			s.m.Heartbeat(req)
 			return &Ack{}, nil
+		})
+	rpc.HandleMsg(s.srv, MethodReport, func() *Ack { return &Ack{} },
+		func(*Ack) (*ReportResp, error) {
+			return &ReportResp{Providers: s.m.Report()}, nil
 		})
 	rpc.HandleMsg(s.srv, MethodAllocate, func() *AllocateReq { return &AllocateReq{} },
 		func(req *AllocateReq) (*AllocateResp, error) {

@@ -20,6 +20,11 @@ func managerAt(t *testing.T, strategy string, now *time.Time) *Manager {
 	return m
 }
 
+// beat is shorthand for a capacity-less heartbeat.
+func beat(m *Manager, addr string, chunks, bytes uint64) {
+	m.Heartbeat(&provider.HeartbeatReq{Addr: addr, Chunks: chunks, Bytes: bytes})
+}
+
 func TestUnknownStrategyRejected(t *testing.T) {
 	if _, err := NewManager("mystery", 0); err == nil {
 		t.Fatal("unknown strategy accepted")
@@ -91,8 +96,8 @@ func TestReplicationDistinctAndClamped(t *testing.T) {
 func TestLeastLoadedPrefersEmpty(t *testing.T) {
 	now := time.Unix(1000, 0)
 	m := managerAt(t, StrategyLeastLoaded, &now)
-	m.Heartbeat("busy", 1000, 1<<30)
-	m.Heartbeat("idle", 0, 0)
+	beat(m, "busy", 1000, 1<<30)
+	beat(m, "idle", 0, 0)
 	sets, err := m.Allocate(4, 1, nil)
 	if err != nil {
 		t.Fatal(err)
@@ -110,14 +115,14 @@ func TestHeartbeatTimeoutRemovesProvider(t *testing.T) {
 	m.Register("p1")
 	m.Register("p2")
 	now = now.Add(500 * time.Millisecond)
-	m.Heartbeat("p2", 0, 0) // p2 stays fresh
+	beat(m, "p2", 0, 0) // p2 stays fresh
 	now = now.Add(700 * time.Millisecond)
 	provs := m.Providers()
 	if len(provs) != 1 || provs[0] != "p2" {
 		t.Fatalf("live providers = %v, want [p2]", provs)
 	}
 	// p1 heartbeats again: auto-revived.
-	m.Heartbeat("p1", 0, 0)
+	beat(m, "p1", 0, 0)
 	if got := len(m.Providers()); got != 2 {
 		t.Fatalf("live providers after revival = %d", got)
 	}

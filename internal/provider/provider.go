@@ -20,6 +20,7 @@ const (
 	MethodPut          = "provider.put"
 	MethodPutChunks    = "provider.putchunks"
 	MethodGet          = "provider.get"
+	MethodGetChunks    = "provider.getchunks"
 	MethodHas          = "provider.has"
 	MethodStats        = "provider.stats"
 	MethodListChunks   = "provider.list"
@@ -168,6 +169,72 @@ func (r *GetResp) Decode(d *wire.Decoder) {
 	r.Data = d.BytesCopy()
 }
 
+// GetChunksReq fetches a batch of whole chunks in one round trip: the
+// read-plane twin of putchunks, used by the repair engine to drain many
+// chunks off one surviving replica (re-replication, rebalance migration)
+// without paying one RPC per chunk.
+type GetChunksReq struct {
+	Keys []chunk.Key
+}
+
+// Encode implements wire.Message.
+func (r *GetChunksReq) Encode(e *wire.Encoder) {
+	e.PutU32(uint32(len(r.Keys)))
+	for _, k := range r.Keys {
+		e.PutU64(k.Blob)
+		e.PutU64(k.Version)
+		e.PutU64(k.Index)
+	}
+}
+
+// Decode implements wire.Message.
+func (r *GetChunksReq) Decode(d *wire.Decoder) {
+	cnt := d.U32()
+	r.Keys = nil
+	for i := uint32(0); i < cnt && d.Err() == nil; i++ {
+		var k chunk.Key
+		k.Blob = d.U64()
+		k.Version = d.U64()
+		k.Index = d.U64()
+		r.Keys = append(r.Keys, k)
+	}
+}
+
+// GetChunksResp returns the chunks aligned with the request keys; a nil
+// Data entry with Found false marks a key this provider does not hold
+// (ordinary for repair probing a possibly stale replica list, not an
+// error).
+type GetChunksResp struct {
+	Found []bool
+	Data  [][]byte
+}
+
+// Encode implements wire.Message.
+func (r *GetChunksResp) Encode(e *wire.Encoder) {
+	e.PutU32(uint32(len(r.Found)))
+	for i, ok := range r.Found {
+		e.PutBool(ok)
+		if ok {
+			e.PutBytes(r.Data[i])
+		}
+	}
+}
+
+// Decode implements wire.Message.
+func (r *GetChunksResp) Decode(d *wire.Decoder) {
+	cnt := d.U32()
+	r.Found, r.Data = nil, nil
+	for i := uint32(0); i < cnt && d.Err() == nil; i++ {
+		ok := d.Bool()
+		r.Found = append(r.Found, ok)
+		if ok {
+			r.Data = append(r.Data, d.BytesCopy())
+		} else {
+			r.Data = append(r.Data, nil)
+		}
+	}
+}
+
 // HasResp reports chunk presence.
 type HasResp struct {
 	Present bool
@@ -188,8 +255,11 @@ type StatsResp struct {
 	Deletes uint64
 	// PutBatches counts putchunks RPCs served; Puts counts individual
 	// chunks stored, so Puts/PutBatches is the server-side view of the
-	// write-plane coalescing factor.
+	// write-plane coalescing factor. GetBatches is the read-plane twin:
+	// getchunks RPCs served (repair source reads), with Gets counting
+	// individual chunk retrievals across both RPCs.
 	PutBatches uint64
+	GetBatches uint64
 	// BytesIn counts payload bytes accepted by puts (batched or not);
 	// BytesOut counts payload bytes served by gets. With ranged reads the
 	// latter is what shows boundary reads moving only the bytes they need.
@@ -205,6 +275,7 @@ func (r *StatsResp) Encode(e *wire.Encoder) {
 	e.PutU64(r.Gets)
 	e.PutU64(r.Deletes)
 	e.PutU64(r.PutBatches)
+	e.PutU64(r.GetBatches)
 	e.PutU64(r.BytesIn)
 	e.PutU64(r.BytesOut)
 }
@@ -217,6 +288,7 @@ func (r *StatsResp) Decode(d *wire.Decoder) {
 	r.Gets = d.U64()
 	r.Deletes = d.U64()
 	r.PutBatches = d.U64()
+	r.GetBatches = d.U64()
 	r.BytesIn = d.U64()
 	r.BytesOut = d.U64()
 }
@@ -349,31 +421,53 @@ type wireAck struct{}
 func (a *wireAck) Encode(e *wire.Encoder) {}
 func (a *wireAck) Decode(d *wire.Decoder) {}
 
+// Options tune a data provider beyond its chunk engine.
+type Options struct {
+	// SidecarDir, when set, makes the provider's companion state durable:
+	// per-chunk put times and deleted-blob tombstones are journaled (with
+	// group commit) to a durable.Log in this directory and replayed on
+	// start, so a restarted provider keeps rejecting late puts for deleted
+	// blobs and reports true chunk ages to the orphan sweep instead of
+	// re-gracing everything. Empty keeps the seed's in-memory behavior.
+	SidecarDir string
+	// FsyncSidecar fsyncs sidecar appends (group-committed). Without it,
+	// records survive process crashes but not machine crashes.
+	FsyncSidecar bool
+	// CapacityBytes is the provider's nominal storage capacity, reported
+	// to the provider manager through heartbeats so placement and the
+	// rebalancer can score fullness. 0 means unknown/unbounded.
+	CapacityBytes int64
+}
+
 // Server is one data provider process.
 type Server struct {
-	addr  string
-	store chunk.Store
-	srv   *rpc.Server
+	addr     string
+	store    chunk.Store
+	srv      *rpc.Server
+	capBytes int64
+	side     *sidecar // nil when the sidecar is not configured
 
 	puts       metrics.Counter
 	putBatches metrics.Counter // putchunks RPCs served
 	gets       metrics.Counter
+	getBatches metrics.Counter // getchunks RPCs served
 	deletes    metrics.Counter
 	bytesIn    metrics.Counter // payload bytes accepted by puts
 	bytesOut   metrics.Counter // payload bytes served by Get (ranged or full)
 
 	// putTimes records when each chunk arrived, so the GC orphan sweep can
 	// apply an age grace that protects phase-1 uploads of writes still in
-	// flight. Chunks without an entry (disk store restart) are stamped
-	// when first listed, restarting their grace clock.
+	// flight. Chunks without an entry (disk store restart without a
+	// sidecar) are stamped when first listed, restarting their grace
+	// clock; with a sidecar the entries replay and ages survive restarts.
 	putMu    sync.Mutex
 	putTimes map[chunk.Key]time.Time
 
 	// tombstones remembers deleted blob IDs (fed by the GC delete sweep)
 	// so late phase-1 puts for them are rejected instead of leaking.
-	// In-memory only: after a provider restart the set refills on the
-	// deleted blob's next sweep (it stays in GCWork until every provider
-	// was visited again).
+	// Without a sidecar the set is in-memory only and refills on the
+	// deleted blob's next sweep after a restart (it stays in GCWork until
+	// every provider was visited again); with one, it replays.
 	tombMu     sync.Mutex
 	tombstones map[uint64]struct{}
 
@@ -385,12 +479,27 @@ type Server struct {
 
 // NewServer creates a data provider at addr backed by store.
 func NewServer(network rpc.Network, addr string, store chunk.Store) *Server {
+	s, _ := NewServerWithOptions(network, addr, store, Options{})
+	return s
+}
+
+// NewServerWithOptions creates a data provider with durable sidecar state
+// and/or a capacity declaration (see Options).
+func NewServerWithOptions(network rpc.Network, addr string, store chunk.Store, opts Options) (*Server, error) {
 	s := &Server{
 		addr:       addr,
 		store:      store,
 		srv:        rpc.NewServer(network, addr),
+		capBytes:   opts.CapacityBytes,
 		putTimes:   make(map[chunk.Key]time.Time),
 		tombstones: make(map[uint64]struct{}),
+	}
+	if opts.SidecarDir != "" {
+		side, putTimes, tombs, err := openSidecar(opts.SidecarDir, opts.FsyncSidecar)
+		if err != nil {
+			return nil, err
+		}
+		s.side, s.putTimes, s.tombstones = side, putTimes, tombs
 	}
 	rpc.HandleMsg(s.srv, MethodPut, func() *PutReq { return &PutReq{} },
 		func(req *PutReq) (*Ack, error) {
@@ -426,6 +535,25 @@ func NewServer(network rpc.Network, addr string, store chunk.Store) *Server {
 			s.bytesOut.Add(int64(len(data)))
 			return &GetResp{Found: true, Data: data}, nil
 		})
+	rpc.HandleMsg(s.srv, MethodGetChunks, func() *GetChunksReq { return &GetChunksReq{} },
+		func(req *GetChunksReq) (*GetChunksResp, error) {
+			s.getBatches.Add(1)
+			s.gets.Add(int64(len(req.Keys)))
+			resp := &GetChunksResp{
+				Found: make([]bool, len(req.Keys)),
+				Data:  make([][]byte, len(req.Keys)),
+			}
+			for i, k := range req.Keys {
+				data, err := s.store.Get(k)
+				if err != nil {
+					continue // absent key: ordinary for a stale replica list
+				}
+				resp.Found[i] = true
+				resp.Data[i] = data
+				s.bytesOut.Add(int64(len(data)))
+			}
+			return resp, nil
+		})
 	rpc.HandleMsg(s.srv, MethodHas, func() *GetReq { return &GetReq{} },
 		func(req *GetReq) (*HasResp, error) {
 			return &HasResp{Present: s.store.Has(req.Key)}, nil
@@ -439,6 +567,7 @@ func NewServer(network rpc.Network, addr string, store chunk.Store) *Server {
 				Gets:       uint64(s.gets.Load()),
 				Deletes:    uint64(s.deletes.Load()),
 				PutBatches: uint64(s.putBatches.Load()),
+				GetBatches: uint64(s.getBatches.Load()),
 				BytesIn:    uint64(s.bytesIn.Load()),
 				BytesOut:   uint64(s.bytesOut.Load()),
 			}, nil
@@ -480,6 +609,16 @@ func NewServer(network rpc.Network, addr string, store chunk.Store) *Server {
 				s.tombstones[b] = struct{}{}
 			}
 			s.tombMu.Unlock()
+			// The tombstone must be journaled BEFORE the ack: the delete
+			// sweep counts this provider as visited once we answer, so the
+			// rejection guarantee has to survive a restart. An append
+			// failure fails the RPC and the sweep retries.
+			if s.side != nil {
+				if err := s.side.appendTombstones(req.Blobs); err != nil {
+					return nil, err
+				}
+				s.maybeCompactSidecar()
+			}
 			return &Ack{}, nil
 		})
 	rpc.HandleMsg(s.srv, MethodDeleteChunks, func() *DeleteChunksReq { return &DeleteChunksReq{} },
@@ -490,6 +629,7 @@ func NewServer(network rpc.Network, addr string, store chunk.Store) *Server {
 			// Put can skew the delta slightly, but this is metrics, and
 			// doubling GC disk I/O to make it exact is a bad trade.
 			before := s.store.Bytes()
+			var dropped []chunk.Key
 			for _, k := range req.Keys {
 				if !s.store.Has(k) {
 					continue // already gone; deletes are idempotent
@@ -500,15 +640,61 @@ func NewServer(network rpc.Network, addr string, store chunk.Store) *Server {
 				s.putMu.Lock()
 				delete(s.putTimes, k)
 				s.putMu.Unlock()
+				dropped = append(dropped, k)
 				s.deletes.Add(1)
 				resp.Deleted++
+			}
+			if s.side != nil && len(dropped) > 0 {
+				// Advisory: a lost delete record only leaks a put-age entry
+				// until the next sidecar compaction filters it out.
+				wait := s.side.appendDeletes(dropped)
+				_ = wait()
+				s.maybeCompactSidecar()
 			}
 			if after := s.store.Bytes(); before > after {
 				resp.Bytes = uint64(before - after)
 			}
 			return resp, nil
 		})
-	return s
+	return s, nil
+}
+
+// maybeCompactSidecar snapshots the put-age table and tombstone set into
+// the sidecar log once it has grown enough. Entries for chunks the store
+// no longer holds are filtered out here, bounding the replayed state by
+// the live inventory.
+func (s *Server) maybeCompactSidecar() {
+	s.side.maybeCompact(func() ([]byte, bool) {
+		s.putMu.Lock()
+		ages := make(map[chunk.Key]time.Time, len(s.putTimes))
+		for k, t := range s.putTimes {
+			if s.store.Has(k) {
+				ages[k] = t
+			}
+		}
+		s.putMu.Unlock()
+		s.tombMu.Lock()
+		tombs := make([]uint64, 0, len(s.tombstones))
+		for b := range s.tombstones {
+			tombs = append(tombs, b)
+		}
+		s.tombMu.Unlock()
+		e := wire.NewEncoder(64 + 40*len(ages) + 8*len(tombs))
+		e.PutU8(sideRecPutAge)
+		e.PutU32(uint32(len(ages)))
+		for k, t := range ages {
+			e.PutU64(k.Blob)
+			e.PutU64(k.Version)
+			e.PutU64(k.Index)
+			e.PutU64(uint64(t.UnixMilli()))
+		}
+		e.PutU8(sideRecTomb)
+		e.PutU32(uint32(len(tombs)))
+		for _, b := range tombs {
+			e.PutU64(b)
+		}
+		return e.Bytes(), true
+	})
 }
 
 // putOne stores one chunk: tombstone check, engine put, put-time stamp.
@@ -527,8 +713,21 @@ func (s *Server) putOne(key chunk.Key, data []byte) error {
 	}
 	s.bytesIn.Add(int64(len(data)))
 	s.putMu.Lock()
-	s.putTimes[key] = time.Now()
+	now := time.Now()
+	s.putTimes[key] = now
+	var wait func() error
+	if s.side != nil {
+		// Reserve WAL order under putMu (RAM-apply order == replay order),
+		// commit outside it: concurrent puts group-commit their age
+		// records. A failed append is tolerated — the entry is advisory;
+		// losing it merely re-graces this one chunk after a restart.
+		wait = s.side.appendPutAge(key, now)
+	}
 	s.putMu.Unlock()
+	if wait != nil {
+		_ = wait()
+		s.maybeCompactSidecar()
+	}
 	return nil
 }
 
@@ -561,10 +760,17 @@ func (s *Server) StartHeartbeats(cli *rpc.Client, pmAddr string, interval time.D
 			case <-stop:
 				return
 			case <-t.C:
+				used := s.store.Bytes()
 				hb := &HeartbeatReq{
 					Addr:   s.addr,
 					Chunks: uint64(s.store.Len()),
-					Bytes:  uint64(s.store.Bytes()),
+					Bytes:  uint64(used),
+				}
+				if s.capBytes > 0 {
+					hb.CapBytes = uint64(s.capBytes)
+					if free := s.capBytes - used; free > 0 {
+						hb.FreeBytes = uint64(free)
+					}
 				}
 				_ = cli.Call(pmAddr, MethodHeartbeat, hb, &Ack{})
 			}
@@ -572,7 +778,7 @@ func (s *Server) StartHeartbeats(cli *rpc.Client, pmAddr string, interval time.D
 	}(s.hbStop, s.hbDone)
 }
 
-// Close stops heartbeats and the RPC server.
+// Close stops heartbeats, the RPC server, and the sidecar log.
 func (s *Server) Close() {
 	s.mu.Lock()
 	s.stopped = true
@@ -584,17 +790,26 @@ func (s *Server) Close() {
 		<-done
 	}
 	s.srv.Close()
+	if s.side != nil {
+		_ = s.side.Close()
+	}
 }
 
 // MethodHeartbeat is defined here (rather than in pmanager) so the
 // provider package has no dependency on the manager's implementation.
 const MethodHeartbeat = "pm.heartbeat"
 
-// HeartbeatReq reports a provider's liveness and load.
+// HeartbeatReq reports a provider's liveness, load, and free space. Cap
+// and free bytes are what make placement capacity-aware: the provider
+// manager folds them into allocation scoring and the repair engine's
+// rebalance watermarks. CapBytes == 0 means the provider did not declare
+// a capacity (unknown/unbounded).
 type HeartbeatReq struct {
-	Addr   string
-	Chunks uint64
-	Bytes  uint64
+	Addr      string
+	Chunks    uint64
+	Bytes     uint64
+	CapBytes  uint64
+	FreeBytes uint64
 }
 
 // Encode implements wire.Message.
@@ -602,6 +817,8 @@ func (r *HeartbeatReq) Encode(e *wire.Encoder) {
 	e.PutString(r.Addr)
 	e.PutU64(r.Chunks)
 	e.PutU64(r.Bytes)
+	e.PutU64(r.CapBytes)
+	e.PutU64(r.FreeBytes)
 }
 
 // Decode implements wire.Message.
@@ -609,6 +826,8 @@ func (r *HeartbeatReq) Decode(d *wire.Decoder) {
 	r.Addr = d.String()
 	r.Chunks = d.U64()
 	r.Bytes = d.U64()
+	r.CapBytes = d.U64()
+	r.FreeBytes = d.U64()
 }
 
 // PutChunk is the client-side helper to store one chunk at one provider.
@@ -657,6 +876,28 @@ func GetChunkRange(cli *rpc.Client, addr string, key chunk.Key, off, length uint
 		return nil, fmt.Errorf("%w: %s at %s", chunk.ErrNotFound, key, addr)
 	}
 	return resp.Data, nil
+}
+
+// GetChunks fetches a batch of whole chunks from one provider in one RPC
+// (the repair engine's source-read path). The results are aligned with
+// keys; a nil entry means the provider does not hold that chunk. A
+// non-nil error means the RPC itself failed and nothing can be assumed.
+func GetChunks(cli *rpc.Client, addr string, keys []chunk.Key) ([][]byte, error) {
+	var resp GetChunksResp
+	if err := cli.Call(addr, MethodGetChunks, &GetChunksReq{Keys: keys}, &resp); err != nil {
+		return nil, err
+	}
+	if len(resp.Found) != len(keys) || len(resp.Data) != len(keys) {
+		return nil, fmt.Errorf("provider: getchunks at %s returned %d outcomes for %d keys",
+			addr, len(resp.Found), len(keys))
+	}
+	out := make([][]byte, len(keys))
+	for i, ok := range resp.Found {
+		if ok {
+			out[i] = resp.Data[i]
+		}
+	}
+	return out, nil
 }
 
 // GetChunkReplicas fetches a chunk trying each replica in order.

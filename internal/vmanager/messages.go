@@ -24,6 +24,8 @@ const (
 	MethodGCReport      = "vm.gcreport"
 	MethodGCStats       = "vm.gcstats"
 	MethodCompact       = "vm.compact"
+	MethodRepairReport  = "vm.repairreport"
+	MethodRepairStats   = "vm.repairstats"
 )
 
 // CreateReq registers a new blob.
@@ -434,6 +436,61 @@ func (r *GCStatsResp) Decode(d *wire.Decoder) {
 	r.Orphans = d.U64()
 	r.PrunedVersions = d.U64()
 	r.PendingBlobs = d.U64()
+}
+
+// RepairTotals counts what repair passes did; it doubles as the report
+// payload (one pass's delta) and the cumulative stats response. Like the
+// GC totals, the version manager is the natural aggregation point —
+// repair passes may run from the cluster harness, a standalone daemon, or
+// the CLI, and `blobseer-cli repair-stats` must see them all — but unlike
+// GC the counters are pure observability, so they are NOT journaled.
+type RepairTotals struct {
+	// Passes counts completed repair passes (reports received).
+	Passes uint64
+	// ChunksScanned counts live-chunk placement records examined.
+	ChunksScanned uint64
+	// UnderReplicated counts chunks found with a dead or avoided replica
+	// (or short of their replication degree).
+	UnderReplicated uint64
+	// ReReplicated counts replica copies created on fresh providers.
+	ReReplicated uint64
+	// Migrated counts chunks moved off overfull providers (rebalance).
+	Migrated uint64
+	// BytesMoved counts payload bytes copied by re-replication + rebalance.
+	BytesMoved uint64
+	// LeavesPatched counts metadata leaf descriptors rewritten.
+	LeavesPatched uint64
+	// LostChunks counts chunks with no surviving replica (unrecoverable
+	// until the provider returns; never silently dropped).
+	LostChunks uint64
+	// Errors counts per-blob repair failures (retried next pass).
+	Errors uint64
+}
+
+// Encode implements wire.Message.
+func (r *RepairTotals) Encode(e *wire.Encoder) {
+	e.PutU64(r.Passes)
+	e.PutU64(r.ChunksScanned)
+	e.PutU64(r.UnderReplicated)
+	e.PutU64(r.ReReplicated)
+	e.PutU64(r.Migrated)
+	e.PutU64(r.BytesMoved)
+	e.PutU64(r.LeavesPatched)
+	e.PutU64(r.LostChunks)
+	e.PutU64(r.Errors)
+}
+
+// Decode implements wire.Message.
+func (r *RepairTotals) Decode(d *wire.Decoder) {
+	r.Passes = d.U64()
+	r.ChunksScanned = d.U64()
+	r.UnderReplicated = d.U64()
+	r.ReReplicated = d.U64()
+	r.Migrated = d.U64()
+	r.BytesMoved = d.U64()
+	r.LeavesPatched = d.U64()
+	r.LostChunks = d.U64()
+	r.Errors = d.U64()
 }
 
 // CompactResp reports the outcome of a journal snapshot + compaction.

@@ -168,6 +168,11 @@ type Manager struct {
 	reclaimedNodes   uint64
 	reclaimedOrphans uint64
 	prunedVersions   uint64
+
+	// Cumulative repair accounting, reported by repair engines via
+	// RepairReport. Observability only — never journaled.
+	repairMu sync.Mutex
+	repair   RepairTotals
 }
 
 // NewManager creates an empty, volatile version manager (state dies with
@@ -756,6 +761,36 @@ func (m *Manager) GCStats() *GCStatsResp {
 	}
 }
 
+// RepairReport folds repair pass counters into the cumulative totals.
+// Reports carry their own pass count: an engine whose earlier report RPC
+// failed resends the lost delta merged into its next report, so Passes
+// arrives batched rather than implied one-per-call.
+func (m *Manager) RepairReport(req *RepairTotals) {
+	m.repairMu.Lock()
+	defer m.repairMu.Unlock()
+	passes := req.Passes
+	if passes == 0 {
+		passes = 1
+	}
+	m.repair.Passes += passes
+	m.repair.ChunksScanned += req.ChunksScanned
+	m.repair.UnderReplicated += req.UnderReplicated
+	m.repair.ReReplicated += req.ReReplicated
+	m.repair.Migrated += req.Migrated
+	m.repair.BytesMoved += req.BytesMoved
+	m.repair.LeavesPatched += req.LeavesPatched
+	m.repair.LostChunks += req.LostChunks
+	m.repair.Errors += req.Errors
+}
+
+// RepairStats reports cumulative repair totals.
+func (m *Manager) RepairStats() *RepairTotals {
+	m.repairMu.Lock()
+	defer m.repairMu.Unlock()
+	cp := m.repair
+	return &cp
+}
+
 // Server exposes a Manager over RPC.
 type Server struct {
 	m   *Manager
@@ -826,6 +861,13 @@ func NewServerWithManager(network rpc.Network, addr string, m *Manager) *Server 
 		func(req *GCReportReq) (*Ack, error) { return &Ack{}, s.m.GCReport(req) })
 	rpc.HandleMsg(s.srv, MethodGCStats, func() *Ack { return &Ack{} },
 		func(*Ack) (*GCStatsResp, error) { return s.m.GCStats(), nil })
+	rpc.HandleMsg(s.srv, MethodRepairReport, func() *RepairTotals { return &RepairTotals{} },
+		func(req *RepairTotals) (*Ack, error) {
+			s.m.RepairReport(req)
+			return &Ack{}, nil
+		})
+	rpc.HandleMsg(s.srv, MethodRepairStats, func() *Ack { return &Ack{} },
+		func(*Ack) (*RepairTotals, error) { return s.m.RepairStats(), nil })
 	rpc.HandleMsg(s.srv, MethodCompact, func() *Ack { return &Ack{} },
 		func(*Ack) (*CompactResp, error) {
 			dropped, err := s.m.Compact()
