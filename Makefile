@@ -2,7 +2,7 @@ GO ?= go
 FUZZTIME ?= 10s
 BENCHTIME ?= 1x
 
-.PHONY: all build vet test race fuzz bench e2e-restart e2e-repair ci clean
+.PHONY: all build vet test race fuzz bench e2e-restart e2e-repair e2e-lease ci clean
 
 all: ci
 
@@ -30,6 +30,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzWALReplay -fuzztime=$(FUZZTIME) ./internal/durable/
 	$(GO) test -fuzz=FuzzWALFrame -fuzztime=$(FUZZTIME) ./internal/durable/
 	$(GO) test -fuzz=FuzzCoalescedBatchTear -fuzztime=$(FUZZTIME) ./internal/durable/
+	$(GO) test -fuzz=FuzzLeaseRecordReplay -fuzztime=$(FUZZTIME) ./internal/vmanager/
 
 # Macro-benchmark smoke test: one iteration of every reconstructed
 # experiment (E1-E14, including the E14 repair-under-churn bench) keeps
@@ -58,7 +59,14 @@ e2e-repair:
 	$(GO) test -race -count=1 ./internal/repair/
 	$(GO) test -race -count=1 -run 'TestSidecar' ./internal/provider/
 
-ci: vet build race fuzz bench e2e-restart e2e-repair
+# Writer-lease end-to-end suite: writers kill -9'd between Assign and
+# Commit and mid-upload must not wedge the publish frontier — lease expiry
+# aborts them, weaves their identity trees server-side, un-parks the
+# orphan sweep, and refuses late commits with a typed error.
+e2e-lease:
+	$(GO) test -race -count=1 -run 'TestWriterLease' ./internal/fault/
+
+ci: vet build race fuzz bench e2e-restart e2e-repair e2e-lease
 
 clean:
 	$(GO) clean -testcache

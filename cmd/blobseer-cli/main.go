@@ -21,6 +21,10 @@
 //
 //	blobseer-cli ... repair                        # run one repair pass (re-replicate + rebalance)
 //	blobseer-cli ... repair-stats                  # cumulative repair totals (all engines)
+//
+// Write leases (see blobseerd -lease-ttl):
+//
+//	blobseer-cli ... lease-stats                   # lease grant/renew/expiry counters
 package main
 
 import (
@@ -47,7 +51,7 @@ func main() {
 	metaList := flag.String("meta", "127.0.0.1:4410", "comma-separated metadata provider addresses")
 	flag.Parse()
 	if flag.NArg() < 1 {
-		log.Fatal("blobseer-cli: missing subcommand (create|write|append|read|stat|list|retention|prune|delete|gc|gc-stats|repair|repair-stats|compact)")
+		log.Fatal("blobseer-cli: missing subcommand (create|write|append|read|stat|list|retention|prune|delete|gc|gc-stats|repair|repair-stats|lease-stats|compact)")
 	}
 
 	client, err := core.NewClient(core.Config{
@@ -214,6 +218,17 @@ func main() {
 		fmt.Printf("repair: passes=%d scanned=%d under-replicated=%d re-replicated=%d migrated=%d bytes-moved=%d leaves-patched=%d lost=%d errors=%d\n",
 			st.Passes, st.ChunksScanned, st.UnderReplicated, st.ReReplicated, st.Migrated,
 			st.BytesMoved, st.LeavesPatched, st.LostChunks, st.Errors)
+	case "lease-stats":
+		rpcCli := rpc.NewClient(rpc.NewTCPNetwork(), 0)
+		defer rpcCli.Close()
+		var st vmanager.LeaseStatsResp
+		must(rpcCli.Call(*vm, vmanager.MethodLeaseStats, &vmanager.Ack{}, &st))
+		if st.TTLMs == 0 {
+			fmt.Println("leases: off (vmanager started without -lease-ttl)")
+			break
+		}
+		fmt.Printf("leases: ttl-ms=%d active=%d granted=%d renewed=%d expired=%d\n",
+			st.TTLMs, st.Active, st.Granted, st.Renewed, st.Expired)
 	case "gc-stats":
 		stats, err := client.GCStats()
 		must(err)

@@ -29,6 +29,13 @@
 // rebalance watermarks can score fullness, and persist their put-age/
 // tombstone sidecar under -dir automatically.
 //
+// Write leases: -lease-ttl arms the vmanager's writer-failure detector —
+// Assign grants each version a TTL'd lease, clients renew it while
+// uploading, and a background pass auto-aborts versions whose lease
+// lapses so a vanished writer cannot wedge the publish frontier. Give the
+// vmanager -meta too and the expiry pass also weaves the aborted
+// version's identity metadata server-side.
+//
 // Clients connect with the library's NewClient given the version manager,
 // provider manager and metadata provider addresses.
 package main
@@ -73,8 +80,10 @@ func main() {
 	repairHigh := flag.Float64("repair-high", 0.85, "rebalance fullness high watermark (role=repair|vmanager)")
 	repairLow := flag.Float64("repair-low", 0.70, "rebalance fullness low watermark (role=repair|vmanager)")
 	repairMoveMB := flag.Int64("repair-max-move-mb", 1024, "max payload the rebalancer migrates per pass (role=repair|vmanager)")
-	metaList := flag.String("meta", "", "comma-separated metadata provider addresses (role=repair; role=vmanager with -gc-interval or -repair-interval)")
+	metaList := flag.String("meta", "", "comma-separated metadata provider addresses (role=repair; role=vmanager with -gc-interval, -repair-interval or -lease-ttl)")
 	metaRepl := flag.Int("meta-repl", 1, "metadata replication degree of the deployment (role=repair; role=vmanager loops)")
+	leaseTTL := flag.Duration("lease-ttl", 0, "write-lease TTL granted on Assign, 0 = leases off (role=vmanager)")
+	leaseExpiry := flag.Duration("lease-expiry", 0, "lapsed-lease collection interval, 0 = lease-ttl/4 (role=vmanager)")
 	flag.Parse()
 
 	network := rpc.NewTCPNetwork()
@@ -92,12 +101,14 @@ func main() {
 		} else {
 			log.Printf("blobseerd: vmanager running VOLATILE (no -dir); state dies with the process")
 		}
+		mgr.SetLeaseTTL(*leaseTTL)
 		s := vmanager.NewServerWithManager(network, *listen, mgr)
 		must(s.Start())
 		stopGC := startGCLoop(network, s.Addr(), *pmAddr, *metaList, *metaRepl, *gcInterval, *gcGrace)
 		stopRepair := startRepairLoop(network, s.Addr(), *pmAddr, *metaList, *metaRepl, *repairInterval,
 			*repairHigh, *repairLow, *repairMoveMB)
-		addr, closer = s.Addr(), func() { stopRepair(); stopGC(); s.Close(); mgr.Close() }
+		stopLease := startLeaseLoop(network, mgr, *metaList, *metaRepl, *leaseTTL, *leaseExpiry)
+		addr, closer = s.Addr(), func() { stopLease(); stopRepair(); stopGC(); s.Close(); mgr.Close() }
 	case "pmanager":
 		s, err := pmanager.NewServer(network, *listen, *strategy, *hbTimeout)
 		must(err)
@@ -277,6 +288,58 @@ func startRepairLoop(network rpc.Network, vmAddr, pmAddr, metaList string, metaR
 		close(stop)
 		<-done
 		cli.Close()
+	}
+}
+
+// startLeaseLoop collects lapsed write leases inside the vmanager daemon.
+// With -meta the expiry pass weaves each aborted version's identity tree
+// server-side; without it the weave is left to GC's unwoven sweep (the
+// abort — and the frontier unwedge — happens either way). Returns a stop
+// function (a no-op when leases are off).
+func startLeaseLoop(network rpc.Network, mgr *vmanager.Manager, metaList string, metaRepl int,
+	ttl, interval time.Duration) func() {
+	if ttl <= 0 {
+		return func() {}
+	}
+	var cli *rpc.Client
+	var weaver vmanager.AbortWeaver
+	if metaList != "" {
+		cli = rpc.NewClient(network, 0)
+		mc := meta.NewClient(cli, strings.Split(metaList, ","), metaRepl, 0)
+		weaver = func(in meta.IdentityInput) error { return meta.WeaveIdentity(mc, in) }
+	} else {
+		log.Printf("blobseerd: -lease-ttl without -meta: expired versions abort unwoven (GC repairs the tree)")
+	}
+	if interval <= 0 {
+		interval = ttl / 4
+	}
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				if n, err := mgr.ExpireLeases(weaver); err != nil {
+					log.Printf("blobseerd: lease expiry: %v (aborted %d)", err, n)
+				}
+			}
+		}
+	}()
+	log.Printf("blobseerd: write leases on (ttl %v, expiry every %v)", ttl, interval)
+	return func() {
+		close(stop)
+		<-done
+		if cli != nil {
+			cli.Close()
+		}
 	}
 }
 

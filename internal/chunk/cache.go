@@ -21,7 +21,23 @@ type CachedStore struct {
 
 	hits   int64
 	misses int64
+
+	// Frequency-based admission for ranged reads: GetRange misses do not
+	// populate the cache (see GetRange), but a chunk that keeps getting
+	// range-missed is evidently hot, so after rangeAdmitAfter misses the
+	// next one promotes it to a full-chunk cache fill.
+	rangeMisses map[Key]uint8
+	rangeAdmits int64
 }
+
+// rangeAdmitAfter is how many ranged misses a chunk takes before the next
+// one admits the whole chunk into the cache.
+const rangeAdmitAfter = 3
+
+// rangeMissTrackMax bounds the miss-counter map; when full it is reset
+// wholesale (approximate counting is fine — this is an admission
+// heuristic, not an accounting structure).
+const rangeMissTrackMax = 4096
 
 type cacheEntry struct {
 	key  Key
@@ -32,10 +48,11 @@ type cacheEntry struct {
 // non-positive capacity disables caching (all calls pass through).
 func NewCachedStore(backing Store, capacityBytes int64) *CachedStore {
 	return &CachedStore{
-		backing:  backing,
-		capacity: capacityBytes,
-		order:    list.New(),
-		entries:  make(map[Key]*list.Element),
+		backing:     backing,
+		capacity:    capacityBytes,
+		order:       list.New(),
+		entries:     make(map[Key]*list.Element),
+		rangeMisses: make(map[Key]uint8),
 	}
 }
 
@@ -86,6 +103,29 @@ func (s *CachedStore) cacheDelete(k Key) {
 		delete(s.entries, k)
 		s.used -= int64(len(ent.data))
 	}
+	delete(s.rangeMisses, k)
+}
+
+// noteRangeMiss bumps the chunk's ranged-miss counter and reports whether
+// this miss crosses the admission threshold.
+func (s *CachedStore) noteRangeMiss(k Key) bool {
+	if s.capacity <= 0 {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.rangeMisses) >= rangeMissTrackMax {
+		if _, ok := s.rangeMisses[k]; !ok {
+			s.rangeMisses = make(map[Key]uint8)
+		}
+	}
+	n := s.rangeMisses[k] + 1
+	if n < rangeAdmitAfter {
+		s.rangeMisses[k] = n
+		return false
+	}
+	delete(s.rangeMisses, k)
+	return true
 }
 
 // Put writes through to the backing store and, on success, caches a copy.
@@ -115,13 +155,26 @@ func (s *CachedStore) Get(k Key) ([]byte, error) {
 
 // GetRange serves the sub-range from a cached copy when present and
 // otherwise reads only the requested bytes from the backing store. A
-// ranged miss deliberately does not populate the cache: caching a
-// partial chunk under the full chunk's key would poison later reads,
-// and materializing the whole chunk to cache it would defeat the point
-// of a ranged read. Whole-chunk reads keep warming the cache via Get.
+// ranged miss usually does not populate the cache: caching a partial
+// chunk under the full chunk's key would poison later reads, and
+// materializing the whole chunk on every ranged read would defeat the
+// point of a ranged read. But a chunk that keeps getting range-missed is
+// hot despite never being read whole, so after rangeAdmitAfter misses
+// the next one pays for a full backing Get and admits the chunk.
 func (s *CachedStore) GetRange(k Key, off, length uint64) ([]byte, error) {
 	if data, ok := s.cacheGet(k); ok {
 		return clipRange(data, off, length), nil
+	}
+	if s.noteRangeMiss(k) {
+		if data, err := s.backing.Get(k); err == nil {
+			s.cachePut(k, data)
+			s.mu.Lock()
+			s.rangeAdmits++
+			s.mu.Unlock()
+			return clipRange(data, off, length), nil
+		}
+		// Full read failed (e.g. concurrent delete); fall through to the
+		// ranged path so the caller sees the backing store's own error.
 	}
 	return s.backing.GetRange(k, off, length)
 }
@@ -152,4 +205,12 @@ func (s *CachedStore) CacheStats() (hits, misses, residentBytes int64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.hits, s.misses, s.used
+}
+
+// RangeAdmits reports how many chunks frequency-based admission promoted
+// to full-chunk residency off ranged reads.
+func (s *CachedStore) RangeAdmits() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rangeAdmits
 }

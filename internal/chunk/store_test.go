@@ -229,6 +229,70 @@ func TestCacheHitAccounting(t *testing.T) {
 	}
 }
 
+func TestCacheRangeAdmission(t *testing.T) {
+	backing := NewMemStore()
+	s := NewCachedStore(backing, 1<<20)
+	k := Key{Blob: 7, Index: 2}
+	payload := bytes.Repeat([]byte("abcd"), 64)
+	if err := backing.Put(k, payload); err != nil { // bypass cache: cold chunk
+		t.Fatal(err)
+	}
+
+	// The first rangeAdmitAfter-1 misses stay ranged: nothing admitted.
+	for i := 0; i < rangeAdmitAfter-1; i++ {
+		got, err := s.GetRange(k, 4, 8)
+		if err != nil || !bytes.Equal(got, payload[4:12]) {
+			t.Fatalf("GetRange #%d = %q, %v", i, got, err)
+		}
+	}
+	if n := s.RangeAdmits(); n != 0 {
+		t.Fatalf("RangeAdmits after %d misses = %d, want 0", rangeAdmitAfter-1, n)
+	}
+	hits, _, _ := s.CacheStats()
+	if hits != 0 {
+		t.Fatalf("hits before admission = %d, want 0", hits)
+	}
+
+	// The threshold miss promotes the whole chunk into the cache.
+	if got, err := s.GetRange(k, 4, 8); err != nil || !bytes.Equal(got, payload[4:12]) {
+		t.Fatalf("admitting GetRange = %q, %v", got, err)
+	}
+	if n := s.RangeAdmits(); n != 1 {
+		t.Fatalf("RangeAdmits = %d, want 1", n)
+	}
+	if got, err := s.GetRange(k, 100, 28); err != nil || !bytes.Equal(got, payload[100:128]) {
+		t.Fatalf("post-admission GetRange = %q, %v", got, err)
+	}
+	if hits, _, _ := s.CacheStats(); hits != 1 {
+		t.Errorf("hits after admission = %d, want 1 (served from RAM)", hits)
+	}
+
+	// Delete clears the residency and the miss counter.
+	if err := s.Delete(k); err != nil {
+		t.Fatal(err)
+	}
+	if err := backing.Put(k, payload); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.GetRange(k, 0, 4); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.RangeAdmits(); n != 1 {
+		t.Errorf("RangeAdmits after delete+miss = %d, want 1 (counter was reset)", n)
+	}
+
+	// Zero-capacity caches never admit.
+	off := NewCachedStore(backing, 0)
+	for i := 0; i < rangeAdmitAfter+2; i++ {
+		if _, err := off.GetRange(k, 0, 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := off.RangeAdmits(); n != 0 {
+		t.Errorf("zero-capacity RangeAdmits = %d, want 0", n)
+	}
+}
+
 func TestCacheServesAfterBackingDelete(t *testing.T) {
 	// Documents the read-your-cache semantics: immutability makes stale
 	// reads impossible, deletes purge the cache explicitly.

@@ -63,6 +63,15 @@ type Config struct {
 	// watermarks (defaults 0.85 / 0.70; see repair.Config).
 	RepairHighWater float64
 	RepairLowWater  float64
+	// LeaseTTL enables write leases: Assign grants each version this TTL,
+	// clients renew while uploading, and the expiry loop aborts (and
+	// identity-weaves) versions whose lease lapses — so a writer killed
+	// between Assign and Commit un-wedges within a TTL, no restart needed.
+	// Zero disables leases (the seed behavior).
+	LeaseTTL time.Duration
+	// LeaseExpiryInterval tunes how often lapsed leases are collected
+	// (default LeaseTTL/4, min 10ms). Only meaningful with LeaseTTL > 0.
+	LeaseExpiryInterval time.Duration
 	// ProviderCapacity, when set, declares data provider i's nominal
 	// capacity in bytes (reported via heartbeats; fullness = bytes/cap
 	// drives capacity-aware placement and the rebalancer). Nil or a
@@ -128,6 +137,13 @@ type Cluster struct {
 	repairClient *rpc.Client
 	repairStop   chan struct{}
 	repairDone   chan struct{}
+
+	// Lease expiry: leaseWeaver runs the server-side identity weave over
+	// its own metadata client; the loop runs when Config.LeaseTTL > 0.
+	leaseClient *rpc.Client
+	leaseWeaver vmanager.AbortWeaver
+	leaseStop   chan struct{}
+	leaseDone   chan struct{}
 }
 
 // Start launches a deployment per cfg.
@@ -316,7 +332,53 @@ func Start(cfg Config) (*Cluster, error) {
 			}
 		}(c.repairStop, c.repairDone)
 	}
+
+	// Lease expiry loop: collects lapsed write leases, weaving each dead
+	// version's identity tree through a dedicated metadata client before
+	// the abort lands. Runs colocated with the version manager (it is a
+	// manager method, not an RPC), which is where a real deployment would
+	// run it too.
+	if cfg.LeaseTTL > 0 {
+		c.leaseClient = rpc.NewClientFrom(c.Network, cfg.CallTimeout, "lease")
+		leaseMeta := meta.NewClient(c.leaseClient, c.metaAddrs, cfg.MetaReplication, 0)
+		c.leaseWeaver = func(in meta.IdentityInput) error {
+			return meta.WeaveIdentity(leaseMeta, in)
+		}
+		interval := cfg.LeaseExpiryInterval
+		if interval <= 0 {
+			interval = cfg.LeaseTTL / 4
+		}
+		if interval < 10*time.Millisecond {
+			interval = 10 * time.Millisecond
+		}
+		c.leaseStop = make(chan struct{})
+		c.leaseDone = make(chan struct{})
+		go func(stop, done chan struct{}) {
+			defer close(done)
+			t := time.NewTicker(interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-t.C:
+					_, _ = c.RunLeaseExpiry() // journal errors retry next tick
+				}
+			}
+		}(c.leaseStop, c.leaseDone)
+	}
 	return c, nil
+}
+
+// RunLeaseExpiry executes one lease-expiry pass synchronously, returning
+// how many versions were aborted. The manager is re-resolved under srvMu
+// on every pass: RestartVM swaps in a new Manager, and the loop must
+// follow it rather than expire against the dead instance.
+func (c *Cluster) RunLeaseExpiry() (int, error) {
+	c.srvMu.Lock()
+	mgr := c.VM.Manager()
+	c.srvMu.Unlock()
+	return mgr.ExpireLeases(c.leaseWeaver)
 }
 
 // RunRepair executes one self-healing pass synchronously and returns what
@@ -511,13 +573,16 @@ func (c *Cluster) RestartMeta(i int) error {
 // data dir (a fresh volatile manager otherwise).
 func buildVMManager(cfg Config) (*vmanager.Manager, string, error) {
 	if cfg.DataDir == "" {
-		return vmanager.NewManager(), "", nil
+		m := vmanager.NewManager()
+		m.SetLeaseTTL(cfg.LeaseTTL)
+		return m, "", nil
 	}
 	dir := filepath.Join(cfg.DataDir, "vmanager")
 	m, err := vmanager.OpenManager(dir, vmanager.Options{Fsync: !cfg.NoFsyncWAL})
 	if err != nil {
 		return nil, "", fmt.Errorf("cluster: opening version manager journal: %w", err)
 	}
+	m.SetLeaseTTL(cfg.LeaseTTL)
 	return m, dir, nil
 }
 
@@ -553,6 +618,14 @@ func (c *Cluster) Close() {
 	}
 	if c.repairClient != nil {
 		c.repairClient.Close()
+	}
+	if c.leaseStop != nil {
+		close(c.leaseStop)
+		<-c.leaseDone
+		c.leaseStop = nil
+	}
+	if c.leaseClient != nil {
+		c.leaseClient.Close()
 	}
 	c.clientMu.Lock()
 	clients := c.clients

@@ -37,6 +37,10 @@ var (
 	ErrNotPublished  = errors.New("core: version not yet published")
 	ErrFailedVersion = errors.New("core: version was aborted by its writer")
 	ErrDegradedWrite = errors.New("core: chunk stored with fewer replicas than requested")
+	// ErrLeaseExpired marks a write whose lease lapsed before Commit: the
+	// version manager aborted (and wove away) the version, so nothing was
+	// published and the write must be retried from scratch.
+	ErrLeaseExpired = errors.New("core: write lease expired before commit")
 )
 
 // Observer receives a callback for every chunk transfer the client
@@ -264,6 +268,34 @@ func (c *Client) allocate(n int, replication uint32, exclude []string) ([][]stri
 		return nil, fmt.Errorf("core: allocator returned %d sets for %d chunks", len(resp.Sets), n)
 	}
 	return resp.Sets, nil
+}
+
+// retryFullnessWatermark matches the repair engine's default high-water
+// mark: a provider above it is a migration SOURCE, so placing a retried
+// chunk there would hand the repair plane immediate rebalance work (and
+// risk a second failure if the first was capacity-related).
+const retryFullnessWatermark = 0.85
+
+// fullProviders lists providers above the fullness watermark, from the
+// provider manager's report. Best effort: on any error the retry placement
+// simply skips the fullness filter (allocation's own starvation safety
+// still applies).
+func (c *Client) fullProviders(watermark float64) []string {
+	var resp pmanager.ReportResp
+	if err := c.rpc.Call(c.cfg.PMAddr, pmanager.MethodReport, &pmanager.Ack{}, &resp); err != nil {
+		return nil
+	}
+	var full []string
+	for _, p := range resp.Providers {
+		if p.CapBytes == 0 {
+			continue // capacity unknown: cannot judge fullness
+		}
+		used := p.CapBytes - p.FreeBytes
+		if float64(used) >= watermark*float64(p.CapBytes) {
+			full = append(full, p.Addr)
+		}
+	}
+	return full
 }
 
 // parallel runs fn(0..n-1) with bounded concurrency and returns the first

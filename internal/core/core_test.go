@@ -758,7 +758,7 @@ func TestWriteAfterTreelessAbortedVersion(t *testing.T) {
 		t.Fatal(err)
 	}
 	if err := raw.Call(c.VMAddr(), vmanager.MethodAbort,
-		&vmanager.VersionRef{BlobID: blob.ID(), Version: assign.Version}, &vmanager.Ack{}); err != nil {
+		&vmanager.AbortReq{BlobID: blob.ID(), Version: assign.Version}, &vmanager.Ack{}); err != nil {
 		t.Fatal(err)
 	}
 
@@ -796,7 +796,7 @@ func TestWriteAfterTreelessAbortedVersion(t *testing.T) {
 		t.Fatal(err)
 	}
 	if err := raw.Call(c.VMAddr(), vmanager.MethodAbort,
-		&vmanager.VersionRef{BlobID: blob.ID(), Version: assign2.Version}, &vmanager.Ack{}); err != nil {
+		&vmanager.AbortReq{BlobID: blob.ID(), Version: assign2.Version}, &vmanager.Ack{}); err != nil {
 		t.Fatal(err)
 	}
 	if err := blob.SetRetention(1); err != nil {

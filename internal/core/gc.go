@@ -30,6 +30,9 @@ func mapVMError(err error) error {
 	if errors.As(err, &remote) && strings.Contains(remote.Msg, "vmanager: blob deleted") {
 		return fmt.Errorf("%w: %v", ErrBlobDeleted, err)
 	}
+	if errors.As(err, &remote) && strings.Contains(remote.Msg, "vmanager: lease expired") {
+		return fmt.Errorf("%w: %v", ErrLeaseExpired, err)
+	}
 	return err
 }
 

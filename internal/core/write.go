@@ -95,30 +95,88 @@ func (b *Blob) Append(p []byte) (version, off uint64, err error) {
 // version is abort-repaired so publication never wedges and the version
 // chain stays fully readable.
 func (b *Blob) finishWrite(p []byte, off, writeID uint64, assign *vmanager.AssignResp, stored map[uint64][]string) (uint64, error) {
+	stopRenewal := b.startLeaseRenewal(assign)
 	v, err := b.finishWriteInner(p, off, writeID, assign, stored)
+	stopRenewal()
 	if err != nil {
+		if errors.Is(err, ErrLeaseExpired) {
+			// The version manager already aborted this version and owns its
+			// identity weave (expiry loop or GC sweep); repairing it again
+			// here would only duplicate that work.
+			return 0, err
+		}
 		b.abortRepair(assign)
 		return 0, err
 	}
 	return v, nil
 }
 
+// startLeaseRenewal heartbeats the write lease granted at Assign so a
+// slow-but-alive writer (large upload, boundary merge waiting on its
+// predecessor) is not mistaken for a dead one. No-op when leases are
+// disabled. The returned stop function is idempotent and waits for the
+// heartbeat goroutine to exit, so no renewal races the commit/abort that
+// follows it.
+func (b *Blob) startLeaseRenewal(assign *vmanager.AssignResp) func() {
+	if assign.LeaseTTLMs == 0 {
+		return func() {}
+	}
+	// A third of the TTL survives two consecutive lost heartbeats.
+	interval := time.Duration(assign.LeaseTTLMs) * time.Millisecond / 3
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				err := b.c.rpc.Call(b.c.cfg.VMAddr, vmanager.MethodRenewLease,
+					&vmanager.VersionRef{BlobID: b.id, Version: assign.Version}, &vmanager.Ack{})
+				var remote *rpc.RemoteError
+				if errors.As(err, &remote) {
+					// Definitive refusal: lease already expired, version
+					// finished, or blob deleted. The write's own commit (or
+					// abort) surfaces the outcome; renewing is pointless.
+					return
+				}
+				// Transport errors and timeouts: keep trying — the manager
+				// may come back before the lease lapses, and a dropped
+				// renewal must not silently give up the lease early.
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(stop)
+			<-done
+		})
+	}
+}
+
 // abortRepair handles a failed write: it weaves an *identity* metadata
-// tree for the assigned version — every leaf in the write range points at
-// the previous snapshot's chunk (or zeros where the failed write grew the
-// blob) — then marks the version aborted at the version manager. Later
-// writers hold this version's in-flight descriptor and will reference its
-// nodes, so the full intersecting node set must exist; reusing the weave
-// with copied leaves produces exactly that set without moving any data.
+// tree for the assigned version via meta.WeaveIdentity — the same engine
+// the version manager's lease expiry loop and the GC sweeper run — then
+// marks the version aborted at the version manager, reporting whether the
+// weave landed. An abort reported unwoven becomes server-side debt: the
+// GC sweep lists it via vm.unwoven and repairs it, so the repair no longer
+// depends on the only client that noticed the failure staying alive.
 func (b *Blob) abortRepair(assign *vmanager.AssignResp) {
 	// Publication must advance even if the repair itself fails, so the
-	// abort is sent regardless (deferred) — and a DROPPED abort wedges
-	// the blob's publish frontier until the version manager next restarts
-	// (recovery aborts in-flight writes; live leases are still a ROADMAP
-	// item), so a first failed attempt hands off to a bounded background
-	// retry loop rather than giving up — or stalling the failing Write
-	// for the retries' duration. How hard the loop tries depends on WHY
-	// the abort failed:
+	// abort is sent regardless (deferred) — a DROPPED abort wedges the
+	// blob's publish frontier until the version's lease lapses (or, with
+	// leases disabled, until the version manager next restarts), so a
+	// first failed attempt hands off to a bounded background retry loop
+	// rather than giving up — or stalling the failing Write for the
+	// retries' duration. How hard the loop tries depends on WHY the abort
+	// failed:
 	//   - call timeout: the manager is alive but drowning (e.g. a retry
 	//     storm) — the abort WILL land once the queue drains, and giving
 	//     up instead is what wedges the blob, so keep retrying up to a
@@ -126,9 +184,10 @@ func (b *Blob) abortRepair(assign *vmanager.AssignResp) {
 	//   - transport failure: the manager is down — its restart recovery
 	//     aborts every in-flight write anyway, so a few quick retries
 	//     (it may be mid-revival) are enough.
+	woven := false
 	abort := func() error {
 		return b.c.rpc.Call(b.c.cfg.VMAddr, vmanager.MethodAbort,
-			&vmanager.VersionRef{BlobID: b.id, Version: assign.Version}, &vmanager.Ack{})
+			&vmanager.AbortReq{BlobID: b.id, Version: assign.Version, Woven: woven}, &vmanager.Ack{})
 	}
 	defer func() {
 		err := abort()
@@ -166,15 +225,26 @@ func (b *Blob) abortRepair(assign *vmanager.AssignResp) {
 	}()
 	prev := assign.Version - 1
 	// Repair reads the previous snapshot, so it serializes behind it; this
-	// is a failure path, not the fast path.
+	// is a failure path, not the fast path. Once prev has published, every
+	// version below ours has finished — exactly WeaveIdentity's
+	// precondition — so the identity tree can reference the newest live
+	// predecessor directly instead of the assign-time in-flight set, any
+	// member of which may itself have aborted treeless by now (the
+	// dangling-descriptor hazard the shared engine avoids).
 	if prev > 0 {
 		if err := b.WaitPublished(prev); err != nil {
 			return
 		}
 	}
-	leaves := make([]meta.ChunkRef, assign.EndChunk-assign.StartChunk)
+	in := meta.IdentityInput{
+		Blob:       b.id,
+		Version:    assign.Version,
+		StartChunk: assign.StartChunk,
+		EndChunk:   assign.EndChunk,
+		SizeChunks: assign.SizeChunks,
+	}
 	if prev > 0 {
-		// Copy leaves from the newest NON-FAILED predecessor (failed
+		// Source leaves come from the newest NON-FAILED predecessor (failed
 		// versions contributed no content and may lack trees; see
 		// mergePrior). src == 0 means every predecessor failed: all-zero
 		// leaves are the true content.
@@ -183,33 +253,12 @@ func (b *Blob) abortRepair(assign *vmanager.AssignResp) {
 			return
 		}
 		if src > 0 {
-			srcChunks := vi.SizeChunks
-			lo := assign.StartChunk
-			hi := minU64(assign.EndChunk, srcChunks)
-			if hi > lo {
-				prior, err := meta.CollectLeaves(b.c.meta, b.id, src, srcChunks, lo, hi)
-				if err != nil {
-					return
-				}
-				copy(leaves, prior)
-			}
+			in.SrcVersion, in.SrcSizeChunks = src, vi.SizeChunks
 		}
 	}
-	nodes, _, err := meta.Weave(b.c.meta, meta.WeaveInput{
-		Blob:          b.id,
-		Version:       assign.Version,
-		StartChunk:    assign.StartChunk,
-		EndChunk:      assign.EndChunk,
-		SizeChunks:    assign.SizeChunks,
-		Leaves:        leaves,
-		InFlight:      assign.InFlight,
-		PubVersion:    assign.PubVersion,
-		PubSizeChunks: assign.PubSizeChunks,
-	})
-	if err != nil {
-		return
+	if meta.WeaveIdentity(b.c.meta, in) == nil {
+		woven = true
 	}
-	_ = b.c.meta.PutNodes(nodes)
 }
 
 func (b *Blob) finishWriteInner(p []byte, off, writeID uint64, assign *vmanager.AssignResp, stored map[uint64][]string) (uint64, error) {
@@ -427,6 +476,19 @@ func (b *Blob) uploadChunks(writeID uint64, jobs []writeJob, sets [][]string, st
 		}
 	}
 	if len(retry) > 0 {
+		// The retry placement also steers clear of providers above the
+		// fullness watermark: the first failure may well have been
+		// capacity-related, and landing the retried chunks on near-full
+		// disks would hand the repair plane immediate migration work. Best
+		// effort — if the report is unavailable the plain exclusion set
+		// stands, and the allocator's starvation safety (an exclusion that
+		// would empty the pool is ignored) still applies.
+		for _, addr := range b.c.fullProviders(retryFullnessWatermark) {
+			if !seen[addr] {
+				seen[addr] = true
+				exclude = append(exclude, addr)
+			}
+		}
 		key0 := chunk.Key{Blob: b.id, Version: writeID, Index: jobs[retry[0]].idx}
 		fresh, err := b.c.allocate(len(retry), b.replication, exclude)
 		if err != nil {

@@ -23,9 +23,17 @@
 // per-chunk ages; a chunk older than the grace period referenced by no
 // retained snapshot is an orphan. The grace protects phase-1 uploads of
 // writes still in flight, which the version manager cannot know about
-// yet. A writer that crashes BETWEEN Assign and Commit/Abort leaves its
-// version in flight forever, which wedges publication and parks the
-// orphan sweep for that blob until write leases exist (see ROADMAP).
+// yet. A writer that crashes BETWEEN Assign and Commit/Abort holds its
+// version in flight only until its write lease lapses; the version
+// manager's expiry loop then aborts the version, so the parked orphan
+// sweep resumes within a lease TTL instead of waiting for an operator.
+//
+// The unwoven sweep closes the remaining repair gap: an aborted version
+// whose identity tree never reached the metadata plane (the crash took
+// the aborting client or the control plane down mid-repair) is listed by
+// the version manager, re-woven here via meta.WeaveIdentity, and
+// acknowledged — so dangling in-flight descriptors are repairable by any
+// sweeper, not only by the writer that noticed the failure.
 package gc
 
 import (
@@ -68,10 +76,13 @@ type Stats struct {
 	Bytes   uint64
 	Nodes   uint64
 	Orphans uint64
+	// Woven counts aborted versions whose missing identity trees this
+	// sweep rebuilt (repair, not reclamation).
+	Woven uint64
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("chunks=%d bytes=%d nodes=%d orphans=%d", s.Chunks, s.Bytes, s.Nodes, s.Orphans)
+	return fmt.Sprintf("chunks=%d bytes=%d nodes=%d orphans=%d woven=%d", s.Chunks, s.Bytes, s.Nodes, s.Orphans, s.Woven)
 }
 
 func (s *Stats) add(o Stats) {
@@ -79,6 +90,7 @@ func (s *Stats) add(o Stats) {
 	s.Bytes += o.Bytes
 	s.Nodes += o.Nodes
 	s.Orphans += o.Orphans
+	s.Woven += o.Woven
 }
 
 // Sweeper executes garbage-collection passes against one deployment. It is
@@ -155,6 +167,11 @@ func (s *Sweeper) Run() (Stats, error) {
 			firstErr = err
 		}
 	}
+	wst, err := s.sweepUnwoven()
+	total.add(wst)
+	if err != nil && firstErr == nil {
+		firstErr = err
+	}
 	var live vmanager.ListResp
 	if err := s.cfg.RPC.Call(s.cfg.VMAddr, vmanager.MethodList, &vmanager.Ack{}, &live); err != nil {
 		if firstErr == nil {
@@ -168,6 +185,40 @@ func (s *Sweeper) Run() (Stats, error) {
 		firstErr = err
 	}
 	return total, firstErr
+}
+
+// sweepUnwoven repairs aborted versions still owed an identity tree —
+// recovery aborts, expiry aborts whose weave failed, and client aborts
+// that died mid-repair. meta.WeaveIdentity is idempotent (same input,
+// byte-identical nodes), so racing another sweeper or the expiry loop is
+// harmless; the MarkWoven ack simply stops the version from being listed
+// again. Running BEFORE the orphan sweep matters: the weave turns an
+// aborted version's dangling tree range into references the liveness walk
+// can actually follow.
+func (s *Sweeper) sweepUnwoven() (Stats, error) {
+	var st Stats
+	var resp vmanager.UnwovenResp
+	if err := s.cfg.RPC.Call(s.cfg.VMAddr, vmanager.MethodUnwoven, &vmanager.Ack{}, &resp); err != nil {
+		return st, fmt.Errorf("gc: listing unwoven aborts: %w", err)
+	}
+	var firstErr error
+	for _, in := range resp.Items {
+		if err := meta.WeaveIdentity(s.cfg.Meta, in); err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("gc: weaving identity for blob %d v%d: %w", in.Blob, in.Version, err)
+			}
+			continue
+		}
+		if err := s.cfg.RPC.Call(s.cfg.VMAddr, vmanager.MethodMarkWoven,
+			&vmanager.VersionRef{BlobID: in.Blob, Version: in.Version}, &vmanager.Ack{}); err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("gc: acking woven blob %d v%d: %w", in.Blob, in.Version, err)
+			}
+			continue
+		}
+		st.Woven++
+	}
+	return st, firstErr
 }
 
 // SweepBlob reclaims one blob's pending work: all pruned versions below
@@ -366,11 +417,12 @@ func (s *Sweeper) sweepOrphans(ids []uint64) (Stats, error) {
 // retained snapshots and deletes the unreferenced ones. It refuses to run
 // while the blob has writes in flight: an assigned-but-unpublished
 // version may legitimately reference chunks that no readable tree
-// mentions yet. (A writer that crashes between Assign and Commit leaves
-// the version in flight forever and parks this sweep — see the write-
-// lease follow-up in ROADMAP.) A never-written blob (assigned == 0) is
-// sweepable: nothing can be referenced, so every aged candidate is a
-// crashed pre-assign upload.
+// mentions yet. (A writer that crashes between Assign and Commit parks
+// this sweep only until its lease lapses and the version manager's
+// expiry loop aborts the version; with leases disabled, until a manager
+// restart.) A never-written blob (assigned == 0) is sweepable: nothing
+// can be referenced, so every aged candidate is a crashed pre-assign
+// upload.
 func (s *Sweeper) reclaimOrphans(id uint64, byAddr map[string][]chunk.Key) (Stats, error) {
 	var st Stats
 	var status vmanager.GCStatusResp

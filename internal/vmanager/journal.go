@@ -36,10 +36,14 @@ const (
 	recPrune     = uint8(6)
 	recDelete    = uint8(7)
 	recGCReport  = uint8(8)
+	recLease     = uint8(9)
+	recWoven     = uint8(10)
 )
 
-// snapFormat versions the snapshot encoding.
-const snapFormat = uint8(1)
+// snapFormat versions the snapshot encoding. Format 2 added the per-version
+// lease deadline and woven flag; format 1 snapshots still decode (their
+// versions simply carry no lease).
+const snapFormat = uint8(2)
 
 // defaultCompactEvery bounds WAL growth: after this many records the next
 // mutation triggers a snapshot + log compaction.
@@ -181,6 +185,12 @@ func (m *Manager) Compact() (uint64, error) {
 
 // abortInFlight finishes (as failed) every version that was assigned but
 // not finished when the journal was written, journaling the aborts.
+// Versions holding an unexpired lease are spared: their writer may still
+// be alive (the manager crashed, not the client) and entitled to commit;
+// if the writer is gone too, the lease lapses and the expiry loop aborts
+// the version with a proper server-side identity weave. Recovery aborts
+// are recorded unwoven — the crash likely took the control plane down
+// with the writers, so the GC sweep owes each one an identity tree.
 func (m *Manager) abortInFlight() error {
 	m.mu.Lock()
 	blobs := make([]*blobState, 0, len(m.blobs))
@@ -207,7 +217,10 @@ func (m *Manager) abortInFlight() error {
 			if vi.committed {
 				continue
 			}
-			if err := m.logRecord(encVersionRec(recAbort, b.id, v)); err != nil {
+			if vi.leaseUntil > 0 && m.nowMs() <= vi.leaseUntil {
+				continue
+			}
+			if err := m.logRecord(encAbort(b.id, v, false)); err != nil {
 				b.mu.Unlock()
 				return err
 			}
@@ -231,7 +244,7 @@ func encCreate(id, chunkSize uint64, replication uint32) []byte {
 }
 
 func encAssign(id, version uint64, vi *verInfo, newAssignedSize uint64) []byte {
-	e := wire.NewEncoder(80)
+	e := wire.NewEncoder(88)
 	e.PutU8(recAssign)
 	e.PutU64(id)
 	e.PutU64(version)
@@ -241,13 +254,46 @@ func encAssign(id, version uint64, vi *verInfo, newAssignedSize uint64) []byte {
 	e.PutU64(vi.sizeChunks)
 	e.PutU64(vi.assignPub)
 	e.PutU64(newAssignedSize)
+	e.PutU64(vi.leaseUntil)
 	return e.Bytes()
 }
 
-// encVersionRec covers recCommit and recAbort.
+// encVersionRec covers recCommit.
 func encVersionRec(kind uint8, id, version uint64) []byte {
 	e := wire.NewEncoder(24)
 	e.PutU8(kind)
+	e.PutU64(id)
+	e.PutU64(version)
+	return e.Bytes()
+}
+
+// encAbort records an abort and whether the version's identity tree was
+// woven at abort time (false leaves the weave as GC debt).
+func encAbort(id, version uint64, woven bool) []byte {
+	e := wire.NewEncoder(24)
+	e.PutU8(recAbort)
+	e.PutU64(id)
+	e.PutU64(version)
+	e.PutBool(woven)
+	return e.Bytes()
+}
+
+// encLease records a lease grant or renewal: version's lease now runs
+// until the given unix-millisecond deadline.
+func encLease(id, version, until uint64) []byte {
+	e := wire.NewEncoder(32)
+	e.PutU8(recLease)
+	e.PutU64(id)
+	e.PutU64(version)
+	e.PutU64(until)
+	return e.Bytes()
+}
+
+// encWoven records that an aborted version's identity tree reached the
+// metadata plane after the abort (the GC sweep's repair).
+func encWoven(id, version uint64) []byte {
+	e := wire.NewEncoder(24)
+	e.PutU8(recWoven)
 	e.PutU64(id)
 	e.PutU64(version)
 	return e.Bytes()
@@ -348,6 +394,7 @@ func (m *Manager) applyRecord(rec []byte) error {
 			assignPub:  d.U64(),
 		}
 		newSize := d.U64()
+		vi.leaseUntil = d.U64()
 		if d.Err() != nil {
 			return errJournalCorrupt
 		}
@@ -358,6 +405,10 @@ func (m *Manager) applyRecord(rec []byte) error {
 		b.assignedSizeBytes = newSize
 	case recCommit, recAbort:
 		version := d.U64()
+		var woven bool
+		if kind == recAbort {
+			woven = d.Bool()
+		}
 		if d.Err() != nil {
 			return errJournalCorrupt
 		}
@@ -368,7 +419,32 @@ func (m *Manager) applyRecord(rec []byte) error {
 		if vi.committed {
 			return fmt.Errorf("%w: blob %d version %d finished twice", errJournalCorrupt, id, version)
 		}
+		vi.woven = kind == recAbort && woven
 		b.finishLocked(vi, kind == recAbort)
+	case recLease:
+		version := d.U64()
+		until := d.U64()
+		if d.Err() != nil {
+			return errJournalCorrupt
+		}
+		vi, err := b.version(version)
+		if err != nil {
+			return fmt.Errorf("%w: %v", errJournalCorrupt, err)
+		}
+		vi.leaseUntil = until
+	case recWoven:
+		version := d.U64()
+		if d.Err() != nil {
+			return errJournalCorrupt
+		}
+		vi, err := b.version(version)
+		if err != nil {
+			return fmt.Errorf("%w: %v", errJournalCorrupt, err)
+		}
+		if !vi.committed || !vi.failed {
+			return fmt.Errorf("%w: blob %d version %d woven while not aborted", errJournalCorrupt, id, version)
+		}
+		vi.woven = true
 	case recRetention:
 		b.keepLast = d.U64()
 		if d.Err() != nil {
@@ -462,6 +538,8 @@ func (m *Manager) encodeSnapshot() ([]byte, uint64) {
 			e.PutU64(vi.assignPub)
 			e.PutBool(vi.committed)
 			e.PutBool(vi.failed)
+			e.PutU64(vi.leaseUntil)
+			e.PutBool(vi.woven)
 		}
 		b.mu.Unlock()
 	}
@@ -471,7 +549,8 @@ func (m *Manager) encodeSnapshot() ([]byte, uint64) {
 // decodeSnapshot rebuilds manager state from a snapshot payload.
 func (m *Manager) decodeSnapshot(snap []byte) error {
 	d := wire.NewDecoder(snap)
-	if format := d.U8(); format != snapFormat {
+	format := d.U8()
+	if format != 1 && format != snapFormat {
 		return fmt.Errorf("vmanager: unknown snapshot format %d", format)
 	}
 	m.nextID = d.U64()
@@ -513,6 +592,10 @@ func (m *Manager) decodeSnapshot(snap []byte) error {
 			vi.assignPub = d.U64()
 			vi.committed = d.Bool()
 			vi.failed = d.Bool()
+			if format >= 2 {
+				vi.leaseUntil = d.U64()
+				vi.woven = d.Bool()
+			}
 		}
 		if d.Err() != nil {
 			return fmt.Errorf("vmanager: corrupt snapshot blob %d versions: %w", id, d.Err())

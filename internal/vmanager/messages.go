@@ -26,6 +26,10 @@ const (
 	MethodCompact       = "vm.compact"
 	MethodRepairReport  = "vm.repairreport"
 	MethodRepairStats   = "vm.repairstats"
+	MethodRenewLease    = "vm.renew"
+	MethodLeaseStats    = "vm.leasestats"
+	MethodUnwoven       = "vm.unwoven"
+	MethodMarkWoven     = "vm.markwoven"
 )
 
 // CreateReq registers a new blob.
@@ -140,7 +144,11 @@ type AssignResp struct {
 	EndChunk      uint64
 	PubVersion    uint64
 	PubSizeChunks uint64
-	InFlight      []meta.WriteDesc
+	// LeaseTTLMs is the write lease granted with this version (0 = leases
+	// disabled). The writer must renew within this period or the version
+	// manager aborts the version and weaves it away.
+	LeaseTTLMs uint64
+	InFlight   []meta.WriteDesc
 }
 
 // Encode implements wire.Message.
@@ -154,6 +162,7 @@ func (r *AssignResp) Encode(e *wire.Encoder) {
 	e.PutU64(r.EndChunk)
 	e.PutU64(r.PubVersion)
 	e.PutU64(r.PubSizeChunks)
+	e.PutU64(r.LeaseTTLMs)
 	e.PutU32(uint32(len(r.InFlight)))
 	for i := range r.InFlight {
 		r.InFlight[i].Encode(e)
@@ -171,6 +180,7 @@ func (r *AssignResp) Decode(d *wire.Decoder) {
 	r.EndChunk = d.U64()
 	r.PubVersion = d.U64()
 	r.PubSizeChunks = d.U64()
+	r.LeaseTTLMs = d.U64()
 	cnt := d.U32()
 	r.InFlight = nil
 	for i := uint32(0); i < cnt && d.Err() == nil; i++ {
@@ -196,6 +206,81 @@ func (r *VersionRef) Encode(e *wire.Encoder) {
 func (r *VersionRef) Decode(d *wire.Decoder) {
 	r.BlobID = d.U64()
 	r.Version = d.U64()
+}
+
+// AbortReq names the version to abort and whether the aborting client
+// already wove its identity tree (abort-repair completed); Woven=false
+// leaves the weave as server-side debt for the GC sweep.
+type AbortReq struct {
+	BlobID  uint64
+	Version uint64
+	Woven   bool
+}
+
+// Encode implements wire.Message.
+func (r *AbortReq) Encode(e *wire.Encoder) {
+	e.PutU64(r.BlobID)
+	e.PutU64(r.Version)
+	e.PutBool(r.Woven)
+}
+
+// Decode implements wire.Message.
+func (r *AbortReq) Decode(d *wire.Decoder) {
+	r.BlobID = d.U64()
+	r.Version = d.U64()
+	r.Woven = d.Bool()
+}
+
+// LeaseStatsResp reports the lease configuration and counters.
+type LeaseStatsResp struct {
+	TTLMs   uint64 // configured lease TTL (0 = leases disabled)
+	Active  uint64 // unfinished versions currently holding a lease
+	Granted uint64
+	Renewed uint64
+	Expired uint64
+}
+
+// Encode implements wire.Message.
+func (r *LeaseStatsResp) Encode(e *wire.Encoder) {
+	e.PutU64(r.TTLMs)
+	e.PutU64(r.Active)
+	e.PutU64(r.Granted)
+	e.PutU64(r.Renewed)
+	e.PutU64(r.Expired)
+}
+
+// Decode implements wire.Message.
+func (r *LeaseStatsResp) Decode(d *wire.Decoder) {
+	r.TTLMs = d.U64()
+	r.Active = d.U64()
+	r.Granted = d.U64()
+	r.Renewed = d.U64()
+	r.Expired = d.U64()
+}
+
+// UnwovenResp lists aborted versions still owed an identity weave; the GC
+// sweeper repairs each and acknowledges with MethodMarkWoven.
+type UnwovenResp struct {
+	Items []meta.IdentityInput
+}
+
+// Encode implements wire.Message.
+func (r *UnwovenResp) Encode(e *wire.Encoder) {
+	e.PutU32(uint32(len(r.Items)))
+	for i := range r.Items {
+		r.Items[i].Encode(e)
+	}
+}
+
+// Decode implements wire.Message.
+func (r *UnwovenResp) Decode(d *wire.Decoder) {
+	cnt := d.U32()
+	r.Items = nil
+	for i := uint32(0); i < cnt && d.Err() == nil; i++ {
+		var it meta.IdentityInput
+		it.Decode(d)
+		r.Items = append(r.Items, it)
+	}
 }
 
 // VersionInfoResp describes one version's extent.

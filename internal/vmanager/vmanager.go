@@ -19,6 +19,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/durable"
 	"repro/internal/meta"
@@ -40,6 +42,14 @@ var ErrBlobDeleted = errors.New("vmanager: blob deleted")
 // published version; at least one snapshot always stays readable.
 var ErrRetainLatest = errors.New("vmanager: cannot prune the latest published version")
 
+// ErrLeaseExpired is returned when a slow-but-alive writer's Commit (or
+// lease renewal) races an abort the manager already performed — lease
+// expiry, or the conservative restart-abort. The version it tried to
+// publish has been woven away; silently accepting the commit would
+// resurrect content later merges no longer reference. Like ErrBlobDeleted
+// the text crosses the RPC boundary as a string and is matched client-side.
+var ErrLeaseExpired = errors.New("vmanager: lease expired")
+
 type verInfo struct {
 	startChunk uint64
 	endChunk   uint64
@@ -51,6 +61,21 @@ type verInfo struct {
 	// is in flight its weave may reference any node reachable from that
 	// snapshot, so the retention floor must not pass it (see floorCap).
 	assignPub uint64
+	// leaseUntil is the writer's lease deadline in unix milliseconds
+	// (0 = no lease: assigned while leases were disabled). Journaled, so
+	// kill -9 recovery knows which in-flight writers were still alive.
+	leaseUntil uint64
+	// woven records, for a FAILED version, that an identity tree exists
+	// for it in the metadata plane — later weaves referencing its
+	// in-flight descriptor resolve, no treeless hole. Aborts by the lease
+	// expiry loop and by clients that completed abort repair set it;
+	// recovery aborts leave it false and the GC sweep repairs them.
+	woven bool
+	// expiring marks a version the expiry loop is mid-abort on (identity
+	// weave in progress, b.mu released). It fences late Commit/renew RPCs
+	// with ErrLeaseExpired. RAM-only: after a crash the version is
+	// uncommitted with a lapsed lease and recovery aborts it anyway.
+	expiring bool
 }
 
 type blobState struct {
@@ -173,12 +198,21 @@ type Manager struct {
 	// RepairReport. Observability only — never journaled.
 	repairMu sync.Mutex
 	repair   RepairTotals
+
+	// Write-lease state. leaseTTLMs is the TTL granted by Assign (0
+	// disables leases). now is the clock, swappable by tests. The counters
+	// are observability only.
+	leaseTTLMs    atomic.Uint64
+	now           func() time.Time
+	leasesGranted atomic.Uint64
+	leasesRenewed atomic.Uint64
+	leasesExpired atomic.Uint64
 }
 
 // NewManager creates an empty, volatile version manager (state dies with
 // the process; see OpenManager for the durable variant).
 func NewManager() *Manager {
-	return &Manager{blobs: make(map[uint64]*blobState), nextID: 1, compactEvery: defaultCompactEvery}
+	return &Manager{blobs: make(map[uint64]*blobState), nextID: 1, compactEvery: defaultCompactEvery, now: time.Now}
 }
 
 // Create registers a new blob with the given chunk size and replication
@@ -348,10 +382,17 @@ func (m *Manager) Assign(req *AssignReq) (*AssignResp, error) {
 			SizeBytes:  w.sizeBytes,
 		})
 	}
+	if ttl := m.leaseTTLMs.Load(); ttl > 0 {
+		vi.leaseUntil = m.nowMs() + ttl
+		resp.LeaseTTLMs = ttl
+	}
 	// Write-ahead: journal before mutating, so RAM never runs ahead of
 	// the WAL (a divergent journal would fail replay validation on boot).
 	if err := m.logRecord(encAssign(b.id, resp.Version, &vi, newSize)); err != nil {
 		return nil, err
+	}
+	if vi.leaseUntil > 0 {
+		m.leasesGranted.Add(1)
 	}
 	b.versions = append(b.versions, vi)
 	b.assignedSizeBytes = newSize
@@ -360,26 +401,35 @@ func (m *Manager) Assign(req *AssignReq) (*AssignResp, error) {
 
 // Commit marks a version's data and metadata as fully stored, then
 // publishes every version whose predecessors have all committed, waking
-// any waiters.
+// any waiters. A Commit that loses the race against a lease-expiry or
+// restart abort returns ErrLeaseExpired: the version was already woven
+// away as an identity, and publishing it now would expose content that
+// later merges no longer reference.
 func (m *Manager) Commit(blobID, version uint64) error {
-	err := m.finish(blobID, version, false)
+	err := m.finish(blobID, version, false, false)
 	m.maybeCompact()
 	return err
 }
 
 // Abort marks a version as failed. Publication still advances past it —
 // otherwise one crashed writer would wedge the blob forever — but reads
-// naming the failed version are rejected. Later versions that referenced
-// its in-flight descriptor keep working for ranges outside the aborted
-// write; ranges inside it dangle, exactly as in the original system before
-// its garbage-collection pass.
+// naming the failed version are rejected. The caller did NOT repair the
+// version's metadata tree; the lease expiry loop or the GC sweep weaves
+// the identity tree later (see AbortWoven for callers that did).
 func (m *Manager) Abort(blobID, version uint64) error {
-	err := m.finish(blobID, version, true)
+	return m.AbortWoven(blobID, version, false)
+}
+
+// AbortWoven is Abort with the caller vouching (woven=true) that the
+// version's identity tree is already in the metadata plane — the client
+// abort-repair path — so no server-side weave is owed for it.
+func (m *Manager) AbortWoven(blobID, version uint64, woven bool) error {
+	err := m.finish(blobID, version, true, woven)
 	m.maybeCompact()
 	return err
 }
 
-func (m *Manager) finish(blobID, version uint64, failed bool) error {
+func (m *Manager) finish(blobID, version uint64, failed, woven bool) error {
 	b, err := m.blob(blobID)
 	if err != nil {
 		return err
@@ -393,7 +443,24 @@ func (m *Manager) finish(blobID, version uint64, failed bool) error {
 		return err
 	}
 	if vi.committed {
+		if vi.failed && !failed {
+			// The manager aborted this version (lease expiry or the
+			// conservative restart-abort) and the writer's Commit arrived
+			// late. Typed, so the client can distinguish "my write was
+			// undone, retry it" from a protocol bug.
+			return fmt.Errorf("%w: version %d of blob %d was aborted before commit", ErrLeaseExpired, version, blobID)
+		}
+		if vi.failed && failed {
+			return nil // duplicate abort (client repair raced expiry); idempotent
+		}
 		return fmt.Errorf("vmanager: version %d of blob %d committed twice", version, blobID)
+	}
+	if vi.expiring {
+		// The expiry loop is weaving this version's identity tree right
+		// now (b.mu released around the metadata RPCs). Its abort is
+		// already decided; letting a commit slip in would publish a
+		// version whose tree the weave is overwriting.
+		return fmt.Errorf("%w: version %d of blob %d is being aborted", ErrLeaseExpired, version, blobID)
 	}
 	// A deleted blob still RECORDS the finish (then reports the
 	// deletion): the delete sweep must not be marked complete while
@@ -401,13 +468,16 @@ func (m *Manager) finish(blobID, version uint64, failed bool) error {
 	// after the sweep — so the tombstone latches only once every
 	// assigned version has finished and one more sweep has run (the
 	// finishGen echo in GCReport enforces the "one more").
-	kind := recCommit
+	var rec []byte
 	if failed {
-		kind = recAbort
+		rec = encAbort(blobID, version, woven)
+	} else {
+		rec = encVersionRec(recCommit, blobID, version)
 	}
-	if err := m.logRecord(encVersionRec(kind, blobID, version)); err != nil {
+	if err := m.logRecord(rec); err != nil {
 		return err
 	}
+	vi.woven = failed && woven
 	b.finishLocked(vi, failed)
 	if b.deleted {
 		return fmt.Errorf("%w: %d", ErrBlobDeleted, blobID)
@@ -823,9 +893,23 @@ func NewServerWithManager(network rpc.Network, addr string, m *Manager) *Server 
 		func(req *VersionRef) (*Ack, error) {
 			return &Ack{}, s.m.Commit(req.BlobID, req.Version)
 		})
-	rpc.HandleMsg(s.srv, MethodAbort, func() *VersionRef { return &VersionRef{} },
+	rpc.HandleMsg(s.srv, MethodAbort, func() *AbortReq { return &AbortReq{} },
+		func(req *AbortReq) (*Ack, error) {
+			return &Ack{}, s.m.AbortWoven(req.BlobID, req.Version, req.Woven)
+		})
+	rpc.HandleMsg(s.srv, MethodRenewLease, func() *VersionRef { return &VersionRef{} },
 		func(req *VersionRef) (*Ack, error) {
-			return &Ack{}, s.m.Abort(req.BlobID, req.Version)
+			return &Ack{}, s.m.RenewLease(req.BlobID, req.Version)
+		})
+	rpc.HandleMsg(s.srv, MethodLeaseStats, func() *Ack { return &Ack{} },
+		func(*Ack) (*LeaseStatsResp, error) { return s.m.LeaseStats(), nil })
+	rpc.HandleMsg(s.srv, MethodUnwoven, func() *Ack { return &Ack{} },
+		func(*Ack) (*UnwovenResp, error) {
+			return &UnwovenResp{Items: s.m.UnwovenAborts()}, nil
+		})
+	rpc.HandleMsg(s.srv, MethodMarkWoven, func() *VersionRef { return &VersionRef{} },
+		func(req *VersionRef) (*Ack, error) {
+			return &Ack{}, s.m.MarkWoven(req.BlobID, req.Version)
 		})
 	rpc.HandleMsg(s.srv, MethodLatest, func() *BlobRef { return &BlobRef{} },
 		func(req *BlobRef) (*LatestResp, error) { return s.m.Latest(req.BlobID) })
