@@ -2,7 +2,7 @@ GO ?= go
 FUZZTIME ?= 10s
 BENCHTIME ?= 1x
 
-.PHONY: all build vet test race fuzz bench e2e-restart e2e-repair e2e-lease ci clean
+.PHONY: all build vet test race fuzz bench e2e-restart e2e-repair e2e-lease soak-smoke ci clean
 
 all: ci
 
@@ -66,7 +66,15 @@ e2e-repair:
 e2e-lease:
 	$(GO) test -race -count=1 -run 'TestWriterLease' ./internal/fault/
 
-ci: vet build race fuzz bench e2e-restart e2e-repair e2e-lease
+# Open-loop soak smoke: 10 seconds of blaster traffic (read/write mix,
+# zipf popularity) against a full in-process cluster with the metrics
+# plane on. Fails on an error-budget breach (>1% errored ops) or a rate
+# collapse. SOAK_SECS stretches it into a longer soak.
+SOAK_SECS ?= 10
+soak-smoke:
+	BLASTER_SOAK_SECS=$(SOAK_SECS) $(GO) test -race -count=1 -run 'TestSoakSmoke' -timeout 10m ./internal/blaster/
+
+ci: vet build race fuzz bench e2e-restart e2e-repair e2e-lease soak-smoke
 
 clean:
 	$(GO) clean -testcache

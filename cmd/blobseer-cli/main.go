@@ -25,6 +25,10 @@
 // Write leases (see blobseerd -lease-ttl):
 //
 //	blobseer-cli ... lease-stats                   # lease grant/renew/expiry counters
+//
+// Unified health snapshot (GC + repair + leases + per-provider stats):
+//
+//	blobseer-cli ... stats
 package main
 
 import (
@@ -40,6 +44,7 @@ import (
 	"repro/internal/gc"
 	"repro/internal/meta"
 	"repro/internal/pmanager"
+	"repro/internal/provider"
 	"repro/internal/repair"
 	"repro/internal/rpc"
 	"repro/internal/vmanager"
@@ -51,7 +56,7 @@ func main() {
 	metaList := flag.String("meta", "127.0.0.1:4410", "comma-separated metadata provider addresses")
 	flag.Parse()
 	if flag.NArg() < 1 {
-		log.Fatal("blobseer-cli: missing subcommand (create|write|append|read|stat|list|retention|prune|delete|gc|gc-stats|repair|repair-stats|lease-stats|compact)")
+		log.Fatal("blobseer-cli: missing subcommand (create|write|append|read|stat|list|retention|prune|delete|gc|gc-stats|repair|repair-stats|lease-stats|stats|compact)")
 	}
 
 	client, err := core.NewClient(core.Config{
@@ -234,6 +239,44 @@ func main() {
 		must(err)
 		fmt.Printf("reclaimed: chunks=%d bytes=%d nodes=%d orphans=%d pruned-versions=%d pending-blobs=%d\n",
 			stats.Chunks, stats.Bytes, stats.Nodes, stats.Orphans, stats.PrunedVersions, stats.PendingBlobs)
+	case "stats":
+		// One deployment-health snapshot: what gc-stats, repair-stats and
+		// lease-stats report separately, plus a per-provider inventory —
+		// the human-readable cousin of scraping every /metrics endpoint.
+		rpcCli := rpc.NewClient(rpc.NewTCPNetwork(), 0)
+		defer rpcCli.Close()
+
+		gcStats, err := client.GCStats()
+		must(err)
+		fmt.Printf("gc:      reclaimed chunks=%d bytes=%d nodes=%d orphans=%d pruned-versions=%d pending-blobs=%d\n",
+			gcStats.Chunks, gcStats.Bytes, gcStats.Nodes, gcStats.Orphans, gcStats.PrunedVersions, gcStats.PendingBlobs)
+
+		var rt vmanager.RepairTotals
+		must(rpcCli.Call(*vm, vmanager.MethodRepairStats, &vmanager.Ack{}, &rt))
+		fmt.Printf("repair:  passes=%d scanned=%d re-replicated=%d migrated=%d bytes-moved=%d lost=%d errors=%d\n",
+			rt.Passes, rt.ChunksScanned, rt.ReReplicated, rt.Migrated, rt.BytesMoved, rt.LostChunks, rt.Errors)
+
+		var ls vmanager.LeaseStatsResp
+		must(rpcCli.Call(*vm, vmanager.MethodLeaseStats, &vmanager.Ack{}, &ls))
+		if ls.TTLMs == 0 {
+			fmt.Println("leases:  off")
+		} else {
+			fmt.Printf("leases:  ttl-ms=%d active=%d granted=%d renewed=%d expired=%d\n",
+				ls.TTLMs, ls.Active, ls.Granted, ls.Renewed, ls.Expired)
+		}
+
+		var provs pmanager.ProvidersResp
+		must(rpcCli.Call(*pm, pmanager.MethodProviders, &pmanager.Ack{}, &provs))
+		fmt.Printf("providers: %d live\n", len(provs.Addrs))
+		for _, addr := range provs.Addrs {
+			var ps provider.StatsResp
+			if err := rpcCli.Call(addr, provider.MethodStats, &provider.Ack{}, &ps); err != nil {
+				fmt.Printf("  %-22s unreachable: %v\n", addr, err)
+				continue
+			}
+			fmt.Printf("  %-22s chunks=%d bytes=%d puts=%d gets=%d deletes=%d bytes-in=%d bytes-out=%d\n",
+				addr, ps.Chunks, ps.Bytes, ps.Puts, ps.Gets, ps.Deletes, ps.BytesIn, ps.BytesOut)
+		}
 	case "compact":
 		rpcCli := rpc.NewClient(rpc.NewTCPNetwork(), 0)
 		defer rpcCli.Close()

@@ -54,6 +54,8 @@ import (
 	"repro/internal/chunk"
 	"repro/internal/gc"
 	"repro/internal/meta"
+	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/pmanager"
 	"repro/internal/provider"
 	"repro/internal/repair"
@@ -84,11 +86,34 @@ func main() {
 	metaRepl := flag.Int("meta-repl", 1, "metadata replication degree of the deployment (role=repair; role=vmanager loops)")
 	leaseTTL := flag.Duration("lease-ttl", 0, "write-lease TTL granted on Assign, 0 = leases off (role=vmanager)")
 	leaseExpiry := flag.Duration("lease-expiry", 0, "lapsed-lease collection interval, 0 = lease-ttl/4 (role=vmanager)")
+	metricsListen := flag.String("metrics-listen", "", "HTTP address serving /metrics (Prometheus text) and /healthz; empty = exposition off (any role)")
 	flag.Parse()
 
 	network := rpc.NewTCPNetwork()
 	var addr string
 	var closer func()
+
+	// Observability plane: one registry per daemon, role-labeled RPC
+	// latency histograms on the server, plus whatever plane counters the
+	// role owns. Off entirely unless -metrics-listen is given.
+	var reg *metrics.Registry
+	var rpcm *obs.RPCMetrics
+	if *metricsListen != "" {
+		reg = metrics.NewRegistry()
+		rpcm = obs.NewRPCMetrics(reg)
+	}
+	serverObs := func(role string) rpc.ServerObserver {
+		if rpcm == nil {
+			return nil
+		}
+		return rpcm.ServerObserver(role)
+	}
+	clientObs := func(role string) rpc.ClientObserver {
+		if rpcm == nil {
+			return nil
+		}
+		return rpcm.ClientObserver(role)
+	}
 
 	switch *role {
 	case "vmanager":
@@ -103,16 +128,24 @@ func main() {
 		}
 		mgr.SetLeaseTTL(*leaseTTL)
 		s := vmanager.NewServerWithManager(network, *listen, mgr)
+		s.SetRPCObserver(serverObs("vmanager"))
 		must(s.Start())
-		stopGC := startGCLoop(network, s.Addr(), *pmAddr, *metaList, *metaRepl, *gcInterval, *gcGrace)
+		if reg != nil {
+			obs.RegisterVManager(reg, s.Manager)
+		}
+		stopGC := startGCLoop(network, s.Addr(), *pmAddr, *metaList, *metaRepl, *gcInterval, *gcGrace, clientObs("gc"))
 		stopRepair := startRepairLoop(network, s.Addr(), *pmAddr, *metaList, *metaRepl, *repairInterval,
-			*repairHigh, *repairLow, *repairMoveMB)
-		stopLease := startLeaseLoop(network, mgr, *metaList, *metaRepl, *leaseTTL, *leaseExpiry)
+			*repairHigh, *repairLow, *repairMoveMB, clientObs("repair"))
+		stopLease := startLeaseLoop(network, mgr, *metaList, *metaRepl, *leaseTTL, *leaseExpiry, clientObs("lease"))
 		addr, closer = s.Addr(), func() { stopLease(); stopRepair(); stopGC(); s.Close(); mgr.Close() }
 	case "pmanager":
 		s, err := pmanager.NewServer(network, *listen, *strategy, *hbTimeout)
 		must(err)
+		s.SetRPCObserver(serverObs("pmanager"))
 		must(s.Start())
+		if reg != nil {
+			obs.RegisterPManager(reg, s.Manager())
+		}
 		addr, closer = s.Addr(), s.Close
 	case "metadata":
 		var store meta.ServerStore = meta.NewMemStore()
@@ -125,7 +158,11 @@ func main() {
 			log.Printf("blobseerd: metadata provider running VOLATILE (no -dir); nodes die with the process")
 		}
 		s := meta.NewServerWithStore(network, *listen, store)
+		s.SetRPCObserver(serverObs("metadata"))
 		must(s.Start())
+		if reg != nil {
+			obs.RegisterMeta(reg, s.Addr(), func() *meta.Server { return s })
+		}
 		addr, closer = s.Addr(), func() {
 			s.Close()
 			if c, ok := store.(interface{ Close() error }); ok {
@@ -134,6 +171,7 @@ func main() {
 		}
 	case "namespace":
 		s := bsfs.NewNameServer(network, *listen)
+		s.SetRPCObserver(serverObs("namespace"))
 		must(s.Start())
 		addr, closer = s.Addr(), s.Close
 	case "repair":
@@ -145,11 +183,9 @@ func main() {
 			interval = 30 * time.Second
 		}
 		stop := startRepairLoop(network, *vmAddr, *pmAddr, *metaList, *metaRepl, interval,
-			*repairHigh, *repairLow, *repairMoveMB)
+			*repairHigh, *repairLow, *repairMoveMB, clientObs("repair"))
 		log.Printf("blobseerd: role=repair healing %s every %v", *vmAddr, interval)
-		waitForSignal()
-		stop()
-		return
+		addr, closer = "(no RPC listener)", stop
 	case "provider":
 		if *pmAddr == "" {
 			log.Fatal("blobseerd: -pm is required for role=provider")
@@ -170,8 +206,13 @@ func main() {
 		}
 		s, err := provider.NewServerWithOptions(network, *listen, store, opts)
 		must(err)
+		s.SetRPCObserver(serverObs("provider"))
 		must(s.Start())
+		if reg != nil {
+			obs.RegisterProvider(reg, s.Addr(), func() *provider.Server { return s })
+		}
 		cli := rpc.NewClient(network, 10*time.Second)
+		cli.SetObserver(clientObs("provider"))
 		must(cli.Call(*pmAddr, pmanager.MethodRegister, &pmanager.RegisterReq{Addr: s.Addr()}, &pmanager.Ack{}))
 		s.StartHeartbeats(cli, *pmAddr, *hbInterval)
 		addr, closer = s.Addr(), func() { s.Close(); cli.Close(); store.Close() }
@@ -180,6 +221,13 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *metricsListen != "" {
+		h, err := obs.ServeHTTP(*metricsListen, reg)
+		must(err)
+		log.Printf("blobseerd: metrics at http://%s/metrics", h.Addr())
+		inner := closer
+		closer = func() { h.Close(); inner() }
+	}
 	log.Printf("blobseerd: role=%s serving at %s", *role, addr)
 	waitForSignal()
 	closer()
@@ -195,7 +243,7 @@ func waitForSignal() {
 // startGCLoop runs the background reclamation sweep inside the vmanager
 // daemon when an interval is configured. It returns a stop function (a
 // no-op when the loop is off).
-func startGCLoop(network rpc.Network, vmAddr, pmAddr, metaList string, metaRepl int, interval, grace time.Duration) func() {
+func startGCLoop(network rpc.Network, vmAddr, pmAddr, metaList string, metaRepl int, interval, grace time.Duration, co rpc.ClientObserver) func() {
 	if interval <= 0 {
 		return func() {}
 	}
@@ -203,6 +251,7 @@ func startGCLoop(network rpc.Network, vmAddr, pmAddr, metaList string, metaRepl 
 		log.Fatal("blobseerd: -gc-interval requires -pm and -meta so sweeps can reach the deployment")
 	}
 	cli := rpc.NewClient(network, 0)
+	cli.SetObserver(co)
 	sweeper, err := gc.New(gc.Config{
 		RPC:    cli,
 		Meta:   meta.NewClient(cli, strings.Split(metaList, ","), metaRepl, 0),
@@ -247,7 +296,7 @@ func startGCLoop(network rpc.Network, vmAddr, pmAddr, metaList string, metaRepl 
 // vmanager role, standalone for role=repair). It returns a stop function
 // (a no-op when the loop is off).
 func startRepairLoop(network rpc.Network, vmAddr, pmAddr, metaList string, metaRepl int,
-	interval time.Duration, high, low float64, maxMoveMB int64) func() {
+	interval time.Duration, high, low float64, maxMoveMB int64, co rpc.ClientObserver) func() {
 	if interval <= 0 {
 		return func() {}
 	}
@@ -255,6 +304,7 @@ func startRepairLoop(network rpc.Network, vmAddr, pmAddr, metaList string, metaR
 		log.Fatal("blobseerd: the repair loop requires -pm and -meta so passes can reach the deployment")
 	}
 	cli := rpc.NewClient(network, 0)
+	cli.SetObserver(co)
 	eng, err := repair.New(repair.Config{
 		RPC:          cli,
 		Meta:         meta.NewClient(cli, strings.Split(metaList, ","), metaRepl, 0),
@@ -297,7 +347,7 @@ func startRepairLoop(network rpc.Network, vmAddr, pmAddr, metaList string, metaR
 // abort — and the frontier unwedge — happens either way). Returns a stop
 // function (a no-op when leases are off).
 func startLeaseLoop(network rpc.Network, mgr *vmanager.Manager, metaList string, metaRepl int,
-	ttl, interval time.Duration) func() {
+	ttl, interval time.Duration, co rpc.ClientObserver) func() {
 	if ttl <= 0 {
 		return func() {}
 	}
@@ -305,6 +355,7 @@ func startLeaseLoop(network rpc.Network, mgr *vmanager.Manager, metaList string,
 	var weaver vmanager.AbortWeaver
 	if metaList != "" {
 		cli = rpc.NewClient(network, 0)
+		cli.SetObserver(co)
 		mc := meta.NewClient(cli, strings.Split(metaList, ","), metaRepl, 0)
 		weaver = func(in meta.IdentityInput) error { return meta.WeaveIdentity(mc, in) }
 	} else {

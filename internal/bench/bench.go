@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"os"
 	"sort"
 	"time"
 
@@ -133,6 +134,10 @@ func startCluster(dataProviders, metaProviders int) (*cluster.Cluster, error) {
 		Fabric:           testbedFabric(),
 		CallTimeout:      120 * time.Second,
 		HeartbeatTimeout: 30 * time.Second,
+		// BENCH_METRICS=1 turns the full observability plane on (RPC
+		// observers + all collectors, no HTTP), so the observer hot-path
+		// overhead is measurable on the unchanged experiment code.
+		Metrics: os.Getenv("BENCH_METRICS") == "1",
 	})
 }
 

@@ -1,0 +1,150 @@
+package blaster
+
+import (
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+func TestParseMix(t *testing.T) {
+	mix, err := ParseMix("read=0.7,write=0.2,append=0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mix[OpRead] != 0.7 || mix[OpWrite] != 0.2 || mix[OpAppend] != 0.1 {
+		t.Fatalf("unexpected mix: %v", mix)
+	}
+	for _, bad := range []string{"read", "read=x", "fsync=1", "read=-1"} {
+		if _, err := ParseMix(bad); err == nil {
+			t.Errorf("ParseMix(%q): want error", bad)
+		}
+	}
+	if mix, err := ParseMix(""); err != nil || len(mix) != 0 {
+		t.Fatalf("empty mix: %v %v", mix, err)
+	}
+}
+
+// TestSoakSmoke is the CI soak gate: an open-loop blast against a full
+// in-process cluster must complete with an error fraction within budget
+// and an achieved rate that is not collapse-level below the offered rate.
+// BLASTER_SOAK_SECS stretches the default sub-second smoke into a real
+// soak (make soak-smoke runs 10s).
+func TestSoakSmoke(t *testing.T) {
+	duration := 800 * time.Millisecond
+	if s := os.Getenv("BLASTER_SOAK_SECS"); s != "" {
+		d, err := time.ParseDuration(s + "s")
+		if err != nil {
+			t.Fatalf("BLASTER_SOAK_SECS=%q: %v", s, err)
+		}
+		duration = d
+	}
+
+	c, err := cluster.Start(cluster.Config{
+		DataProviders: 4,
+		MetaProviders: 2,
+		Metrics:       true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	var clients []*core.Client
+	for i := 0; i < 2; i++ {
+		cli, err := c.NewClient(cluster.ClientOptions{MetaCacheNodes: 256})
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients = append(clients, cli)
+	}
+
+	mix, err := ParseMix("read=0.7,write=0.3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(Config{
+		Clients:  clients,
+		Rate:     200,
+		Duration: duration,
+		Mix:      mix,
+		Blobs:    8,
+		ZipfS:    1.1,
+		OpBytes:  4 << 10,
+		Workers:  32,
+		Registry: c.Registry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := b.Run()
+
+	if res.Completed == 0 {
+		t.Fatal("soak completed zero operations")
+	}
+	if res.ErrorBudget > 0.01 {
+		t.Fatalf("error budget breached: %.4f errored (%d/%d)",
+			res.ErrorBudget, res.Errors, res.Completed)
+	}
+	// Open loop: sheds are legal under overload, but a smoke-sized blast
+	// on an in-process fabric should keep up with most of the offered
+	// rate. Collapse below half signals a harness regression.
+	if res.AchievedRate < res.OfferedRate/2 {
+		t.Fatalf("achieved rate collapsed: %.1f ops/s of %.1f offered (shed %d)",
+			res.AchievedRate, res.OfferedRate, res.Shed)
+	}
+	for _, op := range []string{OpRead, OpWrite} {
+		or, ok := res.Ops[op]
+		if !ok || or.Count == 0 {
+			t.Fatalf("op %s never ran: %+v", op, res.Ops)
+		}
+		if !(or.P50S > 0 && or.P50S <= or.P99S && or.P99S <= or.P999S) {
+			t.Fatalf("op %s quantiles not monotone: p50=%g p99=%g p999=%g",
+				op, or.P50S, or.P99S, or.P999S)
+		}
+	}
+}
+
+func TestBlasterRegistersOnExternalRegistry(t *testing.T) {
+	c, err := cluster.Start(cluster.Config{DataProviders: 1, MetaProviders: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	cli, err := c.NewClient(cluster.ClientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.NewRegistry()
+	b, err := New(Config{
+		Clients:  []*core.Client{cli},
+		Rate:     500,
+		Duration: 50 * time.Millisecond,
+		Blobs:    2,
+		OpBytes:  512,
+		Registry: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = b.Run()
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE blobseer_blaster_op_seconds histogram",
+		`blobseer_blaster_op_seconds_bucket{op="read",le="+Inf"}`,
+		"blobseer_blaster_ops_total",
+		"blobseer_blaster_shed_total",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}

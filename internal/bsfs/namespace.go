@@ -231,6 +231,10 @@ func (s *NameServer) Close() { s.srv.Close() }
 // Addr returns the namespace server's address.
 func (s *NameServer) Addr() string { return s.srv.Addr() }
 
+// SetRPCObserver attaches an observer to the name server's RPC server
+// (per-method latency/bytes/error metrics).
+func (s *NameServer) SetRPCObserver(o rpc.ServerObserver) { s.srv.SetObserver(o) }
+
 func (s *NameServer) parentOf(p string) (*nsEntry, string, error) {
 	dir, name := path.Split(p)
 	dir = path.Clean(dir)

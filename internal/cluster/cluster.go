@@ -15,7 +15,9 @@ import (
 	"repro/internal/core"
 	"repro/internal/gc"
 	"repro/internal/meta"
+	"repro/internal/metrics"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/pmanager"
 	"repro/internal/provider"
 	"repro/internal/repair"
@@ -90,6 +92,17 @@ type Config struct {
 	// fsync, appends still survive process crashes (they reach the OS
 	// immediately) but not whole-machine crashes.
 	NoFsyncWAL bool
+	// Metrics enables the observability plane without HTTP exposition:
+	// a metrics.Registry collecting per-RPC latency histograms from every
+	// role server and client plus all plane counters (GC/repair/lease
+	// totals, WAL costs, provider inventories, pmanager membership).
+	// Implied by MetricsListen.
+	Metrics bool
+	// MetricsListen, when set, additionally serves the registry over HTTP
+	// on this address: GET /metrics (Prometheus text format) and
+	// GET /healthz. ":0" picks a free port — read it back with
+	// MetricsAddr.
+	MetricsListen string
 }
 
 // Cluster is a running deployment.
@@ -144,6 +157,43 @@ type Cluster struct {
 	leaseWeaver vmanager.AbortWeaver
 	leaseStop   chan struct{}
 	leaseDone   chan struct{}
+
+	// Observability plane (Config.Metrics / Config.MetricsListen): one
+	// registry for the whole deployment, role-labeled RPC instruments,
+	// and the optional HTTP exposition endpoint.
+	registry    *metrics.Registry
+	rpcMetrics  *obs.RPCMetrics
+	metricsHTTP *obs.HTTPServer
+}
+
+// Registry returns the deployment's metrics registry (nil unless
+// Config.Metrics or Config.MetricsListen enabled the observability
+// plane).
+func (c *Cluster) Registry() *metrics.Registry { return c.registry }
+
+// MetricsAddr returns the bound /metrics HTTP address ("" unless
+// Config.MetricsListen was set).
+func (c *Cluster) MetricsAddr() string {
+	if c.metricsHTTP == nil {
+		return ""
+	}
+	return c.metricsHTTP.Addr()
+}
+
+// serverObserver returns the RPC observer for one role ("" when the
+// observability plane is off).
+func (c *Cluster) serverObserver(role string) rpc.ServerObserver {
+	if c.rpcMetrics == nil {
+		return nil
+	}
+	return c.rpcMetrics.ServerObserver(role)
+}
+
+func (c *Cluster) clientObserver(role string) rpc.ClientObserver {
+	if c.rpcMetrics == nil {
+		return nil
+	}
+	return c.rpcMetrics.ClientObserver(role)
 }
 
 // Start launches a deployment per cfg.
@@ -173,6 +223,14 @@ func Start(cfg Config) (*Cluster, error) {
 		cfg.Fabric = netsim.NewFabric(netsim.Config{})
 	}
 	c := &Cluster{cfg: cfg, Fabric: cfg.Fabric}
+	if cfg.MetricsListen != "" {
+		cfg.Metrics = true
+		c.cfg.Metrics = true
+	}
+	if cfg.Metrics {
+		c.registry = metrics.NewRegistry()
+		c.rpcMetrics = obs.NewRPCMetrics(c.registry)
+	}
 	if cfg.UseTCP {
 		c.Network = rpc.NewTCPNetwork()
 	} else {
@@ -192,11 +250,21 @@ func Start(cfg Config) (*Cluster, error) {
 	}
 	c.vmDir = vmDir
 	c.VM = vmanager.NewServerWithManager(c.Network, addr("vm"), mgr)
+	c.VM.SetRPCObserver(c.serverObserver("vmanager"))
 	if err := c.VM.Start(); err != nil {
 		mgr.Close()
 		return nil, fmt.Errorf("cluster: starting version manager: %w", err)
 	}
 	c.vmAddr = c.VM.Addr()
+	if c.registry != nil {
+		// Accessors resolve through the cluster so restart-in-place swaps
+		// (RestartVM and friends) keep feeding the same series.
+		obs.RegisterVManager(c.registry, func() *vmanager.Manager {
+			c.srvMu.Lock()
+			defer c.srvMu.Unlock()
+			return c.VM.Manager()
+		})
+	}
 
 	// Provider manager.
 	pm, err := pmanager.NewServer(c.Network, addr("pm"), cfg.Strategy, cfg.HeartbeatTimeout)
@@ -205,11 +273,15 @@ func Start(cfg Config) (*Cluster, error) {
 		return nil, err
 	}
 	c.PM = pm
+	c.PM.SetRPCObserver(c.serverObserver("pmanager"))
 	if err := c.PM.Start(); err != nil {
 		c.Close()
 		return nil, fmt.Errorf("cluster: starting provider manager: %w", err)
 	}
 	c.pmAddr = c.PM.Addr()
+	if c.registry != nil {
+		obs.RegisterPManager(c.registry, c.PM.Manager())
+	}
 
 	// Metadata providers: persistent node stores under a data dir.
 	for i := 0; i < cfg.MetaProviders; i++ {
@@ -220,12 +292,21 @@ func Start(cfg Config) (*Cluster, error) {
 		}
 		c.metaDirs = append(c.metaDirs, dir)
 		ms := meta.NewServerWithStore(c.Network, addr(fmt.Sprintf("mp%d", i)), store)
+		ms.SetRPCObserver(c.serverObserver("metadata"))
 		if err := ms.Start(); err != nil {
 			c.Close()
 			return nil, fmt.Errorf("cluster: starting metadata provider %d: %w", i, err)
 		}
 		c.MetaServers = append(c.MetaServers, ms)
 		c.metaAddrs = append(c.metaAddrs, ms.Addr())
+		if c.registry != nil {
+			idx := i
+			obs.RegisterMeta(c.registry, ms.Addr(), func() *meta.Server {
+				c.srvMu.Lock()
+				defer c.srvMu.Unlock()
+				return c.MetaServers[idx]
+			})
+		}
 	}
 
 	// Data providers. Each provider heartbeats through its own RPC client
@@ -256,19 +337,30 @@ func Start(cfg Config) (*Cluster, error) {
 			c.Close()
 			return nil, fmt.Errorf("cluster: starting data provider %d: %w", i, err)
 		}
+		dp.SetRPCObserver(c.serverObserver("provider"))
 		c.provStores = append(c.provStores, store)
 		c.provOpts = append(c.provOpts, opts)
 		c.Providers = append(c.Providers, dp)
 		c.provAddrs = append(c.provAddrs, dp.Addr())
 		c.PM.Manager().Register(dp.Addr())
 		hb := rpc.NewClientFrom(c.Network, cfg.CallTimeout, dp.Addr())
+		hb.SetObserver(c.clientObserver("provider"))
 		c.hbClients = append(c.hbClients, hb)
 		dp.StartHeartbeats(hb, c.pmAddr, cfg.HeartbeatInterval)
+		if c.registry != nil {
+			idx := i
+			obs.RegisterProvider(c.registry, dp.Addr(), func() *provider.Server {
+				c.srvMu.Lock()
+				defer c.srvMu.Unlock()
+				return c.Providers[idx]
+			})
+		}
 	}
 
 	// Garbage collector: the sweeper is always available; the background
 	// loop runs only when an interval was configured.
 	c.gcClient = rpc.NewClientFrom(c.Network, cfg.CallTimeout, "gc")
+	c.gcClient.SetObserver(c.clientObserver("gc"))
 	sweeper, err := gc.New(gc.Config{
 		RPC:         c.gcClient,
 		Meta:        meta.NewClient(c.gcClient, c.metaAddrs, cfg.MetaReplication, 0),
@@ -302,6 +394,7 @@ func Start(cfg Config) (*Cluster, error) {
 	// Self-healing repair engine: the engine is always available; the
 	// background loop runs only when an interval was configured.
 	c.repairClient = rpc.NewClientFrom(c.Network, cfg.CallTimeout, "repair")
+	c.repairClient.SetObserver(c.clientObserver("repair"))
 	eng, err := repair.New(repair.Config{
 		RPC:       c.repairClient,
 		Meta:      meta.NewClient(c.repairClient, c.metaAddrs, cfg.MetaReplication, 0),
@@ -340,6 +433,7 @@ func Start(cfg Config) (*Cluster, error) {
 	// run it too.
 	if cfg.LeaseTTL > 0 {
 		c.leaseClient = rpc.NewClientFrom(c.Network, cfg.CallTimeout, "lease")
+		c.leaseClient.SetObserver(c.clientObserver("lease"))
 		leaseMeta := meta.NewClient(c.leaseClient, c.metaAddrs, cfg.MetaReplication, 0)
 		c.leaseWeaver = func(in meta.IdentityInput) error {
 			return meta.WeaveIdentity(leaseMeta, in)
@@ -366,6 +460,15 @@ func Start(cfg Config) (*Cluster, error) {
 				}
 			}
 		}(c.leaseStop, c.leaseDone)
+	}
+
+	if cfg.MetricsListen != "" {
+		h, err := obs.ServeHTTP(cfg.MetricsListen, c.registry)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.metricsHTTP = h
 	}
 	return c, nil
 }
@@ -443,6 +546,10 @@ func (c *Cluster) NewClient(opts ClientOptions) (*core.Client, error) {
 	if err != nil {
 		return nil, err
 	}
+	if c.rpcMetrics != nil {
+		cli.RPC().SetObserver(c.rpcMetrics.ClientObserver("client"))
+		obs.RegisterCoreClient(c.registry, name, cli)
+	}
 	c.clientMu.Lock()
 	c.clients = append(c.clients, cli)
 	c.clientMu.Unlock()
@@ -487,6 +594,7 @@ func (c *Cluster) ReviveProvider(i int) error {
 	if err != nil {
 		return fmt.Errorf("cluster: reopening data provider %d: %w", i, err)
 	}
+	dp.SetRPCObserver(c.serverObserver("provider"))
 	if err := dp.Start(); err != nil {
 		return fmt.Errorf("cluster: restarting data provider %d: %w", i, err)
 	}
@@ -526,6 +634,7 @@ func (c *Cluster) RestartVM() error {
 		return fmt.Errorf("cluster: recovering version manager: %w", err)
 	}
 	vm := vmanager.NewServerWithManager(c.Network, c.vmAddr, mgr)
+	vm.SetRPCObserver(c.serverObserver("vmanager"))
 	if err := vm.Start(); err != nil {
 		mgr.Close()
 		return fmt.Errorf("cluster: restarting version manager: %w", err)
@@ -562,6 +671,7 @@ func (c *Cluster) RestartMeta(i int) error {
 		return fmt.Errorf("cluster: recovering metadata provider %d: %w", i, err)
 	}
 	ms := meta.NewServerWithStore(c.Network, c.metaAddrs[i], store)
+	ms.SetRPCObserver(c.serverObserver("metadata"))
 	if err := ms.Start(); err != nil {
 		return fmt.Errorf("cluster: restarting metadata provider %d: %w", i, err)
 	}
@@ -603,6 +713,10 @@ func buildMetaStore(cfg Config, i int) (meta.ServerStore, string, error) {
 // Close tears the whole deployment down (gracefully: durable state is
 // flushed, unlike the Kill* crash simulations).
 func (c *Cluster) Close() {
+	if c.metricsHTTP != nil {
+		c.metricsHTTP.Close()
+		c.metricsHTTP = nil
+	}
 	if c.gcStop != nil {
 		close(c.gcStop)
 		<-c.gcDone

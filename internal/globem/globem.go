@@ -14,6 +14,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/metrics"
 )
 
 // Sample is one provider's aggregated behaviour over one interval.
@@ -28,21 +30,49 @@ type Sample struct {
 
 // Monitor aggregates chunk-transfer observations per provider. It
 // implements core.Observer so it can be plugged directly into a client.
+//
+// The instruments are the metrics plane's own: a per-provider latency
+// histogram plus op/error/byte counters — cumulative, lock-free on the
+// hot path, and exposable on a /metrics endpoint via Register. Snapshot
+// keeps its historical drain-the-window semantics by differencing the
+// cumulative instruments against the values seen at the previous
+// Snapshot, so the clustering pipeline downstream is unchanged.
 type Monitor struct {
-	mu     sync.Mutex
-	window map[string]*provWindow
+	latency *metrics.HistogramVec // blobseer_globem_chunk_op_seconds{provider}
+	ops     *metrics.CounterVec   // blobseer_globem_chunk_ops_total{provider}
+	errs    *metrics.CounterVec   // blobseer_globem_chunk_errors_total{provider}
+	bytes   *metrics.CounterVec   // blobseer_globem_chunk_bytes_total{provider}
+
+	mu   sync.Mutex
+	last map[string]cumState
 }
 
-type provWindow struct {
-	latSum time.Duration
-	ops    int64
-	errs   int64
-	bytes  int64
+// cumState is the cumulative instrument state at the previous Snapshot.
+type cumState struct {
+	ops, errs, bytes int64
+	latSumSecs       float64
 }
 
 // NewMonitor creates an empty monitor.
 func NewMonitor() *Monitor {
-	return &Monitor{window: make(map[string]*provWindow)}
+	return &Monitor{
+		latency: metrics.NewHistogramVec("blobseer_globem_chunk_op_seconds",
+			"Client-observed chunk transfer latency by provider (GloBeM QoS feedback).",
+			[]string{"provider"}, metrics.DefLatencyBuckets),
+		ops: metrics.NewCounterVec("blobseer_globem_chunk_ops_total",
+			"Client-observed chunk transfers by provider.", []string{"provider"}),
+		errs: metrics.NewCounterVec("blobseer_globem_chunk_errors_total",
+			"Client-observed failed chunk transfers by provider.", []string{"provider"}),
+		bytes: metrics.NewCounterVec("blobseer_globem_chunk_bytes_total",
+			"Client-observed chunk payload bytes by provider.", []string{"provider"}),
+		last: make(map[string]cumState),
+	}
+}
+
+// Register exposes the monitor's instruments on a metrics registry, so the
+// same observations that drive the behaviour model are scrapeable live.
+func (m *Monitor) Register(reg *metrics.Registry) {
+	reg.MustRegister(m.latency, m.ops, m.errs, m.bytes)
 }
 
 // ObserveChunkOp records one chunk transfer (core.Observer).
@@ -50,37 +80,47 @@ func (m *Monitor) ObserveChunkOp(provider, op string, bytes int, dur time.Durati
 	if provider == "" {
 		return
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	w, ok := m.window[provider]
-	if !ok {
-		w = &provWindow{}
-		m.window[provider] = w
-	}
-	w.ops++
-	w.latSum += dur
-	w.bytes += int64(bytes)
+	m.latency.With(provider).Observe(dur.Seconds())
+	m.ops.With(provider).Add(1)
+	m.bytes.With(provider).Add(int64(bytes))
 	if err != nil {
-		w.errs++
+		m.errs.With(provider).Add(1)
 	}
 }
 
-// Snapshot drains the current window into per-provider samples.
+// Snapshot reports per-provider samples covering the interval since the
+// previous Snapshot (cumulative instruments, differenced). Providers with
+// no traffic in the interval are omitted, matching the old window
+// behaviour.
 func (m *Monitor) Snapshot() []Sample {
 	m.mu.Lock()
-	window := m.window
-	m.window = make(map[string]*provWindow)
-	m.mu.Unlock()
+	defer m.mu.Unlock()
 
-	samples := make([]Sample, 0, len(window))
-	for p, w := range window {
-		s := Sample{Provider: p, Ops: w.ops, Errs: w.errs, Bytes: w.bytes}
-		if w.ops > 0 {
-			s.MeanLatencyMs = float64(w.latSum.Microseconds()) / float64(w.ops) / 1000
-			s.ErrorRate = float64(w.errs) / float64(w.ops)
+	var samples []Sample
+	m.latency.Each(func(labels []metrics.Label, h *metrics.Histogram) {
+		p := labels[0].Value
+		cur := cumState{
+			ops:        m.ops.With(p).Load(),
+			errs:       m.errs.With(p).Load(),
+			bytes:      m.bytes.With(p).Load(),
+			latSumSecs: h.Sum(),
+		}
+		prev := m.last[p]
+		ops := cur.ops - prev.ops
+		if ops <= 0 {
+			return
+		}
+		m.last[p] = cur
+		s := Sample{
+			Provider:      p,
+			Ops:           ops,
+			Errs:          cur.errs - prev.errs,
+			Bytes:         cur.bytes - prev.bytes,
+			MeanLatencyMs: (cur.latSumSecs - prev.latSumSecs) / float64(ops) * 1e3,
+			ErrorRate:     float64(cur.errs-prev.errs) / float64(ops),
 		}
 		samples = append(samples, s)
-	}
+	})
 	sort.Slice(samples, func(i, j int) bool { return samples[i].Provider < samples[j].Provider })
 	return samples
 }

@@ -281,6 +281,10 @@ func (s *PersistentStore) PeekNodes(keys []NodeKey) []*Node { return s.mem.PeekN
 // Len reports the number of nodes.
 func (s *PersistentStore) Len() int { return s.mem.Len() }
 
+// LogStats reports the node log's cumulative append/write/fsync counts
+// (observability: the /metrics registry scrapes this).
+func (s *PersistentStore) LogStats() durable.LogStats { return s.log.Stats() }
+
 // Close flushes and closes the log.
 func (s *PersistentStore) Close() error {
 	return s.log.Close()

@@ -397,3 +397,7 @@ func (s *Server) NodeCount() int { return s.store.Len() }
 
 // Store exposes the underlying engine (graceful shutdown, tests).
 func (s *Server) Store() ServerStore { return s.store }
+
+// SetRPCObserver attaches an observer to the metadata provider's RPC
+// server (per-method latency/bytes/error metrics).
+func (s *Server) SetRPCObserver(o rpc.ServerObserver) { s.srv.SetObserver(o) }

@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// HTTPServer serves a registry over HTTP: GET /metrics renders Prometheus
+// text exposition format, GET /healthz is a liveness probe. One runs next
+// to every blobseerd role's RPC listener (and next to the cluster harness
+// when Config.MetricsListen is set).
+type HTTPServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// ServeHTTP starts serving reg on listen (host:port; ":0" picks a free
+// port — read it back with Addr).
+func ServeHTTP(listen string, reg *metrics.Registry) (*HTTPServer, error) {
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return nil, fmt.Errorf("obs: metrics listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	s := &HTTPServer{
+		ln: ln,
+		srv: &http.Server{
+			Handler:           mux,
+			ReadHeaderTimeout: 10 * time.Second,
+		},
+	}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *HTTPServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and in-flight handlers.
+func (s *HTTPServer) Close() { _ = s.srv.Close() }

@@ -1,0 +1,338 @@
+// Package obs wires the planes' existing instrumentation — meta.RPCStats,
+// core.IOStats, the WAL's durable.LogStats, GC/repair/lease totals,
+// provider inventories, pmanager membership — into a metrics.Registry and
+// serves it over HTTP in Prometheus text format. Every blobseerd role and
+// the in-process cluster harness use the same family names, so dashboards
+// and scrape configs do not care how a deployment is assembled.
+package obs
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/durable"
+	"repro/internal/meta"
+	"repro/internal/metrics"
+	"repro/internal/pmanager"
+	"repro/internal/provider"
+	"repro/internal/rpc"
+	"repro/internal/vmanager"
+)
+
+// RPCMetrics holds the per-RPC instruments one process exposes: server
+// request latency/bytes/errors per (role, method), client round-trip
+// latency per (role, method) and redial counts per role. One instance is
+// shared by every role in the process (the cluster harness runs them all).
+type RPCMetrics struct {
+	srvLatency  *metrics.HistogramVec
+	srvBytesIn  *metrics.CounterVec
+	srvBytesOut *metrics.CounterVec
+	srvErrors   *metrics.CounterVec
+	srvPanics   *metrics.CounterVec
+
+	cliLatency *metrics.HistogramVec
+	cliErrors  *metrics.CounterVec
+	cliRedials *metrics.CounterVec
+}
+
+// NewRPCMetrics creates the rpc-plane instruments and registers them.
+func NewRPCMetrics(reg *metrics.Registry) *RPCMetrics {
+	m := &RPCMetrics{
+		srvLatency: metrics.NewHistogramVec("blobseer_rpc_server_request_seconds",
+			"Server-side request latency by role and method.",
+			[]string{"role", "method"}, metrics.DefLatencyBuckets),
+		srvBytesIn: metrics.NewCounterVec("blobseer_rpc_server_bytes_in_total",
+			"Request payload bytes received by role and method.",
+			[]string{"role", "method"}),
+		srvBytesOut: metrics.NewCounterVec("blobseer_rpc_server_bytes_out_total",
+			"Response payload bytes sent by role and method.",
+			[]string{"role", "method"}),
+		srvErrors: metrics.NewCounterVec("blobseer_rpc_server_errors_total",
+			"Error responses by role and method (handler errors, unknown methods and recovered panics).",
+			[]string{"role", "method"}),
+		srvPanics: metrics.NewCounterVec("blobseer_rpc_server_panics_total",
+			"Handler panics recovered into error responses, by role and method.",
+			[]string{"role", "method"}),
+		cliLatency: metrics.NewHistogramVec("blobseer_rpc_client_roundtrip_seconds",
+			"Client-side call round-trip latency (including transparent redials) by role and method.",
+			[]string{"role", "method"}, metrics.DefLatencyBuckets),
+		cliErrors: metrics.NewCounterVec("blobseer_rpc_client_errors_total",
+			"Failed client calls by role and method.",
+			[]string{"role", "method"}),
+		cliRedials: metrics.NewCounterVec("blobseer_rpc_client_redials_total",
+			"Transparent redials of known-dead cached connections, by role.",
+			[]string{"role"}),
+	}
+	reg.MustRegister(m.srvLatency, m.srvBytesIn, m.srvBytesOut, m.srvErrors, m.srvPanics,
+		m.cliLatency, m.cliErrors, m.cliRedials)
+	return m
+}
+
+type serverObserver struct {
+	m    *RPCMetrics
+	role string
+}
+
+func (o serverObserver) ObserveRequest(method string, bytesIn, bytesOut int, dur time.Duration, err error, panicked bool) {
+	o.m.srvLatency.With(o.role, method).Observe(dur.Seconds())
+	o.m.srvBytesIn.With(o.role, method).Add(int64(bytesIn))
+	o.m.srvBytesOut.With(o.role, method).Add(int64(bytesOut))
+	if err != nil {
+		o.m.srvErrors.With(o.role, method).Add(1)
+	}
+	if panicked {
+		o.m.srvPanics.With(o.role, method).Add(1)
+	}
+}
+
+// ServerObserver returns an rpc.ServerObserver recording under the given
+// role label.
+func (m *RPCMetrics) ServerObserver(role string) rpc.ServerObserver {
+	return serverObserver{m: m, role: role}
+}
+
+type clientObserver struct {
+	m    *RPCMetrics
+	role string
+}
+
+func (o clientObserver) ObserveCall(addr, method string, dur time.Duration, err error) {
+	o.m.cliLatency.With(o.role, method).Observe(dur.Seconds())
+	if err != nil {
+		o.m.cliErrors.With(o.role, method).Add(1)
+	}
+}
+
+func (o clientObserver) ObserveRedial(addr string) {
+	o.m.cliRedials.With(o.role).Add(1)
+}
+
+// ClientObserver returns an rpc.ClientObserver recording under the given
+// role label.
+func (m *RPCMetrics) ClientObserver(role string) rpc.ClientObserver {
+	return clientObserver{m: m, role: role}
+}
+
+func u(v uint64) float64 { return float64(v) }
+
+// RegisterVManager exposes the version manager's GC, repair, lease and
+// journal totals. mgr is an accessor so restart-in-place harnesses can
+// swap the instance under a live registry.
+func RegisterVManager(reg *metrics.Registry, mgr func() *vmanager.Manager) {
+	gcL := []metrics.Label{{Name: "role", Value: "vmanager"}}
+	reg.MustRegister(
+		metrics.CounterFunc("blobseer_gc_reclaimed_chunks_total",
+			"Chunk replicas reclaimed by GC sweeps.", gcL, func() float64 { return u(mgr().GCStats().Chunks) }),
+		metrics.CounterFunc("blobseer_gc_reclaimed_bytes_total",
+			"Payload bytes reclaimed by GC sweeps.", gcL, func() float64 { return u(mgr().GCStats().Bytes) }),
+		metrics.CounterFunc("blobseer_gc_reclaimed_nodes_total",
+			"Metadata tree nodes reclaimed by GC sweeps.", gcL, func() float64 { return u(mgr().GCStats().Nodes) }),
+		metrics.CounterFunc("blobseer_gc_reclaimed_orphans_total",
+			"Aborted-write orphan chunks reclaimed by GC sweeps.", gcL, func() float64 { return u(mgr().GCStats().Orphans) }),
+		metrics.CounterFunc("blobseer_gc_pruned_versions_total",
+			"Blob versions fully reclaimed (pruned past the retention floor).", gcL, func() float64 { return u(mgr().GCStats().PrunedVersions) }),
+		metrics.GaugeFunc("blobseer_gc_pending_blobs",
+			"Blobs with reclamation work outstanding.", gcL, func() float64 { return u(mgr().GCStats().PendingBlobs) }),
+
+		metrics.CounterFunc("blobseer_repair_passes_total",
+			"Completed self-healing repair passes (all engines reporting here).", gcL, func() float64 { return u(mgr().RepairStats().Passes) }),
+		metrics.CounterFunc("blobseer_repair_chunks_scanned_total",
+			"Live-chunk placement records examined by repair passes.", gcL, func() float64 { return u(mgr().RepairStats().ChunksScanned) }),
+		metrics.CounterFunc("blobseer_repair_rereplicated_total",
+			"Replica copies recreated on fresh providers.", gcL, func() float64 { return u(mgr().RepairStats().ReReplicated) }),
+		metrics.CounterFunc("blobseer_repair_migrated_total",
+			"Chunks moved off overfull providers by the rebalancer.", gcL, func() float64 { return u(mgr().RepairStats().Migrated) }),
+		metrics.CounterFunc("blobseer_repair_bytes_moved_total",
+			"Payload bytes copied by re-replication and rebalance.", gcL, func() float64 { return u(mgr().RepairStats().BytesMoved) }),
+		metrics.CounterFunc("blobseer_repair_leaves_patched_total",
+			"Metadata leaf descriptors rewritten to new placements.", gcL, func() float64 { return u(mgr().RepairStats().LeavesPatched) }),
+		metrics.GaugeFunc("blobseer_repair_lost_chunks",
+			"Chunks with no surviving replica (unrecoverable until a provider returns).", gcL, func() float64 { return u(mgr().RepairStats().LostChunks) }),
+		metrics.CounterFunc("blobseer_repair_errors_total",
+			"Per-blob repair failures (retried next pass).", gcL, func() float64 { return u(mgr().RepairStats().Errors) }),
+
+		metrics.GaugeFunc("blobseer_lease_ttl_seconds",
+			"Configured write-lease TTL (0 = leases disabled).", gcL, func() float64 { return float64(mgr().LeaseStats().TTLMs) / 1000 }),
+		metrics.GaugeFunc("blobseer_lease_active",
+			"Unfinished versions currently holding a write lease.", gcL, func() float64 { return u(mgr().LeaseStats().Active) }),
+		metrics.CounterFunc("blobseer_lease_granted_total",
+			"Write leases granted on Assign.", gcL, func() float64 { return u(mgr().LeaseStats().Granted) }),
+		metrics.CounterFunc("blobseer_lease_renewed_total",
+			"Write-lease renewals.", gcL, func() float64 { return u(mgr().LeaseStats().Renewed) }),
+		metrics.CounterFunc("blobseer_lease_expired_total",
+			"Write leases expired (version auto-aborted server-side).", gcL, func() float64 { return u(mgr().LeaseStats().Expired) }),
+	)
+	RegisterWAL(reg, "vmanager", func() durable.LogStats { return mgr().JournalStats() })
+}
+
+// RegisterWAL exposes one durable.Log's append/write/fsync counters under
+// the given instance label. stats is called at scrape time, so a volatile
+// deployment can pass a function returning zeros.
+func RegisterWAL(reg *metrics.Registry, instance string, stats func() durable.LogStats) {
+	l := []metrics.Label{{Name: "instance", Value: instance}}
+	reg.MustRegister(
+		metrics.CounterFunc("blobseer_wal_appends_total",
+			"WAL records acknowledged as durable.", l, func() float64 { return u(stats().Appends) }),
+		metrics.CounterFunc("blobseer_wal_writes_total",
+			"WAL file writes (one per group-commit batch).", l, func() float64 { return u(stats().Writes) }),
+		metrics.CounterFunc("blobseer_wal_syncs_total",
+			"WAL fsyncs (group commit coalesces appends into these).", l, func() float64 { return u(stats().Syncs) }),
+	)
+}
+
+// RegisterProvider exposes one data provider's inventory and transfer
+// counters (and, for cached stores, cache effectiveness) under the given
+// instance label. srv is an accessor so crash/revive harnesses can swap
+// the instance under a live registry.
+func RegisterProvider(reg *metrics.Registry, instance string, srv func() *provider.Server) {
+	l := []metrics.Label{{Name: "instance", Value: instance}}
+	snap := func() provider.StatsResp { return srv().StatsSnapshot() }
+	reg.MustRegister(
+		metrics.GaugeFunc("blobseer_provider_chunks",
+			"Chunk replicas resident on the provider.", l, func() float64 { return u(snap().Chunks) }),
+		metrics.GaugeFunc("blobseer_provider_bytes",
+			"Payload bytes resident on the provider.", l, func() float64 { return u(snap().Bytes) }),
+		metrics.CounterFunc("blobseer_provider_puts_total",
+			"Individual chunks stored (across put and putchunks).", l, func() float64 { return u(snap().Puts) }),
+		metrics.CounterFunc("blobseer_provider_gets_total",
+			"Individual chunk retrievals served (across get and getchunks).", l, func() float64 { return u(snap().Gets) }),
+		metrics.CounterFunc("blobseer_provider_deletes_total",
+			"Chunk deletions applied.", l, func() float64 { return u(snap().Deletes) }),
+		metrics.CounterFunc("blobseer_provider_put_batches_total",
+			"putchunks RPCs served (puts/put_batches is the write coalescing factor).", l, func() float64 { return u(snap().PutBatches) }),
+		metrics.CounterFunc("blobseer_provider_get_batches_total",
+			"getchunks RPCs served (repair source reads).", l, func() float64 { return u(snap().GetBatches) }),
+		metrics.CounterFunc("blobseer_provider_bytes_in_total",
+			"Payload bytes accepted by puts.", l, func() float64 { return u(snap().BytesIn) }),
+		metrics.CounterFunc("blobseer_provider_bytes_out_total",
+			"Payload bytes served by gets (ranged reads move only what they need).", l, func() float64 { return u(snap().BytesOut) }),
+	)
+	if cs, ok := srv().Store().(interface {
+		CacheStats() (hits, misses, residentBytes int64)
+		RangeAdmits() int64
+	}); ok {
+		reg.MustRegister(
+			metrics.CounterFunc("blobseer_provider_cache_hits_total",
+				"Chunk cache hits.", l, func() float64 { h, _, _ := cs.CacheStats(); return float64(h) }),
+			metrics.CounterFunc("blobseer_provider_cache_misses_total",
+				"Chunk cache misses.", l, func() float64 { _, m, _ := cs.CacheStats(); return float64(m) }),
+			metrics.GaugeFunc("blobseer_provider_cache_resident_bytes",
+				"Bytes resident in the chunk cache.", l, func() float64 { _, _, r := cs.CacheStats(); return float64(r) }),
+			metrics.CounterFunc("blobseer_provider_cache_range_admits_total",
+				"Chunks promoted to full admission by range-miss frequency.", l, func() float64 { return float64(cs.RangeAdmits()) }),
+		)
+	}
+}
+
+// RegisterPManager exposes cluster membership and per-provider fullness as
+// the provider manager sees it.
+func RegisterPManager(reg *metrics.Registry, mgr *pmanager.Manager) {
+	role := []metrics.Label{{Name: "role", Value: "pmanager"}}
+	count := func(pred func(pmanager.ProviderStatus) bool) float64 {
+		var n float64
+		for _, p := range mgr.Report() {
+			if pred(p) {
+				n++
+			}
+		}
+		return n
+	}
+	reg.MustRegister(
+		metrics.GaugeFunc("blobseer_pm_providers_registered",
+			"Providers ever registered with the provider manager.", role,
+			func() float64 { return count(func(pmanager.ProviderStatus) bool { return true }) }),
+		metrics.GaugeFunc("blobseer_pm_providers_live",
+			"Providers within the heartbeat liveness timeout.", role,
+			func() float64 { return count(func(p pmanager.ProviderStatus) bool { return p.Live }) }),
+		metrics.GaugeFunc("blobseer_pm_providers_avoided",
+			"Providers on the GloBeM avoid list.", role,
+			func() float64 { return count(func(p pmanager.ProviderStatus) bool { return p.Avoided }) }),
+		&pmFullnessCollector{mgr: mgr},
+	)
+}
+
+// pmFullnessCollector emits one fullness gauge per registered provider —
+// the series set follows membership, so it cannot be a fixed GaugeFunc.
+type pmFullnessCollector struct {
+	mgr *pmanager.Manager
+}
+
+func (c *pmFullnessCollector) Family() metrics.Family {
+	return metrics.Family{
+		Name: "blobseer_pm_provider_fullness",
+		Help: "Provider fullness (bytes/capacity; 0 when capacity is unknown) as the provider manager sees it.",
+		Type: "gauge",
+	}
+}
+
+func (c *pmFullnessCollector) Collect(emit func(metrics.Sample)) {
+	for _, p := range c.mgr.Report() {
+		var fullness float64
+		if p.CapBytes > 0 {
+			fullness = float64(p.Bytes) / float64(p.CapBytes)
+		}
+		emit(metrics.Sample{
+			Labels: []metrics.Label{{Name: "provider", Value: p.Addr}},
+			Value:  fullness,
+		})
+	}
+}
+
+// RegisterMeta exposes one metadata provider's node count (and, when its
+// store is persistent, node-log WAL costs) under the given instance
+// label. srv is an accessor so restart-in-place harnesses can swap the
+// instance under a live registry.
+func RegisterMeta(reg *metrics.Registry, instance string, srv func() *meta.Server) {
+	l := []metrics.Label{{Name: "instance", Value: instance}}
+	reg.MustRegister(
+		metrics.GaugeFunc("blobseer_meta_nodes",
+			"Metadata tree nodes resident on the provider.", l, func() float64 { return float64(srv().NodeCount()) }),
+	)
+	persistent := func() *meta.PersistentStore {
+		ps, _ := srv().Store().(*meta.PersistentStore)
+		return ps
+	}
+	if persistent() != nil {
+		RegisterWAL(reg, instance, func() durable.LogStats {
+			if ps := persistent(); ps != nil {
+				return ps.LogStats()
+			}
+			return durable.LogStats{}
+		})
+	}
+}
+
+// RegisterCoreClient exposes one core client's data-plane and
+// metadata-plane counters under the given instance label — what the load
+// blaster and the cluster harness surface about their own traffic.
+func RegisterCoreClient(reg *metrics.Registry, instance string, cli *core.Client) {
+	l := []metrics.Label{{Name: "instance", Value: instance}}
+	io := cli.IOStats
+	ms := cli.MetaRPCStats
+	reg.MustRegister(
+		metrics.CounterFunc("blobseer_client_chunk_get_rpcs_total",
+			"provider.get calls issued (including failed replicas).", l, func() float64 { return float64(io().ChunkGetRPCs) }),
+		metrics.CounterFunc("blobseer_client_chunk_put_ops_total",
+			"Per-chunk-per-replica store operations issued.", l, func() float64 { return float64(io().ChunkPutOps) }),
+		metrics.CounterFunc("blobseer_client_chunk_put_rpcs_total",
+			"provider.putchunks round trips issued.", l, func() float64 { return float64(io().ChunkPutRPCs) }),
+		metrics.CounterFunc("blobseer_client_chunk_bytes_in_total",
+			"Payload bytes received from providers.", l, func() float64 { return float64(io().ChunkBytesIn) }),
+		metrics.CounterFunc("blobseer_client_chunk_bytes_out_total",
+			"Payload bytes sent to providers.", l, func() float64 { return float64(io().ChunkBytesOut) }),
+		metrics.CounterFunc("blobseer_client_meta_get_rpcs_total",
+			"Singleton meta.get calls issued.", l, func() float64 { return float64(ms().GetRPCs) }),
+		metrics.CounterFunc("blobseer_client_meta_getnodes_rpcs_total",
+			"Batched meta.getnodes calls issued.", l, func() float64 { return float64(ms().GetNodesRPCs) }),
+		metrics.CounterFunc("blobseer_client_meta_put_rpcs_total",
+			"meta.put calls issued (one per provider batch).", l, func() float64 { return float64(ms().PutRPCs) }),
+		metrics.CounterFunc("blobseer_client_meta_spec_hits_total",
+			"Speculative same-label descent keys that resolved.", l, func() float64 { return float64(ms().SpecHits) }),
+		metrics.CounterFunc("blobseer_client_meta_spec_misses_total",
+			"Speculative same-label descent keys that came back absent.", l, func() float64 { return float64(ms().SpecMisses) }),
+		metrics.CounterFunc("blobseer_client_meta_cache_hits_total",
+			"Client-side metadata cache hits.", l, func() float64 { return float64(ms().CacheHits) }),
+		metrics.CounterFunc("blobseer_client_meta_cache_misses_total",
+			"Client-side metadata cache misses.", l, func() float64 { return float64(ms().CacheMisses) }),
+	)
+}

@@ -580,3 +580,7 @@ func (s *Server) Addr() string { return s.srv.Addr() }
 
 // Manager exposes the underlying state.
 func (s *Server) Manager() *Manager { return s.m }
+
+// SetRPCObserver attaches an observer to the provider manager's RPC
+// server (per-method latency/bytes/error metrics).
+func (s *Server) SetRPCObserver(o rpc.ServerObserver) { s.srv.SetObserver(o) }

@@ -560,17 +560,8 @@ func NewServerWithOptions(network rpc.Network, addr string, store chunk.Store, o
 		})
 	rpc.HandleMsg(s.srv, MethodStats, func() *Ack { return &Ack{} },
 		func(*Ack) (*StatsResp, error) {
-			return &StatsResp{
-				Chunks:     uint64(s.store.Len()),
-				Bytes:      uint64(s.store.Bytes()),
-				Puts:       uint64(s.puts.Load()),
-				Gets:       uint64(s.gets.Load()),
-				Deletes:    uint64(s.deletes.Load()),
-				PutBatches: uint64(s.putBatches.Load()),
-				GetBatches: uint64(s.getBatches.Load()),
-				BytesIn:    uint64(s.bytesIn.Load()),
-				BytesOut:   uint64(s.bytesOut.Load()),
-			}, nil
+			st := s.StatsSnapshot()
+			return &st, nil
 		})
 	rpc.HandleMsg(s.srv, MethodListChunks, func() *ListChunksReq { return &ListChunksReq{} },
 		func(req *ListChunksReq) (*ListChunksResp, error) {
@@ -739,6 +730,27 @@ func (s *Server) Addr() string { return s.srv.Addr() }
 
 // Store exposes the underlying engine (tests, repair tooling).
 func (s *Server) Store() chunk.Store { return s.store }
+
+// StatsSnapshot reports the provider's inventory counters in-process —
+// the same numbers the stats RPC serves, without a round trip (the
+// /metrics registry scrapes this).
+func (s *Server) StatsSnapshot() StatsResp {
+	return StatsResp{
+		Chunks:     uint64(s.store.Len()),
+		Bytes:      uint64(s.store.Bytes()),
+		Puts:       uint64(s.puts.Load()),
+		Gets:       uint64(s.gets.Load()),
+		Deletes:    uint64(s.deletes.Load()),
+		PutBatches: uint64(s.putBatches.Load()),
+		GetBatches: uint64(s.getBatches.Load()),
+		BytesIn:    uint64(s.bytesIn.Load()),
+		BytesOut:   uint64(s.bytesOut.Load()),
+	}
+}
+
+// SetRPCObserver attaches an observer to the provider's RPC server
+// (per-method latency/bytes/error metrics).
+func (s *Server) SetRPCObserver(o rpc.ServerObserver) { s.srv.SetObserver(o) }
 
 // StartHeartbeats begins reporting to the provider manager at pmAddr every
 // interval until Close. Heartbeat failures are ignored: if the fabric says

@@ -32,8 +32,9 @@ type Client struct {
 	timeout time.Duration
 	source  string
 
-	mu    sync.Mutex
-	conns map[string]*clientConn
+	mu       sync.Mutex
+	conns    map[string]*clientConn
+	observer ClientObserver
 }
 
 // SourceDialer is implemented by transports that can attribute a
@@ -90,6 +91,19 @@ func (c *Client) Call(addr, method string, req wire.Message, resp wire.Message) 
 }
 
 func (c *Client) callRaw(addr, method string, payload []byte) ([]byte, error) {
+	obs := c.getObserver()
+	var start time.Time
+	if obs != nil {
+		start = time.Now()
+	}
+	raw, err := c.callRawAttempts(addr, method, payload, obs)
+	if obs != nil {
+		obs.ObserveCall(addr, method, time.Since(start), err)
+	}
+	return raw, err
+}
+
+func (c *Client) callRawAttempts(addr, method string, payload []byte, obs ClientObserver) ([]byte, error) {
 	for attempt := 0; ; attempt++ {
 		cc, err := c.getConn(addr)
 		if err != nil {
@@ -105,6 +119,9 @@ func (c *Client) callRaw(addr, method string, payload []byte) ([]byte, error) {
 			// always safe and makes a restarted server reachable on the
 			// first call instead of the second.
 			if errors.Is(err, errConnDead) && attempt == 0 {
+				if obs != nil {
+					obs.ObserveRedial(addr)
+				}
 				continue
 			}
 		}

@@ -3,7 +3,9 @@ package rpc
 import (
 	"fmt"
 	"log"
+	"runtime/debug"
 	"sync"
+	"time"
 
 	"repro/internal/wire"
 )
@@ -34,6 +36,7 @@ type Server struct {
 
 	mu       sync.Mutex
 	handlers map[string]Handler
+	observer ServerObserver
 	listener Listener
 	conns    map[Conn]struct{}
 	closed   bool
@@ -161,14 +164,27 @@ func (s *Server) serveConn(conn Conn) {
 func (s *Server) dispatch(conn Conn, id uint64, method string, payload []byte) {
 	s.mu.Lock()
 	h, ok := s.handlers[method]
+	obs := s.observer
 	s.mu.Unlock()
 
+	var start time.Time
+	if obs != nil {
+		start = time.Now()
+	}
 	var result []byte
 	var err error
+	var panicked bool
 	if !ok {
 		err = fmt.Errorf("rpc: no handler for method %q", method)
 	} else {
-		result, err = h(payload)
+		result, err, panicked = invoke(h, method, payload)
+	}
+	if obs != nil {
+		out := len(result)
+		if err != nil {
+			out = len(err.Error())
+		}
+		obs.ObserveRequest(method, len(payload), out, time.Since(start), err, panicked)
 	}
 
 	enc := getEncoder()
@@ -185,6 +201,23 @@ func (s *Server) dispatch(conn Conn, id uint64, method string, payload []byte) {
 	// directly. Either way the frame buffer is recyclable afterwards.
 	_ = conn.Send(enc.Bytes())
 	putEncoder(enc)
+}
+
+// invoke runs h, converting a panic into a status-error response instead of
+// letting it kill the process (and, with it, every connection the server
+// holds). The panic still reaches the log — it is a server bug — but one
+// poisoned request must not take down unrelated callers.
+func invoke(h Handler, method string, payload []byte) (result []byte, err error, panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			panicked = true
+			result = nil
+			err = fmt.Errorf("rpc: handler for %q panicked: %v", method, r)
+			log.Printf("rpc: recovered handler panic in %q: %v\n%s", method, r, debug.Stack())
+		}
+	}()
+	result, err = h(payload)
+	return result, err, false
 }
 
 // Close stops the listener and tears down every open connection, then waits

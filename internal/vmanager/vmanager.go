@@ -974,3 +974,7 @@ func (s *Server) Addr() string { return s.srv.Addr() }
 
 // Manager exposes the underlying state (used by tests and tools).
 func (s *Server) Manager() *Manager { return s.m }
+
+// SetRPCObserver attaches an observer to the version manager's RPC server
+// (per-method latency/bytes/error metrics).
+func (s *Server) SetRPCObserver(o rpc.ServerObserver) { s.srv.SetObserver(o) }
