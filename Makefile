@@ -2,7 +2,7 @@ GO ?= go
 FUZZTIME ?= 10s
 BENCHTIME ?= 1x
 
-.PHONY: all build vet test race fuzz bench e2e-restart e2e-repair e2e-lease soak-smoke ci clean
+.PHONY: all build vet test race fuzz bench e2e-restart e2e-repair e2e-lease e2e-failover soak-smoke ci clean
 
 all: ci
 
@@ -31,6 +31,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzWALFrame -fuzztime=$(FUZZTIME) ./internal/durable/
 	$(GO) test -fuzz=FuzzCoalescedBatchTear -fuzztime=$(FUZZTIME) ./internal/durable/
 	$(GO) test -fuzz=FuzzLeaseRecordReplay -fuzztime=$(FUZZTIME) ./internal/vmanager/
+	$(GO) test -fuzz=FuzzReplicationDivergence -fuzztime=$(FUZZTIME) ./internal/vmanager/
 
 # Macro-benchmark smoke test: one iteration of every reconstructed
 # experiment (E1-E14, including the E14 repair-under-churn bench) keeps
@@ -66,6 +67,17 @@ e2e-repair:
 e2e-lease:
 	$(GO) test -race -count=1 -run 'TestWriterLease' ./internal/fault/
 
+# Control-plane failover end-to-end suite: the version-manager leader
+# kill -9'd mid-write-storm with a quorum standby; writes must resume
+# within 2x the leadership TTL, zero committed versions may be lost, and
+# the rejoining ex-leader must come back fenced (typed not-leader
+# redirects) and resync to a byte-identical state digest. Plus the
+# replication unit suite: convergence, synchronous quorum, divergent
+# journal-tail truncation.
+e2e-failover:
+	$(GO) test -race -count=1 -run 'TestFailoverMidWriteStorm|TestStandbyCrashDoesNotBlockCommits' -timeout 10m ./internal/fault/
+	$(GO) test -race -count=1 -run 'TestReplication|TestQuorum|TestFailover|TestDivergent|TestRebooted' ./internal/vmanager/
+
 # Open-loop soak smoke: 10 seconds of blaster traffic (read/write mix,
 # zipf popularity) against a full in-process cluster with the metrics
 # plane on. Fails on an error-budget breach (>1% errored ops) or a rate
@@ -74,7 +86,7 @@ SOAK_SECS ?= 10
 soak-smoke:
 	BLASTER_SOAK_SECS=$(SOAK_SECS) $(GO) test -race -count=1 -run 'TestSoakSmoke' -timeout 10m ./internal/blaster/
 
-ci: vet build race fuzz bench e2e-restart e2e-repair e2e-lease soak-smoke
+ci: vet build race fuzz bench e2e-restart e2e-repair e2e-lease e2e-failover soak-smoke
 
 clean:
 	$(GO) clean -testcache

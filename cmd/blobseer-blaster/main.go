@@ -29,7 +29,7 @@ import (
 )
 
 func main() {
-	vmAddr := flag.String("vm", "", "version manager address (required)")
+	vmAddr := flag.String("vm", "", "version manager address, comma-separated list for an HA group (required)")
 	pmAddr := flag.String("pm", "", "provider manager address (required)")
 	metaList := flag.String("meta", "", "comma-separated metadata provider addresses (required)")
 	metaRepl := flag.Int("meta-repl", 1, "metadata replication degree of the deployment")
@@ -66,7 +66,7 @@ func main() {
 	for i := 0; i < *clients; i++ {
 		cli, err := core.NewClient(core.Config{
 			Network:         network,
-			VMAddr:          *vmAddr,
+			VMAddrs:         strings.Split(*vmAddr, ","),
 			PMAddr:          *pmAddr,
 			MetaProviders:   strings.Split(*metaList, ","),
 			MetaReplication: *metaRepl,

@@ -29,6 +29,14 @@
 // Unified health snapshot (GC + repair + leases + per-provider stats):
 //
 //	blobseer-cli ... stats
+//
+// High availability: -vm accepts a comma-separated vmanager group; every
+// subcommand then resolves the current leader (following not-leader
+// redirects across failovers), and
+//
+//	blobseer-cli -vm h0:4400,h1:4400 ha-status
+//
+// shows each member's epoch, role, leader and standby replication lag.
 package main
 
 import (
@@ -51,17 +59,18 @@ import (
 )
 
 func main() {
-	vm := flag.String("vm", "127.0.0.1:4400", "version manager address")
+	vm := flag.String("vm", "127.0.0.1:4400", "version manager address, comma-separated list for an HA group")
 	pm := flag.String("pm", "127.0.0.1:4401", "provider manager address")
 	metaList := flag.String("meta", "127.0.0.1:4410", "comma-separated metadata provider addresses")
 	flag.Parse()
 	if flag.NArg() < 1 {
-		log.Fatal("blobseer-cli: missing subcommand (create|write|append|read|stat|list|retention|prune|delete|gc|gc-stats|repair|repair-stats|lease-stats|stats|compact)")
+		log.Fatal("blobseer-cli: missing subcommand (create|write|append|read|stat|list|retention|prune|delete|gc|gc-stats|repair|repair-stats|lease-stats|stats|compact|ha-status)")
 	}
+	vmAddrs := strings.Split(*vm, ",")
 
 	client, err := core.NewClient(core.Config{
 		Network:       rpc.NewTCPNetwork(),
-		VMAddr:        *vm,
+		VMAddrs:       vmAddrs,
 		PMAddr:        *pm,
 		MetaProviders: strings.Split(*metaList, ","),
 	})
@@ -174,9 +183,9 @@ func main() {
 		rpcCli := rpc.NewClient(rpc.NewTCPNetwork(), 0)
 		defer rpcCli.Close()
 		sweeper, err := gc.New(gc.Config{
-			RPC:    rpcCli,
-			Meta:   meta.NewClient(rpcCli, strings.Split(*metaList, ","), *metaRepl, 0),
-			VMAddr: *vm,
+			RPC:     rpcCli,
+			Meta:    meta.NewClient(rpcCli, strings.Split(*metaList, ","), *metaRepl, 0),
+			VMAddrs: vmAddrs,
 			Providers: func() []string {
 				var resp pmanager.ProvidersResp
 				if err := rpcCli.Call(*pm, pmanager.MethodProviders, &pmanager.Ack{}, &resp); err != nil {
@@ -203,7 +212,7 @@ func main() {
 		eng, err := repair.New(repair.Config{
 			RPC:          rpcCli,
 			Meta:         meta.NewClient(rpcCli, strings.Split(*metaList, ","), *metaRepl, 0),
-			VMAddr:       *vm,
+			VMAddrs:      vmAddrs,
 			PMAddr:       *pm,
 			HighWater:    *high,
 			LowWater:     *low,
@@ -219,7 +228,7 @@ func main() {
 		rpcCli := rpc.NewClient(rpc.NewTCPNetwork(), 0)
 		defer rpcCli.Close()
 		var st vmanager.RepairTotals
-		must(rpcCli.Call(*vm, vmanager.MethodRepairStats, &vmanager.Ack{}, &st))
+		must(vmanager.NewCaller(rpcCli, vmAddrs).Call(vmanager.MethodRepairStats, &vmanager.Ack{}, &st))
 		fmt.Printf("repair: passes=%d scanned=%d under-replicated=%d re-replicated=%d migrated=%d bytes-moved=%d leaves-patched=%d lost=%d errors=%d\n",
 			st.Passes, st.ChunksScanned, st.UnderReplicated, st.ReReplicated, st.Migrated,
 			st.BytesMoved, st.LeavesPatched, st.LostChunks, st.Errors)
@@ -227,7 +236,7 @@ func main() {
 		rpcCli := rpc.NewClient(rpc.NewTCPNetwork(), 0)
 		defer rpcCli.Close()
 		var st vmanager.LeaseStatsResp
-		must(rpcCli.Call(*vm, vmanager.MethodLeaseStats, &vmanager.Ack{}, &st))
+		must(vmanager.NewCaller(rpcCli, vmAddrs).Call(vmanager.MethodLeaseStats, &vmanager.Ack{}, &st))
 		if st.TTLMs == 0 {
 			fmt.Println("leases: off (vmanager started without -lease-ttl)")
 			break
@@ -245,6 +254,7 @@ func main() {
 		// the human-readable cousin of scraping every /metrics endpoint.
 		rpcCli := rpc.NewClient(rpc.NewTCPNetwork(), 0)
 		defer rpcCli.Close()
+		vmc := vmanager.NewCaller(rpcCli, vmAddrs)
 
 		gcStats, err := client.GCStats()
 		must(err)
@@ -252,12 +262,12 @@ func main() {
 			gcStats.Chunks, gcStats.Bytes, gcStats.Nodes, gcStats.Orphans, gcStats.PrunedVersions, gcStats.PendingBlobs)
 
 		var rt vmanager.RepairTotals
-		must(rpcCli.Call(*vm, vmanager.MethodRepairStats, &vmanager.Ack{}, &rt))
+		must(vmc.Call(vmanager.MethodRepairStats, &vmanager.Ack{}, &rt))
 		fmt.Printf("repair:  passes=%d scanned=%d re-replicated=%d migrated=%d bytes-moved=%d lost=%d errors=%d\n",
 			rt.Passes, rt.ChunksScanned, rt.ReReplicated, rt.Migrated, rt.BytesMoved, rt.LostChunks, rt.Errors)
 
 		var ls vmanager.LeaseStatsResp
-		must(rpcCli.Call(*vm, vmanager.MethodLeaseStats, &vmanager.Ack{}, &ls))
+		must(vmc.Call(vmanager.MethodLeaseStats, &vmanager.Ack{}, &ls))
 		if ls.TTLMs == 0 {
 			fmt.Println("leases:  off")
 		} else {
@@ -281,12 +291,41 @@ func main() {
 		rpcCli := rpc.NewClient(rpc.NewTCPNetwork(), 0)
 		defer rpcCli.Close()
 		var resp vmanager.CompactResp
-		must(rpcCli.Call(*vm, vmanager.MethodCompact, &vmanager.Ack{}, &resp))
+		must(vmanager.NewCaller(rpcCli, vmAddrs).Call(vmanager.MethodCompact, &vmanager.Ack{}, &resp))
 		if !resp.Persistent {
 			fmt.Println("version manager is volatile (no journal); nothing to compact")
 			break
 		}
 		fmt.Printf("journal compacted; %d reclaimed version entries folded away\n", resp.CompactedVersions)
+	case "ha-status":
+		// One line per group member: role, epoch, who it follows, and —
+		// on the leader — each standby's replication lag in records.
+		rpcCli := rpc.NewClient(rpc.NewTCPNetwork(), 0)
+		defer rpcCli.Close()
+		for _, a := range vmAddrs {
+			var st vmanager.HAStatusResp
+			if err := rpcCli.Call(a, vmanager.MethodHAStatus, &vmanager.Ack{}, &st); err != nil {
+				fmt.Printf("%-22s unreachable: %v\n", a, err)
+				continue
+			}
+			if !st.Enabled {
+				fmt.Printf("%-22s role=single (replication off)\n", a)
+				continue
+			}
+			fmt.Printf("%-22s role=%-7s epoch=%d leader=%s seq=%d takeovers=%d fences=%d\n",
+				a, st.Role, st.Epoch, st.Leader, st.StreamSeq, st.Takeovers, st.Fences)
+			for _, sb := range st.Standbys {
+				state := "syncing"
+				lag := uint64(0)
+				if sb.Synced {
+					state = "synced"
+					if st.StreamSeq > sb.AckSeq {
+						lag = st.StreamSeq - sb.AckSeq
+					}
+				}
+				fmt.Printf("  standby %-18s %-8s acked=%d lag=%d\n", sb.Addr, state, sb.AckSeq, lag)
+			}
+		}
 	default:
 		log.Fatalf("blobseer-cli: unknown subcommand %q", cmd)
 	}

@@ -36,6 +36,18 @@
 // vmanager -meta too and the expiry pass also weaves the aborted
 // version's identity metadata server-side.
 //
+// High availability: a vmanager group replicates the journal stream to
+// standbys and fails over on a TTL'd leadership lease (see README
+// "High availability"). The first member bootstraps, the rest join as
+// standbys; every member lists the others:
+//
+//	blobseerd -role vmanager -listen :4400 -dir /var/bs/vm0 -advertise h0:4400 -vm-peers h1:4400,h2:4400
+//	blobseerd -role vmanager -listen :4400 -dir /var/bs/vm1 -advertise h1:4400 -standby-of h0:4400,h2:4400
+//
+// -repl picks the commit durability (quorum = default, async) and
+// -ha-ttl the leadership lease TTL. Clients pass the whole group as a
+// comma list wherever a -vm address is accepted.
+//
 // Clients connect with the library's NewClient given the version manager,
 // provider manager and metadata provider addresses.
 package main
@@ -66,7 +78,7 @@ import (
 func main() {
 	role := flag.String("role", "", "vmanager | pmanager | metadata | provider | namespace | repair")
 	listen := flag.String("listen", ":0", "TCP listen address")
-	vmAddr := flag.String("vm", "", "version manager address (role=repair)")
+	vmAddr := flag.String("vm", "", "version manager address, comma-separated list for an HA group (role=repair)")
 	pmAddr := flag.String("pm", "", "provider manager address (role=provider|repair; role=vmanager with -gc-interval or -repair-interval)")
 	strategy := flag.String("strategy", "roundrobin", "placement strategy (role=pmanager)")
 	storeKind := flag.String("store", "mem", "chunk store: mem | disk | cached (role=provider)")
@@ -86,6 +98,11 @@ func main() {
 	metaRepl := flag.Int("meta-repl", 1, "metadata replication degree of the deployment (role=repair; role=vmanager loops)")
 	leaseTTL := flag.Duration("lease-ttl", 0, "write-lease TTL granted on Assign, 0 = leases off (role=vmanager)")
 	leaseExpiry := flag.Duration("lease-expiry", 0, "lapsed-lease collection interval, 0 = lease-ttl/4 (role=vmanager)")
+	advertise := flag.String("advertise", "", "address peers and clients dial this vmanager at; default = bound listen address (role=vmanager with -vm-peers/-standby-of)")
+	vmPeers := flag.String("vm-peers", "", "comma-separated addresses of the other vmanager group members; this member bootstraps epoch 1 on a virgin journal (role=vmanager; requires -dir)")
+	standbyOf := flag.String("standby-of", "", "like -vm-peers but never bootstraps: joins the group as a standby and syncs from the leader (role=vmanager; requires -dir)")
+	haTTL := flag.Duration("ha-ttl", time.Second, "leadership lease TTL; a standby takes over after missing heartbeats for this long (role=vmanager HA)")
+	replMode := flag.String("repl", "quorum", "replication durability: quorum = commit waits for a standby ack, async = commit is local-only (role=vmanager HA)")
 	metricsListen := flag.String("metrics-listen", "", "HTTP address serving /metrics (Prometheus text) and /healthz; empty = exposition off (any role)")
 	flag.Parse()
 
@@ -130,14 +147,72 @@ func main() {
 		s := vmanager.NewServerWithManager(network, *listen, mgr)
 		s.SetRPCObserver(serverObs("vmanager"))
 		must(s.Start())
+
+		// Replicated control plane: -vm-peers (bootstrap-capable) or
+		// -standby-of (join-only) turns this member into part of an HA
+		// group. The colocated gc/repair loops then resolve the leader
+		// across the whole group instead of pinning this instance.
+		peers, bootstrap := *vmPeers, true
+		if *standbyOf != "" {
+			if peers != "" {
+				log.Fatal("blobseerd: -vm-peers and -standby-of are mutually exclusive")
+			}
+			peers, bootstrap = *standbyOf, false
+		}
+		self := *advertise
+		if self == "" {
+			self = s.Addr()
+		}
+		vmGroup := s.Addr()
+		var haCli *rpc.Client
+		if peers != "" {
+			if *dir == "" {
+				log.Fatal("blobseerd: vmanager replication requires -dir (standbys replay a durable journal)")
+			}
+			if *replMode != "quorum" && *replMode != "async" {
+				log.Fatalf("blobseerd: -repl must be quorum or async, got %q", *replMode)
+			}
+			haCli = rpc.NewClient(network, 10*time.Second)
+			haCli.SetObserver(clientObs("vmanager"))
+			peerList := strings.Split(peers, ",")
+			must(mgr.EnableHA(vmanager.HAConfig{
+				Self:          self,
+				Peers:         peerList,
+				LeadershipTTL: *haTTL,
+				Quorum:        *replMode == "quorum",
+				Bootstrap:     bootstrap,
+				Transport: func(addr string, req *vmanager.ReplicateReq) (*vmanager.ReplicateResp, error) {
+					var resp vmanager.ReplicateResp
+					if err := haCli.Call(addr, vmanager.MethodReplicate, req, &resp); err != nil {
+						return nil, err
+					}
+					return &resp, nil
+				},
+			}))
+			vmGroup = strings.Join(append([]string{self}, peerList...), ",")
+			log.Printf("blobseerd: vmanager HA member %s (peers %s, ttl %v, repl %s)", self, peers, *haTTL, *replMode)
+		}
 		if reg != nil {
 			obs.RegisterVManager(reg, s.Manager)
+			if peers != "" {
+				obs.RegisterVManagerHA(reg, self, s.Manager)
+			}
 		}
-		stopGC := startGCLoop(network, s.Addr(), *pmAddr, *metaList, *metaRepl, *gcInterval, *gcGrace, clientObs("gc"))
-		stopRepair := startRepairLoop(network, s.Addr(), *pmAddr, *metaList, *metaRepl, *repairInterval,
+		stopGC := startGCLoop(network, vmGroup, *pmAddr, *metaList, *metaRepl, *gcInterval, *gcGrace, clientObs("gc"))
+		stopRepair := startRepairLoop(network, vmGroup, *pmAddr, *metaList, *metaRepl, *repairInterval,
 			*repairHigh, *repairLow, *repairMoveMB, clientObs("repair"))
 		stopLease := startLeaseLoop(network, mgr, *metaList, *metaRepl, *leaseTTL, *leaseExpiry, clientObs("lease"))
-		addr, closer = s.Addr(), func() { stopLease(); stopRepair(); stopGC(); s.Close(); mgr.Close() }
+		addr, closer = s.Addr(), func() {
+			stopLease()
+			stopRepair()
+			stopGC()
+			s.Close()
+			mgr.Halt()
+			if haCli != nil {
+				haCli.Close()
+			}
+			mgr.Close()
+		}
 	case "pmanager":
 		s, err := pmanager.NewServer(network, *listen, *strategy, *hbTimeout)
 		must(err)
@@ -253,9 +328,9 @@ func startGCLoop(network rpc.Network, vmAddr, pmAddr, metaList string, metaRepl 
 	cli := rpc.NewClient(network, 0)
 	cli.SetObserver(co)
 	sweeper, err := gc.New(gc.Config{
-		RPC:    cli,
-		Meta:   meta.NewClient(cli, strings.Split(metaList, ","), metaRepl, 0),
-		VMAddr: vmAddr,
+		RPC:     cli,
+		Meta:    meta.NewClient(cli, strings.Split(metaList, ","), metaRepl, 0),
+		VMAddrs: strings.Split(vmAddr, ","),
 		Providers: func() []string {
 			var resp pmanager.ProvidersResp
 			if err := cli.Call(pmAddr, pmanager.MethodProviders, &pmanager.Ack{}, &resp); err != nil {
@@ -308,7 +383,7 @@ func startRepairLoop(network rpc.Network, vmAddr, pmAddr, metaList string, metaR
 	eng, err := repair.New(repair.Config{
 		RPC:          cli,
 		Meta:         meta.NewClient(cli, strings.Split(metaList, ","), metaRepl, 0),
-		VMAddr:       vmAddr,
+		VMAddrs:      strings.Split(vmAddr, ","),
 		PMAddr:       pmAddr,
 		HighWater:    high,
 		LowWater:     low,

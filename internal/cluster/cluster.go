@@ -92,6 +92,21 @@ type Config struct {
 	// fsync, appends still survive process crashes (they reach the OS
 	// immediately) but not whole-machine crashes.
 	NoFsyncWAL bool
+	// VMStandbys runs N standby version managers alongside the primary,
+	// replicating its journal over vm.replicate and taking over via the
+	// leadership lease when it dies. Requires DataDir (replication IS the
+	// durable journal stream). Clients, GC and repair are wired with the
+	// full group address list so they follow leadership redirects and ride
+	// out failovers. Zero keeps the seed's single version manager.
+	VMStandbys int
+	// VMLeadershipTTL is the leadership lease (default 1s): a standby that
+	// hears nothing from the leader for longer — plus a rank stagger —
+	// fences the old epoch and takes over.
+	VMLeadershipTTL time.Duration
+	// VMReplAsync selects asynchronous replication (repl=async) instead of
+	// the default quorum gating (repl=quorum), trading the no-lost-commits
+	// guarantee for zero commit-path latency.
+	VMReplAsync bool
 	// Metrics enables the observability plane without HTTP exposition:
 	// a metrics.Registry collecting per-RPC latency histograms from every
 	// role server and client plus all plane counters (GC/repair/lease
@@ -111,23 +126,31 @@ type Cluster struct {
 	Network rpc.Network
 	Fabric  *netsim.Fabric
 
+	// VM is the primary version manager (VMs[0]); VMs holds the whole
+	// replicated group when Config.VMStandbys > 0. Instance identity is
+	// positional and survives kill/restart — leadership moves between
+	// instances, indexes never do.
 	VM          *vmanager.Server
+	VMs         []*vmanager.Server
 	PM          *pmanager.Server
 	Providers   []*provider.Server
 	MetaServers []*meta.Server
 
 	vmAddr    string
+	vmAddrs   []string
 	pmAddr    string
 	provAddrs []string
 	metaAddrs []string
 
-	// srvMu guards the restartable server slots (VM, MetaServers,
+	// srvMu guards the restartable server slots (VM/VMs, MetaServers,
 	// Providers) against concurrent Kill/Restart/Close.
-	srvMu      sync.Mutex
-	vmDir      string
-	metaDirs   []string
-	provStores []chunk.Store
-	provOpts   []provider.Options
+	srvMu         sync.Mutex
+	vmDir         string
+	vmDirs        []string
+	vmReplClients []*rpc.Client
+	metaDirs      []string
+	provStores    []chunk.Store
+	provOpts      []provider.Options
 
 	hbClients []*rpc.Client
 
@@ -243,27 +266,79 @@ func Start(cfg Config) (*Cluster, error) {
 		return name
 	}
 
-	// Version manager: durable (journaled) when a data dir is configured.
-	mgr, vmDir, err := buildVMManager(cfg)
-	if err != nil {
-		return nil, err
+	// Version managers: durable (journaled) when a data dir is configured;
+	// a replicated group of 1+VMStandbys instances when standbys are asked
+	// for. HA is enabled only after every instance's server is up (with
+	// TCP ":0" the group addresses are only known then).
+	if cfg.VMStandbys < 0 {
+		cfg.VMStandbys = 0
 	}
-	c.vmDir = vmDir
-	c.VM = vmanager.NewServerWithManager(c.Network, addr("vm"), mgr)
-	c.VM.SetRPCObserver(c.serverObserver("vmanager"))
-	if err := c.VM.Start(); err != nil {
-		mgr.Close()
-		return nil, fmt.Errorf("cluster: starting version manager: %w", err)
+	if cfg.VMStandbys > 0 && cfg.DataDir == "" {
+		return nil, fmt.Errorf("cluster: VMStandbys requires DataDir (replication rides the durable journal)")
 	}
-	c.vmAddr = c.VM.Addr()
+	for i := 0; i <= cfg.VMStandbys; i++ {
+		mgr, vmDir, err := buildVMManager(cfg, i)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		name := "vm"
+		if i > 0 {
+			name = fmt.Sprintf("vm-sb%d", i)
+		}
+		vm := vmanager.NewServerWithManager(c.Network, addr(name), mgr)
+		vm.SetRPCObserver(c.serverObserver("vmanager"))
+		if err := vm.Start(); err != nil {
+			mgr.Close()
+			c.Close()
+			return nil, fmt.Errorf("cluster: starting version manager %d: %w", i, err)
+		}
+		c.VMs = append(c.VMs, vm)
+		c.vmAddrs = append(c.vmAddrs, vm.Addr())
+		c.vmDirs = append(c.vmDirs, vmDir)
+	}
+	c.VM = c.VMs[0]
+	c.vmAddr = c.vmAddrs[0]
+	c.vmDir = c.vmDirs[0]
+	if cfg.VMStandbys > 0 {
+		// Each instance replicates through its own client sourced at its
+		// own address (mirroring provider heartbeats), so fabric-level
+		// fault injection applies to replication traffic too.
+		for i := range c.VMs {
+			cli := rpc.NewClientFrom(c.Network, cfg.CallTimeout, c.vmAddrs[i])
+			cli.SetObserver(c.clientObserver("vmanager"))
+			c.vmReplClients = append(c.vmReplClients, cli)
+		}
+		for i := range c.VMs {
+			// Only instance 0 may bootstrap epoch 1; on a restarted
+			// deployment its journal already knows an epoch and the flag
+			// is inert, so every node rejoins as standby and defers to
+			// the journaled fencing tokens.
+			if err := c.enableVMHA(i, i == 0); err != nil {
+				c.Close()
+				return nil, fmt.Errorf("cluster: enabling HA on version manager %d: %w", i, err)
+			}
+		}
+	}
 	if c.registry != nil {
 		// Accessors resolve through the cluster so restart-in-place swaps
-		// (RestartVM and friends) keep feeding the same series.
+		// (RestartVM and friends) keep feeding the same series. The
+		// deployment-wide GC/repair/lease totals come from instance 0
+		// (standbys replicate the same state); the per-instance HA series
+		// (role, epoch, replication lag) are labeled per address.
 		obs.RegisterVManager(c.registry, func() *vmanager.Manager {
 			c.srvMu.Lock()
 			defer c.srvMu.Unlock()
-			return c.VM.Manager()
+			return c.VMs[0].Manager()
 		})
+		for i := range c.VMs {
+			idx := i
+			obs.RegisterVManagerHA(c.registry, c.vmAddrs[idx], func() *vmanager.Manager {
+				c.srvMu.Lock()
+				defer c.srvMu.Unlock()
+				return c.VMs[idx].Manager()
+			})
+		}
 	}
 
 	// Provider manager.
@@ -365,6 +440,7 @@ func Start(cfg Config) (*Cluster, error) {
 		RPC:         c.gcClient,
 		Meta:        meta.NewClient(c.gcClient, c.metaAddrs, cfg.MetaReplication, 0),
 		VMAddr:      c.vmAddr,
+		VMAddrs:     c.VMAddrs(),
 		Providers:   c.ProviderAddrs,
 		OrphanGrace: cfg.GCOrphanGrace,
 	})
@@ -399,6 +475,7 @@ func Start(cfg Config) (*Cluster, error) {
 		RPC:       c.repairClient,
 		Meta:      meta.NewClient(c.repairClient, c.metaAddrs, cfg.MetaReplication, 0),
 		VMAddr:    c.vmAddr,
+		VMAddrs:   c.VMAddrs(),
 		PMAddr:    c.pmAddr,
 		HighWater: cfg.RepairHighWater,
 		LowWater:  cfg.RepairLowWater,
@@ -474,14 +551,29 @@ func Start(cfg Config) (*Cluster, error) {
 }
 
 // RunLeaseExpiry executes one lease-expiry pass synchronously, returning
-// how many versions were aborted. The manager is re-resolved under srvMu
-// on every pass: RestartVM swaps in a new Manager, and the loop must
-// follow it rather than expire against the dead instance.
+// how many versions were aborted. The managers are re-resolved under
+// srvMu on every pass: restarts swap in new Manager instances, and the
+// loop must follow them rather than expire against dead ones. Every group
+// member is offered the pass — each instance gates internally on being a
+// live leader (a standby expiring versions on its own would diverge from
+// the leader's journal), so exactly one acts.
 func (c *Cluster) RunLeaseExpiry() (int, error) {
 	c.srvMu.Lock()
-	mgr := c.VM.Manager()
+	mgrs := make([]*vmanager.Manager, len(c.VMs))
+	for i, vm := range c.VMs {
+		mgrs[i] = vm.Manager()
+	}
 	c.srvMu.Unlock()
-	return mgr.ExpireLeases(c.leaseWeaver)
+	total := 0
+	var firstErr error
+	for _, mgr := range mgrs {
+		n, err := mgr.ExpireLeases(c.leaseWeaver)
+		total += n
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return total, firstErr
 }
 
 // RunRepair executes one self-healing pass synchronously and returns what
@@ -495,8 +587,45 @@ func (c *Cluster) RunRepair() (repair.Stats, error) { return c.Repair.Run() }
 // manager).
 func (c *Cluster) RunGC() (gc.Stats, error) { return c.GC.Run() }
 
-// VMAddr returns the version manager's address.
+// VMAddr returns the primary version manager's address (instance 0; with
+// HA this is whoever bootstrapped, not necessarily the current leader).
 func (c *Cluster) VMAddr() string { return c.vmAddr }
+
+// VMAddrs returns every version-manager instance's address, in instance
+// order (length 1 without HA).
+func (c *Cluster) VMAddrs() []string { return append([]string(nil), c.vmAddrs...) }
+
+// LeaderIndex returns the instance index currently holding leadership, or
+// -1 when no instance does (mid-election, or the whole group is down).
+// Without HA the lone instance counts as leader.
+func (c *Cluster) LeaderIndex() int {
+	c.srvMu.Lock()
+	defer c.srvMu.Unlock()
+	if len(c.VMs) == 1 {
+		return 0
+	}
+	for i, vm := range c.VMs {
+		st := vm.Manager().HAStatus()
+		if st.Enabled && st.Role == "leader" {
+			return i
+		}
+	}
+	return -1
+}
+
+// LeaderManager returns the Manager currently holding leadership, falling
+// back to instance 0 when nobody does (callers that need a concrete
+// instance for stats; its gates still apply).
+func (c *Cluster) LeaderManager() *vmanager.Manager {
+	if i := c.LeaderIndex(); i >= 0 {
+		c.srvMu.Lock()
+		defer c.srvMu.Unlock()
+		return c.VMs[i].Manager()
+	}
+	c.srvMu.Lock()
+	defer c.srvMu.Unlock()
+	return c.VMs[0].Manager()
+}
 
 // PMAddr returns the provider manager's address.
 func (c *Cluster) PMAddr() string { return c.pmAddr }
@@ -535,6 +664,7 @@ func (c *Cluster) NewClient(opts ClientOptions) (*core.Client, error) {
 		Network:         c.Network,
 		ClientName:      name,
 		VMAddr:          c.vmAddr,
+		VMAddrs:         c.VMAddrs(),
 		PMAddr:          c.pmAddr,
 		MetaProviders:   c.metaAddrs,
 		MetaReplication: c.cfg.MetaReplication,
@@ -604,42 +734,76 @@ func (c *Cluster) ReviveProvider(i int) error {
 	return nil
 }
 
-// KillVM crashes the version manager: its RPC server goes dark
-// immediately and nothing is flushed — exactly the state a kill -9 leaves
-// behind. The journal (when Config.DataDir is set) already holds every
-// acknowledged mutation.
-func (c *Cluster) KillVM() {
-	c.srvMu.Lock()
-	c.VM.Close()
-	c.srvMu.Unlock()
-}
+// KillVM crashes the primary version manager (instance 0); see
+// KillVMIndex.
+func (c *Cluster) KillVM() { c.KillVMIndex(0) }
 
-// RestartVM brings the version manager back on its original address,
-// recovering all state from the journal when the deployment is durable
-// (with a fresh empty manager otherwise, which is what a RAM-only
-// restart really loses).
-func (c *Cluster) RestartVM() error {
+// KillVMIndex crashes version-manager instance i: its RPC server goes
+// dark immediately and nothing is flushed — exactly the state a kill -9
+// leaves behind. The journal (when Config.DataDir is set) already holds
+// every acknowledged mutation. With HA the in-process Manager is also
+// halted, so the "dead" instance stops heartbeating, replicating and
+// expiring leases — a closed server alone would leave a ghost leader
+// running inside the test process.
+func (c *Cluster) KillVMIndex(i int) {
 	c.srvMu.Lock()
 	defer c.srvMu.Unlock()
-	// Release the crashed instance's journal fd BEFORE the new manager
+	if i < 0 || i >= len(c.VMs) {
+		return
+	}
+	c.VMs[i].Close()
+	if len(c.VMs) > 1 {
+		c.VMs[i].Manager().Halt()
+	}
+}
+
+// RestartVM brings the primary version manager (instance 0) back; see
+// RestartVMIndex.
+func (c *Cluster) RestartVM() error { return c.RestartVMIndex(0) }
+
+// RestartVMIndex brings version-manager instance i back on its original
+// address, recovering all state from the journal when the deployment is
+// durable (with a fresh empty manager otherwise, which is what a RAM-only
+// restart really loses). With HA the revived instance always rejoins as a
+// standby — its journal knows the old epoch, so the bootstrap flag is
+// inert — and is fenced, resynced, or promoted by the ordinary protocol.
+func (c *Cluster) RestartVMIndex(i int) error {
+	c.srvMu.Lock()
+	defer c.srvMu.Unlock()
+	if i < 0 || i >= len(c.VMs) {
+		return fmt.Errorf("cluster: no version manager %d", i)
+	}
+	// Stop the crashed instance's HA machinery (no-op when already halted
+	// or HA is off), then release its journal fd BEFORE the new manager
 	// opens the directory: the crashed server's in-flight handler
 	// goroutines may still be appending (group commit can hold their
 	// batches in flight), and an old-instance write landing after the new
 	// instance's Open would interleave two writers on one WAL. Closing
 	// first fails those stragglers with ErrClosed — exactly what a real
 	// kill -9 does to them.
-	c.VM.Manager().Close()
-	mgr, _, err := buildVMManager(c.cfg)
-	if err != nil {
-		return fmt.Errorf("cluster: recovering version manager: %w", err)
+	if len(c.VMs) > 1 {
+		c.VMs[i].Manager().Halt()
 	}
-	vm := vmanager.NewServerWithManager(c.Network, c.vmAddr, mgr)
+	c.VMs[i].Manager().Close()
+	mgr, _, err := buildVMManager(c.cfg, i)
+	if err != nil {
+		return fmt.Errorf("cluster: recovering version manager %d: %w", i, err)
+	}
+	vm := vmanager.NewServerWithManager(c.Network, c.vmAddrs[i], mgr)
 	vm.SetRPCObserver(c.serverObserver("vmanager"))
 	if err := vm.Start(); err != nil {
 		mgr.Close()
-		return fmt.Errorf("cluster: restarting version manager: %w", err)
+		return fmt.Errorf("cluster: restarting version manager %d: %w", i, err)
 	}
-	c.VM = vm
+	c.VMs[i] = vm
+	if i == 0 {
+		c.VM = vm
+	}
+	if len(c.VMs) > 1 {
+		if err := c.enableVMHA(i, false); err != nil {
+			return fmt.Errorf("cluster: re-enabling HA on version manager %d: %w", i, err)
+		}
+	}
 	return nil
 }
 
@@ -679,21 +843,54 @@ func (c *Cluster) RestartMeta(i int) error {
 	return nil
 }
 
-// buildVMManager opens the durable version-manager state when cfg names a
-// data dir (a fresh volatile manager otherwise).
-func buildVMManager(cfg Config) (*vmanager.Manager, string, error) {
+// buildVMManager opens version-manager instance i's durable state when cfg
+// names a data dir (a fresh volatile manager otherwise). Instance 0 keeps
+// the pre-HA directory name so existing deployments upgrade in place;
+// standbys journal beside it.
+func buildVMManager(cfg Config, i int) (*vmanager.Manager, string, error) {
 	if cfg.DataDir == "" {
 		m := vmanager.NewManager()
 		m.SetLeaseTTL(cfg.LeaseTTL)
 		return m, "", nil
 	}
-	dir := filepath.Join(cfg.DataDir, "vmanager")
+	name := "vmanager"
+	if i > 0 {
+		name = fmt.Sprintf("vmanager-sb%d", i)
+	}
+	dir := filepath.Join(cfg.DataDir, name)
 	m, err := vmanager.OpenManager(dir, vmanager.Options{Fsync: !cfg.NoFsyncWAL})
 	if err != nil {
-		return nil, "", fmt.Errorf("cluster: opening version manager journal: %w", err)
+		return nil, "", fmt.Errorf("cluster: opening version manager journal %d: %w", i, err)
 	}
 	m.SetLeaseTTL(cfg.LeaseTTL)
 	return m, dir, nil
+}
+
+// enableVMHA joins version-manager instance i to the replicated group.
+// Caller guarantees every instance's server is already reachable.
+func (c *Cluster) enableVMHA(i int, bootstrap bool) error {
+	cli := c.vmReplClients[i]
+	transport := func(addr string, req *vmanager.ReplicateReq) (*vmanager.ReplicateResp, error) {
+		var resp vmanager.ReplicateResp
+		if err := cli.Call(addr, vmanager.MethodReplicate, req, &resp); err != nil {
+			return nil, err
+		}
+		return &resp, nil
+	}
+	peers := make([]string, 0, len(c.vmAddrs)-1)
+	for j, a := range c.vmAddrs {
+		if j != i {
+			peers = append(peers, a)
+		}
+	}
+	return c.VMs[i].Manager().EnableHA(vmanager.HAConfig{
+		Self:          c.vmAddrs[i],
+		Peers:         peers,
+		LeadershipTTL: c.cfg.VMLeadershipTTL,
+		Quorum:        !c.cfg.VMReplAsync,
+		Bootstrap:     bootstrap,
+		Transport:     transport,
+	})
 }
 
 // buildMetaStore opens metadata provider i's node store: persistent under
@@ -765,8 +962,19 @@ func (c *Cluster) Close() {
 	if c.PM != nil {
 		c.PM.Close()
 	}
-	if c.VM != nil {
-		c.VM.Close()
-		c.VM.Manager().Close()
+	// Halt every HA manager before closing any journal: a live leader's
+	// replicator or a standby's takeover racing a peer's journal close
+	// would be shutdown noise, not a real deployment event.
+	if len(c.VMs) > 1 {
+		for _, vm := range c.VMs {
+			vm.Manager().Halt()
+		}
+	}
+	for _, vm := range c.VMs {
+		vm.Close()
+		vm.Manager().Close()
+	}
+	for _, cli := range c.vmReplClients {
+		cli.Close()
 	}
 }

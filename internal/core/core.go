@@ -60,6 +60,12 @@ type Config struct {
 	// VMAddr and PMAddr locate the version manager and provider manager.
 	VMAddr string
 	PMAddr string
+	// VMAddrs lists every member of a replicated version-manager group
+	// (leader plus standbys, any order). When set it supersedes VMAddr:
+	// the client follows leadership redirects and rides out failovers by
+	// re-resolving the leader with vm.whoisleader. Single-node deployments
+	// leave it empty and keep the zero-overhead VMAddr path.
+	VMAddrs []string
 	// MetaProviders lists the metadata DHT members.
 	MetaProviders []string
 	// MetaReplication is the metadata replica count (default 1).
@@ -81,6 +87,7 @@ type Config struct {
 type Client struct {
 	cfg    Config
 	rpc    *rpc.Client
+	vm     *vmanager.Caller
 	meta   *meta.Client
 	sem    chan struct{}
 	health *providerHealth
@@ -129,7 +136,7 @@ func NewClient(cfg Config) (*Client, error) {
 	if cfg.Network == nil {
 		return nil, errors.New("core: Config.Network is required")
 	}
-	if cfg.VMAddr == "" || cfg.PMAddr == "" {
+	if (cfg.VMAddr == "" && len(cfg.VMAddrs) == 0) || cfg.PMAddr == "" {
 		return nil, errors.New("core: version manager and provider manager addresses are required")
 	}
 	if len(cfg.MetaProviders) == 0 {
@@ -142,9 +149,14 @@ func NewClient(cfg Config) (*Client, error) {
 		cfg.ParallelIO = 16
 	}
 	rpcCli := rpc.NewClientFrom(cfg.Network, cfg.CallTimeout, cfg.ClientName)
+	vmAddrs := cfg.VMAddrs
+	if len(vmAddrs) == 0 {
+		vmAddrs = []string{cfg.VMAddr}
+	}
 	return &Client{
 		cfg:    cfg,
 		rpc:    rpcCli,
+		vm:     vmanager.NewCaller(rpcCli, vmAddrs),
 		meta:   meta.NewClient(rpcCli, cfg.MetaProviders, cfg.MetaReplication, cfg.MetaCacheNodes),
 		sem:    make(chan struct{}, cfg.ParallelIO),
 		health: newProviderHealth(),
@@ -173,7 +185,7 @@ type Blob struct {
 // data replication degree.
 func (c *Client) CreateBlob(chunkSize uint64, replication uint32) (*Blob, error) {
 	var resp vmanager.CreateResp
-	err := c.rpc.Call(c.cfg.VMAddr, vmanager.MethodCreate,
+	err := c.vm.Call(vmanager.MethodCreate,
 		&vmanager.CreateReq{ChunkSize: chunkSize, Replication: replication}, &resp)
 	if err != nil {
 		return nil, fmt.Errorf("core: create blob: %w", err)
@@ -187,7 +199,7 @@ func (c *Client) CreateBlob(chunkSize uint64, replication uint32) (*Blob, error)
 // OpenBlob opens an existing blob by ID.
 func (c *Client) OpenBlob(id uint64) (*Blob, error) {
 	var info vmanager.InfoResp
-	err := c.rpc.Call(c.cfg.VMAddr, vmanager.MethodInfo, &vmanager.BlobRef{BlobID: id}, &info)
+	err := c.vm.Call(vmanager.MethodInfo, &vmanager.BlobRef{BlobID: id}, &info)
 	if err != nil {
 		return nil, fmt.Errorf("core: open blob %d: %w", id, mapVMError(err))
 	}
@@ -197,7 +209,7 @@ func (c *Client) OpenBlob(id uint64) (*Blob, error) {
 // ListBlobs enumerates all blob IDs known to the version manager.
 func (c *Client) ListBlobs() ([]uint64, error) {
 	var resp vmanager.ListResp
-	if err := c.rpc.Call(c.cfg.VMAddr, vmanager.MethodList, &vmanager.Ack{}, &resp); err != nil {
+	if err := c.vm.Call(vmanager.MethodList, &vmanager.Ack{}, &resp); err != nil {
 		return nil, fmt.Errorf("core: list blobs: %w", err)
 	}
 	return resp.IDs, nil
@@ -216,7 +228,7 @@ func (b *Blob) Replication() uint32 { return b.replication }
 // A blob that was never written reports version 0, size 0.
 func (b *Blob) Latest() (version, sizeBytes uint64, err error) {
 	var resp vmanager.LatestResp
-	err = b.c.rpc.Call(b.c.cfg.VMAddr, vmanager.MethodLatest, &vmanager.BlobRef{BlobID: b.id}, &resp)
+	err = b.c.vm.Call(vmanager.MethodLatest, &vmanager.BlobRef{BlobID: b.id}, &resp)
 	if err != nil {
 		return 0, 0, fmt.Errorf("core: latest of blob %d: %w", b.id, mapVMError(err))
 	}
@@ -238,7 +250,7 @@ func (b *Blob) Size(version uint64) (uint64, error) {
 
 func (b *Blob) versionInfo(version uint64) (*vmanager.VersionInfoResp, error) {
 	var resp vmanager.VersionInfoResp
-	err := b.c.rpc.Call(b.c.cfg.VMAddr, vmanager.MethodVersionInfo,
+	err := b.c.vm.Call(vmanager.MethodVersionInfo,
 		&vmanager.VersionRef{BlobID: b.id, Version: version}, &resp)
 	if err != nil {
 		return nil, fmt.Errorf("core: version %d of blob %d: %w", version, b.id, mapVMError(err))
@@ -249,7 +261,7 @@ func (b *Blob) versionInfo(version uint64) (*vmanager.VersionInfoResp, error) {
 // WaitPublished blocks until version is published. Waiters on a blob that
 // gets deleted are woken with ErrBlobDeleted.
 func (b *Blob) WaitPublished(version uint64) error {
-	err := b.c.rpc.Call(b.c.cfg.VMAddr, vmanager.MethodWaitPublished,
+	err := b.c.vm.Call(vmanager.MethodWaitPublished,
 		&vmanager.VersionRef{BlobID: b.id, Version: version}, &vmanager.Ack{})
 	return mapVMError(err)
 }

@@ -59,8 +59,9 @@ func (b *Blob) Write(p []byte, off uint64) (uint64, error) {
 
 	// Phase 2: obtain the version and the concurrency context.
 	var assign vmanager.AssignResp
-	err := b.c.rpc.Call(b.c.cfg.VMAddr, vmanager.MethodAssign,
-		&vmanager.AssignReq{BlobID: b.id, Offset: off, Size: uint64(len(p))}, &assign)
+	err := b.c.vm.Call(vmanager.MethodAssign,
+		&vmanager.AssignReq{BlobID: b.id, Offset: off, Size: uint64(len(p)),
+			WantLeaseTTLMs: wantLeaseTTLMs(uint64(len(p)))}, &assign)
 	if err != nil {
 		return 0, fmt.Errorf("core: assign: %w", mapVMError(err))
 	}
@@ -75,8 +76,9 @@ func (b *Blob) Append(p []byte) (version, off uint64, err error) {
 		return 0, 0, errors.New("core: empty append")
 	}
 	var assign vmanager.AssignResp
-	err = b.c.rpc.Call(b.c.cfg.VMAddr, vmanager.MethodAssign,
-		&vmanager.AssignReq{BlobID: b.id, Size: uint64(len(p)), Append: true}, &assign)
+	err = b.c.vm.Call(vmanager.MethodAssign,
+		&vmanager.AssignReq{BlobID: b.id, Size: uint64(len(p)), Append: true,
+			WantLeaseTTLMs: wantLeaseTTLMs(uint64(len(p)))}, &assign)
 	if err != nil {
 		return 0, 0, fmt.Errorf("core: assign append: %w", mapVMError(err))
 	}
@@ -111,6 +113,23 @@ func (b *Blob) finishWrite(p []byte, off, writeID uint64, assign *vmanager.Assig
 	return v, nil
 }
 
+// wantLeaseTTLMs sizes the lease a write asks for at Assign to the bytes
+// it is about to move: a bulk upload that would outlive the deployment's
+// base TTL negotiates a longer one up front instead of leaning entirely on
+// renewal heartbeats (which a long GC pause or a brief partition can drop
+// just long enough to lose the lease). The estimate assumes a deliberately
+// pessimistic 4 MB/s of sustained upload throughput; small writes ask for
+// nothing and take the server's default, so the common path — and every
+// existing test — is unchanged. The version manager clamps the request to
+// its own policy ceiling, so a huge write cannot pin a version forever.
+func wantLeaseTTLMs(sizeBytes uint64) uint64 {
+	const bytesPerMs = 4 << 20 / 1000 // 4 MB/s floor
+	if sizeBytes < 4<<20 {
+		return 0
+	}
+	return sizeBytes / bytesPerMs
+}
+
 // startLeaseRenewal heartbeats the write lease granted at Assign so a
 // slow-but-alive writer (large upload, boundary merge waiting on its
 // predecessor) is not mistaken for a dead one. No-op when leases are
@@ -137,7 +156,7 @@ func (b *Blob) startLeaseRenewal(assign *vmanager.AssignResp) func() {
 			case <-stop:
 				return
 			case <-t.C:
-				err := b.c.rpc.Call(b.c.cfg.VMAddr, vmanager.MethodRenewLease,
+				err := b.c.vm.Call(vmanager.MethodRenewLease,
 					&vmanager.VersionRef{BlobID: b.id, Version: assign.Version}, &vmanager.Ack{})
 				var remote *rpc.RemoteError
 				if errors.As(err, &remote) {
@@ -186,7 +205,7 @@ func (b *Blob) abortRepair(assign *vmanager.AssignResp) {
 	//     (it may be mid-revival) are enough.
 	woven := false
 	abort := func() error {
-		return b.c.rpc.Call(b.c.cfg.VMAddr, vmanager.MethodAbort,
+		return b.c.vm.Call(vmanager.MethodAbort,
 			&vmanager.AbortReq{BlobID: b.id, Version: assign.Version, Woven: woven}, &vmanager.Ack{})
 	}
 	defer func() {
@@ -346,7 +365,7 @@ func (b *Blob) finishWriteInner(p []byte, off, writeID uint64, assign *vmanager.
 	}
 
 	// Commit: the version manager publishes in order.
-	err = b.c.rpc.Call(b.c.cfg.VMAddr, vmanager.MethodCommit,
+	err = b.c.vm.Call(vmanager.MethodCommit,
 		&vmanager.VersionRef{BlobID: b.id, Version: assign.Version}, &vmanager.Ack{})
 	if err != nil {
 		return 0, fmt.Errorf("core: commit v%d: %w", assign.Version, mapVMError(err))

@@ -104,6 +104,11 @@ type Log struct {
 	gcond      *sync.Cond
 	cur        *commitBatch
 	committing bool
+	// mirror, when set, streams every committed batch to a replica (see
+	// Mirror). Guarded by mmu; invoked while the batch's commit slot is
+	// still held, so mirror calls are serialized in WAL order.
+	mmu    sync.Mutex
+	mirror Mirror
 	// syncHook, when set (tests only), runs on the leader immediately
 	// before each WAL fsync — a barrier that holds one commit in flight
 	// while the test stacks up the next batch.
@@ -122,9 +127,20 @@ type Log struct {
 type commitBatch struct {
 	buf  []byte
 	n    uint64 // records in buf
+	recs [][]byte // unframed records, kept only while a mirror is attached
 	done bool
 	err  error
 }
+
+// Mirror receives every record batch committed to the log, in exact WAL
+// order, called synchronously on the commit path: a batch's appenders are
+// not released until the mirror returns, so a replicated log pays one
+// extra network write per fsync rather than per record. A non-nil error
+// fails the batch's appends (the records are already in the local WAL —
+// the same partial-failure surface an fsync error has always had; the
+// write-ahead discipline of the callers keeps RAM consistent and the
+// records are truncated away if this node is later fenced and resynced).
+type Mirror func(records [][]byte) error
 
 // LogStats is a snapshot of a log's cumulative durability costs. Under
 // group commit Syncs may be far below Appends: concurrent appenders
@@ -241,20 +257,45 @@ func (l *Log) AppendBatch(records [][]byte) error {
 			buf = appendFrame(buf, r)
 		}
 		l.mu.Lock()
-		defer l.mu.Unlock()
 		if l.closed {
+			l.mu.Unlock()
 			return ErrClosed
 		}
 		if _, err := l.f.Write(buf); err != nil {
+			l.mu.Unlock()
 			return fmt.Errorf("durable: appending wal record: %w", err)
 		}
 		l.statWrites.Add(1)
 		l.records += uint64(len(records))
 		l.statAppends.Add(uint64(len(records)))
-		return nil
+		// Mirror while still holding l.mu: non-fsync appends have no
+		// group-commit slot, so the file lock is what serializes
+		// replication into WAL order.
+		var err error
+		if mirror := l.getMirror(); mirror != nil {
+			err = mirror(records)
+		}
+		l.mu.Unlock()
+		return err
 	}
 
 	return l.awaitCommit(l.join(records))
+}
+
+// SetMirror attaches (or, with nil, detaches) the log's replication hook.
+// The mirror sees every batch committed after the call returns; a batch
+// mid-commit at the switch may or may not be mirrored — callers sequence
+// role changes so that window is idle or covered by a snapshot resync.
+func (l *Log) SetMirror(m Mirror) {
+	l.mmu.Lock()
+	l.mirror = m
+	l.mmu.Unlock()
+}
+
+func (l *Log) getMirror() Mirror {
+	l.mmu.Lock()
+	defer l.mmu.Unlock()
+	return l.mirror
 }
 
 // AppendAsync reserves the record's position in the WAL order immediately
@@ -283,6 +324,7 @@ func (l *Log) AppendAsync(record []byte) (wait func() error) {
 // order and batches commit in creation order, so join order IS replay
 // order.
 func (l *Log) join(records [][]byte) *commitBatch {
+	mirrored := l.getMirror() != nil
 	l.gmu.Lock()
 	defer l.gmu.Unlock()
 	if l.cur == nil {
@@ -291,6 +333,9 @@ func (l *Log) join(records [][]byte) *commitBatch {
 	b := l.cur
 	for _, r := range records {
 		b.buf = appendFrame(b.buf, r)
+		if mirrored {
+			b.recs = append(b.recs, r)
+		}
 	}
 	b.n += uint64(len(records))
 	return b
@@ -320,6 +365,16 @@ func (l *Log) awaitCommit(b *commitBatch) error {
 	l.gmu.Unlock()
 
 	err := l.commitFile(b)
+
+	// Mirror after local durability, while this batch still owns the
+	// commit slot: the next batch's leader cannot start until committing
+	// clears below, so mirrored batches leave in exact WAL order and the
+	// replication write rides the same slot as the fsync it follows.
+	if err == nil && len(b.recs) > 0 {
+		if mirror := l.getMirror(); mirror != nil {
+			err = mirror(b.recs)
+		}
+	}
 
 	l.gmu.Lock()
 	b.err, b.done = err, true

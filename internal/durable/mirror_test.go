@@ -1,0 +1,130 @@
+package durable
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// collectingMirror records every batch it receives, in call order.
+type collectingMirror struct {
+	mu      sync.Mutex
+	batches [][][]byte
+	fail    error
+}
+
+func (c *collectingMirror) hook(records [][]byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.fail != nil {
+		return c.fail
+	}
+	cp := make([][]byte, len(records))
+	for i, r := range records {
+		cp[i] = append([]byte(nil), r...)
+	}
+	c.batches = append(c.batches, cp)
+	return nil
+}
+
+func (c *collectingMirror) flat() [][]byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out [][]byte
+	for _, b := range c.batches {
+		out = append(out, b...)
+	}
+	return out
+}
+
+// TestMirrorSeesWALOrder is the replication-stream ordering contract:
+// under concurrent fsync'd appends, the concatenation of mirrored batches
+// must equal the WAL's replay order exactly — no gap, no reorder, no
+// duplicate — because the standby replays the stream as its own journal.
+func TestMirrorSeesWALOrder(t *testing.T) {
+	for _, fsync := range []bool{true, false} {
+		t.Run(fmt.Sprintf("fsync=%v", fsync), func(t *testing.T) {
+			dir := t.TempDir()
+			l, _, err := Open(dir, Options{Fsync: fsync})
+			if err != nil {
+				t.Fatal(err)
+			}
+			mir := &collectingMirror{}
+			l.SetMirror(mir.hook)
+
+			const goroutines, perG = 8, 25
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for i := 0; i < perG; i++ {
+						if err := l.Append([]byte(fmt.Sprintf("g%d-r%d", g, i))); err != nil {
+							t.Errorf("append: %v", err)
+							return
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			_, rec, err := Open(dir, Options{Fsync: fsync})
+			if err != nil {
+				t.Fatal(err)
+			}
+			mirrored := mir.flat()
+			if len(mirrored) != len(rec.Records) {
+				t.Fatalf("mirrored %d records, WAL replays %d", len(mirrored), len(rec.Records))
+			}
+			for i := range mirrored {
+				if !bytes.Equal(mirrored[i], rec.Records[i]) {
+					t.Fatalf("record %d: mirrored %q, WAL %q", i, mirrored[i], rec.Records[i])
+				}
+			}
+		})
+	}
+}
+
+// TestMirrorErrorFailsAppend: a mirror rejection surfaces to the appender
+// (in quorum mode that is what gates the commit), while the record stays
+// in the local WAL — the documented fsync-error-like partial failure that
+// a later resync truncates.
+func TestMirrorErrorFailsAppend(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{Fsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("standby unreachable")
+	l.SetMirror(func(records [][]byte) error { return boom })
+
+	if err := l.Append([]byte("doomed")); !errors.Is(err, boom) {
+		t.Fatalf("append with failing mirror: err = %v, want %v", err, boom)
+	}
+	l.SetMirror(nil)
+	if err := l.Append([]byte("fine")); err != nil {
+		t.Fatalf("append after detaching mirror: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, rec, err := Open(dir, Options{Fsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]byte{[]byte("doomed"), []byte("fine")}
+	if len(rec.Records) != len(want) {
+		t.Fatalf("WAL replays %d records, want %d", len(rec.Records), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(rec.Records[i], want[i]) {
+			t.Fatalf("record %d = %q, want %q", i, rec.Records[i], want[i])
+		}
+	}
+}

@@ -83,7 +83,9 @@ func retryTransient(t *testing.T, what string, op func() error) {
 // how many versions were verified byte-identical.
 func verifyVersions(t *testing.T, c *cluster.Cluster, blob *core.Blob, expected []byte) int {
 	t.Helper()
-	mgr := c.VM.Manager()
+	// Resolve through the current leader: on an HA group, instance 0 may be
+	// a dead or stale ex-leader (without HA this is just instance 0).
+	mgr := c.LeaderManager()
 	var latest uint64
 	retryTransient(t, "latest", func() error {
 		var err error

@@ -59,6 +59,11 @@ type Config struct {
 	Meta *meta.Client
 	// VMAddr locates the version manager.
 	VMAddr string
+	// VMAddrs lists a replicated version-manager group (supersedes VMAddr
+	// when set): the sweeper follows leadership redirects and re-resolves
+	// the leader across failovers, so reclamation survives the control
+	// plane moving.
+	VMAddrs []string
 	// Providers returns the data-provider addresses to sweep for orphans
 	// and blob deletions. May return different sets over time (membership
 	// changes between passes).
@@ -98,6 +103,8 @@ func (s *Stats) add(o Stats) {
 // manager), so any node may run one and crashed sweeps simply rerun.
 type Sweeper struct {
 	cfg Config
+	// vm routes version-manager calls to the current group leader.
+	vm *vmanager.Caller
 
 	// confirmed memoizes, per chunk key the orphan sweep has proven
 	// referenced by a metadata tree, the REPLICA SET that reference named
@@ -138,7 +145,7 @@ func New(cfg Config) (*Sweeper, error) {
 	if cfg.RPC == nil || cfg.Meta == nil {
 		return nil, fmt.Errorf("gc: RPC client and metadata client are required")
 	}
-	if cfg.VMAddr == "" {
+	if cfg.VMAddr == "" && len(cfg.VMAddrs) == 0 {
 		return nil, fmt.Errorf("gc: version manager address is required")
 	}
 	if cfg.Providers == nil {
@@ -147,7 +154,15 @@ func New(cfg Config) (*Sweeper, error) {
 	if cfg.OrphanGrace <= 0 {
 		cfg.OrphanGrace = 5 * time.Minute
 	}
-	return &Sweeper{cfg: cfg, confirmed: make(map[chunk.Key][]string)}, nil
+	vmAddrs := cfg.VMAddrs
+	if len(vmAddrs) == 0 {
+		vmAddrs = []string{cfg.VMAddr}
+	}
+	return &Sweeper{
+		cfg:       cfg,
+		vm:        vmanager.NewCaller(cfg.RPC, vmAddrs),
+		confirmed: make(map[chunk.Key][]string),
+	}, nil
 }
 
 // Run executes one full pass: every blob with pending prune or deletion
@@ -157,7 +172,7 @@ func (s *Sweeper) Run() (Stats, error) {
 	var total Stats
 	var firstErr error
 	var work vmanager.ListResp
-	if err := s.cfg.RPC.Call(s.cfg.VMAddr, vmanager.MethodGCWork, &vmanager.Ack{}, &work); err != nil {
+	if err := s.vm.Call(vmanager.MethodGCWork, &vmanager.Ack{}, &work); err != nil {
 		return total, fmt.Errorf("gc: listing work: %w", err)
 	}
 	for _, id := range work.IDs {
@@ -173,7 +188,7 @@ func (s *Sweeper) Run() (Stats, error) {
 		firstErr = err
 	}
 	var live vmanager.ListResp
-	if err := s.cfg.RPC.Call(s.cfg.VMAddr, vmanager.MethodList, &vmanager.Ack{}, &live); err != nil {
+	if err := s.vm.Call(vmanager.MethodList, &vmanager.Ack{}, &live); err != nil {
 		if firstErr == nil {
 			firstErr = err
 		}
@@ -198,7 +213,7 @@ func (s *Sweeper) Run() (Stats, error) {
 func (s *Sweeper) sweepUnwoven() (Stats, error) {
 	var st Stats
 	var resp vmanager.UnwovenResp
-	if err := s.cfg.RPC.Call(s.cfg.VMAddr, vmanager.MethodUnwoven, &vmanager.Ack{}, &resp); err != nil {
+	if err := s.vm.Call(vmanager.MethodUnwoven, &vmanager.Ack{}, &resp); err != nil {
 		return st, fmt.Errorf("gc: listing unwoven aborts: %w", err)
 	}
 	var firstErr error
@@ -209,7 +224,7 @@ func (s *Sweeper) sweepUnwoven() (Stats, error) {
 			}
 			continue
 		}
-		if err := s.cfg.RPC.Call(s.cfg.VMAddr, vmanager.MethodMarkWoven,
+		if err := s.vm.Call(vmanager.MethodMarkWoven,
 			&vmanager.VersionRef{BlobID: in.Blob, Version: in.Version}, &vmanager.Ack{}); err != nil {
 			if firstErr == nil {
 				firstErr = fmt.Errorf("gc: acking woven blob %d v%d: %w", in.Blob, in.Version, err)
@@ -226,7 +241,7 @@ func (s *Sweeper) sweepUnwoven() (Stats, error) {
 func (s *Sweeper) SweepBlob(id uint64) (Stats, error) {
 	var st Stats
 	var status vmanager.GCStatusResp
-	err := s.cfg.RPC.Call(s.cfg.VMAddr, vmanager.MethodGCStatus, &vmanager.BlobRef{BlobID: id}, &status)
+	err := s.vm.Call(vmanager.MethodGCStatus, &vmanager.BlobRef{BlobID: id}, &status)
 	if err != nil {
 		return st, fmt.Errorf("gc: status of blob %d: %w", id, err)
 	}
@@ -350,7 +365,7 @@ func (s *Sweeper) SweepOrphans(id uint64) (Stats, error) {
 // stale pass than flushing on every transient RPC failure.
 func (s *Sweeper) flushConfirmedIfRepaired() {
 	var rt vmanager.RepairTotals
-	if err := s.cfg.RPC.Call(s.cfg.VMAddr, vmanager.MethodRepairStats, &vmanager.Ack{}, &rt); err != nil {
+	if err := s.vm.Call(vmanager.MethodRepairStats, &vmanager.Ack{}, &rt); err != nil {
 		return
 	}
 	s.confirmedMu.Lock()
@@ -426,7 +441,7 @@ func (s *Sweeper) sweepOrphans(ids []uint64) (Stats, error) {
 func (s *Sweeper) reclaimOrphans(id uint64, byAddr map[string][]chunk.Key) (Stats, error) {
 	var st Stats
 	var status vmanager.GCStatusResp
-	err := s.cfg.RPC.Call(s.cfg.VMAddr, vmanager.MethodGCStatus, &vmanager.BlobRef{BlobID: id}, &status)
+	err := s.vm.Call(vmanager.MethodGCStatus, &vmanager.BlobRef{BlobID: id}, &status)
 	if err != nil {
 		return st, fmt.Errorf("gc: status of blob %d: %w", id, err)
 	}
@@ -500,7 +515,7 @@ func (s *Sweeper) versionSize(id, v uint64, status *vmanager.GCStatusResp) (uint
 		}
 	}
 	var vi vmanager.VersionInfoResp
-	err := s.cfg.RPC.Call(s.cfg.VMAddr, vmanager.MethodVersionInfo,
+	err := s.vm.Call(vmanager.MethodVersionInfo,
 		&vmanager.VersionRef{BlobID: id, Version: v}, &vi)
 	if err != nil {
 		return 0, fmt.Errorf("gc: version %d of blob %d: %w", v, id, err)
@@ -568,7 +583,7 @@ func (s *Sweeper) report(id, reclaimedTo uint64, deletedSwept bool, finishGen ui
 		Nodes:        st.Nodes,
 		Orphans:      st.Orphans,
 	}
-	if err := s.cfg.RPC.Call(s.cfg.VMAddr, vmanager.MethodGCReport, req, &vmanager.Ack{}); err != nil && sweepErr == nil {
+	if err := s.vm.Call(vmanager.MethodGCReport, req, &vmanager.Ack{}); err != nil && sweepErr == nil {
 		sweepErr = fmt.Errorf("gc: reporting sweep of blob %d: %w", id, err)
 	}
 	return sweepErr

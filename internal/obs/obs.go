@@ -165,6 +165,58 @@ func RegisterVManager(reg *metrics.Registry, mgr func() *vmanager.Manager) {
 	RegisterWAL(reg, "vmanager", func() durable.LogStats { return mgr().JournalStats() })
 }
 
+// RegisterVManagerHA exposes one version-manager instance's
+// high-availability view: role, epoch, stream position and replication
+// lag. Registered per instance (labeled by address) because the whole
+// point of the series is watching leadership move between instances and
+// standbys fall behind. mgr is an accessor so kill/restart harnesses can
+// swap the instance under a live registry.
+func RegisterVManagerHA(reg *metrics.Registry, instance string, mgr func() *vmanager.Manager) {
+	l := []metrics.Label{{Name: "role", Value: "vmanager"}, {Name: "instance", Value: instance}}
+	st := func() *vmanager.HAStatusResp { return mgr().HAStatus() }
+	reg.MustRegister(
+		metrics.GaugeFunc("blobseer_vm_ha_is_leader",
+			"1 while this instance holds version-manager leadership.", l, func() float64 {
+				if st().Role == "leader" {
+					return 1
+				}
+				return 0
+			}),
+		metrics.GaugeFunc("blobseer_vm_ha_epoch",
+			"Newest leadership epoch this instance has adopted (fencing token).", l,
+			func() float64 { return u(st().Epoch) }),
+		metrics.CounterFunc("blobseer_vm_ha_takeovers_total",
+			"Times this instance assumed leadership.", l, func() float64 { return u(st().Takeovers) }),
+		metrics.CounterFunc("blobseer_vm_ha_fences_total",
+			"Times this instance was deposed by a higher epoch.", l, func() float64 { return u(st().Fences) }),
+		metrics.GaugeFunc("blobseer_vm_ha_stream_seq",
+			"Replication stream position: records shipped (leader) or applied (standby).", l,
+			func() float64 { return u(st().StreamSeq) }),
+		metrics.GaugeFunc("blobseer_vm_ha_synced_standbys",
+			"Standbys currently inside the leader's commit gate (0 on standbys).", l, func() float64 {
+				n := 0
+				for _, s := range st().Standbys {
+					if s.Synced {
+						n++
+					}
+				}
+				return float64(n)
+			}),
+		metrics.GaugeFunc("blobseer_vm_ha_repl_lag_records",
+			"Records the slowest synced standby trails the leader's stream by (0 on standbys).", l,
+			func() float64 {
+				s := st()
+				var lag uint64
+				for _, sb := range s.Standbys {
+					if sb.Synced && s.StreamSeq > sb.AckSeq && s.StreamSeq-sb.AckSeq > lag {
+						lag = s.StreamSeq - sb.AckSeq
+					}
+				}
+				return u(lag)
+			}),
+	)
+}
+
 // RegisterWAL exposes one durable.Log's append/write/fsync counters under
 // the given instance label. stats is called at scrape time, so a volatile
 // deployment can pass a function returning zeros.

@@ -69,6 +69,11 @@ type Config struct {
 	// VMAddr locates the version manager; PMAddr the provider manager.
 	VMAddr string
 	PMAddr string
+	// VMAddrs lists a replicated version-manager group (supersedes VMAddr
+	// when set): the engine follows leadership redirects and re-resolves
+	// the leader across failovers, so repair keeps running while the
+	// control plane moves.
+	VMAddrs []string
 	// HighWater is the fullness (bytes/capacity) above which a live
 	// provider is drained by the rebalancer (default 0.85). Only providers
 	// that declare a capacity in their heartbeats participate.
@@ -113,6 +118,8 @@ func splitByBytes[T any](items []T, size func(T) uint64) [][]T {
 // Engine runs repair passes against one deployment.
 type Engine struct {
 	cfg Config
+	// vm routes version-manager calls to the current group leader.
+	vm *vmanager.Caller
 
 	// pending accumulates pass deltas whose RepairReport RPC failed, so
 	// they ride the next pass's report instead of vanishing. Losing a
@@ -141,7 +148,7 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.RPC == nil || cfg.Meta == nil {
 		return nil, fmt.Errorf("repair: RPC client and metadata client are required")
 	}
-	if cfg.VMAddr == "" || cfg.PMAddr == "" {
+	if (cfg.VMAddr == "" && len(cfg.VMAddrs) == 0) || cfg.PMAddr == "" {
 		return nil, fmt.Errorf("repair: version manager and provider manager addresses are required")
 	}
 	if cfg.HighWater <= 0 || cfg.HighWater > 1 {
@@ -153,7 +160,11 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.MaxMoveBytes == 0 {
 		cfg.MaxMoveBytes = 1 << 30
 	}
-	return &Engine{cfg: cfg}, nil
+	vmAddrs := cfg.VMAddrs
+	if len(vmAddrs) == 0 {
+		vmAddrs = []string{cfg.VMAddr}
+	}
+	return &Engine{cfg: cfg, vm: vmanager.NewCaller(cfg.RPC, vmAddrs)}, nil
 }
 
 // Stats snapshots the engine's lifetime counters.
@@ -225,7 +236,7 @@ func (e *Engine) Run() (Stats, error) {
 	}
 
 	var blobs vmanager.ListResp
-	if err := e.cfg.RPC.Call(e.cfg.VMAddr, vmanager.MethodList, &vmanager.Ack{}, &blobs); err != nil {
+	if err := e.vm.Call(vmanager.MethodList, &vmanager.Ack{}, &blobs); err != nil {
 		return st, fmt.Errorf("repair: listing blobs: %w", err)
 	}
 	for _, id := range blobs.IDs {
@@ -257,7 +268,7 @@ func (e *Engine) Run() (Stats, error) {
 	delta.Passes++
 	e.pending = Stats{}
 	e.repMu.Unlock()
-	if err := e.cfg.RPC.Call(e.cfg.VMAddr, vmanager.MethodRepairReport, &delta, &vmanager.Ack{}); err != nil {
+	if err := e.vm.Call(vmanager.MethodRepairReport, &delta, &vmanager.Ack{}); err != nil {
 		e.repMu.Lock()
 		addTotals(&e.pending, &delta)
 		e.pending.Passes += delta.Passes
@@ -296,14 +307,14 @@ type repairItem struct {
 // chunk's replication degree.
 func (e *Engine) repairBlob(id uint64, ps *passState, st *Stats) error {
 	var info vmanager.InfoResp
-	if err := e.cfg.RPC.Call(e.cfg.VMAddr, vmanager.MethodInfo, &vmanager.BlobRef{BlobID: id}, &info); err != nil {
+	if err := e.vm.Call(vmanager.MethodInfo, &vmanager.BlobRef{BlobID: id}, &info); err != nil {
 		if strings.Contains(err.Error(), "deleted") {
 			return nil // deleted since listing; GC owns it
 		}
 		return fmt.Errorf("info: %w", err)
 	}
 	var status vmanager.GCStatusResp
-	if err := e.cfg.RPC.Call(e.cfg.VMAddr, vmanager.MethodGCStatus, &vmanager.BlobRef{BlobID: id}, &status); err != nil {
+	if err := e.vm.Call(vmanager.MethodGCStatus, &vmanager.BlobRef{BlobID: id}, &status); err != nil {
 		return fmt.Errorf("status: %w", err)
 	}
 	if status.Deleted || status.Published == 0 {
@@ -323,7 +334,7 @@ func (e *Engine) repairBlob(id uint64, ps *passState, st *Stats) error {
 		size, ok := sizes[v]
 		if !ok {
 			var vi vmanager.VersionInfoResp
-			if err := e.cfg.RPC.Call(e.cfg.VMAddr, vmanager.MethodVersionInfo,
+			if err := e.vm.Call(vmanager.MethodVersionInfo,
 				&vmanager.VersionRef{BlobID: id, Version: v}, &vi); err != nil {
 				return fmt.Errorf("version %d: %w", v, err)
 			}

@@ -35,6 +35,7 @@ type Client struct {
 	mu       sync.Mutex
 	conns    map[string]*clientConn
 	observer ClientObserver
+	redial   Backoff
 }
 
 // SourceDialer is implemented by transports that can attribute a
@@ -63,6 +64,9 @@ type pendingCall struct {
 	done chan struct{}
 	resp []byte
 	err  error
+	// target carries the redirect destination when err is
+	// errRedirectSentinel (resp then holds the remote error text).
+	target string
 }
 
 type clientConn struct {
@@ -103,6 +107,10 @@ func (c *Client) callRaw(addr, method string, payload []byte) ([]byte, error) {
 	return raw, err
 }
 
+// maxRedials bounds how many fresh dials one call may burn through when
+// the cached connection keeps dying before anything is sent.
+const maxRedials = 4
+
 func (c *Client) callRawAttempts(addr, method string, payload []byte, obs ClientObserver) ([]byte, error) {
 	for attempt := 0; ; attempt++ {
 		cc, err := c.getConn(addr)
@@ -110,15 +118,21 @@ func (c *Client) callRawAttempts(addr, method string, payload []byte, obs Client
 			return nil, err
 		}
 		raw, err := cc.roundTrip(method, payload, c.timeout)
-		if err != nil && !isRemote(err) {
+		if err != nil && !isAppError(err) {
 			// Transport-level failure: drop the cached connection so the
 			// next call re-dials (the peer may have restarted).
 			c.dropConn(addr, cc)
 			// When the cached connection was already known dead BEFORE the
-			// request was sent, nothing reached the peer; redialing once is
+			// request was sent, nothing reached the peer; redialing is
 			// always safe and makes a restarted server reachable on the
-			// first call instead of the second.
-			if errors.Is(err, errConnDead) && attempt == 0 {
+			// first call instead of the second. The first redial is
+			// immediate (the common restart case); subsequent ones back
+			// off exponentially with jitter so a herd of callers does not
+			// hammer a dead endpoint through a failover window.
+			if errors.Is(err, errConnDead) && attempt < maxRedials {
+				if attempt > 0 {
+					time.Sleep(c.redial.Delay(attempt - 1))
+				}
 				if obs != nil {
 					obs.ObserveRedial(addr)
 				}
@@ -129,9 +143,15 @@ func (c *Client) callRawAttempts(addr, method string, payload []byte, obs Client
 	}
 }
 
-func isRemote(err error) bool {
+// isAppError reports whether err came from the remote handler (the
+// transport worked; dropping the connection would be wrong).
+func isAppError(err error) bool {
 	var re *RemoteError
-	return errors.As(err, &re)
+	if errors.As(err, &re) {
+		return true
+	}
+	var rd *Redirect
+	return errors.As(err, &rd)
 }
 
 func (c *Client) getConn(addr string) (*clientConn, error) {
@@ -227,6 +247,9 @@ func (cc *clientConn) roundTrip(method string, payload []byte, timeout time.Dura
 			if call.err == errRemoteSentinel {
 				return nil, &RemoteError{Method: method, Msg: string(call.resp)}
 			}
+			if call.err == errRedirectSentinel {
+				return nil, &Redirect{Method: method, Target: call.target, Msg: string(call.resp)}
+			}
 			return nil, call.err
 		}
 		return call.resp, nil
@@ -242,6 +265,10 @@ func (cc *clientConn) roundTrip(method string, payload []byte, timeout time.Dura
 // error text rather than a payload.
 var errRemoteSentinel = errors.New("rpc: remote error sentinel")
 
+// errRedirectSentinel marks a completed call the remote redirected: target
+// holds the destination, resp the remote error text.
+var errRedirectSentinel = errors.New("rpc: redirect sentinel")
+
 func (cc *clientConn) readLoop() {
 	for {
 		msg, err := cc.conn.Recv()
@@ -253,6 +280,10 @@ func (cc *clientConn) readLoop() {
 		kind := dec.U8()
 		id := dec.U64()
 		status := dec.U8()
+		var target string
+		if status == statusRedirect {
+			target = dec.String() // String copies; safe past this frame
+		}
 		body := dec.Bytes()
 		if dec.Err() != nil || kind != kindResponse {
 			continue
@@ -269,10 +300,13 @@ func (cc *clientConn) readLoop() {
 		// Copy out of the transport buffer before handing to the caller.
 		b := make([]byte, len(body))
 		copy(b, body)
-		if status == statusOK {
-			call.resp = b
-		} else {
-			call.resp = b
+		call.resp = b
+		switch status {
+		case statusOK:
+		case statusRedirect:
+			call.target = target
+			call.err = errRedirectSentinel
+		default:
 			call.err = errRemoteSentinel
 		}
 		close(call.done)

@@ -1,0 +1,74 @@
+package rpc
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Redirect is the typed error a client receives when the remote handler
+// declined the request because another node owns it (a deposed version
+// manager pointing at the current leader). Target names the node to retry
+// at; it may be empty when the remote does not know the owner either, in
+// which case the caller must discover it (vm.whoisleader probing).
+//
+// Handlers trigger it by returning an error that implements
+// RedirectTarget() string; the server encodes it as a distinct status so
+// the target survives the wire instead of being flattened into an error
+// string.
+type Redirect struct {
+	Method string
+	Target string
+	Msg    string
+}
+
+func (e *Redirect) Error() string {
+	return fmt.Sprintf("rpc: redirected %s to %q: %s", e.Method, e.Target, e.Msg)
+}
+
+// redirector is implemented by handler errors that carry a redirect
+// target (vmanager.NotLeaderError).
+type redirector interface {
+	error
+	RedirectTarget() string
+}
+
+// Backoff computes capped exponential delays with full jitter — the retry
+// schedule for redials and leader re-resolution. Delay(0) is drawn from
+// (0, Base]; each attempt doubles the ceiling up to Cap. Full jitter
+// (random in (0, ceiling]) desynchronizes the client herd that piles up
+// the instant a node dies, instead of hammering its successor in lockstep.
+type Backoff struct {
+	Base time.Duration // first-attempt ceiling (default 10ms)
+	Cap  time.Duration // delay ceiling (default 500ms)
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// Delay returns the jittered delay for the given zero-based attempt.
+func (b *Backoff) Delay(attempt int) time.Duration {
+	base := b.Base
+	if base <= 0 {
+		base = 10 * time.Millisecond
+	}
+	max := b.Cap
+	if max <= 0 {
+		max = 500 * time.Millisecond
+	}
+	ceil := base
+	for i := 0; i < attempt && ceil < max; i++ {
+		ceil *= 2
+	}
+	if ceil > max {
+		ceil = max
+	}
+	b.mu.Lock()
+	if b.rng == nil {
+		b.rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	d := time.Duration(b.rng.Int63n(int64(ceil))) + 1
+	b.mu.Unlock()
+	return d
+}

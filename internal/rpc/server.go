@@ -1,6 +1,7 @@
 package rpc
 
 import (
+	"errors"
 	"fmt"
 	"log"
 	"runtime/debug"
@@ -18,8 +19,9 @@ const (
 
 // Response status codes.
 const (
-	statusOK    = 0
-	statusError = 1
+	statusOK       = 0
+	statusError    = 1
+	statusRedirect = 2
 )
 
 // Handler processes one request payload and returns the response payload.
@@ -37,6 +39,7 @@ type Server struct {
 	mu       sync.Mutex
 	handlers map[string]Handler
 	observer ServerObserver
+	gate     func(method string) error
 	listener Listener
 	conns    map[Conn]struct{}
 	closed   bool
@@ -78,6 +81,17 @@ func HandleMsg[Req wire.Message, Resp wire.Message](s *Server, method string, ne
 		}
 		return wire.Marshal(resp), nil
 	})
+}
+
+// SetGate installs a per-request admission check, run before every
+// handler with the method name. A non-nil error is returned to the caller
+// without invoking the handler — the HA leader gate redirecting a
+// follower's clients. The gate decides per method, so a server can keep
+// some methods (discovery, replication) always answerable.
+func (s *Server) SetGate(gate func(method string) error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.gate = gate
 }
 
 // Start begins listening and serving. It returns once the listener is
@@ -165,6 +179,7 @@ func (s *Server) dispatch(conn Conn, id uint64, method string, payload []byte) {
 	s.mu.Lock()
 	h, ok := s.handlers[method]
 	obs := s.observer
+	gate := s.gate
 	s.mu.Unlock()
 
 	var start time.Time
@@ -177,7 +192,12 @@ func (s *Server) dispatch(conn Conn, id uint64, method string, payload []byte) {
 	if !ok {
 		err = fmt.Errorf("rpc: no handler for method %q", method)
 	} else {
-		result, err, panicked = invoke(h, method, payload)
+		if gate != nil {
+			err = gate(method)
+		}
+		if err == nil {
+			result, err, panicked = invoke(h, method, payload)
+		}
 	}
 	if obs != nil {
 		out := len(result)
@@ -190,12 +210,21 @@ func (s *Server) dispatch(conn Conn, id uint64, method string, payload []byte) {
 	enc := getEncoder()
 	enc.PutU8(kindResponse)
 	enc.PutU64(id)
-	if err != nil {
-		enc.PutU8(statusError)
-		enc.PutString(err.Error())
-	} else {
+	var rd redirector
+	switch {
+	case err == nil:
 		enc.PutU8(statusOK)
 		enc.PutBytes(result)
+	case errors.As(err, &rd):
+		// The handler knows who owns this request (a deposed leader
+		// pointing at its successor): ship the target as structure, not
+		// prose, so the client can follow it.
+		enc.PutU8(statusRedirect)
+		enc.PutString(rd.RedirectTarget())
+		enc.PutString(err.Error())
+	default:
+		enc.PutU8(statusError)
+		enc.PutString(err.Error())
 	}
 	// A send failure means the connection died; the client observes it
 	// directly. Either way the frame buffer is recyclable afterwards.

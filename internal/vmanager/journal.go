@@ -3,6 +3,7 @@ package vmanager
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/durable"
 	"repro/internal/wire"
@@ -38,12 +39,19 @@ const (
 	recGCReport  = uint8(8)
 	recLease     = uint8(9)
 	recWoven     = uint8(10)
+	// recEpoch journals a leadership-epoch transition: this node observed
+	// (or assumed) leadership epoch E held by the named address. Epochs
+	// are the HA fencing tokens; journaling them is what makes fencing
+	// survive restarts — a deposed leader that crashes and recovers still
+	// knows it was deposed.
+	recEpoch = uint8(11)
 )
 
 // snapFormat versions the snapshot encoding. Format 2 added the per-version
-// lease deadline and woven flag; format 1 snapshots still decode (their
-// versions simply carry no lease).
-const snapFormat = uint8(2)
+// lease deadline and woven flag; format 3 added the leadership epoch and
+// the per-version granted lease TTL. Older formats still decode (their
+// versions simply carry no lease / no epoch).
+const snapFormat = uint8(3)
 
 // defaultCompactEvery bounds WAL growth: after this many records the next
 // mutation triggers a snapshot + log compaction.
@@ -244,7 +252,7 @@ func encCreate(id, chunkSize uint64, replication uint32) []byte {
 }
 
 func encAssign(id, version uint64, vi *verInfo, newAssignedSize uint64) []byte {
-	e := wire.NewEncoder(88)
+	e := wire.NewEncoder(96)
 	e.PutU8(recAssign)
 	e.PutU64(id)
 	e.PutU64(version)
@@ -255,6 +263,16 @@ func encAssign(id, version uint64, vi *verInfo, newAssignedSize uint64) []byte {
 	e.PutU64(vi.assignPub)
 	e.PutU64(newAssignedSize)
 	e.PutU64(vi.leaseUntil)
+	e.PutU64(vi.leaseTTLMs)
+	return e.Bytes()
+}
+
+// encEpoch records a leadership-epoch transition.
+func encEpoch(epoch uint64, leader string) []byte {
+	e := wire.NewEncoder(32)
+	e.PutU8(recEpoch)
+	e.PutU64(epoch)
+	e.PutString(leader)
 	return e.Bytes()
 }
 
@@ -351,6 +369,18 @@ func encGCReport(id, reclaimedTo uint64, deletedSwept bool, pruned uint64, req *
 func (m *Manager) applyRecord(rec []byte) error {
 	d := wire.NewDecoder(rec)
 	kind := d.U8()
+	if d.Err() != nil {
+		return errJournalCorrupt
+	}
+	if kind == recEpoch {
+		epoch := d.U64()
+		leader := d.String()
+		if d.Err() != nil {
+			return errJournalCorrupt
+		}
+		m.adoptEpochInfo(epoch, leader)
+		return nil
+	}
 	id := d.U64()
 	if d.Err() != nil {
 		return errJournalCorrupt
@@ -395,6 +425,9 @@ func (m *Manager) applyRecord(rec []byte) error {
 		}
 		newSize := d.U64()
 		vi.leaseUntil = d.U64()
+		if d.Remaining() > 0 {
+			vi.leaseTTLMs = d.U64() // absent in pre-HA journals
+		}
 		if d.Err() != nil {
 			return errJournalCorrupt
 		}
@@ -498,6 +531,16 @@ func (m *Manager) applyRecord(rec []byte) error {
 // is concurrent. Returns the snapshot and how many verInfo entries were
 // dropped from RAM.
 func (m *Manager) encodeSnapshot() ([]byte, uint64) {
+	return m.encodeSnapshotOpt(true)
+}
+
+// encodeSnapshotOpt is encodeSnapshot with history compaction optional: a
+// pure encode (compact=false) leaves RAM untouched, which is what state
+// digests want. Blobs are encoded in ascending ID order, so two managers
+// holding the same logical state produce byte-identical snapshots — the
+// property the replication convergence tests assert.
+func (m *Manager) encodeSnapshotOpt(compact bool) ([]byte, uint64) {
+	ei := m.epochView()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	e := wire.NewEncoder(1024)
@@ -510,11 +553,21 @@ func (m *Manager) encodeSnapshot() ([]byte, uint64) {
 	e.PutU64(m.reclaimedOrphans)
 	e.PutU64(m.prunedVersions)
 	m.gcMu.Unlock()
-	e.PutU32(uint32(len(m.blobs)))
+	e.PutU64(ei.epoch)
+	e.PutString(ei.leader)
+	ids := make([]uint64, 0, len(m.blobs))
+	for id := range m.blobs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	e.PutU32(uint32(len(ids)))
 	var dropped uint64
-	for _, b := range m.blobs {
+	for _, id := range ids {
+		b := m.blobs[id]
 		b.mu.Lock()
-		dropped += b.compactHistoryLocked()
+		if compact {
+			dropped += b.compactHistoryLocked()
+		}
 		e.PutU64(b.id)
 		e.PutU64(b.chunkSize)
 		e.PutU32(b.replication)
@@ -540,6 +593,7 @@ func (m *Manager) encodeSnapshot() ([]byte, uint64) {
 			e.PutBool(vi.failed)
 			e.PutU64(vi.leaseUntil)
 			e.PutBool(vi.woven)
+			e.PutU64(vi.leaseTTLMs)
 		}
 		b.mu.Unlock()
 	}
@@ -550,7 +604,7 @@ func (m *Manager) encodeSnapshot() ([]byte, uint64) {
 func (m *Manager) decodeSnapshot(snap []byte) error {
 	d := wire.NewDecoder(snap)
 	format := d.U8()
-	if format != 1 && format != snapFormat {
+	if format < 1 || format > snapFormat {
 		return fmt.Errorf("vmanager: unknown snapshot format %d", format)
 	}
 	m.nextID = d.U64()
@@ -559,6 +613,13 @@ func (m *Manager) decodeSnapshot(snap []byte) error {
 	m.reclaimedNodes = d.U64()
 	m.reclaimedOrphans = d.U64()
 	m.prunedVersions = d.U64()
+	if format >= 3 {
+		epoch := d.U64()
+		leader := d.String()
+		if epoch > 0 {
+			m.adoptEpochInfo(epoch, leader)
+		}
+	}
 	numBlobs := d.U32()
 	if d.Err() != nil {
 		return fmt.Errorf("vmanager: corrupt snapshot header: %w", d.Err())
@@ -595,6 +656,9 @@ func (m *Manager) decodeSnapshot(snap []byte) error {
 			if format >= 2 {
 				vi.leaseUntil = d.U64()
 				vi.woven = d.Bool()
+			}
+			if format >= 3 {
+				vi.leaseTTLMs = d.U64()
 			}
 		}
 		if d.Err() != nil {

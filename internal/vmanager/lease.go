@@ -70,7 +70,13 @@ func (m *Manager) RenewLease(blobID, version uint64) error {
 	if vi.committed {
 		return nil // heartbeat raced the writer's own commit; nothing to hold
 	}
-	ttl := m.leaseTTLMs.Load()
+	// Renew by the TTL negotiated at assign time, not the global default:
+	// a bulk writer that negotiated a long lease must not have a renewal
+	// shorten its runway.
+	ttl := vi.leaseTTLMs
+	if ttl == 0 {
+		ttl = m.leaseTTLMs.Load()
+	}
 	if ttl == 0 {
 		return nil
 	}
@@ -92,6 +98,12 @@ func (m *Manager) RenewLease(blobID, version uint64) error {
 // number of versions expired; an error means the journal rejected an
 // abort and the pass should be retried next tick.
 func (m *Manager) ExpireLeases(weaver AbortWeaver) (int, error) {
+	// Only a live leader expires: a standby aborting versions on its own
+	// would diverge from the leader's journal (it hears about expiries
+	// through the replication stream like any other transition).
+	if !m.expiryAllowed() {
+		return 0, nil
+	}
 	m.mu.Lock()
 	blobs := make([]*blobState, 0, len(m.blobs))
 	for _, b := range m.blobs {

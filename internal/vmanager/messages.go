@@ -114,6 +114,11 @@ type AssignReq struct {
 	Offset uint64 // byte offset; ignored when Append
 	Size   uint64 // byte length; must be > 0
 	Append bool
+	// WantLeaseTTLMs asks for a per-version write-lease TTL (0 = the
+	// server default). A bulk writer sizes it to its upload so it is not
+	// stuck heartbeating a fast-appender TTL; the server clamps the
+	// grant, and the granted value comes back in AssignResp.LeaseTTLMs.
+	WantLeaseTTLMs uint64
 }
 
 // Encode implements wire.Message.
@@ -122,6 +127,7 @@ func (r *AssignReq) Encode(e *wire.Encoder) {
 	e.PutU64(r.Offset)
 	e.PutU64(r.Size)
 	e.PutBool(r.Append)
+	e.PutU64(r.WantLeaseTTLMs)
 }
 
 // Decode implements wire.Message.
@@ -130,6 +136,7 @@ func (r *AssignReq) Decode(d *wire.Decoder) {
 	r.Offset = d.U64()
 	r.Size = d.U64()
 	r.Append = d.Bool()
+	r.WantLeaseTTLMs = d.U64()
 }
 
 // AssignResp carries everything the writer needs to upload chunks and

@@ -65,6 +65,12 @@ type verInfo struct {
 	// (0 = no lease: assigned while leases were disabled). Journaled, so
 	// kill -9 recovery knows which in-flight writers were still alive.
 	leaseUntil uint64
+	// leaseTTLMs is the TTL granted to THIS version at assign time: bulk
+	// writers negotiate a longer lease than the global default (sized to
+	// their upload), and renewals must extend by the negotiated amount —
+	// renewing a 2-minute upload's lease by the 2-second default would
+	// expire it mid-flight. Journaled with the assign record.
+	leaseTTLMs uint64
 	// woven records, for a FAILED version, that an identity tree exists
 	// for it in the metadata plane — later weaves referencing its
 	// in-flight descriptor resolve, no treeless hole. Aborts by the lease
@@ -207,6 +213,10 @@ type Manager struct {
 	leasesGranted atomic.Uint64
 	leasesRenewed atomic.Uint64
 	leasesExpired atomic.Uint64
+
+	// High-availability state: leadership epoch, role, replication stream
+	// (see ha.go / repl.go). Zero value = HA disabled, every gate passes.
+	ha haState
 }
 
 // NewManager creates an empty, volatile version manager (state dies with
@@ -383,8 +393,20 @@ func (m *Manager) Assign(req *AssignReq) (*AssignResp, error) {
 		})
 	}
 	if ttl := m.leaseTTLMs.Load(); ttl > 0 {
-		vi.leaseUntil = m.nowMs() + ttl
-		resp.LeaseTTLMs = ttl
+		// Per-version TTL negotiation: a bulk writer asks for a lease sized
+		// to its upload. Grants are clamped to 8x the configured default so
+		// a buggy client cannot wedge the abort path for hours, and floored
+		// at the default so a lowball request cannot make itself flaky.
+		grant := ttl
+		if want := req.WantLeaseTTLMs; want > grant {
+			if max := ttl * 8; want > max {
+				want = max
+			}
+			grant = want
+		}
+		vi.leaseUntil = m.nowMs() + grant
+		vi.leaseTTLMs = grant
+		resp.LeaseTTLMs = grant
 	}
 	// Write-ahead: journal before mutating, so RAM never runs ahead of
 	// the WAL (a divergent journal would fail replay validation on boot).
@@ -670,29 +692,31 @@ func (m *Manager) WaitPublished(blobID, version uint64) error {
 	if err != nil {
 		return err
 	}
-	b.mu.Lock()
-	// The deleted check must share the critical section with waiter
-	// registration: Delete drains the waiter map exactly once, so a
-	// waiter registered after that drain would block forever.
-	if b.deleted {
+	for {
+		b.mu.Lock()
+		// The deleted check must share the critical section with waiter
+		// registration: Delete drains the waiter map exactly once, so a
+		// waiter registered after that drain would block forever.
+		if b.deleted {
+			b.mu.Unlock()
+			return fmt.Errorf("%w: %d", ErrBlobDeleted, blobID)
+		}
+		if version == 0 || version <= b.published {
+			b.mu.Unlock()
+			return nil
+		}
+		ch := make(chan struct{})
+		b.waiters[version] = append(b.waiters[version], ch)
 		b.mu.Unlock()
-		return fmt.Errorf("%w: %d", ErrBlobDeleted, blobID)
+		<-ch
+		// Woken by a publish, a delete, or a leadership step-down (the
+		// deposed leader drains every waiter: the publish this caller is
+		// waiting for will happen on the NEW leader). Loop and re-check;
+		// the gate turns a step-down wake into a redirect.
+		if err := m.leaderGate(); err != nil {
+			return err
+		}
 	}
-	if version == 0 || version <= b.published {
-		b.mu.Unlock()
-		return nil
-	}
-	ch := make(chan struct{})
-	b.waiters[version] = append(b.waiters[version], ch)
-	b.mu.Unlock()
-	<-ch
-	b.mu.Lock()
-	deleted := b.deleted
-	b.mu.Unlock()
-	if deleted {
-		return fmt.Errorf("%w: %d", ErrBlobDeleted, blobID)
-	}
-	return nil
 }
 
 // GCWork lists every blob with outstanding reclamation work: a retention
@@ -877,6 +901,22 @@ func NewServer(network rpc.Network, addr string) *Server {
 // manager restartable in place.
 func NewServerWithManager(network rpc.Network, addr string, m *Manager) *Server {
 	s := &Server{m: m, srv: rpc.NewServer(network, addr)}
+	// The leader gate runs before every handler. HA control methods stay
+	// answerable on every role: replication is how a standby follows, and
+	// discovery/status probes are how clients find the leader at all.
+	s.srv.SetGate(func(method string) error {
+		switch method {
+		case MethodReplicate, MethodWhoIsLeader, MethodHAStatus:
+			return nil
+		}
+		return m.leaderGate()
+	})
+	rpc.HandleMsg(s.srv, MethodReplicate, func() *ReplicateReq { return &ReplicateReq{} },
+		func(req *ReplicateReq) (*ReplicateResp, error) { return s.m.HandleReplicate(req) })
+	rpc.HandleMsg(s.srv, MethodWhoIsLeader, func() *Ack { return &Ack{} },
+		func(*Ack) (*WhoIsLeaderResp, error) { return s.m.WhoIsLeader(), nil })
+	rpc.HandleMsg(s.srv, MethodHAStatus, func() *Ack { return &Ack{} },
+		func(*Ack) (*HAStatusResp, error) { return s.m.HAStatus(), nil })
 	rpc.HandleMsg(s.srv, MethodCreate, func() *CreateReq { return &CreateReq{} },
 		func(req *CreateReq) (*CreateResp, error) {
 			id, err := s.m.Create(req.ChunkSize, req.Replication)
