@@ -312,8 +312,8 @@ func main() {
 				fmt.Printf("%-22s role=single (replication off)\n", a)
 				continue
 			}
-			fmt.Printf("%-22s role=%-7s epoch=%d leader=%s seq=%d takeovers=%d fences=%d\n",
-				a, st.Role, st.Epoch, st.Leader, st.StreamSeq, st.Takeovers, st.Fences)
+			fmt.Printf("%-22s role=%-7s epoch=%d leader=%s seq=%d takeovers=%d fences=%d noquorum=%d\n",
+				a, st.Role, st.Epoch, st.Leader, st.StreamSeq, st.Takeovers, st.Fences, st.NoQuorumCommits)
 			for _, sb := range st.Standbys {
 				state := "syncing"
 				lag := uint64(0)

@@ -189,6 +189,9 @@ func RegisterVManagerHA(reg *metrics.Registry, instance string, mgr func() *vman
 			"Times this instance assumed leadership.", l, func() float64 { return u(st().Takeovers) }),
 		metrics.CounterFunc("blobseer_vm_ha_fences_total",
 			"Times this instance was deposed by a higher epoch.", l, func() float64 { return u(st().Fences) }),
+		metrics.CounterFunc("blobseer_vm_ha_noquorum_commits_total",
+			"Quorum-mode commits acknowledged with zero standby acks — rising means the zero-loss guarantee is degraded.", l,
+			func() float64 { return u(st().NoQuorumCommits) }),
 		metrics.GaugeFunc("blobseer_vm_ha_stream_seq",
 			"Replication stream position: records shipped (leader) or applied (standby).", l,
 			func() float64 { return u(st().StreamSeq) }),

@@ -117,7 +117,10 @@ func (c *Caller) Call(method string, req, resp wire.Message) error {
 }
 
 // probe asks every node who leads and adopts the highest-epoch claim —
-// a first-hand "I am the leader" beats hearsay at the same epoch.
+// a first-hand "I am the leader" beats hearsay only at the same (or a
+// higher) epoch. A deposed-but-not-yet-fenced leader still answering
+// first-hand at a stale epoch must not override a standby's report of
+// the real, newer leader.
 func (c *Caller) probe() string {
 	best := ""
 	var bestEpoch uint64
@@ -128,10 +131,13 @@ func (c *Caller) probe() string {
 			continue
 		}
 		switch {
-		case r.IsLeader && (r.Epoch > bestEpoch || !bestFirstHand):
+		case r.IsLeader && (r.Epoch > bestEpoch || (!bestFirstHand && r.Epoch >= bestEpoch)):
 			best, bestEpoch, bestFirstHand = addr, r.Epoch, true
-		case !bestFirstHand && r.Leader != "" && r.Epoch > bestEpoch:
-			best, bestEpoch = r.Leader, r.Epoch
+		case r.Leader != "" && r.Epoch > bestEpoch:
+			// Hearsay, but of a strictly newer epoch than anything heard
+			// so far — including a first-hand claim, which a newer epoch
+			// has by definition deposed.
+			best, bestEpoch, bestFirstHand = r.Leader, r.Epoch, false
 		}
 	}
 	if best != "" {

@@ -118,6 +118,10 @@ type haState struct {
 
 	takeovers atomic.Uint64
 	fences    atomic.Uint64
+	// noQuorumCommits counts quorum-mode commits acknowledged with zero
+	// standby acks. Lives here, not on the replicator, so the count
+	// survives leadership terms.
+	noQuorumCommits atomic.Uint64
 
 	stop chan struct{}
 	done chan struct{}
@@ -357,7 +361,6 @@ func (m *Manager) haTick() {
 		return
 	}
 	h.mu.Lock()
-	defer h.mu.Unlock()
 	switch h.role.Load() {
 	case roleLeader:
 		// The replicator cannot step down itself (it runs on the commit
@@ -367,17 +370,87 @@ func (m *Manager) haTick() {
 				m.stepDownLocked(epoch, leader)
 			}
 		}
+		h.mu.Unlock()
 	case roleStandby:
 		ttl := h.cfg.LeadershipTTL
 		if m.now().Sub(h.lastHeard) <= ttl+m.takeoverStaggerLocked() {
+			h.mu.Unlock()
 			return
 		}
 		ei := m.epochView()
-		// Assume leadership under the next epoch. If a peer beat us to
-		// it, its heartbeats carry the same (or a higher) epoch and the
-		// tie-break in HandleReplicate settles who survives.
-		_ = m.becomeLeaderLocked(ei.epoch + 1)
+		peers := append([]string(nil), h.cfg.Peers...)
+		transport := h.cfg.Transport
+		// Probe without holding ha.mu: transport calls block, and peers
+		// answering our probe must not convoy behind this node's lock.
+		h.mu.Unlock()
+		if m.deferTakeover(ei, peers, transport) {
+			return
+		}
+		h.mu.Lock()
+		// Re-validate under the lock — a replication message may have
+		// refreshed the lease, changed the epoch, or promoted this node
+		// while the probes were in flight.
+		if h.role.Load() == roleStandby &&
+			m.now().Sub(h.lastHeard) > ttl+m.takeoverStaggerLocked() &&
+			m.epochView() == ei {
+			// Assume leadership under the next epoch. If a peer beat us
+			// to it, its heartbeats carry the same (or a higher) epoch
+			// and the tie-break in HandleReplicate settles who survives.
+			_ = m.becomeLeaderLocked(ei.epoch + 1)
+		}
+		h.mu.Unlock()
+	default:
+		h.mu.Unlock()
 	}
+}
+
+// deferTakeover is the replication-recency check run before a lease-expiry
+// takeover: it probes every peer and reports whether some reachable one
+// should win leadership instead of this node — a still-live leader, a node
+// tracking a newer epoch, or a standby whose replication cursor is
+// strictly ahead of ours. Without it, address-ranked stagger alone decides
+// the takeover race, and in quorum mode (where one standby ack gates each
+// commit) a standby that never saw the last acknowledged commits could
+// self-promote and durably discard them via the divergent-tail cut.
+//
+// The ordering is strict, so two candidates can never defer to each other:
+// ties (equal cursors, or cursors from different sessions, which are
+// incomparable) fall through to the stagger ranking. Unreachable peers are
+// skipped — with every peer dead, a lone standby must still take over,
+// whatever its cursor says: it is the best history left.
+func (m *Manager) deferTakeover(ei epochInfo, peers []string, transport ReplicateFunc) bool {
+	h := &m.ha
+	h.applyMu.Lock()
+	selfSession, selfSeq, selfSynced := h.session, h.appliedSeq, h.synced
+	h.applyMu.Unlock()
+	req := &ReplicateReq{Probe: true, Epoch: ei.epoch, Leader: ei.leader}
+	for _, addr := range peers {
+		resp, err := transport(addr, req)
+		if err != nil {
+			continue
+		}
+		switch {
+		case resp.IsLeader && resp.Epoch >= ei.epoch:
+			// A live leader we simply cannot hear (asymmetric partition):
+			// keep following it instead of forking a competing epoch.
+			m.adoptEpochInfo(resp.Epoch, resp.Leader)
+			return true
+		case resp.Epoch > ei.epoch:
+			// The peer follows a newer authority than we know; it (or its
+			// leader) is ahead of us on fencing alone.
+			m.adoptEpochInfo(resp.Epoch, resp.Leader)
+			return true
+		case resp.Session == selfSession && resp.AppliedSeq > selfSeq:
+			// Same leader log-instance: the cursor itself decides, and
+			// strictly, so the laggard defers and the peer does not.
+			return true
+		case resp.Session != selfSession && resp.Synced && !selfSynced:
+			// Incomparable cursors: a peer streaming live beats a node
+			// that never caught up.
+			return true
+		}
+	}
+	return false
 }
 
 // takeoverStaggerLocked spaces concurrent takeover attempts: candidates
@@ -418,6 +491,21 @@ func (m *Manager) HandleReplicate(req *ReplicateReq) (*ReplicateResp, error) {
 	}
 	if h.halted.Load() {
 		return nil, errors.New("vmanager: node halted")
+	}
+	if req.Probe {
+		// A takeover candidate asking how current we are. No authority:
+		// it must not refresh the lease (it is not the leader), fence
+		// anyone, or touch the stream — just report our view.
+		ei := m.epochView()
+		resp := &ReplicateResp{
+			Epoch:    ei.epoch,
+			Leader:   ei.leader,
+			IsLeader: h.role.Load() == roleLeader,
+		}
+		h.applyMu.Lock()
+		resp.Session, resp.AppliedSeq, resp.Synced = h.session, h.appliedSeq, h.synced
+		h.applyMu.Unlock()
+		return resp, nil
 	}
 	h.mu.Lock()
 	cur := m.epochView()
@@ -567,11 +655,12 @@ func (m *Manager) HAStatus() *HAStatusResp {
 	h := &m.ha
 	ei := m.epochView()
 	resp := &HAStatusResp{
-		Enabled:   h.enabled.Load(),
-		Epoch:     ei.epoch,
-		Leader:    ei.leader,
-		Takeovers: h.takeovers.Load(),
-		Fences:    h.fences.Load(),
+		Enabled:         h.enabled.Load(),
+		Epoch:           ei.epoch,
+		Leader:          ei.leader,
+		Takeovers:       h.takeovers.Load(),
+		Fences:          h.fences.Load(),
+		NoQuorumCommits: h.noQuorumCommits.Load(),
 	}
 	if !resp.Enabled {
 		resp.Role = "single"

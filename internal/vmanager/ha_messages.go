@@ -17,7 +17,7 @@ const (
 )
 
 // ReplicateReq is one leader→standby replication message. Exactly one of
-// three shapes:
+// four shapes:
 //
 //   - records: Records holds journal records whose first record has
 //     stream sequence Seq (the standby must be at Seq to apply them);
@@ -26,12 +26,17 @@ const (
 //     truncates its journal — the divergent-tail cut);
 //   - heartbeat: neither — Seq tells the standby where the stream is,
 //     so it can detect it fell behind, and refreshes the leadership
-//     lease either way.
+//     lease either way;
+//   - probe: Probe set — a takeover candidate asking for the receiver's
+//     replication cursor before claiming leadership. Carries no
+//     authority: it must not refresh the lease or fence anyone, and the
+//     Epoch/Leader fields are merely the candidate's current view.
 type ReplicateReq struct {
 	Epoch   uint64 // sender's leadership epoch (fencing token)
 	Leader  string // sender's address, as peers should dial it
 	Session uint64 // random per leader log-instance; seqs are per-session
 	Seq     uint64
+	Probe   bool
 	Snapshot []byte
 	Records  [][]byte
 }
@@ -42,6 +47,7 @@ func (r *ReplicateReq) Encode(e *wire.Encoder) {
 	e.PutString(r.Leader)
 	e.PutU64(r.Session)
 	e.PutU64(r.Seq)
+	e.PutBool(r.Probe)
 	e.PutBytes(r.Snapshot)
 	e.PutU32(uint32(len(r.Records)))
 	for _, rec := range r.Records {
@@ -55,6 +61,7 @@ func (r *ReplicateReq) Decode(d *wire.Decoder) {
 	r.Leader = d.String()
 	r.Session = d.U64()
 	r.Seq = d.U64()
+	r.Probe = d.Bool()
 	r.Snapshot = d.BytesCopy()
 	if len(r.Snapshot) == 0 {
 		r.Snapshot = nil
@@ -81,6 +88,13 @@ type ReplicateResp struct {
 	Fenced bool
 	Epoch  uint64
 	Leader string
+	// Probe answer: the receiver's role and replication cursor, so a
+	// takeover candidate can tell whether this peer is more up to date
+	// than itself (same-session sequences are directly comparable).
+	IsLeader   bool
+	Synced     bool
+	Session    uint64
+	AppliedSeq uint64
 }
 
 // Encode implements wire.Message.
@@ -90,6 +104,10 @@ func (r *ReplicateResp) Encode(e *wire.Encoder) {
 	e.PutBool(r.Fenced)
 	e.PutU64(r.Epoch)
 	e.PutString(r.Leader)
+	e.PutBool(r.IsLeader)
+	e.PutBool(r.Synced)
+	e.PutU64(r.Session)
+	e.PutU64(r.AppliedSeq)
 }
 
 // Decode implements wire.Message.
@@ -99,6 +117,10 @@ func (r *ReplicateResp) Decode(d *wire.Decoder) {
 	r.Fenced = d.Bool()
 	r.Epoch = d.U64()
 	r.Leader = d.String()
+	r.IsLeader = d.Bool()
+	r.Synced = d.Bool()
+	r.Session = d.U64()
+	r.AppliedSeq = d.U64()
 }
 
 // WhoIsLeaderResp answers a leadership probe with this node's view.
@@ -149,16 +171,21 @@ func (s *StandbyStatus) Decode(d *wire.Decoder) {
 
 // HAStatusResp is one node's full high-availability view.
 type HAStatusResp struct {
-	Self       string
-	Enabled    bool
-	Role       string // "single", "leader", "standby" or "halted"
-	Epoch      uint64
-	Leader     string
-	Session    uint64
-	StreamSeq  uint64 // leader: records streamed; standby: records applied
-	Takeovers  uint64 // times this node assumed leadership
-	Fences     uint64 // times this node was deposed by a higher epoch
-	Standbys   []StandbyStatus
+	Self      string
+	Enabled   bool
+	Role      string // "single", "leader", "standby" or "halted"
+	Epoch     uint64
+	Leader    string
+	Session   uint64
+	StreamSeq uint64 // leader: records streamed; standby: records applied
+	Takeovers uint64 // times this node assumed leadership
+	Fences    uint64 // times this node was deposed by a higher epoch
+	// NoQuorumCommits counts commits this node acknowledged in quorum
+	// mode without any standby ack (all standbys dead, lagging past the
+	// quorum timeout, or partitioned away). Nonzero and rising means the
+	// zero-loss-on-leader-kill guarantee is currently degraded.
+	NoQuorumCommits uint64
+	Standbys        []StandbyStatus
 }
 
 // Encode implements wire.Message.
@@ -172,6 +199,7 @@ func (r *HAStatusResp) Encode(e *wire.Encoder) {
 	e.PutU64(r.StreamSeq)
 	e.PutU64(r.Takeovers)
 	e.PutU64(r.Fences)
+	e.PutU64(r.NoQuorumCommits)
 	e.PutU32(uint32(len(r.Standbys)))
 	for i := range r.Standbys {
 		r.Standbys[i].Encode(e)
@@ -189,6 +217,7 @@ func (r *HAStatusResp) Decode(d *wire.Decoder) {
 	r.StreamSeq = d.U64()
 	r.Takeovers = d.U64()
 	r.Fences = d.U64()
+	r.NoQuorumCommits = d.U64()
 	cnt := d.U32()
 	r.Standbys = nil
 	for i := uint32(0); i < cnt && d.Err() == nil; i++ {

@@ -1,6 +1,7 @@
 package vmanager
 
 import (
+	"log"
 	"math/rand"
 	"sync"
 	"time"
@@ -58,6 +59,10 @@ type replicator struct {
 	fenced       bool
 	fencedEpoch  uint64
 	fencedLeader string
+	// degraded is true while quorum-mode commits are being acknowledged
+	// with zero standby acks. Tracked so the condition logs once per
+	// degrade window, not once per commit.
+	degraded bool
 
 	stopOnce sync.Once
 	stop     chan struct{}
@@ -162,6 +167,7 @@ func (r *replicator) Mirror(records [][]byte) error {
 			// path on its backlog.
 			p.synced = false
 			p.resyncing = false
+			log.Printf("vmanager: replication queue to standby %s overflowed; demoting it to a snapshot resync", p.addr)
 		}
 	}
 	r.mu.Unlock()
@@ -176,6 +182,15 @@ func (r *replicator) Mirror(records [][]byte) error {
 // synced standbys the gate passes (there is nobody to wait for), and a
 // standby that cannot ack within the window is demoted rather than
 // allowed to stall the write path forever.
+//
+// Both degrades mean quorum replication is BEST-EFFORT under partition
+// and standby loss: a commit acknowledged this way lives only on the
+// leader, and is lost if the leader is then killed (or fenced by a
+// standby that took over across the partition). The trade is deliberate
+// — availability over wedging every write — but never silent: each such
+// commit increments the noQuorumCommits counter (HAStatus,
+// blobseer_vm_ha_noquorum_commits_total) and the degrade/restore edges
+// are logged.
 func (r *replicator) waitQuorum(target uint64) error {
 	timeout := 2 * r.ttl
 	if timeout < time.Second {
@@ -207,24 +222,42 @@ func (r *replicator) waitQuorum(target uint64) error {
 			if p.synced {
 				synced++
 				if p.ackSeq >= target {
+					if r.degraded {
+						r.degraded = false
+						log.Printf("vmanager: quorum restored (standby %s acked through %d)", p.addr, p.ackSeq)
+					}
 					return nil
 				}
 			}
 		}
 		if synced == 0 {
-			return nil
+			return r.ackWithoutQuorumLocked("no synced standby")
 		}
 		if !time.Now().Before(deadline) {
 			for _, p := range r.peers {
 				if p.synced && p.ackSeq < target {
 					p.synced = false
 					p.resyncing = false
+					log.Printf("vmanager: standby %s missed the quorum window (%v, acked %d < %d); demoting it to a snapshot resync",
+						p.addr, timeout, p.ackSeq, target)
 				}
 			}
-			return nil
+			return r.ackWithoutQuorumLocked("quorum timeout")
 		}
 		r.cond.Wait()
 	}
+}
+
+// ackWithoutQuorumLocked acknowledges a quorum-mode commit that no
+// standby holds: count it, log the degrade edge once, let the commit
+// through. Caller holds r.mu.
+func (r *replicator) ackWithoutQuorumLocked(why string) error {
+	r.m.ha.noQuorumCommits.Add(1)
+	if !r.degraded {
+		r.degraded = true
+		log.Printf("vmanager: committing WITHOUT quorum (%s) — acknowledged writes live only on this leader until a standby resyncs", why)
+	}
+	return nil
 }
 
 func (r *replicator) sendLoop(p *replPeer) {

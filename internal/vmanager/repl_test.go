@@ -340,6 +340,188 @@ func TestRebootedExLeaderRejoinsAsStandby(t *testing.T) {
 	}
 }
 
+// TestTakeoverPrefersMostUpToDateStandby is the multi-standby takeover
+// race: in quorum mode one standby ack gates each commit, so with two
+// standbys the one that kept acking holds the acknowledged tail while the
+// other may be arbitrarily behind. Address-ranked stagger alone would let
+// the behind standby (lower rank) self-promote and durably discard the
+// acknowledged commits via the divergent-tail cut — the recency probe
+// must flip the race to the up-to-date standby.
+func TestTakeoverPrefersMostUpToDateStandby(t *testing.T) {
+	g := newHAGroup()
+	a := openM(t, t.TempDir())
+	b := openM(t, t.TempDir())
+	c := openM(t, t.TempDir())
+	defer func() {
+		a.Halt()
+		b.Halt()
+		c.Halt()
+		a.Close()
+		b.Close()
+		c.Close()
+	}()
+	ttl := 150 * time.Millisecond
+	g.enable(t, a, "A", []string{"B", "C"}, ttl, true, true)
+	g.enable(t, b, "B", []string{"A", "C"}, ttl, true, false)
+	g.enable(t, c, "C", []string{"A", "B"}, ttl, true, false)
+
+	blob, err := a.Create(1024, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assignCommit(t, a, blob, 1000)
+	waitFor(t, 5*time.Second, "both standbys synced", func() bool {
+		st := a.HAStatus()
+		if len(st.Standbys) != 2 {
+			return false
+		}
+		for _, sb := range st.Standbys {
+			if !sb.Synced || sb.AckSeq != st.StreamSeq {
+				return false
+			}
+		}
+		return true
+	})
+
+	// Partition B inbound: it hears nothing (the leader demotes it) but
+	// can still reach out; C keeps acking every quorum commit.
+	g.setDown("B", true)
+	var last uint64
+	for i := 0; i < 5; i++ {
+		last = assignCommit(t, a, blob, uint64(2000+i))
+	}
+
+	// B's lease lapses during the partition, but its recency probe finds
+	// the leader alive — it must keep following, not fork an epoch that
+	// would fence A (the silent inbound-partition takeover).
+	time.Sleep(3 * ttl)
+	if isLeader(b) {
+		t.Fatal("inbound-partitioned standby seized leadership from a live leader")
+	}
+
+	// Kill the leader and heal B in the same instant. B has the lower
+	// address rank, so stagger alone would promote it first; the recency
+	// probe (same session, C's cursor strictly ahead) must defer B and
+	// let C — which holds every acknowledged commit — win.
+	g.setDown("A", true)
+	a.Halt()
+	g.setDown("B", false)
+
+	waitFor(t, 15*time.Second, "up-to-date standby C takeover", func() bool { return isLeader(c) })
+	lc, err := c.Latest(blob)
+	if err != nil || lc.Version != last {
+		t.Fatalf("new leader Latest = %+v (err %v), want version %d — acknowledged commits lost to a stale takeover", lc, err, last)
+	}
+
+	// The behind standby resyncs from the new leader and converges onto
+	// the full history instead of imposing its truncated one.
+	waitConverged(t, b, c, 10*time.Second)
+	if !isStandby(b) {
+		t.Errorf("behind standby role = %s, want standby", b.HAStatus().Role)
+	}
+	lb, err := b.Latest(blob)
+	if err != nil || lb.Version != last {
+		t.Fatalf("resynced standby Latest = %+v (err %v), want version %d", lb, err, last)
+	}
+}
+
+// TestQuorumDegradeIsCounted: a quorum leader that loses its only standby
+// keeps committing (availability), but every such solo commit must be
+// visible on the NoQuorumCommits counter — the degrade is deliberate,
+// never silent.
+func TestQuorumDegradeIsCounted(t *testing.T) {
+	g := newHAGroup()
+	a := openM(t, t.TempDir())
+	b := openM(t, t.TempDir())
+	defer func() {
+		a.Halt()
+		b.Halt()
+		a.Close()
+		b.Close()
+	}()
+	ttl := 150 * time.Millisecond
+	g.enable(t, a, "A", []string{"B"}, ttl, true, true)
+	g.enable(t, b, "B", []string{"A"}, ttl, true, false)
+
+	blob, err := a.Create(512, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, "standby synced", func() bool {
+		st := a.HAStatus()
+		return len(st.Standbys) == 1 && st.Standbys[0].Synced && st.Standbys[0].AckSeq == st.StreamSeq
+	})
+
+	base := a.HAStatus().NoQuorumCommits
+	assignCommit(t, a, blob, 100)
+	if got := a.HAStatus().NoQuorumCommits; got != base {
+		t.Errorf("healthy quorum commit counted as no-quorum (%d -> %d)", base, got)
+	}
+
+	g.setDown("B", true)
+	b.Halt()
+	assignCommit(t, a, blob, 200)
+	if got := a.HAStatus().NoQuorumCommits; got <= base {
+		t.Errorf("solo commit with a dead standby not counted: NoQuorumCommits = %d, want > %d", got, base)
+	}
+}
+
+// TestWaitPublishedWaiterUnparkedByStepDownRace models an RPC whose
+// dispatch-time leader gate passed just before a step-down: the waiter is
+// registered AFTER stepDown's drain, so nothing local will ever wake it.
+// The post-registration gate re-check must convert the stall into a typed
+// redirect and leave no waiter behind.
+func TestWaitPublishedWaiterUnparkedByStepDownRace(t *testing.T) {
+	g := newHAGroup()
+	a := openM(t, t.TempDir())
+	b := openM(t, t.TempDir())
+	defer func() {
+		a.Halt()
+		b.Halt()
+		a.Close()
+		b.Close()
+	}()
+	// TTL far beyond the test so no real failover machinery interferes.
+	ttl := 30 * time.Second
+	g.enable(t, a, "A", []string{"B"}, ttl, true, true)
+	g.enable(t, b, "B", []string{"A"}, ttl, true, false)
+
+	blob, err := a.Create(512, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assignCommit(t, a, blob, 100)
+
+	// Depose A as a higher epoch would; its waiter drain runs now. A
+	// direct WaitPublished call after this models the RPC that already
+	// cleared the dispatch gate before the step-down.
+	a.ha.mu.Lock()
+	a.stepDownLocked(a.epochView().epoch+1, "B")
+	a.ha.mu.Unlock()
+
+	done := make(chan error, 1)
+	go func() { done <- a.WaitPublished(blob, 99) }()
+	select {
+	case err := <-done:
+		var nl *NotLeaderError
+		if !errors.As(err, &nl) {
+			t.Fatalf("WaitPublished on deposed leader = %v, want NotLeaderError", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("WaitPublished parked forever: waiter registered after the step-down drain was never woken")
+	}
+	bs, err := a.blob(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs.mu.Lock()
+	leaked := len(bs.waiters)
+	bs.mu.Unlock()
+	if leaked != 0 {
+		t.Errorf("deposed leader leaked %d waiter entries", leaked)
+	}
+}
+
 // TestAssignNegotiatesPerVersionLeaseTTL covers the Assign-time TTL
 // negotiation: grants floor at the configured default, honor larger asks,
 // clamp at 8x, and survive journal replay per-version.

@@ -708,6 +708,28 @@ func (m *Manager) WaitPublished(blobID, version uint64) error {
 		ch := make(chan struct{})
 		b.waiters[version] = append(b.waiters[version], ch)
 		b.mu.Unlock()
+		// The leader gate ran at RPC dispatch, but a step-down between
+		// dispatch and the registration above would have drained the
+		// waiter map before we joined it — nothing local would ever wake
+		// ch. stepDownLocked stores the role before draining, so if the
+		// gate still passes here, any step-down that could miss us has
+		// not drained yet and will close ch; if it fails, deregister and
+		// redirect instead of parking forever.
+		if err := m.leaderGate(); err != nil {
+			b.mu.Lock()
+			chans := b.waiters[version]
+			for i, c := range chans {
+				if c == ch {
+					b.waiters[version] = append(chans[:i], chans[i+1:]...)
+					break
+				}
+			}
+			if len(b.waiters[version]) == 0 {
+				delete(b.waiters, version)
+			}
+			b.mu.Unlock()
+			return err
+		}
 		<-ch
 		// Woken by a publish, a delete, or a leadership step-down (the
 		// deposed leader drains every waiter: the publish this caller is
