@@ -2,7 +2,7 @@ GO ?= go
 FUZZTIME ?= 10s
 BENCHTIME ?= 1x
 
-.PHONY: all build vet test race fuzz bench e2e-restart e2e-repair e2e-lease e2e-failover soak-smoke ci clean
+.PHONY: all build vet test race fuzz bench e2e-restart e2e-repair e2e-lease e2e-failover e2e-scrub soak-smoke ci clean
 
 all: ci
 
@@ -32,6 +32,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzCoalescedBatchTear -fuzztime=$(FUZZTIME) ./internal/durable/
 	$(GO) test -fuzz=FuzzLeaseRecordReplay -fuzztime=$(FUZZTIME) ./internal/vmanager/
 	$(GO) test -fuzz=FuzzReplicationDivergence -fuzztime=$(FUZZTIME) ./internal/vmanager/
+	$(GO) test -fuzz=FuzzDigestWireDecode -fuzztime=$(FUZZTIME) ./internal/provider/
 
 # Macro-benchmark smoke test: one iteration of every reconstructed
 # experiment (E1-E14, including the E14 repair-under-churn bench) keeps
@@ -41,7 +42,9 @@ fuzz:
 # BENCH_baseline_pr4.json / BENCH_after_pr4.json record the E13
 # before/after of the write-plane batching + WAL group commit (PR 4);
 # BENCH_baseline_pr5.json / BENCH_after_pr5.json record the E14
-# degraded-vs-repaired numbers of the self-healing repair engine (PR 5).
+# degraded-vs-repaired numbers of the self-healing repair engine (PR 5);
+# BENCH_baseline_pr9.json / BENCH_after_pr9.json record the E1
+# before/after of verify-on-read chunk integrity (PR 9, gate <=3%).
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime $(BENCHTIME) .
 
@@ -78,6 +81,15 @@ e2e-failover:
 	$(GO) test -race -count=1 -run 'TestFailoverMidWriteStorm|TestStandbyCrashDoesNotBlockCommits' -timeout 10m ./internal/fault/
 	$(GO) test -race -count=1 -run 'TestReplication|TestQuorum|TestFailover|TestDivergent|TestRebooted' ./internal/vmanager/
 
+# Chunk-integrity end-to-end suite, under the race detector: with one
+# replica bit-rotted, concurrent readers must fail over without ever
+# seeing wrong bytes, and one scrub pass (RAM and disk engines) must
+# quarantine the rot, re-replicate from a verified survivor, and purge the
+# bad copy. Plus the provider-local verification unit suite.
+e2e-scrub:
+	$(GO) test -race -count=1 -run 'TestCorruptReplicaReadFailover|TestScrubRestoresDegree' ./internal/fault/
+	$(GO) test -race -count=1 -run 'TestGetQuarantinesCorruptCopy|TestIngestRejectsCorruptPut|TestLegacyChunkBackfilledOnRead|TestVerifyChunkRecheck|TestScrubStepBudgetAndResume|TestSidecarDigestReplayAndTornFileBootCheck' ./internal/provider/
+
 # Open-loop soak smoke: 10 seconds of blaster traffic (read/write mix,
 # zipf popularity) against a full in-process cluster with the metrics
 # plane on. Fails on an error-budget breach (>1% errored ops) or a rate
@@ -86,7 +98,7 @@ SOAK_SECS ?= 10
 soak-smoke:
 	BLASTER_SOAK_SECS=$(SOAK_SECS) $(GO) test -race -count=1 -run 'TestSoakSmoke' -timeout 10m ./internal/blaster/
 
-ci: vet build race fuzz bench e2e-restart e2e-repair e2e-lease e2e-failover soak-smoke
+ci: vet build race fuzz bench e2e-restart e2e-repair e2e-lease e2e-failover e2e-scrub soak-smoke
 
 clean:
 	$(GO) clean -testcache

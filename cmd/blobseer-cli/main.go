@@ -22,6 +22,11 @@
 //	blobseer-cli ... repair                        # run one repair pass (re-replicate + rebalance)
 //	blobseer-cli ... repair-stats                  # cumulative repair totals (all engines)
 //
+// Data integrity (see blobseerd -role scrub):
+//
+//	blobseer-cli ... scrub -rate-mb 32             # run one rate-limited scrub pass
+//	blobseer-cli ... scrub-stats                   # cumulative scrub totals (all engines)
+//
 // Write leases (see blobseerd -lease-ttl):
 //
 //	blobseer-cli ... lease-stats                   # lease grant/renew/expiry counters
@@ -55,6 +60,7 @@ import (
 	"repro/internal/provider"
 	"repro/internal/repair"
 	"repro/internal/rpc"
+	"repro/internal/scrub"
 	"repro/internal/vmanager"
 )
 
@@ -64,7 +70,7 @@ func main() {
 	metaList := flag.String("meta", "127.0.0.1:4410", "comma-separated metadata provider addresses")
 	flag.Parse()
 	if flag.NArg() < 1 {
-		log.Fatal("blobseer-cli: missing subcommand (create|write|append|read|stat|list|retention|prune|delete|gc|gc-stats|repair|repair-stats|lease-stats|stats|compact|ha-status)")
+		log.Fatal("blobseer-cli: missing subcommand (create|write|append|read|stat|list|retention|prune|delete|gc|gc-stats|repair|repair-stats|scrub|scrub-stats|lease-stats|stats|compact|ha-status)")
 	}
 	vmAddrs := strings.Split(*vm, ",")
 
@@ -220,18 +226,46 @@ func main() {
 		})
 		must(err)
 		st, err := eng.Run()
-		fmt.Printf("repair: scanned=%d under-replicated=%d re-replicated=%d migrated=%d bytes-moved=%d leaves-patched=%d lost=%d errors=%d\n",
+		fmt.Printf("repair: scanned=%d under-replicated=%d re-replicated=%d migrated=%d bytes-moved=%d leaves-patched=%d lost=%d corrupt-purged=%d errors=%d\n",
 			st.ChunksScanned, st.UnderReplicated, st.ReReplicated, st.Migrated,
-			st.BytesMoved, st.LeavesPatched, st.LostChunks, st.Errors)
+			st.BytesMoved, st.LeavesPatched, st.LostChunks, st.CorruptPurged, st.Errors)
 		must(err)
 	case "repair-stats":
 		rpcCli := rpc.NewClient(rpc.NewTCPNetwork(), 0)
 		defer rpcCli.Close()
 		var st vmanager.RepairTotals
 		must(vmanager.NewCaller(rpcCli, vmAddrs).Call(vmanager.MethodRepairStats, &vmanager.Ack{}, &st))
-		fmt.Printf("repair: passes=%d scanned=%d under-replicated=%d re-replicated=%d migrated=%d bytes-moved=%d leaves-patched=%d lost=%d errors=%d\n",
+		fmt.Printf("repair: passes=%d scanned=%d under-replicated=%d re-replicated=%d migrated=%d bytes-moved=%d leaves-patched=%d lost=%d corrupt-purged=%d errors=%d\n",
 			st.Passes, st.ChunksScanned, st.UnderReplicated, st.ReReplicated, st.Migrated,
-			st.BytesMoved, st.LeavesPatched, st.LostChunks, st.Errors)
+			st.BytesMoved, st.LeavesPatched, st.LostChunks, st.CorruptPurged, st.Errors)
+	case "scrub":
+		fs := flag.NewFlagSet("scrub", flag.ExitOnError)
+		rateMB := fs.Int64("rate-mb", 32, "verification rate limit in MiB/s (<=0 = unlimited)")
+		fs.Parse(args)
+		rpcCli := rpc.NewClient(rpc.NewTCPNetwork(), 0)
+		defer rpcCli.Close()
+		rate := scrub.NoRateLimit
+		if *rateMB > 0 {
+			rate = uint64(*rateMB) << 20
+		}
+		eng, err := scrub.New(scrub.Config{
+			RPC:         rpcCli,
+			VMAddrs:     vmAddrs,
+			PMAddr:      *pm,
+			BytesPerSec: rate,
+		})
+		must(err)
+		st, err := eng.Run()
+		fmt.Printf("scrub: scanned=%d bytes=%d corrupt=%d backfilled=%d errors=%d\n",
+			st.ChunksScanned, st.BytesScanned, st.CorruptFound, st.Backfilled, st.Errors)
+		must(err)
+	case "scrub-stats":
+		rpcCli := rpc.NewClient(rpc.NewTCPNetwork(), 0)
+		defer rpcCli.Close()
+		var st vmanager.ScrubTotals
+		must(vmanager.NewCaller(rpcCli, vmAddrs).Call(vmanager.MethodScrubStats, &vmanager.Ack{}, &st))
+		fmt.Printf("scrub: passes=%d scanned=%d bytes=%d corrupt=%d backfilled=%d errors=%d\n",
+			st.Passes, st.ChunksScanned, st.BytesScanned, st.CorruptFound, st.Backfilled, st.Errors)
 	case "lease-stats":
 		rpcCli := rpc.NewClient(rpc.NewTCPNetwork(), 0)
 		defer rpcCli.Close()
@@ -263,8 +297,13 @@ func main() {
 
 		var rt vmanager.RepairTotals
 		must(vmc.Call(vmanager.MethodRepairStats, &vmanager.Ack{}, &rt))
-		fmt.Printf("repair:  passes=%d scanned=%d re-replicated=%d migrated=%d bytes-moved=%d lost=%d errors=%d\n",
-			rt.Passes, rt.ChunksScanned, rt.ReReplicated, rt.Migrated, rt.BytesMoved, rt.LostChunks, rt.Errors)
+		fmt.Printf("repair:  passes=%d scanned=%d re-replicated=%d migrated=%d bytes-moved=%d lost=%d corrupt-purged=%d errors=%d\n",
+			rt.Passes, rt.ChunksScanned, rt.ReReplicated, rt.Migrated, rt.BytesMoved, rt.LostChunks, rt.CorruptPurged, rt.Errors)
+
+		var sc vmanager.ScrubTotals
+		must(vmc.Call(vmanager.MethodScrubStats, &vmanager.Ack{}, &sc))
+		fmt.Printf("scrub:   passes=%d scanned=%d bytes=%d corrupt=%d backfilled=%d errors=%d\n",
+			sc.Passes, sc.ChunksScanned, sc.BytesScanned, sc.CorruptFound, sc.Backfilled, sc.Errors)
 
 		var ls vmanager.LeaseStatsResp
 		must(vmc.Call(vmanager.MethodLeaseStats, &vmanager.Ack{}, &ls))
@@ -284,8 +323,9 @@ func main() {
 				fmt.Printf("  %-22s unreachable: %v\n", addr, err)
 				continue
 			}
-			fmt.Printf("  %-22s chunks=%d bytes=%d puts=%d gets=%d deletes=%d bytes-in=%d bytes-out=%d\n",
-				addr, ps.Chunks, ps.Bytes, ps.Puts, ps.Gets, ps.Deletes, ps.BytesIn, ps.BytesOut)
+			fmt.Printf("  %-22s chunks=%d bytes=%d puts=%d gets=%d deletes=%d bytes-in=%d bytes-out=%d verified=%d corrupt=%d quarantined=%d backfilled=%d\n",
+				addr, ps.Chunks, ps.Bytes, ps.Puts, ps.Gets, ps.Deletes, ps.BytesIn, ps.BytesOut,
+				ps.Verified, ps.Corrupt, ps.Quarantined, ps.Backfilled)
 		}
 	case "compact":
 		rpcCli := rpc.NewClient(rpc.NewTCPNetwork(), 0)

@@ -7,6 +7,7 @@
 //	blobseerd -role provider  -listen :4420 -pm host:4401 -store disk -dir /var/blobseer/chunks -capacity-mb 65536
 //	blobseerd -role namespace -listen :4430                      # BSFS names
 //	blobseerd -role repair    -vm host:4400 -pm host:4401 -meta host:4410 -repair-interval 30s
+//	blobseerd -role scrub     -vm host:4400 -pm host:4401 -scrub-interval 1h -scrub-rate-mb 32
 //
 // Durability: for the vmanager and metadata roles, -dir selects the
 // journal/node-log directory; the daemon replays it on start, so a crashed
@@ -27,7 +28,15 @@
 // the same loop in-daemon with -repair-interval (plus -pm and -meta).
 // Providers declare capacity with -capacity-mb so placement and the
 // rebalance watermarks can score fullness, and persist their put-age/
-// tombstone sidecar under -dir automatically.
+// tombstone/digest sidecar under -dir automatically.
+// -fullness-watermark sets the shared fullness cutoff in one place
+// (it overrides -repair-high).
+//
+// Data integrity: the scrub role walks every provider's chunk inventory
+// and digest-verifies it at a bounded rate (-scrub-rate-mb MiB/s);
+// corrupt copies are quarantined by their provider and healed by the next
+// repair pass. The vmanager role can run the same loop in-daemon with
+// -scrub-interval (plus -pm).
 //
 // Write leases: -lease-ttl arms the vmanager's writer-failure detector —
 // Assign grants each version a TTL'd lease, clients renew it while
@@ -72,11 +81,12 @@ import (
 	"repro/internal/provider"
 	"repro/internal/repair"
 	"repro/internal/rpc"
+	"repro/internal/scrub"
 	"repro/internal/vmanager"
 )
 
 func main() {
-	role := flag.String("role", "", "vmanager | pmanager | metadata | provider | namespace | repair")
+	role := flag.String("role", "", "vmanager | pmanager | metadata | provider | namespace | repair | scrub")
 	listen := flag.String("listen", ":0", "TCP listen address")
 	vmAddr := flag.String("vm", "", "version manager address, comma-separated list for an HA group (role=repair)")
 	pmAddr := flag.String("pm", "", "provider manager address (role=provider|repair; role=vmanager with -gc-interval or -repair-interval)")
@@ -94,6 +104,9 @@ func main() {
 	repairHigh := flag.Float64("repair-high", 0.85, "rebalance fullness high watermark (role=repair|vmanager)")
 	repairLow := flag.Float64("repair-low", 0.70, "rebalance fullness low watermark (role=repair|vmanager)")
 	repairMoveMB := flag.Int64("repair-max-move-mb", 1024, "max payload the rebalancer migrates per pass (role=repair|vmanager)")
+	fullness := flag.Float64("fullness-watermark", 0, "provider fullness cutoff in (0, 1] shared by the repair and placement planes; overrides -repair-high (0 = keep the 0.85 default)")
+	scrubInterval := flag.Duration("scrub-interval", 0, "background bit-rot scrub pass interval; role=scrub defaults to 1h, 0 = off for role=vmanager")
+	scrubRateMB := flag.Int64("scrub-rate-mb", 32, "scrub verification rate limit in MiB/s, 0 = unlimited (role=scrub|vmanager)")
 	metaList := flag.String("meta", "", "comma-separated metadata provider addresses (role=repair; role=vmanager with -gc-interval, -repair-interval or -lease-ttl)")
 	metaRepl := flag.Int("meta-repl", 1, "metadata replication degree of the deployment (role=repair; role=vmanager loops)")
 	leaseTTL := flag.Duration("lease-ttl", 0, "write-lease TTL granted on Assign, 0 = leases off (role=vmanager)")
@@ -105,6 +118,13 @@ func main() {
 	replMode := flag.String("repl", "quorum", "replication durability: quorum = commit waits for a standby ack, async = commit is local-only (role=vmanager HA)")
 	metricsListen := flag.String("metrics-listen", "", "HTTP address serving /metrics (Prometheus text) and /healthz; empty = exposition off (any role)")
 	flag.Parse()
+
+	if *fullness != 0 {
+		if *fullness <= 0 || *fullness > 1 {
+			log.Fatalf("blobseerd: -fullness-watermark %v out of range (0, 1]", *fullness)
+		}
+		*repairHigh = *fullness
+	}
 
 	network := rpc.NewTCPNetwork()
 	var addr string
@@ -201,9 +221,11 @@ func main() {
 		stopGC := startGCLoop(network, vmGroup, *pmAddr, *metaList, *metaRepl, *gcInterval, *gcGrace, clientObs("gc"))
 		stopRepair := startRepairLoop(network, vmGroup, *pmAddr, *metaList, *metaRepl, *repairInterval,
 			*repairHigh, *repairLow, *repairMoveMB, clientObs("repair"))
+		stopScrub := startScrubLoop(network, vmGroup, *pmAddr, *scrubInterval, *scrubRateMB, clientObs("scrub"))
 		stopLease := startLeaseLoop(network, mgr, *metaList, *metaRepl, *leaseTTL, *leaseExpiry, clientObs("lease"))
 		addr, closer = s.Addr(), func() {
 			stopLease()
+			stopScrub()
 			stopRepair()
 			stopGC()
 			s.Close()
@@ -260,6 +282,17 @@ func main() {
 		stop := startRepairLoop(network, *vmAddr, *pmAddr, *metaList, *metaRepl, interval,
 			*repairHigh, *repairLow, *repairMoveMB, clientObs("repair"))
 		log.Printf("blobseerd: role=repair healing %s every %v", *vmAddr, interval)
+		addr, closer = "(no RPC listener)", stop
+	case "scrub":
+		if *vmAddr == "" || *pmAddr == "" {
+			log.Fatal("blobseerd: role=scrub requires -vm and -pm")
+		}
+		interval := *scrubInterval
+		if interval <= 0 {
+			interval = time.Hour
+		}
+		stop := startScrubLoop(network, *vmAddr, *pmAddr, interval, *scrubRateMB, clientObs("scrub"))
+		log.Printf("blobseerd: role=scrub verifying %s every %v", *vmAddr, interval)
 		addr, closer = "(no RPC listener)", stop
 	case "provider":
 		if *pmAddr == "" {
@@ -409,6 +442,59 @@ func startRepairLoop(network rpc.Network, vmAddr, pmAddr, metaList string, metaR
 		}
 	}()
 	log.Printf("blobseerd: background repair every %v (watermarks %.2f/%.2f)", interval, high, low)
+	return func() {
+		close(stop)
+		<-done
+		cli.Close()
+	}
+}
+
+// startScrubLoop runs the bit-rot scrubbing loop (in-daemon for the
+// vmanager role, standalone for role=scrub). It returns a stop function
+// (a no-op when the loop is off).
+func startScrubLoop(network rpc.Network, vmAddr, pmAddr string, interval time.Duration,
+	rateMB int64, co rpc.ClientObserver) func() {
+	if interval <= 0 {
+		return func() {}
+	}
+	if pmAddr == "" {
+		log.Fatal("blobseerd: the scrub loop requires -pm so passes can reach the providers")
+	}
+	rate := uint64(rateMB) << 20
+	if rateMB <= 0 {
+		rate = scrub.NoRateLimit
+	}
+	cli := rpc.NewClient(network, 0)
+	cli.SetObserver(co)
+	eng, err := scrub.New(scrub.Config{
+		RPC:         cli,
+		VMAddrs:     strings.Split(vmAddr, ","),
+		PMAddr:      pmAddr,
+		BytesPerSec: rate,
+	})
+	must(err)
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				if st, err := eng.Run(); err != nil {
+					log.Printf("blobseerd: scrub pass: %v (scanned=%d corrupt=%d)",
+						err, st.ChunksScanned, st.CorruptFound)
+				} else if st.CorruptFound > 0 {
+					log.Printf("blobseerd: scrub pass quarantined %d corrupt copies (repair will heal them)",
+						st.CorruptFound)
+				}
+			}
+		}
+	}()
+	log.Printf("blobseerd: background scrub every %v (rate %d MiB/s)", interval, rateMB)
 	return func() {
 		close(stop)
 		<-done

@@ -182,6 +182,14 @@ func (s *CachedStore) GetRange(k Key, off, length uint64) ([]byte, error) {
 // Has consults the backing store (authoritative).
 func (s *CachedStore) Has(k Key) bool { return s.backing.Has(k) }
 
+// Size delegates to the backing store when it tracks sizes.
+func (s *CachedStore) Size(k Key) (int64, bool) {
+	if sz, ok := s.backing.(interface{ Size(Key) (int64, bool) }); ok {
+		return sz.Size(k)
+	}
+	return 0, false
+}
+
 // Delete removes from both layers.
 func (s *CachedStore) Delete(k Key) error {
 	s.cacheDelete(k)

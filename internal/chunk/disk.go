@@ -161,6 +161,19 @@ func (s *DiskStore) GetRange(k Key, off, length uint64) ([]byte, error) {
 	return buf, nil
 }
 
+// Size reports a stored chunk's byte size from the in-memory manifest,
+// without touching the file. Providers cross-check it against the
+// sidecar's recorded length on boot to catch torn or truncated files.
+func (s *DiskStore) Size(k Key) (int64, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	size, ok := s.sizes[k]
+	if !ok || size < 0 {
+		return 0, false
+	}
+	return size, true
+}
+
 // Has reports whether k is stored.
 func (s *DiskStore) Has(k Key) bool {
 	s.mu.RLock()

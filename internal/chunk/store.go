@@ -127,6 +127,14 @@ func (s *MemStore) GetRange(k Key, off, length uint64) ([]byte, error) {
 	return clipRange(d, off, length), nil
 }
 
+// Clip slices a whole chunk to the requested range, with the same
+// clipping semantics as GetRange (length == 0 means "to the end"). Used
+// by callers that must materialize a full chunk anyway — e.g. a provider
+// verifying the digest before serving a sub-range.
+func Clip(data []byte, off, length uint64) []byte {
+	return clipRange(data, off, length)
+}
+
 // clipRange slices data to the clipBounds of [off, off+length).
 func clipRange(data []byte, off, length uint64) []byte {
 	lo, hi := clipBounds(uint64(len(data)), off, length)

@@ -22,6 +22,7 @@ import (
 	"repro/internal/provider"
 	"repro/internal/repair"
 	"repro/internal/rpc"
+	"repro/internal/scrub"
 	"repro/internal/vmanager"
 )
 
@@ -65,6 +66,19 @@ type Config struct {
 	// watermarks (defaults 0.85 / 0.70; see repair.Config).
 	RepairHighWater float64
 	RepairLowWater  float64
+	// FullnessWatermark is the client-side retry-placement fullness cutoff
+	// (default 0.85, mirroring RepairHighWater's default; see
+	// core.Config.FullnessWatermark). Must be in (0, 1] when set.
+	FullnessWatermark float64
+	// ScrubInterval enables the background bit-rot scrubbing loop: every
+	// interval a pass digest-verifies every provider's whole inventory at
+	// a bounded rate. Zero disables the loop (passes can still be run on
+	// demand with RunScrub).
+	ScrubInterval time.Duration
+	// ScrubBytesPerSec bounds the scrubber's aggregate verification rate
+	// (default 32 MiB/s; scrub.NoRateLimit disables pacing — the right
+	// choice for tests).
+	ScrubBytesPerSec uint64
 	// LeaseTTL enables write leases: Assign grants each version this TTL,
 	// clients renew while uploading, and the expiry loop aborts (and
 	// identity-weaves) versions whose lease lapses — so a writer killed
@@ -173,6 +187,13 @@ type Cluster struct {
 	repairClient *rpc.Client
 	repairStop   chan struct{}
 	repairDone   chan struct{}
+
+	// Scrub is the deployment's bit-rot scrubber (always built; the
+	// background loop only runs when Config.ScrubInterval > 0).
+	Scrub       *scrub.Engine
+	scrubClient *rpc.Client
+	scrubStop   chan struct{}
+	scrubDone   chan struct{}
 
 	// Lease expiry: leaseWeaver runs the server-side identity weave over
 	// its own metadata client; the loop runs when Config.LeaseTTL > 0.
@@ -503,6 +524,40 @@ func Start(cfg Config) (*Cluster, error) {
 		}(c.repairStop, c.repairDone)
 	}
 
+	// Bit-rot scrubber: the engine is always available; the background
+	// loop runs only when an interval was configured.
+	c.scrubClient = rpc.NewClientFrom(c.Network, cfg.CallTimeout, "scrub")
+	c.scrubClient.SetObserver(c.clientObserver("scrub"))
+	scrubber, err := scrub.New(scrub.Config{
+		RPC:         c.scrubClient,
+		VMAddr:      c.vmAddr,
+		VMAddrs:     c.VMAddrs(),
+		PMAddr:      c.pmAddr,
+		BytesPerSec: cfg.ScrubBytesPerSec,
+	})
+	if err != nil {
+		c.Close()
+		return nil, fmt.Errorf("cluster: building scrub engine: %w", err)
+	}
+	c.Scrub = scrubber
+	if cfg.ScrubInterval > 0 {
+		c.scrubStop = make(chan struct{})
+		c.scrubDone = make(chan struct{})
+		go func(stop, done chan struct{}) {
+			defer close(done)
+			t := time.NewTicker(cfg.ScrubInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-t.C:
+					_, _ = c.RunScrub() // per-provider errors retry next pass
+				}
+			}
+		}(c.scrubStop, c.scrubDone)
+	}
+
 	// Lease expiry loop: collects lapsed write leases, weaving each dead
 	// version's identity tree through a dedicated metadata client before
 	// the abort lands. Runs colocated with the version manager (it is a
@@ -587,6 +642,35 @@ func (c *Cluster) RunRepair() (repair.Stats, error) { return c.Repair.Run() }
 // manager).
 func (c *Cluster) RunGC() (gc.Stats, error) { return c.GC.Run() }
 
+// RunScrub executes one bit-rot scrubbing pass synchronously. When the
+// pass quarantined corrupt copies, a repair pass follows immediately so
+// one RunScrub call detects AND heals — the corrupt replicas are
+// re-replicated from verified-good survivors and the bad copies deleted.
+func (c *Cluster) RunScrub() (scrub.Stats, error) {
+	st, err := c.Scrub.Run()
+	if st.CorruptFound > 0 {
+		if _, rerr := c.Repair.Run(); rerr != nil && err == nil {
+			err = rerr
+		}
+	}
+	return st, err
+}
+
+// CorruptChunk flips one payload byte of provider i's copy of key at the
+// given offset, bypassing every write path — the fault-injection hook the
+// integrity tests build on. The provider's store engine must support
+// corruption (all the built-in engines do).
+func (c *Cluster) CorruptChunk(i int, key chunk.Key, off uint64) error {
+	if i < 0 || i >= len(c.provStores) {
+		return fmt.Errorf("cluster: no provider %d", i)
+	}
+	cor, ok := c.provStores[i].(chunk.Corruptor)
+	if !ok {
+		return fmt.Errorf("cluster: provider %d's store (%T) cannot inject corruption", i, c.provStores[i])
+	}
+	return cor.Corrupt(key, off)
+}
+
 // VMAddr returns the primary version manager's address (instance 0; with
 // HA this is whoever bootstrapped, not necessarily the current leader).
 func (c *Cluster) VMAddr() string { return c.vmAddr }
@@ -661,17 +745,18 @@ func (c *Cluster) NewClient(opts ClientOptions) (*core.Client, error) {
 		c.clientMu.Unlock()
 	}
 	cli, err := core.NewClient(core.Config{
-		Network:         c.Network,
-		ClientName:      name,
-		VMAddr:          c.vmAddr,
-		VMAddrs:         c.VMAddrs(),
-		PMAddr:          c.pmAddr,
-		MetaProviders:   c.metaAddrs,
-		MetaReplication: c.cfg.MetaReplication,
-		MetaCacheNodes:  opts.MetaCacheNodes,
-		CallTimeout:     c.cfg.CallTimeout,
-		ParallelIO:      opts.ParallelIO,
-		Observer:        opts.Observer,
+		Network:           c.Network,
+		ClientName:        name,
+		VMAddr:            c.vmAddr,
+		VMAddrs:           c.VMAddrs(),
+		PMAddr:            c.pmAddr,
+		MetaProviders:     c.metaAddrs,
+		MetaReplication:   c.cfg.MetaReplication,
+		MetaCacheNodes:    opts.MetaCacheNodes,
+		CallTimeout:       c.cfg.CallTimeout,
+		ParallelIO:        opts.ParallelIO,
+		FullnessWatermark: c.cfg.FullnessWatermark,
+		Observer:          opts.Observer,
 	})
 	if err != nil {
 		return nil, err
@@ -929,6 +1014,14 @@ func (c *Cluster) Close() {
 	}
 	if c.repairClient != nil {
 		c.repairClient.Close()
+	}
+	if c.scrubStop != nil {
+		close(c.scrubStop)
+		<-c.scrubDone
+		c.scrubStop = nil
+	}
+	if c.scrubClient != nil {
+		c.scrubClient.Close()
 	}
 	if c.leaseStop != nil {
 		close(c.leaseStop)

@@ -1,0 +1,41 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rpc"
+)
+
+// The fullness watermark steers retry placement away from nearly-full
+// providers; a value outside (0, 1] would either exclude everything or
+// nothing, so NewClient must reject it loudly instead of limping.
+func TestFullnessWatermarkValidation(t *testing.T) {
+	base := func() core.Config {
+		return core.Config{
+			Network:       rpc.NewSimNetwork(nil),
+			VMAddr:        "vm",
+			PMAddr:        "pm",
+			MetaProviders: []string{"m0"},
+		}
+	}
+
+	for _, w := range []float64{-0.1, 1.0001, 2} {
+		cfg := base()
+		cfg.FullnessWatermark = w
+		if _, err := core.NewClient(cfg); err == nil || !strings.Contains(err.Error(), "FullnessWatermark") {
+			t.Errorf("watermark %v: err = %v, want out-of-range rejection", w, err)
+		}
+	}
+	for _, w := range []float64{0, 0.5, 0.85, 1} { // 0 means "use the default"
+		cfg := base()
+		cfg.FullnessWatermark = w
+		cli, err := core.NewClient(cfg)
+		if err != nil {
+			t.Errorf("watermark %v: unexpected error %v", w, err)
+			continue
+		}
+		cli.Close()
+	}
+}

@@ -77,6 +77,12 @@ type Config struct {
 	// ParallelIO bounds concurrent chunk transfers per operation
 	// (default 16).
 	ParallelIO int
+	// FullnessWatermark is the provider fullness (used/capacity) above
+	// which retried chunk placements exclude a provider (default 0.85).
+	// Deployments tune it together with the repair engine's HighWater so
+	// the write plane stops targeting disks the rebalancer is draining.
+	// Must be in (0, 1]; zero means "use the default".
+	FullnessWatermark float64
 	// Observer, when set, sees every chunk transfer.
 	Observer Observer
 }
@@ -100,6 +106,7 @@ type Client struct {
 	chunkPutBatches metrics.Counter
 	chunkBytesIn    metrics.Counter
 	chunkBytesOut   metrics.Counter
+	chunkCorrupt    metrics.Counter
 }
 
 // IOStats is a snapshot of the client's data-plane traffic.
@@ -114,16 +121,20 @@ type IOStats struct {
 	ChunkPutRPCs  int64
 	ChunkBytesIn  int64 // payload bytes received from providers
 	ChunkBytesOut int64 // payload bytes sent to providers
+	// ChunkCorruptReads counts replica reads rejected by the end-to-end
+	// digest check (each one failed over to another replica).
+	ChunkCorruptReads int64
 }
 
 // IOStats reports cumulative chunk-transfer counts for this client.
 func (c *Client) IOStats() IOStats {
 	return IOStats{
-		ChunkGetRPCs:  c.chunkGets.Load(),
-		ChunkPutOps:   c.chunkPuts.Load(),
-		ChunkPutRPCs:  c.chunkPutBatches.Load(),
-		ChunkBytesIn:  c.chunkBytesIn.Load(),
-		ChunkBytesOut: c.chunkBytesOut.Load(),
+		ChunkGetRPCs:      c.chunkGets.Load(),
+		ChunkPutOps:       c.chunkPuts.Load(),
+		ChunkPutRPCs:      c.chunkPutBatches.Load(),
+		ChunkBytesIn:      c.chunkBytesIn.Load(),
+		ChunkBytesOut:     c.chunkBytesOut.Load(),
+		ChunkCorruptReads: c.chunkCorrupt.Load(),
 	}
 }
 
@@ -147,6 +158,12 @@ func NewClient(cfg Config) (*Client, error) {
 	}
 	if cfg.ParallelIO <= 0 {
 		cfg.ParallelIO = 16
+	}
+	if cfg.FullnessWatermark == 0 {
+		cfg.FullnessWatermark = defaultFullnessWatermark
+	}
+	if cfg.FullnessWatermark < 0 || cfg.FullnessWatermark > 1 {
+		return nil, fmt.Errorf("core: Config.FullnessWatermark %v out of range (0, 1]", cfg.FullnessWatermark)
 	}
 	rpcCli := rpc.NewClientFrom(cfg.Network, cfg.CallTimeout, cfg.ClientName)
 	vmAddrs := cfg.VMAddrs
@@ -282,11 +299,12 @@ func (c *Client) allocate(n int, replication uint32, exclude []string) ([][]stri
 	return resp.Sets, nil
 }
 
-// retryFullnessWatermark matches the repair engine's default high-water
+// defaultFullnessWatermark matches the repair engine's default high-water
 // mark: a provider above it is a migration SOURCE, so placing a retried
 // chunk there would hand the repair plane immediate rebalance work (and
-// risk a second failure if the first was capacity-related).
-const retryFullnessWatermark = 0.85
+// risk a second failure if the first was capacity-related). Deployments
+// override it via Config.FullnessWatermark.
+const defaultFullnessWatermark = 0.85
 
 // fullProviders lists providers above the fullness watermark, from the
 // provider manager's report. Best effort: on any error the retry placement

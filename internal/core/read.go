@@ -180,6 +180,12 @@ func (b *Blob) fetchChunkRange(ref meta.ChunkRef, off, length uint64) ([]byte, e
 			b.c.chunkBytesIn.Add(int64(len(data)))
 			return data, nil
 		}
+		if provider.IsCorrupt(err) {
+			// The replica's bytes failed the end-to-end digest check (the
+			// provider has been told to recheck its copy); the next replica
+			// gets the read.
+			b.c.chunkCorrupt.Add(1)
+		}
 		lastErr = err
 	}
 	return nil, fmt.Errorf("core: chunk %s unavailable on all %d replicas: %w",

@@ -18,6 +18,10 @@ import (
 type writeJob struct {
 	idx  uint64
 	data []byte
+	// digest is the chunk's content digest, computed once per upload (after
+	// any read-modify-write merge mutates data) and sent with every replica
+	// put so providers can reject bytes that were damaged in transit.
+	digest chunk.Digest
 }
 
 // Write stores p at byte offset off, producing and returning a new version.
@@ -473,6 +477,11 @@ func (b *Blob) uploadChunks(writeID uint64, jobs []writeJob, sets [][]string, st
 	}
 	accepted := make([][]string, len(jobs))
 	failedAt := make([][]string, len(jobs))
+	// Digest once per chunk, not once per replica put: the same checksum
+	// rides every copy (and any retry) of the chunk.
+	for i := range jobs {
+		jobs[i].digest = chunk.DigestOf(jobs[i].data)
+	}
 	var resMu sync.Mutex
 	b.putGrouped(writeID, jobs, sets, accepted, failedAt, &resMu)
 
@@ -502,7 +511,7 @@ func (b *Blob) uploadChunks(writeID uint64, jobs []writeJob, sets [][]string, st
 		// effort — if the report is unavailable the plain exclusion set
 		// stands, and the allocator's starvation safety (an exclusion that
 		// would empty the pool is ignored) still applies.
-		for _, addr := range b.c.fullProviders(retryFullnessWatermark) {
+		for _, addr := range b.c.fullProviders(b.c.cfg.FullnessWatermark) {
 			if !seen[addr] {
 				seen[addr] = true
 				exclude = append(exclude, addr)
@@ -585,8 +594,9 @@ func (b *Blob) putGrouped(writeID uint64, jobs []writeJob, sets [][]string, acce
 		items := make([]provider.PutItem, len(idxs))
 		for j, i := range idxs {
 			items[j] = provider.PutItem{
-				Key:  chunk.Key{Blob: b.id, Version: writeID, Index: jobs[i].idx},
-				Data: jobs[i].data,
+				Key:    chunk.Key{Blob: b.id, Version: writeID, Index: jobs[i].idx},
+				Data:   jobs[i].data,
+				Digest: jobs[i].digest,
 			}
 		}
 		start := time.Now()

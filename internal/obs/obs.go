@@ -150,6 +150,21 @@ func RegisterVManager(reg *metrics.Registry, mgr func() *vmanager.Manager) {
 			"Chunks with no surviving replica (unrecoverable until a provider returns).", gcL, func() float64 { return u(mgr().RepairStats().LostChunks) }),
 		metrics.CounterFunc("blobseer_repair_errors_total",
 			"Per-blob repair failures (retried next pass).", gcL, func() float64 { return u(mgr().RepairStats().Errors) }),
+		metrics.CounterFunc("blobseer_repair_corrupt_purged_total",
+			"Quarantined corrupt replicas deleted after a verified copy replaced them.", gcL, func() float64 { return u(mgr().RepairStats().CorruptPurged) }),
+
+		metrics.CounterFunc("blobseer_scrub_passes_total",
+			"Completed scrub passes (all engines reporting here).", gcL, func() float64 { return u(mgr().ScrubStats().Passes) }),
+		metrics.CounterFunc("blobseer_scrub_chunks_scanned_total",
+			"Chunk replicas verified against their digests by scrub passes.", gcL, func() float64 { return u(mgr().ScrubStats().ChunksScanned) }),
+		metrics.CounterFunc("blobseer_scrub_bytes_scanned_total",
+			"Payload bytes read back and verified by scrub passes.", gcL, func() float64 { return u(mgr().ScrubStats().BytesScanned) }),
+		metrics.CounterFunc("blobseer_scrub_corrupt_found_total",
+			"Replicas that failed verification during a scrub (quarantined for repair).", gcL, func() float64 { return u(mgr().ScrubStats().CorruptFound) }),
+		metrics.CounterFunc("blobseer_scrub_backfilled_total",
+			"Legacy digestless chunks whose digest was minted by a scrub.", gcL, func() float64 { return u(mgr().ScrubStats().Backfilled) }),
+		metrics.CounterFunc("blobseer_scrub_errors_total",
+			"Per-provider scrub failures (retried next pass).", gcL, func() float64 { return u(mgr().ScrubStats().Errors) }),
 
 		metrics.GaugeFunc("blobseer_lease_ttl_seconds",
 			"Configured write-lease TTL (0 = leases disabled).", gcL, func() float64 { return float64(mgr().LeaseStats().TTLMs) / 1000 }),
@@ -261,6 +276,14 @@ func RegisterProvider(reg *metrics.Registry, instance string, srv func() *provid
 			"Payload bytes accepted by puts.", l, func() float64 { return u(snap().BytesIn) }),
 		metrics.CounterFunc("blobseer_provider_bytes_out_total",
 			"Payload bytes served by gets (ranged reads move only what they need).", l, func() float64 { return u(snap().BytesOut) }),
+		metrics.CounterFunc("blobseer_chunk_verifications_total",
+			"Full-chunk digest checks performed (reads, ingest and scrub).", l, func() float64 { return u(snap().Verified) }),
+		metrics.CounterFunc("blobseer_chunk_corruption_total",
+			"Chunk copies that failed a digest check (each counted once, at quarantine).", l, func() float64 { return u(snap().Corrupt) }),
+		metrics.GaugeFunc("blobseer_chunk_quarantined",
+			"Chunk copies currently quarantined awaiting repair and deletion.", l, func() float64 { return u(snap().Quarantined) }),
+		metrics.CounterFunc("blobseer_chunk_digest_backfilled_total",
+			"Legacy digestless chunks whose digest was minted on first clean read.", l, func() float64 { return u(snap().Backfilled) }),
 	)
 	if cs, ok := srv().Store().(interface {
 		CacheStats() (hits, misses, residentBytes int64)
@@ -375,6 +398,8 @@ func RegisterCoreClient(reg *metrics.Registry, instance string, cli *core.Client
 			"Payload bytes received from providers.", l, func() float64 { return float64(io().ChunkBytesIn) }),
 		metrics.CounterFunc("blobseer_client_chunk_bytes_out_total",
 			"Payload bytes sent to providers.", l, func() float64 { return float64(io().ChunkBytesOut) }),
+		metrics.CounterFunc("blobseer_client_chunk_corrupt_reads_total",
+			"Replica reads rejected client-side by the end-to-end digest check (failed over).", l, func() float64 { return float64(io().ChunkCorruptReads) }),
 		metrics.CounterFunc("blobseer_client_meta_get_rpcs_total",
 			"Singleton meta.get calls issued.", l, func() float64 { return float64(ms().GetRPCs) }),
 		metrics.CounterFunc("blobseer_client_meta_getnodes_rpcs_total",

@@ -6,6 +6,7 @@ package provider
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -33,10 +34,14 @@ const (
 // rather than retry.
 var ErrBlobDeleted = fmt.Errorf("provider: blob deleted")
 
-// PutReq stores one chunk.
+// PutReq stores one chunk. Digest is the writer-computed content digest
+// (algorithm id + sum); the provider re-checks the received bytes
+// against it, so corruption in transit is rejected at ingest instead of
+// persisted. A zero digest is accepted (the provider computes its own).
 type PutReq struct {
-	Key  chunk.Key
-	Data []byte
+	Key    chunk.Key
+	Data   []byte
+	Digest chunk.Digest
 }
 
 // Encode implements wire.Message.
@@ -45,6 +50,8 @@ func (r *PutReq) Encode(e *wire.Encoder) {
 	e.PutU64(r.Key.Version)
 	e.PutU64(r.Key.Index)
 	e.PutBytes(r.Data)
+	e.PutU8(r.Digest.Algo)
+	e.PutU32(r.Digest.Sum)
 }
 
 // Decode implements wire.Message.
@@ -53,12 +60,15 @@ func (r *PutReq) Decode(d *wire.Decoder) {
 	r.Key.Version = d.U64()
 	r.Key.Index = d.U64()
 	r.Data = d.BytesCopy()
+	r.Digest.Algo = d.U8()
+	r.Digest.Sum = d.U32()
 }
 
-// PutItem is one chunk within a batched put.
+// PutItem is one chunk within a batched put (digest semantics as PutReq).
 type PutItem struct {
-	Key  chunk.Key
-	Data []byte
+	Key    chunk.Key
+	Data   []byte
+	Digest chunk.Digest
 }
 
 // PutChunksReq stores a batch of chunks in one round trip. This is the
@@ -78,6 +88,8 @@ func (r *PutChunksReq) Encode(e *wire.Encoder) {
 		e.PutU64(it.Key.Version)
 		e.PutU64(it.Key.Index)
 		e.PutBytes(it.Data)
+		e.PutU8(it.Digest.Algo)
+		e.PutU32(it.Digest.Sum)
 	}
 }
 
@@ -91,6 +103,8 @@ func (r *PutChunksReq) Decode(d *wire.Decoder) {
 		it.Key.Version = d.U64()
 		it.Key.Index = d.U64()
 		it.Data = d.BytesCopy()
+		it.Digest.Algo = d.U8()
+		it.Digest.Sum = d.U32()
 		r.Items = append(r.Items, it)
 	}
 }
@@ -151,22 +165,31 @@ func (r *GetReq) Decode(d *wire.Decoder) {
 	r.Length = d.U64()
 }
 
-// GetResp returns chunk bytes when found.
+// GetResp returns chunk bytes when found. Digest is the full chunk's
+// recorded content digest (zero for legacy chunks still awaiting
+// backfill): a whole-chunk reader re-verifies the received bytes against
+// it end-to-end, catching corruption in transit that the provider-side
+// check cannot see.
 type GetResp struct {
-	Found bool
-	Data  []byte
+	Found  bool
+	Data   []byte
+	Digest chunk.Digest
 }
 
 // Encode implements wire.Message.
 func (r *GetResp) Encode(e *wire.Encoder) {
 	e.PutBool(r.Found)
 	e.PutBytes(r.Data)
+	e.PutU8(r.Digest.Algo)
+	e.PutU32(r.Digest.Sum)
 }
 
 // Decode implements wire.Message.
 func (r *GetResp) Decode(d *wire.Decoder) {
 	r.Found = d.Bool()
 	r.Data = d.BytesCopy()
+	r.Digest.Algo = d.U8()
+	r.Digest.Sum = d.U32()
 }
 
 // GetChunksReq fetches a batch of whole chunks in one round trip: the
@@ -203,10 +226,16 @@ func (r *GetChunksReq) Decode(d *wire.Decoder) {
 // GetChunksResp returns the chunks aligned with the request keys; a nil
 // Data entry with Found false marks a key this provider does not hold
 // (ordinary for repair probing a possibly stale replica list, not an
-// error).
+// error). A Corrupt entry marks a copy that failed verification — the
+// provider quarantined it and serves no bytes; callers must treat the
+// replica as lost, not absent. Digests carry each served chunk's
+// recorded digest so the receiver re-verifies before trusting the bytes
+// (repair's source reads do exactly that).
 type GetChunksResp struct {
-	Found []bool
-	Data  [][]byte
+	Found   []bool
+	Corrupt []bool
+	Data    [][]byte
+	Digests []chunk.Digest
 }
 
 // Encode implements wire.Message.
@@ -214,8 +243,11 @@ func (r *GetChunksResp) Encode(e *wire.Encoder) {
 	e.PutU32(uint32(len(r.Found)))
 	for i, ok := range r.Found {
 		e.PutBool(ok)
+		e.PutBool(r.Corrupt[i])
 		if ok {
 			e.PutBytes(r.Data[i])
+			e.PutU8(r.Digests[i].Algo)
+			e.PutU32(r.Digests[i].Sum)
 		}
 	}
 }
@@ -223,14 +255,17 @@ func (r *GetChunksResp) Encode(e *wire.Encoder) {
 // Decode implements wire.Message.
 func (r *GetChunksResp) Decode(d *wire.Decoder) {
 	cnt := d.U32()
-	r.Found, r.Data = nil, nil
+	r.Found, r.Corrupt, r.Data, r.Digests = nil, nil, nil, nil
 	for i := uint32(0); i < cnt && d.Err() == nil; i++ {
 		ok := d.Bool()
 		r.Found = append(r.Found, ok)
+		r.Corrupt = append(r.Corrupt, d.Bool())
 		if ok {
 			r.Data = append(r.Data, d.BytesCopy())
+			r.Digests = append(r.Digests, chunk.Digest{Algo: d.U8(), Sum: d.U32()})
 		} else {
 			r.Data = append(r.Data, nil)
+			r.Digests = append(r.Digests, chunk.Digest{})
 		}
 	}
 }
@@ -265,6 +300,15 @@ type StatsResp struct {
 	// latter is what shows boundary reads moving only the bytes they need.
 	BytesIn  uint64
 	BytesOut uint64
+	// Integrity counters: Verified counts full-chunk digest checks,
+	// Corrupt counts copies that failed one (each counted once, at
+	// quarantine time), Quarantined is the number currently quarantined
+	// awaiting repair + deletion, and Backfilled counts legacy chunks
+	// whose digest was minted on first clean read.
+	Verified    uint64
+	Corrupt     uint64
+	Quarantined uint64
+	Backfilled  uint64
 }
 
 // Encode implements wire.Message.
@@ -278,6 +322,10 @@ func (r *StatsResp) Encode(e *wire.Encoder) {
 	e.PutU64(r.GetBatches)
 	e.PutU64(r.BytesIn)
 	e.PutU64(r.BytesOut)
+	e.PutU64(r.Verified)
+	e.PutU64(r.Corrupt)
+	e.PutU64(r.Quarantined)
+	e.PutU64(r.Backfilled)
 }
 
 // Decode implements wire.Message.
@@ -291,6 +339,10 @@ func (r *StatsResp) Decode(d *wire.Decoder) {
 	r.GetBatches = d.U64()
 	r.BytesIn = d.U64()
 	r.BytesOut = d.U64()
+	r.Verified = d.U64()
+	r.Corrupt = d.U64()
+	r.Quarantined = d.U64()
+	r.Backfilled = d.U64()
 }
 
 // ListChunksReq asks for the provider's inventory of one blob, or the
@@ -454,6 +506,17 @@ type Server struct {
 	deletes    metrics.Counter
 	bytesIn    metrics.Counter // payload bytes accepted by puts
 	bytesOut   metrics.Counter // payload bytes served by Get (ranged or full)
+	verifies   metrics.Counter // full-chunk digest verifications
+	corrupt    metrics.Counter // copies that failed verification (once each)
+	backfills  metrics.Counter // legacy chunks digest-backfilled on clean read
+
+	// digests holds each stored chunk's integrity manifest (content
+	// digest + exact length), replayed from the sidecar; quarantine holds
+	// copies that failed verification — never served, never a repair
+	// source, reported via MethodCorruptList until repair deletes them.
+	digMu      sync.Mutex
+	digests    map[chunk.Key]digestRec
+	quarantine map[chunk.Key]struct{}
 
 	// putTimes records when each chunk arrived, so the GC orphan sweep can
 	// apply an age grace that protects phase-1 uploads of writes still in
@@ -493,17 +556,22 @@ func NewServerWithOptions(network rpc.Network, addr string, store chunk.Store, o
 		capBytes:   opts.CapacityBytes,
 		putTimes:   make(map[chunk.Key]time.Time),
 		tombstones: make(map[uint64]struct{}),
+		digests:    make(map[chunk.Key]digestRec),
+		quarantine: make(map[chunk.Key]struct{}),
 	}
 	if opts.SidecarDir != "" {
-		side, putTimes, tombs, err := openSidecar(opts.SidecarDir, opts.FsyncSidecar)
+		side, putTimes, tombs, digests, err := openSidecar(opts.SidecarDir, opts.FsyncSidecar)
 		if err != nil {
 			return nil, err
 		}
-		s.side, s.putTimes, s.tombstones = side, putTimes, tombs
+		s.side, s.putTimes, s.tombstones, s.digests = side, putTimes, tombs, digests
+		// Torn-file detection: a disk chunk whose length disagrees with
+		// its journaled manifest is quarantined before it can be served.
+		s.bootCheck()
 	}
 	rpc.HandleMsg(s.srv, MethodPut, func() *PutReq { return &PutReq{} },
 		func(req *PutReq) (*Ack, error) {
-			if err := s.putOne(req.Key, req.Data); err != nil {
+			if err := s.putOne(req.Key, req.Data, req.Digest); err != nil {
 				return nil, err
 			}
 			return &Ack{}, nil
@@ -513,7 +581,7 @@ func NewServerWithOptions(network rpc.Network, addr string, store chunk.Store, o
 			s.putBatches.Add(1)
 			resp := &PutChunksResp{Errs: make([]string, len(req.Items))}
 			for i, it := range req.Items {
-				if err := s.putOne(it.Key, it.Data); err != nil {
+				if err := s.putOne(it.Key, it.Data, it.Digest); err != nil {
 					resp.Errs[i] = err.Error()
 				}
 			}
@@ -522,36 +590,85 @@ func NewServerWithOptions(network rpc.Network, addr string, store chunk.Store, o
 	rpc.HandleMsg(s.srv, MethodGet, func() *GetReq { return &GetReq{} },
 		func(req *GetReq) (*GetResp, error) {
 			s.gets.Add(1)
+			whole := req.Offset == 0 && req.Length == 0
+			s.digMu.Lock()
+			_, hasDig := s.digests[req.Key]
+			s.digMu.Unlock()
 			var data []byte
+			var dg chunk.Digest
 			var err error
-			if req.Offset == 0 && req.Length == 0 {
-				data, err = s.store.Get(req.Key)
+			if whole || hasDig {
+				// Verify the full chunk even for a sub-range when a digest
+				// is on file: a few extra bytes off disk beats serving rot.
+				data, dg, _, err = s.getVerified(req.Key)
+				if err == nil && !whole {
+					data = chunk.Clip(data, req.Offset, req.Length)
+				}
 			} else {
+				// Legacy chunk (no digest yet), ranged read: nothing on
+				// file to check a partial read against.
 				data, err = s.store.GetRange(req.Key, req.Offset, req.Length)
+			}
+			if IsCorrupt(err) {
+				return nil, err
 			}
 			if err != nil {
 				return &GetResp{Found: false}, nil
 			}
 			s.bytesOut.Add(int64(len(data)))
-			return &GetResp{Found: true, Data: data}, nil
+			return &GetResp{Found: true, Data: data, Digest: dg}, nil
 		})
 	rpc.HandleMsg(s.srv, MethodGetChunks, func() *GetChunksReq { return &GetChunksReq{} },
 		func(req *GetChunksReq) (*GetChunksResp, error) {
 			s.getBatches.Add(1)
 			s.gets.Add(int64(len(req.Keys)))
 			resp := &GetChunksResp{
-				Found: make([]bool, len(req.Keys)),
-				Data:  make([][]byte, len(req.Keys)),
+				Found:   make([]bool, len(req.Keys)),
+				Corrupt: make([]bool, len(req.Keys)),
+				Data:    make([][]byte, len(req.Keys)),
+				Digests: make([]chunk.Digest, len(req.Keys)),
 			}
 			for i, k := range req.Keys {
-				data, err := s.store.Get(k)
+				data, dg, _, err := s.getVerified(k)
+				if IsCorrupt(err) {
+					resp.Corrupt[i] = true // lost, not absent
+					continue
+				}
 				if err != nil {
 					continue // absent key: ordinary for a stale replica list
 				}
 				resp.Found[i] = true
 				resp.Data[i] = data
+				resp.Digests[i] = dg
 				s.bytesOut.Add(int64(len(data)))
 			}
+			return resp, nil
+		})
+	rpc.HandleMsg(s.srv, MethodVerify, func() *VerifyReq { return &VerifyReq{} },
+		func(req *VerifyReq) (*VerifyResp, error) {
+			// A reader reported an end-to-end mismatch. Trust only our own
+			// recheck: getVerified quarantines if the stored bytes really
+			// are bad; if they verify here, the reader saw transit
+			// corruption and its retry will succeed.
+			_, _, _, err := s.getVerified(req.Key)
+			if IsCorrupt(err) {
+				return &VerifyResp{Held: true, Corrupt: true}, nil
+			}
+			return &VerifyResp{Held: err == nil}, nil
+		})
+	rpc.HandleMsg(s.srv, MethodScrub, func() *ScrubReq { return &ScrubReq{} },
+		func(req *ScrubReq) (*ScrubResp, error) {
+			return s.scrubStep(req), nil
+		})
+	rpc.HandleMsg(s.srv, MethodCorruptList, func() *Ack { return &Ack{} },
+		func(*Ack) (*CorruptListResp, error) {
+			s.digMu.Lock()
+			resp := &CorruptListResp{Keys: make([]chunk.Key, 0, len(s.quarantine))}
+			for k := range s.quarantine {
+				resp.Keys = append(resp.Keys, k)
+			}
+			s.digMu.Unlock()
+			sort.Slice(resp.Keys, func(i, j int) bool { return resp.Keys[i].Less(resp.Keys[j]) })
 			return resp, nil
 		})
 	rpc.HandleMsg(s.srv, MethodHas, func() *GetReq { return &GetReq{} },
@@ -631,6 +748,7 @@ func NewServerWithOptions(network rpc.Network, addr string, store chunk.Store, o
 				s.putMu.Lock()
 				delete(s.putTimes, k)
 				s.putMu.Unlock()
+				s.dropIntegrity(k)
 				dropped = append(dropped, k)
 				s.deletes.Add(1)
 				resp.Deleted++
@@ -670,7 +788,15 @@ func (s *Server) maybeCompactSidecar() {
 			tombs = append(tombs, b)
 		}
 		s.tombMu.Unlock()
-		e := wire.NewEncoder(64 + 40*len(ages) + 8*len(tombs))
+		s.digMu.Lock()
+		digs := make(map[chunk.Key]digestRec, len(s.digests))
+		for k, rec := range s.digests {
+			if s.store.Has(k) {
+				digs[k] = rec
+			}
+		}
+		s.digMu.Unlock()
+		e := wire.NewEncoder(64 + 40*len(ages) + 8*len(tombs) + 33*len(digs))
 		e.PutU8(sideRecPutAge)
 		e.PutU32(uint32(len(ages)))
 		for k, t := range ages {
@@ -684,14 +810,25 @@ func (s *Server) maybeCompactSidecar() {
 		for _, b := range tombs {
 			e.PutU64(b)
 		}
+		e.PutU8(sideRecDigest)
+		e.PutU32(uint32(len(digs)))
+		for k, rec := range digs {
+			e.PutU64(k.Blob)
+			e.PutU64(k.Version)
+			e.PutU64(k.Index)
+			e.PutU8(rec.Digest.Algo)
+			e.PutU32(rec.Digest.Sum)
+			e.PutU32(rec.Length)
+		}
 		return e.Bytes(), true
 	})
 }
 
-// putOne stores one chunk: tombstone check, engine put, put-time stamp.
-// Shared by the singleton put handler and the batched putchunks handler so
-// both enforce identical semantics.
-func (s *Server) putOne(key chunk.Key, data []byte) error {
+// putOne stores one chunk: tombstone check, ingest digest verification,
+// engine put, put-time stamp, digest manifest. Shared by the singleton
+// put handler and the batched putchunks handler so both enforce
+// identical semantics.
+func (s *Server) putOne(key chunk.Key, data []byte, dg chunk.Digest) error {
 	s.puts.Add(1)
 	s.tombMu.Lock()
 	_, dead := s.tombstones[key.Blob]
@@ -699,9 +836,21 @@ func (s *Server) putOne(key chunk.Key, data []byte) error {
 	if dead {
 		return fmt.Errorf("%w: %d", ErrBlobDeleted, key.Blob)
 	}
+	if dg.IsZero() {
+		// Writer sent no digest (older client): mint one at ingest so the
+		// chunk is verifiable from now on.
+		dg = chunk.DigestOf(data)
+	} else if !dg.Verify(data) {
+		// The bytes changed between the writer's digest computation and
+		// here — corruption in transit. Reject instead of persisting rot;
+		// the writer's retry path treats this like any failed put.
+		s.corrupt.Add(1)
+		return fmt.Errorf("%w: put of %s failed ingest digest check", ErrChunkCorrupt, key)
+	}
 	if err := s.store.Put(key, data); err != nil {
 		return err
 	}
+	s.recordDigest(key, digestRec{Digest: dg, Length: uint32(len(data))})
 	s.bytesIn.Add(int64(len(data)))
 	s.putMu.Lock()
 	now := time.Now()
@@ -736,15 +885,19 @@ func (s *Server) Store() chunk.Store { return s.store }
 // /metrics registry scrapes this).
 func (s *Server) StatsSnapshot() StatsResp {
 	return StatsResp{
-		Chunks:     uint64(s.store.Len()),
-		Bytes:      uint64(s.store.Bytes()),
-		Puts:       uint64(s.puts.Load()),
-		Gets:       uint64(s.gets.Load()),
-		Deletes:    uint64(s.deletes.Load()),
-		PutBatches: uint64(s.putBatches.Load()),
-		GetBatches: uint64(s.getBatches.Load()),
-		BytesIn:    uint64(s.bytesIn.Load()),
-		BytesOut:   uint64(s.bytesOut.Load()),
+		Chunks:      uint64(s.store.Len()),
+		Bytes:       uint64(s.store.Bytes()),
+		Puts:        uint64(s.puts.Load()),
+		Gets:        uint64(s.gets.Load()),
+		Deletes:     uint64(s.deletes.Load()),
+		PutBatches:  uint64(s.putBatches.Load()),
+		GetBatches:  uint64(s.getBatches.Load()),
+		BytesIn:     uint64(s.bytesIn.Load()),
+		BytesOut:    uint64(s.bytesOut.Load()),
+		Verified:    uint64(s.verifies.Load()),
+		Corrupt:     uint64(s.corrupt.Load()),
+		Quarantined: uint64(s.quarantinedCount()),
+		Backfilled:  uint64(s.backfills.Load()),
 	}
 }
 
@@ -843,16 +996,26 @@ func (r *HeartbeatReq) Decode(d *wire.Decoder) {
 }
 
 // PutChunk is the client-side helper to store one chunk at one provider.
+// The content digest is computed here, before the bytes hit the wire, so
+// the provider's ingest check covers the full client→provider path.
 func PutChunk(cli *rpc.Client, addr string, key chunk.Key, data []byte) error {
-	return cli.Call(addr, MethodPut, &PutReq{Key: key, Data: data}, &Ack{})
+	return cli.Call(addr, MethodPut, &PutReq{Key: key, Data: data, Digest: chunk.DigestOf(data)}, &Ack{})
 }
 
-// PutChunks stores a batch of chunks at one provider in one RPC. The
-// returned slice is aligned with items: a nil entry means that chunk was
-// stored; a non-nil one carries its individual rejection. A non-nil error
-// means the RPC itself failed (transport, malformed reply) and nothing can
-// be assumed stored.
+// PutChunks stores a batch of chunks at one provider in one RPC. Items
+// without a digest get one computed here (client-side, pre-wire); items
+// that already carry one — repair forwarding a verified source read —
+// keep it, extending the integrity chain across the copy. The returned
+// slice is aligned with items: a nil entry means that chunk was stored;
+// a non-nil one carries its individual rejection. A non-nil error means
+// the RPC itself failed (transport, malformed reply) and nothing can be
+// assumed stored.
 func PutChunks(cli *rpc.Client, addr string, items []PutItem) ([]error, error) {
+	for i := range items {
+		if items[i].Digest.IsZero() {
+			items[i].Digest = chunk.DigestOf(items[i].Data)
+		}
+	}
 	var resp PutChunksResp
 	if err := cli.Call(addr, MethodPutChunks, &PutChunksReq{Items: items}, &resp); err != nil {
 		return nil, err
@@ -879,6 +1042,13 @@ func GetChunk(cli *rpc.Client, addr string, key chunk.Key) ([]byte, error) {
 // provider (off == 0, length == 0 fetches the whole chunk; length == 0
 // with off > 0 reads to the end). The range is clipped to the chunk's
 // stored size, so the reply may be shorter than requested.
+//
+// Whole-chunk fetches re-verify the received bytes against the digest in
+// the response — the end-to-end check that catches corruption in
+// transit, which the provider's own pre-send verification cannot see. A
+// mismatch returns ErrChunkCorrupt (the caller fails over to another
+// replica) after asking the provider to recheck its copy, so at-rest rot
+// this client noticed first still gets quarantined.
 func GetChunkRange(cli *rpc.Client, addr string, key chunk.Key, off, length uint64) ([]byte, error) {
 	var resp GetResp
 	if err := cli.Call(addr, MethodGet, &GetReq{Key: key, Offset: off, Length: length}, &resp); err != nil {
@@ -887,29 +1057,50 @@ func GetChunkRange(cli *rpc.Client, addr string, key chunk.Key, off, length uint
 	if !resp.Found {
 		return nil, fmt.Errorf("%w: %s at %s", chunk.ErrNotFound, key, addr)
 	}
+	if off == 0 && length == 0 && !resp.Digest.Verify(resp.Data) {
+		// Best effort: the provider's recheck decides whether its copy is
+		// actually bad; we only know OUR copy of the bytes is.
+		_, _ = VerifyChunk(cli, addr, key)
+		return nil, fmt.Errorf("%w: %s from %s failed end-to-end digest check", ErrChunkCorrupt, key, addr)
+	}
 	return resp.Data, nil
 }
 
 // GetChunks fetches a batch of whole chunks from one provider in one RPC
 // (the repair engine's source-read path). The results are aligned with
-// keys; a nil entry means the provider does not hold that chunk. A
+// keys; a nil entry means the provider does not hold that chunk — or
+// holds a copy that failed verification, on either side of the wire:
+// entries the provider flagged corrupt, and entries whose received bytes
+// fail the digest here, come back nil so the caller falls over to
+// another survivor instead of propagating rot. Digests for verified
+// entries are aligned with the data (forwarded by repair puts). A
 // non-nil error means the RPC itself failed and nothing can be assumed.
-func GetChunks(cli *rpc.Client, addr string, keys []chunk.Key) ([][]byte, error) {
+func GetChunks(cli *rpc.Client, addr string, keys []chunk.Key) ([][]byte, []chunk.Digest, error) {
 	var resp GetChunksResp
 	if err := cli.Call(addr, MethodGetChunks, &GetChunksReq{Keys: keys}, &resp); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	if len(resp.Found) != len(keys) || len(resp.Data) != len(keys) {
-		return nil, fmt.Errorf("provider: getchunks at %s returned %d outcomes for %d keys",
+	if len(resp.Found) != len(keys) || len(resp.Data) != len(keys) ||
+		len(resp.Corrupt) != len(keys) || len(resp.Digests) != len(keys) {
+		return nil, nil, fmt.Errorf("provider: getchunks at %s returned %d outcomes for %d keys",
 			addr, len(resp.Found), len(keys))
 	}
 	out := make([][]byte, len(keys))
+	digs := make([]chunk.Digest, len(keys))
 	for i, ok := range resp.Found {
-		if ok {
-			out[i] = resp.Data[i]
+		if !ok {
+			continue
 		}
+		if !resp.Digests[i].Verify(resp.Data[i]) {
+			// Corrupted in transit (or rot the provider's check missed);
+			// ask it to recheck, and do not use these bytes.
+			_, _ = VerifyChunk(cli, addr, keys[i])
+			continue
+		}
+		out[i] = resp.Data[i]
+		digs[i] = resp.Digests[i]
 	}
-	return out, nil
+	return out, digs, nil
 }
 
 // GetChunkReplicas fetches a chunk trying each replica in order.

@@ -11,9 +11,10 @@ import (
 )
 
 // sidecar is the data provider's durable companion state: a WAL (plus
-// snapshot) journaling the two pieces of provider state the chunk store
-// itself does not persist — per-chunk put times and deleted-blob
-// tombstones. With the sidecar, a restarted provider:
+// snapshot) journaling the pieces of provider state the chunk store
+// itself does not persist — per-chunk put times, deleted-blob
+// tombstones, and chunk integrity manifests (content digest + exact
+// length). With the sidecar, a restarted provider:
 //
 //   - keeps rejecting late phase-1 puts for blobs deleted before the crash
 //     (without it, the tombstone set refilled only on the blob's next
@@ -43,40 +44,51 @@ const (
 	sideRecPutAge = uint8(1)
 	sideRecTomb   = uint8(2)
 	sideRecDelete = uint8(3)
+	sideRecDigest = uint8(4)
 )
+
+// digestRec is a chunk's persisted integrity manifest: the content digest
+// plus the exact payload length. The length is what lets a disk-backed
+// provider detect torn files on boot (file size vs. manifest) without
+// reading every chunk.
+type digestRec struct {
+	Digest chunk.Digest
+	Length uint32
+}
 
 // sidecarCompactEvery is the record count that triggers snapshot + log
 // truncation, keeping disk usage proportional to live state.
 const sidecarCompactEvery = 1 << 15
 
 // openSidecar opens (creating if needed) the sidecar log in dir and
-// replays it into fresh put-time and tombstone maps.
-func openSidecar(dir string, fsync bool) (*sidecar, map[chunk.Key]time.Time, map[uint64]struct{}, error) {
+// replays it into fresh put-time, tombstone, and chunk-digest maps.
+func openSidecar(dir string, fsync bool) (*sidecar, map[chunk.Key]time.Time, map[uint64]struct{}, map[chunk.Key]digestRec, error) {
 	log, rec, err := durable.Open(dir, durable.Options{Fsync: fsync})
 	if err != nil {
-		return nil, nil, nil, fmt.Errorf("provider: opening sidecar log: %w", err)
+		return nil, nil, nil, nil, fmt.Errorf("provider: opening sidecar log: %w", err)
 	}
 	putTimes := make(map[chunk.Key]time.Time)
 	tombstones := make(map[uint64]struct{})
+	digests := make(map[chunk.Key]digestRec)
 	if rec.Snapshot != nil {
-		if err := replaySidecarRecord(rec.Snapshot, putTimes, tombstones); err != nil {
+		if err := replaySidecarRecord(rec.Snapshot, putTimes, tombstones, digests); err != nil {
 			log.Close()
-			return nil, nil, nil, fmt.Errorf("provider: sidecar snapshot: %w", err)
+			return nil, nil, nil, nil, fmt.Errorf("provider: sidecar snapshot: %w", err)
 		}
 	}
 	for i, r := range rec.Records {
-		if err := replaySidecarRecord(r, putTimes, tombstones); err != nil {
+		if err := replaySidecarRecord(r, putTimes, tombstones, digests); err != nil {
 			log.Close()
-			return nil, nil, nil, fmt.Errorf("provider: sidecar record %d/%d: %w", i+1, len(rec.Records), err)
+			return nil, nil, nil, nil, fmt.Errorf("provider: sidecar record %d/%d: %w", i+1, len(rec.Records), err)
 		}
 	}
-	return &sidecar{log: log, compactEvery: sidecarCompactEvery}, putTimes, tombstones, nil
+	return &sidecar{log: log, compactEvery: sidecarCompactEvery}, putTimes, tombstones, digests, nil
 }
 
 // replaySidecarRecord applies one journal record (the snapshot is encoded
 // as one big put-age record followed by one tombstone record, so it
 // replays through the same switch).
-func replaySidecarRecord(rec []byte, putTimes map[chunk.Key]time.Time, tombstones map[uint64]struct{}) error {
+func replaySidecarRecord(rec []byte, putTimes map[chunk.Key]time.Time, tombstones map[uint64]struct{}, digests map[chunk.Key]digestRec) error {
 	d := wire.NewDecoder(rec)
 	for d.Err() == nil && d.Remaining() > 0 {
 		switch kind := d.U8(); kind {
@@ -102,6 +114,16 @@ func replaySidecarRecord(rec []byte, putTimes map[chunk.Key]time.Time, tombstone
 				k := chunk.Key{Blob: d.U64(), Version: d.U64(), Index: d.U64()}
 				if d.Err() == nil {
 					delete(putTimes, k)
+					delete(digests, k)
+				}
+			}
+		case sideRecDigest:
+			cnt := d.U32()
+			for i := uint32(0); i < cnt && d.Err() == nil; i++ {
+				k := chunk.Key{Blob: d.U64(), Version: d.U64(), Index: d.U64()}
+				rec := digestRec{Digest: chunk.Digest{Algo: d.U8(), Sum: d.U32()}, Length: d.U32()}
+				if d.Err() == nil {
+					digests[k] = rec
 				}
 			}
 		default:
@@ -149,6 +171,22 @@ func (s *sidecar) appendTombstones(blobs []uint64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.log.Append(e.Bytes())
+}
+
+// appendDigest journals one chunk's integrity manifest. Advisory like
+// put-ages: a lost append merely demotes that chunk to "legacy, no
+// digest" after a restart, and the next clean read backfills it.
+func (s *sidecar) appendDigest(key chunk.Key, rec digestRec) func() error {
+	e := wire.NewEncoder(48)
+	e.PutU8(sideRecDigest)
+	e.PutU32(1)
+	e.PutU64(key.Blob)
+	e.PutU64(key.Version)
+	e.PutU64(key.Index)
+	e.PutU8(rec.Digest.Algo)
+	e.PutU32(rec.Digest.Sum)
+	e.PutU32(rec.Length)
+	return s.log.AppendAsync(e.Bytes())
 }
 
 // appendDeletes journals put-age removals for deleted chunks so a replay

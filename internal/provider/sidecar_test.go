@@ -147,12 +147,15 @@ func TestGetChunksBatch(t *testing.T) {
 	if err := provider.PutChunk(cli, "dp", k2, []byte("bbb")); err != nil {
 		t.Fatal(err)
 	}
-	data, err := provider.GetChunks(cli, "dp", []chunk.Key{k1, missing, k2})
+	data, digs, err := provider.GetChunks(cli, "dp", []chunk.Key{k1, missing, k2})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if string(data[0]) != "aa" || data[1] != nil || string(data[2]) != "bbb" {
 		t.Fatalf("getchunks = %q", data)
+	}
+	if !digs[0].Verify(data[0]) || !digs[2].Verify(data[2]) || !digs[1].IsZero() {
+		t.Fatalf("getchunks digests = %+v", digs)
 	}
 	st, err := provider.Stats(cli, "dp")
 	if err != nil {

@@ -140,6 +140,7 @@ type Engine struct {
 	bytesMoved      metrics.Counter
 	leavesPatched   metrics.Counter
 	lostChunks      metrics.Counter
+	corruptPurged   metrics.Counter
 	errCount        metrics.Counter
 }
 
@@ -178,6 +179,7 @@ func (e *Engine) Stats() Stats {
 		BytesMoved:      uint64(e.bytesMoved.Load()),
 		LeavesPatched:   uint64(e.leavesPatched.Load()),
 		LostChunks:      uint64(e.lostChunks.Load()),
+		CorruptPurged:   uint64(e.corruptPurged.Load()),
 		Errors:          uint64(e.errCount.Load()),
 	}
 }
@@ -198,9 +200,19 @@ type passState struct {
 	// good marks providers that are live and not avoided: the only
 	// addresses reads should probe and placement should target.
 	good map[string]bool
+	// corrupt maps provider → quarantined chunk keys (from
+	// provider.corruptlist): copies that failed digest verification. A
+	// corrupt copy counts as lost for degree purposes — never a copy or
+	// drain source — and is deleted once the healed descriptor lands.
+	corrupt map[string]map[chunk.Key]bool
 	// places accumulates every scanned chunk's placement for rebalance.
 	places map[chunk.Key]*chunkPlace
 	order  []chunk.Key // deterministic iteration for tests and retries
+}
+
+// corruptOn reports whether addr's copy of k is quarantined.
+func (ps *passState) corruptOn(addr string, k chunk.Key) bool {
+	return ps.corrupt[addr][k]
 }
 
 // Run executes one full repair pass: scan + re-replicate + patch every
@@ -222,9 +234,10 @@ func (e *Engine) Run() (Stats, error) {
 		return st, fmt.Errorf("repair: provider report: %w", err)
 	}
 	ps := &passState{
-		report: report.Providers,
-		good:   make(map[string]bool, len(report.Providers)),
-		places: make(map[chunk.Key]*chunkPlace),
+		report:  report.Providers,
+		good:    make(map[string]bool, len(report.Providers)),
+		corrupt: make(map[string]map[chunk.Key]bool),
+		places:  make(map[chunk.Key]*chunkPlace),
 	}
 	for _, p := range report.Providers {
 		if p.Live && !p.Avoided {
@@ -233,6 +246,21 @@ func (e *Engine) Run() (Stats, error) {
 	}
 	if len(ps.good) == 0 {
 		return st, fmt.Errorf("repair: no live providers; nothing to repair onto")
+	}
+	// Collect each live provider's quarantine list so corrupt copies are
+	// classified as lost replicas below. A failed list is treated as
+	// empty: scrub re-detects, and the provider's own read-path checks
+	// still refuse to serve the copy either way.
+	for addr := range ps.good {
+		keys, err := provider.CorruptList(e.cfg.RPC, addr)
+		if err != nil || len(keys) == 0 {
+			continue
+		}
+		set := make(map[chunk.Key]bool, len(keys))
+		for _, k := range keys {
+			set[k] = true
+		}
+		ps.corrupt[addr] = set
 	}
 
 	var blobs vmanager.ListResp
@@ -257,6 +285,7 @@ func (e *Engine) Run() (Stats, error) {
 	e.bytesMoved.Add(int64(st.BytesMoved))
 	e.leavesPatched.Add(int64(st.LeavesPatched))
 	e.lostChunks.Add(int64(st.LostChunks))
+	e.corruptPurged.Add(int64(st.CorruptPurged))
 	e.errCount.Add(int64(st.Errors))
 
 	// Aggregate at the version manager, folding in any deltas earlier
@@ -290,6 +319,7 @@ func addTotals(dst, src *Stats) {
 	dst.BytesMoved += src.BytesMoved
 	dst.LeavesPatched += src.LeavesPatched
 	dst.LostChunks += src.LostChunks
+	dst.CorruptPurged += src.CorruptPurged
 	dst.Errors += src.Errors
 }
 
@@ -297,10 +327,12 @@ func addTotals(dst, src *Stats) {
 // work order within a wave.
 type repairItem struct {
 	place   *chunkPlace
-	healthy []string // surviving replicas, original order
+	healthy []string // surviving verified replicas, original order
+	corrupt []string // live replicas holding a quarantined (corrupt) copy
 	needed  int      // fresh copies required to reach the degree
 	data    []byte
-	added   []string // fresh replicas that accepted the copy
+	digest  chunk.Digest // source copy's digest, forwarded with the put
+	added   []string     // fresh replicas that accepted the copy
 }
 
 // repairBlob scans one blob's retained versions and restores every live
@@ -377,19 +409,26 @@ func (e *Engine) repairBlob(id uint64, ps *passState, st *Stats) error {
 		ps.places[k] = place
 		ps.order = append(ps.order, k)
 
-		var healthy []string
+		var healthy, corrupt []string
 		for _, a := range ref.Providers {
-			if ps.good[a] {
-				healthy = append(healthy, a)
+			if !ps.good[a] {
+				continue
 			}
+			if ps.corruptOn(a, k) {
+				// A quarantined copy is a lost replica on a live machine:
+				// never a source, re-replicated around, deleted post-patch.
+				corrupt = append(corrupt, a)
+				continue
+			}
+			healthy = append(healthy, a)
 		}
-		if len(healthy) == len(ref.Providers) && len(healthy) >= repl {
+		if len(corrupt) == 0 && len(healthy) == len(ref.Providers) && len(healthy) >= repl {
 			continue // fully replicated on live providers
 		}
 		if len(healthy) == 0 {
-			// No surviving replica: unrecoverable until a holder returns.
-			// Never patched (the addresses are the only lead to the data)
-			// and never dropped — just counted, loudly.
+			// No surviving verified replica: unrecoverable until a holder
+			// returns. Never patched (the addresses are the only lead to
+			// the data) and never dropped — just counted, loudly.
 			st.LostChunks++
 			continue
 		}
@@ -398,7 +437,7 @@ func (e *Engine) repairBlob(id uint64, ps *passState, st *Stats) error {
 		if needed < 0 {
 			needed = 0
 		}
-		wave = append(wave, &repairItem{place: place, healthy: healthy, needed: needed})
+		wave = append(wave, &repairItem{place: place, healthy: healthy, corrupt: corrupt, needed: needed})
 		waveBytes += place.length
 		if waveBytes >= batchBytes {
 			if err := e.flushWave(wave, st); err != nil && firstErr == nil {
@@ -462,7 +501,7 @@ func (e *Engine) flushWave(items []*repairItem, st *Stats) error {
 	for _, b := range batches {
 		put := make([]provider.PutItem, len(b.items))
 		for i, it := range b.items {
-			put[i] = provider.PutItem{Key: it.place.key, Data: it.data}
+			put[i] = provider.PutItem{Key: it.place.key, Data: it.data, Digest: it.digest}
 		}
 		errs, rpcErr := provider.PutChunks(e.cfg.RPC, b.addr, put)
 		if rpcErr != nil {
@@ -512,11 +551,44 @@ func (e *Engine) flushWave(items []*repairItem, st *Stats) error {
 		}
 		it.place.providers = final
 	}
+	patchOK := true
 	if len(patches) > 0 {
 		patched, err := e.cfg.Meta.PatchReplicas(patches)
 		st.LeavesPatched += patched
 		if err != nil {
 			keep(err)
+			patchOK = false
+		}
+	}
+
+	// Purge quarantined copies only once the healed descriptors landed:
+	// until then a metadata replica may still route reads at the corrupt
+	// address, and the quarantined file is the forensic evidence anyway.
+	// Items whose bytes never drained keep their corrupt copies too — an
+	// unreadable chunk must not lose any lead to its data.
+	if patchOK {
+		purge := make(map[string][]chunk.Key)
+		for _, it := range items {
+			if it.data == nil {
+				continue
+			}
+			for _, addr := range it.corrupt {
+				purge[addr] = append(purge[addr], it.place.key)
+			}
+		}
+		purgeAddrs := make([]string, 0, len(purge))
+		for a := range purge {
+			purgeAddrs = append(purgeAddrs, a)
+		}
+		sort.Strings(purgeAddrs)
+		for _, addr := range purgeAddrs {
+			if _, err := provider.DeleteChunks(e.cfg.RPC, addr, purge[addr]); err != nil {
+				// The quarantined copy lingers but is never served; the next
+				// pass re-lists and re-purges it.
+				keep(fmt.Errorf("repair: purging corrupt copies at %s: %w", addr, err))
+				continue
+			}
+			st.CorruptPurged += uint64(len(purge[addr]))
 		}
 	}
 	return firstErr
@@ -612,18 +684,22 @@ func (e *Engine) fetchSources(items []*repairItem, keep func(error)) {
 			for i, it := range part {
 				keys[i] = it.place.key
 			}
-			data, err := provider.GetChunks(e.cfg.RPC, addr, keys)
+			data, digs, err := provider.GetChunks(e.cfg.RPC, addr, keys)
 			if err != nil {
 				keep(fmt.Errorf("repair: getchunks at %s: %w", addr, err))
 				data = make([][]byte, len(keys))
+				digs = make([]chunk.Digest, len(keys))
 			}
 			for i, it := range part {
 				it.data = data[i]
+				it.digest = digs[i]
 			}
 		}
 	}
-	// Individual fallback for misses (source lost the chunk, or its batch
-	// failed): try the other survivors one by one.
+	// Individual fallback for misses (source lost the chunk, its copy
+	// failed digest verification, or its batch failed): try the other
+	// survivors one by one. GetChunk verifies end-to-end, so bytes that
+	// arrive here are proven good.
 	for _, it := range items {
 		if it.data != nil {
 			continue
@@ -631,6 +707,7 @@ func (e *Engine) fetchSources(items []*repairItem, keep func(error)) {
 		for _, addr := range it.healthy {
 			if d, err := provider.GetChunk(e.cfg.RPC, addr, it.place.key); err == nil {
 				it.data = d
+				it.digest = chunk.DigestOf(d)
 				break
 			}
 		}
@@ -643,12 +720,13 @@ func (e *Engine) fetchSources(items []*repairItem, keep func(error)) {
 
 // migration is one planned rebalance move: replica of key from src to dst.
 type migration struct {
-	place *chunkPlace
-	src   string
-	dst   string
-	data  []byte
-	ok    bool // copy landed and metadata patched; safe to delete at src
-	fresh bool // the copy was created by this pass (not a duplicate-put)
+	place  *chunkPlace
+	src    string
+	dst    string
+	data   []byte
+	digest chunk.Digest // source copy's digest, forwarded with the put
+	ok     bool         // copy landed and metadata patched; safe to delete at src
+	fresh  bool         // the copy was created by this pass (not a duplicate-put)
 }
 
 // rebalance migrates chunk replicas off providers above the fullness high
@@ -711,6 +789,9 @@ func (e *Engine) rebalance(ps *passState, st *Stats) error {
 			if planned[k] || !slices.Contains(place.providers, src) || place.length == 0 {
 				continue
 			}
+			if ps.corruptOn(src, k) {
+				continue // a quarantined copy must never be a drain source
+			}
 			dst := pickDest(proj, caps, place.providers, fullness)
 			if dst == "" || fullness(dst) > e.cfg.HighWater {
 				// No eligible destination FOR THIS CHUNK — its replica
@@ -754,13 +835,15 @@ func (e *Engine) rebalance(ps *passState, st *Stats) error {
 			for i, m := range part {
 				keys[i] = m.place.key
 			}
-			data, err := provider.GetChunks(e.cfg.RPC, src, keys)
+			data, digs, err := provider.GetChunks(e.cfg.RPC, src, keys)
 			if err != nil {
 				keep(fmt.Errorf("repair: rebalance read at %s: %w", src, err))
 				data = make([][]byte, len(keys))
+				digs = make([]chunk.Digest, len(keys))
 			}
 			for i, m := range part {
 				m.data = data[i]
+				m.digest = digs[i]
 			}
 		}
 	}
@@ -779,7 +862,7 @@ func (e *Engine) rebalance(ps *passState, st *Stats) error {
 		for _, part := range splitByBytes(byDst[dst], func(m *migration) uint64 { return uint64(len(m.data)) }) {
 			put := make([]provider.PutItem, len(part))
 			for i, m := range part {
-				put[i] = provider.PutItem{Key: m.place.key, Data: m.data}
+				put[i] = provider.PutItem{Key: m.place.key, Data: m.data, Digest: m.digest}
 			}
 			errs, rpcErr := provider.PutChunks(e.cfg.RPC, dst, put)
 			for i, m := range part {

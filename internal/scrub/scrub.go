@@ -1,0 +1,227 @@
+// Package scrub implements the cluster-wide bit-rot scrubber: a control
+// loop that walks every live provider's chunk inventory and has each
+// provider re-verify its copies against their recorded digests, at a
+// bounded byte rate so a background pass never competes with foreground
+// I/O for more than its budget.
+//
+// The read path only verifies chunks somebody reads; cold data can rot
+// for months before a read trips over it — by which time every replica
+// may have rotted. The scrubber closes that window: it drives the
+// provider-local provider.scrub RPC (cursor + byte budget; payloads never
+// cross the wire) across the whole inventory, sleeping between slices so
+// aggregate verification I/O stays under Config.BytesPerSec. Copies that
+// fail verification are quarantined by the provider itself; the repair
+// engine then treats them as lost replicas, re-replicates from a
+// verified-good survivor, and deletes the bad copy. Legacy (pre-digest)
+// chunks get their digests minted and journaled as the scrubber touches
+// them, so one full pass converges an old deployment to fully verified.
+//
+// Like the repair engine, the scrubber is stateless between passes and
+// any node may run one: the cluster harness, a `blobseerd -role scrub`
+// daemon, or the CLI. Pass counters aggregate at the version manager
+// (ScrubReport), mirroring the repair stats plumbing.
+package scrub
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/chunk"
+	"repro/internal/metrics"
+	"repro/internal/pmanager"
+	"repro/internal/provider"
+	"repro/internal/rpc"
+	"repro/internal/vmanager"
+)
+
+// Stats is the counter set a scrub pass produces; snapshot via
+// Engine.Stats, aggregate via `blobseer-cli scrub-stats`.
+type Stats = vmanager.ScrubTotals
+
+// Config wires an Engine to a deployment.
+type Config struct {
+	// RPC is the connection cache all calls run over.
+	RPC *rpc.Client
+	// VMAddr locates the version manager; PMAddr the provider manager.
+	VMAddr string
+	PMAddr string
+	// VMAddrs lists a replicated version-manager group (supersedes VMAddr
+	// when set); the engine follows leadership redirects across failovers.
+	VMAddrs []string
+	// BytesPerSec bounds the aggregate verification rate (default 32 MiB/s):
+	// after each scrub slice the engine sleeps long enough that verified
+	// bytes per wall-clock second stay under this. 0 applies the default;
+	// use NoRateLimit for tests that want full speed.
+	BytesPerSec uint64
+	// StepBytes is the per-RPC verification budget (default 8 MiB). Smaller
+	// steps give the rate limiter a finer grain; each step is synchronous
+	// I/O on the provider.
+	StepBytes uint64
+
+	// sleep is swappable by tests; nil means time.Sleep.
+	sleep func(time.Duration)
+}
+
+// NoRateLimit disables pacing (tests, or an operator-driven full-speed
+// pass over an idle cluster).
+const NoRateLimit = ^uint64(0)
+
+// defaultBytesPerSec is deliberately modest: a scrub is background work
+// and a provider serving reads should barely notice it.
+const defaultBytesPerSec = 32 << 20
+
+// defaultStepBytes matches the provider's own scrubDefaultBytes.
+const defaultStepBytes = 8 << 20
+
+// Engine runs scrub passes against one deployment.
+type Engine struct {
+	cfg Config
+	vm  *vmanager.Caller
+
+	// pending accumulates pass deltas whose ScrubReport RPC failed, so
+	// they ride the next pass's report instead of vanishing (the repair
+	// engine's pattern).
+	repMu   sync.Mutex
+	pending Stats
+
+	// Lifetime counters (also reported per pass to the version manager).
+	passes     metrics.Counter
+	scanned    metrics.Counter
+	bytes      metrics.Counter
+	corrupt    metrics.Counter
+	backfilled metrics.Counter
+	errCount   metrics.Counter
+}
+
+// New validates cfg and builds an Engine.
+func New(cfg Config) (*Engine, error) {
+	if cfg.RPC == nil {
+		return nil, fmt.Errorf("scrub: RPC client is required")
+	}
+	if (cfg.VMAddr == "" && len(cfg.VMAddrs) == 0) || cfg.PMAddr == "" {
+		return nil, fmt.Errorf("scrub: version manager and provider manager addresses are required")
+	}
+	if cfg.BytesPerSec == 0 {
+		cfg.BytesPerSec = defaultBytesPerSec
+	}
+	if cfg.StepBytes == 0 {
+		cfg.StepBytes = defaultStepBytes
+	}
+	if cfg.sleep == nil {
+		cfg.sleep = time.Sleep
+	}
+	vmAddrs := cfg.VMAddrs
+	if len(vmAddrs) == 0 {
+		vmAddrs = []string{cfg.VMAddr}
+	}
+	return &Engine{cfg: cfg, vm: vmanager.NewCaller(cfg.RPC, vmAddrs)}, nil
+}
+
+// Stats snapshots the engine's lifetime counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Passes:        uint64(e.passes.Load()),
+		ChunksScanned: uint64(e.scanned.Load()),
+		BytesScanned:  uint64(e.bytes.Load()),
+		CorruptFound:  uint64(e.corrupt.Load()),
+		Backfilled:    uint64(e.backfilled.Load()),
+		Errors:        uint64(e.errCount.Load()),
+	}
+}
+
+// Run executes one full scrub pass: every live provider's inventory, end
+// to end, rate-limited. Per-provider errors don't stop the pass; the
+// first error is returned at the end and the provider is retried next
+// pass. The returned Stats is this pass's delta.
+func (e *Engine) Run() (Stats, error) {
+	var st Stats
+	var firstErr error
+
+	var report pmanager.ReportResp
+	if err := e.cfg.RPC.Call(e.cfg.PMAddr, pmanager.MethodReport, &pmanager.Ack{}, &report); err != nil {
+		return st, fmt.Errorf("scrub: provider report: %w", err)
+	}
+	for _, p := range report.Providers {
+		if !p.Live {
+			continue
+		}
+		if err := e.scrubProvider(p.Addr, &st); err != nil {
+			st.Errors++
+			if firstErr == nil {
+				firstErr = fmt.Errorf("scrub: provider %s: %w", p.Addr, err)
+			}
+		}
+	}
+
+	e.passes.Add(1)
+	e.scanned.Add(int64(st.ChunksScanned))
+	e.bytes.Add(int64(st.BytesScanned))
+	e.corrupt.Add(int64(st.CorruptFound))
+	e.backfilled.Add(int64(st.Backfilled))
+	e.errCount.Add(int64(st.Errors))
+
+	// Aggregate at the version manager, folding in deltas earlier failed
+	// reports left behind; on failure the merged delta is parked again.
+	e.repMu.Lock()
+	delta := e.pending
+	addTotals(&delta, &st)
+	delta.Passes++
+	e.pending = Stats{}
+	e.repMu.Unlock()
+	if err := e.vm.Call(vmanager.MethodScrubReport, &delta, &vmanager.Ack{}); err != nil {
+		e.repMu.Lock()
+		addTotals(&e.pending, &delta)
+		e.pending.Passes += delta.Passes
+		e.repMu.Unlock()
+		if firstErr == nil {
+			firstErr = fmt.Errorf("scrub: reporting pass: %w", err)
+		}
+	}
+	return st, firstErr
+}
+
+// scrubProvider walks one provider's inventory to completion, pacing
+// between slices.
+func (e *Engine) scrubProvider(addr string, st *Stats) error {
+	var cursor chunk.Key
+	resume := false
+	for {
+		start := time.Now()
+		resp, err := provider.Scrub(e.cfg.RPC, addr, cursor, resume, e.cfg.StepBytes)
+		if err != nil {
+			return err
+		}
+		st.ChunksScanned += resp.Scanned
+		st.BytesScanned += resp.Bytes
+		st.CorruptFound += resp.Corrupt
+		st.Backfilled += resp.Backfilled
+		if resp.Done {
+			return nil
+		}
+		cursor, resume = resp.NextCursor, true
+		e.pace(resp.Bytes, time.Since(start))
+	}
+}
+
+// pace sleeps off the difference between how long the slice took and how
+// long it should have taken at the configured rate.
+func (e *Engine) pace(bytes uint64, took time.Duration) {
+	if e.cfg.BytesPerSec == NoRateLimit || bytes == 0 {
+		return
+	}
+	want := time.Duration(float64(bytes) / float64(e.cfg.BytesPerSec) * float64(time.Second))
+	if want > took {
+		e.cfg.sleep(want - took)
+	}
+}
+
+// addTotals folds src's counters (except Passes, which callers manage)
+// into dst.
+func addTotals(dst, src *Stats) {
+	dst.ChunksScanned += src.ChunksScanned
+	dst.BytesScanned += src.BytesScanned
+	dst.CorruptFound += src.CorruptFound
+	dst.Backfilled += src.Backfilled
+	dst.Errors += src.Errors
+}

@@ -1,0 +1,72 @@
+package scrub
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/rpc"
+)
+
+func TestNewValidatesConfig(t *testing.T) {
+	cli := rpc.NewClient(rpc.NewSimNetwork(nil), 0)
+	defer cli.Close()
+	if _, err := New(Config{VMAddr: "vm", PMAddr: "pm"}); err == nil {
+		t.Error("New without RPC client succeeded")
+	}
+	if _, err := New(Config{RPC: cli, PMAddr: "pm"}); err == nil {
+		t.Error("New without a version manager address succeeded")
+	}
+	if _, err := New(Config{RPC: cli, VMAddr: "vm"}); err == nil {
+		t.Error("New without a provider manager address succeeded")
+	}
+	e, err := New(Config{RPC: cli, VMAddr: "vm", PMAddr: "pm"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.cfg.BytesPerSec != defaultBytesPerSec || e.cfg.StepBytes != defaultStepBytes {
+		t.Errorf("defaults not applied: %+v", e.cfg)
+	}
+}
+
+// pace must sleep off exactly the rate-limit deficit: a slice that
+// finished early sleeps the difference, a slow one doesn't sleep at all,
+// and NoRateLimit never sleeps.
+func TestPaceSleepsOffDeficit(t *testing.T) {
+	cli := rpc.NewClient(rpc.NewSimNetwork(nil), 0)
+	defer cli.Close()
+	var slept time.Duration
+	e, err := New(Config{
+		RPC: cli, VMAddr: "vm", PMAddr: "pm",
+		BytesPerSec: 1 << 20, // 1 MiB/s
+		sleep:       func(d time.Duration) { slept += d },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 1 MiB verified instantaneously at 1 MiB/s: owe ~1 s.
+	e.pace(1<<20, 0)
+	if slept < 900*time.Millisecond || slept > time.Second {
+		t.Errorf("slept %v for a 1 MiB instant slice at 1 MiB/s, want ~1s", slept)
+	}
+
+	// A slice that already took longer than its budget owes nothing.
+	slept = 0
+	e.pace(1<<20, 2*time.Second)
+	if slept != 0 {
+		t.Errorf("slow slice slept %v, want 0", slept)
+	}
+
+	// Zero bytes (all-corrupt or empty slice) owes nothing.
+	e.pace(0, 0)
+	if slept != 0 {
+		t.Errorf("empty slice slept %v, want 0", slept)
+	}
+
+	// NoRateLimit disables pacing entirely.
+	e.cfg.BytesPerSec = NoRateLimit
+	e.pace(64<<20, 0)
+	if slept != 0 {
+		t.Errorf("NoRateLimit slept %v, want 0", slept)
+	}
+}

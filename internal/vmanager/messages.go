@@ -26,6 +26,8 @@ const (
 	MethodCompact       = "vm.compact"
 	MethodRepairReport  = "vm.repairreport"
 	MethodRepairStats   = "vm.repairstats"
+	MethodScrubReport   = "vm.scrubreport"
+	MethodScrubStats    = "vm.scrubstats"
 	MethodRenewLease    = "vm.renew"
 	MethodLeaseStats    = "vm.leasestats"
 	MethodUnwoven       = "vm.unwoven"
@@ -555,6 +557,9 @@ type RepairTotals struct {
 	// LostChunks counts chunks with no surviving replica (unrecoverable
 	// until the provider returns; never silently dropped).
 	LostChunks uint64
+	// CorruptPurged counts quarantined (digest-failed) replica copies
+	// deleted after the healed descriptor landed.
+	CorruptPurged uint64
 	// Errors counts per-blob repair failures (retried next pass).
 	Errors uint64
 }
@@ -569,6 +574,7 @@ func (r *RepairTotals) Encode(e *wire.Encoder) {
 	e.PutU64(r.BytesMoved)
 	e.PutU64(r.LeavesPatched)
 	e.PutU64(r.LostChunks)
+	e.PutU64(r.CorruptPurged)
 	e.PutU64(r.Errors)
 }
 
@@ -582,6 +588,48 @@ func (r *RepairTotals) Decode(d *wire.Decoder) {
 	r.BytesMoved = d.U64()
 	r.LeavesPatched = d.U64()
 	r.LostChunks = d.U64()
+	r.CorruptPurged = d.U64()
+	r.Errors = d.U64()
+}
+
+// ScrubTotals counts what scrub passes did; like RepairTotals it doubles
+// as the report payload (one pass's delta) and the cumulative stats
+// response, aggregates at the version manager, and is pure observability
+// (not journaled).
+type ScrubTotals struct {
+	// Passes counts completed scrub passes (reports received).
+	Passes uint64
+	// ChunksScanned counts chunk copies digest-verified.
+	ChunksScanned uint64
+	// BytesScanned counts payload bytes read and verified.
+	BytesScanned uint64
+	// CorruptFound counts copies that failed verification and were
+	// quarantined during scrub.
+	CorruptFound uint64
+	// Backfilled counts legacy (digestless) copies that had a digest
+	// minted and journaled during scrub.
+	Backfilled uint64
+	// Errors counts per-provider scrub failures (retried next pass).
+	Errors uint64
+}
+
+// Encode implements wire.Message.
+func (r *ScrubTotals) Encode(e *wire.Encoder) {
+	e.PutU64(r.Passes)
+	e.PutU64(r.ChunksScanned)
+	e.PutU64(r.BytesScanned)
+	e.PutU64(r.CorruptFound)
+	e.PutU64(r.Backfilled)
+	e.PutU64(r.Errors)
+}
+
+// Decode implements wire.Message.
+func (r *ScrubTotals) Decode(d *wire.Decoder) {
+	r.Passes = d.U64()
+	r.ChunksScanned = d.U64()
+	r.BytesScanned = d.U64()
+	r.CorruptFound = d.U64()
+	r.Backfilled = d.U64()
 	r.Errors = d.U64()
 }
 

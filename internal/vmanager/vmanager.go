@@ -205,6 +205,11 @@ type Manager struct {
 	repairMu sync.Mutex
 	repair   RepairTotals
 
+	// Cumulative scrub accounting, reported by scrub engines via
+	// ScrubReport. Observability only — never journaled.
+	scrubMu sync.Mutex
+	scrub   ScrubTotals
+
 	// Write-lease state. leaseTTLMs is the TTL granted by Assign (0
 	// disables leases). now is the clock, swappable by tests. The counters
 	// are observability only.
@@ -896,6 +901,7 @@ func (m *Manager) RepairReport(req *RepairTotals) {
 	m.repair.BytesMoved += req.BytesMoved
 	m.repair.LeavesPatched += req.LeavesPatched
 	m.repair.LostChunks += req.LostChunks
+	m.repair.CorruptPurged += req.CorruptPurged
 	m.repair.Errors += req.Errors
 }
 
@@ -904,6 +910,32 @@ func (m *Manager) RepairStats() *RepairTotals {
 	m.repairMu.Lock()
 	defer m.repairMu.Unlock()
 	cp := m.repair
+	return &cp
+}
+
+// ScrubReport folds scrub pass counters into the cumulative totals. As
+// with RepairReport, reports carry their own pass count so an engine can
+// batch a previously lost delta into its next report.
+func (m *Manager) ScrubReport(req *ScrubTotals) {
+	m.scrubMu.Lock()
+	defer m.scrubMu.Unlock()
+	passes := req.Passes
+	if passes == 0 {
+		passes = 1
+	}
+	m.scrub.Passes += passes
+	m.scrub.ChunksScanned += req.ChunksScanned
+	m.scrub.BytesScanned += req.BytesScanned
+	m.scrub.CorruptFound += req.CorruptFound
+	m.scrub.Backfilled += req.Backfilled
+	m.scrub.Errors += req.Errors
+}
+
+// ScrubStats reports cumulative scrub totals.
+func (m *Manager) ScrubStats() *ScrubTotals {
+	m.scrubMu.Lock()
+	defer m.scrubMu.Unlock()
+	cp := m.scrub
 	return &cp
 }
 
@@ -1014,6 +1046,13 @@ func NewServerWithManager(network rpc.Network, addr string, m *Manager) *Server 
 		})
 	rpc.HandleMsg(s.srv, MethodRepairStats, func() *Ack { return &Ack{} },
 		func(*Ack) (*RepairTotals, error) { return s.m.RepairStats(), nil })
+	rpc.HandleMsg(s.srv, MethodScrubReport, func() *ScrubTotals { return &ScrubTotals{} },
+		func(req *ScrubTotals) (*Ack, error) {
+			s.m.ScrubReport(req)
+			return &Ack{}, nil
+		})
+	rpc.HandleMsg(s.srv, MethodScrubStats, func() *Ack { return &Ack{} },
+		func(*Ack) (*ScrubTotals, error) { return s.m.ScrubStats(), nil })
 	rpc.HandleMsg(s.srv, MethodCompact, func() *Ack { return &Ack{} },
 		func(*Ack) (*CompactResp, error) {
 			dropped, err := s.m.Compact()
