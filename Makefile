@@ -2,7 +2,7 @@ GO ?= go
 FUZZTIME ?= 10s
 BENCHTIME ?= 1x
 
-.PHONY: all build vet test race fuzz bench e2e-restart e2e-repair e2e-lease e2e-failover e2e-scrub soak-smoke ci clean
+.PHONY: all build vet test race fuzz bench e2e-restart e2e-repair e2e-lease e2e-failover e2e-scrub e2e-trace soak-smoke ci clean
 
 all: ci
 
@@ -33,6 +33,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzLeaseRecordReplay -fuzztime=$(FUZZTIME) ./internal/vmanager/
 	$(GO) test -fuzz=FuzzReplicationDivergence -fuzztime=$(FUZZTIME) ./internal/vmanager/
 	$(GO) test -fuzz=FuzzDigestWireDecode -fuzztime=$(FUZZTIME) ./internal/provider/
+	$(GO) test -fuzz=FuzzTraceTrailer -fuzztime=$(FUZZTIME) ./internal/rpc/
 
 # Macro-benchmark smoke test: one iteration of every reconstructed
 # experiment (E1-E14, including the E14 repair-under-churn bench) keeps
@@ -90,6 +91,16 @@ e2e-scrub:
 	$(GO) test -race -count=1 -run 'TestCorruptReplicaReadFailover|TestScrubRestoresDegree' ./internal/fault/
 	$(GO) test -race -count=1 -run 'TestGetQuarantinesCorruptCopy|TestIngestRejectsCorruptPut|TestLegacyChunkBackfilledOnRead|TestVerifyChunkRecheck|TestScrubStepBudgetAndResume|TestSidecarDigestReplayAndTornFileBootCheck' ./internal/provider/
 
+# Distributed-tracing end-to-end suite, under the race detector: a
+# sampled 256-chunk cold read must land client/vmanager/metadata/provider
+# spans under one trace id; the trace must survive a leader failover
+# (redirect) and metadata/provider restart-in-place (tracer re-attach);
+# background planes must originate their own root traces; plus the
+# ring-buffer race hammer and the trace-trailer unit suite.
+e2e-trace:
+	$(GO) test -race -count=1 -run 'TestTrace|TestBackgroundPlanes' ./internal/cluster/
+	$(GO) test -race -count=1 ./internal/trace/ ./internal/rpc/
+
 # Open-loop soak smoke: 10 seconds of blaster traffic (read/write mix,
 # zipf popularity) against a full in-process cluster with the metrics
 # plane on. Fails on an error-budget breach (>1% errored ops) or a rate
@@ -98,7 +109,7 @@ SOAK_SECS ?= 10
 soak-smoke:
 	BLASTER_SOAK_SECS=$(SOAK_SECS) $(GO) test -race -count=1 -run 'TestSoakSmoke' -timeout 10m ./internal/blaster/
 
-ci: vet build race fuzz bench e2e-restart e2e-repair e2e-lease e2e-failover e2e-scrub soak-smoke
+ci: vet build race fuzz bench e2e-restart e2e-repair e2e-lease e2e-failover e2e-scrub e2e-trace soak-smoke
 
 clean:
 	$(GO) clean -testcache

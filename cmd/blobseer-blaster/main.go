@@ -16,6 +16,7 @@ package main
 import (
 	"encoding/json"
 	"flag"
+	"fmt"
 	"log"
 	"os"
 	"strings"
@@ -26,6 +27,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/rpc"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -46,6 +48,9 @@ func main() {
 	seed := flag.Int64("seed", 1, "RNG seed for op/blob draws")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-RPC timeout")
 	metricsListen := flag.String("metrics-listen", "", "serve live /metrics during the blast (empty = off)")
+	traceSample := flag.Int("trace-sample", 1, "trace 1 in N blaster ops end-to-end (1 = every op, <=0 = off); worst-latency trace ids land in the JSON summary")
+	traceSlow := flag.Duration("trace-slow", 50*time.Millisecond, "flight-recorder threshold for blaster-side spans (<=0 = off)")
+	worstK := flag.Int("worst", 5, "how many worst-latency ops (with trace ids) to report")
 	flag.Parse()
 
 	if *vmAddr == "" || *pmAddr == "" || *metaList == "" {
@@ -59,6 +64,14 @@ func main() {
 	network := rpc.NewTCPNetwork()
 	reg := metrics.NewRegistry()
 	rpcm := obs.NewRPCMetrics(reg)
+	// One recorder for the whole blaster process: the per-op root spans
+	// and every client's RPC spans land together, so a worst-op trace id
+	// resolves locally at /debug/traces — and remotely on each role's
+	// endpoint, since the context crosses the wire.
+	var traces *trace.Recorder
+	if *traceSample > 0 {
+		traces = trace.NewRecorder(0, 0)
+	}
 	if *clients <= 0 {
 		*clients = 1
 	}
@@ -76,6 +89,7 @@ func main() {
 			log.Fatalf("blobseer-blaster: client %d: %v", i, err)
 		}
 		cli.RPC().SetObserver(rpcm.ClientObserver("blaster"))
+		cli.RPC().SetTracer(trace.New("client", fmt.Sprintf("blaster-c%d", i), traces, *traceSample, *traceSlow))
 		defer cli.Close()
 		pool = append(pool, cli)
 	}
@@ -93,13 +107,15 @@ func main() {
 		Workers:     *workers,
 		Seed:        *seed,
 		Registry:    reg,
+		Tracer:      trace.New("blaster", "blaster", traces, *traceSample, *traceSlow),
+		WorstK:      *worstK,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	if *metricsListen != "" {
-		h, err := obs.ServeHTTP(*metricsListen, reg)
+		h, err := obs.ServeHTTPWith(*metricsListen, obs.HTTPConfig{Registry: reg, Traces: traces})
 		if err != nil {
 			log.Fatal(err)
 		}

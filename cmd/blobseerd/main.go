@@ -82,6 +82,7 @@ import (
 	"repro/internal/repair"
 	"repro/internal/rpc"
 	"repro/internal/scrub"
+	"repro/internal/trace"
 	"repro/internal/vmanager"
 )
 
@@ -117,6 +118,10 @@ func main() {
 	haTTL := flag.Duration("ha-ttl", time.Second, "leadership lease TTL; a standby takes over after missing heartbeats for this long (role=vmanager HA)")
 	replMode := flag.String("repl", "quorum", "replication durability: quorum = commit waits for a standby ack, async = commit is local-only (role=vmanager HA)")
 	metricsListen := flag.String("metrics-listen", "", "HTTP address serving /metrics (Prometheus text) and /healthz; empty = exposition off (any role)")
+	traceSample := flag.Int("trace-sample", 256, "distributed-tracing head sampling: record 1 in N operations (1 = every op, <=0 = tracing off); sampled spans serve at /debug/traces on -metrics-listen")
+	traceSlow := flag.Duration("trace-slow", 50*time.Millisecond, "flight-recorder threshold: spans slower than this are retained even when unsampled (<=0 = flight recorder off)")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on -metrics-listen")
+	exemplarsOn := flag.Bool("metrics-exemplars", false, "render OpenMetrics exemplars (bucket trace ids) on /metrics")
 	flag.Parse()
 
 	if *fullness != 0 {
@@ -137,6 +142,7 @@ func main() {
 	var rpcm *obs.RPCMetrics
 	if *metricsListen != "" {
 		reg = metrics.NewRegistry()
+		reg.SetExemplars(*exemplarsOn)
 		rpcm = obs.NewRPCMetrics(reg)
 	}
 	serverObs := func(role string) rpc.ServerObserver {
@@ -150,6 +156,18 @@ func main() {
 			return nil
 		}
 		return rpcm.ClientObserver(role)
+	}
+
+	// Tracing plane: one span recorder per daemon; every role server and
+	// background-plane client records into it. On by default at 1/256 —
+	// cheap enough to ship on — and served at /debug/traces when
+	// -metrics-listen is up.
+	var traces *trace.Recorder
+	if *traceSample > 0 {
+		traces = trace.NewRecorder(0, 0)
+	}
+	tracer := func(role, node string) *trace.Tracer {
+		return trace.New(role, node, traces, *traceSample, *traceSlow)
 	}
 
 	switch *role {
@@ -167,6 +185,7 @@ func main() {
 		s := vmanager.NewServerWithManager(network, *listen, mgr)
 		s.SetRPCObserver(serverObs("vmanager"))
 		must(s.Start())
+		s.SetRPCTracer(tracer("vmanager", s.Addr()))
 
 		// Replicated control plane: -vm-peers (bootstrap-capable) or
 		// -standby-of (join-only) turns this member into part of an HA
@@ -194,6 +213,8 @@ func main() {
 			}
 			haCli = rpc.NewClient(network, 10*time.Second)
 			haCli.SetObserver(clientObs("vmanager"))
+			haCli.SetTracer(tracer("vmanager", self))
+			haCli.SetRootTraces(true)
 			peerList := strings.Split(peers, ",")
 			must(mgr.EnableHA(vmanager.HAConfig{
 				Self:          self,
@@ -218,11 +239,11 @@ func main() {
 				obs.RegisterVManagerHA(reg, self, s.Manager)
 			}
 		}
-		stopGC := startGCLoop(network, vmGroup, *pmAddr, *metaList, *metaRepl, *gcInterval, *gcGrace, clientObs("gc"))
+		stopGC := startGCLoop(network, vmGroup, *pmAddr, *metaList, *metaRepl, *gcInterval, *gcGrace, clientObs("gc"), tracer("gc", "gc"))
 		stopRepair := startRepairLoop(network, vmGroup, *pmAddr, *metaList, *metaRepl, *repairInterval,
-			*repairHigh, *repairLow, *repairMoveMB, clientObs("repair"))
-		stopScrub := startScrubLoop(network, vmGroup, *pmAddr, *scrubInterval, *scrubRateMB, clientObs("scrub"))
-		stopLease := startLeaseLoop(network, mgr, *metaList, *metaRepl, *leaseTTL, *leaseExpiry, clientObs("lease"))
+			*repairHigh, *repairLow, *repairMoveMB, clientObs("repair"), tracer("repair", "repair"))
+		stopScrub := startScrubLoop(network, vmGroup, *pmAddr, *scrubInterval, *scrubRateMB, clientObs("scrub"), tracer("scrub", "scrub"))
+		stopLease := startLeaseLoop(network, mgr, *metaList, *metaRepl, *leaseTTL, *leaseExpiry, clientObs("lease"), tracer("lease", "lease"))
 		addr, closer = s.Addr(), func() {
 			stopLease()
 			stopScrub()
@@ -240,6 +261,7 @@ func main() {
 		must(err)
 		s.SetRPCObserver(serverObs("pmanager"))
 		must(s.Start())
+		s.SetRPCTracer(tracer("pmanager", s.Addr()))
 		if reg != nil {
 			obs.RegisterPManager(reg, s.Manager())
 		}
@@ -257,6 +279,7 @@ func main() {
 		s := meta.NewServerWithStore(network, *listen, store)
 		s.SetRPCObserver(serverObs("metadata"))
 		must(s.Start())
+		s.SetRPCTracer(tracer("metadata", s.Addr()))
 		if reg != nil {
 			obs.RegisterMeta(reg, s.Addr(), func() *meta.Server { return s })
 		}
@@ -270,6 +293,7 @@ func main() {
 		s := bsfs.NewNameServer(network, *listen)
 		s.SetRPCObserver(serverObs("namespace"))
 		must(s.Start())
+		s.SetRPCTracer(tracer("namespace", s.Addr()))
 		addr, closer = s.Addr(), s.Close
 	case "repair":
 		if *vmAddr == "" || *pmAddr == "" || *metaList == "" {
@@ -280,7 +304,7 @@ func main() {
 			interval = 30 * time.Second
 		}
 		stop := startRepairLoop(network, *vmAddr, *pmAddr, *metaList, *metaRepl, interval,
-			*repairHigh, *repairLow, *repairMoveMB, clientObs("repair"))
+			*repairHigh, *repairLow, *repairMoveMB, clientObs("repair"), tracer("repair", "repair"))
 		log.Printf("blobseerd: role=repair healing %s every %v", *vmAddr, interval)
 		addr, closer = "(no RPC listener)", stop
 	case "scrub":
@@ -291,7 +315,7 @@ func main() {
 		if interval <= 0 {
 			interval = time.Hour
 		}
-		stop := startScrubLoop(network, *vmAddr, *pmAddr, interval, *scrubRateMB, clientObs("scrub"))
+		stop := startScrubLoop(network, *vmAddr, *pmAddr, interval, *scrubRateMB, clientObs("scrub"), tracer("scrub", "scrub"))
 		log.Printf("blobseerd: role=scrub verifying %s every %v", *vmAddr, interval)
 		addr, closer = "(no RPC listener)", stop
 	case "provider":
@@ -316,6 +340,7 @@ func main() {
 		must(err)
 		s.SetRPCObserver(serverObs("provider"))
 		must(s.Start())
+		s.SetRPCTracer(tracer("provider", s.Addr()))
 		if reg != nil {
 			obs.RegisterProvider(reg, s.Addr(), func() *provider.Server { return s })
 		}
@@ -330,9 +355,15 @@ func main() {
 	}
 
 	if *metricsListen != "" {
-		h, err := obs.ServeHTTP(*metricsListen, reg)
+		h, err := obs.ServeHTTPWith(*metricsListen, obs.HTTPConfig{Registry: reg, Traces: traces, Pprof: *pprofOn})
 		must(err)
 		log.Printf("blobseerd: metrics at http://%s/metrics", h.Addr())
+		if traces != nil {
+			log.Printf("blobseerd: traces at http://%s/debug/traces", h.Addr())
+		}
+		if *pprofOn {
+			log.Printf("blobseerd: profiles at http://%s/debug/pprof/", h.Addr())
+		}
 		inner := closer
 		closer = func() { h.Close(); inner() }
 	}
@@ -351,7 +382,7 @@ func waitForSignal() {
 // startGCLoop runs the background reclamation sweep inside the vmanager
 // daemon when an interval is configured. It returns a stop function (a
 // no-op when the loop is off).
-func startGCLoop(network rpc.Network, vmAddr, pmAddr, metaList string, metaRepl int, interval, grace time.Duration, co rpc.ClientObserver) func() {
+func startGCLoop(network rpc.Network, vmAddr, pmAddr, metaList string, metaRepl int, interval, grace time.Duration, co rpc.ClientObserver, tr *trace.Tracer) func() {
 	if interval <= 0 {
 		return func() {}
 	}
@@ -360,6 +391,8 @@ func startGCLoop(network rpc.Network, vmAddr, pmAddr, metaList string, metaRepl 
 	}
 	cli := rpc.NewClient(network, 0)
 	cli.SetObserver(co)
+	cli.SetTracer(tr)
+	cli.SetRootTraces(true)
 	sweeper, err := gc.New(gc.Config{
 		RPC:     cli,
 		Meta:    meta.NewClient(cli, strings.Split(metaList, ","), metaRepl, 0),
@@ -404,7 +437,7 @@ func startGCLoop(network rpc.Network, vmAddr, pmAddr, metaList string, metaRepl 
 // vmanager role, standalone for role=repair). It returns a stop function
 // (a no-op when the loop is off).
 func startRepairLoop(network rpc.Network, vmAddr, pmAddr, metaList string, metaRepl int,
-	interval time.Duration, high, low float64, maxMoveMB int64, co rpc.ClientObserver) func() {
+	interval time.Duration, high, low float64, maxMoveMB int64, co rpc.ClientObserver, tr *trace.Tracer) func() {
 	if interval <= 0 {
 		return func() {}
 	}
@@ -413,6 +446,8 @@ func startRepairLoop(network rpc.Network, vmAddr, pmAddr, metaList string, metaR
 	}
 	cli := rpc.NewClient(network, 0)
 	cli.SetObserver(co)
+	cli.SetTracer(tr)
+	cli.SetRootTraces(true)
 	eng, err := repair.New(repair.Config{
 		RPC:          cli,
 		Meta:         meta.NewClient(cli, strings.Split(metaList, ","), metaRepl, 0),
@@ -453,7 +488,7 @@ func startRepairLoop(network rpc.Network, vmAddr, pmAddr, metaList string, metaR
 // vmanager role, standalone for role=scrub). It returns a stop function
 // (a no-op when the loop is off).
 func startScrubLoop(network rpc.Network, vmAddr, pmAddr string, interval time.Duration,
-	rateMB int64, co rpc.ClientObserver) func() {
+	rateMB int64, co rpc.ClientObserver, tr *trace.Tracer) func() {
 	if interval <= 0 {
 		return func() {}
 	}
@@ -466,6 +501,8 @@ func startScrubLoop(network rpc.Network, vmAddr, pmAddr string, interval time.Du
 	}
 	cli := rpc.NewClient(network, 0)
 	cli.SetObserver(co)
+	cli.SetTracer(tr)
+	cli.SetRootTraces(true)
 	eng, err := scrub.New(scrub.Config{
 		RPC:         cli,
 		VMAddrs:     strings.Split(vmAddr, ","),
@@ -508,7 +545,7 @@ func startScrubLoop(network rpc.Network, vmAddr, pmAddr string, interval time.Du
 // abort — and the frontier unwedge — happens either way). Returns a stop
 // function (a no-op when leases are off).
 func startLeaseLoop(network rpc.Network, mgr *vmanager.Manager, metaList string, metaRepl int,
-	ttl, interval time.Duration, co rpc.ClientObserver) func() {
+	ttl, interval time.Duration, co rpc.ClientObserver, tr *trace.Tracer) func() {
 	if ttl <= 0 {
 		return func() {}
 	}
@@ -517,6 +554,8 @@ func startLeaseLoop(network rpc.Network, mgr *vmanager.Manager, metaList string,
 	if metaList != "" {
 		cli = rpc.NewClient(network, 0)
 		cli.SetObserver(co)
+		cli.SetTracer(tr)
+		cli.SetRootTraces(true)
 		mc := meta.NewClient(cli, strings.Split(metaList, ","), metaRepl, 0)
 		weaver = func(in meta.IdentityInput) error { return meta.WeaveIdentity(mc, in) }
 	} else {

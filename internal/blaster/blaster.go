@@ -20,6 +20,7 @@
 package blaster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -31,6 +32,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/trace"
 )
 
 // Op names accepted in a Mix.
@@ -72,6 +74,13 @@ type Config struct {
 	// Registry, when set, additionally exposes the blaster's histograms
 	// and counters for live scraping.
 	Registry *metrics.Registry
+	// Tracer, when set, opens a root span around every operation, so each
+	// op's full RPC tree is stitchable by trace id — and the Result names
+	// the trace ids of the worst-latency ops (see WorstK). The clients
+	// should share the same recorder so role spans land next to these.
+	Tracer *trace.Tracer
+	// WorstK bounds the worst-latency op list in the Result (default 5).
+	WorstK int
 }
 
 // Result is the blast summary, JSON-encodable for scripting.
@@ -85,6 +94,22 @@ type Result struct {
 	Errors       int64               `json:"errors"`
 	ErrorBudget  float64             `json:"error_fraction"`
 	Ops          map[string]OpResult `json:"ops"`
+	// WorstOps are the K worst-latency operations observed, worst first.
+	// With tracing on, each op's trace id keys into /debug/traces (or
+	// `blobseer-cli trace <id>`) for the span-by-span breakdown — the
+	// bridge from "p999 is bad" to "THIS op spent 80ms in THIS RPC".
+	WorstOps []WorstOp `json:"worst_ops,omitempty"`
+}
+
+// WorstOp identifies one high-latency operation.
+type WorstOp struct {
+	Op       string  `json:"op"`
+	LatencyS float64 `json:"latency_s"`
+	// TraceID is the op's trace id in hex ("" when tracing is off).
+	// Sampled says whether head sampling kept the full span tree; slow
+	// ops are force-retained by the flight recorder regardless.
+	TraceID string `json:"trace_id,omitempty"`
+	Sampled bool   `json:"sampled,omitempty"`
 }
 
 // OpResult is the per-operation latency summary.
@@ -133,6 +158,9 @@ type Blaster struct {
 	counts  *metrics.CounterVec   // blobseer_blaster_ops_total{op}
 	errs    *metrics.CounterVec   // blobseer_blaster_errors_total{op}
 	shed    metrics.Counter
+
+	worstMu sync.Mutex
+	worst   []WorstOp // sorted worst-first, capped at cfg.WorstK
 }
 
 // New validates cfg and prepares the blob population: Blobs blobs are
@@ -167,6 +195,9 @@ func New(cfg Config) (*Blaster, error) {
 	}
 	if len(cfg.Mix) == 0 {
 		cfg.Mix = map[string]float64{OpRead: 1}
+	}
+	if cfg.WorstK <= 0 {
+		cfg.WorstK = 5
 	}
 
 	b := &Blaster{
@@ -274,13 +305,17 @@ func (b *Blaster) Run() Result {
 			defer wg.Done()
 			buf := make([]byte, cfg.OpBytes)
 			for j := range jobs {
+				ctx, act := cfg.Tracer.StartOp(context.Background(), "blaster."+j.op)
 				start := time.Now()
-				err := execute(j, payload, buf)
-				b.latency.With(j.op).ObserveSince(start)
+				err := execute(ctx, j, payload, buf)
+				elapsed := time.Since(start)
+				act.Finish(err)
+				b.latency.With(j.op).Observe(elapsed.Seconds())
 				b.counts.With(j.op).Add(1)
 				if err != nil {
 					b.errs.With(j.op).Add(1)
 				}
+				b.noteLatency(j.op, elapsed, act)
 			}
 		}()
 	}
@@ -313,19 +348,40 @@ func (b *Blaster) Run() Result {
 	return b.summarize(arrivals, elapsed)
 }
 
-func execute(j job, payload, buf []byte) error {
+func execute(ctx context.Context, j job, payload, buf []byte) error {
 	switch j.op {
 	case OpRead:
-		_, err := j.blob.Read(0, buf, 0)
+		_, err := j.blob.ReadCtx(ctx, 0, buf, 0)
 		return err
 	case OpWrite:
-		_, err := j.blob.Write(payload, 0)
+		_, err := j.blob.WriteCtx(ctx, payload, 0)
 		return err
 	case OpAppend:
-		_, _, err := j.blob.Append(payload)
+		_, _, err := j.blob.AppendCtx(ctx, payload)
 		return err
 	default:
 		return fmt.Errorf("blaster: unknown op %q", j.op)
+	}
+}
+
+// noteLatency folds one completed op into the worst-K list. The list is
+// tiny (K defaults to 5) and ops complete at most Workers at a time, so
+// a mutex plus insertion sort is cheaper than anything clever.
+func (b *Blaster) noteLatency(op string, elapsed time.Duration, act *trace.Active) {
+	w := WorstOp{Op: op, LatencyS: elapsed.Seconds()}
+	if act != nil {
+		w.TraceID = fmt.Sprintf("%016x", act.TraceID())
+		w.Sampled = act.Sampled()
+	}
+	b.worstMu.Lock()
+	defer b.worstMu.Unlock()
+	if len(b.worst) == b.cfg.WorstK && w.LatencyS <= b.worst[len(b.worst)-1].LatencyS {
+		return
+	}
+	b.worst = append(b.worst, w)
+	sort.Slice(b.worst, func(i, j int) bool { return b.worst[i].LatencyS > b.worst[j].LatencyS })
+	if len(b.worst) > b.cfg.WorstK {
+		b.worst = b.worst[:b.cfg.WorstK]
 	}
 }
 
@@ -358,5 +414,8 @@ func (b *Blaster) summarize(arrivals int64, elapsed time.Duration) Result {
 	if res.Completed > 0 {
 		res.ErrorBudget = float64(res.Errors) / float64(res.Completed)
 	}
+	b.worstMu.Lock()
+	res.WorstOps = append([]WorstOp(nil), b.worst...)
+	b.worstMu.Unlock()
 	return res
 }

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/provider"
 	"repro/internal/rpc"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -234,6 +235,9 @@ func (s *NameServer) Addr() string { return s.srv.Addr() }
 // SetRPCObserver attaches an observer to the name server's RPC server
 // (per-method latency/bytes/error metrics).
 func (s *NameServer) SetRPCObserver(o rpc.ServerObserver) { s.srv.SetObserver(o) }
+
+// SetRPCTracer attaches a tracer to the name server's RPC server.
+func (s *NameServer) SetRPCTracer(t *trace.Tracer) { s.srv.SetTracer(t) }
 
 func (s *NameServer) parentOf(p string) (*nsEntry, string, error) {
 	dir, name := path.Split(p)

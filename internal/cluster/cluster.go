@@ -23,6 +23,7 @@ import (
 	"repro/internal/repair"
 	"repro/internal/rpc"
 	"repro/internal/scrub"
+	"repro/internal/trace"
 	"repro/internal/vmanager"
 )
 
@@ -132,7 +133,31 @@ type Config struct {
 	// GET /healthz. ":0" picks a free port — read it back with
 	// MetricsAddr.
 	MetricsListen string
+	// TraceSample enables distributed request tracing at 1-in-N head
+	// sampling. Zero means the default (1 in 256 — tracing is ON by
+	// default, so deployments and benchmarks exercise the shipping
+	// path); 1 samples every operation; negative disables tracing.
+	TraceSample int
+	// TraceSlow is the flight-recorder threshold: a span slower than
+	// this is force-retained in the slow ring even when head sampling
+	// skipped its trace (tail sampling for the ops that matter most).
+	// Zero means the default (50ms); negative disables the recorder.
+	TraceSlow time.Duration
+	// Pprof mounts net/http/pprof under /debug/pprof/ on the
+	// MetricsListen HTTP server.
+	Pprof bool
+	// MetricsExemplars renders OpenMetrics exemplars — the sampled trace
+	// id pinned to each histogram bucket — on /metrics.
+	MetricsExemplars bool
 }
+
+// Tracing defaults: head sampling at 1/256 keeps the recording cost
+// invisible on the hot path; 50ms is far past any healthy op on the
+// simulated fabric, so the flight recorder holds genuine outliers.
+const (
+	defaultTraceSample = 256
+	defaultTraceSlow   = 50 * time.Millisecond
+)
 
 // Cluster is a running deployment.
 type Cluster struct {
@@ -208,6 +233,13 @@ type Cluster struct {
 	registry    *metrics.Registry
 	rpcMetrics  *obs.RPCMetrics
 	metricsHTTP *obs.HTTPServer
+
+	// Tracing plane (Config.TraceSample): one shared span recorder for
+	// the whole in-process deployment — spans carry role and node labels
+	// — with per-role tracer instances feeding it.
+	traces      *trace.Recorder
+	traceSample int
+	traceSlow   time.Duration
 }
 
 // Registry returns the deployment's metrics registry (nil unless
@@ -238,6 +270,19 @@ func (c *Cluster) clientObserver(role string) rpc.ClientObserver {
 		return nil
 	}
 	return c.rpcMetrics.ClientObserver(role)
+}
+
+// Traces returns the deployment's span recorder (nil when tracing is
+// disabled via a negative Config.TraceSample).
+func (c *Cluster) Traces() *trace.Recorder { return c.traces }
+
+// roleTracer builds a tracer for one role instance over the shared
+// recorder (nil — which every attach point tolerates — when tracing is
+// off). Restart-in-place paths call this again for the replacement
+// server; the fresh tracer feeds the same recorder, so traces stitch
+// across the restart.
+func (c *Cluster) roleTracer(role, node string) *trace.Tracer {
+	return trace.New(role, node, c.traces, c.traceSample, c.traceSlow)
 }
 
 // Start launches a deployment per cfg.
@@ -273,7 +318,18 @@ func Start(cfg Config) (*Cluster, error) {
 	}
 	if cfg.Metrics {
 		c.registry = metrics.NewRegistry()
+		c.registry.SetExemplars(cfg.MetricsExemplars)
 		c.rpcMetrics = obs.NewRPCMetrics(c.registry)
+	}
+	c.traceSample, c.traceSlow = cfg.TraceSample, cfg.TraceSlow
+	if c.traceSample == 0 {
+		c.traceSample = defaultTraceSample
+	}
+	if c.traceSlow == 0 {
+		c.traceSlow = defaultTraceSlow
+	}
+	if c.traceSample > 0 {
+		c.traces = trace.NewRecorder(0, 0)
 	}
 	if cfg.UseTCP {
 		c.Network = rpc.NewTCPNetwork()
@@ -309,6 +365,7 @@ func Start(cfg Config) (*Cluster, error) {
 		}
 		vm := vmanager.NewServerWithManager(c.Network, addr(name), mgr)
 		vm.SetRPCObserver(c.serverObserver("vmanager"))
+		vm.SetRPCTracer(c.roleTracer("vmanager", name))
 		if err := vm.Start(); err != nil {
 			mgr.Close()
 			c.Close()
@@ -328,6 +385,8 @@ func Start(cfg Config) (*Cluster, error) {
 		for i := range c.VMs {
 			cli := rpc.NewClientFrom(c.Network, cfg.CallTimeout, c.vmAddrs[i])
 			cli.SetObserver(c.clientObserver("vmanager"))
+			cli.SetTracer(c.roleTracer("vmanager", c.vmAddrs[i]))
+			cli.SetRootTraces(true)
 			c.vmReplClients = append(c.vmReplClients, cli)
 		}
 		for i := range c.VMs {
@@ -370,6 +429,7 @@ func Start(cfg Config) (*Cluster, error) {
 	}
 	c.PM = pm
 	c.PM.SetRPCObserver(c.serverObserver("pmanager"))
+	c.PM.SetRPCTracer(c.roleTracer("pmanager", "pm"))
 	if err := c.PM.Start(); err != nil {
 		c.Close()
 		return nil, fmt.Errorf("cluster: starting provider manager: %w", err)
@@ -389,6 +449,7 @@ func Start(cfg Config) (*Cluster, error) {
 		c.metaDirs = append(c.metaDirs, dir)
 		ms := meta.NewServerWithStore(c.Network, addr(fmt.Sprintf("mp%d", i)), store)
 		ms.SetRPCObserver(c.serverObserver("metadata"))
+		ms.SetRPCTracer(c.roleTracer("metadata", fmt.Sprintf("mp%d", i)))
 		if err := ms.Start(); err != nil {
 			c.Close()
 			return nil, fmt.Errorf("cluster: starting metadata provider %d: %w", i, err)
@@ -434,6 +495,7 @@ func Start(cfg Config) (*Cluster, error) {
 			return nil, fmt.Errorf("cluster: starting data provider %d: %w", i, err)
 		}
 		dp.SetRPCObserver(c.serverObserver("provider"))
+		dp.SetRPCTracer(c.roleTracer("provider", fmt.Sprintf("dp%d", i)))
 		c.provStores = append(c.provStores, store)
 		c.provOpts = append(c.provOpts, opts)
 		c.Providers = append(c.Providers, dp)
@@ -457,6 +519,8 @@ func Start(cfg Config) (*Cluster, error) {
 	// loop runs only when an interval was configured.
 	c.gcClient = rpc.NewClientFrom(c.Network, cfg.CallTimeout, "gc")
 	c.gcClient.SetObserver(c.clientObserver("gc"))
+	c.gcClient.SetTracer(c.roleTracer("gc", "gc"))
+	c.gcClient.SetRootTraces(true)
 	sweeper, err := gc.New(gc.Config{
 		RPC:         c.gcClient,
 		Meta:        meta.NewClient(c.gcClient, c.metaAddrs, cfg.MetaReplication, 0),
@@ -492,6 +556,8 @@ func Start(cfg Config) (*Cluster, error) {
 	// background loop runs only when an interval was configured.
 	c.repairClient = rpc.NewClientFrom(c.Network, cfg.CallTimeout, "repair")
 	c.repairClient.SetObserver(c.clientObserver("repair"))
+	c.repairClient.SetTracer(c.roleTracer("repair", "repair"))
+	c.repairClient.SetRootTraces(true)
 	eng, err := repair.New(repair.Config{
 		RPC:       c.repairClient,
 		Meta:      meta.NewClient(c.repairClient, c.metaAddrs, cfg.MetaReplication, 0),
@@ -528,6 +594,8 @@ func Start(cfg Config) (*Cluster, error) {
 	// loop runs only when an interval was configured.
 	c.scrubClient = rpc.NewClientFrom(c.Network, cfg.CallTimeout, "scrub")
 	c.scrubClient.SetObserver(c.clientObserver("scrub"))
+	c.scrubClient.SetTracer(c.roleTracer("scrub", "scrub"))
+	c.scrubClient.SetRootTraces(true)
 	scrubber, err := scrub.New(scrub.Config{
 		RPC:         c.scrubClient,
 		VMAddr:      c.vmAddr,
@@ -566,6 +634,8 @@ func Start(cfg Config) (*Cluster, error) {
 	if cfg.LeaseTTL > 0 {
 		c.leaseClient = rpc.NewClientFrom(c.Network, cfg.CallTimeout, "lease")
 		c.leaseClient.SetObserver(c.clientObserver("lease"))
+		c.leaseClient.SetTracer(c.roleTracer("lease", "lease"))
+		c.leaseClient.SetRootTraces(true)
 		leaseMeta := meta.NewClient(c.leaseClient, c.metaAddrs, cfg.MetaReplication, 0)
 		c.leaseWeaver = func(in meta.IdentityInput) error {
 			return meta.WeaveIdentity(leaseMeta, in)
@@ -595,7 +665,11 @@ func Start(cfg Config) (*Cluster, error) {
 	}
 
 	if cfg.MetricsListen != "" {
-		h, err := obs.ServeHTTP(cfg.MetricsListen, c.registry)
+		h, err := obs.ServeHTTPWith(cfg.MetricsListen, obs.HTTPConfig{
+			Registry: c.registry,
+			Traces:   c.traces,
+			Pprof:    cfg.Pprof,
+		})
 		if err != nil {
 			c.Close()
 			return nil, err
@@ -757,6 +831,7 @@ func (c *Cluster) NewClient(opts ClientOptions) (*core.Client, error) {
 		ParallelIO:        opts.ParallelIO,
 		FullnessWatermark: c.cfg.FullnessWatermark,
 		Observer:          opts.Observer,
+		Tracer:            c.roleTracer("client", name),
 	})
 	if err != nil {
 		return nil, err
@@ -810,6 +885,7 @@ func (c *Cluster) ReviveProvider(i int) error {
 		return fmt.Errorf("cluster: reopening data provider %d: %w", i, err)
 	}
 	dp.SetRPCObserver(c.serverObserver("provider"))
+	dp.SetRPCTracer(c.roleTracer("provider", fmt.Sprintf("dp%d", i)))
 	if err := dp.Start(); err != nil {
 		return fmt.Errorf("cluster: restarting data provider %d: %w", i, err)
 	}
@@ -876,6 +952,11 @@ func (c *Cluster) RestartVMIndex(i int) error {
 	}
 	vm := vmanager.NewServerWithManager(c.Network, c.vmAddrs[i], mgr)
 	vm.SetRPCObserver(c.serverObserver("vmanager"))
+	vmName := "vm"
+	if i > 0 {
+		vmName = fmt.Sprintf("vm-sb%d", i)
+	}
+	vm.SetRPCTracer(c.roleTracer("vmanager", vmName))
 	if err := vm.Start(); err != nil {
 		mgr.Close()
 		return fmt.Errorf("cluster: restarting version manager %d: %w", i, err)
@@ -921,6 +1002,7 @@ func (c *Cluster) RestartMeta(i int) error {
 	}
 	ms := meta.NewServerWithStore(c.Network, c.metaAddrs[i], store)
 	ms.SetRPCObserver(c.serverObserver("metadata"))
+	ms.SetRPCTracer(c.roleTracer("metadata", fmt.Sprintf("mp%d", i)))
 	if err := ms.Start(); err != nil {
 		return fmt.Errorf("cluster: restarting metadata provider %d: %w", i, err)
 	}

@@ -18,6 +18,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -29,6 +30,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/pmanager"
 	"repro/internal/rpc"
+	"repro/internal/trace"
 	"repro/internal/vmanager"
 )
 
@@ -85,6 +87,12 @@ type Config struct {
 	FullnessWatermark float64
 	// Observer, when set, sees every chunk transfer.
 	Observer Observer
+	// Tracer, when set, records a span per client operation (core.read /
+	// core.write / core.append) and propagates the trace context through
+	// every RPC the operation issues, so sampled operations reconstruct
+	// as cross-role waterfalls. Nil disables client-side tracing (RPCs
+	// still join traces handed in via the *Ctx entry points' context).
+	Tracer *trace.Tracer
 }
 
 // Client talks to one BlobSeer deployment. It is safe for concurrent use;
@@ -166,6 +174,9 @@ func NewClient(cfg Config) (*Client, error) {
 		return nil, fmt.Errorf("core: Config.FullnessWatermark %v out of range (0, 1]", cfg.FullnessWatermark)
 	}
 	rpcCli := rpc.NewClientFrom(cfg.Network, cfg.CallTimeout, cfg.ClientName)
+	if cfg.Tracer != nil {
+		rpcCli.SetTracer(cfg.Tracer)
+	}
 	vmAddrs := cfg.VMAddrs
 	if len(vmAddrs) == 0 {
 		vmAddrs = []string{cfg.VMAddr}
@@ -244,8 +255,12 @@ func (b *Blob) Replication() uint32 { return b.replication }
 // Latest returns the newest published version and its size in bytes.
 // A blob that was never written reports version 0, size 0.
 func (b *Blob) Latest() (version, sizeBytes uint64, err error) {
+	return b.latestCtx(context.Background())
+}
+
+func (b *Blob) latestCtx(ctx context.Context) (version, sizeBytes uint64, err error) {
 	var resp vmanager.LatestResp
-	err = b.c.vm.Call(vmanager.MethodLatest, &vmanager.BlobRef{BlobID: b.id}, &resp)
+	err = b.c.vm.CallCtx(ctx, vmanager.MethodLatest, &vmanager.BlobRef{BlobID: b.id}, &resp)
 	if err != nil {
 		return 0, 0, fmt.Errorf("core: latest of blob %d: %w", b.id, mapVMError(err))
 	}
@@ -266,8 +281,12 @@ func (b *Blob) Size(version uint64) (uint64, error) {
 }
 
 func (b *Blob) versionInfo(version uint64) (*vmanager.VersionInfoResp, error) {
+	return b.versionInfoCtx(context.Background(), version)
+}
+
+func (b *Blob) versionInfoCtx(ctx context.Context, version uint64) (*vmanager.VersionInfoResp, error) {
 	var resp vmanager.VersionInfoResp
-	err := b.c.vm.Call(vmanager.MethodVersionInfo,
+	err := b.c.vm.CallCtx(ctx, vmanager.MethodVersionInfo,
 		&vmanager.VersionRef{BlobID: b.id, Version: version}, &resp)
 	if err != nil {
 		return nil, fmt.Errorf("core: version %d of blob %d: %w", version, b.id, mapVMError(err))
@@ -278,7 +297,11 @@ func (b *Blob) versionInfo(version uint64) (*vmanager.VersionInfoResp, error) {
 // WaitPublished blocks until version is published. Waiters on a blob that
 // gets deleted are woken with ErrBlobDeleted.
 func (b *Blob) WaitPublished(version uint64) error {
-	err := b.c.vm.Call(vmanager.MethodWaitPublished,
+	return b.waitPublishedCtx(context.Background(), version)
+}
+
+func (b *Blob) waitPublishedCtx(ctx context.Context, version uint64) error {
+	err := b.c.vm.CallCtx(ctx, vmanager.MethodWaitPublished,
 		&vmanager.VersionRef{BlobID: b.id, Version: version}, &vmanager.Ack{})
 	return mapVMError(err)
 }
@@ -286,9 +309,9 @@ func (b *Blob) WaitPublished(version uint64) error {
 // allocate asks the provider manager for replica sets for n chunks,
 // avoiding the excluded providers (retry after a full replica-set
 // failure).
-func (c *Client) allocate(n int, replication uint32, exclude []string) ([][]string, error) {
+func (c *Client) allocate(ctx context.Context, n int, replication uint32, exclude []string) ([][]string, error) {
 	var resp pmanager.AllocateResp
-	err := c.rpc.Call(c.cfg.PMAddr, pmanager.MethodAllocate,
+	err := c.rpc.CallCtx(ctx, c.cfg.PMAddr, pmanager.MethodAllocate,
 		&pmanager.AllocateReq{NumChunks: uint32(n), Replication: replication, Exclude: exclude}, &resp)
 	if err != nil {
 		return nil, fmt.Errorf("core: allocate %d chunks: %w", n, err)
@@ -310,9 +333,9 @@ const defaultFullnessWatermark = 0.85
 // provider manager's report. Best effort: on any error the retry placement
 // simply skips the fullness filter (allocation's own starvation safety
 // still applies).
-func (c *Client) fullProviders(watermark float64) []string {
+func (c *Client) fullProviders(ctx context.Context, watermark float64) []string {
 	var resp pmanager.ReportResp
-	if err := c.rpc.Call(c.cfg.PMAddr, pmanager.MethodReport, &pmanager.Ack{}, &resp); err != nil {
+	if err := c.rpc.CallCtx(ctx, c.cfg.PMAddr, pmanager.MethodReport, &pmanager.Ack{}, &resp); err != nil {
 		return nil
 	}
 	var full []string

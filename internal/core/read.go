@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -9,6 +10,7 @@ import (
 
 	"repro/internal/meta"
 	"repro/internal/provider"
+	"repro/internal/trace"
 )
 
 // Read fills p with the blob's content starting at byte offset off, taken
@@ -20,7 +22,23 @@ import (
 // immutable, so the descent and the chunk fetches need no locks anywhere
 // in the system (§I-B3 read/write concurrency).
 func (b *Blob) Read(version uint64, p []byte, off uint64) (int, error) {
-	version, sizeBytes, sizeChunks, err := b.resolveVersion(version)
+	return b.ReadCtx(context.Background(), version, p, off)
+}
+
+// ReadCtx is Read carrying the caller's context. When the client has a
+// tracer (or the context already carries a trace), the whole read — the
+// version resolve, every metadata descent round, every chunk fetch —
+// records as one span tree under one trace id.
+func (b *Blob) ReadCtx(ctx context.Context, version uint64, p []byte, off uint64) (int, error) {
+	ctx, op := b.c.cfg.Tracer.StartOp(ctx, "core.read")
+	n, err := b.readCtx(ctx, version, p, off)
+	op.SetBytes(int64(n))
+	finishIgnoringEOF(op, err)
+	return n, err
+}
+
+func (b *Blob) readCtx(ctx context.Context, version uint64, p []byte, off uint64) (int, error) {
+	version, sizeBytes, sizeChunks, err := b.resolveVersion(ctx, version)
 	if err != nil {
 		return 0, err
 	}
@@ -34,12 +52,12 @@ func (b *Blob) Read(version uint64, p []byte, off uint64) (int, error) {
 	if end > sizeBytes {
 		end = sizeBytes
 	}
-	if err := b.readRange(version, sizeChunks, p[:end-off], off); err != nil {
+	if err := b.readRange(ctx, version, sizeChunks, p[:end-off], off); err != nil {
 		// The version was readable when resolved, but a concurrent prune
 		// may have reclaimed its tree or chunks mid-descent. Re-check so
 		// racing readers get the clean typed error, never a confusing
 		// not-found, and never silently torn data (the read fails whole).
-		if vi, infoErr := b.versionInfo(version); infoErr == nil && vi.Reclaimed {
+		if vi, infoErr := b.versionInfoCtx(ctx, version); infoErr == nil && vi.Reclaimed {
 			return 0, fmt.Errorf("%w: blob %d version %d", ErrVersionReclaimed, b.id, version)
 		} else if infoErr != nil && errors.Is(infoErr, ErrBlobDeleted) {
 			return 0, infoErr
@@ -58,23 +76,23 @@ func (b *Blob) Read(version uint64, p []byte, off uint64) (int, error) {
 // Unlike Read it accepts aborted versions: abort repair gives them valid
 // identity metadata, and the merge needs "content as of v-1" regardless of
 // whether v-1's own write succeeded.
-func (b *Blob) readInto(version uint64, p []byte, off uint64) error {
-	vi, err := b.versionInfo(version)
+func (b *Blob) readInto(ctx context.Context, version uint64, p []byte, off uint64) error {
+	vi, err := b.versionInfoCtx(ctx, version)
 	if err != nil {
 		return err
 	}
 	if !vi.Published {
 		return fmt.Errorf("%w: blob %d version %d", ErrNotPublished, b.id, version)
 	}
-	return b.readRange(version, vi.SizeChunks, p, off)
+	return b.readRange(ctx, version, vi.SizeChunks, p, off)
 }
 
 // resolveVersion maps version 0 to the latest published version and
 // validates that an explicit version is published and not aborted.
-func (b *Blob) resolveVersion(version uint64) (v, sizeBytes, sizeChunks uint64, err error) {
+func (b *Blob) resolveVersion(ctx context.Context, version uint64) (v, sizeBytes, sizeChunks uint64, err error) {
 	if version == 0 {
 		var lv, size uint64
-		lv, size, err = b.Latest()
+		lv, size, err = b.latestCtx(ctx)
 		if err != nil {
 			return 0, 0, 0, err
 		}
@@ -84,7 +102,7 @@ func (b *Blob) resolveVersion(version uint64) (v, sizeBytes, sizeChunks uint64, 
 		cs := b.chunkSize
 		return lv, size, (size + cs - 1) / cs, nil
 	}
-	vi, err := b.versionInfo(version)
+	vi, err := b.versionInfoCtx(ctx, version)
 	if err != nil {
 		return 0, 0, 0, err
 	}
@@ -101,11 +119,11 @@ func (b *Blob) resolveVersion(version uint64) (v, sizeBytes, sizeChunks uint64, 
 }
 
 // readRange fetches [off, off+len(p)) of a published version into p.
-func (b *Blob) readRange(version, sizeChunks uint64, p []byte, off uint64) error {
+func (b *Blob) readRange(ctx context.Context, version, sizeChunks uint64, p []byte, off uint64) error {
 	cs := b.chunkSize
 	end := off + uint64(len(p))
 	a, z := off/cs, (end+cs-1)/cs
-	refs, leafKeys, err := meta.CollectLeavesWithKeys(b.c.meta, b.id, version, sizeChunks, a, z)
+	refs, leafKeys, err := meta.CollectLeavesWithKeysCtx(ctx, b.c.meta, b.id, version, sizeChunks, a, z)
 	if err != nil {
 		return fmt.Errorf("core: metadata for read of blob %d v%d: %w", b.id, version, err)
 	}
@@ -130,7 +148,7 @@ func (b *Blob) readRange(version, sizeChunks uint64, p []byte, off uint64) error
 			zero(dst)
 			return nil
 		}
-		data, err := b.fetchChunkRange(ref, inLo, validHi-inLo)
+		data, err := b.fetchChunkRange(ctx, ref, inLo, validHi-inLo)
 		if err != nil {
 			// Every replica in the descriptor failed. The one way that
 			// happens with data still intact is a stale descriptor: the
@@ -139,12 +157,12 @@ func (b *Blob) readRange(version, sizeChunks uint64, p []byte, off uint64) error
 			// immutable-node caching never invalidates — still serves the
 			// pre-patch replica list. Refresh the leaf from the ring and
 			// retry once with the patched provider order.
-			fresh, refErr := b.c.meta.RefreshNode(leafKeys[i])
+			fresh, refErr := b.c.meta.RefreshNodeCtx(ctx, leafKeys[i])
 			if refErr != nil || !fresh.Leaf || fresh.Chunk.IsZero() ||
 				slices.Equal(fresh.Chunk.Providers, ref.Providers) {
 				return err
 			}
-			data, err = b.fetchChunkRange(fresh.Chunk, inLo, validHi-inLo)
+			data, err = b.fetchChunkRange(ctx, fresh.Chunk, inLo, validHi-inLo)
 			if err != nil {
 				return err
 			}
@@ -161,7 +179,7 @@ func (b *Blob) readRange(version, sizeChunks uint64, p []byte, off uint64) error
 // operations) and failing over on error. A full-chunk read is requested
 // as the whole chunk (zero range) so providers keep serving it from — and
 // admitting it into — their RAM cache.
-func (b *Blob) fetchChunkRange(ref meta.ChunkRef, off, length uint64) ([]byte, error) {
+func (b *Blob) fetchChunkRange(ctx context.Context, ref meta.ChunkRef, off, length uint64) ([]byte, error) {
 	if off == 0 && length >= uint64(ref.Length) {
 		off, length = 0, 0 // whole chunk
 	}
@@ -169,7 +187,7 @@ func (b *Blob) fetchChunkRange(ref meta.ChunkRef, off, length uint64) ([]byte, e
 	var lastErr error
 	for _, addr := range ordered {
 		start := time.Now()
-		data, err := provider.GetChunkRange(b.c.rpc, addr, ref.Key, off, length)
+		data, err := provider.GetChunkRangeCtx(ctx, b.c.rpc, addr, ref.Key, off, length)
 		elapsed := time.Since(start)
 		b.c.health.observe(addr, float64(elapsed.Microseconds())/1000, err != nil)
 		b.c.chunkGets.Add(1)
@@ -198,6 +216,17 @@ func zero(p []byte) {
 	}
 }
 
+// finishIgnoringEOF finishes an operation span without counting io.EOF
+// as a failure: a short read reporting EOF moved real bytes and is a
+// successful operation, not something the flight recorder should flag
+// as errored.
+func finishIgnoringEOF(op *trace.Active, err error) {
+	if errors.Is(err, io.EOF) {
+		err = nil
+	}
+	op.Finish(err)
+}
+
 // ChunkLocation reports where one chunk-aligned slice of a version lives;
 // the locality information BSFS exposes to MapReduce schedulers (§IV-D).
 type ChunkLocation struct {
@@ -209,7 +238,7 @@ type ChunkLocation struct {
 // Locations returns the chunk locations overlapping [off, off+length) of
 // the given version (0 = latest).
 func (b *Blob) Locations(version, off, length uint64) ([]ChunkLocation, error) {
-	version, sizeBytes, sizeChunks, err := b.resolveVersion(version)
+	version, sizeBytes, sizeChunks, err := b.resolveVersion(context.Background(), version)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -31,6 +32,21 @@ type writeJob struct {
 // the immediately preceding version; chunk-aligned writes never wait for
 // any other writer.
 func (b *Blob) Write(p []byte, off uint64) (uint64, error) {
+	return b.WriteCtx(context.Background(), p, off)
+}
+
+// WriteCtx is Write carrying the caller's context. With a tracer (or a
+// trace already on the context) the whole write — uploads, assign,
+// weave, metadata puts, commit — records as one span tree.
+func (b *Blob) WriteCtx(ctx context.Context, p []byte, off uint64) (uint64, error) {
+	ctx, op := b.c.cfg.Tracer.StartOp(ctx, "core.write")
+	v, err := b.writeCtx(ctx, p, off)
+	op.SetBytes(int64(len(p)))
+	op.Finish(err)
+	return v, err
+}
+
+func (b *Blob) writeCtx(ctx context.Context, p []byte, off uint64) (uint64, error) {
 	if len(p) == 0 {
 		return 0, errors.New("core: empty write")
 	}
@@ -52,42 +68,56 @@ func (b *Blob) Write(p []byte, off uint64) (uint64, error) {
 	}
 	stored := make(map[uint64][]string, endChunk-startChunk)
 	if len(full) > 0 {
-		sets, err := b.c.allocate(len(full), b.replication, nil)
+		sets, err := b.c.allocate(ctx, len(full), b.replication, nil)
 		if err != nil {
 			return 0, err
 		}
-		if err := b.uploadChunks(writeID, full, sets, stored); err != nil {
+		if err := b.uploadChunks(ctx, writeID, full, sets, stored); err != nil {
 			return 0, err
 		}
 	}
 
 	// Phase 2: obtain the version and the concurrency context.
 	var assign vmanager.AssignResp
-	err := b.c.vm.Call(vmanager.MethodAssign,
+	err := b.c.vm.CallCtx(ctx, vmanager.MethodAssign,
 		&vmanager.AssignReq{BlobID: b.id, Offset: off, Size: uint64(len(p)),
 			WantLeaseTTLMs: wantLeaseTTLMs(uint64(len(p)))}, &assign)
 	if err != nil {
 		return 0, fmt.Errorf("core: assign: %w", mapVMError(err))
 	}
-	return b.finishWrite(p, off, writeID, &assign, stored)
+	return b.finishWrite(ctx, p, off, writeID, &assign, stored)
 }
 
 // Append adds p at the end of the blob, returning the new version and the
 // byte offset the data landed at. Concurrent appenders receive disjoint
 // contiguous ranges from the version manager and proceed in parallel.
 func (b *Blob) Append(p []byte) (version, off uint64, err error) {
+	return b.AppendCtx(context.Background(), p)
+}
+
+// AppendCtx is Append carrying the caller's context (trace propagation;
+// see WriteCtx).
+func (b *Blob) AppendCtx(ctx context.Context, p []byte) (version, off uint64, err error) {
+	ctx, op := b.c.cfg.Tracer.StartOp(ctx, "core.append")
+	version, off, err = b.appendCtx(ctx, p)
+	op.SetBytes(int64(len(p)))
+	op.Finish(err)
+	return version, off, err
+}
+
+func (b *Blob) appendCtx(ctx context.Context, p []byte) (version, off uint64, err error) {
 	if len(p) == 0 {
 		return 0, 0, errors.New("core: empty append")
 	}
 	var assign vmanager.AssignResp
-	err = b.c.vm.Call(vmanager.MethodAssign,
+	err = b.c.vm.CallCtx(ctx, vmanager.MethodAssign,
 		&vmanager.AssignReq{BlobID: b.id, Size: uint64(len(p)), Append: true,
 			WantLeaseTTLMs: wantLeaseTTLMs(uint64(len(p)))}, &assign)
 	if err != nil {
 		return 0, 0, fmt.Errorf("core: assign append: %w", mapVMError(err))
 	}
 	writeID := nextWriteID()
-	v, err := b.finishWrite(p, assign.Offset, writeID, &assign, map[uint64][]string{})
+	v, err := b.finishWrite(ctx, p, assign.Offset, writeID, &assign, map[uint64][]string{})
 	if err != nil {
 		return 0, 0, err
 	}
@@ -100,9 +130,9 @@ func (b *Blob) Append(p []byte) (version, off uint64, err error) {
 // for chunks already uploaded in phase 1. On unrecoverable failure the
 // version is abort-repaired so publication never wedges and the version
 // chain stays fully readable.
-func (b *Blob) finishWrite(p []byte, off, writeID uint64, assign *vmanager.AssignResp, stored map[uint64][]string) (uint64, error) {
+func (b *Blob) finishWrite(ctx context.Context, p []byte, off, writeID uint64, assign *vmanager.AssignResp, stored map[uint64][]string) (uint64, error) {
 	stopRenewal := b.startLeaseRenewal(assign)
-	v, err := b.finishWriteInner(p, off, writeID, assign, stored)
+	v, err := b.finishWriteInner(ctx, p, off, writeID, assign, stored)
 	stopRenewal()
 	if err != nil {
 		if errors.Is(err, ErrLeaseExpired) {
@@ -271,7 +301,7 @@ func (b *Blob) abortRepair(assign *vmanager.AssignResp) {
 		// versions contributed no content and may lack trees; see
 		// mergePrior). src == 0 means every predecessor failed: all-zero
 		// leaves are the true content.
-		src, vi, err := b.newestLiveVersion(prev)
+		src, vi, err := b.newestLiveVersion(context.Background(), prev)
 		if err != nil {
 			return
 		}
@@ -284,7 +314,7 @@ func (b *Blob) abortRepair(assign *vmanager.AssignResp) {
 	}
 }
 
-func (b *Blob) finishWriteInner(p []byte, off, writeID uint64, assign *vmanager.AssignResp, stored map[uint64][]string) (uint64, error) {
+func (b *Blob) finishWriteInner(ctx context.Context, p []byte, off, writeID uint64, assign *vmanager.AssignResp, stored map[uint64][]string) (uint64, error) {
 	cs := b.chunkSize
 	end := off + uint64(len(p))
 
@@ -322,17 +352,17 @@ func (b *Blob) finishWriteInner(p []byte, off, writeID uint64, assign *vmanager.
 	}
 
 	if rmwNeeded {
-		if err := b.mergePrior(jobs, off, end, assign); err != nil {
+		if err := b.mergePrior(ctx, jobs, off, end, assign); err != nil {
 			return 0, err
 		}
 	}
 
 	if len(jobs) > 0 {
-		sets, err := b.c.allocate(len(jobs), b.replication, nil)
+		sets, err := b.c.allocate(ctx, len(jobs), b.replication, nil)
 		if err != nil {
 			return 0, err
 		}
-		if err := b.uploadChunks(writeID, jobs, sets, stored); err != nil {
+		if err := b.uploadChunks(ctx, writeID, jobs, sets, stored); err != nil {
 			return 0, err
 		}
 	}
@@ -350,7 +380,7 @@ func (b *Blob) finishWriteInner(p []byte, off, writeID uint64, assign *vmanager.
 			Length:    uint32(length),
 		}
 	}
-	nodes, _, err := meta.Weave(b.c.meta, meta.WeaveInput{
+	nodes, _, err := meta.WeaveCtx(ctx, b.c.meta, meta.WeaveInput{
 		Blob:          b.id,
 		Version:       assign.Version,
 		StartChunk:    assign.StartChunk,
@@ -364,12 +394,12 @@ func (b *Blob) finishWriteInner(p []byte, off, writeID uint64, assign *vmanager.
 	if err != nil {
 		return 0, fmt.Errorf("core: weaving metadata for v%d: %w", assign.Version, err)
 	}
-	if err := b.c.meta.PutNodes(nodes); err != nil {
+	if err := b.c.meta.PutNodesCtx(ctx, nodes); err != nil {
 		return 0, fmt.Errorf("core: storing metadata for v%d: %w", assign.Version, err)
 	}
 
 	// Commit: the version manager publishes in order.
-	err = b.c.vm.Call(vmanager.MethodCommit,
+	err = b.c.vm.CallCtx(ctx, vmanager.MethodCommit,
 		&vmanager.VersionRef{BlobID: b.id, Version: assign.Version}, &vmanager.Ack{})
 	if err != nil {
 		return 0, fmt.Errorf("core: commit v%d: %w", assign.Version, mapVMError(err))
@@ -381,12 +411,12 @@ func (b *Blob) finishWriteInner(p []byte, off, writeID uint64, assign *vmanager.
 // chunks of an unaligned write. It waits for version-1 to publish — the
 // one case where a writer serializes behind its predecessor — and reads
 // the prior content of every affected chunk.
-func (b *Blob) mergePrior(jobs []writeJob, off, end uint64, assign *vmanager.AssignResp) error {
+func (b *Blob) mergePrior(ctx context.Context, jobs []writeJob, off, end uint64, assign *vmanager.AssignResp) error {
 	prev := assign.Version - 1
 	if prev == 0 {
 		return nil // nothing real to merge with; zeros are already in place
 	}
-	if err := b.WaitPublished(prev); err != nil {
+	if err := b.waitPublishedCtx(ctx, prev); err != nil {
 		return fmt.Errorf("core: waiting for v%d before merge: %w", prev, err)
 	}
 	// Failed predecessors contributed no content, so "content as of prev"
@@ -402,7 +432,7 @@ func (b *Blob) mergePrior(jobs []writeJob, off, end uint64, assign *vmanager.Ass
 		// it and us, PrevSizeBytes is exactly its extent — no RPC needed.
 		src, prior = prev, assign.PrevSizeBytes
 	} else {
-		s, srcInfo, err := b.newestLiveVersion(prev)
+		s, srcInfo, err := b.newestLiveVersion(ctx, prev)
 		if err != nil {
 			return fmt.Errorf("core: resolving merge source below v%d: %w", prev, err)
 		}
@@ -425,7 +455,7 @@ func (b *Blob) mergePrior(jobs []writeJob, off, end uint64, assign *vmanager.Ass
 		// Merge the head [chunkLo, srcLo) where it overlaps the prior
 		// extent.
 		if headEnd := minU64(srcLo, prior); headEnd > chunkLo {
-			if err := b.readInto(src, data[:headEnd-chunkLo], chunkLo); err != nil {
+			if err := b.readInto(ctx, src, data[:headEnd-chunkLo], chunkLo); err != nil {
 				return fmt.Errorf("core: merge head of chunk %d: %w", idx, err)
 			}
 		}
@@ -433,7 +463,7 @@ func (b *Blob) mergePrior(jobs []writeJob, off, end uint64, assign *vmanager.Ass
 		// prior extent.
 		tailEnd := minU64(chunkLo+uint64(len(data)), prior)
 		if srcHi < tailEnd {
-			if err := b.readInto(src, data[srcHi-chunkLo:tailEnd-chunkLo], srcHi); err != nil {
+			if err := b.readInto(ctx, src, data[srcHi-chunkLo:tailEnd-chunkLo], srcHi); err != nil {
 				return fmt.Errorf("core: merge tail of chunk %d: %w", idx, err)
 			}
 		}
@@ -445,9 +475,9 @@ func (b *Blob) mergePrior(jobs []writeJob, off, end uint64, assign *vmanager.Ass
 // returning (0, nil, nil) when every version at or below v failed. Used
 // by the merge and repair paths, which need prior CONTENT: failed
 // versions have none, and possibly no readable tree either.
-func (b *Blob) newestLiveVersion(v uint64) (uint64, *vmanager.VersionInfoResp, error) {
+func (b *Blob) newestLiveVersion(ctx context.Context, v uint64) (uint64, *vmanager.VersionInfoResp, error) {
 	for ; v > 0; v-- {
-		vi, err := b.versionInfo(v)
+		vi, err := b.versionInfoCtx(ctx, v)
 		if err != nil {
 			return 0, nil, err
 		}
@@ -471,7 +501,7 @@ func (b *Blob) newestLiveVersion(v uint64) (uint64, *vmanager.VersionInfoResp, e
 // that lose EVERY replica (e.g. their whole set crashed) get one fresh
 // placement — excluding the providers that just failed them — before the
 // write gives up.
-func (b *Blob) uploadChunks(writeID uint64, jobs []writeJob, sets [][]string, stored map[uint64][]string) error {
+func (b *Blob) uploadChunks(ctx context.Context, writeID uint64, jobs []writeJob, sets [][]string, stored map[uint64][]string) error {
 	if len(jobs) == 0 {
 		return nil
 	}
@@ -483,7 +513,7 @@ func (b *Blob) uploadChunks(writeID uint64, jobs []writeJob, sets [][]string, st
 		jobs[i].digest = chunk.DigestOf(jobs[i].data)
 	}
 	var resMu sync.Mutex
-	b.putGrouped(writeID, jobs, sets, accepted, failedAt, &resMu)
+	b.putGrouped(ctx, writeID, jobs, sets, accepted, failedAt, &resMu)
 
 	// Collect chunks that lost every replica and the providers that
 	// failed them (threaded into the retry allocation as an exclusion
@@ -511,14 +541,14 @@ func (b *Blob) uploadChunks(writeID uint64, jobs []writeJob, sets [][]string, st
 		// effort — if the report is unavailable the plain exclusion set
 		// stands, and the allocator's starvation safety (an exclusion that
 		// would empty the pool is ignored) still applies.
-		for _, addr := range b.c.fullProviders(b.c.cfg.FullnessWatermark) {
+		for _, addr := range b.c.fullProviders(ctx, b.c.cfg.FullnessWatermark) {
 			if !seen[addr] {
 				seen[addr] = true
 				exclude = append(exclude, addr)
 			}
 		}
 		key0 := chunk.Key{Blob: b.id, Version: writeID, Index: jobs[retry[0]].idx}
-		fresh, err := b.c.allocate(len(retry), b.replication, exclude)
+		fresh, err := b.c.allocate(ctx, len(retry), b.replication, exclude)
 		if err != nil {
 			return fmt.Errorf("core: chunk %s: all replicas failed and reallocation failed: %w", key0, err)
 		}
@@ -528,7 +558,7 @@ func (b *Blob) uploadChunks(writeID uint64, jobs []writeJob, sets [][]string, st
 		}
 		retryAccepted := make([][]string, len(retry))
 		retryFailed := make([][]string, len(retry))
-		b.putGrouped(writeID, retryJobs, fresh, retryAccepted, retryFailed, &resMu)
+		b.putGrouped(ctx, writeID, retryJobs, fresh, retryAccepted, retryFailed, &resMu)
 		for j, i := range retry {
 			accepted[i] = retryAccepted[j]
 			if len(accepted[i]) == 0 {
@@ -555,7 +585,7 @@ const putBatchBytes = 32 << 20
 // chunk's outcome into accepted[i] / failedAt[i]. A transport-level RPC
 // failure fails every chunk of that batch at that address; per-chunk
 // rejections from a responding provider fail only their own chunk.
-func (b *Blob) putGrouped(writeID uint64, jobs []writeJob, sets [][]string, accepted, failedAt [][]string, resMu *sync.Mutex) {
+func (b *Blob) putGrouped(ctx context.Context, writeID uint64, jobs []writeJob, sets [][]string, accepted, failedAt [][]string, resMu *sync.Mutex) {
 	groups := make(map[string][]int)
 	for i, set := range sets {
 		for _, addr := range set {
@@ -600,7 +630,7 @@ func (b *Blob) putGrouped(writeID uint64, jobs []writeJob, sets [][]string, acce
 			}
 		}
 		start := time.Now()
-		errs, rpcErr := provider.PutChunks(b.c.rpc, addr, items)
+		errs, rpcErr := provider.PutChunksCtx(ctx, b.c.rpc, addr, items)
 		elapsed := time.Since(start)
 		b.c.chunkPutBatches.Add(1)
 		b.c.chunkPuts.Add(int64(len(items)))

@@ -2,6 +2,7 @@ package meta
 
 import (
 	"container/list"
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -166,6 +167,12 @@ const putParallelism = 32
 // node there, so one bad node cannot take its batch-mates' replicas down
 // with it.
 func (c *Client) PutNodes(nodes []*Node) error {
+	return c.PutNodesCtx(context.Background(), nodes)
+}
+
+// PutNodesCtx is PutNodes carrying the caller's context (ContextStore;
+// trace propagation).
+func (c *Client) PutNodesCtx(ctx context.Context, nodes []*Node) error {
 	if len(nodes) == 0 {
 		return nil
 	}
@@ -199,7 +206,7 @@ func (c *Client) PutNodes(nodes []*Node) error {
 			defer func() { <-sem }()
 			c.statPuts.Add(1)
 			c.statNodesOut.Add(int64(len(batch)))
-			err := c.rpc.Call(addr, MethodPutNodes, &PutNodesReq{Nodes: batch}, &Ack{})
+			err := c.rpc.CallCtx(ctx, addr, MethodPutNodes, &PutNodesReq{Nodes: batch}, &Ack{})
 			if err != nil && isRemoteErr(err) && len(batch) > 1 {
 				// The provider is up but rejected the batch: isolate the
 				// poisoned node(s) with singleton retries so the healthy
@@ -207,7 +214,7 @@ func (c *Client) PutNodes(nodes []*Node) error {
 				for _, n := range batch {
 					c.statPuts.Add(1)
 					c.statNodesOut.Add(1)
-					if e := c.rpc.Call(addr, MethodPutNodes, &PutNodesReq{Nodes: []*Node{n}}, &Ack{}); e == nil {
+					if e := c.rpc.CallCtx(ctx, addr, MethodPutNodes, &PutNodesReq{Nodes: []*Node{n}}, &Ack{}); e == nil {
 						mu.Lock()
 						landed[n.Key] = true
 						mu.Unlock()
@@ -266,6 +273,12 @@ func (c *Client) cacheNodes(nodes []*Node) {
 // (a genuine hole means a crashed abort-repair), so the extra RPCs don't
 // touch the hot path.
 func (c *Client) GetNode(key NodeKey) (*Node, error) {
+	return c.GetNodeCtx(context.Background(), key)
+}
+
+// GetNodeCtx is GetNode carrying the caller's context (ContextStore;
+// trace propagation).
+func (c *Client) GetNodeCtx(ctx context.Context, key NodeKey) (*Node, error) {
 	if c.cache != nil {
 		if n, ok := c.cache.get(key); ok {
 			return n, nil
@@ -281,7 +294,7 @@ func (c *Client) GetNode(key NodeKey) (*Node, error) {
 		tried[addr] = true
 		c.statGets.Add(1)
 		var resp GetNodeResp
-		err := c.rpc.Call(addr, MethodGetNode, &GetNodeReq{Key: key}, &resp)
+		err := c.rpc.CallCtx(ctx, addr, MethodGetNode, &GetNodeReq{Key: key}, &resp)
 		if err != nil {
 			transportErr = err
 			return nil
@@ -348,6 +361,12 @@ func (c *Client) PeekNodes(keys []NodeKey) []*Node {
 // ordinary there. Callers that must distinguish a definitive hole from
 // an unreachable replica follow up with GetNode on the specific key.
 func (c *Client) GetNodes(keys []NodeKey) ([]*Node, error) {
+	return c.GetNodesCtx(context.Background(), keys)
+}
+
+// GetNodesCtx is GetNodes carrying the caller's context (ContextStore;
+// trace propagation).
+func (c *Client) GetNodesCtx(ctx context.Context, keys []NodeKey) ([]*Node, error) {
 	out := make([]*Node, len(keys))
 	if len(keys) == 0 {
 		return out, nil
@@ -398,7 +417,7 @@ func (c *Client) GetNodes(keys []NodeKey) ([]*Node, error) {
 				}
 				c.statBatchGets.Add(1)
 				var resp GetNodesResp
-				err := c.rpc.Call(addr, MethodGetNodes, req, &resp)
+				err := c.rpc.CallCtx(ctx, addr, MethodGetNodes, req, &resp)
 				mu.Lock()
 				defer mu.Unlock()
 				if err != nil || len(resp.Nodes) != len(idxs) {
@@ -530,10 +549,16 @@ func (c *Client) PatchReplicas(patches []ReplicaPatch) (uint64, error) {
 // lists, which the repair engine patches in place, so a total fetch
 // failure is the one signal that a cached descriptor may be stale.
 func (c *Client) RefreshNode(key NodeKey) (*Node, error) {
+	return c.RefreshNodeCtx(context.Background(), key)
+}
+
+// RefreshNodeCtx is RefreshNode carrying the caller's context (trace
+// propagation).
+func (c *Client) RefreshNodeCtx(ctx context.Context, key NodeKey) (*Node, error) {
 	if c.cache != nil {
 		c.cache.evict(key)
 	}
-	return c.GetNode(key)
+	return c.GetNodeCtx(ctx, key)
 }
 
 // DeleteBlob drops every node of the blob from every metadata provider in

@@ -1,6 +1,7 @@
 package meta
 
 import (
+	"context"
 	"strings"
 
 	"repro/internal/wire"
@@ -101,6 +102,12 @@ func WeaveIdentity(store Store, in IdentityInput) error {
 		return err
 	}
 	return putIdentityNodes(store, nodes)
+}
+
+// WeaveIdentityCtx is WeaveIdentity carrying the caller's context
+// (trace propagation for traced repair planes).
+func WeaveIdentityCtx(ctx context.Context, store Store, in IdentityInput) error {
+	return WeaveIdentity(ctxStore{ctx: ctx, s: store}, in)
 }
 
 // putIdentityNodes stores the identity node set, tolerating keys the dead

@@ -1,8 +1,69 @@
 package meta
 
 import (
+	"context"
 	"fmt"
 )
+
+// ContextStore is an optional Store refinement: stores whose operations
+// can be attributed to a caller-provided context (trace propagation)
+// implement it. The DHT client does; in-process test stores need not.
+type ContextStore interface {
+	PutNodesCtx(ctx context.Context, nodes []*Node) error
+	GetNodeCtx(ctx context.Context, key NodeKey) (*Node, error)
+	GetNodesCtx(ctx context.Context, keys []NodeKey) ([]*Node, error)
+}
+
+// ctxStore injects one operation's context into every Store call the
+// descent and weave engines make, when the underlying store can use it.
+// It forwards the optional refinements (Peeker, speculation observer and
+// depth advisor) so wrapping is behavior-neutral; a store without
+// ContextStore simply runs context-free, exactly as before.
+type ctxStore struct {
+	ctx context.Context
+	s   Store
+}
+
+func (cs ctxStore) PutNodes(nodes []*Node) error {
+	if c, ok := cs.s.(ContextStore); ok {
+		return c.PutNodesCtx(cs.ctx, nodes)
+	}
+	return cs.s.PutNodes(nodes)
+}
+
+func (cs ctxStore) GetNode(key NodeKey) (*Node, error) {
+	if c, ok := cs.s.(ContextStore); ok {
+		return c.GetNodeCtx(cs.ctx, key)
+	}
+	return cs.s.GetNode(key)
+}
+
+func (cs ctxStore) GetNodes(keys []NodeKey) ([]*Node, error) {
+	if c, ok := cs.s.(ContextStore); ok {
+		return c.GetNodesCtx(cs.ctx, keys)
+	}
+	return cs.s.GetNodes(keys)
+}
+
+func (cs ctxStore) PeekNodes(keys []NodeKey) []*Node {
+	if p, ok := cs.s.(Peeker); ok {
+		return p.PeekNodes(keys)
+	}
+	return make([]*Node, len(keys)) // all-nil: nothing known locally
+}
+
+func (cs ctxStore) observeSpec(hits, misses int64) {
+	if o, ok := cs.s.(specObserver); ok {
+		o.observeSpec(hits, misses)
+	}
+}
+
+func (cs ctxStore) specExpansionDepth() int {
+	if a, ok := cs.s.(specDepthAdvisor); ok {
+		return a.specExpansionDepth()
+	}
+	return specBudget // same default an unadvised store gets
+}
 
 // specBudget bounds the number of node keys fetched per descent round.
 // Beyond the budget the enumeration truncates breadth-first, so a huge
@@ -85,6 +146,19 @@ func CollectLeaves(store Store, blob, version, sizeChunks, a, b uint64) ([]Chunk
 // repair engine has since patched.
 func CollectLeavesWithKeys(store Store, blob, version, sizeChunks, a, b uint64) ([]ChunkRef, []NodeKey, error) {
 	return collectLeaves(store, blob, version, sizeChunks, a, b, true)
+}
+
+// CollectLeavesCtx is CollectLeaves carrying the caller's context, so a
+// traced read attributes every descent round's fetches to its trace.
+func CollectLeavesCtx(ctx context.Context, store Store, blob, version, sizeChunks, a, b uint64) ([]ChunkRef, error) {
+	refs, _, err := collectLeaves(ctxStore{ctx: ctx, s: store}, blob, version, sizeChunks, a, b, false)
+	return refs, err
+}
+
+// CollectLeavesWithKeysCtx is CollectLeavesWithKeys carrying the
+// caller's context.
+func CollectLeavesWithKeysCtx(ctx context.Context, store Store, blob, version, sizeChunks, a, b uint64) ([]ChunkRef, []NodeKey, error) {
+	return collectLeaves(ctxStore{ctx: ctx, s: store}, blob, version, sizeChunks, a, b, true)
 }
 
 func collectLeaves(store Store, blob, version, sizeChunks, a, b uint64, withKeys bool) ([]ChunkRef, []NodeKey, error) {

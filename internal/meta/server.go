@@ -3,6 +3,7 @@ package meta
 import (
 	"repro/internal/chunk"
 	"repro/internal/rpc"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -401,3 +402,7 @@ func (s *Server) Store() ServerStore { return s.store }
 // SetRPCObserver attaches an observer to the metadata provider's RPC
 // server (per-method latency/bytes/error metrics).
 func (s *Server) SetRPCObserver(o rpc.ServerObserver) { s.srv.SetObserver(o) }
+
+// SetRPCTracer attaches a tracer to the RPC server: every inbound
+// sampled request records a server span under the caller's trace.
+func (s *Server) SetRPCTracer(t *trace.Tracer) { s.srv.SetTracer(t) }

@@ -1,6 +1,7 @@
 package meta
 
 import (
+	"context"
 	"fmt"
 	"sort"
 )
@@ -71,6 +72,12 @@ func Weave(store Store, in WeaveInput) ([]*Node, NodeKey, error) {
 	}
 	root := NodeKey{Blob: in.Blob, Version: in.Version, Off: 0, Size: rootSize}
 	return w.out, root, nil
+}
+
+// WeaveCtx is Weave carrying the caller's context, so a traced write
+// attributes its published-tree descent fetches to its trace.
+func WeaveCtx(ctx context.Context, store Store, in WeaveInput) ([]*Node, NodeKey, error) {
+	return Weave(ctxStore{ctx: ctx, s: store}, in)
 }
 
 type weaver struct {

@@ -1,0 +1,131 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestExemplarRecordedAndRendered(t *testing.T) {
+	hv := NewHistogramVec("lat", "latency", []string{"method"}, []float64{0.01, 0.1})
+	h := hv.With("get")
+	h.ObserveWithExemplar(0.05, 0xabc)
+	h.ObserveWithExemplar(0.02, 0)    // zero trace id: counted, no exemplar
+	h.ObserveWithExemplar(0.5, 0xdef) // +Inf bucket
+
+	if h.Count() != 3 {
+		t.Fatalf("count = %d, want 3", h.Count())
+	}
+	worst := h.WorstExemplar()
+	if worst == nil || worst.TraceID != 0xdef {
+		t.Fatalf("WorstExemplar = %+v, want trace 0xdef", worst)
+	}
+
+	reg := NewRegistry()
+	reg.MustRegister(hv)
+
+	var off strings.Builder
+	if err := reg.WritePrometheus(&off); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(off.String(), "trace_id") {
+		t.Fatal("exemplars rendered without opt-in")
+	}
+
+	reg.SetExemplars(true)
+	var on strings.Builder
+	if err := reg.WritePrometheus(&on); err != nil {
+		t.Fatal(err)
+	}
+	got := on.String()
+	wantLine := fmt.Sprintf(`lat_bucket{method="get",le="0.1"} 2 # {trace_id="%016x"} 0.05`, uint64(0xabc))
+	if !strings.Contains(got, wantLine) {
+		t.Fatalf("exemplar syntax missing; want %q in:\n%s", wantLine, got)
+	}
+	if !strings.Contains(got, fmt.Sprintf(`le="+Inf"} 3 # {trace_id="%016x"} 0.5`, uint64(0xdef))) {
+		t.Fatalf("+Inf exemplar missing:\n%s", got)
+	}
+}
+
+func TestExemplarLatestWinsPerBucket(t *testing.T) {
+	h := NewHistogram([]float64{1})
+	h.ObserveWithExemplar(0.5, 1)
+	h.ObserveWithExemplar(0.6, 2)
+	if e := h.WorstExemplar(); e == nil || e.TraceID != 2 {
+		t.Fatalf("latest exemplar should win: %+v", e)
+	}
+}
+
+func TestVecCardinalityCap(t *testing.T) {
+	cv := NewCounterVec("reqs", "requests", []string{"peer"})
+	cv.SetMaxChildren(2)
+	cv.With("a").Add(1)
+	cv.With("b").Add(2)
+	cv.With("c").Add(4) // over the cap: diverted
+	cv.With("d").Add(8) // diverted into the same overflow child
+	cv.With("a").Add(1) // existing child: not affected by the cap
+
+	if got := cv.DroppedLabels(); got != 2 {
+		t.Fatalf("DroppedLabels = %d, want 2", got)
+	}
+	if got := cv.With("a").Load(); got != 2 {
+		t.Fatalf("existing child = %d, want 2", got)
+	}
+	if got := cv.With("c").Load(); got != 12 {
+		t.Fatalf("overflow child = %d, want 12 (4+8 shared)", got)
+	}
+
+	reg := NewRegistry()
+	reg.MustRegister(cv)
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	if !strings.Contains(got, `reqs{peer="_overflow"} 12`) {
+		t.Fatalf("overflow series missing:\n%s", got)
+	}
+	if !strings.Contains(got, `blobseer_metrics_dropped_labels_total{vec="reqs"} 3`) {
+		t.Fatalf("dropped-labels accounting missing:\n%s", got)
+	}
+}
+
+func TestGaugeAndHistogramVecCap(t *testing.T) {
+	gv := NewGaugeVec("g", "gauge", []string{"k"})
+	gv.SetMaxChildren(1)
+	gv.With("x").Set(1)
+	gv.With("y").Set(9)
+	if gv.DroppedLabels() != 1 {
+		t.Fatalf("gauge dropped = %d", gv.DroppedLabels())
+	}
+	if gv.With("z").Load() != 9 {
+		t.Fatal("gauge overflow child not shared")
+	}
+
+	hv := NewHistogramVec("h", "hist", []string{"k"}, []float64{1})
+	hv.SetMaxChildren(1)
+	hv.With("x").Observe(0.5)
+	hv.With("y").Observe(0.5)
+	hv.With("z").Observe(0.5)
+	if hv.DroppedLabels() != 2 {
+		t.Fatalf("hist dropped = %d", hv.DroppedLabels())
+	}
+	if hv.With("y").Count() != 2 {
+		t.Fatal("hist overflow child not shared")
+	}
+	seen := 0
+	hv.Each(func(labels []Label, h *Histogram) { seen++ })
+	if seen != 2 { // one real child + the overflow child
+		t.Fatalf("Each visited %d children, want 2", seen)
+	}
+}
+
+func TestDefaultCapIsGenerous(t *testing.T) {
+	cv := NewCounterVec("c", "counter", []string{"k"})
+	for i := 0; i < 100; i++ {
+		cv.With(fmt.Sprintf("k%d", i)).Add(1)
+	}
+	if cv.DroppedLabels() != 0 {
+		t.Fatalf("default cap tripped at 100 children: %d dropped", cv.DroppedLabels())
+	}
+}

@@ -59,14 +59,24 @@ var DefLatencyBuckets = ExpBuckets(100e-6, 2, 18)
 // load blaster, where p999 interpolation error matters more than memory.
 var BlasterLatencyBuckets = ExpBuckets(50e-6, 1.5, 32)
 
+// Exemplar pins a concrete observation — and the trace that produced it
+// — to a histogram bucket, so a bad p999 links straight to a stitchable
+// trace id. Kept per bucket, latest wins.
+type Exemplar struct {
+	Value   float64
+	TraceID uint64
+	Unix    int64 // seconds
+}
+
 // Histogram is a fixed-bucket histogram with a lock-free Observe: bucket
 // counts, the total count and the sum are all atomics. Bounds are upper
 // bounds in ascending order; an implicit +Inf bucket catches the rest.
 type Histogram struct {
-	bounds []float64
-	counts []atomic.Int64 // len(bounds)+1; last is +Inf
-	count  atomic.Int64
-	sum    Gauge
+	bounds    []float64
+	counts    []atomic.Int64 // len(bounds)+1; last is +Inf
+	count     atomic.Int64
+	sum       Gauge
+	exemplars []atomic.Pointer[Exemplar] // len(bounds)+1, aligned with counts
 }
 
 // NewHistogram creates a histogram over the given ascending upper bounds
@@ -75,7 +85,11 @@ func NewHistogram(bounds []float64) *Histogram {
 	if len(bounds) == 0 {
 		bounds = DefLatencyBuckets
 	}
-	return &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+	return &Histogram{
+		bounds:    bounds,
+		counts:    make([]atomic.Int64, len(bounds)+1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(bounds)+1),
+	}
 }
 
 // Observe records one sample.
@@ -84,6 +98,31 @@ func (h *Histogram) Observe(v float64) {
 	h.counts[i].Add(1)
 	h.count.Add(1)
 	h.sum.Add(v)
+}
+
+// ObserveWithExemplar is Observe additionally pinning the observation's
+// trace id as the containing bucket's exemplar (latest wins; a zero
+// trace id records nothing extra).
+func (h *Histogram) ObserveWithExemplar(v float64, traceID uint64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	if traceID != 0 {
+		h.exemplars[i].Store(&Exemplar{Value: v, TraceID: traceID, Unix: time.Now().Unix()})
+	}
+}
+
+// WorstExemplar returns the exemplar from the highest-latency bucket
+// holding one (nil when no exemplar has been recorded) — the trace to
+// chase when the tail looks bad.
+func (h *Histogram) WorstExemplar() *Exemplar {
+	for i := len(h.exemplars) - 1; i >= 0; i-- {
+		if e := h.exemplars[i].Load(); e != nil {
+			return e
+		}
+	}
+	return nil
 }
 
 // ObserveSince records the elapsed time since start, in seconds.
@@ -168,11 +207,14 @@ type Label struct {
 }
 
 // Sample is one exposed series value. Suffix distinguishes histogram
-// series (_bucket/_sum/_count); plain metrics leave it empty.
+// series (_bucket/_sum/_count); plain metrics leave it empty. Exemplar,
+// when set on a bucket sample, is rendered in OpenMetrics exemplar
+// syntax if the registry opted in.
 type Sample struct {
-	Suffix string
-	Labels []Label
-	Value  float64
+	Suffix   string
+	Labels   []Label
+	Value    float64
+	Exemplar *Exemplar
 }
 
 // Family describes one metric family in the exposition.
@@ -196,11 +238,21 @@ type Registry struct {
 	mu         sync.Mutex
 	collectors []Collector
 	families   map[string]Family
+	exemplars  bool
 }
 
 // NewRegistry creates an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{families: make(map[string]Family)}
+}
+
+// SetExemplars opts the exposition into OpenMetrics exemplar syntax on
+// bucket series (`... # {trace_id="…"} value ts`). Off by default:
+// strict Prometheus text-format parsers reject the suffix.
+func (r *Registry) SetExemplars(on bool) {
+	r.mu.Lock()
+	r.exemplars = on
+	r.mu.Unlock()
 }
 
 // MustRegister adds collectors, panicking when a family name is reused
@@ -234,6 +286,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		}
 		byName[n] = append(byName[n], c)
 	}
+	showExemplars := r.exemplars
 	r.mu.Unlock()
 
 	sort.Strings(names)
@@ -249,12 +302,78 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		for _, c := range byName[name] {
 			c.Collect(func(s Sample) {
 				b.WriteString(renderSample(f.Name, s))
+				if showExemplars && s.Exemplar != nil {
+					b.WriteString(renderExemplar(s.Exemplar))
+				}
 				b.WriteByte('\n')
 			})
 		}
 	}
+	r.writeDroppedLabels(&b, byName, names)
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// droppedLabelsCollector is the Vec-side contract behind the built-in
+// cardinality accounting: any registered collector reporting how many
+// series creations its child cap diverted.
+type droppedLabelsCollector interface {
+	DroppedLabels() int64
+}
+
+// writeDroppedLabels renders the built-in
+// blobseer_metrics_dropped_labels_total family: one series per
+// cap-guarded vector family, summed across same-family registrations,
+// so an exploding label shows up on the dashboard before it shows up
+// as process RSS.
+func (r *Registry) writeDroppedLabels(b *strings.Builder, byName map[string][]Collector, names []string) {
+	type entry struct {
+		fam   string
+		total int64
+	}
+	var entries []entry
+	for _, name := range names {
+		sum := int64(0)
+		guarded := false
+		for _, c := range byName[name] {
+			if d, ok := c.(droppedLabelsCollector); ok {
+				guarded = true
+				sum += d.DroppedLabels()
+			}
+		}
+		if guarded {
+			entries = append(entries, entry{fam: name, total: sum})
+		}
+	}
+	if len(entries) == 0 {
+		return
+	}
+	fmt.Fprintf(b, "# HELP %s Series creations diverted to the _overflow child by a vector's label-cardinality cap.\n", droppedLabelsName)
+	fmt.Fprintf(b, "# TYPE %s counter\n", droppedLabelsName)
+	for _, e := range entries {
+		b.WriteString(renderSample(droppedLabelsName, Sample{
+			Labels: []Label{{Name: "vec", Value: e.fam}},
+			Value:  float64(e.total),
+		}))
+		b.WriteByte('\n')
+	}
+}
+
+// droppedLabelsName is the built-in family name for cardinality-cap
+// accounting.
+const droppedLabelsName = "blobseer_metrics_dropped_labels_total"
+
+// renderExemplar renders the OpenMetrics exemplar suffix for a bucket
+// line: ` # {trace_id="…"} value ts`.
+func renderExemplar(e *Exemplar) string {
+	var b strings.Builder
+	b.WriteString(` # {trace_id="`)
+	fmt.Fprintf(&b, "%016x", e.TraceID)
+	b.WriteString(`"} `)
+	b.WriteString(formatValue(e.Value))
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatInt(e.Unix, 10))
+	return b.String()
 }
 
 func renderSample(name string, s Sample) string {
@@ -347,13 +466,36 @@ func zipLabels(names, values []string) []Label {
 	return out
 }
 
+// DefaultMaxLabelChildren caps how many distinct label-value
+// combinations one vector may materialize. Every label in this system
+// is meant to be low-cardinality ({role, method}); the cap is the
+// backstop that keeps a label that ever grows user-controlled (a blob
+// name, a peer address) from eating the process. Past the cap, new
+// combinations share a single child labeled "_overflow" and the
+// diversion is counted in blobseer_metrics_dropped_labels_total.
+const DefaultMaxLabelChildren = 1024
+
+// overflowLabel marks the shared child that absorbs series past the cap.
+const overflowLabel = "_overflow"
+
+func overflowLabels(names []string) []Label {
+	out := make([]Label, len(names))
+	for i, n := range names {
+		out[i] = Label{Name: n, Value: overflowLabel}
+	}
+	return out
+}
+
 // CounterVec is a family of counters keyed by label values.
 type CounterVec struct {
 	fam   Family
 	names []string
 
-	mu       sync.RWMutex
-	children map[string]*counterChild
+	mu          sync.RWMutex
+	children    map[string]*counterChild
+	maxChildren int
+	overflow    *counterChild
+	dropped     atomic.Int64
 }
 
 type counterChild struct {
@@ -386,11 +528,29 @@ func (v *CounterVec) With(values ...string) *Counter {
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	if ch, ok = v.children[key]; !ok {
+		if len(v.children) >= vecCap(v.maxChildren) {
+			v.dropped.Add(1)
+			if v.overflow == nil {
+				v.overflow = &counterChild{labels: overflowLabels(v.names)}
+			}
+			return &v.overflow.c
+		}
 		ch = &counterChild{labels: zipLabels(v.names, values)}
 		v.children[key] = ch
 	}
 	return &ch.c
 }
+
+// SetMaxChildren overrides the vector's cardinality cap (n < 1 restores
+// the default). Configure before heavy use.
+func (v *CounterVec) SetMaxChildren(n int) {
+	v.mu.Lock()
+	v.maxChildren = n
+	v.mu.Unlock()
+}
+
+// DroppedLabels reports how many series creations the cap diverted.
+func (v *CounterVec) DroppedLabels() int64 { return v.dropped.Load() }
 
 // Family implements Collector.
 func (v *CounterVec) Family() Family { return v.fam }
@@ -403,6 +563,16 @@ func (v *CounterVec) Collect(emit func(Sample)) {
 		ch := v.children[key]
 		emit(Sample{Labels: ch.labels, Value: float64(ch.c.Load())})
 	}
+	if v.overflow != nil {
+		emit(Sample{Labels: v.overflow.labels, Value: float64(v.overflow.c.Load())})
+	}
+}
+
+func vecCap(maxChildren int) int {
+	if maxChildren < 1 {
+		return DefaultMaxLabelChildren
+	}
+	return maxChildren
 }
 
 // GaugeVec is a family of gauges keyed by label values.
@@ -410,8 +580,11 @@ type GaugeVec struct {
 	fam   Family
 	names []string
 
-	mu       sync.RWMutex
-	children map[string]*gaugeChild
+	mu          sync.RWMutex
+	children    map[string]*gaugeChild
+	maxChildren int
+	overflow    *gaugeChild
+	dropped     atomic.Int64
 }
 
 type gaugeChild struct {
@@ -443,11 +616,29 @@ func (v *GaugeVec) With(values ...string) *Gauge {
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	if ch, ok = v.children[key]; !ok {
+		if len(v.children) >= vecCap(v.maxChildren) {
+			v.dropped.Add(1)
+			if v.overflow == nil {
+				v.overflow = &gaugeChild{labels: overflowLabels(v.names)}
+			}
+			return &v.overflow.g
+		}
 		ch = &gaugeChild{labels: zipLabels(v.names, values)}
 		v.children[key] = ch
 	}
 	return &ch.g
 }
+
+// SetMaxChildren overrides the vector's cardinality cap (n < 1 restores
+// the default). Configure before heavy use.
+func (v *GaugeVec) SetMaxChildren(n int) {
+	v.mu.Lock()
+	v.maxChildren = n
+	v.mu.Unlock()
+}
+
+// DroppedLabels reports how many series creations the cap diverted.
+func (v *GaugeVec) DroppedLabels() int64 { return v.dropped.Load() }
 
 // Family implements Collector.
 func (v *GaugeVec) Family() Family { return v.fam }
@@ -460,6 +651,9 @@ func (v *GaugeVec) Collect(emit func(Sample)) {
 		ch := v.children[key]
 		emit(Sample{Labels: ch.labels, Value: ch.g.Load()})
 	}
+	if v.overflow != nil {
+		emit(Sample{Labels: v.overflow.labels, Value: v.overflow.g.Load()})
+	}
 }
 
 // HistogramVec is a family of histograms keyed by label values.
@@ -468,8 +662,11 @@ type HistogramVec struct {
 	names  []string
 	bounds []float64
 
-	mu       sync.RWMutex
-	children map[string]*histChild
+	mu          sync.RWMutex
+	children    map[string]*histChild
+	maxChildren int
+	overflow    *histChild
+	dropped     atomic.Int64
 }
 
 type histChild struct {
@@ -507,11 +704,29 @@ func (v *HistogramVec) With(values ...string) *Histogram {
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	if ch, ok = v.children[key]; !ok {
+		if len(v.children) >= vecCap(v.maxChildren) {
+			v.dropped.Add(1)
+			if v.overflow == nil {
+				v.overflow = &histChild{labels: overflowLabels(v.names), h: NewHistogram(v.bounds)}
+			}
+			return v.overflow.h
+		}
 		ch = &histChild{labels: zipLabels(v.names, values), h: NewHistogram(v.bounds)}
 		v.children[key] = ch
 	}
 	return ch.h
 }
+
+// SetMaxChildren overrides the vector's cardinality cap (n < 1 restores
+// the default). Configure before heavy use.
+func (v *HistogramVec) SetMaxChildren(n int) {
+	v.mu.Lock()
+	v.maxChildren = n
+	v.mu.Unlock()
+}
+
+// DroppedLabels reports how many series creations the cap diverted.
+func (v *HistogramVec) DroppedLabels() int64 { return v.dropped.Load() }
 
 // Each visits every child with its label values (GloBeM's snapshot walk).
 func (v *HistogramVec) Each(fn func(labels []Label, h *Histogram)) {
@@ -519,6 +734,9 @@ func (v *HistogramVec) Each(fn func(labels []Label, h *Histogram)) {
 	defer v.mu.RUnlock()
 	for _, ch := range v.children {
 		fn(ch.labels, ch.h)
+	}
+	if v.overflow != nil {
+		fn(v.overflow.labels, v.overflow.h)
 	}
 }
 
@@ -530,21 +748,29 @@ func (v *HistogramVec) Collect(emit func(Sample)) {
 	v.mu.RLock()
 	defer v.mu.RUnlock()
 	for _, key := range sortedKeys(v.children) {
-		ch := v.children[key]
-		cum := ch.h.Cumulative()
-		for i, bound := range ch.h.Bounds() {
-			emit(Sample{
-				Suffix: "_bucket",
-				Labels: append(append([]Label(nil), ch.labels...), Label{Name: "le", Value: formatValue(bound)}),
-				Value:  float64(cum[i]),
-			})
-		}
-		emit(Sample{
-			Suffix: "_bucket",
-			Labels: append(append([]Label(nil), ch.labels...), Label{Name: "le", Value: "+Inf"}),
-			Value:  float64(cum[len(cum)-1]),
-		})
-		emit(Sample{Suffix: "_sum", Labels: ch.labels, Value: ch.h.Sum()})
-		emit(Sample{Suffix: "_count", Labels: ch.labels, Value: float64(ch.h.Count())})
+		emitHistogram(v.children[key], emit)
 	}
+	if v.overflow != nil {
+		emitHistogram(v.overflow, emit)
+	}
+}
+
+func emitHistogram(ch *histChild, emit func(Sample)) {
+	cum := ch.h.Cumulative()
+	for i, bound := range ch.h.Bounds() {
+		emit(Sample{
+			Suffix:   "_bucket",
+			Labels:   append(append([]Label(nil), ch.labels...), Label{Name: "le", Value: formatValue(bound)}),
+			Value:    float64(cum[i]),
+			Exemplar: ch.h.exemplars[i].Load(),
+		})
+	}
+	emit(Sample{
+		Suffix:   "_bucket",
+		Labels:   append(append([]Label(nil), ch.labels...), Label{Name: "le", Value: "+Inf"}),
+		Value:    float64(cum[len(cum)-1]),
+		Exemplar: ch.h.exemplars[len(cum)-1].Load(),
+	})
+	emit(Sample{Suffix: "_sum", Labels: ch.labels, Value: ch.h.Sum()})
+	emit(Sample{Suffix: "_count", Labels: ch.labels, Value: float64(ch.h.Count())})
 }

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/provider"
 	"repro/internal/rpc"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -584,3 +585,7 @@ func (s *Server) Manager() *Manager { return s.m }
 // SetRPCObserver attaches an observer to the provider manager's RPC
 // server (per-method latency/bytes/error metrics).
 func (s *Server) SetRPCObserver(o rpc.ServerObserver) { s.srv.SetObserver(o) }
+
+// SetRPCTracer attaches a tracer to the RPC server: every inbound
+// sampled request records a server span under the caller's trace.
+func (s *Server) SetRPCTracer(t *trace.Tracer) { s.srv.SetTracer(t) }

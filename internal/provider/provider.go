@@ -5,6 +5,7 @@
 package provider
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -13,6 +14,7 @@ import (
 	"repro/internal/chunk"
 	"repro/internal/metrics"
 	"repro/internal/rpc"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -905,6 +907,10 @@ func (s *Server) StatsSnapshot() StatsResp {
 // (per-method latency/bytes/error metrics).
 func (s *Server) SetRPCObserver(o rpc.ServerObserver) { s.srv.SetObserver(o) }
 
+// SetRPCTracer attaches a tracer to the RPC server: every inbound
+// sampled request records a server span under the caller's trace.
+func (s *Server) SetRPCTracer(t *trace.Tracer) { s.srv.SetTracer(t) }
+
 // StartHeartbeats begins reporting to the provider manager at pmAddr every
 // interval until Close. Heartbeat failures are ignored: if the fabric says
 // this node is down, the manager notices through the missing beats.
@@ -1011,13 +1017,19 @@ func PutChunk(cli *rpc.Client, addr string, key chunk.Key, data []byte) error {
 // the RPC itself failed (transport, malformed reply) and nothing can be
 // assumed stored.
 func PutChunks(cli *rpc.Client, addr string, items []PutItem) ([]error, error) {
+	return PutChunksCtx(context.Background(), cli, addr, items)
+}
+
+// PutChunksCtx is PutChunks carrying the caller's context (trace
+// propagation).
+func PutChunksCtx(ctx context.Context, cli *rpc.Client, addr string, items []PutItem) ([]error, error) {
 	for i := range items {
 		if items[i].Digest.IsZero() {
 			items[i].Digest = chunk.DigestOf(items[i].Data)
 		}
 	}
 	var resp PutChunksResp
-	if err := cli.Call(addr, MethodPutChunks, &PutChunksReq{Items: items}, &resp); err != nil {
+	if err := cli.CallCtx(ctx, addr, MethodPutChunks, &PutChunksReq{Items: items}, &resp); err != nil {
 		return nil, err
 	}
 	if len(resp.Errs) != len(items) {
@@ -1050,8 +1062,16 @@ func GetChunk(cli *rpc.Client, addr string, key chunk.Key) ([]byte, error) {
 // replica) after asking the provider to recheck its copy, so at-rest rot
 // this client noticed first still gets quarantined.
 func GetChunkRange(cli *rpc.Client, addr string, key chunk.Key, off, length uint64) ([]byte, error) {
+	return GetChunkRangeCtx(context.Background(), cli, addr, key, off, length)
+}
+
+// GetChunkRangeCtx is GetChunkRange carrying the caller's context (trace
+// propagation). The corrective VerifyChunk issued on a digest mismatch
+// stays context-free: it is best-effort background hygiene, not part of
+// the read.
+func GetChunkRangeCtx(ctx context.Context, cli *rpc.Client, addr string, key chunk.Key, off, length uint64) ([]byte, error) {
 	var resp GetResp
-	if err := cli.Call(addr, MethodGet, &GetReq{Key: key, Offset: off, Length: length}, &resp); err != nil {
+	if err := cli.CallCtx(ctx, addr, MethodGet, &GetReq{Key: key, Offset: off, Length: length}, &resp); err != nil {
 		return nil, err
 	}
 	if !resp.Found {

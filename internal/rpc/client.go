@@ -1,12 +1,14 @@
 package rpc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -32,10 +34,12 @@ type Client struct {
 	timeout time.Duration
 	source  string
 
-	mu       sync.Mutex
-	conns    map[string]*clientConn
-	observer ClientObserver
-	redial   Backoff
+	mu         sync.Mutex
+	conns      map[string]*clientConn
+	observer   ClientObserver
+	tracer     *trace.Tracer
+	rootTraces bool
+	redial     Backoff
 }
 
 // SourceDialer is implemented by transports that can attribute a
@@ -83,8 +87,17 @@ type clientConn struct {
 // Call invokes method at addr, encoding req and decoding the reply into
 // resp (which may be nil for calls with no interesting reply body).
 func (c *Client) Call(addr, method string, req wire.Message, resp wire.Message) error {
+	return c.CallCtx(context.Background(), addr, method, req, resp)
+}
+
+// CallCtx is Call carrying a trace context: when ctx holds a span and a
+// tracer is attached, the call gets a client-side RPC span (a child of
+// the context's span) and the trace rides the request frame. A
+// context-free call on a SetRootTraces client originates a root trace
+// instead.
+func (c *Client) CallCtx(ctx context.Context, addr, method string, req wire.Message, resp wire.Message) error {
 	payload := wire.Marshal(req)
-	raw, err := c.callRaw(addr, method, payload)
+	raw, err := c.callRaw(ctx, addr, method, payload)
 	if err != nil {
 		return err
 	}
@@ -94,15 +107,27 @@ func (c *Client) Call(addr, method string, req wire.Message, resp wire.Message) 
 	return wire.Unmarshal(raw, resp)
 }
 
-func (c *Client) callRaw(addr, method string, payload []byte) ([]byte, error) {
+func (c *Client) callRaw(ctx context.Context, addr, method string, payload []byte) ([]byte, error) {
 	obs := c.getObserver()
+	var act *trace.Active
+	if tr, roots := c.getTracer(); tr != nil {
+		if _, ok := trace.FromContext(ctx); ok {
+			_, act = tr.StartOp(ctx, method)
+		} else if roots {
+			act = tr.StartRoot(method)
+		}
+	}
 	var start time.Time
 	if obs != nil {
 		start = time.Now()
 	}
-	raw, err := c.callRawAttempts(addr, method, payload, obs)
+	raw, err := c.callRawAttempts(addr, method, payload, act.Context(), obs)
 	if obs != nil {
 		obs.ObserveCall(addr, method, time.Since(start), err)
+	}
+	if act != nil {
+		act.SetBytes(int64(len(payload) + len(raw)))
+		act.Finish(err)
 	}
 	return raw, err
 }
@@ -111,13 +136,13 @@ func (c *Client) callRaw(addr, method string, payload []byte) ([]byte, error) {
 // the cached connection keeps dying before anything is sent.
 const maxRedials = 4
 
-func (c *Client) callRawAttempts(addr, method string, payload []byte, obs ClientObserver) ([]byte, error) {
+func (c *Client) callRawAttempts(addr, method string, payload []byte, sc trace.SpanContext, obs ClientObserver) ([]byte, error) {
 	for attempt := 0; ; attempt++ {
 		cc, err := c.getConn(addr)
 		if err != nil {
 			return nil, err
 		}
-		raw, err := cc.roundTrip(method, payload, c.timeout)
+		raw, err := cc.roundTrip(method, payload, sc, c.timeout)
 		if err != nil && !isAppError(err) {
 			// Transport-level failure: drop the cached connection so the
 			// next call re-dials (the peer may have restarted).
@@ -212,7 +237,7 @@ func (c *Client) Close() {
 // side-effect free.
 var errConnDead = errors.New("rpc: cached connection is dead")
 
-func (cc *clientConn) roundTrip(method string, payload []byte, timeout time.Duration) ([]byte, error) {
+func (cc *clientConn) roundTrip(method string, payload []byte, sc trace.SpanContext, timeout time.Duration) ([]byte, error) {
 	cc.mu.Lock()
 	if cc.dead {
 		err := cc.deadErr
@@ -229,6 +254,7 @@ func (cc *clientConn) roundTrip(method string, payload []byte, timeout time.Dura
 	enc.PutU64(id)
 	enc.PutString(method)
 	enc.PutBytes(payload)
+	appendTraceTrailer(enc, sc)
 
 	err := cc.conn.Send(enc.Bytes())
 	putEncoder(enc)

@@ -1,6 +1,7 @@
 package rpc
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"sync"
@@ -87,7 +88,7 @@ func TestHandlerPanicRecovered(t *testing.T) {
 	cli := NewClient(network, 5*time.Second)
 	defer cli.Close()
 
-	_, err := cli.callRaw("s", "explode", []byte("x"))
+	_, err := cli.callRaw(context.Background(), "s", "explode", []byte("x"))
 	var re *RemoteError
 	if !errors.As(err, &re) {
 		t.Fatalf("want RemoteError from panicking handler, got %v", err)
@@ -97,7 +98,7 @@ func TestHandlerPanicRecovered(t *testing.T) {
 	}
 
 	// The connection must still work — no redial, same cached conn.
-	raw, err := cli.callRaw("s", "echo", []byte("still alive"))
+	raw, err := cli.callRaw(context.Background(), "s", "echo", []byte("still alive"))
 	if err != nil || string(raw) != "still alive" {
 		t.Fatalf("connection did not survive the panic: %v %q", err, raw)
 	}
@@ -135,10 +136,10 @@ func TestObserverSeesTraffic(t *testing.T) {
 	cobs := &recordingClientObserver{}
 	cli.SetObserver(cobs)
 
-	if raw, err := cli.callRaw("s", "double", []byte("abc")); err != nil || string(raw) != "abcabc" {
+	if raw, err := cli.callRaw(context.Background(), "s", "double", []byte("abc")); err != nil || string(raw) != "abcabc" {
 		t.Fatalf("double: %v %q", err, raw)
 	}
-	if _, err := cli.callRaw("s", "nope", nil); err == nil {
+	if _, err := cli.callRaw(context.Background(), "s", "nope", nil); err == nil {
 		t.Fatal("unknown method must error")
 	}
 
@@ -171,7 +172,7 @@ func TestNoObserverNoClock(t *testing.T) {
 	defer srv.Close()
 	cli := NewClient(network, time.Second)
 	defer cli.Close()
-	if raw, err := cli.callRaw("s", "echo", []byte("ok")); err != nil || string(raw) != "ok" {
+	if raw, err := cli.callRaw(context.Background(), "s", "echo", []byte("ok")); err != nil || string(raw) != "ok" {
 		t.Fatalf("nil-observer path: %v %q", err, raw)
 	}
 }

@@ -1,6 +1,7 @@
 package rpc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -286,7 +287,7 @@ func BenchmarkSimCall(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := cli.callRaw("svc", "echo", payload); err != nil {
+		if _, err := cli.callRaw(context.Background(), "svc", "echo", payload); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -307,7 +308,7 @@ func BenchmarkTCPCall(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := cli.callRaw(srv.Addr(), "echo", payload); err != nil {
+		if _, err := cli.callRaw(context.Background(), srv.Addr(), "echo", payload); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -39,6 +40,7 @@ type Server struct {
 	mu       sync.Mutex
 	handlers map[string]Handler
 	observer ServerObserver
+	tracer   *trace.Tracer
 	gate     func(method string) error
 	listener Listener
 	conns    map[Conn]struct{}
@@ -167,21 +169,26 @@ func (s *Server) serveConn(conn Conn) {
 			log.Printf("rpc: dropping malformed frame on %s", s.addr)
 			continue
 		}
+		// The request may carry a trace-context trailer after the payload;
+		// frames from older peers simply don't, and decode as trace-free.
+		sc := decodeTraceTrailer(dec)
 		// Copy the payload: it aliases msg, which we stop referencing, but
 		// the handler may retain it past this loop iteration.
 		p := make([]byte, len(payload))
 		copy(p, payload)
-		go s.dispatch(conn, id, method, p)
+		go s.dispatch(conn, id, method, p, sc)
 	}
 }
 
-func (s *Server) dispatch(conn Conn, id uint64, method string, payload []byte) {
+func (s *Server) dispatch(conn Conn, id uint64, method string, payload []byte, sc trace.SpanContext) {
 	s.mu.Lock()
 	h, ok := s.handlers[method]
 	obs := s.observer
+	tracer := s.tracer
 	gate := s.gate
 	s.mu.Unlock()
 
+	act := tracer.StartRemote(sc, method) // trace-free frames get a flight-recorder-only span
 	var start time.Time
 	if obs != nil {
 		start = time.Now()
@@ -204,7 +211,16 @@ func (s *Server) dispatch(conn Conn, id uint64, method string, payload []byte) {
 		if err != nil {
 			out = len(err.Error())
 		}
-		obs.ObserveRequest(method, len(payload), out, time.Since(start), err, panicked)
+		dur := time.Since(start)
+		if tobs, isTraced := obs.(TracedServerObserver); isTraced && act.Sampled() {
+			tobs.ObserveRequestTraced(method, len(payload), out, dur, err, panicked, act.TraceID())
+		} else {
+			obs.ObserveRequest(method, len(payload), out, dur, err, panicked)
+		}
+	}
+	if act != nil {
+		act.SetBytes(int64(len(payload) + len(result)))
+		act.Finish(err)
 	}
 
 	enc := getEncoder()

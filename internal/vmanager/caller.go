@@ -1,6 +1,7 @@
 package vmanager
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"time"
@@ -31,6 +32,23 @@ type Caller struct {
 // RPCCaller is the subset of rpc.Client the Caller needs.
 type RPCCaller interface {
 	Call(addr, method string, req, resp wire.Message) error
+}
+
+// ctxCaller is an optional RPCCaller refinement: transports that can
+// attribute an RPC to a caller context (trace propagation) implement
+// it. rpc.Client does; test fakes that only implement Call keep
+// working context-free.
+type ctxCaller interface {
+	CallCtx(ctx context.Context, addr, method string, req, resp wire.Message) error
+}
+
+// call routes one RPC through the context-aware path when the
+// transport offers it.
+func (c *Caller) call(ctx context.Context, addr, method string, req, resp wire.Message) error {
+	if cc, ok := c.rpc.(ctxCaller); ok {
+		return cc.CallCtx(ctx, addr, method, req, resp)
+	}
+	return c.rpc.Call(addr, method, req, resp)
 }
 
 // redirectBudget bounds redirect-chasing within one attempt, so two
@@ -72,14 +90,21 @@ func (c *Caller) noteLeader(addr string) {
 // through untouched — only transport failures and redirects engage the
 // failover machinery.
 func (c *Caller) Call(method string, req, resp wire.Message) error {
+	return c.CallCtx(context.Background(), method, req, resp)
+}
+
+// CallCtx is Call carrying the caller's context, so a traced operation
+// attributes its version-manager RPCs — including any failover probing
+// and redirect-chasing — to its trace.
+func (c *Caller) CallCtx(ctx context.Context, method string, req, resp wire.Message) error {
 	if len(c.addrs) == 1 {
-		return c.rpc.Call(c.addrs[0], method, req, resp)
+		return c.call(ctx, c.addrs[0], method, req, resp)
 	}
 	target := c.Primary()
 	deadline := time.Now().Add(c.window)
 	redirects := 0
 	for attempt := 0; ; attempt++ {
-		err := c.rpc.Call(target, method, req, resp)
+		err := c.call(ctx, target, method, req, resp)
 		if err == nil {
 			c.noteLeader(target)
 			return nil
@@ -106,7 +131,7 @@ func (c *Caller) Call(method string, req, resp wire.Message) error {
 		}
 		time.Sleep(c.backoff.Delay(attempt))
 		redirects = 0
-		if leader := c.probe(); leader != "" {
+		if leader := c.probe(ctx); leader != "" {
 			target = leader
 		} else {
 			// Nobody claims leadership yet: rotate through the group so
@@ -121,13 +146,13 @@ func (c *Caller) Call(method string, req, resp wire.Message) error {
 // higher) epoch. A deposed-but-not-yet-fenced leader still answering
 // first-hand at a stale epoch must not override a standby's report of
 // the real, newer leader.
-func (c *Caller) probe() string {
+func (c *Caller) probe(ctx context.Context) string {
 	best := ""
 	var bestEpoch uint64
 	bestFirstHand := false
 	for _, addr := range c.addrs {
 		var r WhoIsLeaderResp
-		if err := c.rpc.Call(addr, MethodWhoIsLeader, &Ack{}, &r); err != nil {
+		if err := c.call(ctx, addr, MethodWhoIsLeader, &Ack{}, &r); err != nil {
 			continue
 		}
 		switch {

@@ -1,6 +1,7 @@
 package vmanager
 
 import (
+	"context"
 	"errors"
 	"reflect"
 	"testing"
@@ -37,7 +38,7 @@ func TestProbeStaleFirstHandClaimLosesToNewerHearsay(t *testing.T) {
 	}
 	for _, addrs := range [][]string{{"X", "Y"}, {"Y", "X"}} {
 		c := NewCaller(&fakeRing{views: views}, addrs)
-		if got := c.probe(); got != "Z" {
+		if got := c.probe(context.Background()); got != "Z" {
 			t.Errorf("probe(order %v) = %q, want Z (stale first-hand claim beat newer hearsay)", addrs, got)
 		}
 	}
@@ -52,7 +53,7 @@ func TestProbeFirstHandBeatsHearsayAtSameEpoch(t *testing.T) {
 	}
 	for _, addrs := range [][]string{{"X", "Y"}, {"Y", "X"}} {
 		c := NewCaller(&fakeRing{views: views}, addrs)
-		if got := c.probe(); got != "Y" {
+		if got := c.probe(context.Background()); got != "Y" {
 			t.Errorf("probe(order %v) = %q, want first-hand Y", addrs, got)
 		}
 	}
@@ -67,7 +68,7 @@ func TestProbeHigherEpochFirstHandWins(t *testing.T) {
 	}
 	for _, addrs := range [][]string{{"X", "Y", "dead"}, {"dead", "Y", "X"}} {
 		c := NewCaller(&fakeRing{views: views}, addrs)
-		if got := c.probe(); got != "Y" {
+		if got := c.probe(context.Background()); got != "Y" {
 			t.Errorf("probe(order %v) = %q, want Y (epoch 9)", addrs, got)
 		}
 	}

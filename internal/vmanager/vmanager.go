@@ -25,6 +25,7 @@ import (
 	"repro/internal/durable"
 	"repro/internal/meta"
 	"repro/internal/rpc"
+	"repro/internal/trace"
 )
 
 // ErrNoSuchBlob is returned for operations on unknown blob IDs.
@@ -1079,3 +1080,7 @@ func (s *Server) Manager() *Manager { return s.m }
 // SetRPCObserver attaches an observer to the version manager's RPC server
 // (per-method latency/bytes/error metrics).
 func (s *Server) SetRPCObserver(o rpc.ServerObserver) { s.srv.SetObserver(o) }
+
+// SetRPCTracer attaches a tracer to the RPC server: every inbound
+// sampled request records a server span under the caller's trace.
+func (s *Server) SetRPCTracer(t *trace.Tracer) { s.srv.SetTracer(t) }
